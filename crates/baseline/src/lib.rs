@@ -1,0 +1,22 @@
+//! # lmfao-baseline
+//!
+//! Baselines reproducing the evaluation strategy of the systems the LMFAO
+//! paper compares against:
+//!
+//! * [`naive::MaterializedEngine`] — materialize the natural join, then
+//!   compute every aggregate query separately over it (the PostgreSQL /
+//!   MonetDB / DBX proxy for Table 3);
+//! * [`ml`] — materialize-then-learn pipelines: export the join to a dense
+//!   one-hot matrix and train linear regression or CART trees over it (the
+//!   TensorFlow / MADlib / scikit proxy for Tables 4 and 5).
+
+#![warn(missing_docs)]
+
+pub mod ml;
+pub mod naive;
+
+pub use ml::{
+    export_dense, predict_linear, rmse_linear, train_linear_regression_dense, train_tree_dense,
+    DenseDataset, DenseTask, DenseTreeNode,
+};
+pub use naive::{BaselineResult, MaterializedEngine};

@@ -1,0 +1,224 @@
+//! The materialized-join baseline engine.
+//!
+//! This reproduces the evaluation strategy of the systems the paper compares
+//! against (PostgreSQL, MonetDB, the commercial DBX): materialize the natural
+//! join of the database once, then compute **each query of the batch
+//! separately** over the join, with no sharing of computation across queries.
+//! The contrast with LMFAO's shared, factorized evaluation is what Table 3
+//! measures.
+
+use lmfao_data::{AttrId, Database, FxHashMap, Relation, Value};
+use lmfao_expr::{DynamicRegistry, Query, QueryBatch};
+use lmfao_jointree::{natural_join, JoinTree};
+
+/// The result of one query computed by the baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Group-by attributes, in the query's order (the key tuple order below).
+    pub group_by: Vec<AttrId>,
+    /// Key tuple → aggregate values.
+    pub data: FxHashMap<Vec<Value>, Vec<f64>>,
+}
+
+impl BaselineResult {
+    /// The aggregates of a group.
+    pub fn get(&self, key: &[Value]) -> Option<&[f64]> {
+        self.data.get(key).map(Vec::as_slice)
+    }
+
+    /// The aggregates of a scalar query (zeros when the join is empty).
+    pub fn scalar(&self, num_aggregates: usize) -> Vec<f64> {
+        self.data
+            .get(&Vec::new() as &Vec<Value>)
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; num_aggregates])
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no group was produced.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A baseline engine holding the materialized join.
+#[derive(Debug, Clone)]
+pub struct MaterializedEngine {
+    join: Relation,
+}
+
+impl MaterializedEngine {
+    /// Materializes the natural join of all relations, joining along the join
+    /// tree in breadth-first order so that every pairwise join has shared
+    /// attributes (no accidental cartesian products).
+    pub fn materialize(db: &Database, tree: &JoinTree) -> Self {
+        let order = tree.bfs_order(0);
+        let relations: Vec<&Relation> = order
+            .iter()
+            .map(|&(node, _)| {
+                db.relation(&tree.node(node).relation)
+                    .expect("tree node relation must exist")
+            })
+            .collect();
+        let join = natural_join(&relations, "Join");
+        MaterializedEngine { join }
+    }
+
+    /// Constructs the engine from an already materialized join.
+    pub fn from_join(join: Relation) -> Self {
+        MaterializedEngine { join }
+    }
+
+    /// The materialized join.
+    pub fn join(&self) -> &Relation {
+        &self.join
+    }
+
+    /// Size of the materialized join in bytes — the cost LMFAO avoids
+    /// (Table 1's "Size of Join Result").
+    pub fn join_size_bytes(&self) -> usize {
+        self.join.size_bytes()
+    }
+
+    /// Computes a single query by scanning the full join.
+    pub fn execute_query(&self, query: &Query, dynamics: &DynamicRegistry) -> BaselineResult {
+        let positions: Vec<Option<usize>> = query
+            .group_by
+            .iter()
+            .map(|a| self.join.position(*a))
+            .collect();
+        let mut data: FxHashMap<Vec<Value>, Vec<f64>> = FxHashMap::default();
+        for row in 0..self.join.len() {
+            let lookup = |a: AttrId| match self.join.position(a) {
+                Some(col) => self.join.value(row, col),
+                None => Value::Null,
+            };
+            let key: Vec<Value> = positions
+                .iter()
+                .map(|p| match p {
+                    Some(col) => self.join.value(row, *col),
+                    None => Value::Null,
+                })
+                .collect();
+            let entry = data
+                .entry(key)
+                .or_insert_with(|| vec![0.0; query.aggregates.len()]);
+            for (i, agg) in query.aggregates.iter().enumerate() {
+                entry[i] += agg.evaluate(&lookup, dynamics);
+            }
+        }
+        BaselineResult {
+            group_by: query.group_by.clone(),
+            data,
+        }
+    }
+
+    /// Computes every query of a batch, one at a time (no sharing).
+    pub fn execute_batch(
+        &self,
+        batch: &QueryBatch,
+        dynamics: &DynamicRegistry,
+    ) -> Vec<BaselineResult> {
+        batch
+            .queries
+            .iter()
+            .map(|q| self.execute_query(q, dynamics))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmfao_data::{AttrType, DatabaseSchema, RelationSchema};
+    use lmfao_expr::Aggregate;
+    use lmfao_jointree::{build_join_tree, Hypergraph};
+
+    fn db_and_tree() -> (Database, JoinTree) {
+        let mut schema = DatabaseSchema::new();
+        schema.add_relation_with_attrs(
+            "R",
+            &[("a", AttrType::Int), ("b", AttrType::Int), ("x", AttrType::Double)],
+        );
+        schema.add_relation_with_attrs("S", &[("b", AttrType::Int), ("y", AttrType::Double)]);
+        let a = schema.attr_id("a").unwrap();
+        let b = schema.attr_id("b").unwrap();
+        let x = schema.attr_id("x").unwrap();
+        let y = schema.attr_id("y").unwrap();
+        let r = Relation::from_rows(
+            RelationSchema::new("R", vec![a, b, x]),
+            vec![
+                vec![Value::Int(1), Value::Int(1), Value::Double(2.0)],
+                vec![Value::Int(2), Value::Int(1), Value::Double(3.0)],
+                vec![Value::Int(3), Value::Int(2), Value::Double(4.0)],
+                vec![Value::Int(4), Value::Int(9), Value::Double(5.0)],
+            ],
+        )
+        .unwrap();
+        let s = Relation::from_rows(
+            RelationSchema::new("S", vec![b, y]),
+            vec![
+                vec![Value::Int(1), Value::Double(10.0)],
+                vec![Value::Int(2), Value::Double(20.0)],
+            ],
+        )
+        .unwrap();
+        let db = Database::new(schema.clone(), vec![r, s]).unwrap();
+        let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+        (db, tree)
+    }
+
+    #[test]
+    fn join_materialization_drops_dangling_tuples() {
+        let (db, tree) = db_and_tree();
+        let engine = MaterializedEngine::materialize(&db, &tree);
+        // (4, 9, 5.0) has no matching S tuple.
+        assert_eq!(engine.join().len(), 3);
+        assert!(engine.join_size_bytes() > 0);
+    }
+
+    #[test]
+    fn scalar_aggregates_over_the_join() {
+        let (db, tree) = db_and_tree();
+        let x = db.schema().attr_id("x").unwrap();
+        let y = db.schema().attr_id("y").unwrap();
+        let engine = MaterializedEngine::materialize(&db, &tree);
+        let mut batch = QueryBatch::new();
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        batch.push("sxy", vec![], vec![Aggregate::sum_product(x, y)]);
+        let res = engine.execute_batch(&batch, &DynamicRegistry::new());
+        assert_eq!(res[0].scalar(1)[0], 3.0);
+        assert_eq!(res[1].scalar(1)[0], 2.0 * 10.0 + 3.0 * 10.0 + 4.0 * 20.0);
+    }
+
+    #[test]
+    fn group_by_aggregates_over_the_join() {
+        let (db, tree) = db_and_tree();
+        let b = db.schema().attr_id("b").unwrap();
+        let x = db.schema().attr_id("x").unwrap();
+        let engine = MaterializedEngine::materialize(&db, &tree);
+        let mut batch = QueryBatch::new();
+        batch.push("per_b", vec![b], vec![Aggregate::sum(x), Aggregate::count()]);
+        let res = engine.execute_batch(&batch, &DynamicRegistry::new());
+        assert_eq!(res[0].len(), 2);
+        assert_eq!(res[0].get(&[Value::Int(1)]).unwrap(), &[5.0, 2.0]);
+        assert_eq!(res[0].get(&[Value::Int(2)]).unwrap(), &[4.0, 1.0]);
+        assert!(!res[0].is_empty());
+    }
+
+    #[test]
+    fn empty_join_gives_zero_scalars() {
+        let (mut db, tree) = db_and_tree();
+        let schema = db.relation("S").unwrap().schema().clone();
+        *db.relation_mut("S").unwrap() = Relation::new(schema);
+        let engine = MaterializedEngine::materialize(&db, &tree);
+        let mut batch = QueryBatch::new();
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        let res = engine.execute_batch(&batch, &DynamicRegistry::new());
+        assert_eq!(res[0].scalar(1)[0], 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion benchmark for Figure 5: the covar-matrix workload under the
+//! optimization ablation ladder (unoptimized → +specialization →
+//! +multi-output → +multi-root → +parallelization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmfao_bench::{engine_for, WorkloadSpec};
+use lmfao_core::EngineConfig;
+use lmfao_datagen::{favorita, retailer, Scale};
+
+fn bench_figure5(c: &mut Criterion) {
+    let datasets = vec![
+        retailer::generate(Scale::new(5_000, 42)),
+        favorita::generate(Scale::new(5_000, 42)),
+    ];
+    for ds in &datasets {
+        let spec = WorkloadSpec::for_dataset(&ds.name);
+        let batch = spec.covar_batch(ds);
+        let mut group = c.benchmark_group(format!("figure5/{}", ds.name));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(3));
+        for (name, config) in EngineConfig::ablation_ladder(4) {
+            let engine = engine_for(ds, config);
+            group.bench_with_input(BenchmarkId::from_parameter(name), &batch, |b, batch| {
+                b.iter(|| engine.execute(batch))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_figure5);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmark for Example 3.3: the chain schema where rooting every
+//! `Q_i(X_i; COUNT)` at its own node `S_i` keeps all views linear, while a
+//! single shared root forces larger intermediate views.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmfao_bench::engine_for;
+use lmfao_core::EngineConfig;
+use lmfao_datagen::{chain, Scale};
+use lmfao_expr::{Aggregate, QueryBatch};
+
+fn bench_multiroot(c: &mut Criterion) {
+    let n = 6;
+    let ds = chain::generate(n, 20_000, 500, Scale::new(0, 7));
+    let mut batch = QueryBatch::new();
+    for i in 1..=n {
+        let attr = ds.attr(&format!("X{i}"));
+        batch.push(format!("Q{i}"), vec![attr], vec![Aggregate::count()]);
+    }
+
+    let mut group = c.benchmark_group("example33/chain");
+    group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, config) in [
+        (
+            "single_root",
+            EngineConfig {
+                multi_root: false,
+                ..EngineConfig::default()
+            },
+        ),
+        ("multi_root", EngineConfig::default()),
+    ] {
+        let engine = engine_for(&ds, config);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &batch, |b, batch| {
+            b.iter(|| engine.execute(batch))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multiroot);
+criterion_main!(benches);

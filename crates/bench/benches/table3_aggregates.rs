@@ -1,0 +1,42 @@
+//! Criterion benchmark for Table 3: aggregate batches (Count, CM, RT, MI, DC)
+//! on the four datasets, LMFAO vs the materialized-join baseline.
+//!
+//! Scales are kept small so `cargo bench` finishes in minutes; the
+//! `experiments` binary runs the same workloads at larger scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmfao_baseline::MaterializedEngine;
+use lmfao_bench::{engine_for, WorkloadSpec};
+use lmfao_core::EngineConfig;
+use lmfao_datagen::{all_datasets, Scale};
+use lmfao_expr::DynamicRegistry;
+
+fn bench_table3(c: &mut Criterion) {
+    let datasets = all_datasets(Scale::new(2_000, 42));
+    let dynamics = DynamicRegistry::new();
+    for ds in &datasets {
+        let spec = WorkloadSpec::for_dataset(&ds.name);
+        let engine = engine_for(ds, EngineConfig::full(2));
+        let baseline = MaterializedEngine::materialize(&ds.db, &ds.tree);
+
+        let mut workloads = vec![("Count", spec.count_batch(ds))];
+        workloads.extend(spec.workloads(ds));
+
+        let mut group = c.benchmark_group(format!("table3/{}", ds.name));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(3));
+        for (wl, batch) in &workloads {
+            group.bench_with_input(BenchmarkId::new("lmfao", wl), batch, |b, batch| {
+                b.iter(|| engine.execute(batch))
+            });
+            group.bench_with_input(BenchmarkId::new("baseline", wl), batch, |b, batch| {
+                b.iter(|| baseline.execute_batch(batch, &dynamics))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

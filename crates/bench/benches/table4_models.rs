@@ -1,0 +1,79 @@
+//! Criterion benchmark for Table 4: end-to-end linear regression and
+//! regression-tree training on Retailer and Favorita — LMFAO (aggregate
+//! batches + BGD over sufficient statistics) vs the materialize-then-learn
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmfao_baseline::{self as baseline, DenseTask, MaterializedEngine};
+use lmfao_bench::{engine_for, WorkloadSpec};
+use lmfao_core::EngineConfig;
+use lmfao_data::AttrId;
+use lmfao_datagen::{favorita, retailer, Dataset, Scale};
+use lmfao_ml as ml;
+
+fn features_and_label(ds: &Dataset, spec: &WorkloadSpec) -> (Vec<AttrId>, AttrId) {
+    let label = ds.attr(&spec.label);
+    let features = spec
+        .continuous
+        .iter()
+        .filter(|n| **n != spec.label)
+        .map(|n| ds.attr(n))
+        .collect();
+    (features, label)
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let datasets = vec![
+        retailer::generate(Scale::new(4_000, 42)),
+        favorita::generate(Scale::new(4_000, 42)),
+    ];
+    for ds in &datasets {
+        let spec = WorkloadSpec::for_dataset(&ds.name);
+        let (features, label) = features_and_label(ds, &spec);
+        let engine = engine_for(ds, EngineConfig::full(2));
+        let tree_config = ml::TreeConfig {
+            task: ml::TreeTask::Regression,
+            max_depth: 2,
+            min_samples: 200,
+            buckets: 8,
+        };
+
+        let mut group = c.benchmark_group(format!("table4/{}", ds.name));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(3));
+        group.bench_function(BenchmarkId::from_parameter("linreg_lmfao"), |b| {
+            b.iter(|| {
+                let mut all = features.clone();
+                all.push(label);
+                let cb = ml::covar_batch(&ml::CovarSpec::continuous_only(all));
+                let result = engine.execute(&cb.batch);
+                let covar = ml::assemble_covar_matrix(&cb, &result);
+                ml::train_linear_regression(&covar, &ml::LinRegConfig::default())
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("linreg_materialized"), |b| {
+            b.iter(|| {
+                let join = MaterializedEngine::materialize(&ds.db, &ds.tree);
+                let dense =
+                    baseline::export_dense(join.join(), ds.db.schema(), &features, label);
+                baseline::train_linear_regression_dense(&dense, 1e-3, 1e-9, 20)
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("regtree_lmfao"), |b| {
+            b.iter(|| ml::train_decision_tree(&engine, &features, label, &tree_config))
+        });
+        group.bench_function(BenchmarkId::from_parameter("regtree_materialized"), |b| {
+            b.iter(|| {
+                let join = MaterializedEngine::materialize(&ds.db, &ds.tree);
+                let dense =
+                    baseline::export_dense(join.join(), ds.db.schema(), &features, label);
+                baseline::train_tree_dense(&dense, DenseTask::Regression, 2, 200, 8)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

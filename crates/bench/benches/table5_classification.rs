@@ -1,0 +1,52 @@
+//! Criterion benchmark for Table 5: classification-tree training over the
+//! TPC-DS excerpt — LMFAO vs the materialize-then-learn baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmfao_baseline::{self as baseline, DenseTask, MaterializedEngine};
+use lmfao_bench::engine_for;
+use lmfao_core::EngineConfig;
+use lmfao_data::AttrId;
+use lmfao_datagen::{tpcds, Scale};
+use lmfao_ml as ml;
+
+fn bench_table5(c: &mut Criterion) {
+    let ds = tpcds::generate(Scale::new(4_000, 42));
+    let label = ds.attr("preferred");
+    let features: Vec<AttrId> = [
+        "birth_year",
+        "purchase_estimate",
+        "gender",
+        "marital",
+        "dep_count",
+        "quantity",
+    ]
+    .iter()
+    .map(|n| ds.attr(n))
+    .collect();
+    let engine = engine_for(&ds, EngineConfig::full(2));
+    let tree_config = ml::TreeConfig {
+        task: ml::TreeTask::Classification,
+        max_depth: 2,
+        min_samples: 200,
+        buckets: 8,
+    };
+
+    let mut group = c.benchmark_group("table5/TPC-DS");
+    group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function(BenchmarkId::from_parameter("classtree_lmfao"), |b| {
+        b.iter(|| ml::train_decision_tree(&engine, &features, label, &tree_config))
+    });
+    group.bench_function(BenchmarkId::from_parameter("classtree_materialized"), |b| {
+        b.iter(|| {
+            let join = MaterializedEngine::materialize(&ds.db, &ds.tree);
+            let dense = baseline::export_dense(join.join(), ds.db.schema(), &features, label);
+            baseline::train_tree_dense(&dense, DenseTask::Classification, 2, 200, 8)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

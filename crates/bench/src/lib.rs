@@ -1,0 +1,357 @@
+//! # lmfao-bench
+//!
+//! The benchmark harness reproducing the LMFAO paper's evaluation:
+//!
+//! * the `experiments` binary regenerates every table and figure
+//!   (`cargo run --release -p lmfao-bench --bin experiments -- all`),
+//! * the Criterion benches (`cargo bench -p lmfao-bench`) provide
+//!   statistically sound timings for the same workloads at a smaller scale.
+//!
+//! The workload builders in this crate are shared between the two.
+
+#![warn(missing_docs)]
+
+use lmfao_core::{Engine, EngineConfig};
+use lmfao_data::AttrId;
+use lmfao_datagen::Dataset;
+use lmfao_expr::{Aggregate, QueryBatch};
+use lmfao_ml::{covar_batch, datacube_batch, mutual_info_batch, CovarSpec};
+
+/// The per-dataset workload configuration used throughout the paper's
+/// experiments: which attributes participate in the covar matrix, the
+/// regression-tree node, the mutual-information batch and the data cube.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Continuous attributes (the last one is the regression label).
+    pub continuous: Vec<String>,
+    /// Categorical attributes (one-hot encoded / group-by attributes).
+    pub categorical: Vec<String>,
+    /// Attributes used for the pairwise mutual-information batch.
+    pub mutual_info: Vec<String>,
+    /// The three cube dimensions.
+    pub cube_dims: Vec<String>,
+    /// The five cube measures.
+    pub cube_measures: Vec<String>,
+    /// The label attribute for model training.
+    pub label: String,
+}
+
+impl WorkloadSpec {
+    /// The workload attributes for a dataset by name, mirroring the paper's
+    /// setup (all attributes except join keys, a handful of MI attributes,
+    /// three dimensions and five measures for the cube).
+    pub fn for_dataset(name: &str) -> WorkloadSpec {
+        match name {
+            "Retailer" => WorkloadSpec {
+                continuous: vec![
+                    "avghhi", "tot_area_sq_ft", "sell_area_sq_ft", "distance_comp", "population",
+                    "medianage", "households", "maxtemp", "mintemp", "meanwind", "prices",
+                    "inventoryunits",
+                ]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+                categorical: vec!["rgn_cd", "clim_zn_nbr", "category", "categorycluster"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+                mutual_info: vec![
+                    "rgn_cd", "clim_zn_nbr", "category", "categorycluster", "subcategory", "rain",
+                    "snow", "thunder",
+                ]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+                cube_dims: vec!["category", "rgn_cd", "clim_zn_nbr"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+                cube_measures: vec![
+                    "inventoryunits", "prices", "avghhi", "maxtemp", "population",
+                ]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+                label: "inventoryunits".into(),
+            },
+            "Favorita" => WorkloadSpec {
+                continuous: vec!["txns", "price", "cluster", "units"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+                categorical: vec!["family", "city", "state", "stype", "htype"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+                mutual_info: vec![
+                    "family", "city", "state", "stype", "htype", "locale", "perishable", "promo",
+                ]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+                cube_dims: vec!["family", "city", "stype"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+                cube_measures: vec!["units", "txns", "price", "cluster", "perishable"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+                label: "units".into(),
+            },
+            "Yelp" => WorkloadSpec {
+                continuous: vec![
+                    "useful",
+                    "user_review_count",
+                    "user_avg_stars",
+                    "fans",
+                    "bstars",
+                    "breview_count",
+                    "stars",
+                ]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+                categorical: vec!["bcity", "bstate", "category", "battribute"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+                mutual_info: vec![
+                    "bcity",
+                    "bstate",
+                    "category",
+                    "battribute",
+                    "is_open",
+                    "review_year",
+                ]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+                cube_dims: vec!["bcity", "category", "review_year"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+                cube_measures: vec![
+                    "stars",
+                    "useful",
+                    "fans",
+                    "breview_count",
+                    "user_review_count",
+                ]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+                label: "stars".into(),
+            },
+            "TPC-DS" => WorkloadSpec {
+                continuous: vec![
+                    "quantity",
+                    "salesprice",
+                    "discount",
+                    "birth_year",
+                    "purchase_estimate",
+                    "iprice",
+                    "floor_space",
+                    "lower_bound",
+                    "netpaid",
+                ]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+                categorical: vec![
+                    "preferred",
+                    "gender",
+                    "marital",
+                    "education",
+                    "icategory",
+                    "sstate",
+                ]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+                mutual_info: vec![
+                    "preferred",
+                    "gender",
+                    "marital",
+                    "education",
+                    "icategory",
+                    "sstate",
+                    "scity",
+                    "weekday",
+                    "shift",
+                    "buy_potential",
+                ]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+                cube_dims: vec!["icategory", "sstate", "year"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+                cube_measures: vec![
+                    "quantity",
+                    "salesprice",
+                    "discount",
+                    "netpaid",
+                    "purchase_estimate",
+                ]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+                label: "netpaid".into(),
+            },
+            other => panic!("no workload specification for dataset `{other}`"),
+        }
+    }
+
+    fn attrs(ds: &Dataset, names: &[String]) -> Vec<AttrId> {
+        names.iter().map(|n| ds.attr(n)).collect()
+    }
+
+    /// The count query (the sharing yardstick of Table 3).
+    pub fn count_batch(&self, _ds: &Dataset) -> QueryBatch {
+        let mut batch = QueryBatch::new();
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        batch
+    }
+
+    /// The covar-matrix batch (CM workload).
+    pub fn covar_batch(&self, ds: &Dataset) -> QueryBatch {
+        let spec = CovarSpec {
+            continuous: Self::attrs(ds, &self.continuous),
+            categorical: Self::attrs(ds, &self.categorical),
+        };
+        covar_batch(&spec).batch
+    }
+
+    /// A regression-tree node batch (RT workload): COUNT / SUM(y) / SUM(y²)
+    /// for ~20 candidate thresholds over every continuous attribute plus
+    /// per-category counts for every categorical attribute.
+    pub fn rt_node_batch(&self, ds: &Dataset) -> QueryBatch {
+        use lmfao_expr::{CmpOp, ProductTerm, ScalarFunction};
+        let label = ds.attr(&self.label);
+        let mut batch = QueryBatch::new();
+        batch.push(
+            "rt_parent",
+            vec![],
+            vec![
+                Aggregate::count(),
+                Aggregate::sum(label),
+                Aggregate::sum_square(label),
+            ],
+        );
+        for name in self.continuous.iter().filter(|n| **n != self.label) {
+            let attr = ds.attr(name);
+            // 20 candidate thresholds, as in the paper's setup.
+            let (lo, hi) = ds
+                .db
+                .relations()
+                .iter()
+                .find_map(|r| r.position(attr).and_then(|c| r.min_max(c)))
+                .map(|(lo, hi)| (lo.as_f64(), hi.as_f64()))
+                .unwrap_or((0.0, 1.0));
+            for b in 1..=20 {
+                let t = lo + (hi - lo) * b as f64 / 21.0;
+                let cond = ScalarFunction::Indicator {
+                    attr,
+                    op: CmpOp::Le,
+                    threshold: lmfao_data::Value::Double(t),
+                };
+                batch.push(
+                    format!("rt_{name}_{b}"),
+                    vec![],
+                    vec![
+                        Aggregate::product(ProductTerm::single(cond.clone())),
+                        Aggregate::product(
+                            ProductTerm::single(cond.clone())
+                                .times(ScalarFunction::Identity(label)),
+                        ),
+                        Aggregate::product(ProductTerm::single(cond).times(
+                            ScalarFunction::Power {
+                                attr: label,
+                                exponent: 2,
+                            },
+                        )),
+                    ],
+                );
+            }
+        }
+        for name in &self.categorical {
+            let attr = ds.attr(name);
+            batch.push(
+                format!("rt_cat_{name}"),
+                vec![attr],
+                vec![
+                    Aggregate::count(),
+                    Aggregate::sum(label),
+                    Aggregate::sum_square(label),
+                ],
+            );
+        }
+        batch
+    }
+
+    /// The pairwise mutual-information batch (MI workload).
+    pub fn mutual_info_batch(&self, ds: &Dataset) -> QueryBatch {
+        mutual_info_batch(&Self::attrs(ds, &self.mutual_info)).batch
+    }
+
+    /// The data-cube batch (DC workload): three dimensions, five measures.
+    pub fn datacube_batch(&self, ds: &Dataset) -> QueryBatch {
+        datacube_batch(
+            &Self::attrs(ds, &self.cube_dims),
+            &Self::attrs(ds, &self.cube_measures),
+        )
+        .batch
+    }
+
+    /// All four named workloads of Tables 2 and 3.
+    pub fn workloads(&self, ds: &Dataset) -> Vec<(&'static str, QueryBatch)> {
+        vec![
+            ("CM", self.covar_batch(ds)),
+            ("RT", self.rt_node_batch(ds)),
+            ("MI", self.mutual_info_batch(ds)),
+            ("DC", self.datacube_batch(ds)),
+        ]
+    }
+}
+
+/// Builds an LMFAO engine for a dataset with the given configuration.
+pub fn engine_for(ds: &Dataset, config: EngineConfig) -> Engine {
+    Engine::new(ds.db.clone(), ds.tree.clone(), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmfao_datagen::Scale;
+
+    #[test]
+    fn workload_specs_resolve_for_all_datasets() {
+        for ds in lmfao_datagen::all_datasets(Scale::small()) {
+            let spec = WorkloadSpec::for_dataset(&ds.name);
+            let workloads = spec.workloads(&ds);
+            assert_eq!(workloads.len(), 4);
+            for (name, batch) in &workloads {
+                assert!(!batch.is_empty(), "{}/{name} batch is empty", ds.name);
+            }
+            // The DC workload always has 2^3 = 8 queries.
+            assert_eq!(workloads[3].1.len(), 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no workload specification")]
+    fn unknown_dataset_panics() {
+        WorkloadSpec::for_dataset("Unknown");
+    }
+
+    #[test]
+    fn engines_execute_the_count_workload() {
+        let ds = lmfao_datagen::favorita::generate(Scale::small());
+        let spec = WorkloadSpec::for_dataset(&ds.name);
+        let engine = engine_for(&ds, EngineConfig::default());
+        let result = engine.execute(&spec.count_batch(&ds));
+        assert!(result.queries[0].scalar()[0] > 0.0);
+    }
+}

@@ -1,0 +1,460 @@
+//! The LMFAO engine façade: ties all layers together.
+//!
+//! ```no_run
+//! # use lmfao_core::{Engine, EngineConfig};
+//! # use lmfao_expr::{Aggregate, QueryBatch};
+//! # fn demo(db: lmfao_data::Database, tree: lmfao_jointree::JoinTree) {
+//! let engine = Engine::new(db, tree, EngineConfig::default());
+//! let mut batch = QueryBatch::new();
+//! batch.push("count", vec![], vec![Aggregate::count()]);
+//! let result = engine.execute(&batch);
+//! println!("count = {}", result.queries[0].scalar()[0]);
+//! # }
+//! ```
+
+use crate::config::EngineConfig;
+use crate::group::group_views;
+use crate::interp::execute_view_interpreted;
+use crate::parallel::execute_all;
+use crate::plan::{build_group_plan, prepare_database, GroupPlan};
+use crate::pushdown::{push_down_batch, PushdownResult};
+use crate::roots::{assign_roots, RootAssignment};
+use crate::view::{ComputedView, ViewId};
+use lmfao_data::{AttrId, Database, FxHashMap, Value};
+use lmfao_expr::{DynamicRegistry, QueryBatch};
+use lmfao_jointree::JoinTree;
+
+/// Statistics about an optimized batch: the quantities reported in the
+/// paper's Table 2 (aggregates, views, groups) plus output sizes.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Aggregates requested by the application (column "A" of Table 2).
+    pub application_aggregates: usize,
+    /// Additional intermediate aggregates synthesized by the engine across
+    /// all directional views (column "I").
+    pub intermediate_aggregates: usize,
+    /// Number of consolidated views (column "V").
+    pub num_views: usize,
+    /// Number of view groups (column "G").
+    pub num_groups: usize,
+    /// Number of distinct join-tree roots used by the batch.
+    pub num_roots: usize,
+    /// Size of the query outputs in bytes.
+    pub output_size_bytes: usize,
+}
+
+/// The result of one query of a batch.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Query name (copied from the batch).
+    pub name: String,
+    /// Group-by attributes in the order of the key tuples below (this is the
+    /// query's requested order).
+    pub group_by: Vec<AttrId>,
+    /// Number of aggregates per key.
+    pub num_aggregates: usize,
+    /// Key tuple → aggregate values. Keys absent from the map have all-zero
+    /// aggregates (the corresponding group has no joining tuples).
+    pub data: FxHashMap<Vec<Value>, Vec<f64>>,
+}
+
+impl QueryResult {
+    /// The aggregate values for a group, if present.
+    pub fn get(&self, key: &[Value]) -> Option<&[f64]> {
+        self.data.get(key).map(Vec::as_slice)
+    }
+
+    /// The aggregates of a scalar query (no group-by). Returns zeros if the
+    /// join is empty.
+    pub fn scalar(&self) -> Vec<f64> {
+        self.data
+            .get(&Vec::new() as &Vec<Value>)
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; self.num_aggregates])
+    }
+
+    /// Number of groups in the result.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the result has no groups.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Iterates over `(key, aggregates)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<f64>)> {
+        self.data.iter()
+    }
+
+    /// Approximate size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        let width = self.group_by.len() * std::mem::size_of::<Value>()
+            + self.num_aggregates * std::mem::size_of::<f64>();
+        self.data.len() * width
+    }
+}
+
+/// The result of executing a whole batch.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// One result per query, in batch order.
+    pub queries: Vec<QueryResult>,
+    /// Optimizer/execution statistics.
+    pub stats: EngineStats,
+}
+
+/// The LMFAO engine: owns the (sorted) database and the join tree, and
+/// evaluates query batches according to its configuration.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    db: Database,
+    tree: JoinTree,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine. Relations are sorted by the attribute orders of
+    /// their join-tree nodes (required by the trie scans), and statistics are
+    /// refreshed.
+    pub fn new(mut db: Database, tree: JoinTree, config: EngineConfig) -> Self {
+        db.recompute_statistics();
+        prepare_database(&mut db, &tree);
+        Engine { db, tree, config }
+    }
+
+    /// The engine's database (sorted by join attributes).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The join tree.
+    pub fn tree(&self) -> &JoinTree {
+        &self.tree
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration (used by the ablation benchmarks).
+    pub fn set_config(&mut self, config: EngineConfig) {
+        self.config = config;
+    }
+
+    /// Runs the optimizer layers only (roots, pushdown, merging, grouping)
+    /// and reports the Table-2 style statistics without executing.
+    pub fn plan_only(&self, batch: &QueryBatch) -> EngineStats {
+        let (roots, pd, grouping_len) = self.optimize(batch);
+        let _ = roots;
+        EngineStats {
+            application_aggregates: batch.num_aggregates(),
+            intermediate_aggregates: pd
+                .catalog
+                .total_aggregates()
+                .saturating_sub(batch.num_aggregates()),
+            num_views: pd.catalog.len(),
+            num_groups: grouping_len,
+            num_roots: roots_count(&roots),
+            output_size_bytes: 0,
+        }
+    }
+
+    fn optimize(&self, batch: &QueryBatch) -> (RootAssignment, PushdownResult, usize) {
+        let roots = assign_roots(batch, &self.tree, &self.db, &self.config);
+        let pd = push_down_batch(batch, &self.tree, &roots);
+        let grouping = group_views(&pd.catalog, self.config.multi_output);
+        (roots, pd, grouping.len())
+    }
+
+    /// Evaluates a batch with an empty dynamic-function registry.
+    pub fn execute(&self, batch: &QueryBatch) -> BatchResult {
+        self.execute_with_dynamics(batch, &DynamicRegistry::new())
+    }
+
+    /// Evaluates a batch, resolving dynamic UDAFs through `dynamics`.
+    pub fn execute_with_dynamics(
+        &self,
+        batch: &QueryBatch,
+        dynamics: &DynamicRegistry,
+    ) -> BatchResult {
+        let roots = assign_roots(batch, &self.tree, &self.db, &self.config);
+        let pd = push_down_batch(batch, &self.tree, &roots);
+        let grouping = group_views(&pd.catalog, self.config.multi_output);
+
+        let computed: FxHashMap<ViewId, ComputedView> = if self.config.specialization {
+            let plans: Vec<GroupPlan> = grouping
+                .groups
+                .iter()
+                .map(|g| build_group_plan(&self.db, &self.tree, &pd.catalog, g))
+                .collect();
+            execute_all(&self.db, &plans, &grouping, dynamics, &self.config)
+        } else {
+            // Interpreted path: one scan per view, in dependency order.
+            let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+            for vid in pd.catalog.topological_order() {
+                let cv = execute_view_interpreted(
+                    &self.db,
+                    &self.tree,
+                    &pd.catalog,
+                    vid,
+                    &computed,
+                    dynamics,
+                );
+                computed.insert(vid, cv);
+            }
+            computed
+        };
+
+        // Project query results out of the (merged) output views.
+        let mut queries = Vec::with_capacity(batch.len());
+        let mut output_bytes = 0usize;
+        for (query, output) in batch.queries.iter().zip(&pd.outputs) {
+            let view = pd.catalog.view(output.view);
+            let cv = computed
+                .get(&output.view)
+                .expect("output view must be computed");
+            // Keys of the computed view are in the view's canonical (sorted)
+            // order; re-order them to the query's requested order.
+            let perm: Vec<usize> = query
+                .group_by
+                .iter()
+                .map(|a| {
+                    view.group_by
+                        .iter()
+                        .position(|b| b == a)
+                        .expect("query group-by attr must be a view key attr")
+                })
+                .collect();
+            let mut data: FxHashMap<Vec<Value>, Vec<f64>> = FxHashMap::default();
+            for (key, values) in cv.iter() {
+                let reordered: Vec<Value> = perm.iter().map(|&p| key[p]).collect();
+                let selected: Vec<f64> = output
+                    .aggregate_indices
+                    .iter()
+                    .map(|&i| values[i])
+                    .collect();
+                let entry = data
+                    .entry(reordered)
+                    .or_insert_with(|| vec![0.0; output.aggregate_indices.len()]);
+                for (e, v) in entry.iter_mut().zip(&selected) {
+                    *e += v;
+                }
+            }
+            let result = QueryResult {
+                name: query.name.clone(),
+                group_by: query.group_by.clone(),
+                num_aggregates: query.aggregates.len(),
+                data,
+            };
+            output_bytes += result.size_bytes();
+            queries.push(result);
+        }
+
+        let stats = EngineStats {
+            application_aggregates: batch.num_aggregates(),
+            intermediate_aggregates: pd
+                .catalog
+                .total_aggregates()
+                .saturating_sub(batch.num_aggregates()),
+            num_views: pd.catalog.len(),
+            num_groups: grouping.len(),
+            num_roots: roots_count(&roots),
+            output_size_bytes: output_bytes,
+        };
+        BatchResult { queries, stats }
+    }
+}
+
+fn roots_count(roots: &RootAssignment) -> usize {
+    roots.num_distinct_roots()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmfao_data::{AttrType, DatabaseSchema, Relation, RelationSchema};
+    use lmfao_expr::Aggregate;
+    use lmfao_jointree::{build_join_tree, natural_join, Hypergraph};
+
+    /// A three-relation chain with a few dozen tuples, large enough that the
+    /// different configurations genuinely exercise different code paths.
+    fn chain_db() -> (Database, JoinTree) {
+        let mut schema = DatabaseSchema::new();
+        schema.add_relation_with_attrs(
+            "S1",
+            &[("x1", AttrType::Int), ("x2", AttrType::Int), ("u", AttrType::Double)],
+        );
+        schema.add_relation_with_attrs("S2", &[("x2", AttrType::Int), ("x3", AttrType::Int)]);
+        schema.add_relation_with_attrs("S3", &[("x3", AttrType::Int), ("v", AttrType::Double)]);
+        let ids: Vec<AttrId> = ["x1", "x2", "u", "x3", "v"]
+            .iter()
+            .map(|n| schema.attr_id(n).unwrap())
+            .collect();
+        let (x1, x2, u, x3, v) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+        let mut s1_rows = Vec::new();
+        for i in 0..30i64 {
+            s1_rows.push(vec![
+                Value::Int(i % 7),
+                Value::Int(i % 5),
+                Value::Double((i % 4) as f64),
+            ]);
+        }
+        let s1 = Relation::from_rows(RelationSchema::new("S1", vec![x1, x2, u]), s1_rows).unwrap();
+        let s2 = Relation::from_rows(
+            RelationSchema::new("S2", vec![x2, x3]),
+            (0..5)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 3)])
+                .collect(),
+        )
+        .unwrap();
+        let s3 = Relation::from_rows(
+            RelationSchema::new("S3", vec![x3, v]),
+            (0..3)
+                .map(|i| vec![Value::Int(i), Value::Double((10 * (i + 1)) as f64)])
+                .collect(),
+        )
+        .unwrap();
+        let db = Database::new(schema.clone(), vec![s1, s2, s3]).unwrap();
+        let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+        (db, tree)
+    }
+
+    /// Brute-force reference: materialize the join and aggregate directly.
+    fn reference_sum_product(db: &Database, a: AttrId, b: AttrId) -> f64 {
+        let rels: Vec<&Relation> = db.relations().iter().collect();
+        let join = natural_join(&rels, "J");
+        let pa = join.position(a).unwrap();
+        let pb = join.position(b).unwrap();
+        (0..join.len())
+            .map(|i| join.value(i, pa).as_f64() * join.value(i, pb).as_f64())
+            .sum()
+    }
+
+    fn covar_batch(db: &Database) -> QueryBatch {
+        let u = db.schema().attr_id("u").unwrap();
+        let v = db.schema().attr_id("v").unwrap();
+        let x1 = db.schema().attr_id("x1").unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        batch.push("uu", vec![], vec![Aggregate::sum_square(u)]);
+        batch.push("uv", vec![], vec![Aggregate::sum_product(u, v)]);
+        batch.push("vv", vec![], vec![Aggregate::sum_square(v)]);
+        batch.push("per_x1", vec![x1], vec![Aggregate::sum(v), Aggregate::count()]);
+        batch
+    }
+
+    #[test]
+    fn all_configurations_agree_with_the_materialized_join() {
+        let (db, tree) = chain_db();
+        let u = db.schema().attr_id("u").unwrap();
+        let v = db.schema().attr_id("v").unwrap();
+        let expected_uv = reference_sum_product(&db, u, v);
+        let expected_uu = reference_sum_product(&db, u, u);
+        let batch = covar_batch(&db);
+        for (name, cfg) in EngineConfig::ablation_ladder(2) {
+            let engine = Engine::new(db.clone(), tree.clone(), cfg);
+            let result = engine.execute(&batch);
+            assert_eq!(result.queries[1].scalar()[0], expected_uu, "{name}");
+            assert_eq!(result.queries[2].scalar()[0], expected_uv, "{name}");
+            assert!(result.queries[0].scalar()[0] > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn group_by_results_are_identical_across_configurations() {
+        let (db, tree) = chain_db();
+        let batch = covar_batch(&db);
+        let reference = Engine::new(db.clone(), tree.clone(), EngineConfig::unoptimized())
+            .execute(&batch);
+        for (name, cfg) in EngineConfig::ablation_ladder(2).into_iter().skip(1) {
+            let result = Engine::new(db.clone(), tree.clone(), cfg).execute(&batch);
+            let r = &result.queries[4];
+            let e = &reference.queries[4];
+            assert_eq!(r.len(), e.len(), "{name}");
+            for (key, vals) in e.iter() {
+                let got = r.get(key).unwrap_or_else(|| panic!("{name}: missing {key:?}"));
+                for (g, w) in got.iter().zip(vals) {
+                    assert!((g - w).abs() < 1e-9, "{name}: {key:?} {got:?} vs {vals:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reflect_sharing() {
+        let (db, tree) = chain_db();
+        let batch = covar_batch(&db);
+        let engine = Engine::new(db, tree, EngineConfig::default());
+        let result = engine.execute(&batch);
+        let stats = &result.stats;
+        assert_eq!(stats.application_aggregates, 6);
+        // Far fewer views than aggregates × edges.
+        assert!(stats.num_views < 6 * 2 + 5);
+        assert!(stats.num_groups <= stats.num_views);
+        assert!(stats.num_roots >= 1);
+        assert!(stats.output_size_bytes > 0);
+        // plan_only agrees with the executed stats on the optimizer counters.
+        let planned = engine.plan_only(&batch);
+        assert_eq!(planned.num_views, stats.num_views);
+        assert_eq!(planned.num_groups, stats.num_groups);
+        assert_eq!(planned.application_aggregates, stats.application_aggregates);
+    }
+
+    #[test]
+    fn scalar_of_empty_join_is_zero() {
+        let (mut db, tree) = chain_db();
+        // Empty one relation: the join is empty and every aggregate is 0.
+        let schema = db.relation("S3").unwrap().schema().clone();
+        *db.relation_mut("S3").unwrap() = Relation::new(schema);
+        db.recompute_statistics();
+        let batch = covar_batch(&db);
+        let engine = Engine::new(db, tree, EngineConfig::default());
+        let result = engine.execute(&batch);
+        assert_eq!(result.queries[0].scalar()[0], 0.0);
+        assert!(result.queries[4].is_empty());
+    }
+
+    #[test]
+    fn dynamic_functions_change_results_between_iterations() {
+        let (db, tree) = chain_db();
+        let u = db.schema().attr_id("u").unwrap();
+        let mut dynamics = DynamicRegistry::new();
+        let cond = dynamics.register(|args| if args[0].as_f64() <= 1.0 { 1.0 } else { 0.0 });
+        let mut batch = QueryBatch::new();
+        batch.push(
+            "dyn_count",
+            vec![],
+            vec![Aggregate::product(lmfao_expr::ProductTerm::single(
+                lmfao_expr::ScalarFunction::Dynamic {
+                    id: cond,
+                    attrs: vec![u],
+                },
+            ))],
+        );
+        let engine = Engine::new(db, tree, EngineConfig::default());
+        let first = engine.execute_with_dynamics(&batch, &dynamics).queries[0].scalar()[0];
+        dynamics.replace(cond, |_| 1.0);
+        let second = engine.execute_with_dynamics(&batch, &dynamics).queries[0].scalar()[0];
+        assert!(first < second, "loosening the predicate must grow the count");
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        let (db, tree) = chain_db();
+        let batch = covar_batch(&db);
+        let seq = Engine::new(db.clone(), tree.clone(), EngineConfig::full(1)).execute(&batch);
+        let par = Engine::new(db, tree, EngineConfig::full(4)).execute(&batch);
+        for (s, p) in seq.queries.iter().zip(&par.queries) {
+            assert_eq!(s.len(), p.len());
+            for (key, vals) in s.iter() {
+                let got = p.get(key).unwrap();
+                for (a, b) in vals.iter().zip(got) {
+                    assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,764 @@
+//! Execution of multi-output group plans.
+//!
+//! One call to [`execute_group`] computes *all* views of a group in a single
+//! scan of the group's relation, following the plan built by [`crate::plan`]:
+//! a multi-way nested loop over the attribute order (one loop per join
+//! attribute, implemented over the sorted relation's trie ranges), with
+//! per-depth partial-product registers, lookups into incoming views at the
+//! depth where their keys are bound, shared local expressions summed once per
+//! innermost range, and inner loops over the matching entries of incoming
+//! views that carry extra key attributes. This mirrors the specialized C++
+//! code the paper generates (Figure 4), expressed as a register program
+//! instead of generated source.
+
+use crate::plan::{DepthUpdate, GroupPlan, IncomingPlan, KeySource, OutputPlan, TermPlan};
+use crate::view::{ComputedView, ViewId};
+use lmfao_data::{AttrId, Database, FxHashMap, Relation, TrieScan, Value};
+use lmfao_expr::{DynamicRegistry, ScalarFunction};
+use std::ops::Range;
+
+/// Runtime representation of an incoming view.
+enum IncomingData<'a> {
+    /// The view has no extra key attributes: probe its result directly.
+    Direct(&'a ComputedView),
+    /// The view carries extra key attributes: its entries are re-indexed by
+    /// the bound part of the key; each entry holds the extra key values and
+    /// the aggregate payload.
+    Indexed(FxHashMap<Vec<Value>, Vec<(Vec<Value>, Vec<f64>)>>),
+    /// The view has not been computed (defensive; yields empty results).
+    Missing,
+}
+
+/// Evaluates a scalar function under an attribute-value lookup, routing
+/// dynamic functions through the registry.
+#[inline]
+fn eval_factor<F>(f: &ScalarFunction, lookup: &F, dynamics: &DynamicRegistry) -> f64
+where
+    F: Fn(AttrId) -> Value,
+{
+    match f {
+        ScalarFunction::Dynamic { id, attrs } => {
+            let args: Vec<Value> = attrs.iter().map(|&a| lookup(a)).collect();
+            dynamics.evaluate(*id, &args)
+        }
+        other => other.evaluate(lookup),
+    }
+}
+
+/// Immutable execution context shared across the recursion.
+struct Ctx<'a> {
+    plan: &'a GroupPlan,
+    relation: &'a Relation,
+    trie: TrieScan<'a>,
+    dynamics: &'a DynamicRegistry,
+    incoming: &'a [IncomingData<'a>],
+    /// Column position of each attribute in the scanned relation (`usize::MAX`
+    /// when the attribute is not a column of it).
+    col_of_attr: Vec<usize>,
+}
+
+/// Mutable execution state.
+struct State<'a> {
+    /// Partial-product registers, one vector per depth (0..=depth).
+    prefix: Vec<Vec<f64>>,
+    /// Values bound at each depth of the attribute order.
+    bound: Vec<Value>,
+    /// Matching entry lists of indexed incoming views for the current path.
+    probed: Vec<Option<&'a Vec<(Vec<Value>, Vec<f64>)>>>,
+    /// Per-local-expression sums for the current innermost range.
+    local_sums: Vec<f64>,
+    /// Accumulated outputs, one per output plan.
+    outputs: Vec<ComputedView>,
+    /// Running totals for scalar outputs (no group-by attributes): these are
+    /// accumulated in plain registers and written to the output map once at
+    /// the end of the scan, avoiding a hash probe per innermost binding.
+    scalar_acc: Vec<Vec<f64>>,
+}
+
+/// Executes a group plan over (a partition of) its relation, returning one
+/// computed view per output plan. Partitions may split arbitrary row ranges:
+/// results of different partitions merge by element-wise addition because all
+/// aggregates are sums over the scanned tuples.
+pub fn execute_group(
+    db: &Database,
+    plan: &GroupPlan,
+    computed: &FxHashMap<ViewId, ComputedView>,
+    dynamics: &DynamicRegistry,
+    partition: Option<Range<usize>>,
+) -> Vec<(ViewId, ComputedView)> {
+    let relation = db
+        .relation(&plan.relation)
+        .expect("group relation must exist");
+
+    let incoming: Vec<IncomingData> = plan
+        .incoming
+        .iter()
+        .map(|inc| prepare_incoming(inc, computed))
+        .collect();
+
+    let mut col_of_attr = vec![usize::MAX; db.schema().num_attributes()];
+    for (pos, &attr) in relation.schema().attrs.iter().enumerate() {
+        col_of_attr[attr.index()] = pos;
+    }
+
+    let ctx = Ctx {
+        plan,
+        relation,
+        trie: TrieScan::new(relation, plan.attr_order_cols.clone()),
+        dynamics,
+        incoming: &incoming,
+        col_of_attr,
+    };
+
+    let depth = plan.depth();
+    let mut state = State {
+        prefix: vec![vec![1.0; plan.num_slots]; depth + 1],
+        bound: vec![Value::Null; depth],
+        probed: vec![None; plan.incoming.len()],
+        local_sums: vec![0.0; plan.local_exprs.len()],
+        outputs: plan
+            .outputs
+            .iter()
+            .map(|o| ComputedView::new(o.key_attrs.clone(), o.aggregates.len()))
+            .collect(),
+        scalar_acc: plan
+            .outputs
+            .iter()
+            .map(|o| vec![0.0; o.aggregates.len()])
+            .collect(),
+    };
+
+    // Depth-0 program: constants and incoming views with no bound keys.
+    apply_program(&ctx, &mut state, 0);
+    let range = partition.unwrap_or(0..relation.len());
+    if !all_zero(&state.prefix[0]) || plan.num_slots == 0 {
+        recurse(&ctx, &mut state, 0, range);
+    }
+
+    // Flush the scalar accumulators into their output views.
+    for (oi, output) in plan.outputs.iter().enumerate() {
+        if output.key_sources.is_empty() && state.scalar_acc[oi].iter().any(|v| *v != 0.0) {
+            let acc = state.scalar_acc[oi].clone();
+            state.outputs[oi].add(Vec::new(), &acc);
+        }
+    }
+
+    plan.outputs
+        .iter()
+        .zip(state.outputs)
+        .map(|(o, cv)| (o.view, cv))
+        .collect()
+}
+
+fn prepare_incoming<'a>(
+    inc: &IncomingPlan,
+    computed: &'a FxHashMap<ViewId, ComputedView>,
+) -> IncomingData<'a> {
+    let Some(cv) = computed.get(&inc.view) else {
+        return IncomingData::Missing;
+    };
+    if !inc.has_extras() {
+        return IncomingData::Direct(cv);
+    }
+    let mut index: FxHashMap<Vec<Value>, Vec<(Vec<Value>, Vec<f64>)>> = FxHashMap::default();
+    for (key, aggs) in cv.iter() {
+        let bound_part: Vec<Value> = inc.bound_positions.iter().map(|&p| key[p]).collect();
+        let extra_part: Vec<Value> = inc.extras.iter().map(|&(_, p)| key[p]).collect();
+        index
+            .entry(bound_part)
+            .or_default()
+            .push((extra_part, aggs.clone()));
+    }
+    IncomingData::Indexed(index)
+}
+
+fn all_zero(v: &[f64]) -> bool {
+    !v.is_empty() && v.iter().all(|&x| x == 0.0)
+}
+
+/// The value of `attr` in the current scan context: a bound join attribute,
+/// or a column of the relation read from `row` when available.
+#[inline]
+fn context_value(ctx: &Ctx<'_>, state: &State<'_>, attr: AttrId, row: Option<usize>) -> Value {
+    if let Some(depth) = ctx.plan.attr_order.iter().position(|a| *a == attr) {
+        return state.bound[depth];
+    }
+    if let Some(r) = row {
+        let col = ctx.col_of_attr[attr.index()];
+        if col != usize::MAX {
+            return ctx.relation.value(r, col);
+        }
+    }
+    Value::Null
+}
+
+/// Builds the probe key of an incoming view from the current bindings.
+fn probe_key(ctx: &Ctx<'_>, state: &State<'_>, inc: &IncomingPlan, row: Option<usize>) -> Vec<Value> {
+    inc.bound
+        .iter()
+        .map(|&(attr, _col)| context_value(ctx, state, attr, row))
+        .collect()
+}
+
+/// Applies the register program of `depth` (copying the parent registers
+/// first) and resolves the incoming views registered at that depth.
+fn apply_program<'a>(ctx: &Ctx<'a>, state: &mut State<'a>, depth: usize) {
+    if depth > 0 {
+        let (parents, rest) = state.prefix.split_at_mut(depth);
+        rest[0].copy_from_slice(&parents[depth - 1]);
+    }
+
+    // Resolve incoming views registered at this depth.
+    // A representative row of the current range is not available here; probe
+    // keys only use bound join attributes, which is guaranteed for the views
+    // produced by the pushdown layer.
+    for (idx, inc) in ctx.plan.incoming.iter().enumerate() {
+        if inc.probe_depth != depth {
+            continue;
+        }
+        if let IncomingData::Indexed(map) = &ctx.incoming[idx] {
+            let key = probe_key(ctx, state, inc, None);
+            state.probed[idx] = map.get(&key);
+        }
+    }
+
+    // Probe direct views once per view, then apply updates.
+    let mut direct_cache: Vec<Option<Option<&[f64]>>> = vec![None; ctx.plan.incoming.len()];
+    for update in &ctx.plan.programs[depth] {
+        match update {
+            DepthUpdate::Constant { slot, value } => {
+                state.prefix[depth][*slot] *= value;
+            }
+            DepthUpdate::Factor { slot, factor } => {
+                let bound = &state.bound;
+                let order = &ctx.plan.attr_order;
+                let lookup = |a: AttrId| {
+                    order
+                        .iter()
+                        .position(|x| *x == a)
+                        .map(|p| bound[p])
+                        .unwrap_or(Value::Null)
+                };
+                state.prefix[depth][*slot] *= eval_factor(factor, &lookup, ctx.dynamics);
+            }
+            DepthUpdate::ScalarView {
+                slot,
+                incoming,
+                agg,
+            } => {
+                if direct_cache[*incoming].is_none() {
+                    let inc = &ctx.plan.incoming[*incoming];
+                    let probed = match &ctx.incoming[*incoming] {
+                        IncomingData::Direct(cv) => {
+                            let key = probe_key(ctx, state, inc, None);
+                            cv.get(&key)
+                        }
+                        _ => None,
+                    };
+                    direct_cache[*incoming] = Some(probed);
+                }
+                match direct_cache[*incoming].unwrap() {
+                    Some(values) => state.prefix[depth][*slot] *= values[*agg],
+                    None => state.prefix[depth][*slot] = 0.0,
+                }
+            }
+        }
+    }
+}
+
+fn recurse<'a>(ctx: &Ctx<'a>, state: &mut State<'a>, depth: usize, range: Range<usize>) {
+    if depth == ctx.plan.depth() {
+        process_innermost(ctx, state, range);
+        return;
+    }
+    let groups: Vec<(Value, Range<usize>)> = ctx.trie.children(depth, range).collect();
+    for (value, child_range) in groups {
+        state.bound[depth] = value;
+        apply_program(ctx, state, depth + 1);
+        if all_zero(&state.prefix[depth + 1]) {
+            continue;
+        }
+        recurse(ctx, state, depth + 1, child_range);
+    }
+}
+
+/// Computes the local-expression sums for the innermost range.
+fn compute_local_sums(ctx: &Ctx<'_>, state: &mut State<'_>, range: &Range<usize>) {
+    let exprs = &ctx.plan.local_exprs;
+    let mut any_nonempty = false;
+    for (i, e) in exprs.iter().enumerate() {
+        if e.factors.is_empty() {
+            state.local_sums[i] = range.len() as f64;
+        } else {
+            state.local_sums[i] = 0.0;
+            any_nonempty = true;
+        }
+    }
+    if !any_nonempty {
+        return;
+    }
+    for row in range.clone() {
+        let relation = ctx.relation;
+        let col_of_attr = &ctx.col_of_attr;
+        let lookup = |a: AttrId| {
+            let col = col_of_attr[a.index()];
+            if col == usize::MAX {
+                Value::Null
+            } else {
+                relation.value(row, col)
+            }
+        };
+        for (i, e) in exprs.iter().enumerate() {
+            if e.factors.is_empty() {
+                continue;
+            }
+            let mut prod = 1.0;
+            for f in &e.factors {
+                prod *= eval_factor(f, &lookup, ctx.dynamics);
+                if prod == 0.0 {
+                    break;
+                }
+            }
+            state.local_sums[i] += prod;
+        }
+    }
+}
+
+/// Looks up `attr` in the extra keys of the current combination entries,
+/// falling back to the bound join attributes.
+fn combo_value(
+    ctx: &Ctx<'_>,
+    state: &State<'_>,
+    term: &TermPlan,
+    combo: &[&(Vec<Value>, Vec<f64>)],
+    attr: AttrId,
+    row: Option<usize>,
+) -> Value {
+    for (pos, &inc_idx) in term.extra_views.iter().enumerate() {
+        let inc = &ctx.plan.incoming[inc_idx];
+        if let Some(j) = inc.extras.iter().position(|&(a, _)| a == attr) {
+            return combo[pos].0[j];
+        }
+    }
+    context_value(ctx, state, attr, row)
+}
+
+/// Builds an output key from the configured key sources.
+fn build_key(
+    ctx: &Ctx<'_>,
+    state: &State<'_>,
+    output: &OutputPlan,
+    term: Option<&TermPlan>,
+    combo: &[&(Vec<Value>, Vec<f64>)],
+    row: Option<usize>,
+) -> Vec<Value> {
+    output
+        .key_sources
+        .iter()
+        .map(|src| match src {
+            KeySource::BoundDepth(d) => state.bound[*d],
+            KeySource::RowColumn(col) => match row {
+                Some(r) => ctx.relation.value(r, *col),
+                None => Value::Null,
+            },
+            KeySource::Extra(attr) => match term {
+                Some(t) => combo_value(ctx, state, t, combo, *attr, row),
+                None => Value::Null,
+            },
+        })
+        .collect()
+}
+
+fn process_innermost(ctx: &Ctx<'_>, state: &mut State<'_>, range: Range<usize>) {
+    compute_local_sums(ctx, state, &range);
+    let deepest = ctx.plan.depth();
+
+    for (oi, output) in ctx.plan.outputs.iter().enumerate() {
+        for agg in &output.aggregates {
+            for term in &agg.terms {
+                let base = state.prefix[deepest][term.slot];
+                if base == 0.0 {
+                    continue;
+                }
+                if term.extra_views.is_empty() {
+                    emit_term(ctx, state, oi, output, agg.index, term, base, &[], &range);
+                } else {
+                    // Gather the matching entry lists; a missing list means no
+                    // joining tuples below, hence no contribution.
+                    let mut lists: Vec<&Vec<(Vec<Value>, Vec<f64>)>> =
+                        Vec::with_capacity(term.extra_views.len());
+                    let mut ok = true;
+                    for &iv in &term.extra_views {
+                        match state.probed[iv] {
+                            Some(list) if !list.is_empty() => lists.push(list),
+                            _ => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    // Odometer over the cartesian product of the entry lists.
+                    let mut idx = vec![0usize; lists.len()];
+                    loop {
+                        let combo: Vec<&(Vec<Value>, Vec<f64>)> =
+                            lists.iter().zip(&idx).map(|(l, &i)| &l[i]).collect();
+                        let mut val = base;
+                        for &(inc_idx, agg_idx) in &term.extra_refs {
+                            let pos = term
+                                .extra_views
+                                .iter()
+                                .position(|&v| v == inc_idx)
+                                .expect("extra ref view must be an extra view");
+                            val *= combo[pos].1[agg_idx];
+                        }
+                        if val != 0.0 {
+                            emit_term(ctx, state, oi, output, agg.index, term, val, &combo, &range);
+                        }
+                        // advance odometer
+                        let mut k = lists.len();
+                        loop {
+                            if k == 0 {
+                                break;
+                            }
+                            k -= 1;
+                            idx[k] += 1;
+                            if idx[k] < lists[k].len() {
+                                break;
+                            }
+                            idx[k] = 0;
+                            if k == 0 {
+                                k = usize::MAX;
+                                break;
+                            }
+                        }
+                        if k == usize::MAX {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Emits the contributions of one term under a fixed entry combination.
+#[allow(clippy::too_many_arguments)]
+fn emit_term(
+    ctx: &Ctx<'_>,
+    state: &mut State<'_>,
+    output_idx: usize,
+    output: &OutputPlan,
+    agg_index: usize,
+    term: &TermPlan,
+    mut value: f64,
+    combo: &[&(Vec<Value>, Vec<f64>)],
+    range: &Range<usize>,
+) {
+    // Factors over carried attributes (evaluated against the combination).
+    for f in &term.extra_factors {
+        let lookup = |a: AttrId| combo_value(ctx, state, term, combo, a, None);
+        value *= eval_factor(f, &lookup, ctx.dynamics);
+        if value == 0.0 {
+            return;
+        }
+    }
+
+    if output.key_sources.is_empty() {
+        // Scalar output: accumulate in a register, no key to build.
+        let contribution = value * state.local_sums[term.local_expr];
+        if contribution != 0.0 {
+            state.scalar_acc[output_idx][agg_index] += contribution;
+        }
+        return;
+    }
+
+    if output.needs_row_loop {
+        // Per-row path: the key (and possibly the local factors) depend on
+        // non-join columns of the relation.
+        let factors = &ctx.plan.local_exprs[term.local_expr].factors;
+        for row in range.clone() {
+            let relation = ctx.relation;
+            let col_of_attr = &ctx.col_of_attr;
+            let lookup = |a: AttrId| {
+                let col = col_of_attr[a.index()];
+                if col == usize::MAX {
+                    Value::Null
+                } else {
+                    relation.value(row, col)
+                }
+            };
+            let mut v = value;
+            for f in factors {
+                v *= eval_factor(f, &lookup, ctx.dynamics);
+                if v == 0.0 {
+                    break;
+                }
+            }
+            if v == 0.0 {
+                continue;
+            }
+            let key = build_key(ctx, state, output, Some(term), combo, Some(row));
+            state.outputs[output_idx].add_single(key, agg_index, v);
+        }
+    } else {
+        let contribution = value * state.local_sums[term.local_expr];
+        if contribution == 0.0 {
+            return;
+        }
+        let row = if range.is_empty() { None } else { Some(range.start) };
+        let key = build_key(ctx, state, output, Some(term), combo, row);
+        state.outputs[output_idx].add_single(key, agg_index, contribution);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::group::group_views;
+    use crate::plan::{build_group_plan, prepare_database};
+    use crate::pushdown::push_down_batch;
+    use crate::roots::assign_roots;
+    use lmfao_data::{AttrType, DatabaseSchema, RelationSchema};
+    use lmfao_expr::{Aggregate, QueryBatch};
+    use lmfao_jointree::{build_join_tree, Hypergraph, JoinTree};
+
+    /// Sales(store, item, units) ⋈ Items(item, price):
+    ///   (1,1,3) (1,2,4) (2,1,5) ⋈ (1,10) (2,20)
+    /// Join: (1,1,3,10) (1,2,4,20) (2,1,5,10)
+    fn db_and_tree() -> (Database, JoinTree) {
+        let mut schema = DatabaseSchema::new();
+        schema.add_relation_with_attrs(
+            "Sales",
+            &[
+                ("store", AttrType::Int),
+                ("item", AttrType::Int),
+                ("units", AttrType::Double),
+            ],
+        );
+        schema.add_relation_with_attrs(
+            "Items",
+            &[("item", AttrType::Int), ("price", AttrType::Double)],
+        );
+        let store = schema.attr_id("store").unwrap();
+        let item = schema.attr_id("item").unwrap();
+        let units = schema.attr_id("units").unwrap();
+        let price = schema.attr_id("price").unwrap();
+        let sales = Relation::from_rows(
+            RelationSchema::new("Sales", vec![store, item, units]),
+            vec![
+                vec![Value::Int(1), Value::Int(1), Value::Double(3.0)],
+                vec![Value::Int(1), Value::Int(2), Value::Double(4.0)],
+                vec![Value::Int(2), Value::Int(1), Value::Double(5.0)],
+            ],
+        )
+        .unwrap();
+        let items = Relation::from_rows(
+            RelationSchema::new("Items", vec![item, price]),
+            vec![
+                vec![Value::Int(1), Value::Double(10.0)],
+                vec![Value::Int(2), Value::Double(20.0)],
+            ],
+        )
+        .unwrap();
+        let db = Database::new(schema.clone(), vec![sales, items]).unwrap();
+        let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+        (db, tree)
+    }
+
+    /// Runs the full stack (pushdown → group → plan → execute) and returns
+    /// the query results, keyed by query index.
+    fn run(batch: &QueryBatch, db: &mut Database, tree: &JoinTree, cfg: EngineConfig) -> Vec<ComputedView> {
+        let roots = assign_roots(batch, tree, db, &cfg);
+        let pd = push_down_batch(batch, tree, &roots);
+        let grouping = group_views(&pd.catalog, cfg.multi_output);
+        prepare_database(db, tree);
+        let dynamics = DynamicRegistry::new();
+        let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+        for gid in grouping.topological_order() {
+            let plan = build_group_plan(db, tree, &pd.catalog, &grouping.groups[gid]);
+            for (vid, cv) in execute_group(db, &plan, &computed, &dynamics, None) {
+                computed.insert(vid, cv);
+            }
+        }
+        pd.outputs
+            .iter()
+            .map(|o| {
+                let cv = computed[&o.view].clone();
+                // project the query's aggregates out of the merged output view
+                let mut projected = ComputedView::new(cv.key_attrs.clone(), o.aggregate_indices.len());
+                for (key, vals) in cv.iter() {
+                    let sel: Vec<f64> = o.aggregate_indices.iter().map(|&i| vals[i]).collect();
+                    projected.add(key.clone(), &sel);
+                }
+                projected
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scalar_count_and_sums_match_hand_computation() {
+        let (mut db, tree) = db_and_tree();
+        let units = db.schema().attr_id("units").unwrap();
+        let price = db.schema().attr_id("price").unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        batch.push("sum_units", vec![], vec![Aggregate::sum(units)]);
+        batch.push("sum_price", vec![], vec![Aggregate::sum(price)]);
+        batch.push("sum_up", vec![], vec![Aggregate::sum_product(units, price)]);
+        let results = run(&batch, &mut db, &tree, EngineConfig::default());
+        assert_eq!(results[0].scalar().unwrap()[0], 3.0);
+        assert_eq!(results[1].scalar().unwrap()[0], 3.0 + 4.0 + 5.0);
+        assert_eq!(results[2].scalar().unwrap()[0], 10.0 + 20.0 + 10.0);
+        assert_eq!(
+            results[3].scalar().unwrap()[0],
+            3.0 * 10.0 + 4.0 * 20.0 + 5.0 * 10.0
+        );
+    }
+
+    #[test]
+    fn group_by_join_attribute() {
+        let (mut db, tree) = db_and_tree();
+        let store = db.schema().attr_id("store").unwrap();
+        let units = db.schema().attr_id("units").unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push("per_store", vec![store], vec![Aggregate::sum(units), Aggregate::count()]);
+        let results = run(&batch, &mut db, &tree, EngineConfig::default());
+        let r = &results[0];
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(&[Value::Int(1)]).unwrap(), &[7.0, 2.0]);
+        assert_eq!(r.get(&[Value::Int(2)]).unwrap(), &[5.0, 1.0]);
+    }
+
+    #[test]
+    fn group_by_dimension_attribute() {
+        let (mut db, tree) = db_and_tree();
+        let price = db.schema().attr_id("price").unwrap();
+        let units = db.schema().attr_id("units").unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push("by_price", vec![price], vec![Aggregate::sum(units)]);
+        let results = run(&batch, &mut db, &tree, EngineConfig::default());
+        let r = &results[0];
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(&[Value::Double(10.0)]).unwrap(), &[8.0]);
+        assert_eq!(r.get(&[Value::Double(20.0)]).unwrap(), &[4.0]);
+    }
+
+    #[test]
+    fn group_by_spanning_fact_and_dimension_uses_extra_keys() {
+        // Group by (store, price): store lives in Sales, price in Items, so
+        // whatever the root, one side's attribute is carried as an extra key
+        // of an incoming view.
+        let (mut db, tree) = db_and_tree();
+        let store = db.schema().attr_id("store").unwrap();
+        let price = db.schema().attr_id("price").unwrap();
+        let units = db.schema().attr_id("units").unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push("by_store_price", vec![store, price], vec![Aggregate::sum(units)]);
+        let results = run(&batch, &mut db, &tree, EngineConfig::default());
+        let r = &results[0];
+        // Join tuples: (1,1,3,10) (1,2,4,20) (2,1,5,10); keys are in canonical
+        // (sorted AttrId) order, i.e. [store, price].
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(&[Value::Int(1), Value::Double(10.0)]).unwrap(), &[3.0]);
+        assert_eq!(r.get(&[Value::Int(1), Value::Double(20.0)]).unwrap(), &[4.0]);
+        assert_eq!(r.get(&[Value::Int(2), Value::Double(10.0)]).unwrap(), &[5.0]);
+    }
+
+    #[test]
+    fn group_by_non_join_fact_attribute() {
+        let (mut db, tree) = db_and_tree();
+        let units = db.schema().attr_id("units").unwrap();
+        let price = db.schema().attr_id("price").unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push("by_units", vec![units], vec![Aggregate::sum(price)]);
+        let results = run(&batch, &mut db, &tree, EngineConfig::default());
+        let r = &results[0];
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(&[Value::Double(3.0)]).unwrap(), &[10.0]);
+        assert_eq!(r.get(&[Value::Double(4.0)]).unwrap(), &[20.0]);
+        assert_eq!(r.get(&[Value::Double(5.0)]).unwrap(), &[10.0]);
+    }
+
+    #[test]
+    fn dangling_tuples_are_dropped_by_the_join() {
+        let (mut db, tree) = db_and_tree();
+        // Add a Sales row for an item that does not exist in Items.
+        let store = db.schema().attr_id("store").unwrap();
+        let _ = store;
+        db.relation_mut("Sales")
+            .unwrap()
+            .push_row(&[Value::Int(9), Value::Int(99), Value::Double(100.0)])
+            .unwrap();
+        db.recompute_statistics();
+        let units = db.schema().attr_id("units").unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        batch.push("sum_units", vec![], vec![Aggregate::sum(units)]);
+        let results = run(&batch, &mut db, &tree, EngineConfig::default());
+        // The dangling tuple must not contribute.
+        assert_eq!(results[0].scalar().unwrap()[0], 3.0);
+        assert_eq!(results[1].scalar().unwrap()[0], 12.0);
+    }
+
+    #[test]
+    fn indicator_conditions_select_fragments() {
+        let (mut db, tree) = db_and_tree();
+        let units = db.schema().attr_id("units").unwrap();
+        let price = db.schema().attr_id("price").unwrap();
+        // SUM(units * 1[price >= 15]): only the (1,2,4,20) join tuple qualifies.
+        let cond = lmfao_expr::ScalarFunction::Indicator {
+            attr: price,
+            op: lmfao_expr::CmpOp::Ge,
+            threshold: Value::Double(15.0),
+        };
+        let agg = Aggregate::sum(units).times(cond);
+        let mut batch = QueryBatch::new();
+        batch.push("rt_node", vec![], vec![agg]);
+        let results = run(&batch, &mut db, &tree, EngineConfig::default());
+        assert_eq!(results[0].scalar().unwrap()[0], 4.0);
+    }
+
+    #[test]
+    fn partitioned_execution_merges_to_the_same_result() {
+        let (mut db, tree) = db_and_tree();
+        let units = db.schema().attr_id("units").unwrap();
+        let price = db.schema().attr_id("price").unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push("sum_up", vec![], vec![Aggregate::sum_product(units, price)]);
+        let cfg = EngineConfig::default();
+        let roots = assign_roots(&batch, &tree, &db, &cfg);
+        let pd = push_down_batch(&batch, &tree, &roots);
+        let grouping = group_views(&pd.catalog, true);
+        prepare_database(&mut db, &tree);
+        let dynamics = DynamicRegistry::new();
+        let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+        for gid in grouping.topological_order() {
+            let plan = build_group_plan(&db, &tree, &pd.catalog, &grouping.groups[gid]);
+            let rel_len = db.relation(&plan.relation).unwrap().len();
+            // Split the relation into two arbitrary partitions and merge.
+            let mid = rel_len / 2;
+            let mut partials: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+            for part in [0..mid, mid..rel_len] {
+                for (vid, cv) in execute_group(&db, &plan, &computed, &dynamics, Some(part)) {
+                    match partials.get_mut(&vid) {
+                        Some(acc) => {
+                            for (k, v) in cv.iter() {
+                                acc.add(k.clone(), v);
+                            }
+                        }
+                        None => {
+                            partials.insert(vid, cv);
+                        }
+                    }
+                }
+            }
+            computed.extend(partials);
+        }
+        let out = &computed[&pd.outputs[0].view];
+        assert_eq!(out.scalar().unwrap()[0], 3.0 * 10.0 + 4.0 * 20.0 + 5.0 * 10.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Interpreted, tuple-at-a-time view evaluation.
+//!
+//! This is the unoptimized execution path used when
+//! [`EngineConfig::specialization`](crate::config::EngineConfig) is off: each
+//! view is computed with its own scan of its relation, evaluating every
+//! aggregate term for every tuple, with no attribute order, no register
+//! caching and no sharing of local expressions. It serves as the proxy for
+//! the AC/DC-style baseline in Figure 5's ablation (the paper's leftmost
+//! bar) and doubles as an independent re-implementation of the view
+//! semantics that the specialized executor is cross-checked against in tests.
+
+use crate::view::{ComputedView, ViewCatalog, ViewId, ViewTerm};
+use lmfao_data::{AttrId, Database, FxHashMap, Relation, Value};
+use lmfao_expr::{DynamicRegistry, ScalarFunction};
+use lmfao_jointree::JoinTree;
+
+/// Per-incoming-view probe metadata used by the interpreter.
+struct IncomingRef<'a> {
+    /// The computed result of the incoming view.
+    result: &'a ComputedView,
+    /// `(relation column, key position)` pairs for key attributes that are
+    /// columns of the scanned relation.
+    bound: Vec<(usize, usize)>,
+    /// Key attributes carried from deeper in the tree, with their positions
+    /// in the incoming view's key tuple.
+    extras: Vec<(AttrId, usize)>,
+    /// For views with extra key attributes: entries indexed by the bound part
+    /// of their key, so per-tuple probes stay constant time (a hash join, as
+    /// any interpreted engine would do).
+    index: FxHashMap<Vec<Value>, Vec<(&'a Vec<Value>, &'a Vec<f64>)>>,
+}
+
+/// Evaluates a scalar function, routing dynamic functions through the registry.
+#[inline]
+fn eval_factor<F>(f: &ScalarFunction, lookup: &F, dynamics: &DynamicRegistry) -> f64
+where
+    F: Fn(AttrId) -> Value,
+{
+    match f {
+        ScalarFunction::Dynamic { id, attrs } => {
+            let args: Vec<Value> = attrs.iter().map(|&a| lookup(a)).collect();
+            dynamics.evaluate(*id, &args)
+        }
+        other => other.evaluate(lookup),
+    }
+}
+
+/// Computes a single view by a straightforward interpretation of its
+/// definition over the relation at its source node.
+pub fn execute_view_interpreted(
+    db: &Database,
+    tree: &JoinTree,
+    catalog: &ViewCatalog,
+    view_id: ViewId,
+    computed: &FxHashMap<ViewId, ComputedView>,
+    dynamics: &DynamicRegistry,
+) -> ComputedView {
+    let def = catalog.view(view_id);
+    let relation = db
+        .relation(&tree.node(def.source).relation)
+        .expect("view source relation must exist");
+
+    let deps = def.dependencies();
+    let mut incoming: FxHashMap<ViewId, IncomingRef> = FxHashMap::default();
+    for dep in &deps {
+        let dep_def = catalog.view(*dep);
+        let result = computed
+            .get(dep)
+            .expect("dependencies must be computed before a view");
+        let mut bound = Vec::new();
+        let mut extras = Vec::new();
+        for (pos, &attr) in dep_def.group_by.iter().enumerate() {
+            match relation.position(attr) {
+                Some(col) => bound.push((col, pos)),
+                None => extras.push((attr, pos)),
+            }
+        }
+        let mut index: FxHashMap<Vec<Value>, Vec<(&Vec<Value>, &Vec<f64>)>> = FxHashMap::default();
+        if !extras.is_empty() {
+            for (key, values) in result.iter() {
+                let bound_part: Vec<Value> = bound.iter().map(|&(_, pos)| key[pos]).collect();
+                index.entry(bound_part).or_default().push((key, values));
+            }
+        }
+        incoming.insert(
+            *dep,
+            IncomingRef {
+                result,
+                bound,
+                extras,
+                index,
+            },
+        );
+    }
+
+    let mut out = ComputedView::new(def.group_by.clone(), def.num_aggregates());
+    let key_cols: Vec<Option<usize>> = def
+        .group_by
+        .iter()
+        .map(|a| relation.position(*a))
+        .collect();
+
+    for row in 0..relation.len() {
+        for (agg_idx, agg) in def.aggregates.iter().enumerate() {
+            for term in &agg.terms {
+                evaluate_term_for_row(
+                    &def.group_by,
+                    term,
+                    relation,
+                    row,
+                    &incoming,
+                    dynamics,
+                    &key_cols,
+                    agg_idx,
+                    &mut out,
+                );
+            }
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn evaluate_term_for_row(
+    group_by: &[AttrId],
+    term: &ViewTerm,
+    relation: &Relation,
+    row: usize,
+    incoming: &FxHashMap<ViewId, IncomingRef<'_>>,
+    dynamics: &DynamicRegistry,
+    key_cols: &[Option<usize>],
+    agg_idx: usize,
+    out: &mut ComputedView,
+) {
+    let row_lookup = |a: AttrId| match relation.position(a) {
+        Some(col) => relation.value(row, col),
+        None => Value::Null,
+    };
+
+    // Probe every referenced child view by the key attributes available in
+    // the current row; children carrying extra attributes contribute one
+    // matching entry per combination.
+    let mut scalar_product = term.constant;
+    let mut extra_lists: Vec<(ViewId, Vec<(&Vec<Value>, f64)>)> = Vec::new();
+    for (child, child_agg) in &term.child_refs {
+        let inc = &incoming[child];
+        if inc.extras.is_empty() {
+            let mut key = vec![Value::Null; inc.bound.len()];
+            for &(col, pos) in &inc.bound {
+                key[pos] = relation.value(row, col);
+            }
+            match inc.result.get(&key) {
+                Some(values) => scalar_product *= values[*child_agg],
+                None => return, // dangling tuple: no contribution
+            }
+        } else {
+            let probe: Vec<Value> = inc
+                .bound
+                .iter()
+                .map(|&(col, _)| relation.value(row, col))
+                .collect();
+            let matches: Vec<(&Vec<Value>, f64)> = match inc.index.get(&probe) {
+                Some(entries) => entries
+                    .iter()
+                    .map(|(key, values)| (*key, values[*child_agg]))
+                    .collect(),
+                None => Vec::new(),
+            };
+            if matches.is_empty() {
+                return;
+            }
+            extra_lists.push((*child, matches));
+        }
+        if scalar_product == 0.0 {
+            return;
+        }
+    }
+
+    // Local factors that only read relation columns can be evaluated once.
+    let mut combo_factors = Vec::new();
+    for f in &term.local {
+        if f.attrs().iter().all(|a| relation.position(*a).is_some()) {
+            scalar_product *= eval_factor(f, &row_lookup, dynamics);
+            if scalar_product == 0.0 {
+                return;
+            }
+        } else {
+            combo_factors.push(f);
+        }
+    }
+
+    // Iterate the cartesian product of the extra entries (an empty product is
+    // the single empty combination).
+    let mut idx = vec![0usize; extra_lists.len()];
+    loop {
+        let combo_lookup = |a: AttrId| {
+            for (pos, (child, entries)) in extra_lists.iter().enumerate() {
+                let inc = &incoming[child];
+                if let Some(j) = inc.extras.iter().position(|&(attr, _)| attr == a) {
+                    let key_pos = inc.extras[j].1;
+                    return entries[idx[pos]].0[key_pos];
+                }
+            }
+            row_lookup(a)
+        };
+        let mut value = scalar_product;
+        for (pos, (_, entries)) in extra_lists.iter().enumerate() {
+            value *= entries[idx[pos]].1;
+        }
+        for f in &combo_factors {
+            value *= eval_factor(f, &combo_lookup, dynamics);
+        }
+        if value != 0.0 {
+            let key: Vec<Value> = group_by
+                .iter()
+                .zip(key_cols)
+                .map(|(&attr, col)| match col {
+                    Some(c) => relation.value(row, *c),
+                    None => combo_lookup(attr),
+                })
+                .collect();
+            out.add_single(key, agg_idx, value);
+        }
+        // Advance the odometer.
+        if extra_lists.is_empty() {
+            break;
+        }
+        let mut k = extra_lists.len() - 1;
+        loop {
+            idx[k] += 1;
+            if idx[k] < extra_lists[k].1.len() {
+                break;
+            }
+            idx[k] = 0;
+            if k == 0 {
+                return;
+            }
+            k -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::pushdown::push_down_batch;
+    use crate::roots::assign_roots;
+    use lmfao_data::{AttrType, DatabaseSchema, RelationSchema};
+    use lmfao_expr::{Aggregate, QueryBatch};
+    use lmfao_jointree::{build_join_tree, Hypergraph};
+
+    fn db_and_tree() -> (Database, JoinTree) {
+        let mut schema = DatabaseSchema::new();
+        schema.add_relation_with_attrs(
+            "R",
+            &[("a", AttrType::Int), ("b", AttrType::Int), ("x", AttrType::Double)],
+        );
+        schema.add_relation_with_attrs("S", &[("b", AttrType::Int), ("y", AttrType::Double)]);
+        let a = schema.attr_id("a").unwrap();
+        let b = schema.attr_id("b").unwrap();
+        let x = schema.attr_id("x").unwrap();
+        let y = schema.attr_id("y").unwrap();
+        let r = Relation::from_rows(
+            RelationSchema::new("R", vec![a, b, x]),
+            vec![
+                vec![Value::Int(1), Value::Int(1), Value::Double(2.0)],
+                vec![Value::Int(2), Value::Int(1), Value::Double(3.0)],
+                vec![Value::Int(3), Value::Int(2), Value::Double(4.0)],
+            ],
+        )
+        .unwrap();
+        let s = Relation::from_rows(
+            RelationSchema::new("S", vec![b, y]),
+            vec![
+                vec![Value::Int(1), Value::Double(10.0)],
+                vec![Value::Int(2), Value::Double(20.0)],
+            ],
+        )
+        .unwrap();
+        let db = Database::new(schema.clone(), vec![r, s]).unwrap();
+        let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+        (db, tree)
+    }
+
+    #[test]
+    fn interpreted_execution_matches_hand_computation() {
+        let (db, tree) = db_and_tree();
+        let x = db.schema().attr_id("x").unwrap();
+        let y = db.schema().attr_id("y").unwrap();
+        let a = db.schema().attr_id("a").unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push("sum_xy", vec![], vec![Aggregate::sum_product(x, y)]);
+        batch.push("per_a", vec![a], vec![Aggregate::sum(y)]);
+        let cfg = EngineConfig::unoptimized();
+        let roots = assign_roots(&batch, &tree, &db, &cfg);
+        let pd = push_down_batch(&batch, &tree, &roots);
+        let dynamics = DynamicRegistry::new();
+        let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+        for vid in pd.catalog.topological_order() {
+            let cv = execute_view_interpreted(&db, &tree, &pd.catalog, vid, &computed, &dynamics);
+            computed.insert(vid, cv);
+        }
+        // Join: (1,1,2,10) (2,1,3,10) (3,2,4,20) → Σ x·y = 20 + 30 + 80 = 130.
+        let out0 = &computed[&pd.outputs[0].view];
+        let i0 = pd.outputs[0].aggregate_indices[0];
+        assert_eq!(out0.scalar().unwrap()[i0], 130.0);
+        // per a: a=1 → 10, a=2 → 10, a=3 → 20.
+        let out1 = &computed[&pd.outputs[1].view];
+        let i1 = pd.outputs[1].aggregate_indices[0];
+        assert_eq!(out1.get(&[Value::Int(1)]).unwrap()[i1], 10.0);
+        assert_eq!(out1.get(&[Value::Int(2)]).unwrap()[i1], 10.0);
+        assert_eq!(out1.get(&[Value::Int(3)]).unwrap()[i1], 20.0);
+    }
+
+    #[test]
+    fn dangling_rows_do_not_contribute() {
+        let (mut db, tree) = db_and_tree();
+        db.relation_mut("R")
+            .unwrap()
+            .push_row(&[Value::Int(9), Value::Int(99), Value::Double(100.0)])
+            .unwrap();
+        let x = db.schema().attr_id("x").unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push("sum_x", vec![], vec![Aggregate::sum(x)]);
+        let cfg = EngineConfig::unoptimized();
+        let roots = assign_roots(&batch, &tree, &db, &cfg);
+        let pd = push_down_batch(&batch, &tree, &roots);
+        let dynamics = DynamicRegistry::new();
+        let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+        for vid in pd.catalog.topological_order() {
+            let cv = execute_view_interpreted(&db, &tree, &pd.catalog, vid, &computed, &dynamics);
+            computed.insert(vid, cv);
+        }
+        let out = &computed[&pd.outputs[0].view];
+        assert_eq!(out.scalar().unwrap()[pd.outputs[0].aggregate_indices[0]], 9.0);
+    }
+}

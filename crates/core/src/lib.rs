@@ -1,0 +1,32 @@
+//! # lmfao-core
+//!
+//! The LMFAO engine: layered optimization and execution of large batches of
+//! group-by aggregates over the natural join of a database, following
+//! "A Layered Aggregate Engine for Analytics Workloads" (SIGMOD 2019).
+//!
+//! The layers, in order:
+//! 1. join tree (from `lmfao-jointree`),
+//! 2. [`roots`] — a root per query,
+//! 3. [`pushdown`] — decomposition into directional views + view merging,
+//! 4. [`group`] — view groups and their dependency graph,
+//! 5. [`plan`] — multi-output physical plans (attribute orders, registers),
+//! 6. [`exec`] — specialized execution, [`interp`] — the unoptimized proxy,
+//! 7. [`parallel`] — task and domain parallelism,
+//! 8. [`engine`] — the façade tying everything together.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod exec;
+pub mod group;
+pub mod interp;
+pub mod parallel;
+pub mod plan;
+pub mod pushdown;
+pub mod roots;
+pub mod view;
+
+pub use config::EngineConfig;
+pub use engine::{BatchResult, Engine, EngineStats, QueryResult};
+pub use view::{ComputedView, ViewCatalog, ViewDef, ViewId};

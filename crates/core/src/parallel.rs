@@ -1,0 +1,184 @@
+//! The Parallelization layer: task and domain parallelism over view groups.
+//!
+//! LMFAO parallelizes along two axes (Section 1.2):
+//!
+//! * **task parallelism** — view groups that do not depend on each other run
+//!   concurrently; the group dependency graph from [`crate::group`] is
+//!   processed in topological waves and the groups of a wave are distributed
+//!   over worker threads;
+//! * **domain parallelism** — the relation scanned by a group is partitioned
+//!   into row ranges, one thread per partition, and the partial results are
+//!   merged by element-wise addition (valid because every view aggregate is a
+//!   sum over the scanned tuples).
+
+use crate::config::EngineConfig;
+use crate::exec::execute_group;
+use crate::group::Grouping;
+use crate::plan::GroupPlan;
+use crate::view::{ComputedView, ViewId};
+use lmfao_data::{Database, FxHashMap};
+use lmfao_expr::DynamicRegistry;
+
+/// Merges `other` into `acc` by element-wise addition of aggregate payloads.
+pub fn merge_computed(acc: &mut ComputedView, other: &ComputedView) {
+    for (key, values) in other.iter() {
+        acc.add(key.clone(), values);
+    }
+}
+
+/// Splits `len` rows into at most `parts` contiguous ranges.
+fn partitions(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(len.max(1));
+    let chunk = len.div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    while start < len {
+        let end = (start + chunk).min(len);
+        out.push(start..end);
+        start = end;
+    }
+    if out.is_empty() {
+        out.push(0..0);
+    }
+    out
+}
+
+/// Executes one group, using domain parallelism when more than one thread is
+/// available and the relation is large enough to be worth splitting.
+fn execute_group_parallel(
+    db: &Database,
+    plan: &GroupPlan,
+    computed: &FxHashMap<ViewId, ComputedView>,
+    dynamics: &DynamicRegistry,
+    threads: usize,
+) -> Vec<(ViewId, ComputedView)> {
+    const MIN_ROWS_PER_THREAD: usize = 4_096;
+    let len = db
+        .relation(&plan.relation)
+        .map(lmfao_data::Relation::len)
+        .unwrap_or(0);
+    if threads <= 1 || len < 2 * MIN_ROWS_PER_THREAD {
+        return execute_group(db, plan, computed, dynamics, None);
+    }
+    let parts = partitions(len, threads);
+    let results: Vec<Vec<(ViewId, ComputedView)>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|range| {
+                scope.spawn(move |_| execute_group(db, plan, computed, dynamics, Some(range)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("domain-parallel scope must not panic");
+
+    let mut merged: Vec<(ViewId, ComputedView)> = Vec::new();
+    for partial in results {
+        for (vid, cv) in partial {
+            match merged.iter_mut().find(|(v, _)| *v == vid) {
+                Some((_, acc)) => merge_computed(acc, &cv),
+                None => merged.push((vid, cv)),
+            }
+        }
+    }
+    merged
+}
+
+/// Executes all groups of a grouping in dependency order, parallelizing
+/// independent groups (task parallelism) and large scans (domain
+/// parallelism) according to the configuration. Returns the computed result
+/// of every view.
+pub fn execute_all(
+    db: &Database,
+    plans: &[GroupPlan],
+    grouping: &Grouping,
+    dynamics: &DynamicRegistry,
+    config: &EngineConfig,
+) -> FxHashMap<ViewId, ComputedView> {
+    let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+    let mut done = vec![false; grouping.len()];
+    let mut remaining = grouping.len();
+
+    while remaining > 0 {
+        // A wave: all groups whose dependencies are already computed.
+        let wave: Vec<usize> = (0..grouping.len())
+            .filter(|&g| !done[g] && grouping.dependencies[g].iter().all(|&d| done[d]))
+            .collect();
+        assert!(
+            !wave.is_empty(),
+            "group dependency graph must be acyclic and complete"
+        );
+
+        if config.threads > 1 && wave.len() > 1 {
+            // Task parallelism across the groups of the wave.
+            let computed_ref = &computed;
+            let results: Vec<Vec<(ViewId, ComputedView)>> = crossbeam::scope(|scope| {
+                let handles: Vec<_> = wave
+                    .iter()
+                    .map(|&g| {
+                        let plan = &plans[g];
+                        scope.spawn(move |_| {
+                            execute_group(db, plan, computed_ref, dynamics, None)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("task-parallel scope must not panic");
+            for group_result in results {
+                for (vid, cv) in group_result {
+                    computed.insert(vid, cv);
+                }
+            }
+        } else {
+            // Sequential over the wave; each group may still use domain
+            // parallelism internally.
+            for &g in &wave {
+                for (vid, cv) in
+                    execute_group_parallel(db, &plans[g], &computed, dynamics, config.threads)
+                {
+                    computed.insert(vid, cv);
+                }
+            }
+        }
+
+        for g in wave {
+            done[g] = true;
+            remaining -= 1;
+        }
+    }
+    computed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmfao_data::{AttrId, Value};
+
+    #[test]
+    fn partitions_cover_the_range_without_overlap() {
+        for (len, parts) in [(10, 3), (100, 4), (5, 8), (0, 2), (1, 1)] {
+            let ps = partitions(len, parts);
+            let mut covered = 0;
+            let mut prev_end = 0;
+            for p in &ps {
+                assert_eq!(p.start, prev_end);
+                covered += p.len();
+                prev_end = p.end;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    fn merge_computed_sums_payloads() {
+        let mut a = ComputedView::new(vec![AttrId(0)], 2);
+        a.add(vec![Value::Int(1)], &[1.0, 2.0]);
+        let mut b = ComputedView::new(vec![AttrId(0)], 2);
+        b.add(vec![Value::Int(1)], &[10.0, 20.0]);
+        b.add(vec![Value::Int(2)], &[5.0, 5.0]);
+        merge_computed(&mut a, &b);
+        assert_eq!(a.get(&[Value::Int(1)]).unwrap(), &[11.0, 22.0]);
+        assert_eq!(a.get(&[Value::Int(2)]).unwrap(), &[5.0, 5.0]);
+    }
+}

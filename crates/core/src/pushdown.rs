@@ -1,0 +1,531 @@
+//! The Aggregate Pushdown and Merge Views layers.
+//!
+//! Every query of the batch is decomposed into one directional view per edge
+//! of the join tree, oriented towards the query's root (Section 3.2): the
+//! view at an edge `n → parent(n)` computes the query's aggregates restricted
+//! to the subtree rooted at `n`, and is defined over the relation at `n`
+//! joined with the views incoming at `n`. Factors of each aggregate product
+//! are assigned to the deepest node that can evaluate them, so that partial
+//! aggregates are pushed past joins as early as possible.
+//!
+//! Merging happens on the fly through the [`ViewCatalog`]: views with the
+//! same source, target and group-by attributes are consolidated into one
+//! (cases 1–3 of Section 3.4) and identical aggregates within a view are kept
+//! once. This is what turns e.g. 814 covar aggregates × 4 edges = 3,256 views
+//! into a few tens of views in the paper.
+
+use crate::roots::RootAssignment;
+use crate::view::{ViewAggregate, ViewCatalog, ViewId, ViewTerm};
+use lmfao_data::{AttrId, FxHashMap, FxHashSet};
+use lmfao_expr::{Query, QueryBatch, ScalarFunction};
+use lmfao_jointree::JoinTree;
+
+/// Where a query's results end up after execution: the output view carrying
+/// them and, for each of the query's aggregates, its index within that view.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The output view (target `None`) computed at the query's root.
+    pub view: ViewId,
+    /// For each aggregate of the query, its index within the output view.
+    pub aggregate_indices: Vec<usize>,
+}
+
+/// The result of the pushdown + merge layers for a whole batch.
+#[derive(Debug, Clone)]
+pub struct PushdownResult {
+    /// The consolidated view catalog.
+    pub catalog: ViewCatalog,
+    /// Per-query output mapping (indexed by query position in the batch).
+    pub outputs: Vec<QueryOutput>,
+}
+
+/// Assignment of one factor of a product term to a join-tree node.
+#[derive(Debug, Clone)]
+struct FactorAssignment {
+    node: usize,
+    factor: ScalarFunction,
+}
+
+/// Per-term decomposition bookkeeping.
+#[derive(Debug, Clone)]
+struct TermDecomposition {
+    constant: f64,
+    assignments: Vec<FactorAssignment>,
+    /// Attributes that must be carried above the nodes that own them because
+    /// a factor spanning several relations is evaluated at the root.
+    carried: Vec<AttrId>,
+}
+
+/// Depth of each node from the root (BFS levels).
+fn depths_from_root(tree: &JoinTree, root: usize) -> Vec<usize> {
+    let mut depth = vec![0usize; tree.num_nodes()];
+    for (node, parent) in tree.bfs_order(root) {
+        if parent != usize::MAX {
+            depth[node] = depth[parent] + 1;
+        }
+    }
+    depth
+}
+
+/// Assigns every factor of a term to a node of the tree (rooted at `root`).
+fn decompose_term(
+    term: &lmfao_expr::ProductTerm,
+    tree: &JoinTree,
+    root: usize,
+    depths: &[usize],
+) -> TermDecomposition {
+    let mut constant = 1.0;
+    let mut assignments = Vec::new();
+    let mut carried = Vec::new();
+    for factor in &term.factors {
+        if let ScalarFunction::Constant(c) = factor {
+            constant *= c;
+            continue;
+        }
+        let attrs = factor.attrs();
+        // Deepest node whose relation contains every attribute of the factor.
+        let mut best: Option<usize> = None;
+        for n in 0..tree.num_nodes() {
+            if attrs.iter().all(|a| tree.node(n).contains(*a)) {
+                match best {
+                    Some(b) if depths[b] >= depths[n] => {}
+                    _ => best = Some(n),
+                }
+            }
+        }
+        match best {
+            Some(node) => assignments.push(FactorAssignment {
+                node,
+                factor: factor.clone(),
+            }),
+            None => {
+                // No single relation holds all attributes (e.g. h(txns, city)):
+                // evaluate at the root and carry the attributes up as extra
+                // group-by attributes of the views below.
+                for a in &attrs {
+                    if !carried.contains(a) {
+                        carried.push(*a);
+                    }
+                }
+                assignments.push(FactorAssignment {
+                    node: root,
+                    factor: factor.clone(),
+                });
+            }
+        }
+    }
+    TermDecomposition {
+        constant,
+        assignments,
+        carried,
+    }
+}
+
+/// Decomposes one query into directional views registered in `catalog`.
+fn push_down_query(
+    query: &Query,
+    tree: &JoinTree,
+    root: usize,
+    catalog: &mut ViewCatalog,
+) -> QueryOutput {
+    let depths = depths_from_root(tree, root);
+    let order = tree.bfs_order(root);
+
+    // Decompose every (aggregate, term) pair.
+    let mut decomposed: Vec<Vec<TermDecomposition>> = Vec::with_capacity(query.aggregates.len());
+    let mut carried: FxHashSet<AttrId> = FxHashSet::default();
+    for agg in &query.aggregates {
+        let mut terms = Vec::with_capacity(agg.terms.len());
+        for term in &agg.terms {
+            let d = decompose_term(term, tree, root, &depths);
+            carried.extend(d.carried.iter().copied());
+            terms.push(d);
+        }
+        decomposed.push(terms);
+    }
+
+    // Group-by attributes (plus carried ones) that views below must propagate.
+    let mut propagated: FxHashSet<AttrId> = query.group_by.iter().copied().collect();
+    propagated.extend(carried.iter().copied());
+
+    // The view id created for each non-root node, and for each (node, agg, term)
+    // the index of the partial-product aggregate within that node's view.
+    let mut node_view: FxHashMap<usize, ViewId> = FxHashMap::default();
+    let mut partial_index: FxHashMap<(usize, usize, usize), usize> = FxHashMap::default();
+
+    // Process children before parents.
+    for &(node, parent) in order.iter().rev() {
+        let is_root = parent == usize::MAX;
+        let children: Vec<usize> = tree
+            .neighbors(node)
+            .iter()
+            .copied()
+            .filter(|&c| c != parent)
+            .collect();
+
+        let group_by: Vec<AttrId> = if is_root {
+            query.group_by.clone()
+        } else {
+            let subtree = tree.subtree_attrs(node, parent);
+            let mut gb: Vec<AttrId> = propagated
+                .iter()
+                .copied()
+                .filter(|a| subtree.contains(a))
+                .collect();
+            for a in tree.edge_join_attrs(node, parent) {
+                if !gb.contains(&a) {
+                    gb.push(a);
+                }
+            }
+            gb
+        };
+
+        let target = if is_root { None } else { Some(parent) };
+        let view = catalog.get_or_create(node, target, group_by);
+
+        if is_root {
+            catalog.tag_query(view, query.id);
+            let mut aggregate_indices = Vec::with_capacity(query.aggregates.len());
+            for (ai, terms) in decomposed.iter().enumerate() {
+                let mut view_terms = Vec::with_capacity(terms.len());
+                for (ti, dec) in terms.iter().enumerate() {
+                    view_terms.push(build_view_term(
+                        dec,
+                        node,
+                        &children,
+                        &node_view,
+                        &partial_index,
+                        ai,
+                        ti,
+                        true,
+                    ));
+                }
+                let idx = catalog.add_aggregate(view, ViewAggregate { terms: view_terms });
+                aggregate_indices.push(idx);
+            }
+            return QueryOutput {
+                view,
+                aggregate_indices,
+            };
+        }
+
+        node_view.insert(node, view);
+        for (ai, terms) in decomposed.iter().enumerate() {
+            for (ti, dec) in terms.iter().enumerate() {
+                let term = build_view_term(
+                    dec,
+                    node,
+                    &children,
+                    &node_view,
+                    &partial_index,
+                    ai,
+                    ti,
+                    false,
+                );
+                let idx = catalog.add_aggregate(view, ViewAggregate::single(term));
+                partial_index.insert((node, ai, ti), idx);
+            }
+        }
+    }
+    unreachable!("the BFS order always ends at the root");
+}
+
+/// Builds the [`ViewTerm`] of term `(ai, ti)` at `node`: the factors assigned
+/// to the node plus one reference per child view.
+#[allow(clippy::too_many_arguments)]
+fn build_view_term(
+    dec: &TermDecomposition,
+    node: usize,
+    children: &[usize],
+    node_view: &FxHashMap<usize, ViewId>,
+    partial_index: &FxHashMap<(usize, usize, usize), usize>,
+    ai: usize,
+    ti: usize,
+    is_root: bool,
+) -> ViewTerm {
+    let local: Vec<ScalarFunction> = dec
+        .assignments
+        .iter()
+        .filter(|a| a.node == node)
+        .map(|a| a.factor.clone())
+        .collect();
+    let child_refs: Vec<(ViewId, usize)> = children
+        .iter()
+        .map(|&c| {
+            let v = node_view[&c];
+            let idx = partial_index[&(c, ai, ti)];
+            (v, idx)
+        })
+        .collect();
+    ViewTerm {
+        constant: if is_root { dec.constant } else { 1.0 },
+        local,
+        child_refs,
+    }
+}
+
+/// Runs the pushdown + merge layers over a whole batch.
+pub fn push_down_batch(
+    batch: &QueryBatch,
+    tree: &JoinTree,
+    roots: &RootAssignment,
+) -> PushdownResult {
+    let mut catalog = ViewCatalog::new();
+    let mut outputs = Vec::with_capacity(batch.len());
+    for (qi, query) in batch.queries.iter().enumerate() {
+        let root = roots.root_of(qi);
+        outputs.push(push_down_query(query, tree, root, &mut catalog));
+    }
+    PushdownResult { catalog, outputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::roots::assign_roots;
+    use lmfao_data::{AttrType, Database, DatabaseSchema, Relation, Value};
+    use lmfao_expr::{Aggregate, QueryBatch};
+    use lmfao_jointree::{build_join_tree, Hypergraph};
+
+    /// Favorita-like mini schema: Sales(date, store, item, units) with
+    /// Items(item, family, price), Stores(store, city), Holidays(date, holiday).
+    fn star_db() -> (Database, JoinTree) {
+        let mut schema = DatabaseSchema::new();
+        schema.add_relation_with_attrs(
+            "Sales",
+            &[
+                ("date", AttrType::Int),
+                ("store", AttrType::Int),
+                ("item", AttrType::Int),
+                ("units", AttrType::Double),
+            ],
+        );
+        schema.add_relation_with_attrs(
+            "Items",
+            &[
+                ("item", AttrType::Int),
+                ("family", AttrType::Categorical),
+                ("price", AttrType::Double),
+            ],
+        );
+        schema.add_relation_with_attrs(
+            "Stores",
+            &[("store", AttrType::Int), ("city", AttrType::Categorical)],
+        );
+        schema.add_relation_with_attrs(
+            "Holidays",
+            &[("date", AttrType::Int), ("holiday", AttrType::Int)],
+        );
+        let rel = |schema: &DatabaseSchema, name: &str, rows: Vec<Vec<Value>>| {
+            Relation::from_rows(schema.relation(name).unwrap().clone(), rows).unwrap()
+        };
+        let sales = rel(
+            &schema,
+            "Sales",
+            vec![vec![
+                Value::Int(1),
+                Value::Int(1),
+                Value::Int(1),
+                Value::Double(1.0),
+            ]],
+        );
+        let items = rel(
+            &schema,
+            "Items",
+            vec![vec![Value::Int(1), Value::Cat(0), Value::Double(2.0)]],
+        );
+        let stores = rel(&schema, "Stores", vec![vec![Value::Int(1), Value::Cat(0)]]);
+        let holidays = rel(&schema, "Holidays", vec![vec![Value::Int(1), Value::Int(0)]]);
+        let db = Database::new(schema.clone(), vec![sales, items, stores, holidays]).unwrap();
+        let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+        (db, tree)
+    }
+
+    fn a(db: &Database, name: &str) -> AttrId {
+        db.schema().attr_id(name).unwrap()
+    }
+
+    #[test]
+    fn one_view_per_edge_for_a_single_query() {
+        let (db, tree) = star_db();
+        let mut batch = QueryBatch::new();
+        batch.push(
+            "q1",
+            vec![],
+            vec![Aggregate::sum_product(a(&db, "units"), a(&db, "price"))],
+        );
+        let roots = assign_roots(&batch, &tree, &db, &EngineConfig::default());
+        let res = push_down_batch(&batch, &tree, &roots);
+        // 3 edges hang off Sales => 3 directional views + 1 output view.
+        assert_eq!(res.catalog.len(), 4);
+        let out = &res.outputs[0];
+        let view = res.catalog.view(out.view);
+        assert!(view.is_output());
+        assert_eq!(view.source, tree.node_of_relation("Sales").unwrap());
+        assert_eq!(out.aggregate_indices, vec![0]);
+    }
+
+    #[test]
+    fn price_factor_is_pushed_to_items() {
+        let (db, tree) = star_db();
+        let mut batch = QueryBatch::new();
+        batch.push(
+            "q1",
+            vec![],
+            vec![Aggregate::sum_product(a(&db, "units"), a(&db, "price"))],
+        );
+        let roots = assign_roots(&batch, &tree, &db, &EngineConfig::default());
+        let res = push_down_batch(&batch, &tree, &roots);
+        let items = tree.node_of_relation("Items").unwrap();
+        let item_views: Vec<_> = res
+            .catalog
+            .views()
+            .iter()
+            .filter(|v| v.source == items)
+            .collect();
+        assert_eq!(item_views.len(), 1);
+        let view = item_views[0];
+        // The Items view must evaluate Identity(price) locally.
+        let has_price_factor = view.aggregates.iter().any(|agg| {
+            agg.terms.iter().any(|t| {
+                t.local
+                    .iter()
+                    .any(|f| f.attrs().contains(&a(&db, "price")))
+            })
+        });
+        assert!(has_price_factor);
+        // Its group-by is exactly the join key {item}.
+        assert_eq!(view.group_by, vec![a(&db, "item")]);
+    }
+
+    #[test]
+    fn group_by_attribute_below_root_is_carried_up() {
+        let (db, tree) = star_db();
+        let mut batch = QueryBatch::new();
+        // Q(family; SUM(units)) rooted wherever — family must be carried from Items.
+        batch.push(
+            "q_family",
+            vec![a(&db, "family")],
+            vec![Aggregate::sum(a(&db, "units"))],
+        );
+        // Force the root to Sales by also pushing many Sales-focused queries.
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        let cfg = EngineConfig {
+            multi_root: false,
+            ..EngineConfig::default()
+        };
+        let roots = assign_roots(&batch, &tree, &db, &cfg);
+        let res = push_down_batch(&batch, &tree, &roots);
+        let items = tree.node_of_relation("Items").unwrap();
+        // If the root is not Items itself, the Items view must carry family.
+        if roots.root_of(0) != items {
+            let carried = res
+                .catalog
+                .views()
+                .iter()
+                .filter(|v| v.source == items && v.target.is_some())
+                .any(|v| v.group_by.contains(&a(&db, "family")));
+            assert!(carried, "family must be a group-by of the Items view");
+        }
+    }
+
+    #[test]
+    fn views_are_shared_between_queries() {
+        let (db, tree) = star_db();
+        let mut batch = QueryBatch::new();
+        // Two covar-style queries that share everything below Sales except
+        // the aggregate over Items.
+        batch.push(
+            "covar_units_price",
+            vec![],
+            vec![Aggregate::sum_product(a(&db, "units"), a(&db, "price"))],
+        );
+        batch.push("covar_units_units", vec![], vec![Aggregate::sum_square(a(&db, "units"))]);
+        let roots = assign_roots(&batch, &tree, &db, &EngineConfig::default());
+        let res = push_down_batch(&batch, &tree, &roots);
+        // Without sharing: 2 queries × (3 views + 1 output) = 8. With the
+        // catalog, directional views along the same edges merge: at most
+        // 3 directional + shared output(s).
+        assert!(res.catalog.len() <= 5, "got {} views", res.catalog.len());
+        // Both queries should use the same output view (same root, no group-by),
+        // with different aggregate indices.
+        assert_eq!(res.outputs[0].view, res.outputs[1].view);
+        assert_ne!(
+            res.outputs[0].aggregate_indices,
+            res.outputs[1].aggregate_indices
+        );
+    }
+
+    #[test]
+    fn count_partials_are_deduplicated() {
+        let (db, tree) = star_db();
+        let mut batch = QueryBatch::new();
+        // Many queries whose partial product over Stores is always the count.
+        for i in 0..5 {
+            batch.push(
+                format!("q{i}"),
+                vec![],
+                vec![Aggregate::sum(a(&db, "units"))],
+            );
+        }
+        let roots = assign_roots(&batch, &tree, &db, &EngineConfig::default());
+        let res = push_down_batch(&batch, &tree, &roots);
+        let stores = tree.node_of_relation("Stores").unwrap();
+        for v in res.catalog.views().iter().filter(|v| v.source == stores) {
+            assert_eq!(
+                v.num_aggregates(),
+                1,
+                "identical count partials must merge into one aggregate"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_relation_factor_is_carried_to_root() {
+        let (db, tree) = star_db();
+        let mut batch = QueryBatch::new();
+        // A factor over (price, city): no single relation holds both.
+        let term = lmfao_expr::ProductTerm::of(vec![ScalarFunction::ExpLinear {
+            coefficients: vec![(a(&db, "price"), 1.0), (a(&db, "city"), 1.0)],
+        }]);
+        batch.push("cross", vec![], vec![Aggregate::product(term)]);
+        let cfg = EngineConfig {
+            multi_root: false,
+            ..EngineConfig::default()
+        };
+        let roots = assign_roots(&batch, &tree, &db, &cfg);
+        let res = push_down_batch(&batch, &tree, &roots);
+        // price and city must be carried by the views of the nodes that hold them.
+        let items = tree.node_of_relation("Items").unwrap();
+        let stores = tree.node_of_relation("Stores").unwrap();
+        let item_view_carries = res
+            .catalog
+            .views()
+            .iter()
+            .any(|v| v.source == items && v.group_by.contains(&a(&db, "price")));
+        let store_view_carries = res
+            .catalog
+            .views()
+            .iter()
+            .any(|v| v.source == stores && v.group_by.contains(&a(&db, "city")));
+        assert!(item_view_carries);
+        assert!(store_view_carries);
+    }
+
+    #[test]
+    fn constants_are_folded_into_root_terms() {
+        let (db, tree) = star_db();
+        let mut batch = QueryBatch::new();
+        let term = lmfao_expr::ProductTerm::of(vec![
+            ScalarFunction::Constant(2.5),
+            ScalarFunction::Identity(a(&db, "units")),
+        ]);
+        batch.push("scaled", vec![], vec![Aggregate::product(term)]);
+        let roots = assign_roots(&batch, &tree, &db, &EngineConfig::default());
+        let res = push_down_batch(&batch, &tree, &roots);
+        let out = res.catalog.view(res.outputs[0].view);
+        let root_term = &out.aggregates[0].terms[0];
+        assert_eq!(root_term.constant, 2.5);
+    }
+}

@@ -1,0 +1,234 @@
+//! The Find Roots layer: assign a join-tree root to every query of a batch.
+//!
+//! LMFAO computes each group-by aggregate in one bottom-up pass over the join
+//! tree rooted at a node chosen per query (Section 3.3). Choosing roots well
+//! can reduce both the number of views and their sizes: a query should be
+//! rooted at a node that covers as many of its group-by attributes as
+//! possible, and queries should share roots so their views can be merged.
+//!
+//! The assignment reproduces the paper's approximation: each query spreads a
+//! unit of weight over the nodes containing its group-by attributes (or over
+//! all nodes if it has none); nodes are then processed in decreasing order of
+//! accumulated weight (ties broken towards larger relations) and each node
+//! claims, as their root, all unassigned queries that considered it a
+//! possible root.
+
+use crate::config::EngineConfig;
+use lmfao_data::Database;
+use lmfao_expr::{Query, QueryBatch};
+use lmfao_jointree::JoinTree;
+
+/// Root assignment for a query batch: `roots[i]` is the join-tree node at
+/// which query `i` is evaluated.
+#[derive(Debug, Clone)]
+pub struct RootAssignment {
+    /// Chosen root per query (indexed by query position in the batch).
+    pub roots: Vec<usize>,
+}
+
+impl RootAssignment {
+    /// The root of the `i`-th query.
+    pub fn root_of(&self, query_idx: usize) -> usize {
+        self.roots[query_idx]
+    }
+
+    /// Number of distinct roots used.
+    pub fn num_distinct_roots(&self) -> usize {
+        let mut seen: Vec<usize> = self.roots.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+}
+
+/// The set of nodes a query may be rooted at: nodes containing at least one
+/// of its group-by attributes, or every node when it has no group-by
+/// attribute.
+fn possible_roots(query: &Query, tree: &JoinTree) -> Vec<usize> {
+    if query.group_by.is_empty() {
+        return (0..tree.num_nodes()).collect();
+    }
+    let mut out: Vec<usize> = (0..tree.num_nodes())
+        .filter(|&n| query.group_by.iter().any(|a| tree.node(n).contains(*a)))
+        .collect();
+    if out.is_empty() {
+        // Group-by attributes may not exist in any base relation (defensive);
+        // fall back to all nodes.
+        out = (0..tree.num_nodes()).collect();
+    }
+    out
+}
+
+/// Assigns roots following the paper's weighting scheme.
+pub fn assign_roots(
+    batch: &QueryBatch,
+    tree: &JoinTree,
+    db: &Database,
+    config: &EngineConfig,
+) -> RootAssignment {
+    let n = tree.num_nodes();
+    let mut weights = vec![0.0f64; n];
+    let candidates: Vec<Vec<usize>> = batch
+        .queries
+        .iter()
+        .map(|q| possible_roots(q, tree))
+        .collect();
+
+    for (q, cand) in batch.queries.iter().zip(&candidates) {
+        if q.group_by.is_empty() {
+            let w = 1.0 / n as f64;
+            for &c in cand {
+                weights[c] += w;
+            }
+        } else {
+            for &c in cand {
+                let covered = q
+                    .group_by
+                    .iter()
+                    .filter(|a| tree.node(c).contains(**a))
+                    .count();
+                weights[c] += covered as f64 / q.group_by.len() as f64;
+            }
+        }
+    }
+
+    // Order nodes by decreasing weight; break ties towards larger relations
+    // (avoids building large views over the fact table).
+    let mut order: Vec<usize> = (0..n).collect();
+    let size_of = |i: usize| {
+        db.statistics()
+            .relation_size(&tree.node(i).relation)
+            .unwrap_or(0)
+    };
+    order.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| size_of(b).cmp(&size_of(a)))
+    });
+
+    let mut roots = vec![usize::MAX; batch.len()];
+    if !config.multi_root {
+        // Single-root mode: every query is rooted at the globally heaviest
+        // node (falling back to the largest relation for empty batches).
+        let root = order.first().copied().unwrap_or(0);
+        return RootAssignment {
+            roots: vec![root; batch.len()],
+        };
+    }
+
+    for &node in &order {
+        for (qi, cand) in candidates.iter().enumerate() {
+            if roots[qi] == usize::MAX && cand.contains(&node) {
+                roots[qi] = node;
+            }
+        }
+    }
+    // Defensive: anything left unassigned goes to the heaviest node.
+    let fallback = order.first().copied().unwrap_or(0);
+    for r in &mut roots {
+        if *r == usize::MAX {
+            *r = fallback;
+        }
+    }
+    RootAssignment { roots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmfao_data::{AttrType, DatabaseSchema, Relation, RelationSchema, Value};
+    use lmfao_expr::Aggregate;
+    use lmfao_jointree::{build_join_tree, Hypergraph};
+
+    /// Chain database S1(x1,x2), S2(x2,x3) with S1 larger than S2.
+    fn chain_db() -> (Database, JoinTree) {
+        let mut schema = DatabaseSchema::new();
+        schema.add_relation_with_attrs("S1", &[("x1", AttrType::Int), ("x2", AttrType::Int)]);
+        schema.add_relation_with_attrs("S2", &[("x2", AttrType::Int), ("x3", AttrType::Int)]);
+        let x1 = schema.attr_id("x1").unwrap();
+        let x2 = schema.attr_id("x2").unwrap();
+        let x3 = schema.attr_id("x3").unwrap();
+        let s1 = Relation::from_rows(
+            RelationSchema::new("S1", vec![x1, x2]),
+            (0..20)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 3)])
+                .collect(),
+        )
+        .unwrap();
+        let s2 = Relation::from_rows(
+            RelationSchema::new("S2", vec![x2, x3]),
+            (0..3).map(|i| vec![Value::Int(i), Value::Int(i * 10)]).collect(),
+        )
+        .unwrap();
+        let db = Database::new(schema.clone(), vec![s1, s2]).unwrap();
+        let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+        (db, tree)
+    }
+
+    fn attr(db: &Database, name: &str) -> lmfao_data::AttrId {
+        db.schema().attr_id(name).unwrap()
+    }
+
+    #[test]
+    fn queries_rooted_at_nodes_with_their_group_by() {
+        let (db, tree) = chain_db();
+        let mut batch = QueryBatch::new();
+        batch.push("q_x1", vec![attr(&db, "x1")], vec![Aggregate::count()]);
+        batch.push("q_x3", vec![attr(&db, "x3")], vec![Aggregate::count()]);
+        let assign = assign_roots(&batch, &tree, &db, &EngineConfig::default());
+        let s1 = tree.node_of_relation("S1").unwrap();
+        let s2 = tree.node_of_relation("S2").unwrap();
+        assert_eq!(assign.root_of(0), s1);
+        assert_eq!(assign.root_of(1), s2);
+        assert_eq!(assign.num_distinct_roots(), 2);
+    }
+
+    #[test]
+    fn single_root_mode_uses_one_root_for_all() {
+        let (db, tree) = chain_db();
+        let mut batch = QueryBatch::new();
+        batch.push("q_x1", vec![attr(&db, "x1")], vec![Aggregate::count()]);
+        batch.push("q_x3", vec![attr(&db, "x3")], vec![Aggregate::count()]);
+        let cfg = EngineConfig {
+            multi_root: false,
+            ..EngineConfig::default()
+        };
+        let assign = assign_roots(&batch, &tree, &db, &cfg);
+        assert_eq!(assign.num_distinct_roots(), 1);
+    }
+
+    #[test]
+    fn scalar_queries_prefer_heavy_nodes() {
+        let (db, tree) = chain_db();
+        let mut batch = QueryBatch::new();
+        // Two queries keyed on x1 make S1 heavy; the scalar count should then
+        // also be rooted at S1 so its views can be shared with them.
+        batch.push("q_x1a", vec![attr(&db, "x1")], vec![Aggregate::count()]);
+        batch.push("q_x1b", vec![attr(&db, "x1")], vec![Aggregate::sum(attr(&db, "x2"))]);
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        let assign = assign_roots(&batch, &tree, &db, &EngineConfig::default());
+        let s1 = tree.node_of_relation("S1").unwrap();
+        assert_eq!(assign.root_of(2), s1);
+    }
+
+    #[test]
+    fn shared_attribute_queries_share_a_root() {
+        let (db, tree) = chain_db();
+        let mut batch = QueryBatch::new();
+        // x2 lives in both relations; both queries must get the same root.
+        batch.push("a", vec![attr(&db, "x2")], vec![Aggregate::count()]);
+        batch.push("b", vec![attr(&db, "x2")], vec![Aggregate::count()]);
+        let assign = assign_roots(&batch, &tree, &db, &EngineConfig::default());
+        assert_eq!(assign.root_of(0), assign.root_of(1));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (db, tree) = chain_db();
+        let batch = QueryBatch::new();
+        let assign = assign_roots(&batch, &tree, &db, &EngineConfig::default());
+        assert!(assign.roots.is_empty());
+        assert_eq!(assign.num_distinct_roots(), 0);
+    }
+}

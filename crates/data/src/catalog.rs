@@ -1,0 +1,287 @@
+//! The database catalog: schema, relations, dictionaries, and statistics.
+//!
+//! The catalog is what the LMFAO layers consume: the join-tree layer needs
+//! the schema and cardinality constraints (relation sizes and attribute
+//! domain sizes), the multi-output-optimization layer needs per-relation
+//! attribute domain sizes to pick attribute orders, and the execution layer
+//! needs the (sorted) relations themselves.
+
+use crate::dictionary::DictionarySet;
+use crate::error::{DataError, Result};
+use crate::hash::FxHashMap;
+use crate::relation::Relation;
+use crate::schema::{AttrId, DatabaseSchema};
+use crate::value::AttrType;
+
+/// Cardinality statistics used by the optimizer layers.
+#[derive(Debug, Clone, Default)]
+pub struct Statistics {
+    /// Number of tuples per relation (by relation name).
+    pub relation_sizes: FxHashMap<String, usize>,
+    /// Number of distinct values per (relation, attribute).
+    pub domain_sizes: FxHashMap<(String, AttrId), usize>,
+}
+
+impl Statistics {
+    /// Distinct-value count of `attr` in `relation`, if known.
+    pub fn domain_size(&self, relation: &str, attr: AttrId) -> Option<usize> {
+        self.domain_sizes.get(&(relation.to_string(), attr)).copied()
+    }
+
+    /// Size of `relation`, if known.
+    pub fn relation_size(&self, relation: &str) -> Option<usize> {
+        self.relation_sizes.get(relation).copied()
+    }
+}
+
+/// An in-memory database: schema, one [`Relation`] per schema relation,
+/// categorical dictionaries and cardinality statistics.
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: DatabaseSchema,
+    relations: Vec<Relation>,
+    dictionaries: DictionarySet,
+    statistics: Statistics,
+}
+
+impl Database {
+    /// Creates a database from a schema and relations. The relations must be
+    /// given in the same order as the schema's relation list.
+    pub fn new(schema: DatabaseSchema, relations: Vec<Relation>) -> Result<Self> {
+        if schema.num_relations() != relations.len() {
+            return Err(DataError::UnknownRelation(format!(
+                "expected {} relations, got {}",
+                schema.num_relations(),
+                relations.len()
+            )));
+        }
+        let mut db = Database {
+            schema,
+            relations,
+            dictionaries: DictionarySet::new(),
+            statistics: Statistics::default(),
+        };
+        db.recompute_statistics();
+        Ok(db)
+    }
+
+    /// Creates a database with dictionaries (for databases with categorical
+    /// attributes loaded from strings).
+    pub fn with_dictionaries(
+        schema: DatabaseSchema,
+        relations: Vec<Relation>,
+        dictionaries: DictionarySet,
+    ) -> Result<Self> {
+        let mut db = Database::new(schema, relations)?;
+        db.dictionaries = dictionaries;
+        Ok(db)
+    }
+
+    /// The database schema.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// All relations, in schema order.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Mutable access to all relations (used to sort them by join attributes
+    /// before execution).
+    pub fn relations_mut(&mut self) -> &mut [Relation] {
+        &mut self.relations
+    }
+
+    /// Relation by name.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        let idx = self.schema.relation_index(name)?;
+        Ok(&self.relations[idx])
+    }
+
+    /// Mutable relation by name.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        let idx = self.schema.relation_index(name)?;
+        Ok(&mut self.relations[idx])
+    }
+
+    /// Relation by index.
+    pub fn relation_at(&self, idx: usize) -> &Relation {
+        &self.relations[idx]
+    }
+
+    /// The categorical dictionaries.
+    pub fn dictionaries(&self) -> &DictionarySet {
+        &self.dictionaries
+    }
+
+    /// Mutable access to the dictionaries.
+    pub fn dictionaries_mut(&mut self) -> &mut DictionarySet {
+        &mut self.dictionaries
+    }
+
+    /// Cardinality statistics.
+    pub fn statistics(&self) -> &Statistics {
+        &self.statistics
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Total payload size in bytes across all relations.
+    pub fn total_size_bytes(&self) -> usize {
+        self.relations.iter().map(Relation::size_bytes).sum()
+    }
+
+    /// Attributes of the whole database, grouped by type.
+    pub fn attributes_of_type(&self, ty: AttrType) -> Vec<AttrId> {
+        self.schema
+            .attributes()
+            .iter()
+            .filter(|a| a.attr_type == ty)
+            .map(|a| a.id)
+            .collect()
+    }
+
+    /// Recomputes relation sizes and per-relation attribute domain sizes.
+    pub fn recompute_statistics(&mut self) {
+        let mut stats = Statistics::default();
+        for rel in &self.relations {
+            stats
+                .relation_sizes
+                .insert(rel.name().to_string(), rel.len());
+            for (pos, &attr) in rel.schema().attrs.iter().enumerate() {
+                stats
+                    .domain_sizes
+                    .insert((rel.name().to_string(), attr), rel.distinct_count(pos));
+            }
+        }
+        self.statistics = stats;
+    }
+
+    /// Sorts every relation by the given global attribute order (each relation
+    /// uses the attributes it contains, in the given order). LMFAO requires
+    /// relations sorted by their join attributes before execution.
+    pub fn sort_all(&mut self, attr_order: &[AttrId]) {
+        for rel in &mut self.relations {
+            rel.sort_by_attrs(attr_order);
+        }
+    }
+
+    /// Domain size of an attribute in a relation (falls back to a fresh scan
+    /// when statistics have not been computed for it).
+    pub fn domain_size(&self, relation: &str, attr: AttrId) -> usize {
+        if let Some(d) = self.statistics.domain_size(relation, attr) {
+            return d;
+        }
+        if let Ok(rel) = self.relation(relation) {
+            if let Some(pos) = rel.position(attr) {
+                return rel.distinct_count(pos);
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::value::Value;
+
+    fn tiny_db() -> Database {
+        let mut schema = DatabaseSchema::new();
+        schema.add_relation_with_attrs(
+            "R",
+            &[("a", AttrType::Int), ("b", AttrType::Int)],
+        );
+        schema.add_relation_with_attrs(
+            "S",
+            &[("b", AttrType::Int), ("c", AttrType::Categorical)],
+        );
+        let a = schema.attr_id("a").unwrap();
+        let b = schema.attr_id("b").unwrap();
+        let c = schema.attr_id("c").unwrap();
+        let r = Relation::from_rows(
+            RelationSchema::new("R", vec![a, b]),
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(10)],
+                vec![Value::Int(3), Value::Int(20)],
+            ],
+        )
+        .unwrap();
+        let s = Relation::from_rows(
+            RelationSchema::new("S", vec![b, c]),
+            vec![
+                vec![Value::Int(10), Value::Cat(0)],
+                vec![Value::Int(20), Value::Cat(1)],
+            ],
+        )
+        .unwrap();
+        Database::new(schema, vec![r, s]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_relation_count() {
+        let mut schema = DatabaseSchema::new();
+        schema.add_relation_with_attrs("R", &[("a", AttrType::Int)]);
+        assert!(Database::new(schema, vec![]).is_err());
+    }
+
+    #[test]
+    fn statistics_are_computed() {
+        let db = tiny_db();
+        assert_eq!(db.statistics().relation_size("R"), Some(3));
+        assert_eq!(db.statistics().relation_size("S"), Some(2));
+        let b = db.schema().attr_id("b").unwrap();
+        assert_eq!(db.statistics().domain_size("R", b), Some(2));
+        assert_eq!(db.domain_size("R", b), 2);
+        assert_eq!(db.domain_size("S", b), 2);
+    }
+
+    #[test]
+    fn totals() {
+        let db = tiny_db();
+        assert_eq!(db.total_tuples(), 5);
+        assert!(db.total_size_bytes() > 0);
+    }
+
+    #[test]
+    fn relation_lookup() {
+        let db = tiny_db();
+        assert_eq!(db.relation("R").unwrap().len(), 3);
+        assert!(db.relation("T").is_err());
+        assert_eq!(db.relation_at(1).name(), "S");
+    }
+
+    #[test]
+    fn attributes_of_type() {
+        let db = tiny_db();
+        let cats = db.attributes_of_type(AttrType::Categorical);
+        assert_eq!(cats.len(), 1);
+        assert_eq!(db.schema().attr_name(cats[0]), "c");
+        assert_eq!(db.attributes_of_type(AttrType::Int).len(), 2);
+    }
+
+    #[test]
+    fn sort_all_sorts_every_relation() {
+        let mut db = tiny_db();
+        let b = db.schema().attr_id("b").unwrap();
+        let a = db.schema().attr_id("a").unwrap();
+        db.sort_all(&[b, a]);
+        let r = db.relation("R").unwrap();
+        assert!(r.is_sorted_by(&[1, 0]));
+        let s = db.relation("S").unwrap();
+        assert!(s.is_sorted_by(&[0]));
+    }
+
+    #[test]
+    fn unknown_domain_is_zero() {
+        let db = tiny_db();
+        let c = db.schema().attr_id("c").unwrap();
+        assert_eq!(db.domain_size("R", c), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Dictionary encoding for categorical attributes.
+//!
+//! Categorical values (cities, item families, …) are stored as dense `u32`
+//! codes inside relations ([`crate::value::Value::Cat`]). A [`Dictionary`]
+//! maps the original strings to codes and back; the [`DictionarySet`] keeps
+//! one dictionary per categorical attribute of a database.
+
+use crate::hash::FxHashMap;
+use crate::schema::AttrId;
+
+/// A bidirectional mapping between category strings and dense codes.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    values: Vec<String>,
+    codes: FxHashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes a category, inserting it if it has not been seen before.
+    pub fn encode(&mut self, value: &str) -> u32 {
+        if let Some(&code) = self.codes.get(value) {
+            return code;
+        }
+        let code = self.values.len() as u32;
+        self.values.push(value.to_string());
+        self.codes.insert(value.to_string(), code);
+        code
+    }
+
+    /// Looks up the code of a category without inserting.
+    pub fn code_of(&self, value: &str) -> Option<u32> {
+        self.codes.get(value).copied()
+    }
+
+    /// Decodes a code back to its category string.
+    pub fn decode(&self, code: u32) -> Option<&str> {
+        self.values.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of distinct categories.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no category has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(code, category)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, v.as_str()))
+    }
+}
+
+/// One dictionary per categorical attribute of a database.
+#[derive(Debug, Clone, Default)]
+pub struct DictionarySet {
+    dicts: FxHashMap<AttrId, Dictionary>,
+}
+
+impl DictionarySet {
+    /// Creates an empty dictionary set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes a category for `attr`, creating the dictionary on first use.
+    pub fn encode(&mut self, attr: AttrId, value: &str) -> u32 {
+        self.dicts.entry(attr).or_default().encode(value)
+    }
+
+    /// The dictionary of `attr`, if any value has been encoded for it.
+    pub fn dictionary(&self, attr: AttrId) -> Option<&Dictionary> {
+        self.dicts.get(&attr)
+    }
+
+    /// Decodes a code of `attr` back to the category string.
+    pub fn decode(&self, attr: AttrId, code: u32) -> Option<&str> {
+        self.dicts.get(&attr).and_then(|d| d.decode(code))
+    }
+
+    /// Number of distinct categories registered for `attr` (0 if none).
+    pub fn domain_size(&self, attr: AttrId) -> usize {
+        self.dicts.get(&attr).map_or(0, Dictionary::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_stable_and_dense() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.encode("GROCERY"), 0);
+        assert_eq!(d.encode("DAIRY"), 1);
+        assert_eq!(d.encode("GROCERY"), 0);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let mut d = Dictionary::new();
+        let c = d.encode("Quito");
+        assert_eq!(d.decode(c), Some("Quito"));
+        assert_eq!(d.decode(99), None);
+        assert_eq!(d.code_of("Quito"), Some(c));
+        assert_eq!(d.code_of("Lima"), None);
+    }
+
+    #[test]
+    fn iteration_in_code_order() {
+        let mut d = Dictionary::new();
+        d.encode("a");
+        d.encode("b");
+        d.encode("c");
+        let pairs: Vec<(u32, &str)> = d.iter().collect();
+        assert_eq!(pairs, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+
+    #[test]
+    fn dictionary_set_per_attribute() {
+        let mut s = DictionarySet::new();
+        let city = AttrId(0);
+        let family = AttrId(1);
+        assert_eq!(s.encode(city, "Quito"), 0);
+        assert_eq!(s.encode(family, "GROCERY"), 0);
+        assert_eq!(s.encode(city, "Lima"), 1);
+        assert_eq!(s.domain_size(city), 2);
+        assert_eq!(s.domain_size(family), 1);
+        assert_eq!(s.domain_size(AttrId(9)), 0);
+        assert_eq!(s.decode(city, 1), Some("Lima"));
+        assert_eq!(s.decode(family, 5), None);
+        assert!(s.dictionary(city).is_some());
+        assert!(s.dictionary(AttrId(9)).is_none());
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types for the storage substrate.
+
+use std::fmt;
+
+/// Result alias used throughout `lmfao-data`.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// An attribute name was not registered in the database schema.
+    UnknownAttribute(String),
+    /// A relation name was not registered in the database schema.
+    UnknownRelation(String),
+    /// A tuple's arity does not match the relation schema.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Expected arity from the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// A value's type does not match the attribute type.
+    TypeMismatch {
+        /// Attribute name.
+        attribute: String,
+        /// Human readable description of the expected type.
+        expected: String,
+        /// Human readable description of the value found.
+        got: String,
+    },
+    /// CSV parsing failed.
+    Csv {
+        /// Line number (1-based) of the offending record.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An I/O error occurred (message only, to keep the error cloneable).
+    Io(String),
+    /// A categorical dictionary lookup failed.
+    UnknownCategory(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            DataError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            DataError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for relation `{relation}`: expected {expected}, got {got}"
+            ),
+            DataError::TypeMismatch {
+                attribute,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch for attribute `{attribute}`: expected {expected}, got {got}"
+            ),
+            DataError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            DataError::Io(msg) => write!(f, "io error: {msg}"),
+            DataError::UnknownCategory(s) => write!(f, "unknown category `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::UnknownAttribute("foo".into());
+        assert!(e.to_string().contains("foo"));
+        let e = DataError::ArityMismatch {
+            relation: "R".into(),
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+        let e = DataError::Csv {
+            line: 7,
+            message: "bad int".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: DataError = io.into();
+        assert!(matches!(e, DataError::Io(_)));
+    }
+}

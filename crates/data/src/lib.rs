@@ -1,0 +1,32 @@
+//! # lmfao-data
+//!
+//! Storage substrate of the LMFAO reproduction: typed values, schemas,
+//! dictionary-encoded categorical attributes, sorted in-memory relations with
+//! trie-style grouped scans, the database catalog with cardinality statistics,
+//! and CSV import/export.
+//!
+//! The LMFAO engine (in `lmfao-core`) consumes a [`Database`] — relations
+//! sorted by their join attributes plus statistics — and computes batches of
+//! group-by aggregates over their natural join without ever materializing the
+//! join itself.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod csv;
+pub mod dictionary;
+pub mod error;
+pub mod hash;
+pub mod relation;
+pub mod schema;
+pub mod trie;
+pub mod value;
+
+pub use catalog::{Database, Statistics};
+pub use dictionary::{Dictionary, DictionarySet};
+pub use error::{DataError, Result};
+pub use hash::{FxHashMap, FxHashSet};
+pub use relation::Relation;
+pub use schema::{AttrId, Attribute, DatabaseSchema, RelationSchema};
+pub use trie::TrieScan;
+pub use value::{AttrType, Value};

@@ -1,0 +1,329 @@
+//! In-memory relations.
+//!
+//! A [`Relation`] is a row-major, flat array of [`Value`]s together with its
+//! [`RelationSchema`]. LMFAO keeps relations sorted by their join attributes
+//! so that a single scan can view them as a trie: grouped by the first join
+//! attribute, then by the next within each group, and so on (see
+//! [`crate::trie`]). This mirrors the factorized-database style scans the
+//! paper relies on for the multi-output plans.
+
+use crate::error::{DataError, Result};
+use crate::hash::fx_hash_set;
+use crate::schema::{AttrId, RelationSchema};
+use crate::value::Value;
+
+/// An in-memory relation: schema plus row-major tuple storage.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: RelationSchema,
+    data: Vec<Value>,
+    arity: usize,
+    /// Attribute positions this relation is currently sorted by (lexicographic
+    /// prefix order); empty if unsorted.
+    sorted_by: Vec<usize>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn new(schema: RelationSchema) -> Self {
+        let arity = schema.arity();
+        Relation {
+            schema,
+            data: Vec::new(),
+            arity,
+            sorted_by: Vec::new(),
+        }
+    }
+
+    /// Creates a relation from rows, validating arity.
+    pub fn from_rows(schema: RelationSchema, rows: Vec<Vec<Value>>) -> Result<Self> {
+        let mut rel = Relation::new(schema);
+        for row in rows {
+            rel.push_row(&row)?;
+        }
+        Ok(rel)
+    }
+
+    /// The schema of the relation.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        if self.arity == 0 {
+            0
+        } else {
+            self.data.len() / self.arity
+        }
+    }
+
+    /// True if the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Arity (number of attributes).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Appends a tuple, validating its arity.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
+        if row.len() != self.arity {
+            return Err(DataError::ArityMismatch {
+                relation: self.schema.name.clone(),
+                expected: self.arity,
+                got: row.len(),
+            });
+        }
+        self.data.extend_from_slice(row);
+        self.sorted_by.clear();
+        Ok(())
+    }
+
+    /// Appends a tuple without arity validation (panics in debug builds on
+    /// mismatch). Used by bulk loaders on the hot path.
+    pub fn push_row_unchecked(&mut self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.arity);
+        self.data.extend_from_slice(row);
+        self.sorted_by.clear();
+    }
+
+    /// Reserves capacity for `additional` further tuples.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional * self.arity);
+    }
+
+    /// The `i`-th tuple.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// A single value.
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.data[row * self.arity + col]
+    }
+
+    /// Iterates over all tuples.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        self.data.chunks_exact(self.arity.max(1))
+    }
+
+    /// Position of an attribute within this relation.
+    pub fn position(&self, attr: AttrId) -> Option<usize> {
+        self.schema.position(attr)
+    }
+
+    /// Sorts the relation lexicographically by the given column positions
+    /// (remaining columns keep their relative order only within equal keys,
+    /// which is all the trie scan needs).
+    pub fn sort_by_positions(&mut self, positions: &[usize]) {
+        if self.is_empty() || positions.is_empty() {
+            self.sorted_by = positions.to_vec();
+            return;
+        }
+        let arity = self.arity;
+        let n = self.len();
+        let mut indices: Vec<u32> = (0..n as u32).collect();
+        let data = &self.data;
+        indices.sort_unstable_by(|&a, &b| {
+            let ra = &data[a as usize * arity..(a as usize + 1) * arity];
+            let rb = &data[b as usize * arity..(b as usize + 1) * arity];
+            for &p in positions {
+                match ra[p].cmp(&rb[p]) {
+                    std::cmp::Ordering::Equal => continue,
+                    ord => return ord,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let mut new_data = Vec::with_capacity(self.data.len());
+        for &i in &indices {
+            new_data.extend_from_slice(&data[i as usize * arity..(i as usize + 1) * arity]);
+        }
+        self.data = new_data;
+        self.sorted_by = positions.to_vec();
+    }
+
+    /// Sorts the relation by the given attributes (those present in the
+    /// relation are used, in the given order).
+    pub fn sort_by_attrs(&mut self, attrs: &[AttrId]) {
+        let positions: Vec<usize> = attrs.iter().filter_map(|&a| self.position(a)).collect();
+        self.sort_by_positions(&positions);
+    }
+
+    /// Column positions the relation is currently sorted by.
+    pub fn sorted_by(&self) -> &[usize] {
+        &self.sorted_by
+    }
+
+    /// Whether the relation is sorted by a prefix starting with `positions`.
+    pub fn is_sorted_by(&self, positions: &[usize]) -> bool {
+        self.sorted_by.len() >= positions.len() && self.sorted_by[..positions.len()] == *positions
+    }
+
+    /// Number of distinct values in a column.
+    pub fn distinct_count(&self, col: usize) -> usize {
+        let mut set = fx_hash_set();
+        for i in 0..self.len() {
+            set.insert(self.value(i, col));
+        }
+        set.len()
+    }
+
+    /// Distinct values of a column, in first-appearance order.
+    pub fn distinct_values(&self, col: usize) -> Vec<Value> {
+        let mut seen = fx_hash_set();
+        let mut out = Vec::new();
+        for i in 0..self.len() {
+            let v = self.value(i, col);
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Approximate size of the relation payload in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<Value>()
+    }
+
+    /// Minimum and maximum value of a column, if the relation is non-empty.
+    pub fn min_max(&self, col: usize) -> Option<(Value, Value)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut mn = self.value(0, col);
+        let mut mx = mn;
+        for i in 1..self.len() {
+            let v = self.value(i, col);
+            if v < mn {
+                mn = v;
+            }
+            if v > mx {
+                mx = v;
+            }
+        }
+        Some((mn, mx))
+    }
+
+    /// Consumes the relation, returning its raw parts.
+    pub fn into_parts(self) -> (RelationSchema, Vec<Value>) {
+        (self.schema, self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrId, RelationSchema};
+
+    fn schema3(name: &str) -> RelationSchema {
+        RelationSchema::new(name, vec![AttrId(0), AttrId(1), AttrId(2)])
+    }
+
+    fn sample() -> Relation {
+        let rows = vec![
+            vec![Value::Int(2), Value::Int(10), Value::Double(1.0)],
+            vec![Value::Int(1), Value::Int(20), Value::Double(2.0)],
+            vec![Value::Int(2), Value::Int(5), Value::Double(3.0)],
+            vec![Value::Int(1), Value::Int(20), Value::Double(4.0)],
+        ];
+        Relation::from_rows(schema3("R"), rows).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let r = sample();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.arity(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.value(1, 1), Value::Int(20));
+        assert_eq!(r.row(2)[2], Value::Double(3.0));
+        assert_eq!(r.name(), "R");
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut r = Relation::new(schema3("R"));
+        let err = r.push_row(&[Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn sorting_by_positions() {
+        let mut r = sample();
+        r.sort_by_positions(&[0, 1]);
+        let col0: Vec<i64> = (0..r.len()).map(|i| r.value(i, 0).as_i64()).collect();
+        assert_eq!(col0, vec![1, 1, 2, 2]);
+        // Within X0 = 2 the rows are ordered by X1 (5 then 10).
+        assert_eq!(r.value(2, 1), Value::Int(5));
+        assert_eq!(r.value(3, 1), Value::Int(10));
+        assert!(r.is_sorted_by(&[0]));
+        assert!(r.is_sorted_by(&[0, 1]));
+        assert!(!r.is_sorted_by(&[1]));
+    }
+
+    #[test]
+    fn sorting_by_attrs_filters_missing() {
+        let mut r = sample();
+        // AttrId(7) is not in the relation and must simply be ignored.
+        r.sort_by_attrs(&[AttrId(7), AttrId(1)]);
+        let col1: Vec<i64> = (0..r.len()).map(|i| r.value(i, 1).as_i64()).collect();
+        assert_eq!(col1, vec![5, 10, 20, 20]);
+    }
+
+    #[test]
+    fn distinct_counts_and_values() {
+        let r = sample();
+        assert_eq!(r.distinct_count(0), 2);
+        assert_eq!(r.distinct_count(1), 3);
+        assert_eq!(r.distinct_count(2), 4);
+        assert_eq!(
+            r.distinct_values(0),
+            vec![Value::Int(2), Value::Int(1)],
+            "first-appearance order"
+        );
+    }
+
+    #[test]
+    fn min_max() {
+        let r = sample();
+        assert_eq!(r.min_max(1), Some((Value::Int(5), Value::Int(20))));
+        let empty = Relation::new(schema3("E"));
+        assert_eq!(empty.min_max(0), None);
+    }
+
+    #[test]
+    fn rows_iteration_matches_len() {
+        let r = sample();
+        assert_eq!(r.rows().count(), r.len());
+        assert_eq!(r.rows().next().unwrap()[0], Value::Int(2));
+    }
+
+    #[test]
+    fn size_bytes_nonzero() {
+        let r = sample();
+        assert!(r.size_bytes() > 0);
+        assert_eq!(r.size_bytes(), 12 * std::mem::size_of::<Value>());
+    }
+
+    #[test]
+    fn mutation_invalidates_sortedness() {
+        let mut r = sample();
+        r.sort_by_positions(&[0]);
+        assert!(r.is_sorted_by(&[0]));
+        r.push_row(&[Value::Int(0), Value::Int(0), Value::Double(0.0)])
+            .unwrap();
+        assert!(!r.is_sorted_by(&[0]));
+    }
+}

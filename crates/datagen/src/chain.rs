@@ -1,0 +1,78 @@
+//! The chain schema of Example 3.3: `S_k(X_k, X_{k+1})` for `k ∈ [n-1]`.
+//!
+//! The paper uses this schema to show why different queries should be rooted
+//! at different nodes: computing all `Q_i(X_i; COUNT)` over a single root
+//! requires views of quadratic size, whereas rooting `Q_i` at `S_i` keeps
+//! every view linear. The `multiroot_chain` benchmark regenerates that
+//! comparison.
+
+use crate::common::{build_relation, Dataset, Scale};
+use lmfao_data::{AttrType, Database, DatabaseSchema, Value};
+use lmfao_jointree::{build_join_tree, Hypergraph};
+use rand::Rng;
+
+/// Generates a chain database with `n` attributes `X1..Xn` (hence `n-1`
+/// relations) and `tuples_per_relation` tuples each. Attribute domains have
+/// `domain` distinct values.
+pub fn generate(n: usize, tuples_per_relation: usize, domain: usize, scale: Scale) -> Dataset {
+    assert!(n >= 2, "a chain needs at least two attributes");
+    let mut rng = scale.rng();
+    let mut schema = DatabaseSchema::new();
+    for k in 1..n {
+        schema.add_relation_with_attrs(
+            format!("S{k}"),
+            &[
+                (&format!("X{k}"), AttrType::Int),
+                (&format!("X{}", k + 1), AttrType::Int),
+            ],
+        );
+    }
+    let relations = (1..n)
+        .map(|k| {
+            build_relation(&schema, &format!("S{k}"), tuples_per_relation, |_| {
+                vec![
+                    Value::Int(rng.gen_range(0..domain as i64)),
+                    Value::Int(rng.gen_range(0..domain as i64)),
+                ]
+            })
+        })
+        .collect();
+    let db = Database::new(schema.clone(), relations).expect("chain relations match schema");
+    let tree = build_join_tree(&Hypergraph::from_schema(&schema)).expect("chain is acyclic");
+    Dataset {
+        name: format!("Chain{n}"),
+        db,
+        tree,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_structure() {
+        let ds = generate(5, 100, 10, Scale::small());
+        assert_eq!(ds.db.schema().num_relations(), 4);
+        assert_eq!(ds.tree.num_nodes(), 4);
+        // The tree is a path: exactly two nodes of degree 1.
+        let leaves = (0..4).filter(|&i| ds.tree.neighbors(i).len() == 1).count();
+        assert_eq!(leaves, 2);
+    }
+
+    #[test]
+    fn domains_are_bounded() {
+        let ds = generate(3, 200, 7, Scale::small());
+        for rel in ds.db.relations() {
+            for col in 0..rel.arity() {
+                assert!(rel.distinct_count(col) <= 7);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two attributes")]
+    fn rejects_degenerate_chains() {
+        generate(1, 10, 5, Scale::small());
+    }
+}

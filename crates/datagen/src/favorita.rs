@@ -1,0 +1,209 @@
+//! Synthetic Favorita dataset (star schema, Figure 3 / Figure 6b).
+//!
+//! Relations:
+//! * `Sales(date, store, item, units, promo)` — the fact table,
+//! * `Holidays(date, htype, locale, transferred)`,
+//! * `StoRes(store, city, state, stype, cluster)`,
+//! * `Items(item, family, class, perishable)`,
+//! * `Transactions(date, store, txns)`,
+//! * `Oil(date, price)`.
+//!
+//! Join tree: Sales — {Holidays, Items, Transactions}, Transactions — {StoRes, Oil}.
+
+use crate::common::{build_relation, skewed_index, tree_from_edges, Dataset, Scale};
+use lmfao_data::{AttrType, Database, DatabaseSchema, Value};
+use rand::Rng;
+
+/// Generates the synthetic Favorita dataset at the given scale.
+pub fn generate(scale: Scale) -> Dataset {
+    let mut rng = scale.rng();
+    let n_sales = scale.fact_rows.max(10);
+    let n_dates = (n_sales / 50).clamp(10, 2_000);
+    let n_stores = (n_sales / 500).clamp(4, 60);
+    let n_items = (n_sales / 100).clamp(10, 4_000);
+    let n_families = 12usize;
+    let n_cities = 8usize;
+
+    let mut schema = DatabaseSchema::new();
+    schema.add_relation_with_attrs(
+        "Sales",
+        &[
+            ("date", AttrType::Int),
+            ("store", AttrType::Int),
+            ("item", AttrType::Int),
+            ("units", AttrType::Double),
+            ("promo", AttrType::Int),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "Holidays",
+        &[
+            ("date", AttrType::Int),
+            ("htype", AttrType::Categorical),
+            ("locale", AttrType::Categorical),
+            ("transferred", AttrType::Int),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "StoRes",
+        &[
+            ("store", AttrType::Int),
+            ("city", AttrType::Categorical),
+            ("state", AttrType::Categorical),
+            ("stype", AttrType::Categorical),
+            ("cluster", AttrType::Int),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "Items",
+        &[
+            ("item", AttrType::Int),
+            ("family", AttrType::Categorical),
+            ("class", AttrType::Int),
+            ("perishable", AttrType::Int),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "Transactions",
+        &[
+            ("date", AttrType::Int),
+            ("store", AttrType::Int),
+            ("txns", AttrType::Double),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "Oil",
+        &[("date", AttrType::Int), ("price", AttrType::Double)],
+    );
+
+    let sales = build_relation(&schema, "Sales", n_sales, |_| {
+        let date = skewed_index(&mut rng, n_dates) as i64;
+        let store = skewed_index(&mut rng, n_stores) as i64;
+        let item = skewed_index(&mut rng, n_items) as i64;
+        let base = 1.0 + (item % 20) as f64;
+        let units = base + rng.gen_range(0.0..10.0) + if store % 3 == 0 { 5.0 } else { 0.0 };
+        let promo = i64::from(rng.gen_bool(0.15));
+        vec![
+            Value::Int(date),
+            Value::Int(store),
+            Value::Int(item),
+            Value::Double((units * 100.0).round() / 100.0),
+            Value::Int(promo),
+        ]
+    });
+    let holidays = build_relation(&schema, "Holidays", n_dates, |i| {
+        vec![
+            Value::Int(i as i64),
+            Value::Cat(rng.gen_range(0..4)),
+            Value::Cat(rng.gen_range(0..3)),
+            Value::Int(i64::from(rng.gen_bool(0.05))),
+        ]
+    });
+    let stores = build_relation(&schema, "StoRes", n_stores, |i| {
+        let city = (i % n_cities) as u32;
+        vec![
+            Value::Int(i as i64),
+            Value::Cat(city),
+            Value::Cat(city / 2),
+            Value::Cat(rng.gen_range(0..4)),
+            Value::Int(rng.gen_range(1..18)),
+        ]
+    });
+    let items = build_relation(&schema, "Items", n_items, |i| {
+        vec![
+            Value::Int(i as i64),
+            Value::Cat((i % n_families) as u32),
+            Value::Int(rng.gen_range(1000..4000)),
+            Value::Int(i64::from(rng.gen_bool(0.25))),
+        ]
+    });
+    // One Transactions tuple per (date, store) pair that could appear in Sales.
+    let mut txn_rows = Vec::new();
+    for date in 0..n_dates {
+        for store in 0..n_stores {
+            txn_rows.push((date as i64, store as i64, rng.gen_range(100.0..5000.0f64)));
+        }
+    }
+    let transactions = build_relation(&schema, "Transactions", txn_rows.len(), |i| {
+        let (d, s, t) = txn_rows[i];
+        vec![Value::Int(d), Value::Int(s), Value::Double(t.round())]
+    });
+    let oil = build_relation(&schema, "Oil", n_dates, |i| {
+        vec![
+            Value::Int(i as i64),
+            Value::Double(40.0 + 20.0 * ((i as f64) / 30.0).sin() + rng.gen_range(-2.0..2.0)),
+        ]
+    });
+
+    let db = Database::new(
+        schema.clone(),
+        vec![sales, holidays, stores, items, transactions, oil],
+    )
+    .expect("favorita relations match the schema");
+    let tree = tree_from_edges(
+        &schema,
+        &[
+            ("Sales", "Holidays"),
+            ("Sales", "Items"),
+            ("Sales", "Transactions"),
+            ("Transactions", "StoRes"),
+            ("Transactions", "Oil"),
+        ],
+    )
+    .expect("favorita join tree is valid");
+
+    Dataset {
+        name: "Favorita".to_string(),
+        db,
+        tree,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_the_paper() {
+        let ds = generate(Scale::small());
+        assert_eq!(ds.db.schema().num_relations(), 6);
+        assert_eq!(ds.tree.num_nodes(), 6);
+        assert_eq!(ds.tree.edges().len(), 5);
+        // Sales has degree 3, Transactions degree 3 (Sales + StoRes + Oil).
+        let sales = ds.tree.node_of_relation("Sales").unwrap();
+        let txn = ds.tree.node_of_relation("Transactions").unwrap();
+        assert_eq!(ds.tree.neighbors(sales).len(), 3);
+        assert_eq!(ds.tree.neighbors(txn).len(), 3);
+    }
+
+    #[test]
+    fn foreign_keys_always_resolve() {
+        let ds = generate(Scale::small());
+        let sales = ds.db.relation("Sales").unwrap();
+        let items = ds.db.relation("Items").unwrap();
+        let n_items = items.len() as i64;
+        let item_col = sales.position(ds.attr("item")).unwrap();
+        for i in 0..sales.len() {
+            let v = sales.value(i, item_col).as_i64();
+            assert!(v >= 0 && v < n_items);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(Scale::small());
+        let b = generate(Scale::small());
+        assert_eq!(a.total_tuples(), b.total_tuples());
+        let ra = a.db.relation("Sales").unwrap();
+        let rb = b.db.relation("Sales").unwrap();
+        assert_eq!(ra.row(0), rb.row(0));
+        assert_eq!(ra.row(ra.len() - 1), rb.row(rb.len() - 1));
+    }
+
+    #[test]
+    fn scale_controls_fact_size() {
+        let small = generate(Scale::new(200, 1));
+        let larger = generate(Scale::new(2_000, 1));
+        assert!(larger.db.relation("Sales").unwrap().len() > small.db.relation("Sales").unwrap().len());
+    }
+}

@@ -1,0 +1,225 @@
+//! Synthetic Retailer dataset (snowflake schema, Figure 6a).
+//!
+//! Relations:
+//! * `Inventory(locn, dateid, ksn, inventoryunits)` — the fact table,
+//! * `Location(locn, zip, rgn_cd, clim_zn_nbr, tot_area_sq_ft, sell_area_sq_ft,
+//!    avghhi, distance_comp)`,
+//! * `Census(zip, population, white, asian, pacific, black, medianage,
+//!    occupiedhouseunits, houseunits, families, households, husbwife, males,
+//!    females, householdschildren, hispanic)`,
+//! * `Weather(locn, dateid, rain, snow, maxtemp, mintemp, meanwind, thunder)`,
+//! * `Item(ksn, subcategory, category, categorycluster, prices)`.
+//!
+//! Join tree: Inventory — {Location, Weather, Item}, Location — Census. The
+//! fact table has few attributes and most aggregates are computed over the
+//! dimension tables, which is why the paper sees the largest speedups here.
+
+use crate::common::{build_relation, skewed_index, tree_from_edges, Dataset, Scale};
+use lmfao_data::{AttrType, Database, DatabaseSchema, Value};
+use rand::Rng;
+
+/// Generates the synthetic Retailer dataset at the given scale.
+pub fn generate(scale: Scale) -> Dataset {
+    let mut rng = scale.rng();
+    let n_inventory = scale.fact_rows.max(10);
+    let n_locations = (n_inventory / 800).clamp(5, 200);
+    let n_dates = (n_inventory / 100).clamp(10, 1_500);
+    let n_items = (n_inventory / 50).clamp(20, 5_000);
+    let n_zips = (n_locations / 2).max(3);
+
+    let mut schema = DatabaseSchema::new();
+    schema.add_relation_with_attrs(
+        "Inventory",
+        &[
+            ("locn", AttrType::Int),
+            ("dateid", AttrType::Int),
+            ("ksn", AttrType::Int),
+            ("inventoryunits", AttrType::Double),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "Location",
+        &[
+            ("locn", AttrType::Int),
+            ("zip", AttrType::Int),
+            ("rgn_cd", AttrType::Categorical),
+            ("clim_zn_nbr", AttrType::Categorical),
+            ("tot_area_sq_ft", AttrType::Double),
+            ("sell_area_sq_ft", AttrType::Double),
+            ("avghhi", AttrType::Double),
+            ("distance_comp", AttrType::Double),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "Census",
+        &[
+            ("zip", AttrType::Int),
+            ("population", AttrType::Double),
+            ("white", AttrType::Double),
+            ("asian", AttrType::Double),
+            ("pacific", AttrType::Double),
+            ("black", AttrType::Double),
+            ("medianage", AttrType::Double),
+            ("occupiedhouseunits", AttrType::Double),
+            ("houseunits", AttrType::Double),
+            ("families", AttrType::Double),
+            ("households", AttrType::Double),
+            ("husbwife", AttrType::Double),
+            ("males", AttrType::Double),
+            ("females", AttrType::Double),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "Weather",
+        &[
+            ("locn", AttrType::Int),
+            ("dateid", AttrType::Int),
+            ("rain", AttrType::Int),
+            ("snow", AttrType::Int),
+            ("maxtemp", AttrType::Double),
+            ("mintemp", AttrType::Double),
+            ("meanwind", AttrType::Double),
+            ("thunder", AttrType::Int),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "Item",
+        &[
+            ("ksn", AttrType::Int),
+            ("subcategory", AttrType::Categorical),
+            ("category", AttrType::Categorical),
+            ("categorycluster", AttrType::Categorical),
+            ("prices", AttrType::Double),
+        ],
+    );
+
+    let inventory = build_relation(&schema, "Inventory", n_inventory, |_| {
+        let locn = skewed_index(&mut rng, n_locations) as i64;
+        let date = skewed_index(&mut rng, n_dates) as i64;
+        let ksn = skewed_index(&mut rng, n_items) as i64;
+        let units = 1.0 + (ksn % 17) as f64 + rng.gen_range(0.0..30.0) + (locn % 5) as f64;
+        vec![
+            Value::Int(locn),
+            Value::Int(date),
+            Value::Int(ksn),
+            Value::Double(units.round()),
+        ]
+    });
+    let location = build_relation(&schema, "Location", n_locations, |i| {
+        vec![
+            Value::Int(i as i64),
+            Value::Int((i % n_zips) as i64),
+            Value::Cat(rng.gen_range(0..6)),
+            Value::Cat(rng.gen_range(0..9)),
+            Value::Double(rng.gen_range(40_000.0..200_000.0f64).round()),
+            Value::Double(rng.gen_range(20_000.0..120_000.0f64).round()),
+            Value::Double(rng.gen_range(30_000.0..110_000.0f64).round()),
+            Value::Double(rng.gen_range(0.5..25.0)),
+        ]
+    });
+    let census = build_relation(&schema, "Census", n_zips, |i| {
+        let pop = rng.gen_range(5_000.0..90_000.0f64).round();
+        let mut row = vec![Value::Int(i as i64), Value::Double(pop)];
+        for _ in 0..12 {
+            row.push(Value::Double((pop * rng.gen_range(0.05..0.6)).round()));
+        }
+        row
+    });
+    // Weather: one row per (locn, date) pair, like the real dataset.
+    let mut weather_keys = Vec::new();
+    for locn in 0..n_locations {
+        for date in 0..n_dates {
+            weather_keys.push((locn as i64, date as i64));
+        }
+    }
+    let weather = build_relation(&schema, "Weather", weather_keys.len(), |i| {
+        let (locn, date) = weather_keys[i];
+        let max = rng.gen_range(30.0..100.0f64).round();
+        vec![
+            Value::Int(locn),
+            Value::Int(date),
+            Value::Int(i64::from(rng.gen_bool(0.3))),
+            Value::Int(i64::from(rng.gen_bool(0.05))),
+            Value::Double(max),
+            Value::Double(max - rng.gen_range(5.0..30.0f64).round()),
+            Value::Double(rng.gen_range(0.0..25.0f64).round()),
+            Value::Int(i64::from(rng.gen_bool(0.1))),
+        ]
+    });
+    let item = build_relation(&schema, "Item", n_items, |i| {
+        vec![
+            Value::Int(i as i64),
+            Value::Cat(rng.gen_range(0..40)),
+            Value::Cat(rng.gen_range(0..12)),
+            Value::Cat(rng.gen_range(0..5)),
+            Value::Double((rng.gen_range(0.5..100.0f64) * 100.0).round() / 100.0),
+        ]
+    });
+
+    let db = Database::new(
+        schema.clone(),
+        vec![inventory, location, census, weather, item],
+    )
+    .expect("retailer relations match the schema");
+    let tree = tree_from_edges(
+        &schema,
+        &[
+            ("Inventory", "Location"),
+            ("Location", "Census"),
+            ("Inventory", "Weather"),
+            ("Inventory", "Item"),
+        ],
+    )
+    .expect("retailer join tree is valid");
+
+    Dataset {
+        name: "Retailer".to_string(),
+        db,
+        tree,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snowflake_structure() {
+        let ds = generate(Scale::small());
+        assert_eq!(ds.db.schema().num_relations(), 5);
+        let inv = ds.tree.node_of_relation("Inventory").unwrap();
+        let loc = ds.tree.node_of_relation("Location").unwrap();
+        let census = ds.tree.node_of_relation("Census").unwrap();
+        assert_eq!(ds.tree.neighbors(inv).len(), 3);
+        // Census hangs off Location, not off the fact table.
+        assert_eq!(ds.tree.neighbors(census), &[loc]);
+    }
+
+    #[test]
+    fn fact_table_has_few_attributes() {
+        let ds = generate(Scale::small());
+        assert_eq!(ds.db.relation("Inventory").unwrap().arity(), 4);
+        assert!(ds.db.relation("Census").unwrap().arity() >= 14);
+    }
+
+    #[test]
+    fn keys_resolve_along_the_snowflake() {
+        let ds = generate(Scale::small());
+        let loc = ds.db.relation("Location").unwrap();
+        let zip_col = loc.position(ds.attr("zip")).unwrap();
+        let n_zips = ds.db.relation("Census").unwrap().len() as i64;
+        for i in 0..loc.len() {
+            assert!(loc.value(i, zip_col).as_i64() < n_zips);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(Scale::new(300, 5));
+        let b = generate(Scale::new(300, 5));
+        assert_eq!(
+            a.db.relation("Inventory").unwrap().row(7),
+            b.db.relation("Inventory").unwrap().row(7)
+        );
+    }
+}

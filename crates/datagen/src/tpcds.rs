@@ -1,0 +1,323 @@
+//! Synthetic TPC-DS excerpt (snowflake around Store Sales, Figure 6d).
+//!
+//! Ten relations, following the paper's excerpt of the TPC-DS store-sales
+//! snowflake (strings turned into integer ids, null-free, irrelevant columns
+//! dropped):
+//!
+//! * `StoreSales(customer, dateid, timeid, item, store, hdemo, quantity,
+//!    salesprice, discount, netpaid)` — the fact table,
+//! * `Customer(customer, caddress, cdemo, birth_year, preferred)` — the
+//!   `preferred` flag is the classification label used in Table 5,
+//! * `CustomerAddress(caddress, acity, astate, gmt_offset)`,
+//! * `CustomerDemographics(cdemo, gender, marital, education, purchase_estimate)`,
+//! * `DateDim(dateid, year, moy, dom, weekday)`,
+//! * `TimeDim(timeid, hour, minute, shift)`,
+//! * `ItemDim(item, icategory, ibrand, iprice)`,
+//! * `StoreDim(store, scity, sstate, floor_space)`,
+//! * `HouseholdDemographics(hdemo, incband, buy_potential, dep_count)`,
+//! * `IncomeBand(incband, lower_bound, upper_bound)`.
+//!
+//! Join tree: StoreSales — {Customer, DateDim, TimeDim, ItemDim, StoreDim,
+//! HouseholdDemographics}, Customer — {CustomerAddress, CustomerDemographics},
+//! HouseholdDemographics — IncomeBand.
+
+use crate::common::{build_relation, skewed_index, tree_from_edges, Dataset, Scale};
+use lmfao_data::{AttrType, Database, DatabaseSchema, Value};
+use rand::Rng;
+
+/// Generates the synthetic TPC-DS excerpt at the given scale.
+pub fn generate(scale: Scale) -> Dataset {
+    let mut rng = scale.rng();
+    let n_sales = scale.fact_rows.max(10);
+    let n_customers = (n_sales / 20).clamp(10, 20_000);
+    let n_addresses = (n_customers / 2).max(5);
+    let n_cdemos = (n_customers / 4).max(5);
+    let n_dates = (n_sales / 100).clamp(10, 1_000);
+    let n_times = 48usize;
+    let n_items = (n_sales / 40).clamp(10, 5_000);
+    let n_stores = (n_sales / 2_000).clamp(3, 50);
+    let n_hdemos = 72usize;
+    let n_incbands = 20usize;
+
+    let mut schema = DatabaseSchema::new();
+    schema.add_relation_with_attrs(
+        "StoreSales",
+        &[
+            ("customer", AttrType::Int),
+            ("dateid", AttrType::Int),
+            ("timeid", AttrType::Int),
+            ("item", AttrType::Int),
+            ("store", AttrType::Int),
+            ("hdemo", AttrType::Int),
+            ("quantity", AttrType::Double),
+            ("salesprice", AttrType::Double),
+            ("discount", AttrType::Double),
+            ("netpaid", AttrType::Double),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "Customer",
+        &[
+            ("customer", AttrType::Int),
+            ("caddress", AttrType::Int),
+            ("cdemo", AttrType::Int),
+            ("birth_year", AttrType::Int),
+            ("preferred", AttrType::Categorical),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "CustomerAddress",
+        &[
+            ("caddress", AttrType::Int),
+            ("acity", AttrType::Categorical),
+            ("astate", AttrType::Categorical),
+            ("gmt_offset", AttrType::Int),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "CustomerDemographics",
+        &[
+            ("cdemo", AttrType::Int),
+            ("gender", AttrType::Categorical),
+            ("marital", AttrType::Categorical),
+            ("education", AttrType::Categorical),
+            ("purchase_estimate", AttrType::Double),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "DateDim",
+        &[
+            ("dateid", AttrType::Int),
+            ("year", AttrType::Int),
+            ("moy", AttrType::Int),
+            ("dom", AttrType::Int),
+            ("weekday", AttrType::Categorical),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "TimeDim",
+        &[
+            ("timeid", AttrType::Int),
+            ("hour", AttrType::Int),
+            ("minute", AttrType::Int),
+            ("shift", AttrType::Categorical),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "ItemDim",
+        &[
+            ("item", AttrType::Int),
+            ("icategory", AttrType::Categorical),
+            ("ibrand", AttrType::Categorical),
+            ("iprice", AttrType::Double),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "StoreDim",
+        &[
+            ("store", AttrType::Int),
+            ("scity", AttrType::Categorical),
+            ("sstate", AttrType::Categorical),
+            ("floor_space", AttrType::Double),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "HouseholdDemographics",
+        &[
+            ("hdemo", AttrType::Int),
+            ("incband", AttrType::Int),
+            ("buy_potential", AttrType::Categorical),
+            ("dep_count", AttrType::Int),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "IncomeBand",
+        &[
+            ("incband", AttrType::Int),
+            ("lower_bound", AttrType::Double),
+            ("upper_bound", AttrType::Double),
+        ],
+    );
+
+    // Customers: the "preferred" label correlates with demographics so the
+    // classification tree of Table 5 has signal to find.
+    let cdemo_of_customer: Vec<usize> = (0..n_customers)
+        .map(|_| rng.gen_range(0..n_cdemos))
+        .collect();
+    let customer = build_relation(&schema, "Customer", n_customers, |i| {
+        let cdemo = cdemo_of_customer[i];
+        let birth = rng.gen_range(1930..2000);
+        let preferred = u32::from(cdemo % 3 == 0 || (birth > 1980 && rng.gen_bool(0.6)));
+        vec![
+            Value::Int(i as i64),
+            Value::Int(rng.gen_range(0..n_addresses) as i64),
+            Value::Int(cdemo as i64),
+            Value::Int(birth),
+            Value::Cat(preferred),
+        ]
+    });
+    let store_sales = build_relation(&schema, "StoreSales", n_sales, |_| {
+        let qty = rng.gen_range(1..20) as f64;
+        let price = (rng.gen_range(1.0..300.0f64) * 100.0).round() / 100.0;
+        let discount = (price * rng.gen_range(0.0..0.3)).round();
+        vec![
+            Value::Int(skewed_index(&mut rng, n_customers) as i64),
+            Value::Int(skewed_index(&mut rng, n_dates) as i64),
+            Value::Int(rng.gen_range(0..n_times) as i64),
+            Value::Int(skewed_index(&mut rng, n_items) as i64),
+            Value::Int(rng.gen_range(0..n_stores) as i64),
+            Value::Int(rng.gen_range(0..n_hdemos) as i64),
+            Value::Double(qty),
+            Value::Double(price),
+            Value::Double(discount),
+            Value::Double((qty * price - discount).max(0.0).round()),
+        ]
+    });
+    let customer_address = build_relation(&schema, "CustomerAddress", n_addresses, |i| {
+        vec![
+            Value::Int(i as i64),
+            Value::Cat(rng.gen_range(0..25)),
+            Value::Cat(rng.gen_range(0..10)),
+            Value::Int(rng.gen_range(-8..-4)),
+        ]
+    });
+    let customer_demographics = build_relation(&schema, "CustomerDemographics", n_cdemos, |i| {
+        vec![
+            Value::Int(i as i64),
+            Value::Cat((i % 2) as u32),
+            Value::Cat(rng.gen_range(0..5)),
+            Value::Cat(rng.gen_range(0..7)),
+            Value::Double(rng.gen_range(500.0..10_000.0f64).round()),
+        ]
+    });
+    let date_dim = build_relation(&schema, "DateDim", n_dates, |i| {
+        vec![
+            Value::Int(i as i64),
+            Value::Int(2000 + (i / 365) as i64),
+            Value::Int(1 + ((i / 30) % 12) as i64),
+            Value::Int(1 + (i % 28) as i64),
+            Value::Cat((i % 7) as u32),
+        ]
+    });
+    let time_dim = build_relation(&schema, "TimeDim", n_times, |i| {
+        vec![
+            Value::Int(i as i64),
+            Value::Int((i / 2) as i64),
+            Value::Int(((i % 2) * 30) as i64),
+            Value::Cat((i / 16) as u32),
+        ]
+    });
+    let item_dim = build_relation(&schema, "ItemDim", n_items, |i| {
+        vec![
+            Value::Int(i as i64),
+            Value::Cat(rng.gen_range(0..10)),
+            Value::Cat(rng.gen_range(0..50)),
+            Value::Double((rng.gen_range(1.0..400.0f64) * 100.0).round() / 100.0),
+        ]
+    });
+    let store_dim = build_relation(&schema, "StoreDim", n_stores, |i| {
+        vec![
+            Value::Int(i as i64),
+            Value::Cat(rng.gen_range(0..15)),
+            Value::Cat(rng.gen_range(0..8)),
+            Value::Double(rng.gen_range(5_000.0..90_000.0f64).round()),
+        ]
+    });
+    let household_demographics = build_relation(&schema, "HouseholdDemographics", n_hdemos, |i| {
+        vec![
+            Value::Int(i as i64),
+            Value::Int((i % n_incbands) as i64),
+            Value::Cat(rng.gen_range(0..5)),
+            Value::Int(rng.gen_range(0..6)),
+        ]
+    });
+    let income_band = build_relation(&schema, "IncomeBand", n_incbands, |i| {
+        let lower = (i * 10_000) as f64;
+        vec![
+            Value::Int(i as i64),
+            Value::Double(lower),
+            Value::Double(lower + 10_000.0),
+        ]
+    });
+
+    let db = Database::new(
+        schema.clone(),
+        vec![
+            store_sales,
+            customer,
+            customer_address,
+            customer_demographics,
+            date_dim,
+            time_dim,
+            item_dim,
+            store_dim,
+            household_demographics,
+            income_band,
+        ],
+    )
+    .expect("tpcds relations match the schema");
+    let tree = tree_from_edges(
+        &schema,
+        &[
+            ("StoreSales", "Customer"),
+            ("Customer", "CustomerAddress"),
+            ("Customer", "CustomerDemographics"),
+            ("StoreSales", "DateDim"),
+            ("StoreSales", "TimeDim"),
+            ("StoreSales", "ItemDim"),
+            ("StoreSales", "StoreDim"),
+            ("StoreSales", "HouseholdDemographics"),
+            ("HouseholdDemographics", "IncomeBand"),
+        ],
+    )
+    .expect("tpcds join tree is valid");
+
+    Dataset {
+        name: "TPC-DS".to_string(),
+        db,
+        tree,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_relations_snowflake() {
+        let ds = generate(Scale::small());
+        assert_eq!(ds.db.schema().num_relations(), 10);
+        assert_eq!(ds.tree.num_nodes(), 10);
+        let fact = ds.tree.node_of_relation("StoreSales").unwrap();
+        assert_eq!(ds.tree.neighbors(fact).len(), 6);
+        let customer = ds.tree.node_of_relation("Customer").unwrap();
+        assert_eq!(ds.tree.neighbors(customer).len(), 3);
+    }
+
+    #[test]
+    fn label_is_binary_and_present() {
+        let ds = generate(Scale::small());
+        let customer = ds.db.relation("Customer").unwrap();
+        let col = customer.position(ds.attr("preferred")).unwrap();
+        let distinct = customer.distinct_count(col);
+        assert!(distinct <= 2 && distinct >= 1);
+    }
+
+    #[test]
+    fn many_attributes_overall() {
+        let ds = generate(Scale::small());
+        assert!(ds.db.schema().num_attributes() >= 35);
+        assert!(!ds.db.attributes_of_type(lmfao_data::AttrType::Categorical).is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(Scale::new(250, 2));
+        let b = generate(Scale::new(250, 2));
+        assert_eq!(a.total_tuples(), b.total_tuples());
+        assert_eq!(
+            a.db.relation("StoreSales").unwrap().row(3),
+            b.db.relation("StoreSales").unwrap().row(3)
+        );
+    }
+}

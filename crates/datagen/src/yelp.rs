@@ -1,0 +1,178 @@
+//! Synthetic Yelp dataset (star schema with many-to-many joins, Figure 6c).
+//!
+//! Relations:
+//! * `Review(user_id, business_id, stars, useful, review_year)` — the fact table,
+//! * `User(user_id, user_review_count, user_avg_stars, user_since, fans)`,
+//! * `Business(business_id, bcity, bstate, bstars, breview_count, is_open)`,
+//! * `Category(business_id, category)` — many-to-many,
+//! * `Attribute(business_id, battribute)` — many-to-many.
+//!
+//! Join tree: Review — {User, Business}, Business — {Category, Attribute}.
+//! Because a business has several categories and attributes, the join result
+//! is much larger than the input database (Table 1's Yelp row), which is the
+//! case where avoiding join materialization matters most.
+
+use crate::common::{build_relation, skewed_index, tree_from_edges, Dataset, Scale};
+use lmfao_data::{AttrType, Database, DatabaseSchema, Value};
+use rand::Rng;
+
+/// Generates the synthetic Yelp dataset at the given scale.
+pub fn generate(scale: Scale) -> Dataset {
+    let mut rng = scale.rng();
+    let n_reviews = scale.fact_rows.max(10);
+    let n_users = (n_reviews / 10).clamp(10, 10_000);
+    let n_businesses = (n_reviews / 20).clamp(5, 5_000);
+    let n_categories = 20usize;
+    let n_attributes = 15usize;
+
+    let mut schema = DatabaseSchema::new();
+    schema.add_relation_with_attrs(
+        "Review",
+        &[
+            ("user_id", AttrType::Int),
+            ("business_id", AttrType::Int),
+            ("stars", AttrType::Double),
+            ("useful", AttrType::Int),
+            ("review_year", AttrType::Int),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "User",
+        &[
+            ("user_id", AttrType::Int),
+            ("user_review_count", AttrType::Double),
+            ("user_avg_stars", AttrType::Double),
+            ("user_since", AttrType::Int),
+            ("fans", AttrType::Double),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "Business",
+        &[
+            ("business_id", AttrType::Int),
+            ("bcity", AttrType::Categorical),
+            ("bstate", AttrType::Categorical),
+            ("bstars", AttrType::Double),
+            ("breview_count", AttrType::Double),
+            ("is_open", AttrType::Int),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "Category",
+        &[
+            ("business_id", AttrType::Int),
+            ("category", AttrType::Categorical),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "Attribute",
+        &[
+            ("business_id", AttrType::Int),
+            ("battribute", AttrType::Categorical),
+        ],
+    );
+
+    let review = build_relation(&schema, "Review", n_reviews, |_| {
+        let user = skewed_index(&mut rng, n_users) as i64;
+        let business = skewed_index(&mut rng, n_businesses) as i64;
+        vec![
+            Value::Int(user),
+            Value::Int(business),
+            Value::Double(rng.gen_range(1..=5) as f64),
+            Value::Int(rng.gen_range(0..20)),
+            Value::Int(rng.gen_range(2010..2018)),
+        ]
+    });
+    let user = build_relation(&schema, "User", n_users, |i| {
+        vec![
+            Value::Int(i as i64),
+            Value::Double(rng.gen_range(1.0..500.0f64).round()),
+            Value::Double((rng.gen_range(1.0..5.0f64) * 100.0).round() / 100.0),
+            Value::Int(rng.gen_range(2004..2017)),
+            Value::Double(rng.gen_range(0.0..200.0f64).round()),
+        ]
+    });
+    let business = build_relation(&schema, "Business", n_businesses, |i| {
+        vec![
+            Value::Int(i as i64),
+            Value::Cat(rng.gen_range(0..12)),
+            Value::Cat(rng.gen_range(0..6)),
+            Value::Double(rng.gen_range(1.0..5.0f64)),
+            Value::Double(rng.gen_range(3.0..1000.0f64).round()),
+            Value::Int(i64::from(rng.gen_bool(0.8))),
+        ]
+    });
+    // Many-to-many: each business gets 2–5 categories and 1–4 attributes.
+    let mut cat_rows = Vec::new();
+    let mut attr_rows = Vec::new();
+    for b in 0..n_businesses {
+        for _ in 0..rng.gen_range(2..=5usize) {
+            cat_rows.push((b as i64, rng.gen_range(0..n_categories) as u32));
+        }
+        for _ in 0..rng.gen_range(1..=4usize) {
+            attr_rows.push((b as i64, rng.gen_range(0..n_attributes) as u32));
+        }
+    }
+    let category = build_relation(&schema, "Category", cat_rows.len(), |i| {
+        vec![Value::Int(cat_rows[i].0), Value::Cat(cat_rows[i].1)]
+    });
+    let attribute = build_relation(&schema, "Attribute", attr_rows.len(), |i| {
+        vec![Value::Int(attr_rows[i].0), Value::Cat(attr_rows[i].1)]
+    });
+
+    let db = Database::new(
+        schema.clone(),
+        vec![review, user, business, category, attribute],
+    )
+    .expect("yelp relations match the schema");
+    let tree = tree_from_edges(
+        &schema,
+        &[
+            ("Review", "User"),
+            ("Review", "Business"),
+            ("Business", "Category"),
+            ("Business", "Attribute"),
+        ],
+    )
+    .expect("yelp join tree is valid");
+
+    Dataset {
+        name: "Yelp".to_string(),
+        db,
+        tree,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmfao_jointree::natural_join;
+
+    #[test]
+    fn structure_matches_figure() {
+        let ds = generate(Scale::small());
+        assert_eq!(ds.db.schema().num_relations(), 5);
+        let review = ds.tree.node_of_relation("Review").unwrap();
+        let business = ds.tree.node_of_relation("Business").unwrap();
+        assert_eq!(ds.tree.neighbors(review).len(), 2);
+        assert_eq!(ds.tree.neighbors(business).len(), 3);
+    }
+
+    #[test]
+    fn many_to_many_joins_blow_up_the_join_result() {
+        let ds = generate(Scale::new(400, 3));
+        // Join Business ⋈ Category ⋈ Attribute alone multiplies rows.
+        let b = ds.db.relation("Business").unwrap();
+        let c = ds.db.relation("Category").unwrap();
+        let a = ds.db.relation("Attribute").unwrap();
+        let j = natural_join(&[b, c, a], "BCA");
+        assert!(j.len() > b.len() * 2, "join must be larger than the input");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(Scale::new(200, 11));
+        let b = generate(Scale::new(200, 11));
+        assert_eq!(a.total_tuples(), b.total_tuples());
+    }
+}

@@ -1,0 +1,19 @@
+//! # lmfao-expr
+//!
+//! The aggregate language of LMFAO: scalar functions (identity, powers,
+//! Kronecker-delta indicators, exponentials, dynamic functions), aggregates
+//! as sums of products of functions, group-by aggregate queries of the form
+//! `Q(F; α) += R1, …, Rm`, and batches of such queries over the same natural
+//! join.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod dynamic;
+pub mod function;
+pub mod query;
+
+pub use aggregate::{Aggregate, ProductTerm};
+pub use dynamic::{DynamicFn, DynamicRegistry};
+pub use function::{CmpOp, ScalarFunction};
+pub use query::{Query, QueryBatch, QueryId};

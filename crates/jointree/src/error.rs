@@ -1,0 +1,64 @@
+//! Errors raised during join-tree construction.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, JoinTreeError>;
+
+/// Errors raised by join-tree construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinTreeError {
+    /// The schema has no relations.
+    Empty,
+    /// The provided edges do not form a tree over the nodes.
+    NotATree(String),
+    /// The running-intersection property is violated.
+    RunningIntersectionViolated {
+        /// First relation of the offending pair.
+        a: String,
+        /// Second relation of the offending pair.
+        b: String,
+        /// Relation on the path that misses a shared attribute.
+        missing_at: String,
+    },
+    /// The join is cyclic and no decomposition was requested.
+    Cyclic(String),
+    /// A referenced relation does not exist.
+    UnknownRelation(String),
+}
+
+impl fmt::Display for JoinTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinTreeError::Empty => write!(f, "cannot build a join tree over zero relations"),
+            JoinTreeError::NotATree(msg) => write!(f, "edges do not form a tree: {msg}"),
+            JoinTreeError::RunningIntersectionViolated { a, b, missing_at } => write!(
+                f,
+                "running intersection violated: attributes shared by `{a}` and `{b}` missing at `{missing_at}`"
+            ),
+            JoinTreeError::Cyclic(msg) => write!(f, "join is cyclic: {msg}"),
+            JoinTreeError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for JoinTreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(JoinTreeError::Empty.to_string().contains("zero relations"));
+        assert!(JoinTreeError::Cyclic("triangle".into())
+            .to_string()
+            .contains("triangle"));
+        let e = JoinTreeError::RunningIntersectionViolated {
+            a: "R".into(),
+            b: "T".into(),
+            missing_at: "S".into(),
+        };
+        assert!(e.to_string().contains("`S`"));
+    }
+}

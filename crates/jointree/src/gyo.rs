@@ -1,0 +1,423 @@
+//! Join-tree construction via GYO ear reduction, with a greedy hypertree
+//! decomposition fallback for cyclic joins.
+//!
+//! Acyclic joins always admit join trees; the GYO (Graham / Yu–Özsoyoğlu)
+//! reduction finds one by repeatedly removing *ears*: hyperedges whose
+//! attributes are either private to them or entirely contained in some other
+//! hyperedge (the witness). The ear becomes a child of its witness in the
+//! join tree. If the reduction gets stuck before consuming all edges, the join
+//! is cyclic; the paper then computes a hypertree decomposition and
+//! materializes its bags (footnote 1). We provide a greedy decomposition that
+//! merges the residual cyclic edges into bags until the hypergraph becomes
+//! acyclic.
+
+use crate::error::{JoinTreeError, Result};
+use crate::hypergraph::{Hyperedge, Hypergraph};
+use crate::tree::{JoinTree, JoinTreeNode};
+use lmfao_data::{AttrId, FxHashMap, FxHashSet};
+
+/// Outcome of join-tree construction: the tree itself plus, for cyclic
+/// inputs, the bags that must be materialized (each bag lists the names of
+/// the base relations it joins).
+#[derive(Debug, Clone)]
+pub struct JoinTreePlan {
+    /// The constructed join tree.
+    pub tree: JoinTree,
+    /// For each tree node, the base relations it covers. Singleton lists are
+    /// plain base relations; longer lists are bags that must be materialized
+    /// before execution.
+    pub node_sources: Vec<Vec<String>>,
+}
+
+impl JoinTreePlan {
+    /// True if the plan requires no bag materialization (the join is acyclic).
+    pub fn is_acyclic(&self) -> bool {
+        self.node_sources.iter().all(|s| s.len() == 1)
+    }
+
+    /// The bags that must be materialized: `(node id, relations)`.
+    pub fn bags(&self) -> Vec<(usize, &[String])> {
+        self.node_sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.len() > 1)
+            .map(|(i, s)| (i, s.as_slice()))
+            .collect()
+    }
+}
+
+/// Checks whether `ear` is an ear with respect to the other edges: every
+/// attribute of `ear` that occurs in some other edge is contained in a single
+/// witness edge. Returns the witness index.
+fn find_witness(edges: &[Hyperedge], ear_idx: usize, alive: &[bool]) -> Option<usize> {
+    let ear = &edges[ear_idx];
+    // Attributes of the ear that appear in some other alive edge.
+    let mut shared: Vec<AttrId> = Vec::new();
+    for &a in &ear.attrs {
+        let occurs_elsewhere = edges.iter().enumerate().any(|(j, e)| {
+            j != ear_idx && alive[j] && e.contains(a)
+        });
+        if occurs_elsewhere {
+            shared.push(a);
+        }
+    }
+    if shared.is_empty() {
+        // Fully private ear: any other alive edge can serve as witness; pick
+        // the first. (If none is alive, the caller handles the last edge.)
+        return edges
+            .iter()
+            .enumerate()
+            .find(|(j, _)| *j != ear_idx && alive[*j])
+            .map(|(j, _)| j);
+    }
+    edges.iter().enumerate().find_map(|(j, e)| {
+        if j != ear_idx && alive[j] && shared.iter().all(|a| e.contains(*a)) {
+            Some(j)
+        } else {
+            None
+        }
+    })
+}
+
+/// Runs the GYO reduction. Returns `Ok(edges of the join tree over hyperedge
+/// indices)` when the hypergraph is acyclic, or `Err(indices of the residual
+/// cyclic core)` otherwise.
+fn gyo_reduction(edges: &[Hyperedge]) -> std::result::Result<Vec<(usize, usize)>, Vec<usize>> {
+    let n = edges.len();
+    let mut alive = vec![true; n];
+    let mut remaining = n;
+    let mut tree_edges = Vec::new();
+    while remaining > 1 {
+        let mut removed_any = false;
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            if let Some(witness) = find_witness(edges, i, &alive) {
+                tree_edges.push((i, witness));
+                alive[i] = false;
+                remaining -= 1;
+                removed_any = true;
+                if remaining == 1 {
+                    break;
+                }
+            }
+        }
+        if !removed_any {
+            let residual: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+            return Err(residual);
+        }
+    }
+    Ok(tree_edges)
+}
+
+/// Checks whether a hypergraph is acyclic (admits a join tree).
+pub fn is_acyclic(hypergraph: &Hypergraph) -> bool {
+    gyo_reduction(&hypergraph.edges).is_ok()
+}
+
+/// Builds a join tree for an acyclic hypergraph. Fails with
+/// [`JoinTreeError::Cyclic`] if the hypergraph is cyclic — use
+/// [`build_join_tree_plan`] to also handle cyclic joins by decomposition.
+pub fn build_join_tree(hypergraph: &Hypergraph) -> Result<JoinTree> {
+    if hypergraph.is_empty() {
+        return Err(JoinTreeError::Empty);
+    }
+    match gyo_reduction(&hypergraph.edges) {
+        Ok(tree_edges) => {
+            let nodes: Vec<JoinTreeNode> = hypergraph
+                .edges
+                .iter()
+                .enumerate()
+                .map(|(id, e)| JoinTreeNode {
+                    id,
+                    relation: e.name.clone(),
+                    attrs: e.attrs.clone(),
+                })
+                .collect();
+            JoinTree::new(nodes, &tree_edges)
+        }
+        Err(residual) => Err(JoinTreeError::Cyclic(format!(
+            "residual cyclic core of {} relations",
+            residual.len()
+        ))),
+    }
+}
+
+/// Builds a join-tree plan for an arbitrary hypergraph. Cyclic cores are
+/// greedily merged into bags (hypertree-decomposition style): the pair of
+/// residual edges with the largest attribute overlap is merged first, until
+/// the hypergraph becomes acyclic. Bags appear in the resulting plan's
+/// `node_sources` with more than one base relation and must be materialized
+/// by joining those relations before execution.
+pub fn build_join_tree_plan(hypergraph: &Hypergraph) -> Result<JoinTreePlan> {
+    if hypergraph.is_empty() {
+        return Err(JoinTreeError::Empty);
+    }
+    // Working copy: each working edge tracks the base relations it covers.
+    let mut edges: Vec<Hyperedge> = hypergraph.edges.clone();
+    let mut sources: Vec<Vec<String>> = hypergraph
+        .edges
+        .iter()
+        .map(|e| vec![e.name.clone()])
+        .collect();
+
+    loop {
+        match gyo_reduction(&edges) {
+            Ok(tree_edges) => {
+                let nodes: Vec<JoinTreeNode> = edges
+                    .iter()
+                    .enumerate()
+                    .map(|(id, e)| JoinTreeNode {
+                        id,
+                        relation: e.name.clone(),
+                        attrs: e.attrs.clone(),
+                    })
+                    .collect();
+                let tree = JoinTree::new(nodes, &tree_edges)?;
+                return Ok(JoinTreePlan {
+                    tree,
+                    node_sources: sources,
+                });
+            }
+            Err(residual) => {
+                // Merge the residual pair with the largest attribute overlap.
+                let (mut best_i, mut best_j, mut best_overlap) = (residual[0], residual[1], 0usize);
+                for (xi, &i) in residual.iter().enumerate() {
+                    for &j in &residual[xi + 1..] {
+                        let set: FxHashSet<AttrId> = edges[i].attrs.iter().copied().collect();
+                        let overlap = edges[j].attrs.iter().filter(|a| set.contains(a)).count();
+                        if overlap >= best_overlap {
+                            best_i = i;
+                            best_j = j;
+                            best_overlap = overlap;
+                        }
+                    }
+                }
+                // Merge j into i.
+                let merged_name = format!("{}+{}", edges[best_i].name, edges[best_j].name);
+                let mut merged_attrs = edges[best_i].attrs.clone();
+                for &a in &edges[best_j].attrs {
+                    if !merged_attrs.contains(&a) {
+                        merged_attrs.push(a);
+                    }
+                }
+                let mut merged_sources = sources[best_i].clone();
+                merged_sources.extend(sources[best_j].clone());
+                // Remove the two old edges (higher index first) and push the bag.
+                let (lo, hi) = if best_i < best_j {
+                    (best_i, best_j)
+                } else {
+                    (best_j, best_i)
+                };
+                edges.remove(hi);
+                edges.remove(lo);
+                sources.remove(hi);
+                sources.remove(lo);
+                edges.push(Hyperedge::new(merged_name, merged_attrs));
+                sources.push(merged_sources);
+            }
+        }
+    }
+}
+
+/// Builds a join tree from an explicit list of `relation — relation` edges
+/// (used when reproducing the paper's hand-picked join trees of Figure 6).
+pub fn join_tree_from_named_edges(
+    hypergraph: &Hypergraph,
+    edges: &[(&str, &str)],
+) -> Result<JoinTree> {
+    let index: FxHashMap<&str, usize> = hypergraph
+        .edges
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.name.as_str(), i))
+        .collect();
+    let mut tree_edges = Vec::with_capacity(edges.len());
+    for &(a, b) in edges {
+        let ia = *index
+            .get(a)
+            .ok_or_else(|| JoinTreeError::UnknownRelation(a.to_string()))?;
+        let ib = *index
+            .get(b)
+            .ok_or_else(|| JoinTreeError::UnknownRelation(b.to_string()))?;
+        tree_edges.push((ia, ib));
+    }
+    let nodes: Vec<JoinTreeNode> = hypergraph
+        .edges
+        .iter()
+        .enumerate()
+        .map(|(id, e)| JoinTreeNode {
+            id,
+            relation: e.name.clone(),
+            attrs: e.attrs.clone(),
+        })
+        .collect();
+    JoinTree::new(nodes, &tree_edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmfao_data::{AttrType, DatabaseSchema};
+
+    fn chain(n: usize) -> Hypergraph {
+        let mut s = DatabaseSchema::new();
+        for k in 1..n {
+            s.add_relation_with_attrs(
+                format!("S{k}"),
+                &[
+                    (&format!("X{k}"), AttrType::Int),
+                    (&format!("X{}", k + 1), AttrType::Int),
+                ],
+            );
+        }
+        Hypergraph::from_schema(&s)
+    }
+
+    fn triangle() -> Hypergraph {
+        Hypergraph::from_edges(vec![
+            ("R".into(), vec![AttrId(0), AttrId(1)]),
+            ("S".into(), vec![AttrId(1), AttrId(2)]),
+            ("T".into(), vec![AttrId(2), AttrId(0)]),
+        ])
+    }
+
+    #[test]
+    fn chain_is_acyclic_and_builds_a_path_tree() {
+        let h = chain(5);
+        assert!(is_acyclic(&h));
+        let t = build_join_tree(&h).unwrap();
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.edges().len(), 3);
+        // A chain join tree is a path: max degree 2.
+        assert!((0..4).all(|i| t.neighbors(i).len() <= 2));
+    }
+
+    #[test]
+    fn star_schema_is_acyclic() {
+        let mut s = DatabaseSchema::new();
+        s.add_relation_with_attrs(
+            "Fact",
+            &[
+                ("k1", AttrType::Int),
+                ("k2", AttrType::Int),
+                ("k3", AttrType::Int),
+                ("m", AttrType::Double),
+            ],
+        );
+        s.add_relation_with_attrs("D1", &[("k1", AttrType::Int), ("a", AttrType::Int)]);
+        s.add_relation_with_attrs("D2", &[("k2", AttrType::Int), ("b", AttrType::Int)]);
+        s.add_relation_with_attrs("D3", &[("k3", AttrType::Int), ("c", AttrType::Int)]);
+        let h = Hypergraph::from_schema(&s);
+        let t = build_join_tree(&h).unwrap();
+        assert_eq!(t.num_nodes(), 4);
+        // The fact table is the hub: degree 3.
+        let fact = t.node_of_relation("Fact").unwrap();
+        assert_eq!(t.neighbors(fact).len(), 3);
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let h = triangle();
+        assert!(!is_acyclic(&h));
+        assert!(matches!(
+            build_join_tree(&h).unwrap_err(),
+            JoinTreeError::Cyclic(_)
+        ));
+    }
+
+    #[test]
+    fn triangle_plan_materializes_a_bag() {
+        let h = triangle();
+        let plan = build_join_tree_plan(&h).unwrap();
+        assert!(!plan.is_acyclic());
+        assert!(!plan.bags().is_empty());
+        // All three base relations are still covered.
+        let covered: usize = plan.node_sources.iter().map(Vec::len).sum();
+        assert_eq!(covered, 3);
+    }
+
+    #[test]
+    fn acyclic_plan_has_singleton_sources() {
+        let h = chain(4);
+        let plan = build_join_tree_plan(&h).unwrap();
+        assert!(plan.is_acyclic());
+        assert!(plan.bags().is_empty());
+        assert_eq!(plan.tree.num_nodes(), 3);
+    }
+
+    #[test]
+    fn named_edges_construction_matches_figure() {
+        // Favorita-style: Sales - {Holidays, Items, Transactions}, Transactions - {StoRes, Oil}
+        let h = Hypergraph::from_edges(vec![
+            ("Sales".into(), vec![AttrId(0), AttrId(1), AttrId(2)]),
+            ("Holidays".into(), vec![AttrId(0), AttrId(3)]),
+            ("Items".into(), vec![AttrId(2), AttrId(4)]),
+            ("Transactions".into(), vec![AttrId(0), AttrId(1), AttrId(5)]),
+            ("StoRes".into(), vec![AttrId(1), AttrId(6)]),
+            ("Oil".into(), vec![AttrId(0), AttrId(7)]),
+        ]);
+        let t = join_tree_from_named_edges(
+            &h,
+            &[
+                ("Sales", "Holidays"),
+                ("Sales", "Items"),
+                ("Sales", "Transactions"),
+                ("Transactions", "StoRes"),
+                ("Transactions", "Oil"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.num_nodes(), 6);
+        let sales = t.node_of_relation("Sales").unwrap();
+        assert_eq!(t.neighbors(sales).len(), 3);
+        assert!(join_tree_from_named_edges(&h, &[("Sales", "Nope")]).is_err());
+    }
+
+    #[test]
+    fn empty_hypergraph_rejected() {
+        let h = Hypergraph::default();
+        assert!(matches!(
+            build_join_tree(&h).unwrap_err(),
+            JoinTreeError::Empty
+        ));
+        assert!(matches!(
+            build_join_tree_plan(&h).unwrap_err(),
+            JoinTreeError::Empty
+        ));
+    }
+
+    #[test]
+    fn single_relation_tree() {
+        let h = Hypergraph::from_edges(vec![("R".into(), vec![AttrId(0)])]);
+        let t = build_join_tree(&h).unwrap();
+        assert_eq!(t.num_nodes(), 1);
+        assert!(t.edges().is_empty());
+    }
+
+    #[test]
+    fn snowflake_with_two_levels() {
+        // Fact - Dim1 - SubDim (snowflake, like Retailer's Location - Census).
+        let mut s = DatabaseSchema::new();
+        s.add_relation_with_attrs(
+            "Inventory",
+            &[("locn", AttrType::Int), ("sku", AttrType::Int)],
+        );
+        s.add_relation_with_attrs(
+            "Location",
+            &[("locn", AttrType::Int), ("zip", AttrType::Int)],
+        );
+        s.add_relation_with_attrs(
+            "Census",
+            &[("zip", AttrType::Int), ("population", AttrType::Int)],
+        );
+        s.add_relation_with_attrs("Items", &[("sku", AttrType::Int), ("price", AttrType::Double)]);
+        let h = Hypergraph::from_schema(&s);
+        let t = build_join_tree(&h).unwrap();
+        // Census must hang off Location (only shared attribute zip).
+        let census = t.node_of_relation("Census").unwrap();
+        let location = t.node_of_relation("Location").unwrap();
+        assert_eq!(t.neighbors(census), &[location]);
+    }
+}

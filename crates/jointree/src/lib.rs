@@ -1,0 +1,20 @@
+//! # lmfao-jointree
+//!
+//! Join-tree construction for LMFAO: the schema hypergraph, the GYO ear
+//! reduction that builds join trees for acyclic natural joins, a greedy
+//! hypertree decomposition with bag materialization for cyclic joins, and the
+//! natural-join materialization routine shared with the baseline engines.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod gyo;
+pub mod hypergraph;
+pub mod materialize;
+pub mod tree;
+
+pub use error::{JoinTreeError, Result};
+pub use gyo::{build_join_tree, build_join_tree_plan, is_acyclic, join_tree_from_named_edges, JoinTreePlan};
+pub use hypergraph::{Hyperedge, Hypergraph};
+pub use materialize::{natural_join, natural_join_pair};
+pub use tree::{JoinTree, JoinTreeNode};

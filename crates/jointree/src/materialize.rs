@@ -1,0 +1,167 @@
+//! Natural-join materialization.
+//!
+//! Two users: (1) bags of a hypertree decomposition are materialized before
+//! the LMFAO engine runs over the join tree of the decomposition (footnote 1
+//! of the paper); (2) the baseline engines (`lmfao-baseline`) materialize the
+//! full join — exactly what the paper's competitors (PostgreSQL exports for
+//! TensorFlow/scikit, MADlib's view) must do, and what LMFAO avoids.
+
+use lmfao_data::{AttrId, FxHashMap, Relation, RelationSchema, Value};
+
+/// Hash-joins two relations on their shared attributes (natural join).
+/// The output schema is `left ∪ right` with the left attributes first.
+pub fn natural_join_pair(left: &Relation, right: &Relation, out_name: &str) -> Relation {
+    let left_attrs = &left.schema().attrs;
+    let right_attrs = &right.schema().attrs;
+    let shared: Vec<AttrId> = left_attrs
+        .iter()
+        .copied()
+        .filter(|a| right_attrs.contains(a))
+        .collect();
+    let left_key_pos: Vec<usize> = shared.iter().map(|a| left.position(*a).unwrap()).collect();
+    let right_key_pos: Vec<usize> = shared.iter().map(|a| right.position(*a).unwrap()).collect();
+    let right_extra_pos: Vec<usize> = right_attrs
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !shared.contains(a))
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut out_attrs = left_attrs.clone();
+    out_attrs.extend(right_extra_pos.iter().map(|&i| right_attrs[i]));
+    let mut out = Relation::new(RelationSchema::new(out_name, out_attrs));
+
+    // Build side: the smaller relation would be preferable, but keeping the
+    // build on the right keeps output attribute order deterministic.
+    let mut index: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+    for i in 0..right.len() {
+        let key: Vec<Value> = right_key_pos.iter().map(|&p| right.value(i, p)).collect();
+        index.entry(key).or_default().push(i);
+    }
+
+    let mut row: Vec<Value> = Vec::with_capacity(out.arity());
+    for i in 0..left.len() {
+        let key: Vec<Value> = left_key_pos.iter().map(|&p| left.value(i, p)).collect();
+        if let Some(matches) = index.get(&key) {
+            for &j in matches {
+                row.clear();
+                row.extend_from_slice(left.row(i));
+                for &p in &right_extra_pos {
+                    row.push(right.value(j, p));
+                }
+                out.push_row_unchecked(&row);
+            }
+        }
+    }
+    out
+}
+
+/// Natural join of several relations, performed pairwise in the given order.
+/// Relations are joined left to right; for join trees this order should be a
+/// BFS/DFS order so every join has at least one shared attribute (otherwise
+/// the pairwise join degenerates to a cartesian product, as in SQL).
+pub fn natural_join(relations: &[&Relation], out_name: &str) -> Relation {
+    assert!(!relations.is_empty(), "cannot join zero relations");
+    let mut acc = relations[0].clone();
+    for (k, rel) in relations.iter().enumerate().skip(1) {
+        let name = if k + 1 == relations.len() {
+            out_name.to_string()
+        } else {
+            format!("{out_name}_{k}")
+        };
+        acc = natural_join_pair(&acc, rel, &name);
+    }
+    if relations.len() == 1 {
+        let (schema, data) = acc.into_parts();
+        let renamed = RelationSchema::new(out_name, schema.attrs);
+        let mut out = Relation::new(renamed);
+        for chunk in data.chunks(out.arity().max(1)) {
+            out.push_row_unchecked(chunk);
+        }
+        return out;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(name: &str, attrs: Vec<AttrId>, rows: Vec<Vec<i64>>) -> Relation {
+        let schema = RelationSchema::new(name, attrs);
+        let rows = rows
+            .into_iter()
+            .map(|r| r.into_iter().map(Value::Int).collect())
+            .collect();
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn pair_join_on_single_shared_attr() {
+        // R(a, b) ⋈ S(b, c)
+        let r = rel("R", vec![AttrId(0), AttrId(1)], vec![vec![1, 10], vec![2, 20], vec![3, 10]]);
+        let s = rel("S", vec![AttrId(1), AttrId(2)], vec![vec![10, 100], vec![10, 200], vec![30, 300]]);
+        let j = natural_join_pair(&r, &s, "RS");
+        // b=10 matches rows {1,3} x {100,200} = 4 tuples; b=20/30 match nothing.
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.arity(), 3);
+        assert_eq!(j.schema().attrs, vec![AttrId(0), AttrId(1), AttrId(2)]);
+    }
+
+    #[test]
+    fn pair_join_without_shared_attrs_is_cartesian() {
+        let r = rel("R", vec![AttrId(0)], vec![vec![1], vec![2]]);
+        let s = rel("S", vec![AttrId(1)], vec![vec![10], vec![20], vec![30]]);
+        let j = natural_join_pair(&r, &s, "RS");
+        assert_eq!(j.len(), 6);
+    }
+
+    #[test]
+    fn multi_way_join_chain() {
+        // S1(x1,x2) ⋈ S2(x2,x3) ⋈ S3(x3,x4)
+        let s1 = rel("S1", vec![AttrId(0), AttrId(1)], vec![vec![1, 2], vec![5, 6]]);
+        let s2 = rel("S2", vec![AttrId(1), AttrId(2)], vec![vec![2, 3], vec![2, 4]]);
+        let s3 = rel("S3", vec![AttrId(2), AttrId(3)], vec![vec![3, 9], vec![4, 8]]);
+        let j = natural_join(&[&s1, &s2, &s3], "J");
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.arity(), 4);
+        assert_eq!(j.name(), "J");
+        let rows: Vec<Vec<i64>> = j.rows().map(|r| r.iter().map(|v| v.as_i64()).collect()).collect();
+        assert!(rows.contains(&vec![1, 2, 3, 9]));
+        assert!(rows.contains(&vec![1, 2, 4, 8]));
+    }
+
+    #[test]
+    fn single_relation_join_renames() {
+        let r = rel("R", vec![AttrId(0)], vec![vec![7]]);
+        let j = natural_join(&[&r], "Renamed");
+        assert_eq!(j.name(), "Renamed");
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn many_to_many_join_grows_output() {
+        // Yelp-style: the join result is much larger than either input.
+        let r = rel(
+            "R",
+            vec![AttrId(0), AttrId(1)],
+            (0..10).map(|i| vec![1, i]).collect(),
+        );
+        let s = rel(
+            "S",
+            vec![AttrId(0), AttrId(2)],
+            (0..10).map(|i| vec![1, 100 + i]).collect(),
+        );
+        let j = natural_join_pair(&r, &s, "RS");
+        assert_eq!(j.len(), 100);
+        assert!(j.len() > r.len() + s.len());
+    }
+
+    #[test]
+    fn empty_input_produces_empty_join() {
+        let r = rel("R", vec![AttrId(0), AttrId(1)], vec![]);
+        let s = rel("S", vec![AttrId(1), AttrId(2)], vec![vec![1, 2]]);
+        let j = natural_join_pair(&r, &s, "RS");
+        assert!(j.is_empty());
+    }
+}

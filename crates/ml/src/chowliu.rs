@@ -1,0 +1,163 @@
+//! Chow–Liu trees: learning the structure of a tree-shaped Bayesian network.
+//!
+//! The Chow–Liu algorithm builds the maximum spanning tree of the complete
+//! graph over the attributes, weighted by pairwise mutual information
+//! (Section 2 "Mutual Information"). The data-intensive part — the MI matrix —
+//! is one LMFAO batch; the spanning tree itself is a tiny Kruskal pass.
+
+use crate::mutual_info::MutualInfoMatrix;
+use lmfao_data::AttrId;
+
+/// A learned Chow–Liu tree: an undirected spanning tree over the attributes.
+#[derive(Debug, Clone)]
+pub struct ChowLiuTree {
+    /// The attributes (nodes of the tree).
+    pub attrs: Vec<AttrId>,
+    /// The selected edges as index pairs into `attrs`, with their mutual
+    /// information, in the order they were added (decreasing MI).
+    pub edges: Vec<(usize, usize, f64)>,
+}
+
+impl ChowLiuTree {
+    /// Total mutual information captured by the tree (the quantity the
+    /// algorithm maximizes).
+    pub fn total_mutual_information(&self) -> f64 {
+        self.edges.iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// The neighbors of a node (by index into `attrs`).
+    pub fn neighbors(&self, node: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter_map(|&(a, b, _)| {
+                if a == node {
+                    Some(b)
+                } else if b == node {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+/// Union–find for Kruskal's algorithm.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+}
+
+/// Builds the Chow–Liu tree from a mutual-information matrix via Kruskal's
+/// maximum-spanning-tree algorithm.
+pub fn chow_liu_tree(mi: &MutualInfoMatrix) -> ChowLiuTree {
+    let n = mi.attrs.len();
+    let mut candidates: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            candidates.push((i, j, mi.get(i, j)));
+        }
+    }
+    candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    let mut uf = UnionFind::new(n);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for (i, j, w) in candidates {
+        if edges.len() + 1 >= n && n > 0 {
+            if edges.len() == n - 1 {
+                break;
+            }
+        }
+        if uf.union(i, j) {
+            edges.push((i, j, w));
+        }
+    }
+    ChowLiuTree {
+        attrs: mi.attrs.clone(),
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(attrs: usize, entries: &[(usize, usize, f64)]) -> MutualInfoMatrix {
+        let mut values = vec![vec![0.0; attrs]; attrs];
+        for &(i, j, w) in entries {
+            values[i][j] = w;
+            values[j][i] = w;
+        }
+        MutualInfoMatrix {
+            attrs: (0..attrs as u32).map(AttrId).collect(),
+            values,
+        }
+    }
+
+    #[test]
+    fn picks_the_maximum_spanning_tree() {
+        // 0-1 strong, 1-2 strong, 0-2 weak: the weak edge must be dropped.
+        let mi = matrix(3, &[(0, 1, 0.9), (1, 2, 0.8), (0, 2, 0.1)]);
+        let tree = chow_liu_tree(&mi);
+        assert_eq!(tree.edges.len(), 2);
+        assert!((tree.total_mutual_information() - 1.7).abs() < 1e-12);
+        let picked: Vec<(usize, usize)> = tree.edges.iter().map(|&(a, b, _)| (a, b)).collect();
+        assert!(picked.contains(&(0, 1)));
+        assert!(picked.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn tree_is_spanning_and_acyclic() {
+        let mi = matrix(
+            5,
+            &[
+                (0, 1, 0.5),
+                (0, 2, 0.4),
+                (0, 3, 0.3),
+                (0, 4, 0.2),
+                (1, 2, 0.45),
+                (3, 4, 0.35),
+            ],
+        );
+        let tree = chow_liu_tree(&mi);
+        assert_eq!(tree.edges.len(), 4);
+        // Every node is connected.
+        for node in 0..5 {
+            assert!(
+                !tree.neighbors(node).is_empty(),
+                "node {node} must have a neighbor"
+            );
+        }
+    }
+
+    #[test]
+    fn single_attribute_tree_has_no_edges() {
+        let mi = matrix(1, &[]);
+        let tree = chow_liu_tree(&mi);
+        assert!(tree.edges.is_empty());
+        assert_eq!(tree.total_mutual_information(), 0.0);
+    }
+}

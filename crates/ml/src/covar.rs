@@ -1,0 +1,247 @@
+//! The (non-centered) covariance matrix workload.
+//!
+//! Ridge linear regression, polynomial regression and factorization machines
+//! can all be trained from the *covar matrix*: the batch of aggregates
+//! `SUM(X_j · X_k)` for every pair of features, `SUM(X_j)` for every feature
+//! (the interactions with the intercept), and `COUNT(*)` (Section 2, Eq. 2–4).
+//! Categorical features are one-hot encoded, which in LMFAO's formulation
+//! turns them into group-by attributes: the aggregate for a (categorical,
+//! continuous) pair is `Q(X_j; SUM(X_k))` and for a (categorical, categorical)
+//! pair `Q(X_j, X_k; COUNT)`.
+//!
+//! The batch is computed **once**, independently of the model parameters, and
+//! every gradient-descent iteration afterwards only touches the (small)
+//! matrix — this is the key asymmetry with the materialize-then-learn
+//! baselines.
+
+use lmfao_core::BatchResult;
+use lmfao_data::AttrId;
+use lmfao_expr::{Aggregate, QueryBatch};
+
+/// The feature specification of a covar-matrix workload.
+#[derive(Debug, Clone)]
+pub struct CovarSpec {
+    /// Continuous features, in model order. The label (response) must be the
+    /// last entry.
+    pub continuous: Vec<AttrId>,
+    /// Categorical (one-hot encoded) features.
+    pub categorical: Vec<AttrId>,
+}
+
+impl CovarSpec {
+    /// A specification with only continuous features plus the label.
+    pub fn continuous_only(features: Vec<AttrId>) -> Self {
+        CovarSpec {
+            continuous: features,
+            categorical: vec![],
+        }
+    }
+
+    /// Number of aggregate queries the covar batch will contain.
+    pub fn expected_queries(&self) -> usize {
+        let n = self.continuous.len() + self.categorical.len();
+        // count + degree-1 + degree-2 over unordered pairs (with repetition
+        // for continuous × continuous diagonals).
+        1 + n + n * (n + 1) / 2
+    }
+}
+
+/// Identifies where each covar entry ends up in the executed batch.
+#[derive(Debug, Clone)]
+pub struct CovarBatch {
+    /// The generated queries.
+    pub batch: QueryBatch,
+    /// Query index of `COUNT(*)`.
+    pub count_query: usize,
+    /// Query index of `SUM(X_j)` (continuous) or the per-category counts
+    /// (categorical), indexed like `spec.continuous ++ spec.categorical`.
+    pub degree1: Vec<usize>,
+    /// Query index of the degree-2 entry for feature pair `(j, k)`, `j <= k`,
+    /// stored as a triangular map keyed by `(j, k)` indices into the combined
+    /// feature list.
+    pub degree2: Vec<((usize, usize), usize)>,
+    /// The combined feature list (continuous then categorical).
+    pub features: Vec<AttrId>,
+    /// Number of continuous features (prefix of `features`).
+    pub num_continuous: usize,
+}
+
+/// Builds the covar-matrix aggregate batch for a feature specification.
+pub fn covar_batch(spec: &CovarSpec) -> CovarBatch {
+    let mut batch = QueryBatch::new();
+    let features: Vec<AttrId> = spec
+        .continuous
+        .iter()
+        .chain(spec.categorical.iter())
+        .copied()
+        .collect();
+    let nc = spec.continuous.len();
+
+    let count_query = batch.push("covar_count", vec![], vec![Aggregate::count()]).0;
+
+    let mut degree1 = Vec::with_capacity(features.len());
+    for (j, &attr) in features.iter().enumerate() {
+        let qid = if j < nc {
+            batch.push(format!("covar_1_{j}"), vec![], vec![Aggregate::sum(attr)])
+        } else {
+            batch.push(format!("covar_1_{j}"), vec![attr], vec![Aggregate::count()])
+        };
+        degree1.push(qid.0);
+    }
+
+    let mut degree2 = Vec::new();
+    for j in 0..features.len() {
+        for k in j..features.len() {
+            let (aj, ak) = (features[j], features[k]);
+            let qid = match (j < nc, k < nc) {
+                (true, true) => batch.push(
+                    format!("covar_2_{j}_{k}"),
+                    vec![],
+                    vec![if j == k {
+                        Aggregate::sum_square(aj)
+                    } else {
+                        Aggregate::sum_product(aj, ak)
+                    }],
+                ),
+                (false, true) => batch.push(
+                    format!("covar_2_{j}_{k}"),
+                    vec![aj],
+                    vec![Aggregate::sum(ak)],
+                ),
+                (true, false) => batch.push(
+                    format!("covar_2_{j}_{k}"),
+                    vec![ak],
+                    vec![Aggregate::sum(aj)],
+                ),
+                (false, false) => {
+                    if j == k {
+                        batch.push(format!("covar_2_{j}_{k}"), vec![aj], vec![Aggregate::count()])
+                    } else {
+                        batch.push(
+                            format!("covar_2_{j}_{k}"),
+                            vec![aj, ak],
+                            vec![Aggregate::count()],
+                        )
+                    }
+                }
+            };
+            degree2.push(((j, k), qid.0));
+        }
+    }
+
+    CovarBatch {
+        batch,
+        count_query,
+        degree1,
+        degree2,
+        features,
+        num_continuous: nc,
+    }
+}
+
+/// The assembled covar matrix over the *continuous* features (plus intercept),
+/// i.e. the sufficient statistics for ridge linear regression with continuous
+/// features. Entry `[j][k]` is `SUM(X_j · X_k)` with `X_0 = 1`.
+#[derive(Debug, Clone)]
+pub struct CovarMatrix {
+    /// Number of tuples in the join (the dataset size `|D|`).
+    pub count: f64,
+    /// The symmetric matrix, size `(n+1) × (n+1)` where `n` is the number of
+    /// continuous features (the last of which is conventionally the label).
+    pub matrix: Vec<Vec<f64>>,
+    /// The continuous features, in matrix order (offset by one for the
+    /// intercept at index 0).
+    pub features: Vec<AttrId>,
+}
+
+impl CovarMatrix {
+    /// Dimension of the matrix (features + intercept).
+    pub fn dim(&self) -> usize {
+        self.matrix.len()
+    }
+}
+
+/// Assembles the continuous covar matrix from an executed batch.
+pub fn assemble_covar_matrix(cb: &CovarBatch, result: &BatchResult) -> CovarMatrix {
+    let nc = cb.num_continuous;
+    let dim = nc + 1;
+    let mut matrix = vec![vec![0.0; dim]; dim];
+    let count = result.queries[cb.count_query].scalar()[0];
+    matrix[0][0] = count;
+    for j in 0..nc {
+        let s = result.queries[cb.degree1[j]].scalar()[0];
+        matrix[0][j + 1] = s;
+        matrix[j + 1][0] = s;
+    }
+    for &((j, k), q) in &cb.degree2 {
+        if j < nc && k < nc {
+            let s = result.queries[q].scalar()[0];
+            matrix[j + 1][k + 1] = s;
+            matrix[k + 1][j + 1] = s;
+        }
+    }
+    CovarMatrix {
+        count,
+        matrix,
+        features: cb.features[..nc].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_count_matches_the_formula() {
+        let spec = CovarSpec {
+            continuous: vec![AttrId(0), AttrId(1), AttrId(2)],
+            categorical: vec![AttrId(3), AttrId(4)],
+        };
+        let cb = covar_batch(&spec);
+        assert_eq!(cb.batch.len(), spec.expected_queries());
+        // (n+1)(n+2)/2 aggregates in the paper's counting, n = 5.
+        assert_eq!(cb.batch.len(), 21);
+    }
+
+    #[test]
+    fn categorical_pairs_become_group_by_queries() {
+        let spec = CovarSpec {
+            continuous: vec![AttrId(0)],
+            categorical: vec![AttrId(5), AttrId(6)],
+        };
+        let cb = covar_batch(&spec);
+        // The (categorical, categorical) off-diagonal entry groups by both.
+        let q = cb
+            .degree2
+            .iter()
+            .find(|&&((j, k), _)| j == 1 && k == 2)
+            .map(|&(_, q)| q)
+            .unwrap();
+        assert_eq!(cb.batch.queries[q].group_by, vec![AttrId(5), AttrId(6)]);
+        // The (categorical, continuous) entry groups by the categorical one
+        // and sums the continuous one.
+        let q = cb
+            .degree2
+            .iter()
+            .find(|&&((j, k), _)| j == 0 && k == 1)
+            .map(|&(_, q)| q)
+            .unwrap();
+        assert_eq!(cb.batch.queries[q].group_by, vec![AttrId(5)]);
+    }
+
+    #[test]
+    fn degree1_and_diagonal_shapes() {
+        let spec = CovarSpec::continuous_only(vec![AttrId(0), AttrId(1)]);
+        let cb = covar_batch(&spec);
+        assert_eq!(cb.degree1.len(), 2);
+        assert_eq!(cb.num_continuous, 2);
+        // Diagonal continuous entries are SUM(X^2) queries with no group-by.
+        let q = cb
+            .degree2
+            .iter()
+            .find(|&&((j, k), _)| j == 0 && k == 0)
+            .map(|&(_, q)| q)
+            .unwrap();
+        assert!(cb.batch.queries[q].group_by.is_empty());
+    }
+}

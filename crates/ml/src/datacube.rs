@@ -1,0 +1,161 @@
+//! Data cubes for exploratory analysis in data warehousing.
+//!
+//! A `k`-dimensional data cube over dimensions `S_k` with measures
+//! `m_1, …, m_v` is the union of `2^k` group-by aggregates: one query per
+//! subset of the dimensions, all with the same measure aggregations (Eq. 6).
+//! The paper's DC workload uses three dimensions and five measures; the
+//! builder here is general.
+
+use lmfao_core::BatchResult;
+use lmfao_data::{AttrId, FxHashMap, Value};
+use lmfao_expr::{Aggregate, QueryBatch};
+
+/// The data-cube batch: one query per subset of the dimensions.
+#[derive(Debug, Clone)]
+pub struct DataCubeBatch {
+    /// The generated queries.
+    pub batch: QueryBatch,
+    /// The dimensions.
+    pub dimensions: Vec<AttrId>,
+    /// The measures (each aggregated with SUM).
+    pub measures: Vec<AttrId>,
+    /// For every subset of dimensions (encoded as a bitmask over
+    /// `dimensions`), the index of its query.
+    pub subset_query: Vec<(u32, usize)>,
+}
+
+/// Builds the `2^k` cube queries over `dimensions` with SUM aggregations of
+/// `measures` (plus a COUNT per cell).
+pub fn datacube_batch(dimensions: &[AttrId], measures: &[AttrId]) -> DataCubeBatch {
+    assert!(
+        dimensions.len() < 20,
+        "cube dimensionality {} is unreasonably large",
+        dimensions.len()
+    );
+    let mut batch = QueryBatch::new();
+    let mut subset_query = Vec::new();
+    for mask in 0..(1u32 << dimensions.len()) {
+        let group_by: Vec<AttrId> = dimensions
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &a)| a)
+            .collect();
+        let mut aggregates = vec![Aggregate::count()];
+        aggregates.extend(measures.iter().map(|&m| Aggregate::sum(m)));
+        let q = batch.push(format!("cube_{mask:b}"), group_by, aggregates).0;
+        subset_query.push((mask, q));
+    }
+    DataCubeBatch {
+        batch,
+        dimensions: dimensions.to_vec(),
+        measures: measures.to_vec(),
+        subset_query,
+    }
+}
+
+/// A materialized data cube in the 1NF representation with a special `ALL`
+/// value: every cell of every cuboid, keyed by one value (or `All`) per
+/// dimension.
+#[derive(Debug, Clone)]
+pub struct DataCube {
+    /// The dimensions.
+    pub dimensions: Vec<AttrId>,
+    /// The measures.
+    pub measures: Vec<AttrId>,
+    /// Cell key (one entry per dimension, `None` = ALL) → `[count, sums…]`.
+    pub cells: FxHashMap<Vec<Option<Value>>, Vec<f64>>,
+}
+
+impl DataCube {
+    /// Number of cells across all cuboids.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Looks up a cell.
+    pub fn cell(&self, key: &[Option<Value>]) -> Option<&[f64]> {
+        self.cells.get(key).map(Vec::as_slice)
+    }
+}
+
+/// Assembles the 1NF cube representation from an executed batch.
+pub fn assemble_cube(cube: &DataCubeBatch, result: &BatchResult) -> DataCube {
+    let k = cube.dimensions.len();
+    let mut cells = FxHashMap::default();
+    for &(mask, q) in &cube.subset_query {
+        let query = &result.queries[q];
+        for (key, values) in query.iter() {
+            let mut cell_key: Vec<Option<Value>> = vec![None; k];
+            let mut pos = 0;
+            for (i, slot) in cell_key.iter_mut().enumerate() {
+                if mask & (1 << i) != 0 {
+                    *slot = Some(key[pos]);
+                    pos += 1;
+                }
+            }
+            cells.insert(cell_key, values.clone());
+        }
+    }
+    DataCube {
+        dimensions: cube.dimensions.clone(),
+        measures: cube.measures.clone(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmfao_core::{EngineStats, QueryResult};
+
+    #[test]
+    fn cube_has_two_to_the_k_queries() {
+        let cube = datacube_batch(&[AttrId(0), AttrId(1), AttrId(2)], &[AttrId(5), AttrId(6)]);
+        assert_eq!(cube.batch.len(), 8);
+        // Each query has COUNT + one SUM per measure.
+        assert!(cube.batch.queries.iter().all(|q| q.num_aggregates() == 3));
+        // The full cuboid groups by all three dimensions.
+        let full = cube.subset_query.iter().find(|&&(m, _)| m == 0b111).unwrap();
+        assert_eq!(cube.batch.queries[full.1].group_by.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreasonably large")]
+    fn rejects_huge_cubes() {
+        let dims: Vec<AttrId> = (0..25).map(AttrId).collect();
+        datacube_batch(&dims, &[]);
+    }
+
+    #[test]
+    fn assemble_places_all_markers() {
+        let cube = datacube_batch(&[AttrId(0), AttrId(1)], &[]);
+        // Build a fake result: the apex (mask 0) has one cell, the (X0) cuboid
+        // has two cells.
+        let mut queries: Vec<QueryResult> = cube
+            .batch
+            .queries
+            .iter()
+            .map(|q| QueryResult {
+                name: q.name.clone(),
+                group_by: q.group_by.clone(),
+                num_aggregates: 1,
+                data: FxHashMap::default(),
+            })
+            .collect();
+        let apex = cube.subset_query.iter().find(|&&(m, _)| m == 0).unwrap().1;
+        queries[apex].data.insert(vec![], vec![10.0]);
+        let x0 = cube.subset_query.iter().find(|&&(m, _)| m == 1).unwrap().1;
+        queries[x0].data.insert(vec![Value::Int(1)], vec![6.0]);
+        queries[x0].data.insert(vec![Value::Int(2)], vec![4.0]);
+        let result = BatchResult {
+            queries,
+            stats: EngineStats::default(),
+        };
+        let dc = assemble_cube(&cube, &result);
+        assert_eq!(dc.num_cells(), 3);
+        assert_eq!(dc.cell(&[None, None]).unwrap(), &[10.0]);
+        assert_eq!(dc.cell(&[Some(Value::Int(1)), None]).unwrap(), &[6.0]);
+        assert!(dc.cell(&[None, Some(Value::Int(9))]).is_none());
+    }
+}

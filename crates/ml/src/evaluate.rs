@@ -1,0 +1,103 @@
+//! Model evaluation over materialized test data.
+//!
+//! The paper holds out the last month (Retailer/Favorita) or 15 days (TPC-DS)
+//! of data as a test set and reports the error of the learned models over the
+//! joined test tuples. Evaluation operates on a materialized test relation
+//! (the test set is small; only training avoids materialization).
+
+use crate::trees::DecisionTree;
+use lmfao_data::{AttrId, Relation};
+
+/// Root-mean-square error of a prediction function over a test relation.
+pub fn rmse<F>(test: &Relation, label: AttrId, predict: F) -> f64
+where
+    F: Fn(usize) -> f64,
+{
+    if test.is_empty() {
+        return 0.0;
+    }
+    let label_col = test.position(label).expect("label must be a test column");
+    let sse: f64 = (0..test.len())
+        .map(|i| {
+            let e = predict(i) - test.value(i, label_col).as_f64();
+            e * e
+        })
+        .sum();
+    (sse / test.len() as f64).sqrt()
+}
+
+/// Classification accuracy of a prediction function over a test relation.
+pub fn accuracy<F>(test: &Relation, label: AttrId, predict: F) -> f64
+where
+    F: Fn(usize) -> f64,
+{
+    if test.is_empty() {
+        return 0.0;
+    }
+    let label_col = test.position(label).expect("label must be a test column");
+    let correct = (0..test.len())
+        .filter(|&i| (predict(i) - test.value(i, label_col).as_f64()).abs() < 0.5)
+        .count();
+    correct as f64 / test.len() as f64
+}
+
+/// RMSE of a decision tree over a materialized test relation.
+pub fn tree_rmse(tree: &DecisionTree, test: &Relation, label: AttrId) -> f64 {
+    rmse(test, label, |i| {
+        tree.predict(&|a: AttrId| match test.position(a) {
+            Some(col) => test.value(i, col),
+            None => lmfao_data::Value::Null,
+        })
+    })
+}
+
+/// Accuracy of a classification tree over a materialized test relation.
+pub fn tree_accuracy(tree: &DecisionTree, test: &Relation, label: AttrId) -> f64 {
+    accuracy(test, label, |i| {
+        tree.predict(&|a: AttrId| match test.position(a) {
+            Some(col) => test.value(i, col),
+            None => lmfao_data::Value::Null,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmfao_data::{RelationSchema, Value};
+
+    fn test_relation() -> Relation {
+        Relation::from_rows(
+            RelationSchema::new("T", vec![AttrId(0), AttrId(1)]),
+            vec![
+                vec![Value::Double(1.0), Value::Double(2.0)],
+                vec![Value::Double(2.0), Value::Double(4.0)],
+                vec![Value::Double(3.0), Value::Double(6.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn perfect_predictions_have_zero_rmse_and_full_accuracy() {
+        let t = test_relation();
+        assert_eq!(rmse(&t, AttrId(1), |i| (i as f64 + 1.0) * 2.0), 0.0);
+        assert_eq!(accuracy(&t, AttrId(1), |i| (i as f64 + 1.0) * 2.0), 1.0);
+    }
+
+    #[test]
+    fn constant_predictions_have_expected_errors() {
+        let t = test_relation();
+        let r = rmse(&t, AttrId(1), |_| 4.0);
+        assert!((r - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let a = accuracy(&t, AttrId(1), |_| 4.0);
+        assert!((a - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_test_set_is_harmless() {
+        let t = Relation::new(RelationSchema::new("E", vec![AttrId(0)]));
+        assert_eq!(rmse(&t, AttrId(0), |_| 0.0), 0.0);
+        assert_eq!(accuracy(&t, AttrId(0), |_| 0.0), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # lmfao-ml
+//!
+//! The analytics applications of the LMFAO paper, built on top of the batch
+//! aggregate engine (`lmfao-core`):
+//!
+//! * [`covar`] / [`linreg`] — the covariance-matrix workload and ridge linear
+//!   regression trained by batch gradient descent over it,
+//! * [`trees`] — CART classification and regression trees whose per-node
+//!   split costs are aggregate batches,
+//! * [`mutual_info`] / [`chowliu`] — pairwise mutual information and Chow–Liu
+//!   structure learning for tree-shaped Bayesian networks,
+//! * [`datacube`] — k-dimensional data cubes,
+//! * [`evaluate`] — RMSE / accuracy over held-out test data.
+//!
+//! Every application only issues group-by aggregate batches over the input
+//! database; the training dataset (the join) is never materialized.
+
+#![warn(missing_docs)]
+
+pub mod chowliu;
+pub mod covar;
+pub mod datacube;
+pub mod evaluate;
+pub mod linreg;
+pub mod mutual_info;
+pub mod trees;
+
+pub use chowliu::{chow_liu_tree, ChowLiuTree};
+pub use covar::{assemble_covar_matrix, covar_batch, CovarBatch, CovarMatrix, CovarSpec};
+pub use datacube::{assemble_cube, datacube_batch, DataCube, DataCubeBatch};
+pub use linreg::{train_linear_regression, LinRegConfig, LinearRegressionModel};
+pub use mutual_info::{compute_mutual_info, mutual_info_batch, MutualInfoBatch, MutualInfoMatrix};
+pub use trees::{train_decision_tree, DecisionTree, SplitCondition, TreeConfig, TreeNode, TreeTask};

@@ -1,0 +1,339 @@
+//! Ridge linear regression over the covar matrix.
+//!
+//! The model is trained with batch gradient descent (BGD) over the
+//! *sufficient statistics* produced by LMFAO — the covar matrix — rather than
+//! over the training dataset itself (Section 2 "Ridge Linear Regression").
+//! Following the paper (and AC/DC), the optimizer uses Barzilai–Borwein step
+//! sizes with Armijo backtracking line search. Because the covar matrix does
+//! not depend on the parameters, it is computed once and every BGD iteration
+//! costs `O(n²)` regardless of the dataset size.
+
+use crate::covar::CovarMatrix;
+use lmfao_data::{AttrId, Relation};
+
+/// Configuration of the ridge linear regression trainer.
+#[derive(Debug, Clone, Copy)]
+pub struct LinRegConfig {
+    /// The `ℓ2` regularization strength λ.
+    pub l2: f64,
+    /// Maximum number of BGD iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the gradient norm.
+    pub tolerance: f64,
+}
+
+impl Default for LinRegConfig {
+    fn default() -> Self {
+        LinRegConfig {
+            l2: 1e-3,
+            max_iterations: 5_000,
+            tolerance: 1e-8,
+        }
+    }
+}
+
+/// A trained ridge linear regression model.
+#[derive(Debug, Clone)]
+pub struct LinearRegressionModel {
+    /// Parameters: intercept followed by one weight per continuous feature
+    /// (the label's pseudo-parameter of −1 is not stored).
+    pub theta: Vec<f64>,
+    /// The features, aligned with `theta[1..]`.
+    pub features: Vec<AttrId>,
+    /// Number of BGD iterations performed.
+    pub iterations: usize,
+    /// Final value of the objective function.
+    pub objective: f64,
+}
+
+impl LinearRegressionModel {
+    /// Predicts the label of a tuple given an attribute-value lookup.
+    pub fn predict<F>(&self, lookup: F) -> f64
+    where
+        F: Fn(AttrId) -> f64,
+    {
+        self.theta[0]
+            + self
+                .features
+                .iter()
+                .zip(&self.theta[1..])
+                .map(|(&a, &w)| w * lookup(a))
+                .sum::<f64>()
+    }
+
+    /// Root-mean-square error over a materialized test relation whose columns
+    /// include the features and the label.
+    pub fn rmse(&self, test: &Relation, label: AttrId) -> f64 {
+        if test.is_empty() {
+            return 0.0;
+        }
+        let label_col = test.position(label).expect("label must be a test column");
+        let cols: Vec<usize> = self
+            .features
+            .iter()
+            .map(|a| test.position(*a).expect("feature must be a test column"))
+            .collect();
+        let mut sse = 0.0;
+        for i in 0..test.len() {
+            let pred = self.theta[0]
+                + cols
+                    .iter()
+                    .zip(&self.theta[1..])
+                    .map(|(&c, &w)| w * test.value(i, c).as_f64())
+                    .sum::<f64>();
+            let err = pred - test.value(i, label_col).as_f64();
+            sse += err * err;
+        }
+        (sse / test.len() as f64).sqrt()
+    }
+}
+
+/// The objective `J(θ) = (1/2N) θᵀ C θ + (λ/2)‖θ‖²` where θ has the label's
+/// parameter fixed to −1 and the intercept/label are not regularized.
+fn objective(c: &CovarMatrix, theta_full: &[f64], l2: f64) -> f64 {
+    let n = theta_full.len();
+    let mut quad = 0.0;
+    for j in 0..n {
+        for k in 0..n {
+            quad += theta_full[j] * c.matrix[j][k] * theta_full[k];
+        }
+    }
+    let reg: f64 = theta_full[1..n - 1].iter().map(|t| t * t).sum();
+    quad / (2.0 * c.count.max(1.0)) + 0.5 * l2 * reg
+}
+
+/// The gradient with respect to the free parameters (intercept + features).
+fn gradient(c: &CovarMatrix, theta_full: &[f64], l2: f64) -> Vec<f64> {
+    let n = theta_full.len();
+    let mut grad = vec![0.0; n - 1];
+    for (k, g) in grad.iter_mut().enumerate() {
+        let mut dot = 0.0;
+        for j in 0..n {
+            dot += theta_full[j] * c.matrix[j][k];
+        }
+        *g = dot / c.count.max(1.0);
+        if k > 0 {
+            *g += l2 * theta_full[k];
+        }
+    }
+    grad
+}
+
+/// Trains ridge linear regression by BGD with Barzilai–Borwein step sizes and
+/// Armijo backtracking over the covar matrix. The last feature of the covar
+/// matrix is the label.
+///
+/// Features are implicitly normalized to unit root-mean-square before
+/// optimization (using only the covar matrix's diagonal, no data pass) and
+/// the learned parameters are rescaled back, which keeps gradient descent
+/// well conditioned when features have very different magnitudes.
+pub fn train_linear_regression(covar: &CovarMatrix, config: &LinRegConfig) -> LinearRegressionModel {
+    // Normalize: replace C by D·C·D where D = diag(1/rms_j), rms_j = sqrt(C[j][j]/N).
+    let n_rows = covar.count.max(1.0);
+    let scales: Vec<f64> = covar
+        .matrix
+        .iter()
+        .enumerate()
+        .map(|(j, row)| {
+            let rms = (row[j] / n_rows).sqrt();
+            if j == 0 || rms <= 0.0 {
+                1.0
+            } else {
+                rms
+            }
+        })
+        .collect();
+    let normalized = CovarMatrix {
+        count: covar.count,
+        matrix: covar
+            .matrix
+            .iter()
+            .enumerate()
+            .map(|(j, row)| {
+                row.iter()
+                    .enumerate()
+                    .map(|(k, v)| v / (scales[j] * scales[k]))
+                    .collect()
+            })
+            .collect(),
+        features: covar.features.clone(),
+    };
+    let mut model = train_normalized(&normalized, config);
+    // Rescale parameters back to the original feature space. The label was
+    // scaled too, so the whole model is multiplied by the label's rms.
+    let label_scale = *scales.last().unwrap_or(&1.0);
+    for (k, t) in model.theta.iter_mut().enumerate() {
+        *t *= label_scale / scales[k];
+    }
+    model
+}
+
+fn train_normalized(covar: &CovarMatrix, config: &LinRegConfig) -> LinearRegressionModel {
+    let dim = covar.dim(); // 1 (intercept) + features + label
+    assert!(dim >= 2, "the covar matrix must include at least the label");
+    let num_free = dim - 1; // intercept + features (label fixed at −1)
+
+    // theta_full = [θ0, θ1, …, θn, −1]
+    let mut theta_full = vec![0.0; dim];
+    theta_full[dim - 1] = -1.0;
+
+    let mut prev_theta: Option<Vec<f64>> = None;
+    let mut prev_grad: Option<Vec<f64>> = None;
+    let mut obj = objective(covar, &theta_full, config.l2);
+    let mut iterations = 0;
+
+    for it in 0..config.max_iterations {
+        iterations = it + 1;
+        let grad = gradient(covar, &theta_full, config.l2);
+        let grad_norm: f64 = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+        if grad_norm < config.tolerance {
+            break;
+        }
+
+        // Barzilai–Borwein initial step size.
+        let mut step = match (&prev_theta, &prev_grad) {
+            (Some(pt), Some(pg)) => {
+                let mut sy = 0.0;
+                let mut yy = 0.0;
+                for k in 0..num_free {
+                    let s = theta_full[k] - pt[k];
+                    let y = grad[k] - pg[k];
+                    sy += s * y;
+                    yy += y * y;
+                }
+                if yy > 0.0 && sy.abs() > 0.0 {
+                    (sy / yy).abs()
+                } else {
+                    1.0 / covar.count.max(1.0)
+                }
+            }
+            _ => 1e-3,
+        };
+
+        // Armijo backtracking.
+        let mut candidate = theta_full.clone();
+        let mut new_obj;
+        loop {
+            for k in 0..num_free {
+                candidate[k] = theta_full[k] - step * grad[k];
+            }
+            new_obj = objective(covar, &candidate, config.l2);
+            if new_obj <= obj - 1e-4 * step * grad_norm * grad_norm || step < 1e-14 {
+                break;
+            }
+            step *= 0.5;
+        }
+        prev_theta = Some(theta_full.clone());
+        prev_grad = Some(grad);
+        theta_full = candidate;
+        if (obj - new_obj).abs() < config.tolerance * obj.abs().max(1.0) {
+            obj = new_obj;
+            break;
+        }
+        obj = new_obj;
+    }
+
+    LinearRegressionModel {
+        theta: theta_full[..num_free].to_vec(),
+        features: covar.features[..covar.features.len().saturating_sub(1)].to_vec(),
+        iterations,
+        objective: obj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the covar matrix of a tiny dataset y = 3 + 2·x directly.
+    fn synthetic_covar(n: usize) -> CovarMatrix {
+        // features: x (AttrId 0), label y (AttrId 1)
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let count = n as f64;
+        let sx: f64 = xs.iter().sum();
+        let sy: f64 = ys.iter().sum();
+        let sxx: f64 = xs.iter().map(|x| x * x).sum();
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+        let syy: f64 = ys.iter().map(|y| y * y).sum();
+        CovarMatrix {
+            count,
+            matrix: vec![
+                vec![count, sx, sy],
+                vec![sx, sxx, sxy],
+                vec![sy, sxy, syy],
+            ],
+            features: vec![AttrId(0), AttrId(1)],
+        }
+    }
+
+    #[test]
+    fn recovers_a_linear_relationship() {
+        let covar = synthetic_covar(100);
+        let model = train_linear_regression(
+            &covar,
+            &LinRegConfig {
+                l2: 0.0,
+                max_iterations: 20_000,
+                tolerance: 1e-12,
+            },
+        );
+        assert!((model.theta[0] - 3.0).abs() < 0.05, "intercept {:?}", model.theta);
+        assert!((model.theta[1] - 2.0).abs() < 0.01, "slope {:?}", model.theta);
+        assert!(model.iterations > 0);
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let covar = synthetic_covar(50);
+        let free = train_linear_regression(
+            &covar,
+            &LinRegConfig {
+                l2: 0.0,
+                ..LinRegConfig::default()
+            },
+        );
+        let ridge = train_linear_regression(
+            &covar,
+            &LinRegConfig {
+                l2: 10.0,
+                ..LinRegConfig::default()
+            },
+        );
+        assert!(ridge.theta[1].abs() < free.theta[1].abs());
+    }
+
+    #[test]
+    fn predict_uses_intercept_and_weights() {
+        let model = LinearRegressionModel {
+            theta: vec![1.0, 0.5],
+            features: vec![AttrId(7)],
+            iterations: 1,
+            objective: 0.0,
+        };
+        let y = model.predict(|a| if a == AttrId(7) { 4.0 } else { 0.0 });
+        assert_eq!(y, 3.0);
+    }
+
+    #[test]
+    fn rmse_over_a_test_relation() {
+        use lmfao_data::{RelationSchema, Value};
+        let model = LinearRegressionModel {
+            theta: vec![0.0, 2.0],
+            features: vec![AttrId(0)],
+            iterations: 1,
+            objective: 0.0,
+        };
+        let test = Relation::from_rows(
+            RelationSchema::new("T", vec![AttrId(0), AttrId(1)]),
+            vec![
+                vec![Value::Double(1.0), Value::Double(2.0)],
+                vec![Value::Double(2.0), Value::Double(4.0)],
+                vec![Value::Double(3.0), Value::Double(7.0)],
+            ],
+        )
+        .unwrap();
+        let rmse = model.rmse(&test, AttrId(1));
+        assert!((rmse - (1.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+}

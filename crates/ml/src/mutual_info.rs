@@ -1,0 +1,225 @@
+//! Pairwise mutual information over the join.
+//!
+//! For every unordered pair of discrete attributes `(X_i, X_j)` the workload
+//! needs the count queries grouped by every subset of `{X_i, X_j}` (Eq. 7 —
+//! a 2-dimensional data cube with a count measure), from which the mutual
+//! information is computed as
+//! `MI(X_i, X_j) = Σ_{a,b} P(a,b) · log( P(a,b) / (P(a)·P(b)) )`.
+//! The single total count and the per-attribute marginals are shared across
+//! all pairs, which is exactly the sharing LMFAO exploits.
+
+use lmfao_core::BatchResult;
+use lmfao_data::{AttrId, FxHashMap, Value};
+use lmfao_expr::{Aggregate, QueryBatch};
+
+/// The mutual-information batch: which query computes which marginal.
+#[derive(Debug, Clone)]
+pub struct MutualInfoBatch {
+    /// The generated queries.
+    pub batch: QueryBatch,
+    /// The attributes, in input order.
+    pub attrs: Vec<AttrId>,
+    /// Index of the total-count query.
+    pub total_query: usize,
+    /// Index of the single-attribute marginal query per attribute.
+    pub marginal_query: Vec<usize>,
+    /// Index of the pairwise joint query per `(i, j)` pair with `i < j`.
+    pub joint_query: Vec<((usize, usize), usize)>,
+}
+
+/// Builds the batch of count queries needed for all pairwise mutual
+/// information values over `attrs`.
+pub fn mutual_info_batch(attrs: &[AttrId]) -> MutualInfoBatch {
+    let mut batch = QueryBatch::new();
+    let total_query = batch.push("mi_total", vec![], vec![Aggregate::count()]).0;
+    let marginal_query: Vec<usize> = attrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| batch.push(format!("mi_m{i}"), vec![a], vec![Aggregate::count()]).0)
+        .collect();
+    let mut joint_query = Vec::new();
+    for i in 0..attrs.len() {
+        for j in (i + 1)..attrs.len() {
+            let q = batch
+                .push(
+                    format!("mi_j{i}_{j}"),
+                    vec![attrs[i], attrs[j]],
+                    vec![Aggregate::count()],
+                )
+                .0;
+            joint_query.push(((i, j), q));
+        }
+    }
+    MutualInfoBatch {
+        batch,
+        attrs: attrs.to_vec(),
+        total_query,
+        marginal_query,
+        joint_query,
+    }
+}
+
+/// The pairwise mutual-information matrix (symmetric, zero diagonal).
+#[derive(Debug, Clone)]
+pub struct MutualInfoMatrix {
+    /// The attributes, in input order.
+    pub attrs: Vec<AttrId>,
+    /// `values[i][j]` is `MI(attrs[i], attrs[j])`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl MutualInfoMatrix {
+    /// The mutual information of a pair (by position in `attrs`).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i][j]
+    }
+}
+
+/// Computes all pairwise mutual-information values from an executed batch.
+pub fn compute_mutual_info(mi: &MutualInfoBatch, result: &BatchResult) -> MutualInfoMatrix {
+    let n = mi.attrs.len();
+    let total = result.queries[mi.total_query].scalar()[0];
+    let mut values = vec![vec![0.0; n]; n];
+    if total <= 0.0 {
+        return MutualInfoMatrix {
+            attrs: mi.attrs.clone(),
+            values,
+        };
+    }
+
+    // Marginals: attribute value → count.
+    let marginals: Vec<FxHashMap<Value, f64>> = mi
+        .marginal_query
+        .iter()
+        .map(|&q| {
+            result.queries[q]
+                .iter()
+                .map(|(k, v)| (k[0], v[0]))
+                .collect()
+        })
+        .collect();
+
+    for &((i, j), q) in &mi.joint_query {
+        let mut value = 0.0;
+        for (key, counts) in result.queries[q].iter() {
+            let joint = counts[0];
+            if joint <= 0.0 {
+                continue;
+            }
+            let ci = marginals[i].get(&key[0]).copied().unwrap_or(0.0);
+            let cj = marginals[j].get(&key[1]).copied().unwrap_or(0.0);
+            if ci <= 0.0 || cj <= 0.0 {
+                continue;
+            }
+            // (δ/α)·log(α·δ/(β·γ)) with α=total, β=ci, γ=cj, δ=joint (Section 2).
+            value += joint / total * ((total * joint) / (ci * cj)).ln();
+        }
+        values[i][j] = value;
+        values[j][i] = value;
+    }
+    MutualInfoMatrix {
+        attrs: mi.attrs.clone(),
+        values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_has_shared_marginals() {
+        let attrs = vec![AttrId(0), AttrId(1), AttrId(2), AttrId(3)];
+        let mi = mutual_info_batch(&attrs);
+        // 1 total + 4 marginals + 6 joints.
+        assert_eq!(mi.batch.len(), 11);
+        assert_eq!(mi.marginal_query.len(), 4);
+        assert_eq!(mi.joint_query.len(), 6);
+    }
+
+    /// Hand-constructed batch result helper.
+    fn fake_result(mi: &MutualInfoBatch, total: f64, entries: Vec<(usize, Vec<(Vec<Value>, f64)>)>) -> BatchResult {
+        use lmfao_core::{EngineStats, QueryResult};
+        let mut queries: Vec<QueryResult> = mi
+            .batch
+            .queries
+            .iter()
+            .map(|q| QueryResult {
+                name: q.name.clone(),
+                group_by: q.group_by.clone(),
+                num_aggregates: 1,
+                data: FxHashMap::default(),
+            })
+            .collect();
+        queries[mi.total_query].data.insert(vec![], vec![total]);
+        for (qi, rows) in entries {
+            for (k, v) in rows {
+                queries[qi].data.insert(k, vec![v]);
+            }
+        }
+        BatchResult {
+            queries,
+            stats: EngineStats::default(),
+        }
+    }
+
+    #[test]
+    fn independent_attributes_have_zero_mi() {
+        let attrs = vec![AttrId(0), AttrId(1)];
+        let mi = mutual_info_batch(&attrs);
+        // Uniform independent joint: 4 cells of 25 each, marginals 50/50.
+        let m0 = vec![(vec![Value::Int(0)], 50.0), (vec![Value::Int(1)], 50.0)];
+        let m1 = m0.clone();
+        let joint = vec![
+            (vec![Value::Int(0), Value::Int(0)], 25.0),
+            (vec![Value::Int(0), Value::Int(1)], 25.0),
+            (vec![Value::Int(1), Value::Int(0)], 25.0),
+            (vec![Value::Int(1), Value::Int(1)], 25.0),
+        ];
+        let result = fake_result(
+            &mi,
+            100.0,
+            vec![
+                (mi.marginal_query[0], m0),
+                (mi.marginal_query[1], m1),
+                (mi.joint_query[0].1, joint),
+            ],
+        );
+        let matrix = compute_mutual_info(&mi, &result);
+        assert!(matrix.get(0, 1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_correlated_attributes_have_log2_mi() {
+        let attrs = vec![AttrId(0), AttrId(1)];
+        let mi = mutual_info_batch(&attrs);
+        let m0 = vec![(vec![Value::Int(0)], 50.0), (vec![Value::Int(1)], 50.0)];
+        let m1 = m0.clone();
+        // X1 = X0 exactly.
+        let joint = vec![
+            (vec![Value::Int(0), Value::Int(0)], 50.0),
+            (vec![Value::Int(1), Value::Int(1)], 50.0),
+        ];
+        let result = fake_result(
+            &mi,
+            100.0,
+            vec![
+                (mi.marginal_query[0], m0),
+                (mi.marginal_query[1], m1),
+                (mi.joint_query[0].1, joint),
+            ],
+        );
+        let matrix = compute_mutual_info(&mi, &result);
+        assert!((matrix.get(0, 1) - 2.0_f64.ln()).abs() < 1e-9);
+        assert_eq!(matrix.get(0, 1), matrix.get(1, 0));
+    }
+
+    #[test]
+    fn empty_join_gives_zero_matrix() {
+        let attrs = vec![AttrId(0), AttrId(1)];
+        let mi = mutual_info_batch(&attrs);
+        let result = fake_result(&mi, 0.0, vec![]);
+        let matrix = compute_mutual_info(&mi, &result);
+        assert_eq!(matrix.get(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,619 @@
+//! Classification and regression trees (CART) over LMFAO aggregate batches.
+//!
+//! The CART algorithm grows the tree one node at a time. At every node it
+//! evaluates candidate split conditions `X op t` by their cost over the
+//! fragment of the training dataset that satisfies the conditions on the
+//! node's root-to-leaf path (Section 2, Eq. 8–10):
+//!
+//! * regression trees minimize the variance, which needs `COUNT`, `SUM(y)`
+//!   and `SUM(y²)` restricted by the path and candidate conditions;
+//! * classification trees minimize the Gini index (or entropy), which needs
+//!   the per-class counts.
+//!
+//! All those restrictions are expressed as products of Kronecker-delta
+//! indicator functions, so the cost of every candidate split of a whole tree
+//! level is *one LMFAO batch* — the "RT" workload of Table 2. Nothing is ever
+//! materialized; each node issues a batch over the original join.
+
+use lmfao_core::Engine;
+use lmfao_data::{AttrId, Value};
+use lmfao_expr::{Aggregate, CmpOp, ProductTerm, QueryBatch, ScalarFunction};
+
+/// Whether the tree predicts a continuous value or a category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeTask {
+    /// Regression tree: minimize variance, predict the mean label.
+    Regression,
+    /// Classification tree: minimize the Gini index, predict the majority
+    /// class. The label must be a categorical attribute.
+    Classification,
+}
+
+/// Configuration of the CART learner (defaults follow the paper's setup:
+/// depth 4 ⇒ at most 31 nodes, 20 buckets per continuous attribute, at least
+/// 1000 tuples to split a node).
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Learning task.
+    pub task: TreeTask,
+    /// Maximum tree depth (number of split levels).
+    pub max_depth: usize,
+    /// Minimum number of (joined) tuples required to split a node.
+    pub min_samples: usize,
+    /// Number of candidate thresholds per continuous attribute.
+    pub buckets: usize,
+}
+
+impl TreeConfig {
+    /// The paper's regression-tree setup.
+    pub fn regression() -> Self {
+        TreeConfig {
+            task: TreeTask::Regression,
+            max_depth: 4,
+            min_samples: 1_000,
+            buckets: 20,
+        }
+    }
+
+    /// The paper's classification-tree setup.
+    pub fn classification() -> Self {
+        TreeConfig {
+            task: TreeTask::Classification,
+            max_depth: 4,
+            min_samples: 1_000,
+            buckets: 20,
+        }
+    }
+}
+
+/// A split condition on a continuous or categorical attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitCondition {
+    /// The attribute the condition tests.
+    pub attr: AttrId,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The threshold (continuous) or category (categorical).
+    pub value: Value,
+}
+
+impl SplitCondition {
+    fn to_indicator(&self) -> ScalarFunction {
+        ScalarFunction::Indicator {
+            attr: self.attr,
+            op: self.op,
+            threshold: self.value,
+        }
+    }
+
+    /// The negated condition (the other branch of the split).
+    pub fn negate(&self) -> SplitCondition {
+        SplitCondition {
+            attr: self.attr,
+            op: self.op.negate(),
+            value: self.value,
+        }
+    }
+}
+
+/// A node of a learned decision tree.
+#[derive(Debug, Clone)]
+pub enum TreeNode {
+    /// A leaf carrying a prediction (mean label or majority class code).
+    Leaf {
+        /// The prediction.
+        prediction: f64,
+        /// Number of training tuples that reached the leaf.
+        support: f64,
+    },
+    /// An inner node splitting on a condition.
+    Split {
+        /// The split condition; tuples satisfying it go left.
+        condition: SplitCondition,
+        /// Subtree for tuples satisfying the condition.
+        left: Box<TreeNode>,
+        /// Subtree for the remaining tuples.
+        right: Box<TreeNode>,
+    },
+}
+
+impl TreeNode {
+    /// Predicts the label of a tuple given an attribute-value lookup.
+    pub fn predict<F>(&self, lookup: &F) -> f64
+    where
+        F: Fn(AttrId) -> Value,
+    {
+        match self {
+            TreeNode::Leaf { prediction, .. } => *prediction,
+            TreeNode::Split {
+                condition,
+                left,
+                right,
+            } => {
+                if condition.op.apply(lookup(condition.attr), condition.value) {
+                    left.predict(lookup)
+                } else {
+                    right.predict(lookup)
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the (sub)tree.
+    pub fn size(&self) -> usize {
+        match self {
+            TreeNode::Leaf { .. } => 1,
+            TreeNode::Split { left, right, .. } => 1 + left.size() + right.size(),
+        }
+    }
+
+    /// Depth of the (sub)tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            TreeNode::Leaf { .. } => 1,
+            TreeNode::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+}
+
+/// A learned decision tree together with bookkeeping about the batches that
+/// built it.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// The root node.
+    pub root: TreeNode,
+    /// The learning task.
+    pub task: TreeTask,
+    /// The label attribute.
+    pub label: AttrId,
+    /// Total number of aggregate queries issued while learning.
+    pub queries_issued: usize,
+}
+
+impl DecisionTree {
+    /// Predicts the label of a tuple given an attribute-value lookup.
+    pub fn predict<F>(&self, lookup: &F) -> f64
+    where
+        F: Fn(AttrId) -> Value,
+    {
+        self.root.predict(lookup)
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+}
+
+/// Per-node statistics extracted from a batch result.
+#[derive(Debug, Clone, Copy)]
+struct NodeStats {
+    count: f64,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl NodeStats {
+    fn variance(&self) -> f64 {
+        if self.count <= 0.0 {
+            0.0
+        } else {
+            self.sum_sq - self.sum * self.sum / self.count
+        }
+    }
+}
+
+fn conditions_term(conditions: &[SplitCondition]) -> ProductTerm {
+    ProductTerm::of(conditions.iter().map(SplitCondition::to_indicator).collect())
+}
+
+/// Builds the regression-tree aggregates `[COUNT·α, SUM(y)·α, SUM(y²)·α]`
+/// restricted by `conditions`.
+fn regression_aggregates(label: AttrId, conditions: &[SplitCondition]) -> Vec<Aggregate> {
+    let alpha = conditions_term(conditions);
+    let count = Aggregate::product(alpha.clone());
+    let sum = Aggregate::product(alpha.clone().times(ScalarFunction::Identity(label)));
+    let sum_sq = Aggregate::product(alpha.times(ScalarFunction::Power {
+        attr: label,
+        exponent: 2,
+    }));
+    vec![count, sum, sum_sq]
+}
+
+/// Builds the classification aggregates: the per-class counts restricted by
+/// `conditions`, as the group-by query `Q(label; α)` (Eq. 9) plus the total
+/// `Q(α)` (Eq. 10).
+fn classification_aggregates(conditions: &[SplitCondition]) -> Vec<Aggregate> {
+    vec![Aggregate::product(conditions_term(conditions))]
+}
+
+/// Gini impurity mass (impurity × count) from per-class counts.
+fn gini_mass(class_counts: &[f64]) -> f64 {
+    let n: f64 = class_counts.iter().sum();
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let gini = 1.0
+        - class_counts
+            .iter()
+            .map(|&c| {
+                let p = c / n;
+                p * p
+            })
+            .sum::<f64>();
+    gini * n
+}
+
+/// One candidate split evaluated during learning.
+#[derive(Debug, Clone)]
+struct Candidate {
+    condition: SplitCondition,
+    left_query: usize,
+}
+
+/// A frontier node while growing the tree.
+struct FrontierNode {
+    conditions: Vec<SplitCondition>,
+    depth: usize,
+}
+
+/// Learns a decision tree over the engine's database. `features` are the
+/// attributes that may be split on; `label` is the response (continuous for
+/// regression, categorical for classification).
+pub fn train_decision_tree(
+    engine: &Engine,
+    features: &[AttrId],
+    label: AttrId,
+    config: &TreeConfig,
+) -> DecisionTree {
+    let schema = engine.database().schema().clone();
+    let mut queries_issued = 0usize;
+    let root = grow_node(
+        engine,
+        &schema,
+        features,
+        label,
+        config,
+        FrontierNode {
+            conditions: vec![],
+            depth: 0,
+        },
+        &mut queries_issued,
+    );
+    DecisionTree {
+        root,
+        task: config.task,
+        label,
+        queries_issued,
+    }
+}
+
+/// Candidate thresholds of a continuous attribute: equi-width buckets between
+/// the attribute's min and max in its base relation.
+fn thresholds(engine: &Engine, attr: AttrId, buckets: usize) -> Vec<Value> {
+    for rel in engine.database().relations() {
+        if let Some(col) = rel.position(attr) {
+            if let Some((lo, hi)) = rel.min_max(col) {
+                let (lo, hi) = (lo.as_f64(), hi.as_f64());
+                if hi <= lo {
+                    return vec![];
+                }
+                return (1..=buckets)
+                    .map(|b| Value::Double(lo + (hi - lo) * b as f64 / (buckets + 1) as f64))
+                    .collect();
+            }
+        }
+    }
+    vec![]
+}
+
+/// Categories of a categorical attribute (from its base relation).
+fn categories(engine: &Engine, attr: AttrId) -> Vec<Value> {
+    for rel in engine.database().relations() {
+        if let Some(col) = rel.position(attr) {
+            let mut cats = rel.distinct_values(col);
+            cats.sort();
+            return cats;
+        }
+    }
+    vec![]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow_node(
+    engine: &Engine,
+    schema: &lmfao_data::DatabaseSchema,
+    features: &[AttrId],
+    label: AttrId,
+    config: &TreeConfig,
+    node: FrontierNode,
+    queries_issued: &mut usize,
+) -> TreeNode {
+    // Build one batch evaluating the parent statistics and every candidate
+    // split of this node.
+    let mut batch = QueryBatch::new();
+    let is_classification = config.task == TreeTask::Classification;
+
+    let parent_query = match config.task {
+        TreeTask::Regression => {
+            batch
+                .push("parent", vec![], regression_aggregates(label, &node.conditions))
+                .0
+        }
+        TreeTask::Classification => {
+            batch
+                .push(
+                    "parent",
+                    vec![label],
+                    classification_aggregates(&node.conditions),
+                )
+                .0
+        }
+    };
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for &attr in features {
+        let split_values: Vec<(CmpOp, Value)> = if schema.attr_type(attr).is_categorical() {
+            categories(engine, attr)
+                .into_iter()
+                .map(|c| (CmpOp::Eq, c))
+                .collect()
+        } else {
+            thresholds(engine, attr, config.buckets)
+                .into_iter()
+                .map(|t| (CmpOp::Le, t))
+                .collect()
+        };
+        for (op, value) in split_values {
+            let condition = SplitCondition { attr, op, value };
+            let mut conds = node.conditions.clone();
+            conds.push(condition.clone());
+            let left_query = match config.task {
+                TreeTask::Regression => {
+                    batch
+                        .push(
+                            format!("split_{}", batch.len()),
+                            vec![],
+                            regression_aggregates(label, &conds),
+                        )
+                        .0
+                }
+                TreeTask::Classification => {
+                    batch
+                        .push(
+                            format!("split_{}", batch.len()),
+                            vec![label],
+                            classification_aggregates(&conds),
+                        )
+                        .0
+                }
+            };
+            candidates.push(Candidate {
+                condition,
+                left_query,
+            });
+        }
+    }
+    *queries_issued += batch.len();
+
+    let result = engine.execute(&batch);
+
+    // Parent statistics.
+    let (parent_cost, parent_count, parent_prediction) = if is_classification {
+        let counts: Vec<f64> = result.queries[parent_query]
+            .iter()
+            .map(|(_, v)| v[0])
+            .collect();
+        let keys: Vec<Vec<Value>> = result.queries[parent_query]
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
+        let total: f64 = counts.iter().sum();
+        let majority = keys
+            .iter()
+            .zip(&counts)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(k, _)| k[0].as_f64())
+            .unwrap_or(0.0);
+        (gini_mass(&counts), total, majority)
+    } else {
+        let s = result.queries[parent_query].scalar();
+        let stats = NodeStats {
+            count: s[0],
+            sum: s[1],
+            sum_sq: s[2],
+        };
+        (
+            stats.variance(),
+            stats.count,
+            if stats.count > 0.0 {
+                stats.sum / stats.count
+            } else {
+                0.0
+            },
+        )
+    };
+
+    let make_leaf = || TreeNode::Leaf {
+        prediction: parent_prediction,
+        support: parent_count,
+    };
+
+    if node.depth >= config.max_depth || parent_count < config.min_samples as f64 {
+        return make_leaf();
+    }
+
+    // Pick the candidate with the smallest total cost (left + right), where
+    // the right side is obtained by subtracting the left from the parent.
+    let mut best: Option<(f64, &Candidate)> = None;
+    for cand in &candidates {
+        let cost = if is_classification {
+            let parent_by_class: Vec<(Vec<Value>, f64)> = result.queries[parent_query]
+                .iter()
+                .map(|(k, v)| (k.clone(), v[0]))
+                .collect();
+            let left_counts: Vec<f64> = parent_by_class
+                .iter()
+                .map(|(k, _)| {
+                    result.queries[cand.left_query]
+                        .get(k)
+                        .map(|v| v[0])
+                        .unwrap_or(0.0)
+                })
+                .collect();
+            let right_counts: Vec<f64> = parent_by_class
+                .iter()
+                .zip(&left_counts)
+                .map(|((_, p), l)| (p - l).max(0.0))
+                .collect();
+            let left_total: f64 = left_counts.iter().sum();
+            let right_total: f64 = right_counts.iter().sum();
+            if left_total < 1.0 || right_total < 1.0 {
+                continue;
+            }
+            gini_mass(&left_counts) + gini_mass(&right_counts)
+        } else {
+            let s = result.queries[cand.left_query].scalar();
+            let left = NodeStats {
+                count: s[0],
+                sum: s[1],
+                sum_sq: s[2],
+            };
+            let parent = result.queries[parent_query].scalar();
+            let right = NodeStats {
+                count: parent[0] - left.count,
+                sum: parent[1] - left.sum,
+                sum_sq: parent[2] - left.sum_sq,
+            };
+            if left.count < 1.0 || right.count < 1.0 {
+                continue;
+            }
+            left.variance() + right.variance()
+        };
+        if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+            best = Some((cost, cand));
+        }
+    }
+
+    match best {
+        Some((cost, cand)) if cost < parent_cost - 1e-9 => {
+            let mut left_conditions = node.conditions.clone();
+            left_conditions.push(cand.condition.clone());
+            let mut right_conditions = node.conditions.clone();
+            right_conditions.push(cand.condition.negate());
+            let left = grow_node(
+                engine,
+                schema,
+                features,
+                label,
+                config,
+                FrontierNode {
+                    conditions: left_conditions,
+                    depth: node.depth + 1,
+                },
+                queries_issued,
+            );
+            let right = grow_node(
+                engine,
+                schema,
+                features,
+                label,
+                config,
+                FrontierNode {
+                    conditions: right_conditions,
+                    depth: node.depth + 1,
+                },
+                queries_issued,
+            );
+            TreeNode::Split {
+                condition: cand.condition.clone(),
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+        _ => make_leaf(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_condition_negation_round_trips() {
+        let c = SplitCondition {
+            attr: AttrId(1),
+            op: CmpOp::Le,
+            value: Value::Double(5.0),
+        };
+        let n = c.negate();
+        assert_eq!(n.op, CmpOp::Gt);
+        assert_eq!(n.negate(), c);
+    }
+
+    #[test]
+    fn gini_mass_is_zero_for_pure_nodes() {
+        assert_eq!(gini_mass(&[10.0, 0.0]), 0.0);
+        assert!(gini_mass(&[5.0, 5.0]) > 0.0);
+        assert_eq!(gini_mass(&[]), 0.0);
+    }
+
+    #[test]
+    fn node_stats_variance() {
+        let s = NodeStats {
+            count: 4.0,
+            sum: 10.0,
+            sum_sq: 30.0,
+        };
+        assert!((s.variance() - 5.0).abs() < 1e-12);
+        assert_eq!(
+            NodeStats {
+                count: 0.0,
+                sum: 0.0,
+                sum_sq: 0.0
+            }
+            .variance(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn tree_node_predict_and_size() {
+        let tree = TreeNode::Split {
+            condition: SplitCondition {
+                attr: AttrId(0),
+                op: CmpOp::Le,
+                value: Value::Double(1.0),
+            },
+            left: Box::new(TreeNode::Leaf {
+                prediction: 10.0,
+                support: 5.0,
+            }),
+            right: Box::new(TreeNode::Leaf {
+                prediction: 20.0,
+                support: 5.0,
+            }),
+        };
+        assert_eq!(tree.size(), 3);
+        assert_eq!(tree.depth(), 2);
+        assert_eq!(tree.predict(&|_| Value::Double(0.5)), 10.0);
+        assert_eq!(tree.predict(&|_| Value::Double(3.0)), 20.0);
+    }
+
+    #[test]
+    fn regression_aggregates_have_three_entries() {
+        let aggs = regression_aggregates(AttrId(9), &[]);
+        assert_eq!(aggs.len(), 3);
+        let with_cond = regression_aggregates(
+            AttrId(9),
+            &[SplitCondition {
+                attr: AttrId(1),
+                op: CmpOp::Le,
+                value: Value::Double(3.0),
+            }],
+        );
+        // Each aggregate gains the indicator factor.
+        assert_eq!(with_cond[0].terms[0].factors.len(), 1);
+        assert_eq!(with_cond[1].terms[0].factors.len(), 2);
+    }
+}

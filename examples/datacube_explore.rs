@@ -1,0 +1,91 @@
+//! Data-cube exploration over the TPC-DS excerpt: build a 3-dimensional cube
+//! with five measures (the paper's DC workload) in one LMFAO batch and slice
+//! it interactively.
+//!
+//! Run with: `cargo run --release --example datacube_explore`
+
+use lmfao::ml::assemble_cube;
+use lmfao::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let dataset = lmfao::datagen::tpcds::generate(Scale::new(20_000, 5));
+    println!(
+        "TPC-DS excerpt: {} tuples across {} relations",
+        dataset.total_tuples(),
+        dataset.db.schema().num_relations()
+    );
+
+    // Three dimensions, five measures — the configuration of the paper's DC
+    // experiments.
+    let dims = vec![
+        dataset.attr("icategory"),
+        dataset.attr("sstate"),
+        dataset.attr("year"),
+    ];
+    let measures = vec![
+        dataset.attr("quantity"),
+        dataset.attr("salesprice"),
+        dataset.attr("discount"),
+        dataset.attr("netpaid"),
+        dataset.attr("purchase_estimate"),
+    ];
+
+    let start = Instant::now();
+    let cube_batch = datacube_batch(&dims, &measures);
+    println!(
+        "\ndata cube batch: {} cuboid queries × {} aggregates each",
+        cube_batch.batch.len(),
+        cube_batch.batch.queries[0].num_aggregates()
+    );
+
+    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::full(2));
+    let result = engine.execute(&cube_batch.batch);
+    let cube = assemble_cube(&cube_batch, &result);
+    println!(
+        "cube materialized: {} cells in {:.3}s ({} views, {} groups)",
+        cube.num_cells(),
+        start.elapsed().as_secs_f64(),
+        result.stats.num_views,
+        result.stats.num_groups
+    );
+
+    // The apex cuboid: totals over the whole join.
+    let apex = cube.cell(&[None, None, None]).expect("apex cell exists");
+    println!("\napex cuboid (ALL, ALL, ALL):");
+    println!("  count        = {}", apex[0]);
+    println!("  sum quantity = {:.0}", apex[1]);
+    println!("  sum netpaid  = {:.0}", apex[4]);
+
+    // Slice: total net paid per item category (rolling up state and year).
+    println!("\nnet paid per item category (ALL states, ALL years):");
+    let mut rows: Vec<(String, f64)> = cube
+        .cells
+        .iter()
+        .filter(|(k, _)| k[0].is_some() && k[1].is_none() && k[2].is_none())
+        .map(|(k, v)| (format!("{}", k[0].unwrap()), v[4]))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (category, netpaid) in rows.iter().take(8) {
+        println!("  category {category:>4}: {netpaid:>14.0}");
+    }
+
+    // Drill down: for the top category, net paid per state.
+    if let Some((top_cat, _)) = rows.first() {
+        println!("\ndrill-down into category {top_cat}: net paid per state");
+        let mut drill: Vec<(String, f64)> = cube
+            .cells
+            .iter()
+            .filter(|(k, _)| {
+                matches!(&k[0], Some(c) if format!("{c}") == *top_cat)
+                    && k[1].is_some()
+                    && k[2].is_none()
+            })
+            .map(|(k, v)| (format!("{}", k[1].unwrap()), v[4]))
+            .collect();
+        drill.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        for (state, netpaid) in drill.iter().take(5) {
+            println!("  state {state:>4}: {netpaid:>14.0}");
+        }
+    }
+}

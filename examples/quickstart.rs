@@ -1,0 +1,77 @@
+//! Quickstart: compute a batch of aggregates over a small retail database
+//! without materializing the join.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lmfao::prelude::*;
+
+fn main() {
+    // Generate a small synthetic Favorita-style database (6 relations,
+    // star schema) together with its join tree.
+    let dataset = lmfao::datagen::favorita::generate(Scale::small());
+    println!(
+        "dataset {}: {} relations, {} tuples",
+        dataset.name,
+        dataset.db.schema().num_relations(),
+        dataset.total_tuples()
+    );
+
+    let units = dataset.attr("units");
+    let price = dataset.attr("price");
+    let family = dataset.attr("family");
+    let city = dataset.attr("city");
+
+    // A batch of group-by aggregates over the natural join of all six
+    // relations. LMFAO evaluates the whole batch in a few passes over the
+    // base relations — the join itself is never materialized.
+    let mut batch = QueryBatch::new();
+    batch.push("count", vec![], vec![Aggregate::count()]);
+    batch.push("total_units", vec![], vec![Aggregate::sum(units)]);
+    batch.push(
+        "units_times_oil_price",
+        vec![],
+        vec![Aggregate::sum_product(units, price)],
+    );
+    batch.push("units_per_family", vec![family], vec![Aggregate::sum(units)]);
+    batch.push(
+        "units_per_city_family",
+        vec![city, family],
+        vec![Aggregate::sum(units), Aggregate::count()],
+    );
+
+    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::full(2));
+    let result = engine.execute(&batch);
+
+    println!("\nengine statistics:");
+    println!("  application aggregates: {}", result.stats.application_aggregates);
+    println!("  intermediate aggregates: {}", result.stats.intermediate_aggregates);
+    println!("  views: {}", result.stats.num_views);
+    println!("  view groups: {}", result.stats.num_groups);
+    println!("  roots used: {}", result.stats.num_roots);
+
+    println!("\nscalar results:");
+    println!("  COUNT(*)            = {}", result.queries[0].scalar()[0]);
+    println!("  SUM(units)          = {:.1}", result.queries[1].scalar()[0]);
+    println!("  SUM(units * price)  = {:.1}", result.queries[2].scalar()[0]);
+
+    println!("\nunits per item family (top 5):");
+    let mut per_family: Vec<(String, f64)> = result.queries[3]
+        .iter()
+        .map(|(k, v)| (format!("{}", k[0]), v[0]))
+        .collect();
+    per_family.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (family, total) in per_family.iter().take(5) {
+        println!("  family {family:>4}: {total:>10.1}");
+    }
+
+    // Cross-check one scalar against the materialized-join baseline.
+    let baseline = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
+    let check = baseline.execute_batch(&batch, &lmfao::expr::DynamicRegistry::new());
+    println!(
+        "\nbaseline cross-check: join has {} tuples, SUM(units) = {:.1}",
+        baseline.join().len(),
+        check[1].scalar(1)[0]
+    );
+    assert!((check[1].scalar(1)[0] - result.queries[1].scalar()[0]).abs() < 1e-6);
+    println!("LMFAO and the materialized baseline agree.");
+}

@@ -1,0 +1,97 @@
+//! # LMFAO — a layered aggregate engine for analytics workloads
+//!
+//! A Rust reproduction of *"A Layered Aggregate Engine for Analytics
+//! Workloads"* (Schleich, Olteanu, Abo Khamis, Ngo, Nguyen — SIGMOD 2019).
+//!
+//! LMFAO evaluates **batches** of group-by aggregates over the natural join
+//! of a database without materializing the join. A handful of analytics
+//! applications are built on top of the batch engine: ridge linear regression
+//! (via the covariance matrix), classification and regression trees, mutual
+//! information / Chow–Liu structure learning, and data cubes.
+//!
+//! This crate is a façade re-exporting the workspace members:
+//!
+//! * [`data`] — storage substrate (values, schemas, sorted relations, tries),
+//! * [`expr`] — the aggregate language (`Q(F; α) += R1, …, Rm`),
+//! * [`jointree`] — join-tree construction and hypertree decompositions,
+//! * [`engine`] — the layered engine (roots, pushdown, merging, grouping,
+//!   multi-output plans, parallelism),
+//! * [`baseline`] — materialized-join baselines (the paper's competitors),
+//! * [`datagen`] — synthetic Retailer / Favorita / Yelp / TPC-DS generators,
+//! * [`ml`] — the analytics applications.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lmfao::prelude::*;
+//!
+//! // A tiny two-relation database: Sales(store, item, units) ⋈ Items(item, price).
+//! let mut schema = DatabaseSchema::new();
+//! schema.add_relation_with_attrs(
+//!     "Sales",
+//!     &[("store", AttrType::Int), ("item", AttrType::Int), ("units", AttrType::Double)],
+//! );
+//! schema.add_relation_with_attrs(
+//!     "Items",
+//!     &[("item", AttrType::Int), ("price", AttrType::Double)],
+//! );
+//! let store = schema.attr_id("store").unwrap();
+//! let item = schema.attr_id("item").unwrap();
+//! let units = schema.attr_id("units").unwrap();
+//! let price = schema.attr_id("price").unwrap();
+//! let sales = Relation::from_rows(
+//!     schema.relation("Sales").unwrap().clone(),
+//!     vec![
+//!         vec![Value::Int(1), Value::Int(1), Value::Double(3.0)],
+//!         vec![Value::Int(2), Value::Int(1), Value::Double(5.0)],
+//!     ],
+//! )
+//! .unwrap();
+//! let items = Relation::from_rows(
+//!     schema.relation("Items").unwrap().clone(),
+//!     vec![vec![Value::Int(1), Value::Double(10.0)]],
+//! )
+//! .unwrap();
+//! let db = Database::new(schema.clone(), vec![sales, items]).unwrap();
+//! let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+//!
+//! // One batch: COUNT(*), SUM(units·price), and SUM(units) per store.
+//! let mut batch = QueryBatch::new();
+//! batch.push("count", vec![], vec![Aggregate::count()]);
+//! batch.push("revenue", vec![], vec![Aggregate::sum_product(units, price)]);
+//! batch.push("per_store", vec![store], vec![Aggregate::sum(units)]);
+//!
+//! let engine = Engine::new(db, tree, EngineConfig::default());
+//! let result = engine.execute(&batch);
+//! assert_eq!(result.queries[0].scalar()[0], 2.0);
+//! assert_eq!(result.queries[1].scalar()[0], 80.0);
+//! assert_eq!(result.queries[2].get(&[Value::Int(1)]).unwrap()[0], 3.0);
+//! let _ = item;
+//! ```
+
+#![warn(missing_docs)]
+
+pub use lmfao_baseline as baseline;
+pub use lmfao_core as engine;
+pub use lmfao_data as data;
+pub use lmfao_datagen as datagen;
+pub use lmfao_expr as expr;
+pub use lmfao_jointree as jointree;
+pub use lmfao_ml as ml;
+
+/// Convenient re-exports of the most common types.
+pub mod prelude {
+    pub use lmfao_baseline::MaterializedEngine;
+    pub use lmfao_core::{BatchResult, Engine, EngineConfig, EngineStats, QueryResult};
+    pub use lmfao_data::{
+        AttrId, AttrType, Database, DatabaseSchema, Relation, RelationSchema, Value,
+    };
+    pub use lmfao_datagen::{Dataset, Scale};
+    pub use lmfao_expr::{Aggregate, CmpOp, ProductTerm, Query, QueryBatch, ScalarFunction};
+    pub use lmfao_jointree::{build_join_tree, Hypergraph, JoinTree};
+    pub use lmfao_ml::{
+        assemble_covar_matrix, chow_liu_tree, compute_mutual_info, covar_batch, datacube_batch,
+        mutual_info_batch, train_decision_tree, train_linear_regression, CovarSpec, LinRegConfig,
+        TreeConfig, TreeTask,
+    };
+}

@@ -1,0 +1,179 @@
+//! Cross-engine integration tests: LMFAO (in every configuration) must agree
+//! with the materialized-join baseline on every workload of the paper, over
+//! all four synthetic datasets.
+
+use lmfao::baseline::MaterializedEngine;
+use lmfao::prelude::*;
+use lmfao_expr::DynamicRegistry;
+
+const EPS: f64 = 1e-6;
+
+fn relative_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Asserts that an LMFAO result and a baseline result agree on every group.
+fn assert_agrees(
+    name: &str,
+    lmfao: &lmfao::engine::QueryResult,
+    baseline: &lmfao::baseline::BaselineResult,
+) {
+    // Every baseline group with non-zero aggregates must exist in LMFAO with
+    // the same values; LMFAO may omit all-zero groups.
+    for (key, values) in baseline.data.iter() {
+        let got = lmfao.get(key);
+        let all_zero = values.iter().all(|v| v.abs() < EPS);
+        match got {
+            Some(found) => {
+                for (g, w) in found.iter().zip(values) {
+                    assert!(
+                        relative_eq(*g, *w),
+                        "{name}: key {key:?} expected {values:?} got {found:?}"
+                    );
+                }
+            }
+            None => assert!(
+                all_zero,
+                "{name}: missing group {key:?} with non-zero aggregates {values:?}"
+            ),
+        }
+    }
+    // And LMFAO must not invent groups.
+    for (key, values) in lmfao.iter() {
+        if values.iter().any(|v| v.abs() > EPS) {
+            assert!(
+                baseline.data.contains_key(key),
+                "{name}: spurious group {key:?}"
+            );
+        }
+    }
+}
+
+fn check_batch(dataset: &Dataset, batch: &QueryBatch, config: EngineConfig) {
+    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), config);
+    let result = engine.execute(batch);
+    let baseline = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
+    let expected = baseline.execute_batch(batch, &DynamicRegistry::new());
+    for ((q, lm), bl) in batch.queries.iter().zip(&result.queries).zip(&expected) {
+        assert_agrees(&format!("{}::{}", dataset.name, q.name), lm, bl);
+    }
+}
+
+fn covar_style_batch(dataset: &Dataset, continuous: &[&str], categorical: &[&str]) -> QueryBatch {
+    let spec = lmfao::ml::CovarSpec {
+        continuous: continuous.iter().map(|n| dataset.attr(n)).collect(),
+        categorical: categorical.iter().map(|n| dataset.attr(n)).collect(),
+    };
+    lmfao::ml::covar_batch(&spec).batch
+}
+
+#[test]
+fn favorita_covar_matrix_matches_baseline() {
+    let dataset = lmfao::datagen::favorita::generate(Scale::new(800, 1));
+    let batch = covar_style_batch(&dataset, &["units", "txns", "price"], &["family", "city"]);
+    for config in [EngineConfig::default(), EngineConfig::unoptimized()] {
+        check_batch(&dataset, &batch, config);
+    }
+}
+
+#[test]
+fn retailer_covar_matrix_matches_baseline() {
+    let dataset = lmfao::datagen::retailer::generate(Scale::new(800, 2));
+    let batch = covar_style_batch(
+        &dataset,
+        &["inventoryunits", "avghhi", "maxtemp", "prices"],
+        &["category"],
+    );
+    check_batch(&dataset, &batch, EngineConfig::full(2));
+}
+
+#[test]
+fn yelp_many_to_many_aggregates_match_baseline() {
+    let dataset = lmfao::datagen::yelp::generate(Scale::new(600, 3));
+    let stars = dataset.attr("stars");
+    let category = dataset.attr("category");
+    let fans = dataset.attr("fans");
+    let mut batch = QueryBatch::new();
+    batch.push("count", vec![], vec![Aggregate::count()]);
+    batch.push("stars_by_cat", vec![category], vec![Aggregate::sum(stars), Aggregate::count()]);
+    batch.push("fans_stars", vec![], vec![Aggregate::sum_product(fans, stars)]);
+    check_batch(&dataset, &batch, EngineConfig::default());
+}
+
+#[test]
+fn tpcds_mutual_information_counts_match_baseline() {
+    let dataset = lmfao::datagen::tpcds::generate(Scale::new(700, 4));
+    let attrs: Vec<AttrId> = ["icategory", "sstate", "gender", "preferred"]
+        .iter()
+        .map(|n| dataset.attr(n))
+        .collect();
+    let mi = mutual_info_batch(&attrs);
+    check_batch(&dataset, &mi.batch, EngineConfig::default());
+}
+
+#[test]
+fn favorita_data_cube_matches_baseline() {
+    let dataset = lmfao::datagen::favorita::generate(Scale::new(600, 5));
+    let dims = vec![dataset.attr("family"), dataset.attr("city"), dataset.attr("stype")];
+    let measures = vec![dataset.attr("units"), dataset.attr("txns")];
+    let cube = datacube_batch(&dims, &measures);
+    check_batch(&dataset, &cube.batch, EngineConfig::default());
+}
+
+#[test]
+fn regression_tree_node_batch_matches_baseline() {
+    let dataset = lmfao::datagen::retailer::generate(Scale::new(600, 6));
+    let label = dataset.attr("inventoryunits");
+    let avghhi = dataset.attr("avghhi");
+    let maxtemp = dataset.attr("maxtemp");
+    // A regression-tree node: COUNT, SUM(y), SUM(y²) under two conditions.
+    let alpha = Aggregate::conditions(&[
+        (avghhi, CmpOp::Le, Value::Double(80_000.0)),
+        (maxtemp, CmpOp::Gt, Value::Double(50.0)),
+    ]);
+    let mut batch = QueryBatch::new();
+    batch.push(
+        "rt_node",
+        vec![],
+        vec![
+            Aggregate::product(alpha.clone()),
+            Aggregate::product(alpha.clone().times(ScalarFunction::Identity(label))),
+            Aggregate::product(alpha.times(ScalarFunction::Power {
+                attr: label,
+                exponent: 2,
+            })),
+        ],
+    );
+    check_batch(&dataset, &batch, EngineConfig::default());
+}
+
+#[test]
+fn all_ablation_configurations_agree_on_favorita() {
+    let dataset = lmfao::datagen::favorita::generate(Scale::new(500, 8));
+    let units = dataset.attr("units");
+    let family = dataset.attr("family");
+    let price = dataset.attr("price");
+    let mut batch = QueryBatch::new();
+    batch.push("count", vec![], vec![Aggregate::count()]);
+    batch.push("per_family", vec![family], vec![Aggregate::sum(units)]);
+    batch.push("up", vec![], vec![Aggregate::sum_product(units, price)]);
+
+    let reference = Engine::new(
+        dataset.db.clone(),
+        dataset.tree.clone(),
+        EngineConfig::unoptimized(),
+    )
+    .execute(&batch);
+    for (name, config) in EngineConfig::ablation_ladder(4).into_iter().skip(1) {
+        let result = Engine::new(dataset.db.clone(), dataset.tree.clone(), config).execute(&batch);
+        for (r, e) in result.queries.iter().zip(&reference.queries) {
+            assert_eq!(r.len(), e.len(), "{name}");
+            for (key, vals) in e.iter() {
+                let got = r.get(key).unwrap_or_else(|| panic!("{name}: missing {key:?}"));
+                for (g, w) in got.iter().zip(vals) {
+                    assert!(relative_eq(*g, *w), "{name}: {key:?}");
+                }
+            }
+        }
+    }
+}

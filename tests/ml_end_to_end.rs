@@ -1,0 +1,259 @@
+//! End-to-end tests of the analytics applications (Section 2 / Tables 4–5):
+//! training happens over aggregate batches only, and the learned models are
+//! validated against the materialized join.
+
+use lmfao::baseline::{self, MaterializedEngine};
+use lmfao::ml::{self, assemble_cube};
+use lmfao::prelude::*;
+
+/// A small star-schema database where the label is an exact linear function
+/// of features living in different relations:
+///   y = 5 + 2·x_fact + 3·x_dim
+fn linear_database() -> (Dataset, AttrId, Vec<AttrId>) {
+    use lmfao_data::{AttrType, Database, DatabaseSchema, Relation};
+    let mut schema = DatabaseSchema::new();
+    schema.add_relation_with_attrs(
+        "Fact",
+        &[
+            ("key", AttrType::Int),
+            ("x_fact", AttrType::Double),
+            ("y", AttrType::Double),
+        ],
+    );
+    schema.add_relation_with_attrs(
+        "Dim",
+        &[("key", AttrType::Int), ("x_dim", AttrType::Double)],
+    );
+    let _key = schema.attr_id("key").unwrap();
+    let x_fact = schema.attr_id("x_fact").unwrap();
+    let y = schema.attr_id("y").unwrap();
+    let x_dim = schema.attr_id("x_dim").unwrap();
+
+    let n_keys = 40i64;
+    let dim_rows: Vec<Vec<Value>> = (0..n_keys)
+        .map(|k| vec![Value::Int(k), Value::Double((k % 7) as f64)])
+        .collect();
+    let mut fact_rows = Vec::new();
+    for i in 0..400i64 {
+        let k = i % n_keys;
+        let xf = (i % 13) as f64;
+        let xd = (k % 7) as f64;
+        fact_rows.push(vec![
+            Value::Int(k),
+            Value::Double(xf),
+            Value::Double(5.0 + 2.0 * xf + 3.0 * xd),
+        ]);
+    }
+    let fact = Relation::from_rows(schema.relation("Fact").unwrap().clone(), fact_rows).unwrap();
+    let dim = Relation::from_rows(schema.relation("Dim").unwrap().clone(), dim_rows).unwrap();
+    let db = Database::new(schema.clone(), vec![fact, dim]).unwrap();
+    let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+    (
+        Dataset {
+            name: "Linear".into(),
+            db,
+            tree,
+        },
+        y,
+        vec![x_fact, x_dim],
+    )
+}
+
+#[test]
+fn linear_regression_recovers_cross_relation_coefficients() {
+    let (dataset, label, features) = linear_database();
+    let mut spec_features = features.clone();
+    spec_features.push(label);
+    let spec = CovarSpec::continuous_only(spec_features);
+    let cb = covar_batch(&spec);
+    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::default());
+    let result = engine.execute(&cb.batch);
+    let covar = ml::assemble_covar_matrix(&cb, &result);
+    assert_eq!(covar.dim(), 4); // intercept + 2 features + label
+
+    let model = train_linear_regression(
+        &covar,
+        &LinRegConfig {
+            l2: 0.0,
+            max_iterations: 50_000,
+            tolerance: 1e-12,
+        },
+    );
+    assert!((model.theta[0] - 5.0).abs() < 0.1, "intercept {:?}", model.theta);
+    assert!((model.theta[1] - 2.0).abs() < 0.05, "x_fact {:?}", model.theta);
+    assert!((model.theta[2] - 3.0).abs() < 0.05, "x_dim {:?}", model.theta);
+
+    // RMSE over the materialized join is essentially zero.
+    let join = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
+    assert!(model.rmse(join.join(), label) < 0.2);
+}
+
+#[test]
+fn lmfao_covar_matrix_equals_baseline_statistics() {
+    let (dataset, label, features) = linear_database();
+    let mut spec_features = features.clone();
+    spec_features.push(label);
+    let spec = CovarSpec::continuous_only(spec_features.clone());
+    let cb = covar_batch(&spec);
+    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::default());
+    let covar = ml::assemble_covar_matrix(&cb, &engine.execute(&cb.batch));
+
+    // Recompute the same statistics from the materialized join.
+    let join = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
+    let join_rel = join.join();
+    let cols: Vec<usize> = spec_features
+        .iter()
+        .map(|a| join_rel.position(*a).unwrap())
+        .collect();
+    let n = join_rel.len();
+    assert_eq!(covar.count, n as f64);
+    for (j, &cj) in cols.iter().enumerate() {
+        for (k, &ck) in cols.iter().enumerate() {
+            let expected: f64 = (0..n)
+                .map(|i| join_rel.value(i, cj).as_f64() * join_rel.value(i, ck).as_f64())
+                .sum();
+            let got = covar.matrix[j + 1][k + 1];
+            assert!(
+                (expected - got).abs() < 1e-6 * expected.abs().max(1.0),
+                "C[{j}][{k}]: {got} vs {expected}"
+            );
+        }
+    }
+}
+
+#[test]
+fn regression_tree_beats_the_mean_predictor() {
+    let (dataset, label, features) = linear_database();
+    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::default());
+    let config = TreeConfig {
+        task: TreeTask::Regression,
+        max_depth: 3,
+        min_samples: 10,
+        buckets: 10,
+    };
+    let tree = train_decision_tree(&engine, &features, label, &config);
+    assert!(tree.size() > 1, "the tree must find at least one split");
+
+    let join = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
+    let join_rel = join.join();
+    let label_col = join_rel.position(label).unwrap();
+    let mean: f64 = (0..join_rel.len())
+        .map(|i| join_rel.value(i, label_col).as_f64())
+        .sum::<f64>()
+        / join_rel.len() as f64;
+    let mean_rmse = ml::evaluate::rmse(join_rel, label, |_| mean);
+    let tree_rmse = ml::evaluate::tree_rmse(&tree, join_rel, label);
+    assert!(
+        tree_rmse < 0.8 * mean_rmse,
+        "tree {tree_rmse} must beat mean {mean_rmse}"
+    );
+}
+
+#[test]
+fn classification_tree_on_tpcds_beats_majority_class() {
+    let dataset = lmfao::datagen::tpcds::generate(Scale::new(3_000, 9));
+    let label = dataset.attr("preferred");
+    let features = vec![
+        dataset.attr("birth_year"),
+        dataset.attr("purchase_estimate"),
+        dataset.attr("gender"),
+        dataset.attr("marital"),
+        dataset.attr("dep_count"),
+    ];
+    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::full(2));
+    let config = TreeConfig {
+        task: TreeTask::Classification,
+        max_depth: 3,
+        min_samples: 50,
+        buckets: 8,
+    };
+    let tree = train_decision_tree(&engine, &features, label, &config);
+    assert!(tree.queries_issued > 0);
+
+    let join = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
+    let join_rel = join.join();
+    let label_col = join_rel.position(label).unwrap();
+    // Majority-class accuracy.
+    let ones = (0..join_rel.len())
+        .filter(|&i| join_rel.value(i, label_col).as_f64() > 0.5)
+        .count() as f64;
+    let majority = (ones / join_rel.len() as f64).max(1.0 - ones / join_rel.len() as f64);
+    let acc = ml::evaluate::tree_accuracy(&tree, join_rel, label);
+    assert!(
+        acc >= majority - 1e-9,
+        "tree accuracy {acc} must be at least the majority baseline {majority}"
+    );
+}
+
+#[test]
+fn chow_liu_tree_connects_functionally_dependent_attributes() {
+    let dataset = lmfao::datagen::favorita::generate(Scale::new(2_000, 10));
+    let names = ["store", "city", "state", "family", "htype"];
+    let attrs: Vec<AttrId> = names.iter().map(|n| dataset.attr(n)).collect();
+    let mi_batch = mutual_info_batch(&attrs);
+    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::default());
+    let result = engine.execute(&mi_batch.batch);
+    let mi = compute_mutual_info(&mi_batch, &result);
+    let tree = chow_liu_tree(&mi);
+    assert_eq!(tree.edges.len(), attrs.len() - 1);
+    // store→city and city→state are functional dependencies in the generator,
+    // so their MI is maximal among pairs involving them; the spanning tree
+    // must include the city—state edge or reach state through city/store.
+    let city = 1usize;
+    let state = 2usize;
+    assert!(
+        mi.get(city, state) > mi.get(3, 4),
+        "functionally dependent pair must have higher MI than unrelated pair"
+    );
+    assert!(!tree.neighbors(state).is_empty());
+}
+
+#[test]
+fn data_cube_cells_are_consistent_across_cuboids() {
+    let dataset = lmfao::datagen::favorita::generate(Scale::new(1_000, 11));
+    let dims = vec![dataset.attr("family"), dataset.attr("city")];
+    let measures = vec![dataset.attr("units")];
+    let cube_batch = datacube_batch(&dims, &measures);
+    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::default());
+    let result = engine.execute(&cube_batch.batch);
+    let cube = assemble_cube(&cube_batch, &result);
+
+    // Roll-up consistency: summing the (family, ALL) cells over family gives
+    // the apex, both for the count and for the measure.
+    let apex = cube.cell(&[None, None]).expect("apex exists").to_vec();
+    let mut rolled = vec![0.0; apex.len()];
+    for (key, values) in cube.cells.iter() {
+        if key[0].is_some() && key[1].is_none() {
+            for (r, v) in rolled.iter_mut().zip(values) {
+                *r += v;
+            }
+        }
+    }
+    for (r, a) in rolled.iter().zip(&apex) {
+        assert!((r - a).abs() < 1e-6 * a.abs().max(1.0), "{rolled:?} vs {apex:?}");
+    }
+}
+
+#[test]
+fn lmfao_and_dense_baseline_learn_comparable_linear_models() {
+    let (dataset, label, features) = linear_database();
+    // LMFAO path.
+    let mut spec_features = features.clone();
+    spec_features.push(label);
+    let cb = covar_batch(&CovarSpec::continuous_only(spec_features));
+    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::default());
+    let covar = ml::assemble_covar_matrix(&cb, &engine.execute(&cb.batch));
+    let lmfao_model = train_linear_regression(&covar, &LinRegConfig::default());
+
+    // Dense baseline path (materialize + one-hot + GD).
+    let join = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
+    let dense = baseline::export_dense(join.join(), dataset.db.schema(), &features, label);
+    let theta = baseline::train_linear_regression_dense(&dense, 1e-3, 1e-3, 2_000);
+
+    let lmfao_rmse = lmfao_model.rmse(join.join(), label);
+    let baseline_rmse = baseline::rmse_linear(&theta, &dense);
+    // Both should fit this noiseless linear data well; LMFAO must not be
+    // dramatically worse than the dense pipeline.
+    assert!(lmfao_rmse < 1.0, "lmfao rmse {lmfao_rmse}");
+    assert!(baseline_rmse < 2.0, "baseline rmse {baseline_rmse}");
+}

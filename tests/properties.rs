@@ -1,0 +1,172 @@
+//! Property-based tests: on randomly generated databases and query batches,
+//! the LMFAO engine must agree with the materialized-join baseline, in every
+//! configuration, and core data-structure invariants must hold.
+
+use lmfao::baseline::MaterializedEngine;
+use lmfao::prelude::*;
+use lmfao_expr::DynamicRegistry;
+use proptest::prelude::*;
+
+/// Builds a three-relation chain database R(a,b,x) — S(b,c) — T(c,y) from
+/// generated tuples.
+fn chain_db(
+    r_rows: &[(i64, i64, f64)],
+    s_rows: &[(i64, i64)],
+    t_rows: &[(i64, f64)],
+) -> (Database, JoinTree) {
+    use lmfao_data::{AttrType, DatabaseSchema};
+    let mut schema = DatabaseSchema::new();
+    schema.add_relation_with_attrs(
+        "R",
+        &[("a", AttrType::Int), ("b", AttrType::Int), ("x", AttrType::Double)],
+    );
+    schema.add_relation_with_attrs("S", &[("b", AttrType::Int), ("c", AttrType::Int)]);
+    schema.add_relation_with_attrs("T", &[("c", AttrType::Int), ("y", AttrType::Double)]);
+    let ids: Vec<AttrId> = ["a", "b", "x", "c", "y"]
+        .iter()
+        .map(|n| schema.attr_id(n).unwrap())
+        .collect();
+    let r = Relation::from_rows(
+        RelationSchema::new("R", vec![ids[0], ids[1], ids[2]]),
+        r_rows
+            .iter()
+            .map(|&(a, b, x)| vec![Value::Int(a), Value::Int(b), Value::Double(x)])
+            .collect(),
+    )
+    .unwrap();
+    let s = Relation::from_rows(
+        RelationSchema::new("S", vec![ids[1], ids[3]]),
+        s_rows
+            .iter()
+            .map(|&(b, c)| vec![Value::Int(b), Value::Int(c)])
+            .collect(),
+    )
+    .unwrap();
+    let t = Relation::from_rows(
+        RelationSchema::new("T", vec![ids[3], ids[4]]),
+        t_rows
+            .iter()
+            .map(|&(c, y)| vec![Value::Int(c), Value::Double(y)])
+            .collect(),
+    )
+    .unwrap();
+    let db = Database::new(schema.clone(), vec![r, s, t]).unwrap();
+    let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+    (db, tree)
+}
+
+fn tuple_strategy() -> impl Strategy<Value = (Vec<(i64, i64, f64)>, Vec<(i64, i64)>, Vec<(i64, f64)>)>
+{
+    let r = prop::collection::vec((0..5i64, 0..4i64, -3.0..3.0f64), 0..25);
+    let s = prop::collection::vec((0..4i64, 0..4i64), 0..15);
+    let t = prop::collection::vec((0..4i64, -2.0..2.0f64), 0..10);
+    (r, s, t)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine agrees with the materialized baseline on scalar and
+    /// group-by aggregates for arbitrary databases, in every configuration.
+    #[test]
+    fn engine_matches_baseline_on_random_databases(
+        (r_rows, s_rows, t_rows) in tuple_strategy()
+    ) {
+        let (db, tree) = chain_db(&r_rows, &s_rows, &t_rows);
+        let a = db.schema().attr_id("a").unwrap();
+        let x = db.schema().attr_id("x").unwrap();
+        let y = db.schema().attr_id("y").unwrap();
+        let c = db.schema().attr_id("c").unwrap();
+
+        let mut batch = QueryBatch::new();
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        batch.push("sum_xy", vec![], vec![Aggregate::sum_product(x, y)]);
+        batch.push("per_a", vec![a], vec![Aggregate::sum(y), Aggregate::count()]);
+        batch.push("per_c", vec![c], vec![Aggregate::sum_square(x)]);
+
+        let baseline = MaterializedEngine::materialize(&db, &tree);
+        let expected = baseline.execute_batch(&batch, &DynamicRegistry::new());
+
+        for config in [EngineConfig::default(), EngineConfig::unoptimized(), EngineConfig::full(2)] {
+            let engine = Engine::new(db.clone(), tree.clone(), config);
+            let result = engine.execute(&batch);
+            // Scalars.
+            prop_assert!(close(result.queries[0].scalar()[0], expected[0].scalar(1)[0]));
+            prop_assert!(close(result.queries[1].scalar()[0], expected[1].scalar(1)[0]));
+            // Group-bys: every non-zero baseline group must match.
+            for (qi, exp) in expected.iter().enumerate().skip(2) {
+                for (key, vals) in exp.data.iter() {
+                    let got = result.queries[qi].get(key);
+                    if vals.iter().any(|v| v.abs() > 1e-9) {
+                        let got = got.unwrap_or(&[]);
+                        prop_assert_eq!(got.len(), vals.len());
+                        for (g, w) in got.iter().zip(vals) {
+                            prop_assert!(close(*g, *w), "{:?} vs {:?}", got, vals);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The count query equals the size of the materialized join, and the
+    /// engine never reports more groups than distinct keys in the join.
+    #[test]
+    fn count_equals_join_size(
+        (r_rows, s_rows, t_rows) in tuple_strategy()
+    ) {
+        let (db, tree) = chain_db(&r_rows, &s_rows, &t_rows);
+        let a = db.schema().attr_id("a").unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        batch.push("per_a", vec![a], vec![Aggregate::count()]);
+        let engine = Engine::new(db.clone(), tree.clone(), EngineConfig::default());
+        let result = engine.execute(&batch);
+        let join = MaterializedEngine::materialize(&db, &tree);
+        prop_assert_eq!(result.queries[0].scalar()[0], join.join().len() as f64);
+        let a_col = join.join().position(a);
+        let distinct = a_col.map(|col| join.join().distinct_count(col)).unwrap_or(0);
+        prop_assert_eq!(result.queries[1].len(), distinct);
+    }
+
+    /// Relation sorting is a permutation: length, multiset of rows and
+    /// min/max per column are preserved.
+    #[test]
+    fn sorting_preserves_rows(rows in prop::collection::vec((0..10i64, 0..10i64), 0..50)) {
+        let schema = RelationSchema::new("R", vec![AttrId(0), AttrId(1)]);
+        let mut rel = Relation::from_rows(
+            schema,
+            rows.iter().map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]).collect(),
+        )
+        .unwrap();
+        let before_len = rel.len();
+        let mut before: Vec<Vec<Value>> = rel.rows().map(|r| r.to_vec()).collect();
+        rel.sort_by_positions(&[0, 1]);
+        prop_assert_eq!(rel.len(), before_len);
+        let mut after: Vec<Vec<Value>> = rel.rows().map(|r| r.to_vec()).collect();
+        before.sort();
+        after.sort();
+        prop_assert_eq!(before, after);
+        // And the relation is indeed sorted by column 0.
+        for i in 1..rel.len() {
+            prop_assert!(rel.value(i - 1, 0) <= rel.value(i, 0));
+        }
+    }
+
+    /// Dictionary encoding round-trips arbitrary strings.
+    #[test]
+    fn dictionary_round_trips(words in prop::collection::vec("[a-z]{1,8}", 1..40)) {
+        let mut dict = lmfao_data::Dictionary::new();
+        let codes: Vec<u32> = words.iter().map(|w| dict.encode(w)).collect();
+        for (w, c) in words.iter().zip(&codes) {
+            prop_assert_eq!(dict.decode(*c), Some(w.as_str()));
+            prop_assert_eq!(dict.encode(w), *c);
+        }
+        let distinct: std::collections::BTreeSet<&String> = words.iter().collect();
+        prop_assert_eq!(dict.len(), distinct.len());
+    }
+}
