@@ -217,7 +217,8 @@ fn impurity(labels: &[f64], rows: &[usize], task: DenseTask) -> f64 {
         }
         DenseTask::Classification => {
             let n = rows.len() as f64;
-            let mut counts: std::collections::BTreeMap<i64, usize> = std::collections::BTreeMap::new();
+            let mut counts: std::collections::BTreeMap<i64, usize> =
+                std::collections::BTreeMap::new();
             for &r in rows {
                 *counts.entry(labels[r] as i64).or_default() += 1;
             }
@@ -241,7 +242,8 @@ fn leaf_value(labels: &[f64], rows: &[usize], task: DenseTask) -> f64 {
     match task {
         DenseTask::Regression => rows.iter().map(|&r| labels[r]).sum::<f64>() / rows.len() as f64,
         DenseTask::Classification => {
-            let mut counts: std::collections::BTreeMap<i64, usize> = std::collections::BTreeMap::new();
+            let mut counts: std::collections::BTreeMap<i64, usize> =
+                std::collections::BTreeMap::new();
             for &r in rows {
                 *counts.entry(labels[r] as i64).or_default() += 1;
             }
@@ -299,20 +301,35 @@ fn grow(
                 continue;
             }
             let cost = impurity(&data.labels, &left, task) + impurity(&data.labels, &right, task);
-            if best.as_ref().map_or(true, |&(_, _, c)| cost < c) {
+            if best.as_ref().is_none_or(|&(_, _, c)| cost < c) {
                 best = Some((f, t, cost));
             }
         }
     }
     match best {
         Some((feature, threshold, cost)) if cost < parent_cost => {
-            let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
-                rows.iter().partition(|&&r| data.features[r][feature] <= threshold);
+            let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+                .iter()
+                .partition(|&&r| data.features[r][feature] <= threshold);
             DenseTreeNode::Split {
                 feature,
                 threshold,
-                left: Box::new(grow(data, &left_rows, task, depth - 1, min_samples, buckets)),
-                right: Box::new(grow(data, &right_rows, task, depth - 1, min_samples, buckets)),
+                left: Box::new(grow(
+                    data,
+                    &left_rows,
+                    task,
+                    depth - 1,
+                    min_samples,
+                    buckets,
+                )),
+                right: Box::new(grow(
+                    data,
+                    &right_rows,
+                    task,
+                    depth - 1,
+                    min_samples,
+                    buckets,
+                )),
             }
         }
         _ => DenseTreeNode::Leaf(leaf_value(&data.labels, rows, task)),
@@ -326,9 +343,7 @@ mod tests {
 
     fn dataset() -> DenseDataset {
         // y = 2*x0 + noiseless; x1 is irrelevant.
-        let features: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![i as f64, (i % 3) as f64])
-            .collect();
+        let features: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i % 3) as f64]).collect();
         let labels: Vec<f64> = features.iter().map(|x| 2.0 * x[0]).collect();
         DenseDataset {
             features,

@@ -142,7 +142,11 @@ mod tests {
         let mut schema = DatabaseSchema::new();
         schema.add_relation_with_attrs(
             "R",
-            &[("a", AttrType::Int), ("b", AttrType::Int), ("x", AttrType::Double)],
+            &[
+                ("a", AttrType::Int),
+                ("b", AttrType::Int),
+                ("x", AttrType::Double),
+            ],
         );
         schema.add_relation_with_attrs("S", &[("b", AttrType::Int), ("y", AttrType::Double)]);
         let a = schema.attr_id("a").unwrap();
@@ -202,7 +206,11 @@ mod tests {
         let x = db.schema().attr_id("x").unwrap();
         let engine = MaterializedEngine::materialize(&db, &tree);
         let mut batch = QueryBatch::new();
-        batch.push("per_b", vec![b], vec![Aggregate::sum(x), Aggregate::count()]);
+        batch.push(
+            "per_b",
+            vec![b],
+            vec![Aggregate::sum(x), Aggregate::count()],
+        );
         let res = engine.execute_batch(&batch, &DynamicRegistry::new());
         assert_eq!(res[0].len(), 2);
         assert_eq!(res[0].get(&[Value::Int(1)]).unwrap(), &[5.0, 2.0]);

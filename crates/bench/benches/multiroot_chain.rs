@@ -19,8 +19,8 @@ fn bench_multiroot(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("example33/chain");
     group.sample_size(10);
-        group.warm_up_time(std::time::Duration::from_secs(1));
-        group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
     for (name, config) in [
         (
             "single_root",

@@ -55,8 +55,7 @@ fn bench_table4(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter("linreg_materialized"), |b| {
             b.iter(|| {
                 let join = MaterializedEngine::materialize(&ds.db, &ds.tree);
-                let dense =
-                    baseline::export_dense(join.join(), ds.db.schema(), &features, label);
+                let dense = baseline::export_dense(join.join(), ds.db.schema(), &features, label);
                 baseline::train_linear_regression_dense(&dense, 1e-3, 1e-9, 20)
             })
         });
@@ -66,8 +65,7 @@ fn bench_table4(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter("regtree_materialized"), |b| {
             b.iter(|| {
                 let join = MaterializedEngine::materialize(&ds.db, &ds.tree);
-                let dense =
-                    baseline::export_dense(join.join(), ds.db.schema(), &features, label);
+                let dense = baseline::export_dense(join.join(), ds.db.schema(), &features, label);
                 baseline::train_tree_dense(&dense, DenseTask::Regression, 2, 200, 8)
             })
         });

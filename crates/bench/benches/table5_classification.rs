@@ -33,8 +33,8 @@ fn bench_table5(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table5/TPC-DS");
     group.sample_size(10);
-        group.warm_up_time(std::time::Duration::from_secs(1));
-        group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
     group.bench_function(BenchmarkId::from_parameter("classtree_lmfao"), |b| {
         b.iter(|| ml::train_decision_tree(&engine, &features, label, &tree_config))
     });

@@ -175,10 +175,7 @@ fn figure5(datasets: &[Dataset]) {
 /// Tables 4 and 5: end-to-end model training, LMFAO vs materialize-then-learn.
 fn tables45(datasets: &[Dataset]) {
     println!("\n=== Table 4: linear regression & regression trees (seconds) ===");
-    println!(
-        "{:<26} {:>10} {:>10}",
-        "", "Retailer", "Favorita"
-    );
+    println!("{:<26} {:>10} {:>10}", "", "Retailer", "Favorita");
     let mut join_times = vec![];
     let mut lr_lmfao = vec![];
     let mut lr_baseline = vec![];
@@ -302,10 +299,13 @@ fn example33() {
         batch.push(format!("Q{i}"), vec![attr], vec![Aggregate::count()]);
     }
     for (name, config) in [
-        ("single root", EngineConfig {
-            multi_root: false,
-            ..EngineConfig::default()
-        }),
+        (
+            "single root",
+            EngineConfig {
+                multi_root: false,
+                ..EngineConfig::default()
+            },
+        ),
         ("multi root", EngineConfig::default()),
     ] {
         let engine = engine_for(&ds, config);

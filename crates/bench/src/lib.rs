@@ -44,8 +44,17 @@ impl WorkloadSpec {
         match name {
             "Retailer" => WorkloadSpec {
                 continuous: vec![
-                    "avghhi", "tot_area_sq_ft", "sell_area_sq_ft", "distance_comp", "population",
-                    "medianage", "households", "maxtemp", "mintemp", "meanwind", "prices",
+                    "avghhi",
+                    "tot_area_sq_ft",
+                    "sell_area_sq_ft",
+                    "distance_comp",
+                    "population",
+                    "medianage",
+                    "households",
+                    "maxtemp",
+                    "mintemp",
+                    "meanwind",
+                    "prices",
                     "inventoryunits",
                 ]
                 .into_iter()
@@ -56,8 +65,14 @@ impl WorkloadSpec {
                     .map(String::from)
                     .collect(),
                 mutual_info: vec![
-                    "rgn_cd", "clim_zn_nbr", "category", "categorycluster", "subcategory", "rain",
-                    "snow", "thunder",
+                    "rgn_cd",
+                    "clim_zn_nbr",
+                    "category",
+                    "categorycluster",
+                    "subcategory",
+                    "rain",
+                    "snow",
+                    "thunder",
                 ]
                 .into_iter()
                 .map(String::from)
@@ -67,7 +82,11 @@ impl WorkloadSpec {
                     .map(String::from)
                     .collect(),
                 cube_measures: vec![
-                    "inventoryunits", "prices", "avghhi", "maxtemp", "population",
+                    "inventoryunits",
+                    "prices",
+                    "avghhi",
+                    "maxtemp",
+                    "population",
                 ]
                 .into_iter()
                 .map(String::from)
@@ -84,7 +103,14 @@ impl WorkloadSpec {
                     .map(String::from)
                     .collect(),
                 mutual_info: vec![
-                    "family", "city", "state", "stype", "htype", "locale", "perishable", "promo",
+                    "family",
+                    "city",
+                    "state",
+                    "stype",
+                    "htype",
+                    "locale",
+                    "perishable",
+                    "promo",
                 ]
                 .into_iter()
                 .map(String::from)

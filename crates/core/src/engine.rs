@@ -285,7 +285,11 @@ mod tests {
         let mut schema = DatabaseSchema::new();
         schema.add_relation_with_attrs(
             "S1",
-            &[("x1", AttrType::Int), ("x2", AttrType::Int), ("u", AttrType::Double)],
+            &[
+                ("x1", AttrType::Int),
+                ("x2", AttrType::Int),
+                ("u", AttrType::Double),
+            ],
         );
         schema.add_relation_with_attrs("S2", &[("x2", AttrType::Int), ("x3", AttrType::Int)]);
         schema.add_relation_with_attrs("S3", &[("x3", AttrType::Int), ("v", AttrType::Double)]);
@@ -342,7 +346,11 @@ mod tests {
         batch.push("uu", vec![], vec![Aggregate::sum_square(u)]);
         batch.push("uv", vec![], vec![Aggregate::sum_product(u, v)]);
         batch.push("vv", vec![], vec![Aggregate::sum_square(v)]);
-        batch.push("per_x1", vec![x1], vec![Aggregate::sum(v), Aggregate::count()]);
+        batch.push(
+            "per_x1",
+            vec![x1],
+            vec![Aggregate::sum(v), Aggregate::count()],
+        );
         batch
     }
 
@@ -367,15 +375,17 @@ mod tests {
     fn group_by_results_are_identical_across_configurations() {
         let (db, tree) = chain_db();
         let batch = covar_batch(&db);
-        let reference = Engine::new(db.clone(), tree.clone(), EngineConfig::unoptimized())
-            .execute(&batch);
+        let reference =
+            Engine::new(db.clone(), tree.clone(), EngineConfig::unoptimized()).execute(&batch);
         for (name, cfg) in EngineConfig::ablation_ladder(2).into_iter().skip(1) {
             let result = Engine::new(db.clone(), tree.clone(), cfg).execute(&batch);
             let r = &result.queries[4];
             let e = &reference.queries[4];
             assert_eq!(r.len(), e.len(), "{name}");
             for (key, vals) in e.iter() {
-                let got = r.get(key).unwrap_or_else(|| panic!("{name}: missing {key:?}"));
+                let got = r
+                    .get(key)
+                    .unwrap_or_else(|| panic!("{name}: missing {key:?}"));
                 for (g, w) in got.iter().zip(vals) {
                     assert!((g - w).abs() < 1e-9, "{name}: {key:?} {got:?} vs {vals:?}");
                 }
@@ -438,7 +448,10 @@ mod tests {
         let first = engine.execute_with_dynamics(&batch, &dynamics).queries[0].scalar()[0];
         dynamics.replace(cond, |_| 1.0);
         let second = engine.execute_with_dynamics(&batch, &dynamics).queries[0].scalar()[0];
-        assert!(first < second, "loosening the predicate must grow the count");
+        assert!(
+            first < second,
+            "loosening the predicate must grow the count"
+        );
     }
 
     #[test]

@@ -17,6 +17,12 @@ use lmfao_data::{AttrId, Database, FxHashMap, Relation, TrieScan, Value};
 use lmfao_expr::{DynamicRegistry, ScalarFunction};
 use std::ops::Range;
 
+/// Entries of an indexed incoming view: extra key values plus payload.
+type IndexedEntries = Vec<(Vec<Value>, Vec<f64>)>;
+
+/// An incoming view's entries re-indexed by the bound part of its key.
+type BoundIndex = FxHashMap<Vec<Value>, IndexedEntries>;
+
 /// Runtime representation of an incoming view.
 enum IncomingData<'a> {
     /// The view has no extra key attributes: probe its result directly.
@@ -24,7 +30,7 @@ enum IncomingData<'a> {
     /// The view carries extra key attributes: its entries are re-indexed by
     /// the bound part of the key; each entry holds the extra key values and
     /// the aggregate payload.
-    Indexed(FxHashMap<Vec<Value>, Vec<(Vec<Value>, Vec<f64>)>>),
+    Indexed(BoundIndex),
     /// The view has not been computed (defensive; yields empty results).
     Missing,
 }
@@ -64,7 +70,7 @@ struct State<'a> {
     /// Values bound at each depth of the attribute order.
     bound: Vec<Value>,
     /// Matching entry lists of indexed incoming views for the current path.
-    probed: Vec<Option<&'a Vec<(Vec<Value>, Vec<f64>)>>>,
+    probed: Vec<Option<&'a IndexedEntries>>,
     /// Per-local-expression sums for the current innermost range.
     local_sums: Vec<f64>,
     /// Accumulated outputs, one per output plan.
@@ -160,7 +166,7 @@ fn prepare_incoming<'a>(
     if !inc.has_extras() {
         return IncomingData::Direct(cv);
     }
-    let mut index: FxHashMap<Vec<Value>, Vec<(Vec<Value>, Vec<f64>)>> = FxHashMap::default();
+    let mut index: BoundIndex = FxHashMap::default();
     for (key, aggs) in cv.iter() {
         let bound_part: Vec<Value> = inc.bound_positions.iter().map(|&p| key[p]).collect();
         let extra_part: Vec<Value> = inc.extras.iter().map(|&(_, p)| key[p]).collect();
@@ -193,7 +199,12 @@ fn context_value(ctx: &Ctx<'_>, state: &State<'_>, attr: AttrId, row: Option<usi
 }
 
 /// Builds the probe key of an incoming view from the current bindings.
-fn probe_key(ctx: &Ctx<'_>, state: &State<'_>, inc: &IncomingPlan, row: Option<usize>) -> Vec<Value> {
+fn probe_key(
+    ctx: &Ctx<'_>,
+    state: &State<'_>,
+    inc: &IncomingPlan,
+    row: Option<usize>,
+) -> Vec<Value> {
     inc.bound
         .iter()
         .map(|&(attr, _col)| context_value(ctx, state, attr, row))
@@ -508,7 +519,11 @@ fn emit_term(
         if contribution == 0.0 {
             return;
         }
-        let row = if range.is_empty() { None } else { Some(range.start) };
+        let row = if range.is_empty() {
+            None
+        } else {
+            Some(range.start)
+        };
         let key = build_key(ctx, state, output, Some(term), combo, row);
         state.outputs[output_idx].add_single(key, agg_index, contribution);
     }
@@ -571,7 +586,12 @@ mod tests {
 
     /// Runs the full stack (pushdown → group → plan → execute) and returns
     /// the query results, keyed by query index.
-    fn run(batch: &QueryBatch, db: &mut Database, tree: &JoinTree, cfg: EngineConfig) -> Vec<ComputedView> {
+    fn run(
+        batch: &QueryBatch,
+        db: &mut Database,
+        tree: &JoinTree,
+        cfg: EngineConfig,
+    ) -> Vec<ComputedView> {
         let roots = assign_roots(batch, tree, db, &cfg);
         let pd = push_down_batch(batch, tree, &roots);
         let grouping = group_views(&pd.catalog, cfg.multi_output);
@@ -589,7 +609,8 @@ mod tests {
             .map(|o| {
                 let cv = computed[&o.view].clone();
                 // project the query's aggregates out of the merged output view
-                let mut projected = ComputedView::new(cv.key_attrs.clone(), o.aggregate_indices.len());
+                let mut projected =
+                    ComputedView::new(cv.key_attrs.clone(), o.aggregate_indices.len());
                 for (key, vals) in cv.iter() {
                     let sel: Vec<f64> = o.aggregate_indices.iter().map(|&i| vals[i]).collect();
                     projected.add(key.clone(), &sel);
@@ -625,7 +646,11 @@ mod tests {
         let store = db.schema().attr_id("store").unwrap();
         let units = db.schema().attr_id("units").unwrap();
         let mut batch = QueryBatch::new();
-        batch.push("per_store", vec![store], vec![Aggregate::sum(units), Aggregate::count()]);
+        batch.push(
+            "per_store",
+            vec![store],
+            vec![Aggregate::sum(units), Aggregate::count()],
+        );
         let results = run(&batch, &mut db, &tree, EngineConfig::default());
         let r = &results[0];
         assert_eq!(r.len(), 2);
@@ -657,15 +682,28 @@ mod tests {
         let price = db.schema().attr_id("price").unwrap();
         let units = db.schema().attr_id("units").unwrap();
         let mut batch = QueryBatch::new();
-        batch.push("by_store_price", vec![store, price], vec![Aggregate::sum(units)]);
+        batch.push(
+            "by_store_price",
+            vec![store, price],
+            vec![Aggregate::sum(units)],
+        );
         let results = run(&batch, &mut db, &tree, EngineConfig::default());
         let r = &results[0];
         // Join tuples: (1,1,3,10) (1,2,4,20) (2,1,5,10); keys are in canonical
         // (sorted AttrId) order, i.e. [store, price].
         assert_eq!(r.len(), 3);
-        assert_eq!(r.get(&[Value::Int(1), Value::Double(10.0)]).unwrap(), &[3.0]);
-        assert_eq!(r.get(&[Value::Int(1), Value::Double(20.0)]).unwrap(), &[4.0]);
-        assert_eq!(r.get(&[Value::Int(2), Value::Double(10.0)]).unwrap(), &[5.0]);
+        assert_eq!(
+            r.get(&[Value::Int(1), Value::Double(10.0)]).unwrap(),
+            &[3.0]
+        );
+        assert_eq!(
+            r.get(&[Value::Int(1), Value::Double(20.0)]).unwrap(),
+            &[4.0]
+        );
+        assert_eq!(
+            r.get(&[Value::Int(2), Value::Double(10.0)]).unwrap(),
+            &[5.0]
+        );
     }
 
     #[test]
@@ -759,6 +797,9 @@ mod tests {
             computed.extend(partials);
         }
         let out = &computed[&pd.outputs[0].view];
-        assert_eq!(out.scalar().unwrap()[0], 3.0 * 10.0 + 4.0 * 20.0 + 5.0 * 10.0);
+        assert_eq!(
+            out.scalar().unwrap()[0],
+            3.0 * 10.0 + 4.0 * 20.0 + 5.0 * 10.0
+        );
     }
 }

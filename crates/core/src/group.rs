@@ -85,11 +85,7 @@ pub fn group_views(catalog: &ViewCatalog, multi_output: bool) -> Grouping {
     let mut stage: FxHashMap<ViewId, usize> = FxHashMap::default();
     for &v in &order {
         let deps = catalog.view(v).dependencies();
-        let s = deps
-            .iter()
-            .map(|d| stage[d] + 1)
-            .max()
-            .unwrap_or(0);
+        let s = deps.iter().map(|d| stage[d] + 1).max().unwrap_or(0);
         stage.insert(v, s);
     }
 
@@ -211,8 +207,14 @@ mod tests {
         };
         // Views at node 2: c_to_b (stage 0) and out_c (stage 2) must be in
         // different groups; similarly for node 1 and node 0.
-        assert_ne!(grouping.group_of_view[&c_to_b], grouping.group_of_view[&out_c]);
-        assert_ne!(grouping.group_of_view[&a_to_b], grouping.group_of_view[&out_a]);
+        assert_ne!(
+            grouping.group_of_view[&c_to_b],
+            grouping.group_of_view[&out_c]
+        );
+        assert_ne!(
+            grouping.group_of_view[&a_to_b],
+            grouping.group_of_view[&out_a]
+        );
         // b_to_a and b_to_c are both at node 1 with stage 1: they share a group.
         assert_eq!(
             grouping.group_of_view[&b_to_a],

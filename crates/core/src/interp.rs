@@ -14,6 +14,17 @@ use lmfao_data::{AttrId, Database, FxHashMap, Relation, Value};
 use lmfao_expr::{DynamicRegistry, ScalarFunction};
 use lmfao_jointree::JoinTree;
 
+/// Entry references (key, payload) of an incoming view, grouped under the
+/// bound part of the key.
+type EntryRefs<'a> = Vec<(&'a Vec<Value>, &'a Vec<f64>)>;
+
+/// An incoming view's entries indexed by the bound part of its key.
+type BoundIndex<'a> = FxHashMap<Vec<Value>, EntryRefs<'a>>;
+
+/// Matching entries of a child view carrying extra key attributes, with the
+/// partial product contributed by each.
+type WeightedEntries<'a> = Vec<(&'a Vec<Value>, f64)>;
+
 /// Per-incoming-view probe metadata used by the interpreter.
 struct IncomingRef<'a> {
     /// The computed result of the incoming view.
@@ -27,7 +38,7 @@ struct IncomingRef<'a> {
     /// For views with extra key attributes: entries indexed by the bound part
     /// of their key, so per-tuple probes stay constant time (a hash join, as
     /// any interpreted engine would do).
-    index: FxHashMap<Vec<Value>, Vec<(&'a Vec<Value>, &'a Vec<f64>)>>,
+    index: BoundIndex<'a>,
 }
 
 /// Evaluates a scalar function, routing dynamic functions through the registry.
@@ -75,7 +86,7 @@ pub fn execute_view_interpreted(
                 None => extras.push((attr, pos)),
             }
         }
-        let mut index: FxHashMap<Vec<Value>, Vec<(&Vec<Value>, &Vec<f64>)>> = FxHashMap::default();
+        let mut index: BoundIndex = FxHashMap::default();
         if !extras.is_empty() {
             for (key, values) in result.iter() {
                 let bound_part: Vec<Value> = bound.iter().map(|&(_, pos)| key[pos]).collect();
@@ -94,11 +105,7 @@ pub fn execute_view_interpreted(
     }
 
     let mut out = ComputedView::new(def.group_by.clone(), def.num_aggregates());
-    let key_cols: Vec<Option<usize>> = def
-        .group_by
-        .iter()
-        .map(|a| relation.position(*a))
-        .collect();
+    let key_cols: Vec<Option<usize>> = def.group_by.iter().map(|a| relation.position(*a)).collect();
 
     for row in 0..relation.len() {
         for (agg_idx, agg) in def.aggregates.iter().enumerate() {
@@ -141,7 +148,7 @@ fn evaluate_term_for_row(
     // the current row; children carrying extra attributes contribute one
     // matching entry per combination.
     let mut scalar_product = term.constant;
-    let mut extra_lists: Vec<(ViewId, Vec<(&Vec<Value>, f64)>)> = Vec::new();
+    let mut extra_lists: Vec<(ViewId, WeightedEntries<'_>)> = Vec::new();
     for (child, child_agg) in &term.child_refs {
         let inc = &incoming[child];
         if inc.extras.is_empty() {
@@ -254,7 +261,11 @@ mod tests {
         let mut schema = DatabaseSchema::new();
         schema.add_relation_with_attrs(
             "R",
-            &[("a", AttrType::Int), ("b", AttrType::Int), ("x", AttrType::Double)],
+            &[
+                ("a", AttrType::Int),
+                ("b", AttrType::Int),
+                ("x", AttrType::Double),
+            ],
         );
         schema.add_relation_with_attrs("S", &[("b", AttrType::Int), ("y", AttrType::Double)]);
         let a = schema.attr_id("a").unwrap();
@@ -333,6 +344,9 @@ mod tests {
             computed.insert(vid, cv);
         }
         let out = &computed[&pd.outputs[0].view];
-        assert_eq!(out.scalar().unwrap()[pd.outputs[0].aggregate_indices[0]], 9.0);
+        assert_eq!(
+            out.scalar().unwrap()[pd.outputs[0].aggregate_indices[0]],
+            9.0
+        );
     }
 }

@@ -30,3 +30,64 @@ pub mod view;
 pub use config::EngineConfig;
 pub use engine::{BatchResult, Engine, EngineStats, QueryResult};
 pub use view::{ComputedView, ViewCatalog, ViewDef, ViewId};
+
+#[cfg(test)]
+mod smoke {
+    use super::*;
+    use lmfao_data::{AttrType, Database, DatabaseSchema, Relation, Value};
+    use lmfao_expr::{Aggregate, QueryBatch};
+    use lmfao_jointree::{build_join_tree, Hypergraph};
+
+    /// Exercises the crate-level surface end to end: the engine computes a
+    /// scalar and a group-by aggregate over a two-relation join.
+    #[test]
+    fn engine_runs_a_tiny_batch() {
+        let mut schema = DatabaseSchema::new();
+        schema.add_relation_with_attrs(
+            "Sales",
+            &[
+                ("store", AttrType::Int),
+                ("item", AttrType::Int),
+                ("units", AttrType::Double),
+            ],
+        );
+        schema.add_relation_with_attrs(
+            "Items",
+            &[("item", AttrType::Int), ("price", AttrType::Double)],
+        );
+        let store = schema.attr_id("store").unwrap();
+        let units = schema.attr_id("units").unwrap();
+        let price = schema.attr_id("price").unwrap();
+        let sales = Relation::from_rows(
+            schema.relation("Sales").unwrap().clone(),
+            vec![
+                vec![Value::Int(1), Value::Int(1), Value::Double(3.0)],
+                vec![Value::Int(2), Value::Int(1), Value::Double(5.0)],
+            ],
+        )
+        .unwrap();
+        let items = Relation::from_rows(
+            schema.relation("Items").unwrap().clone(),
+            vec![vec![Value::Int(1), Value::Double(10.0)]],
+        )
+        .unwrap();
+        let db = Database::new(schema.clone(), vec![sales, items]).unwrap();
+        let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+
+        let mut batch = QueryBatch::new();
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        batch.push(
+            "revenue",
+            vec![],
+            vec![Aggregate::sum_product(units, price)],
+        );
+        batch.push("per_store", vec![store], vec![Aggregate::sum(units)]);
+
+        let engine = Engine::new(db, tree, EngineConfig::default());
+        let result = engine.execute(&batch);
+        assert_eq!(result.queries[0].scalar()[0], 2.0);
+        assert_eq!(result.queries[1].scalar()[0], 80.0);
+        assert_eq!(result.queries[2].get(&[Value::Int(1)]).unwrap()[0], 3.0);
+        assert_eq!(result.queries[2].get(&[Value::Int(2)]).unwrap()[0], 5.0);
+    }
+}

@@ -117,9 +117,7 @@ pub fn execute_all(
                     .iter()
                     .map(|&g| {
                         let plan = &plans[g];
-                        scope.spawn(move |_| {
-                            execute_group(db, plan, computed_ref, dynamics, None)
-                        })
+                        scope.spawn(move |_| execute_group(db, plan, computed_ref, dynamics, None))
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().unwrap()).collect()

@@ -250,7 +250,14 @@ pub fn build_group_plan(
     // Lower every output view.
     for &vid in &group.views {
         let def = catalog.view(vid);
-        let output = lower_output(def, relation, &attr_order, &incoming_ids, catalog, &mut plan);
+        let output = lower_output(
+            def,
+            relation,
+            &attr_order,
+            &incoming_ids,
+            catalog,
+            &mut plan,
+        );
         plan.outputs.push(output);
     }
 
@@ -392,9 +399,12 @@ fn lower_term(
     }
 
     // Local expression (deduplicated across the whole group).
-    let local_expr = intern_local_expr(plan, LocalExpr {
-        factors: local_factors,
-    });
+    let local_expr = intern_local_expr(
+        plan,
+        LocalExpr {
+            factors: local_factors,
+        },
+    );
 
     // Child references.
     let mut extra_refs = Vec::new();
@@ -529,19 +539,24 @@ mod tests {
         batch.push("count", vec![], vec![Aggregate::count()]);
         batch.push("sum_units", vec![], vec![Aggregate::sum(units)]);
         batch.push("sum_units_sq", vec![], vec![Aggregate::sum_square(units)]);
-        batch.push("sum_units_price", vec![], vec![Aggregate::sum_product(units, price)]);
+        batch.push(
+            "sum_units_price",
+            vec![],
+            vec![Aggregate::sum_product(units, price)],
+        );
         let plans = plans_for(&batch, &mut db, &tree);
         // The Sales-rooted group computes all four queries in one scan.
         let sales_plan = plans
             .iter()
-            .find(|p| p.relation == "Sales" && !p.outputs.is_empty() && p.outputs.iter().any(|o| o.key_attrs.is_empty()))
+            .find(|p| {
+                p.relation == "Sales"
+                    && !p.outputs.is_empty()
+                    && p.outputs.iter().any(|o| o.key_attrs.is_empty())
+            })
             .expect("sales output group");
         // Local expressions: count (empty), units, units^2 — deduplicated.
         assert!(sales_plan.local_exprs.len() <= 4);
-        assert!(sales_plan
-            .local_exprs
-            .iter()
-            .any(|e| e.factors.is_empty()));
+        assert!(sales_plan.local_exprs.iter().any(|e| e.factors.is_empty()));
         // Slots: one per term across outputs.
         assert!(sales_plan.num_slots >= 4);
     }

@@ -336,7 +336,11 @@ mod tests {
             vec![vec![Value::Int(1), Value::Cat(0), Value::Double(2.0)]],
         );
         let stores = rel(&schema, "Stores", vec![vec![Value::Int(1), Value::Cat(0)]]);
-        let holidays = rel(&schema, "Holidays", vec![vec![Value::Int(1), Value::Int(0)]]);
+        let holidays = rel(
+            &schema,
+            "Holidays",
+            vec![vec![Value::Int(1), Value::Int(0)]],
+        );
         let db = Database::new(schema.clone(), vec![sales, items, stores, holidays]).unwrap();
         let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
         (db, tree)
@@ -388,11 +392,9 @@ mod tests {
         let view = item_views[0];
         // The Items view must evaluate Identity(price) locally.
         let has_price_factor = view.aggregates.iter().any(|agg| {
-            agg.terms.iter().any(|t| {
-                t.local
-                    .iter()
-                    .any(|f| f.attrs().contains(&a(&db, "price")))
-            })
+            agg.terms
+                .iter()
+                .any(|t| t.local.iter().any(|f| f.attrs().contains(&a(&db, "price"))))
         });
         assert!(has_price_factor);
         // Its group-by is exactly the join key {item}.
@@ -441,7 +443,11 @@ mod tests {
             vec![],
             vec![Aggregate::sum_product(a(&db, "units"), a(&db, "price"))],
         );
-        batch.push("covar_units_units", vec![], vec![Aggregate::sum_square(a(&db, "units"))]);
+        batch.push(
+            "covar_units_units",
+            vec![],
+            vec![Aggregate::sum_square(a(&db, "units"))],
+        );
         let roots = assign_roots(&batch, &tree, &db, &EngineConfig::default());
         let res = push_down_batch(&batch, &tree, &roots);
         // Without sharing: 2 queries × (3 views + 1 output) = 8. With the

@@ -158,7 +158,9 @@ mod tests {
         .unwrap();
         let s2 = Relation::from_rows(
             RelationSchema::new("S2", vec![x2, x3]),
-            (0..3).map(|i| vec![Value::Int(i), Value::Int(i * 10)]).collect(),
+            (0..3)
+                .map(|i| vec![Value::Int(i), Value::Int(i * 10)])
+                .collect(),
         )
         .unwrap();
         let db = Database::new(schema.clone(), vec![s1, s2]).unwrap();
@@ -205,7 +207,11 @@ mod tests {
         // Two queries keyed on x1 make S1 heavy; the scalar count should then
         // also be rooted at S1 so its views can be shared with them.
         batch.push("q_x1a", vec![attr(&db, "x1")], vec![Aggregate::count()]);
-        batch.push("q_x1b", vec![attr(&db, "x1")], vec![Aggregate::sum(attr(&db, "x2"))]);
+        batch.push(
+            "q_x1b",
+            vec![attr(&db, "x1")],
+            vec![Aggregate::sum(attr(&db, "x2"))],
+        );
         batch.push("count", vec![], vec![Aggregate::count()]);
         let assign = assign_roots(&batch, &tree, &db, &EngineConfig::default());
         let s1 = tree.node_of_relation("S1").unwrap();

@@ -229,7 +229,8 @@ impl ViewCatalog {
                 dependents[dep.0].push(v.id.0);
             }
         }
-        let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = queue.pop_front() {
             order.push(ViewId(u));

@@ -25,7 +25,9 @@ pub struct Statistics {
 impl Statistics {
     /// Distinct-value count of `attr` in `relation`, if known.
     pub fn domain_size(&self, relation: &str, attr: AttrId) -> Option<usize> {
-        self.domain_sizes.get(&(relation.to_string(), attr)).copied()
+        self.domain_sizes
+            .get(&(relation.to_string(), attr))
+            .copied()
     }
 
     /// Size of `relation`, if known.
@@ -193,14 +195,8 @@ mod tests {
 
     fn tiny_db() -> Database {
         let mut schema = DatabaseSchema::new();
-        schema.add_relation_with_attrs(
-            "R",
-            &[("a", AttrType::Int), ("b", AttrType::Int)],
-        );
-        schema.add_relation_with_attrs(
-            "S",
-            &[("b", AttrType::Int), ("c", AttrType::Categorical)],
-        );
+        schema.add_relation_with_attrs("R", &[("a", AttrType::Int), ("b", AttrType::Int)]);
+        schema.add_relation_with_attrs("S", &[("b", AttrType::Int), ("c", AttrType::Categorical)]);
         let a = schema.attr_id("a").unwrap();
         let b = schema.attr_id("b").unwrap();
         let c = schema.attr_id("c").unwrap();

@@ -33,10 +33,13 @@ fn parse_field(
         return Ok(Value::Null);
     }
     match ty {
-        AttrType::Int => field.parse::<i64>().map(Value::Int).map_err(|_| DataError::Csv {
-            line,
-            message: format!("expected integer for `{attr_name}`, got `{field}`"),
-        }),
+        AttrType::Int => field
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| DataError::Csv {
+                line,
+                message: format!("expected integer for `{attr_name}`, got `{field}`"),
+            }),
         AttrType::Double => field
             .parse::<f64>()
             .map(Value::Double)
@@ -184,8 +187,8 @@ mod tests {
         let (schema, rel_schema) = schema_and_rel();
         let csv = "item,family,price\n1,GROCERY,2.5\n2,DAIRY,3.0\n3,GROCERY,1.25\n";
         let mut dicts = DictionarySet::new();
-        let rel = read_relation(csv.as_bytes(), &schema, rel_schema, &mut dicts, ',', true)
-            .unwrap();
+        let rel =
+            read_relation(csv.as_bytes(), &schema, rel_schema, &mut dicts, ',', true).unwrap();
         assert_eq!(rel.len(), 3);
         assert_eq!(rel.value(0, 0), Value::Int(1));
         assert_eq!(rel.value(0, 1), Value::Cat(0));
@@ -256,15 +259,8 @@ mod tests {
         assert!(text.starts_with("item,family,price\n"));
         assert!(text.contains("1,GROCERY,2.5"));
         // Re-read what we wrote.
-        let rel2 = read_relation(
-            text.as_bytes(),
-            &schema,
-            rel_schema,
-            &mut dicts,
-            ',',
-            true,
-        )
-        .unwrap();
+        let rel2 =
+            read_relation(text.as_bytes(), &schema, rel_schema, &mut dicts, ',', true).unwrap();
         assert_eq!(rel2.len(), rel.len());
         assert_eq!(rel2.value(1, 1), rel.value(1, 1));
     }

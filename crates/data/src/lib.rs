@@ -30,3 +30,45 @@ pub use relation::Relation;
 pub use schema::{AttrId, Attribute, DatabaseSchema, RelationSchema};
 pub use trie::TrieScan;
 pub use value::{AttrType, Value};
+
+#[cfg(test)]
+mod smoke {
+    use super::*;
+
+    /// Exercises the crate-level re-export surface the `lmfao` façade (and
+    /// every downstream crate) builds on: schema → relations → database.
+    #[test]
+    fn schema_relation_database_round_trip() {
+        let mut schema = DatabaseSchema::new();
+        schema.add_relation_with_attrs(
+            "Sales",
+            &[
+                ("store", AttrType::Int),
+                ("item", AttrType::Int),
+                ("units", AttrType::Double),
+            ],
+        );
+        schema.add_relation_with_attrs(
+            "Items",
+            &[("item", AttrType::Int), ("price", AttrType::Double)],
+        );
+        let sales = Relation::from_rows(
+            schema.relation("Sales").unwrap().clone(),
+            vec![
+                vec![Value::Int(1), Value::Int(1), Value::Double(3.0)],
+                vec![Value::Int(2), Value::Int(1), Value::Double(5.0)],
+            ],
+        )
+        .unwrap();
+        let items = Relation::from_rows(
+            schema.relation("Items").unwrap().clone(),
+            vec![vec![Value::Int(1), Value::Double(10.0)]],
+        )
+        .unwrap();
+        let db = Database::new(schema.clone(), vec![sales, items]).unwrap();
+        assert_eq!(db.total_tuples(), 3);
+        let item = schema.attr_id("item").unwrap();
+        assert!(db.statistics().domain_size("Items", item).is_some());
+        assert_eq!(db.attributes_of_type(AttrType::Double).len(), 2);
+    }
+}

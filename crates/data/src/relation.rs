@@ -56,11 +56,7 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        if self.arity == 0 {
-            0
-        } else {
-            self.data.len() / self.arity
-        }
+        self.data.len().checked_div(self.arity).unwrap_or(0)
     }
 
     /// True if the relation has no tuples.

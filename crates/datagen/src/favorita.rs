@@ -204,6 +204,8 @@ mod tests {
     fn scale_controls_fact_size() {
         let small = generate(Scale::new(200, 1));
         let larger = generate(Scale::new(2_000, 1));
-        assert!(larger.db.relation("Sales").unwrap().len() > small.db.relation("Sales").unwrap().len());
+        assert!(
+            larger.db.relation("Sales").unwrap().len() > small.db.relation("Sales").unwrap().len()
+        );
     }
 }

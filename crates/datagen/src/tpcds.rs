@@ -147,7 +147,7 @@ pub fn generate(scale: Scale) -> Dataset {
     let customer = build_relation(&schema, "Customer", n_customers, |i| {
         let cdemo = cdemo_of_customer[i];
         let birth = rng.gen_range(1930..2000);
-        let preferred = u32::from(cdemo % 3 == 0 || (birth > 1980 && rng.gen_bool(0.6)));
+        let preferred = u32::from(cdemo.is_multiple_of(3) || (birth > 1980 && rng.gen_bool(0.6)));
         vec![
             Value::Int(i as i64),
             Value::Int(rng.gen_range(0..n_addresses) as i64),
@@ -300,14 +300,17 @@ mod tests {
         let customer = ds.db.relation("Customer").unwrap();
         let col = customer.position(ds.attr("preferred")).unwrap();
         let distinct = customer.distinct_count(col);
-        assert!(distinct <= 2 && distinct >= 1);
+        assert!((1..=2).contains(&distinct));
     }
 
     #[test]
     fn many_attributes_overall() {
         let ds = generate(Scale::small());
         assert!(ds.db.schema().num_attributes() >= 35);
-        assert!(!ds.db.attributes_of_type(lmfao_data::AttrType::Categorical).is_empty());
+        assert!(!ds
+            .db
+            .attributes_of_type(lmfao_data::AttrType::Categorical)
+            .is_empty());
     }
 
     #[test]

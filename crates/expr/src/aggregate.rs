@@ -174,7 +174,10 @@ impl Aggregate {
     where
         F: Fn(AttrId) -> Value,
     {
-        self.terms.iter().map(|t| t.evaluate(lookup, dynamics)).sum()
+        self.terms
+            .iter()
+            .map(|t| t.evaluate(lookup, dynamics))
+            .sum()
     }
 
     /// Convenience constructor for the decision-tree condition product

@@ -117,10 +117,7 @@ mod tests {
         let mut reg = DynamicRegistry::new();
         let id = reg.register(|args: &[Value]| args.iter().map(|v| v.as_f64()).sum());
         let cloned = reg.clone();
-        assert_eq!(
-            cloned.evaluate(id, &[Value::Int(1), Value::Int(2)]),
-            3.0
-        );
+        assert_eq!(cloned.evaluate(id, &[Value::Int(1), Value::Int(2)]), 3.0);
     }
 
     #[test]

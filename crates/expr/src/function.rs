@@ -167,8 +167,14 @@ impl ScalarFunction {
         match self {
             ScalarFunction::Constant(c) => *c,
             ScalarFunction::Identity(a) => lookup(*a).as_f64(),
-            ScalarFunction::Power { attr, exponent } => lookup(*attr).as_f64().powi(*exponent as i32),
-            ScalarFunction::Indicator { attr, op, threshold } => {
+            ScalarFunction::Power { attr, exponent } => {
+                lookup(*attr).as_f64().powi(*exponent as i32)
+            }
+            ScalarFunction::Indicator {
+                attr,
+                op,
+                threshold,
+            } => {
                 if op.apply(lookup(*attr), *threshold) {
                     1.0
                 } else {
@@ -203,7 +209,11 @@ impl ScalarFunction {
             ScalarFunction::Constant(c) => format!("{c}"),
             ScalarFunction::Identity(a) => name_of(*a),
             ScalarFunction::Power { attr, exponent } => format!("{}^{}", name_of(*attr), exponent),
-            ScalarFunction::Indicator { attr, op, threshold } => {
+            ScalarFunction::Indicator {
+                attr,
+                op,
+                threshold,
+            } => {
                 format!("1[{} {} {}]", name_of(*attr), op, threshold)
             }
             ScalarFunction::InSet { attr, set } => {
@@ -243,7 +253,14 @@ mod tests {
         assert_eq!(CmpOp::Ge.negate(), CmpOp::Lt);
         assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
         // double negation is the identity
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }

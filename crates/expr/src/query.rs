@@ -106,7 +106,8 @@ impl QueryBatch {
         aggregates: Vec<Aggregate>,
     ) -> QueryId {
         let id = self.queries.len();
-        self.queries.push(Query::new(id, name, group_by, aggregates));
+        self.queries
+            .push(Query::new(id, name, group_by, aggregates));
         QueryId(id)
     }
 
@@ -162,7 +163,10 @@ mod tests {
             0,
             "Q",
             vec![AttrId(5)],
-            vec![Aggregate::sum_product(AttrId(1), AttrId(2)), Aggregate::count()],
+            vec![
+                Aggregate::sum_product(AttrId(1), AttrId(2)),
+                Aggregate::count(),
+            ],
         );
         assert_eq!(q.attrs(), vec![AttrId(5), AttrId(1), AttrId(2)]);
         assert_eq!(q.num_aggregates(), 2);
@@ -204,7 +208,8 @@ mod tests {
 
     #[test]
     fn batch_from_queries() {
-        let b = QueryBatch::from_queries(vec![Query::new(0, "x", vec![], vec![Aggregate::count()])]);
+        let b =
+            QueryBatch::from_queries(vec![Query::new(0, "x", vec![], vec![Aggregate::count()])]);
         assert_eq!(b.len(), 1);
     }
 }

@@ -54,9 +54,10 @@ fn find_witness(edges: &[Hyperedge], ear_idx: usize, alive: &[bool]) -> Option<u
     // Attributes of the ear that appear in some other alive edge.
     let mut shared: Vec<AttrId> = Vec::new();
     for &a in &ear.attrs {
-        let occurs_elsewhere = edges.iter().enumerate().any(|(j, e)| {
-            j != ear_idx && alive[j] && e.contains(a)
-        });
+        let occurs_elsewhere = edges
+            .iter()
+            .enumerate()
+            .any(|(j, e)| j != ear_idx && alive[j] && e.contains(a));
         if occurs_elsewhere {
             shared.push(a);
         }
@@ -412,7 +413,10 @@ mod tests {
             "Census",
             &[("zip", AttrType::Int), ("population", AttrType::Int)],
         );
-        s.add_relation_with_attrs("Items", &[("sku", AttrType::Int), ("price", AttrType::Double)]);
+        s.add_relation_with_attrs(
+            "Items",
+            &[("sku", AttrType::Int), ("price", AttrType::Double)],
+        );
         let h = Hypergraph::from_schema(&s);
         let t = build_join_tree(&h).unwrap();
         // Census must hang off Location (only shared attribute zip).

@@ -99,8 +99,16 @@ mod tests {
     #[test]
     fn pair_join_on_single_shared_attr() {
         // R(a, b) ⋈ S(b, c)
-        let r = rel("R", vec![AttrId(0), AttrId(1)], vec![vec![1, 10], vec![2, 20], vec![3, 10]]);
-        let s = rel("S", vec![AttrId(1), AttrId(2)], vec![vec![10, 100], vec![10, 200], vec![30, 300]]);
+        let r = rel(
+            "R",
+            vec![AttrId(0), AttrId(1)],
+            vec![vec![1, 10], vec![2, 20], vec![3, 10]],
+        );
+        let s = rel(
+            "S",
+            vec![AttrId(1), AttrId(2)],
+            vec![vec![10, 100], vec![10, 200], vec![30, 300]],
+        );
         let j = natural_join_pair(&r, &s, "RS");
         // b=10 matches rows {1,3} x {100,200} = 4 tuples; b=20/30 match nothing.
         assert_eq!(j.len(), 4);
@@ -119,14 +127,29 @@ mod tests {
     #[test]
     fn multi_way_join_chain() {
         // S1(x1,x2) ⋈ S2(x2,x3) ⋈ S3(x3,x4)
-        let s1 = rel("S1", vec![AttrId(0), AttrId(1)], vec![vec![1, 2], vec![5, 6]]);
-        let s2 = rel("S2", vec![AttrId(1), AttrId(2)], vec![vec![2, 3], vec![2, 4]]);
-        let s3 = rel("S3", vec![AttrId(2), AttrId(3)], vec![vec![3, 9], vec![4, 8]]);
+        let s1 = rel(
+            "S1",
+            vec![AttrId(0), AttrId(1)],
+            vec![vec![1, 2], vec![5, 6]],
+        );
+        let s2 = rel(
+            "S2",
+            vec![AttrId(1), AttrId(2)],
+            vec![vec![2, 3], vec![2, 4]],
+        );
+        let s3 = rel(
+            "S3",
+            vec![AttrId(2), AttrId(3)],
+            vec![vec![3, 9], vec![4, 8]],
+        );
         let j = natural_join(&[&s1, &s2, &s3], "J");
         assert_eq!(j.len(), 2);
         assert_eq!(j.arity(), 4);
         assert_eq!(j.name(), "J");
-        let rows: Vec<Vec<i64>> = j.rows().map(|r| r.iter().map(|v| v.as_i64()).collect()).collect();
+        let rows: Vec<Vec<i64>> = j
+            .rows()
+            .map(|r| r.iter().map(|v| v.as_i64()).collect())
+            .collect();
         assert!(rows.contains(&vec![1, 2, 3, 9]));
         assert!(rows.contains(&vec![1, 2, 4, 8]));
     }

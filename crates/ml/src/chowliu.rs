@@ -86,10 +86,8 @@ pub fn chow_liu_tree(mi: &MutualInfoMatrix) -> ChowLiuTree {
     let mut uf = UnionFind::new(n);
     let mut edges = Vec::with_capacity(n.saturating_sub(1));
     for (i, j, w) in candidates {
-        if edges.len() + 1 >= n && n > 0 {
-            if edges.len() == n - 1 {
-                break;
-            }
+        if n > 0 && edges.len() == n - 1 {
+            break;
         }
         if uf.union(i, j) {
             edges.push((i, j, w));

@@ -77,7 +77,9 @@ pub fn covar_batch(spec: &CovarSpec) -> CovarBatch {
         .collect();
     let nc = spec.continuous.len();
 
-    let count_query = batch.push("covar_count", vec![], vec![Aggregate::count()]).0;
+    let count_query = batch
+        .push("covar_count", vec![], vec![Aggregate::count()])
+        .0;
 
     let mut degree1 = Vec::with_capacity(features.len());
     for (j, &attr) in features.iter().enumerate() {
@@ -115,7 +117,11 @@ pub fn covar_batch(spec: &CovarSpec) -> CovarBatch {
                 ),
                 (false, false) => {
                     if j == k {
-                        batch.push(format!("covar_2_{j}_{k}"), vec![aj], vec![Aggregate::count()])
+                        batch.push(
+                            format!("covar_2_{j}_{k}"),
+                            vec![aj],
+                            vec![Aggregate::count()],
+                        )
                     } else {
                         batch.push(
                             format!("covar_2_{j}_{k}"),

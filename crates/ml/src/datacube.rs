@@ -116,7 +116,11 @@ mod tests {
         // Each query has COUNT + one SUM per measure.
         assert!(cube.batch.queries.iter().all(|q| q.num_aggregates() == 3));
         // The full cuboid groups by all three dimensions.
-        let full = cube.subset_query.iter().find(|&&(m, _)| m == 0b111).unwrap();
+        let full = cube
+            .subset_query
+            .iter()
+            .find(|&&(m, _)| m == 0b111)
+            .unwrap();
         assert_eq!(cube.batch.queries[full.1].group_by.len(), 3);
     }
 

@@ -30,4 +30,30 @@ pub use covar::{assemble_covar_matrix, covar_batch, CovarBatch, CovarMatrix, Cov
 pub use datacube::{assemble_cube, datacube_batch, DataCube, DataCubeBatch};
 pub use linreg::{train_linear_regression, LinRegConfig, LinearRegressionModel};
 pub use mutual_info::{compute_mutual_info, mutual_info_batch, MutualInfoBatch, MutualInfoMatrix};
-pub use trees::{train_decision_tree, DecisionTree, SplitCondition, TreeConfig, TreeNode, TreeTask};
+pub use trees::{
+    train_decision_tree, DecisionTree, SplitCondition, TreeConfig, TreeNode, TreeTask,
+};
+
+#[cfg(test)]
+mod smoke {
+    use super::*;
+    use lmfao_data::AttrId;
+
+    /// Exercises the crate-level batch builders every application and the
+    /// bench harness call: sizes must match their closed-form counts.
+    #[test]
+    fn batch_builders_produce_expected_query_counts() {
+        let attrs = vec![AttrId(0), AttrId(1), AttrId(2)];
+        let spec = CovarSpec::continuous_only(attrs.clone());
+        let cb = covar_batch(&spec);
+        assert_eq!(cb.batch.len(), spec.expected_queries());
+        assert!(!cb.batch.is_empty());
+
+        // A k-dimensional cube has 2^k cuboids.
+        let cube = datacube_batch(&attrs[..2], &attrs[2..]);
+        assert_eq!(cube.batch.len(), 4);
+
+        let mi = mutual_info_batch(&attrs);
+        assert!(!mi.batch.is_empty());
+    }
+}

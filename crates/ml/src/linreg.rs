@@ -108,8 +108,8 @@ fn gradient(c: &CovarMatrix, theta_full: &[f64], l2: f64) -> Vec<f64> {
     let mut grad = vec![0.0; n - 1];
     for (k, g) in grad.iter_mut().enumerate() {
         let mut dot = 0.0;
-        for j in 0..n {
-            dot += theta_full[j] * c.matrix[j][k];
+        for (th, row) in theta_full.iter().zip(&c.matrix) {
+            dot += th * row[k];
         }
         *g = dot / c.count.max(1.0);
         if k > 0 {
@@ -127,7 +127,10 @@ fn gradient(c: &CovarMatrix, theta_full: &[f64], l2: f64) -> Vec<f64> {
 /// optimization (using only the covar matrix's diagonal, no data pass) and
 /// the learned parameters are rescaled back, which keeps gradient descent
 /// well conditioned when features have very different magnitudes.
-pub fn train_linear_regression(covar: &CovarMatrix, config: &LinRegConfig) -> LinearRegressionModel {
+pub fn train_linear_regression(
+    covar: &CovarMatrix,
+    config: &LinRegConfig,
+) -> LinearRegressionModel {
     // Normalize: replace C by D·C·D where D = diag(1/rms_j), rms_j = sqrt(C[j][j]/N).
     let n_rows = covar.count.max(1.0);
     let scales: Vec<f64> = covar
@@ -258,11 +261,7 @@ mod tests {
         let syy: f64 = ys.iter().map(|y| y * y).sum();
         CovarMatrix {
             count,
-            matrix: vec![
-                vec![count, sx, sy],
-                vec![sx, sxx, sxy],
-                vec![sy, sxy, syy],
-            ],
+            matrix: vec![vec![count, sx, sy], vec![sx, sxx, sxy], vec![sy, sxy, syy]],
             features: vec![AttrId(0), AttrId(1)],
         }
     }
@@ -278,8 +277,16 @@ mod tests {
                 tolerance: 1e-12,
             },
         );
-        assert!((model.theta[0] - 3.0).abs() < 0.05, "intercept {:?}", model.theta);
-        assert!((model.theta[1] - 2.0).abs() < 0.01, "slope {:?}", model.theta);
+        assert!(
+            (model.theta[0] - 3.0).abs() < 0.05,
+            "intercept {:?}",
+            model.theta
+        );
+        assert!(
+            (model.theta[1] - 2.0).abs() < 0.01,
+            "slope {:?}",
+            model.theta
+        );
         assert!(model.iterations > 0);
     }
 

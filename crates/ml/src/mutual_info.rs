@@ -35,7 +35,11 @@ pub fn mutual_info_batch(attrs: &[AttrId]) -> MutualInfoBatch {
     let marginal_query: Vec<usize> = attrs
         .iter()
         .enumerate()
-        .map(|(i, &a)| batch.push(format!("mi_m{i}"), vec![a], vec![Aggregate::count()]).0)
+        .map(|(i, &a)| {
+            batch
+                .push(format!("mi_m{i}"), vec![a], vec![Aggregate::count()])
+                .0
+        })
         .collect();
     let mut joint_query = Vec::new();
     for i in 0..attrs.len() {
@@ -137,8 +141,11 @@ mod tests {
         assert_eq!(mi.joint_query.len(), 6);
     }
 
+    /// Per-query `(key, count)` entries for the hand-constructed result.
+    type QueryEntries = Vec<(usize, Vec<(Vec<Value>, f64)>)>;
+
     /// Hand-constructed batch result helper.
-    fn fake_result(mi: &MutualInfoBatch, total: f64, entries: Vec<(usize, Vec<(Vec<Value>, f64)>)>) -> BatchResult {
+    fn fake_result(mi: &MutualInfoBatch, total: f64, entries: QueryEntries) -> BatchResult {
         use lmfao_core::{EngineStats, QueryResult};
         let mut queries: Vec<QueryResult> = mi
             .batch

@@ -204,7 +204,12 @@ impl NodeStats {
 }
 
 fn conditions_term(conditions: &[SplitCondition]) -> ProductTerm {
-    ProductTerm::of(conditions.iter().map(SplitCondition::to_indicator).collect())
+    ProductTerm::of(
+        conditions
+            .iter()
+            .map(SplitCondition::to_indicator)
+            .collect(),
+    )
 }
 
 /// Builds the regression-tree aggregates `[COUNT·α, SUM(y)·α, SUM(y²)·α]`
@@ -337,7 +342,11 @@ fn grow_node(
     let parent_query = match config.task {
         TreeTask::Regression => {
             batch
-                .push("parent", vec![], regression_aggregates(label, &node.conditions))
+                .push(
+                    "parent",
+                    vec![],
+                    regression_aggregates(label, &node.conditions),
+                )
                 .0
         }
         TreeTask::Classification => {
@@ -490,7 +499,7 @@ fn grow_node(
             }
             left.variance() + right.variance()
         };
-        if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
             best = Some((cost, cand));
         }
     }

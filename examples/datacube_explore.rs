@@ -39,7 +39,11 @@ fn main() {
         cube_batch.batch.queries[0].num_aggregates()
     );
 
-    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::full(2));
+    let engine = Engine::new(
+        dataset.db.clone(),
+        dataset.tree.clone(),
+        EngineConfig::full(2),
+    );
     let result = engine.execute(&cube_batch.batch);
     let cube = assemble_cube(&cube_batch, &result);
     println!(

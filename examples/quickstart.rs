@@ -32,27 +32,47 @@ fn main() {
         vec![],
         vec![Aggregate::sum_product(units, price)],
     );
-    batch.push("units_per_family", vec![family], vec![Aggregate::sum(units)]);
+    batch.push(
+        "units_per_family",
+        vec![family],
+        vec![Aggregate::sum(units)],
+    );
     batch.push(
         "units_per_city_family",
         vec![city, family],
         vec![Aggregate::sum(units), Aggregate::count()],
     );
 
-    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::full(2));
+    let engine = Engine::new(
+        dataset.db.clone(),
+        dataset.tree.clone(),
+        EngineConfig::full(2),
+    );
     let result = engine.execute(&batch);
 
     println!("\nengine statistics:");
-    println!("  application aggregates: {}", result.stats.application_aggregates);
-    println!("  intermediate aggregates: {}", result.stats.intermediate_aggregates);
+    println!(
+        "  application aggregates: {}",
+        result.stats.application_aggregates
+    );
+    println!(
+        "  intermediate aggregates: {}",
+        result.stats.intermediate_aggregates
+    );
     println!("  views: {}", result.stats.num_views);
     println!("  view groups: {}", result.stats.num_groups);
     println!("  roots used: {}", result.stats.num_roots);
 
     println!("\nscalar results:");
     println!("  COUNT(*)            = {}", result.queries[0].scalar()[0]);
-    println!("  SUM(units)          = {:.1}", result.queries[1].scalar()[0]);
-    println!("  SUM(units * price)  = {:.1}", result.queries[2].scalar()[0]);
+    println!(
+        "  SUM(units)          = {:.1}",
+        result.queries[1].scalar()[0]
+    );
+    println!(
+        "  SUM(units * price)  = {:.1}",
+        result.queries[2].scalar()[0]
+    );
 
     println!("\nunits per item family (top 5):");
     let mut per_family: Vec<(String, f64)> = result.queries[3]

@@ -35,7 +35,11 @@ fn main() {
     spec_features.push(label);
     let spec = CovarSpec::continuous_only(spec_features);
     let cb = covar_batch(&spec);
-    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::full(2));
+    let engine = Engine::new(
+        dataset.db.clone(),
+        dataset.tree.clone(),
+        EngineConfig::full(2),
+    );
     let result = engine.execute(&cb.batch);
     let covar = assemble_covar_matrix(&cb, &result);
     let model = train_linear_regression(&covar, &LinRegConfig::default());

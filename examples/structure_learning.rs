@@ -18,7 +18,15 @@ fn main() {
     // Discrete attributes used as Bayesian-network variables (the paper uses
     // all categorical plus a few discrete continuous attributes).
     let attr_names = [
-        "store", "item", "family", "city", "state", "stype", "cluster", "htype", "promo",
+        "store",
+        "item",
+        "family",
+        "city",
+        "state",
+        "stype",
+        "cluster",
+        "htype",
+        "promo",
         "perishable",
     ];
     let attrs: Vec<AttrId> = attr_names.iter().map(|n| dataset.attr(n)).collect();
@@ -31,7 +39,11 @@ fn main() {
         attrs.len() * (attrs.len() - 1) / 2
     );
 
-    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::full(2));
+    let engine = Engine::new(
+        dataset.db.clone(),
+        dataset.tree.clone(),
+        EngineConfig::full(2),
+    );
     let result = engine.execute(&mi_batch.batch);
     println!(
         "executed as {} views in {} groups ({} intermediate aggregates) in {:.3}s",

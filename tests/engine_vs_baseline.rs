@@ -95,8 +95,16 @@ fn yelp_many_to_many_aggregates_match_baseline() {
     let fans = dataset.attr("fans");
     let mut batch = QueryBatch::new();
     batch.push("count", vec![], vec![Aggregate::count()]);
-    batch.push("stars_by_cat", vec![category], vec![Aggregate::sum(stars), Aggregate::count()]);
-    batch.push("fans_stars", vec![], vec![Aggregate::sum_product(fans, stars)]);
+    batch.push(
+        "stars_by_cat",
+        vec![category],
+        vec![Aggregate::sum(stars), Aggregate::count()],
+    );
+    batch.push(
+        "fans_stars",
+        vec![],
+        vec![Aggregate::sum_product(fans, stars)],
+    );
     check_batch(&dataset, &batch, EngineConfig::default());
 }
 
@@ -114,7 +122,11 @@ fn tpcds_mutual_information_counts_match_baseline() {
 #[test]
 fn favorita_data_cube_matches_baseline() {
     let dataset = lmfao::datagen::favorita::generate(Scale::new(600, 5));
-    let dims = vec![dataset.attr("family"), dataset.attr("city"), dataset.attr("stype")];
+    let dims = vec![
+        dataset.attr("family"),
+        dataset.attr("city"),
+        dataset.attr("stype"),
+    ];
     let measures = vec![dataset.attr("units"), dataset.attr("txns")];
     let cube = datacube_batch(&dims, &measures);
     check_batch(&dataset, &cube.batch, EngineConfig::default());
@@ -169,7 +181,9 @@ fn all_ablation_configurations_agree_on_favorita() {
         for (r, e) in result.queries.iter().zip(&reference.queries) {
             assert_eq!(r.len(), e.len(), "{name}");
             for (key, vals) in e.iter() {
-                let got = r.get(key).unwrap_or_else(|| panic!("{name}: missing {key:?}"));
+                let got = r
+                    .get(key)
+                    .unwrap_or_else(|| panic!("{name}: missing {key:?}"));
                 for (g, w) in got.iter().zip(vals) {
                     assert!(relative_eq(*g, *w), "{name}: {key:?}");
                 }

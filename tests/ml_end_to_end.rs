@@ -66,7 +66,11 @@ fn linear_regression_recovers_cross_relation_coefficients() {
     spec_features.push(label);
     let spec = CovarSpec::continuous_only(spec_features);
     let cb = covar_batch(&spec);
-    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::default());
+    let engine = Engine::new(
+        dataset.db.clone(),
+        dataset.tree.clone(),
+        EngineConfig::default(),
+    );
     let result = engine.execute(&cb.batch);
     let covar = ml::assemble_covar_matrix(&cb, &result);
     assert_eq!(covar.dim(), 4); // intercept + 2 features + label
@@ -79,9 +83,21 @@ fn linear_regression_recovers_cross_relation_coefficients() {
             tolerance: 1e-12,
         },
     );
-    assert!((model.theta[0] - 5.0).abs() < 0.1, "intercept {:?}", model.theta);
-    assert!((model.theta[1] - 2.0).abs() < 0.05, "x_fact {:?}", model.theta);
-    assert!((model.theta[2] - 3.0).abs() < 0.05, "x_dim {:?}", model.theta);
+    assert!(
+        (model.theta[0] - 5.0).abs() < 0.1,
+        "intercept {:?}",
+        model.theta
+    );
+    assert!(
+        (model.theta[1] - 2.0).abs() < 0.05,
+        "x_fact {:?}",
+        model.theta
+    );
+    assert!(
+        (model.theta[2] - 3.0).abs() < 0.05,
+        "x_dim {:?}",
+        model.theta
+    );
 
     // RMSE over the materialized join is essentially zero.
     let join = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
@@ -95,7 +111,11 @@ fn lmfao_covar_matrix_equals_baseline_statistics() {
     spec_features.push(label);
     let spec = CovarSpec::continuous_only(spec_features.clone());
     let cb = covar_batch(&spec);
-    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::default());
+    let engine = Engine::new(
+        dataset.db.clone(),
+        dataset.tree.clone(),
+        EngineConfig::default(),
+    );
     let covar = ml::assemble_covar_matrix(&cb, &engine.execute(&cb.batch));
 
     // Recompute the same statistics from the materialized join.
@@ -124,7 +144,11 @@ fn lmfao_covar_matrix_equals_baseline_statistics() {
 #[test]
 fn regression_tree_beats_the_mean_predictor() {
     let (dataset, label, features) = linear_database();
-    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::default());
+    let engine = Engine::new(
+        dataset.db.clone(),
+        dataset.tree.clone(),
+        EngineConfig::default(),
+    );
     let config = TreeConfig {
         task: TreeTask::Regression,
         max_depth: 3,
@@ -160,7 +184,11 @@ fn classification_tree_on_tpcds_beats_majority_class() {
         dataset.attr("marital"),
         dataset.attr("dep_count"),
     ];
-    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::full(2));
+    let engine = Engine::new(
+        dataset.db.clone(),
+        dataset.tree.clone(),
+        EngineConfig::full(2),
+    );
     let config = TreeConfig {
         task: TreeTask::Classification,
         max_depth: 3,
@@ -191,7 +219,11 @@ fn chow_liu_tree_connects_functionally_dependent_attributes() {
     let names = ["store", "city", "state", "family", "htype"];
     let attrs: Vec<AttrId> = names.iter().map(|n| dataset.attr(n)).collect();
     let mi_batch = mutual_info_batch(&attrs);
-    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::default());
+    let engine = Engine::new(
+        dataset.db.clone(),
+        dataset.tree.clone(),
+        EngineConfig::default(),
+    );
     let result = engine.execute(&mi_batch.batch);
     let mi = compute_mutual_info(&mi_batch, &result);
     let tree = chow_liu_tree(&mi);
@@ -214,7 +246,11 @@ fn data_cube_cells_are_consistent_across_cuboids() {
     let dims = vec![dataset.attr("family"), dataset.attr("city")];
     let measures = vec![dataset.attr("units")];
     let cube_batch = datacube_batch(&dims, &measures);
-    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::default());
+    let engine = Engine::new(
+        dataset.db.clone(),
+        dataset.tree.clone(),
+        EngineConfig::default(),
+    );
     let result = engine.execute(&cube_batch.batch);
     let cube = assemble_cube(&cube_batch, &result);
 
@@ -230,7 +266,10 @@ fn data_cube_cells_are_consistent_across_cuboids() {
         }
     }
     for (r, a) in rolled.iter().zip(&apex) {
-        assert!((r - a).abs() < 1e-6 * a.abs().max(1.0), "{rolled:?} vs {apex:?}");
+        assert!(
+            (r - a).abs() < 1e-6 * a.abs().max(1.0),
+            "{rolled:?} vs {apex:?}"
+        );
     }
 }
 
@@ -241,7 +280,11 @@ fn lmfao_and_dense_baseline_learn_comparable_linear_models() {
     let mut spec_features = features.clone();
     spec_features.push(label);
     let cb = covar_batch(&CovarSpec::continuous_only(spec_features));
-    let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), EngineConfig::default());
+    let engine = Engine::new(
+        dataset.db.clone(),
+        dataset.tree.clone(),
+        EngineConfig::default(),
+    );
     let covar = ml::assemble_covar_matrix(&cb, &engine.execute(&cb.batch));
     let lmfao_model = train_linear_regression(&covar, &LinRegConfig::default());
 

@@ -18,7 +18,11 @@ fn chain_db(
     let mut schema = DatabaseSchema::new();
     schema.add_relation_with_attrs(
         "R",
-        &[("a", AttrType::Int), ("b", AttrType::Int), ("x", AttrType::Double)],
+        &[
+            ("a", AttrType::Int),
+            ("b", AttrType::Int),
+            ("x", AttrType::Double),
+        ],
     );
     schema.add_relation_with_attrs("S", &[("b", AttrType::Int), ("c", AttrType::Int)]);
     schema.add_relation_with_attrs("T", &[("c", AttrType::Int), ("y", AttrType::Double)]);
@@ -55,8 +59,10 @@ fn chain_db(
     (db, tree)
 }
 
-fn tuple_strategy() -> impl Strategy<Value = (Vec<(i64, i64, f64)>, Vec<(i64, i64)>, Vec<(i64, f64)>)>
-{
+/// Generated tuples for the three chain relations R, S, T.
+type ChainRows = (Vec<(i64, i64, f64)>, Vec<(i64, i64)>, Vec<(i64, f64)>);
+
+fn tuple_strategy() -> impl Strategy<Value = ChainRows> {
     let r = prop::collection::vec((0..5i64, 0..4i64, -3.0..3.0f64), 0..25);
     let s = prop::collection::vec((0..4i64, 0..4i64), 0..15);
     let t = prop::collection::vec((0..4i64, -2.0..2.0f64), 0..10);

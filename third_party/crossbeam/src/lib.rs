@@ -1,0 +1,72 @@
+//! Offline, API-compatible subset of the `crossbeam` crate: scoped threads.
+//!
+//! `crossbeam::scope` predates `std::thread::scope`; this stand-in delegates
+//! to the standard library version and keeps crossbeam's call shape — the
+//! spawn closure receives a (here unused) scope handle argument, and `scope`
+//! returns a `Result` even though the std implementation cannot fail.
+
+pub use thread::{scope, Scope, ScopedJoinHandle};
+
+/// Scoped threads (the `crossbeam::thread` module surface).
+pub mod thread {
+    /// A scope handle passed to [`Scope::spawn`] closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload if it panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a scope argument for
+        /// crossbeam API compatibility; this stand-in passes `()` (nested
+        /// spawning through the argument is not supported — no in-repo
+        /// caller uses it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing non-`'static` data can be
+    /// spawned. Always returns `Ok`: unjoined panicked threads propagate
+    /// their panic out of `std::thread::scope` instead of surfacing as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

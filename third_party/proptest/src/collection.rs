@@ -1,0 +1,81 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// The admissible lengths of a generated collection.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    start: usize,
+    end_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            start: exact,
+            end_exclusive: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange {
+            start: range.start,
+            end_exclusive: range.end,
+        }
+    }
+}
+
+/// A strategy producing `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.end_exclusive - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_respect_the_size_range() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..200 {
+            let v = vec(0..10i64, 0..25).generate(&mut rng);
+            assert!(v.len() < 25);
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+        }
+        let exact = vec(0..10i64, 7).generate(&mut rng);
+        assert_eq!(exact.len(), 7);
+    }
+
+    #[test]
+    fn nested_vec_of_tuples() {
+        let mut rng = TestRng::new(6);
+        let v = vec((0..4i64, -2.0..2.0f64), 1..10).generate(&mut rng);
+        assert!(!v.is_empty() && v.len() < 10);
+    }
+}

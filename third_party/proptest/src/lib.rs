@@ -1,0 +1,118 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Implements the surface this workspace's property tests use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait, with implementations for
+//!   integer and float ranges, tuples, [`collection::vec`] and regex-subset
+//!   string literals (`"[a-z]{1,8}"`-style),
+//! * [`test_runner::Config`] (`ProptestConfig` in the prelude) with
+//!   `with_cases`,
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assert_ne!`] macros.
+//!
+//! Unlike real proptest there is no shrinking and no failure persistence:
+//! cases are generated from a fixed seed (override with the `PROPTEST_SEED`
+//! environment variable) and a failing case panics with the case number, so
+//! runs are deterministic and reproducible by construction.
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+pub mod string;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespaced access to strategy constructors (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Fails the current property-test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Fails the current property-test case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Fails the current property-test case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Declares property tests: each `fn name(pattern in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs [$config] $($rest)*);
+    };
+    (@funcs [$config:expr]) => {};
+    (@funcs [$config:expr]
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $config;
+            let mut __rng = $crate::test_runner::TestRng::from_env();
+            for __case in 0..__config.cases {
+                let __run = || {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )+
+                    $body
+                };
+                if let Err(payload) = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(__run),
+                ) {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (seed {})",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        $crate::test_runner::TestRng::seed_from_env(),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::proptest!(@funcs [$config] $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs [$crate::test_runner::Config::default()] $($rest)*);
+    };
+}

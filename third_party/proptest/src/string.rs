@@ -1,0 +1,188 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Real proptest treats `&str` strategies as regexes over the full regex
+//! syntax. This offline subset supports what property tests here use:
+//! literal characters, character classes `[a-z0-9_]` (ranges and singletons,
+//! no negation), and the repetition operators `{m}`, `{m,n}`, `?`, `*`, `+`
+//! (the unbounded ones capped at 8 repetitions). Anything else panics with a
+//! clear message so unsupported patterns fail loudly, not wrongly.
+
+use crate::test_runner::TestRng;
+
+/// Cap for `*` / `+` repetitions, which are unbounded in real regexes.
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in regex `{pattern}`"));
+                    if lo == ']' {
+                        break;
+                    }
+                    assert!(
+                        lo != '^',
+                        "negated classes are not supported in regex `{pattern}`"
+                    );
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated class in regex `{pattern}`"));
+                        assert!(
+                            hi != ']' && lo <= hi,
+                            "bad range in class of regex `{pattern}`"
+                        );
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in regex `{pattern}`");
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("trailing backslash in regex `{pattern}`"));
+                match escaped {
+                    'd' => Atom::Class(vec![('0', '9')]),
+                    'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    '\\' | '.' | '[' | ']' | '{' | '}' | '(' | ')' | '*' | '+' | '?' | '|'
+                    | '^' | '$' | '-' => Atom::Literal(escaped),
+                    other => panic!("unsupported escape `\\{other}` in regex `{pattern}`"),
+                }
+            }
+            '.' | '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported regex feature `{c}` in `{pattern}` (offline proptest subset)")
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                let parse_u32 = |s: &str| {
+                    s.parse::<u32>()
+                        .unwrap_or_else(|_| panic!("bad repetition `{{{spec}}}` in `{pattern}`"))
+                };
+                match spec.split_once(',') {
+                    Some((m, n)) => (parse_u32(m), parse_u32(n)),
+                    None => {
+                        let m = parse_u32(&spec);
+                        (m, m)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad repetition bounds in regex `{pattern}`");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+        .sum();
+    let mut pick = rng.below(total);
+    for &(lo, hi) in ranges {
+        let size = hi as u64 - lo as u64 + 1;
+        if pick < size {
+            return char::from_u32(lo as u32 + pick as u32)
+                .expect("class ranges contain valid chars");
+        }
+        pick -= size;
+    }
+    unreachable!("pick is below the total class size")
+}
+
+/// Generates a string matching `pattern` (within the supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => out.push(sample_class(ranges, rng)),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercase_class_with_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..300 {
+            let s = generate_matching("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_classes_and_operators() {
+        let mut rng = TestRng::new(8);
+        let s = generate_matching("ab[0-9]{3}", &mut rng);
+        assert!(s.starts_with("ab") && s.len() == 5);
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+        for _ in 0..100 {
+            let t = generate_matching("x?y+z*", &mut rng);
+            assert!(t.contains('y'));
+        }
+        let d = generate_matching(r"\d{2}", &mut rng);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex feature")]
+    fn unsupported_features_fail_loudly() {
+        let mut rng = TestRng::new(9);
+        generate_matching("(a|b)", &mut rng);
+    }
+}

@@ -1,0 +1,92 @@
+//! Test-runner configuration and the deterministic RNG driving generation.
+
+/// Configuration for a `proptest!` block (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Default seed when `PROPTEST_SEED` is not set. Fixed so `cargo test` is
+/// deterministic run to run.
+const DEFAULT_SEED: u64 = 0x5eed_1a0f_a0c0_ffee;
+
+/// The deterministic generator behind all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The seed in effect: `PROPTEST_SEED` if set and parseable, else the
+    /// fixed default.
+    pub fn seed_from_env() -> u64 {
+        std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED)
+    }
+
+    /// A generator seeded from the environment (or the fixed default).
+    pub fn from_env() -> Self {
+        TestRng::new(Self::seed_from_env())
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform index in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "cannot sample below 0");
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = TestRng::new(3);
+        let mut b = TestRng::new(3);
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn config_cases() {
+        assert_eq!(Config::with_cases(64).cases, 64);
+        assert_eq!(Config::default().cases, 256);
+    }
+}
