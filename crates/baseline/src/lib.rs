@@ -19,4 +19,4 @@ pub use ml::{
     export_dense, predict_linear, rmse_linear, train_linear_regression_dense, train_tree_dense,
     DenseDataset, DenseTask, DenseTreeNode,
 };
-pub use naive::{BaselineResult, MaterializedEngine};
+pub use naive::{BaselineResult, MaterializedEngine, PreparedBaselineBatch};

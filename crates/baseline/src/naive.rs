@@ -84,20 +84,96 @@ impl MaterializedEngine {
         self.join.size_bytes()
     }
 
+    /// Resolves every column position a query touches (group-by keys and all
+    /// aggregate attributes) against the join once, mirroring the LMFAO
+    /// engine's prepare/execute split: re-executing a
+    /// [`PreparedBaselineBatch`] with a changing [`DynamicRegistry`] performs
+    /// no per-row schema lookups.
+    pub fn prepare(&self, batch: &QueryBatch) -> PreparedBaselineBatch {
+        PreparedBaselineBatch {
+            queries: batch
+                .queries
+                .iter()
+                .map(|q| self.resolve_query(q))
+                .collect(),
+        }
+    }
+
+    fn resolve_query(&self, query: &Query) -> PreparedBaselineQuery {
+        PreparedBaselineQuery {
+            query: query.clone(),
+            key_positions: query
+                .group_by
+                .iter()
+                .map(|a| self.join.position(*a))
+                .collect(),
+            attr_positions: query
+                .attrs()
+                .into_iter()
+                .map(|a| (a, self.join.position(a)))
+                .collect(),
+        }
+    }
+
     /// Computes a single query by scanning the full join.
     pub fn execute_query(&self, query: &Query, dynamics: &DynamicRegistry) -> BaselineResult {
-        let positions: Vec<Option<usize>> = query
+        let key_positions: Vec<Option<usize>> = query
             .group_by
             .iter()
             .map(|a| self.join.position(*a))
             .collect();
+        let attr_positions: FxHashMap<AttrId, Option<usize>> = query
+            .attrs()
+            .into_iter()
+            .map(|a| (a, self.join.position(a)))
+            .collect();
+        self.scan_query(query, &key_positions, &attr_positions, dynamics)
+    }
+
+    /// Computes every query of a batch, one at a time (no sharing).
+    pub fn execute_batch(
+        &self,
+        batch: &QueryBatch,
+        dynamics: &DynamicRegistry,
+    ) -> Vec<BaselineResult> {
+        self.execute_prepared(&self.prepare(batch), dynamics)
+    }
+
+    /// Executes a prepared batch, one full-join scan per query.
+    pub fn execute_prepared(
+        &self,
+        prepared: &PreparedBaselineBatch,
+        dynamics: &DynamicRegistry,
+    ) -> Vec<BaselineResult> {
+        prepared
+            .queries
+            .iter()
+            .map(|q| self.scan_query(&q.query, &q.key_positions, &q.attr_positions, dynamics))
+            .collect()
+    }
+
+    fn scan_query(
+        &self,
+        query: &Query,
+        key_positions: &[Option<usize>],
+        attr_positions: &FxHashMap<AttrId, Option<usize>>,
+        dynamics: &DynamicRegistry,
+    ) -> BaselineResult {
         let mut data: FxHashMap<Vec<Value>, Vec<f64>> = FxHashMap::default();
         for row in 0..self.join.len() {
-            let lookup = |a: AttrId| match self.join.position(a) {
-                Some(col) => self.join.value(row, col),
-                None => Value::Null,
+            // Attributes outside the resolved set (none for well-formed
+            // queries) fall back to a live schema lookup.
+            let lookup = |a: AttrId| {
+                let col = match attr_positions.get(&a) {
+                    Some(resolved) => *resolved,
+                    None => self.join.position(a),
+                };
+                match col {
+                    Some(col) => self.join.value(row, col),
+                    None => Value::Null,
+                }
             };
-            let key: Vec<Value> = positions
+            let key: Vec<Value> = key_positions
                 .iter()
                 .map(|p| match p {
                     Some(col) => self.join.value(row, *col),
@@ -116,18 +192,35 @@ impl MaterializedEngine {
             data,
         }
     }
+}
 
-    /// Computes every query of a batch, one at a time (no sharing).
-    pub fn execute_batch(
-        &self,
-        batch: &QueryBatch,
-        dynamics: &DynamicRegistry,
-    ) -> Vec<BaselineResult> {
-        batch
-            .queries
-            .iter()
-            .map(|q| self.execute_query(q, dynamics))
-            .collect()
+/// One query with every column it touches pre-resolved against the join.
+#[derive(Debug, Clone)]
+struct PreparedBaselineQuery {
+    query: Query,
+    /// Position of every group-by attribute in the join (None for attributes
+    /// absent from the join — their key component is Null).
+    key_positions: Vec<Option<usize>>,
+    /// Position of every attribute any aggregate reads.
+    attr_positions: FxHashMap<AttrId, Option<usize>>,
+}
+
+/// A batch with all per-query schema lookups resolved, ready for repeated
+/// execution against the same materialized join.
+#[derive(Debug, Clone)]
+pub struct PreparedBaselineBatch {
+    queries: Vec<PreparedBaselineQuery>,
+}
+
+impl PreparedBaselineBatch {
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if the batch holds no query.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
     }
 }
 
@@ -216,6 +309,26 @@ mod tests {
         assert_eq!(res[0].get(&[Value::Int(1)]).unwrap(), &[5.0, 2.0]);
         assert_eq!(res[0].get(&[Value::Int(2)]).unwrap(), &[4.0, 1.0]);
         assert!(!res[0].is_empty());
+    }
+
+    #[test]
+    fn prepared_baseline_batch_matches_direct_execution() {
+        let (db, tree) = db_and_tree();
+        let b = db.schema().attr_id("b").unwrap();
+        let x = db.schema().attr_id("x").unwrap();
+        let engine = MaterializedEngine::materialize(&db, &tree);
+        let mut batch = QueryBatch::new();
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        batch.push("per_b", vec![b], vec![Aggregate::sum(x)]);
+        let prepared = engine.prepare(&batch);
+        assert_eq!(prepared.len(), 2);
+        assert!(!prepared.is_empty());
+        let dynamics = DynamicRegistry::new();
+        let via_prepared = engine.execute_prepared(&prepared, &dynamics);
+        let direct = engine.execute_batch(&batch, &dynamics);
+        for (p, d) in via_prepared.iter().zip(&direct) {
+            assert_eq!(p.data, d.data);
+        }
     }
 
     #[test]

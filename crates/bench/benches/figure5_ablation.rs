@@ -1,29 +1,40 @@
 //! Criterion benchmark for Figure 5: the covar-matrix workload under the
 //! optimization ablation ladder (unoptimized → +specialization →
 //! +multi-output → +multi-root → +parallelization).
+//!
+//! The database is prepared once and shared across all five engine
+//! configurations (`shared_for` + `engine_for_shared`), and each
+//! configuration's batch is prepared once outside the timing loop — the
+//! measurement isolates execution, which is what the ablation layers affect.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lmfao_bench::{engine_for, WorkloadSpec};
+use lmfao_bench::{engine_for_shared, shared_for, WorkloadSpec};
 use lmfao_core::EngineConfig;
 use lmfao_datagen::{favorita, retailer, Scale};
+use lmfao_expr::DynamicRegistry;
 
 fn bench_figure5(c: &mut Criterion) {
     let datasets = vec![
         retailer::generate(Scale::new(5_000, 42)),
         favorita::generate(Scale::new(5_000, 42)),
     ];
+    let dynamics = DynamicRegistry::new();
     for ds in &datasets {
         let spec = WorkloadSpec::for_dataset(&ds.name);
         let batch = spec.covar_batch(ds);
+        let shared = shared_for(ds);
         let mut group = c.benchmark_group(format!("figure5/{}", ds.name));
         group.sample_size(10);
         group.warm_up_time(std::time::Duration::from_secs(1));
         group.measurement_time(std::time::Duration::from_secs(3));
         for (name, config) in EngineConfig::ablation_ladder(4) {
-            let engine = engine_for(ds, config);
-            group.bench_with_input(BenchmarkId::from_parameter(name), &batch, |b, batch| {
-                b.iter(|| engine.execute(batch))
-            });
+            let engine = engine_for_shared(&shared, ds, config);
+            let prepared = engine.prepare(&batch);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(name),
+                &prepared,
+                |b, prepared| b.iter(|| prepared.execute(&dynamics)),
+            );
         }
         group.finish();
     }

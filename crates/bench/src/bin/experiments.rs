@@ -94,7 +94,10 @@ fn table2(datasets: &[Dataset]) {
         let spec = WorkloadSpec::for_dataset(&ds.name);
         let engine = engine_for(ds, EngineConfig::full(threads()));
         for (wl, batch) in spec.workloads(ds) {
-            let result = engine.execute(&batch);
+            // Planning statistics come from the prepared batch; executing it
+            // fills in the output sizes.
+            let prepared = engine.prepare(&batch);
+            let result = prepared.execute(&DynamicRegistry::new());
             let s = &result.stats;
             println!(
                 "{:<4} {:<10} {:>8} {:>8} {:>6} {:>6} {:>12.1}",
@@ -298,6 +301,7 @@ fn example33() {
         let attr = ds.attr(&format!("X{i}"));
         batch.push(format!("Q{i}"), vec![attr], vec![Aggregate::count()]);
     }
+    let shared = lmfao_bench::shared_for(&ds);
     for (name, config) in [
         (
             "single root",
@@ -308,7 +312,7 @@ fn example33() {
         ),
         ("multi root", EngineConfig::default()),
     ] {
-        let engine = engine_for(&ds, config);
+        let engine = lmfao_bench::engine_for_shared(&shared, &ds, config);
         let (result, secs) = time(|| engine.execute(&batch));
         println!(
             "{name:<12}: {:.3}s  ({} views, {} groups, {} roots)",

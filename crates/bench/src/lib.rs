@@ -11,7 +11,7 @@
 
 #![warn(missing_docs)]
 
-use lmfao_core::{Engine, EngineConfig};
+use lmfao_core::{Engine, EngineConfig, SharedDatabase};
 use lmfao_data::AttrId;
 use lmfao_datagen::Dataset;
 use lmfao_expr::{Aggregate, QueryBatch};
@@ -342,9 +342,25 @@ impl WorkloadSpec {
     }
 }
 
-/// Builds an LMFAO engine for a dataset with the given configuration.
+/// Builds an LMFAO engine for a dataset with the given configuration. When
+/// several engines over the same dataset are needed (the ablation ladder),
+/// prepare the database once with [`shared_for`] and use
+/// [`engine_for_shared`] instead of paying one full database clone + sort per
+/// configuration.
 pub fn engine_for(ds: &Dataset, config: EngineConfig) -> Engine {
     Engine::new(ds.db.clone(), ds.tree.clone(), config)
+}
+
+/// Sorts and freezes a dataset's database once for sharing across engine
+/// configurations.
+pub fn shared_for(ds: &Dataset) -> SharedDatabase {
+    SharedDatabase::prepare(ds.db.clone(), &ds.tree)
+}
+
+/// Builds an engine over an already prepared shared database (cheap: no
+/// clone, no re-sort).
+pub fn engine_for_shared(db: &SharedDatabase, ds: &Dataset, config: EngineConfig) -> Engine {
+    Engine::with_shared(db.clone(), ds.tree.clone(), config)
 }
 
 #[cfg(test)]
@@ -378,6 +394,26 @@ mod tests {
         let spec = WorkloadSpec::for_dataset(&ds.name);
         let engine = engine_for(&ds, EngineConfig::default());
         let result = engine.execute(&spec.count_batch(&ds));
-        assert!(result.queries[0].scalar()[0] > 0.0);
+        assert!(result.query("count").scalar()[0] > 0.0);
+    }
+
+    #[test]
+    fn shared_databases_back_several_engine_configurations() {
+        let ds = lmfao_datagen::favorita::generate(Scale::small());
+        let spec = WorkloadSpec::for_dataset(&ds.name);
+        let shared = shared_for(&ds);
+        let batch = spec.count_batch(&ds);
+        let mut counts = Vec::new();
+        for (_, config) in EngineConfig::ablation_ladder(2) {
+            let engine = engine_for_shared(&shared, &ds, config);
+            let prepared = engine.prepare(&batch);
+            counts.push(
+                prepared
+                    .execute(&lmfao_expr::DynamicRegistry::new())
+                    .query("count")
+                    .scalar()[0],
+            );
+        }
+        assert!(counts.iter().all(|&c| c == counts[0] && c > 0.0));
     }
 }

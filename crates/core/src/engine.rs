@@ -1,25 +1,26 @@
 //! The LMFAO engine façade: ties all layers together.
 //!
+//! The primary flow is *prepare once, execute many*: [`Engine::prepare`] runs
+//! every optimizer layer and returns a [`PreparedBatch`] that can be executed
+//! repeatedly with changing [`DynamicRegistry`] closures. [`Engine::execute`]
+//! remains as a thin `prepare + execute` convenience for one-shot batches.
+//!
 //! ```no_run
 //! # use lmfao_core::{Engine, EngineConfig};
-//! # use lmfao_expr::{Aggregate, QueryBatch};
+//! # use lmfao_expr::{Aggregate, DynamicRegistry, QueryBatch};
 //! # fn demo(db: lmfao_data::Database, tree: lmfao_jointree::JoinTree) {
 //! let engine = Engine::new(db, tree, EngineConfig::default());
 //! let mut batch = QueryBatch::new();
 //! batch.push("count", vec![], vec![Aggregate::count()]);
-//! let result = engine.execute(&batch);
-//! println!("count = {}", result.queries[0].scalar()[0]);
+//! let prepared = engine.prepare(&batch);
+//! let result = prepared.execute(&DynamicRegistry::new());
+//! println!("count = {}", result.query("count").scalar()[0]);
 //! # }
 //! ```
 
 use crate::config::EngineConfig;
-use crate::group::group_views;
-use crate::interp::execute_view_interpreted;
-use crate::parallel::execute_all;
-use crate::plan::{build_group_plan, prepare_database, GroupPlan};
-use crate::pushdown::{push_down_batch, PushdownResult};
-use crate::roots::{assign_roots, RootAssignment};
-use crate::view::{ComputedView, ViewId};
+use crate::prepared::PreparedBatch;
+use crate::shared::SharedDatabase;
 use lmfao_data::{AttrId, Database, FxHashMap, Value};
 use lmfao_expr::{DynamicRegistry, QueryBatch};
 use lmfao_jointree::JoinTree;
@@ -105,27 +106,63 @@ pub struct BatchResult {
     pub stats: EngineStats,
 }
 
-/// The LMFAO engine: owns the (sorted) database and the join tree, and
-/// evaluates query batches according to its configuration.
+impl BatchResult {
+    /// The result of the query with the given name, if present.
+    pub fn get_query(&self, name: &str) -> Option<&QueryResult> {
+        self.queries.iter().find(|q| q.name == name)
+    }
+
+    /// The result of the query with the given name.
+    ///
+    /// # Panics
+    /// Panics if no query of the batch has that name; use
+    /// [`BatchResult::get_query`] for a fallible lookup.
+    pub fn query(&self, name: &str) -> &QueryResult {
+        self.get_query(name)
+            .unwrap_or_else(|| panic!("no query named `{name}` in the batch result"))
+    }
+}
+
+/// The LMFAO engine: a shared handle to the (sorted) database plus the join
+/// tree and configuration under which batches are prepared and evaluated.
+///
+/// Cloning an engine is cheap — the database is behind a [`SharedDatabase`]
+/// handle — so engines of different configurations can coexist over one
+/// prepared database.
 #[derive(Debug, Clone)]
 pub struct Engine {
-    db: Database,
+    db: SharedDatabase,
     tree: JoinTree,
     config: EngineConfig,
 }
 
 impl Engine {
-    /// Creates an engine. Relations are sorted by the attribute orders of
-    /// their join-tree nodes (required by the trie scans), and statistics are
-    /// refreshed.
-    pub fn new(mut db: Database, tree: JoinTree, config: EngineConfig) -> Self {
-        db.recompute_statistics();
-        prepare_database(&mut db, &tree);
+    /// Creates an engine, preparing the database: relations are sorted by the
+    /// attribute orders of their join-tree nodes (required by the trie scans)
+    /// and statistics are refreshed.
+    ///
+    /// To share one prepared database across several engines (e.g. the
+    /// ablation ladder), prepare it once with [`SharedDatabase::prepare`] and
+    /// use [`Engine::with_shared`].
+    pub fn new(db: Database, tree: JoinTree, config: EngineConfig) -> Self {
+        let shared = SharedDatabase::prepare(db, &tree);
+        Engine::with_shared(shared, tree, config)
+    }
+
+    /// Creates an engine over an already prepared [`SharedDatabase`]. The
+    /// handle must have been prepared against the same join tree (its
+    /// relations are sorted by that tree's attribute orders).
+    pub fn with_shared(db: SharedDatabase, tree: JoinTree, config: EngineConfig) -> Self {
         Engine { db, tree, config }
     }
 
     /// The engine's database (sorted by join attributes).
     pub fn database(&self) -> &Database {
+        self.db.database()
+    }
+
+    /// The shared database handle (cheap to clone).
+    pub fn shared_database(&self) -> &SharedDatabase {
         &self.db
     }
 
@@ -139,137 +176,36 @@ impl Engine {
         &self.config
     }
 
-    /// Replaces the configuration (used by the ablation benchmarks).
+    /// Replaces the configuration (used by the ablation benchmarks). Batches
+    /// already prepared keep the configuration they were prepared under.
     pub fn set_config(&mut self, config: EngineConfig) {
         self.config = config;
     }
 
-    /// Runs the optimizer layers only (roots, pushdown, merging, grouping)
-    /// and reports the Table-2 style statistics without executing.
-    pub fn plan_only(&self, batch: &QueryBatch) -> EngineStats {
-        let (roots, pd, grouping_len) = self.optimize(batch);
-        let _ = roots;
-        EngineStats {
-            application_aggregates: batch.num_aggregates(),
-            intermediate_aggregates: pd
-                .catalog
-                .total_aggregates()
-                .saturating_sub(batch.num_aggregates()),
-            num_views: pd.catalog.len(),
-            num_groups: grouping_len,
-            num_roots: roots_count(&roots),
-            output_size_bytes: 0,
-        }
+    /// Runs every optimizer layer (roots, pushdown, merging, grouping,
+    /// multi-output plans) over the batch once and returns the cached
+    /// [`PreparedBatch`]. Planning statistics are available immediately via
+    /// [`PreparedBatch::stats`]; execution via [`PreparedBatch::execute`].
+    pub fn prepare(&self, batch: &QueryBatch) -> PreparedBatch {
+        PreparedBatch::build(self.db.clone(), self.tree.clone(), self.config, batch)
     }
 
-    fn optimize(&self, batch: &QueryBatch) -> (RootAssignment, PushdownResult, usize) {
-        let roots = assign_roots(batch, &self.tree, &self.db, &self.config);
-        let pd = push_down_batch(batch, &self.tree, &roots);
-        let grouping = group_views(&pd.catalog, self.config.multi_output);
-        (roots, pd, grouping.len())
-    }
-
-    /// Evaluates a batch with an empty dynamic-function registry.
+    /// Evaluates a batch once with an empty dynamic-function registry: a thin
+    /// `prepare + execute` convenience. Prefer [`Engine::prepare`] when the
+    /// same batch is evaluated more than once.
     pub fn execute(&self, batch: &QueryBatch) -> BatchResult {
         self.execute_with_dynamics(batch, &DynamicRegistry::new())
     }
 
-    /// Evaluates a batch, resolving dynamic UDAFs through `dynamics`.
+    /// Evaluates a batch once, resolving dynamic UDAFs through `dynamics`: a
+    /// thin `prepare + execute` convenience.
     pub fn execute_with_dynamics(
         &self,
         batch: &QueryBatch,
         dynamics: &DynamicRegistry,
     ) -> BatchResult {
-        let roots = assign_roots(batch, &self.tree, &self.db, &self.config);
-        let pd = push_down_batch(batch, &self.tree, &roots);
-        let grouping = group_views(&pd.catalog, self.config.multi_output);
-
-        let computed: FxHashMap<ViewId, ComputedView> = if self.config.specialization {
-            let plans: Vec<GroupPlan> = grouping
-                .groups
-                .iter()
-                .map(|g| build_group_plan(&self.db, &self.tree, &pd.catalog, g))
-                .collect();
-            execute_all(&self.db, &plans, &grouping, dynamics, &self.config)
-        } else {
-            // Interpreted path: one scan per view, in dependency order.
-            let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
-            for vid in pd.catalog.topological_order() {
-                let cv = execute_view_interpreted(
-                    &self.db,
-                    &self.tree,
-                    &pd.catalog,
-                    vid,
-                    &computed,
-                    dynamics,
-                );
-                computed.insert(vid, cv);
-            }
-            computed
-        };
-
-        // Project query results out of the (merged) output views.
-        let mut queries = Vec::with_capacity(batch.len());
-        let mut output_bytes = 0usize;
-        for (query, output) in batch.queries.iter().zip(&pd.outputs) {
-            let view = pd.catalog.view(output.view);
-            let cv = computed
-                .get(&output.view)
-                .expect("output view must be computed");
-            // Keys of the computed view are in the view's canonical (sorted)
-            // order; re-order them to the query's requested order.
-            let perm: Vec<usize> = query
-                .group_by
-                .iter()
-                .map(|a| {
-                    view.group_by
-                        .iter()
-                        .position(|b| b == a)
-                        .expect("query group-by attr must be a view key attr")
-                })
-                .collect();
-            let mut data: FxHashMap<Vec<Value>, Vec<f64>> = FxHashMap::default();
-            for (key, values) in cv.iter() {
-                let reordered: Vec<Value> = perm.iter().map(|&p| key[p]).collect();
-                let selected: Vec<f64> = output
-                    .aggregate_indices
-                    .iter()
-                    .map(|&i| values[i])
-                    .collect();
-                let entry = data
-                    .entry(reordered)
-                    .or_insert_with(|| vec![0.0; output.aggregate_indices.len()]);
-                for (e, v) in entry.iter_mut().zip(&selected) {
-                    *e += v;
-                }
-            }
-            let result = QueryResult {
-                name: query.name.clone(),
-                group_by: query.group_by.clone(),
-                num_aggregates: query.aggregates.len(),
-                data,
-            };
-            output_bytes += result.size_bytes();
-            queries.push(result);
-        }
-
-        let stats = EngineStats {
-            application_aggregates: batch.num_aggregates(),
-            intermediate_aggregates: pd
-                .catalog
-                .total_aggregates()
-                .saturating_sub(batch.num_aggregates()),
-            num_views: pd.catalog.len(),
-            num_groups: grouping.len(),
-            num_roots: roots_count(&roots),
-            output_size_bytes: output_bytes,
-        };
-        BatchResult { queries, stats }
+        self.prepare(batch).execute(dynamics)
     }
-}
-
-fn roots_count(roots: &RootAssignment) -> usize {
-    roots.num_distinct_roots()
 }
 
 #[cfg(test)]
@@ -406,11 +342,37 @@ mod tests {
         assert!(stats.num_groups <= stats.num_views);
         assert!(stats.num_roots >= 1);
         assert!(stats.output_size_bytes > 0);
-        // plan_only agrees with the executed stats on the optimizer counters.
-        let planned = engine.plan_only(&batch);
+        // The prepared batch reports the same optimizer counters without
+        // executing anything.
+        let planned = engine.prepare(&batch).stats().clone();
         assert_eq!(planned.num_views, stats.num_views);
         assert_eq!(planned.num_groups, stats.num_groups);
+        assert_eq!(planned.num_roots, stats.num_roots);
         assert_eq!(planned.application_aggregates, stats.application_aggregates);
+        assert_eq!(planned.output_size_bytes, 0);
+    }
+
+    #[test]
+    fn results_are_addressable_by_query_name() {
+        let (db, tree) = chain_db();
+        let batch = covar_batch(&db);
+        let engine = Engine::new(db, tree, EngineConfig::default());
+        let result = engine.execute(&batch);
+        assert_eq!(
+            result.query("uv").scalar()[0],
+            result.queries[2].scalar()[0]
+        );
+        assert_eq!(result.query("per_x1").len(), result.queries[4].len());
+        assert!(result.get_query("no_such_query").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no query named")]
+    fn unknown_query_name_panics() {
+        let (db, tree) = chain_db();
+        let batch = covar_batch(&db);
+        let engine = Engine::new(db, tree, EngineConfig::default());
+        engine.execute(&batch).query("missing");
     }
 
     #[test]
@@ -445,13 +407,45 @@ mod tests {
             ))],
         );
         let engine = Engine::new(db, tree, EngineConfig::default());
-        let first = engine.execute_with_dynamics(&batch, &dynamics).queries[0].scalar()[0];
+        // Plan once; only the dynamic closure changes between executions.
+        let prepared = engine.prepare(&batch);
+        let first = prepared.execute(&dynamics).query("dyn_count").scalar()[0];
         dynamics.replace(cond, |_| 1.0);
-        let second = engine.execute_with_dynamics(&batch, &dynamics).queries[0].scalar()[0];
+        let second = prepared.execute(&dynamics).query("dyn_count").scalar()[0];
         assert!(
             first < second,
             "loosening the predicate must grow the count"
         );
+        // The one-shot convenience path agrees with the prepared path.
+        let one_shot = engine.execute_with_dynamics(&batch, &dynamics);
+        assert_eq!(one_shot.query("dyn_count").scalar()[0], second);
+    }
+
+    #[test]
+    fn engines_share_a_prepared_database() {
+        let (db, tree) = chain_db();
+        let batch = covar_batch(&db);
+        let shared = crate::shared::SharedDatabase::prepare(db, &tree);
+        let reference =
+            Engine::with_shared(shared.clone(), tree.clone(), EngineConfig::unoptimized())
+                .execute(&batch);
+        for (name, cfg) in EngineConfig::ablation_ladder(2).into_iter().skip(1) {
+            let engine = Engine::with_shared(shared.clone(), tree.clone(), cfg);
+            assert!(crate::shared::SharedDatabase::same_storage(
+                &shared,
+                engine.shared_database()
+            ));
+            let result = engine.execute(&batch);
+            for (r, e) in result.queries.iter().zip(&reference.queries) {
+                assert_eq!(r.len(), e.len(), "{name}");
+                for (key, vals) in e.iter() {
+                    let got = r.get(key).unwrap();
+                    for (g, w) in got.iter().zip(vals) {
+                        assert!((g - w).abs() < 1e-9, "{name}: {key:?}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! 6. [`exec`] — specialized execution, [`interp`] — the unoptimized proxy,
 //! 7. [`parallel`] — task and domain parallelism,
 //! 8. [`engine`] — the façade tying everything together.
+//!
+//! The public workflow is *prepare once, execute many*: [`Engine::prepare`]
+//! runs layers 2–5 once and caches the result as a [`PreparedBatch`] over a
+//! [`SharedDatabase`] handle; [`PreparedBatch::execute`] runs only the scans,
+//! so batches with changing dynamic functions (decision-tree predicates,
+//! iteration weights) never pay for planning twice.
 
 #![warn(missing_docs)]
 
@@ -23,12 +29,16 @@ pub mod group;
 pub mod interp;
 pub mod parallel;
 pub mod plan;
+pub mod prepared;
 pub mod pushdown;
 pub mod roots;
+pub mod shared;
 pub mod view;
 
 pub use config::EngineConfig;
 pub use engine::{BatchResult, Engine, EngineStats, QueryResult};
+pub use prepared::PreparedBatch;
+pub use shared::SharedDatabase;
 pub use view::{ComputedView, ViewCatalog, ViewDef, ViewId};
 
 #[cfg(test)]

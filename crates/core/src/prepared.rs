@@ -1,0 +1,375 @@
+//! Prepared batches: plan once, execute many.
+//!
+//! LMFAO's optimizer layers (find roots → aggregate pushdown → view merging →
+//! view grouping → multi-output plans) depend only on the query batch, the
+//! join tree and the engine configuration — never on the data values read at
+//! execution time or on the closures in a [`DynamicRegistry`]. A
+//! [`PreparedBatch`] is the cached product of running all those layers once:
+//! the root assignment, the consolidated view catalog and output projections,
+//! the view grouping, and the per-group physical plans. Executing it again
+//! with a different registry (a new decision-tree split predicate, the next
+//! gradient step's weight function) re-runs only the scans.
+//!
+//! This is the reproduction of the paper's compile-once design: the generated
+//! C++ is compiled one time and only the *dynamic functions* are recompiled
+//! and re-linked between iterations (Section 4). Here the "compiled" artifact
+//! is the `PreparedBatch` and the re-linked part is the registry passed to
+//! [`PreparedBatch::execute`].
+
+use crate::config::EngineConfig;
+use crate::engine::{BatchResult, EngineStats, QueryResult};
+use crate::group::{group_views, Grouping};
+use crate::interp::execute_view_interpreted;
+use crate::parallel::execute_all;
+use crate::plan::{build_group_plan, GroupPlan};
+use crate::pushdown::{push_down_batch, PushdownResult};
+use crate::roots::assign_roots;
+use crate::shared::SharedDatabase;
+use crate::view::{ComputedView, ViewId};
+use lmfao_data::{AttrId, FxHashMap, Value};
+use lmfao_expr::{DynamicRegistry, QueryBatch};
+use lmfao_jointree::JoinTree;
+use std::sync::Arc;
+
+/// Everything needed to project one query's result out of its output view,
+/// resolved at prepare time.
+#[derive(Debug, Clone)]
+struct PreparedQuery {
+    /// Query name (copied from the batch).
+    name: String,
+    /// Group-by attributes in the query's requested order.
+    group_by: Vec<AttrId>,
+    /// Number of aggregates of the query.
+    num_aggregates: usize,
+    /// The output view carrying the query's aggregates.
+    view: ViewId,
+    /// For each aggregate of the query, its index within the output view.
+    aggregate_indices: Vec<usize>,
+    /// Permutation from the view's canonical key order to the query's
+    /// group-by order.
+    key_perm: Vec<usize>,
+}
+
+/// A fully optimized query batch, ready to be executed any number of times.
+///
+/// Built by [`crate::engine::Engine::prepare`]. Holds a [`SharedDatabase`]
+/// handle, so it stays valid independently of the engine that created it, and
+/// all planned state lives behind an `Arc`: cloning is two reference-count
+/// bumps, never a copy of the plans or the data.
+#[derive(Debug, Clone)]
+pub struct PreparedBatch {
+    db: SharedDatabase,
+    inner: Arc<PreparedPlans>,
+}
+
+/// The immutable product of the optimizer layers, shared by every clone of a
+/// [`PreparedBatch`].
+#[derive(Debug)]
+struct PreparedPlans {
+    tree: JoinTree,
+    config: EngineConfig,
+    pushdown: PushdownResult,
+    grouping: Grouping,
+    /// Physical plans, one per group; empty when specialization is off (the
+    /// interpreted proxy works straight off the view catalog).
+    plans: Vec<GroupPlan>,
+    queries: Vec<PreparedQuery>,
+    stats: EngineStats,
+}
+
+impl PreparedBatch {
+    /// Runs every optimizer layer over `batch` and caches the results.
+    pub(crate) fn build(
+        db: SharedDatabase,
+        tree: JoinTree,
+        config: EngineConfig,
+        batch: &QueryBatch,
+    ) -> Self {
+        let roots = assign_roots(batch, &tree, &db, &config);
+        let pushdown = push_down_batch(batch, &tree, &roots);
+        let grouping = group_views(&pushdown.catalog, config.multi_output);
+        let plans: Vec<GroupPlan> = if config.specialization {
+            grouping
+                .groups
+                .iter()
+                .map(|g| build_group_plan(&db, &tree, &pushdown.catalog, g))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let queries: Vec<PreparedQuery> = batch
+            .queries
+            .iter()
+            .zip(&pushdown.outputs)
+            .map(|(query, output)| {
+                let view = pushdown.catalog.view(output.view);
+                // Keys of the computed view are in the view's canonical
+                // (sorted) order; precompute the reordering to the query's
+                // requested order.
+                let key_perm: Vec<usize> = query
+                    .group_by
+                    .iter()
+                    .map(|a| {
+                        view.group_by
+                            .iter()
+                            .position(|b| b == a)
+                            .expect("query group-by attr must be a view key attr")
+                    })
+                    .collect();
+                PreparedQuery {
+                    name: query.name.clone(),
+                    group_by: query.group_by.clone(),
+                    num_aggregates: query.aggregates.len(),
+                    view: output.view,
+                    aggregate_indices: output.aggregate_indices.clone(),
+                    key_perm,
+                }
+            })
+            .collect();
+
+        let stats = EngineStats {
+            application_aggregates: batch.num_aggregates(),
+            intermediate_aggregates: pushdown
+                .catalog
+                .total_aggregates()
+                .saturating_sub(batch.num_aggregates()),
+            num_views: pushdown.catalog.len(),
+            num_groups: grouping.len(),
+            num_roots: roots.num_distinct_roots(),
+            output_size_bytes: 0,
+        };
+
+        PreparedBatch {
+            db,
+            inner: Arc::new(PreparedPlans {
+                tree,
+                config,
+                pushdown,
+                grouping,
+                plans,
+                queries,
+                stats,
+            }),
+        }
+    }
+
+    /// The Table-2 style planning statistics: application and intermediate
+    /// aggregate counts, consolidated views, groups and distinct roots.
+    /// `output_size_bytes` is 0 here — output sizes are only known after an
+    /// execution (see [`BatchResult::stats`]).
+    pub fn stats(&self) -> &EngineStats {
+        &self.inner.stats
+    }
+
+    /// The configuration the batch was prepared under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.config
+    }
+
+    /// The shared database the batch executes over.
+    pub fn database(&self) -> &SharedDatabase {
+        &self.db
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.inner.queries.len()
+    }
+
+    /// True if the batch holds no query.
+    pub fn is_empty(&self) -> bool {
+        self.inner.queries.is_empty()
+    }
+
+    /// The query names, in batch order.
+    pub fn query_names(&self) -> impl Iterator<Item = &str> {
+        self.inner.queries.iter().map(|q| q.name.as_str())
+    }
+
+    /// Executes the cached plans, resolving dynamic UDAFs through `dynamics`,
+    /// and projects the per-query results. No optimizer layer runs here; call
+    /// this as many times as needed with changing registries.
+    pub fn execute(&self, dynamics: &DynamicRegistry) -> BatchResult {
+        let db = self.db.database();
+        let inner = &*self.inner;
+        let computed: FxHashMap<ViewId, ComputedView> = if inner.config.specialization {
+            execute_all(db, &inner.plans, &inner.grouping, dynamics, &inner.config)
+        } else {
+            // Interpreted path: one scan per view, in dependency order.
+            let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+            for vid in inner.pushdown.catalog.topological_order() {
+                let cv = execute_view_interpreted(
+                    db,
+                    &inner.tree,
+                    &inner.pushdown.catalog,
+                    vid,
+                    &computed,
+                    dynamics,
+                );
+                computed.insert(vid, cv);
+            }
+            computed
+        };
+
+        // Project query results out of the (merged) output views.
+        let mut queries = Vec::with_capacity(inner.queries.len());
+        let mut output_bytes = 0usize;
+        for pq in &inner.queries {
+            let cv = computed
+                .get(&pq.view)
+                .expect("output view must be computed");
+            let mut data: FxHashMap<Vec<Value>, Vec<f64>> = FxHashMap::default();
+            for (key, values) in cv.iter() {
+                let reordered: Vec<Value> = pq.key_perm.iter().map(|&p| key[p]).collect();
+                let selected: Vec<f64> = pq.aggregate_indices.iter().map(|&i| values[i]).collect();
+                let entry = data
+                    .entry(reordered)
+                    .or_insert_with(|| vec![0.0; pq.aggregate_indices.len()]);
+                for (e, v) in entry.iter_mut().zip(&selected) {
+                    *e += v;
+                }
+            }
+            let result = QueryResult {
+                name: pq.name.clone(),
+                group_by: pq.group_by.clone(),
+                num_aggregates: pq.num_aggregates,
+                data,
+            };
+            output_bytes += result.size_bytes();
+            queries.push(result);
+        }
+
+        let mut stats = inner.stats.clone();
+        stats.output_size_bytes = output_bytes;
+        BatchResult { queries, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use lmfao_data::{AttrType, Database, DatabaseSchema, Relation, RelationSchema};
+    use lmfao_expr::Aggregate;
+    use lmfao_jointree::{build_join_tree, Hypergraph};
+
+    fn db_and_tree() -> (Database, JoinTree) {
+        let mut schema = DatabaseSchema::new();
+        schema.add_relation_with_attrs(
+            "R",
+            &[
+                ("a", AttrType::Int),
+                ("b", AttrType::Int),
+                ("x", AttrType::Double),
+            ],
+        );
+        schema.add_relation_with_attrs("S", &[("b", AttrType::Int), ("y", AttrType::Double)]);
+        let ids: Vec<AttrId> = ["a", "b", "x", "y"]
+            .iter()
+            .map(|n| schema.attr_id(n).unwrap())
+            .collect();
+        let r = Relation::from_rows(
+            RelationSchema::new("R", vec![ids[0], ids[1], ids[2]]),
+            (0..20)
+                .map(|i| {
+                    vec![
+                        Value::Int(i % 4),
+                        Value::Int(i % 3),
+                        Value::Double((i % 5) as f64),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        let s = Relation::from_rows(
+            RelationSchema::new("S", vec![ids[1], ids[3]]),
+            (0..3)
+                .map(|i| vec![Value::Int(i), Value::Double((i + 1) as f64)])
+                .collect(),
+        )
+        .unwrap();
+        let db = Database::new(schema.clone(), vec![r, s]).unwrap();
+        let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+        (db, tree)
+    }
+
+    fn batch(db: &Database) -> QueryBatch {
+        let a = db.schema().attr_id("a").unwrap();
+        let x = db.schema().attr_id("x").unwrap();
+        let y = db.schema().attr_id("y").unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        batch.push("xy", vec![], vec![Aggregate::sum_product(x, y)]);
+        batch.push("per_a", vec![a], vec![Aggregate::sum(y)]);
+        batch
+    }
+
+    #[test]
+    fn repeated_execution_is_deterministic() {
+        let (db, tree) = db_and_tree();
+        let batch = batch(&db);
+        let engine = Engine::new(db, tree, EngineConfig::default());
+        let prepared = engine.prepare(&batch);
+        let dynamics = DynamicRegistry::new();
+        let first = prepared.execute(&dynamics);
+        let second = prepared.execute(&dynamics);
+        assert_eq!(first.queries.len(), second.queries.len());
+        for (f, s) in first.queries.iter().zip(&second.queries) {
+            assert_eq!(f.data, s.data);
+        }
+    }
+
+    #[test]
+    fn prepared_execution_matches_one_shot_execute() {
+        let (db, tree) = db_and_tree();
+        let batch = batch(&db);
+        for (name, cfg) in EngineConfig::ablation_ladder(2) {
+            let engine = Engine::new(db.clone(), tree.clone(), cfg);
+            let via_prepared = engine.prepare(&batch).execute(&DynamicRegistry::new());
+            let one_shot = engine.execute(&batch);
+            for (p, o) in via_prepared.queries.iter().zip(&one_shot.queries) {
+                assert_eq!(p.data, o.data, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn planning_stats_match_executed_stats() {
+        let (db, tree) = db_and_tree();
+        let batch = batch(&db);
+        let engine = Engine::new(db, tree, EngineConfig::default());
+        let prepared = engine.prepare(&batch);
+        assert_eq!(prepared.len(), 3);
+        assert!(!prepared.is_empty());
+        assert_eq!(
+            prepared.query_names().collect::<Vec<_>>(),
+            vec!["count", "xy", "per_a"]
+        );
+        let planned = prepared.stats().clone();
+        assert_eq!(planned.output_size_bytes, 0);
+        let executed = prepared.execute(&DynamicRegistry::new()).stats;
+        assert_eq!(planned.num_views, executed.num_views);
+        assert_eq!(planned.num_groups, executed.num_groups);
+        assert_eq!(planned.num_roots, executed.num_roots);
+        assert_eq!(
+            planned.application_aggregates,
+            executed.application_aggregates
+        );
+        assert!(executed.output_size_bytes > 0);
+    }
+
+    #[test]
+    fn prepared_batch_outlives_its_engine() {
+        let (db, tree) = db_and_tree();
+        let batch = batch(&db);
+        let prepared = {
+            let engine = Engine::new(db, tree, EngineConfig::default());
+            engine.prepare(&batch)
+        };
+        // The engine is gone; the prepared batch still executes because it
+        // holds its own SharedDatabase handle.
+        let result = prepared.execute(&DynamicRegistry::new());
+        assert!(result.query("count").scalar()[0] > 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! A shared, immutable handle to a prepared database.
+//!
+//! The engine needs its relations sorted by the attribute orders of their
+//! join-tree nodes before any trie scan can run. That preparation mutates the
+//! database once; afterwards everything the engine does is read-only. A
+//! [`SharedDatabase`] captures exactly that lifecycle: [`SharedDatabase::prepare`]
+//! sorts and freezes the database behind an `Arc`, and every engine,
+//! [`crate::prepared::PreparedBatch`] and worker thread afterwards shares the
+//! same storage. Cloning a handle is a reference-count bump, not a copy of the
+//! relations — which is what lets the ablation ladder build five engines (and
+//! a serving process keep thousands of prepared batches) over one database.
+
+use crate::plan::prepare_database;
+use lmfao_data::Database;
+use lmfao_jointree::JoinTree;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted database prepared for trie scans.
+///
+/// Obtained from [`SharedDatabase::prepare`]; cheap to clone and safe to share
+/// across threads. Dereferences to [`Database`] for read access.
+#[derive(Debug, Clone)]
+pub struct SharedDatabase {
+    db: Arc<Database>,
+}
+
+impl SharedDatabase {
+    /// Refreshes statistics, sorts every relation by its join-tree node's
+    /// attribute order (the precondition of the trie scans) and freezes the
+    /// result behind an `Arc`.
+    ///
+    /// The attribute orders depend only on the join tree and the data — not on
+    /// any [`crate::config::EngineConfig`] — so one prepared database serves
+    /// engines of every configuration.
+    pub fn prepare(mut db: Database, tree: &JoinTree) -> Self {
+        db.recompute_statistics();
+        prepare_database(&mut db, tree);
+        SharedDatabase { db: Arc::new(db) }
+    }
+
+    /// The underlying database (sorted by join attributes).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// True if both handles point at the same underlying storage.
+    pub fn same_storage(a: &SharedDatabase, b: &SharedDatabase) -> bool {
+        Arc::ptr_eq(&a.db, &b.db)
+    }
+}
+
+impl Deref for SharedDatabase {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        &self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::attribute_order;
+    use lmfao_data::{AttrType, DatabaseSchema, Relation, RelationSchema, Value};
+    use lmfao_jointree::{build_join_tree, Hypergraph};
+
+    fn db_and_tree() -> (Database, JoinTree) {
+        let mut schema = DatabaseSchema::new();
+        schema.add_relation_with_attrs("R", &[("a", AttrType::Int), ("b", AttrType::Int)]);
+        schema.add_relation_with_attrs("S", &[("b", AttrType::Int), ("c", AttrType::Int)]);
+        let a = schema.attr_id("a").unwrap();
+        let b = schema.attr_id("b").unwrap();
+        let c = schema.attr_id("c").unwrap();
+        let r = Relation::from_rows(
+            RelationSchema::new("R", vec![a, b]),
+            (0..10)
+                .rev()
+                .map(|i| vec![Value::Int(i), Value::Int(i % 3)])
+                .collect(),
+        )
+        .unwrap();
+        let s = Relation::from_rows(
+            RelationSchema::new("S", vec![b, c]),
+            (0..3)
+                .rev()
+                .map(|i| vec![Value::Int(i), Value::Int(10 * i)])
+                .collect(),
+        )
+        .unwrap();
+        let db = Database::new(schema.clone(), vec![r, s]).unwrap();
+        let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+        (db, tree)
+    }
+
+    #[test]
+    fn prepare_sorts_every_relation_by_its_attribute_order() {
+        let (db, tree) = db_and_tree();
+        let shared = SharedDatabase::prepare(db, &tree);
+        for node in 0..tree.num_nodes() {
+            let name = &tree.node(node).relation;
+            let order = attribute_order(&shared, &tree, node);
+            let rel = shared.relation(name).unwrap();
+            let cols: Vec<usize> = order.iter().map(|x| rel.position(*x).unwrap()).collect();
+            assert!(rel.is_sorted_by(&cols), "{name} not sorted");
+        }
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let (db, tree) = db_and_tree();
+        let shared = SharedDatabase::prepare(db, &tree);
+        let other = shared.clone();
+        assert!(SharedDatabase::same_storage(&shared, &other));
+        assert_eq!(shared.relation("R").unwrap().len(), 10);
+    }
+}

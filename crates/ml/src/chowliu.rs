@@ -5,7 +5,8 @@
 //! (Section 2 "Mutual Information"). The data-intensive part — the MI matrix —
 //! is one LMFAO batch; the spanning tree itself is a tiny Kruskal pass.
 
-use crate::mutual_info::MutualInfoMatrix;
+use crate::mutual_info::{mutual_info_matrix, MutualInfoMatrix};
+use lmfao_core::Engine;
 use lmfao_data::AttrId;
 
 /// A learned Chow–Liu tree: an undirected spanning tree over the attributes.
@@ -70,6 +71,12 @@ impl UnionFind {
         self.parent[ra] = rb;
         true
     }
+}
+
+/// Learns a Chow–Liu tree directly over an engine: one mutual-information
+/// batch, then the spanning tree.
+pub fn learn_chow_liu(engine: &Engine, attrs: &[AttrId]) -> ChowLiuTree {
+    chow_liu_tree(&mutual_info_matrix(engine, attrs))
 }
 
 /// Builds the Chow–Liu tree from a mutual-information matrix via Kruskal's

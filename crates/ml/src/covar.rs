@@ -14,7 +14,7 @@
 //! matrix — this is the key asymmetry with the materialize-then-learn
 //! baselines.
 
-use lmfao_core::BatchResult;
+use lmfao_core::{BatchResult, Engine};
 use lmfao_data::AttrId;
 use lmfao_expr::{Aggregate, QueryBatch};
 
@@ -165,6 +165,18 @@ impl CovarMatrix {
     pub fn dim(&self) -> usize {
         self.matrix.len()
     }
+}
+
+/// Builds, executes and assembles the continuous covar matrix in one call:
+/// the `prepare + execute + assemble` pipeline for the common case where the
+/// sufficient statistics are needed exactly once. Keep the
+/// [`covar_batch`] / [`assemble_covar_matrix`] pieces when the batch is
+/// prepared ahead of time and re-executed (e.g. with changing dynamic sample
+/// weights).
+pub fn covar_matrix(engine: &Engine, spec: &CovarSpec) -> CovarMatrix {
+    let cb = covar_batch(spec);
+    let result = engine.execute(&cb.batch);
+    assemble_covar_matrix(&cb, &result)
 }
 
 /// Assembles the continuous covar matrix from an executed batch.

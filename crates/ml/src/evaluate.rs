@@ -5,7 +5,10 @@
 //! joined test tuples. Evaluation operates on a materialized test relation
 //! (the test set is small; only training avoids materialization).
 
+use crate::covar::{covar_matrix, CovarSpec};
+use crate::linreg::LinearRegressionModel;
 use crate::trees::DecisionTree;
+use lmfao_core::Engine;
 use lmfao_data::{AttrId, Relation};
 
 /// Root-mean-square error of a prediction function over a test relation.
@@ -39,6 +42,33 @@ where
         .filter(|&i| (predict(i) - test.value(i, label_col).as_f64()).abs() < 0.5)
         .count();
     correct as f64 / test.len() as f64
+}
+
+/// RMSE of a linear model over the full join, computed from aggregates only:
+/// with `θ' = (θ0, …, θn, −1)` the residual sum of squares expands as
+/// `θ'ᵀ C θ'` over the covar matrix of the model's features plus the label,
+/// so not a single tuple of the join is materialized. Negative values caused
+/// by floating-point cancellation are clamped to zero.
+pub fn linreg_rmse_via_aggregates(
+    engine: &Engine,
+    model: &LinearRegressionModel,
+    label: AttrId,
+) -> f64 {
+    let mut attrs = model.features.clone();
+    attrs.push(label);
+    let covar = covar_matrix(engine, &CovarSpec::continuous_only(attrs));
+    if covar.count <= 0.0 {
+        return 0.0;
+    }
+    let mut theta = model.theta.clone();
+    theta.push(-1.0);
+    let mut rss = 0.0;
+    for (tj, row) in theta.iter().zip(&covar.matrix) {
+        for (tk, c) in theta.iter().zip(row) {
+            rss += tj * c * tk;
+        }
+    }
+    (rss.max(0.0) / covar.count).sqrt()
 }
 
 /// RMSE of a decision tree over a materialized test relation.

@@ -25,13 +25,20 @@ pub mod linreg;
 pub mod mutual_info;
 pub mod trees;
 
-pub use chowliu::{chow_liu_tree, ChowLiuTree};
-pub use covar::{assemble_covar_matrix, covar_batch, CovarBatch, CovarMatrix, CovarSpec};
-pub use datacube::{assemble_cube, datacube_batch, DataCube, DataCubeBatch};
-pub use linreg::{train_linear_regression, LinRegConfig, LinearRegressionModel};
-pub use mutual_info::{compute_mutual_info, mutual_info_batch, MutualInfoBatch, MutualInfoMatrix};
+pub use chowliu::{chow_liu_tree, learn_chow_liu, ChowLiuTree};
+pub use covar::{
+    assemble_covar_matrix, covar_batch, covar_matrix, CovarBatch, CovarMatrix, CovarSpec,
+};
+pub use datacube::{assemble_cube, compute_datacube, datacube_batch, DataCube, DataCubeBatch};
+pub use linreg::{
+    train_linear_regression, train_linear_regression_over, LinRegConfig, LinearRegressionModel,
+};
+pub use mutual_info::{
+    compute_mutual_info, mutual_info_batch, mutual_info_matrix, MutualInfoBatch, MutualInfoMatrix,
+};
 pub use trees::{
-    train_decision_tree, DecisionTree, SplitCondition, TreeConfig, TreeNode, TreeTask,
+    train_decision_tree, train_decision_tree_replanned, DecisionTree, SplitCondition, TreeConfig,
+    TreeNode, TreeTask,
 };
 
 #[cfg(test)]

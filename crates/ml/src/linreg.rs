@@ -8,7 +8,8 @@
 //! not depend on the parameters, it is computed once and every BGD iteration
 //! costs `O(n²)` regardless of the dataset size.
 
-use crate::covar::CovarMatrix;
+use crate::covar::{covar_matrix, CovarMatrix, CovarSpec};
+use lmfao_core::Engine;
 use lmfao_data::{AttrId, Relation};
 
 /// Configuration of the ridge linear regression trainer.
@@ -117,6 +118,21 @@ fn gradient(c: &CovarMatrix, theta_full: &[f64], l2: f64) -> Vec<f64> {
         }
     }
     grad
+}
+
+/// Trains ridge linear regression directly over an engine: builds the covar
+/// batch for `features` plus `label`, executes it once, and runs BGD over the
+/// resulting sufficient statistics. The join is never materialized.
+pub fn train_linear_regression_over(
+    engine: &Engine,
+    features: &[AttrId],
+    label: AttrId,
+    config: &LinRegConfig,
+) -> LinearRegressionModel {
+    let mut all = features.to_vec();
+    all.push(label);
+    let covar = covar_matrix(engine, &CovarSpec::continuous_only(all));
+    train_linear_regression(&covar, config)
 }
 
 /// Trains ridge linear regression by BGD with Barzilai–Borwein step sizes and

@@ -8,7 +8,7 @@
 //! The single total count and the per-attribute marginals are shared across
 //! all pairs, which is exactly the sharing LMFAO exploits.
 
-use lmfao_core::BatchResult;
+use lmfao_core::{BatchResult, Engine};
 use lmfao_data::{AttrId, FxHashMap, Value};
 use lmfao_expr::{Aggregate, QueryBatch};
 
@@ -77,6 +77,14 @@ impl MutualInfoMatrix {
     pub fn get(&self, i: usize, j: usize) -> f64 {
         self.values[i][j]
     }
+}
+
+/// Builds, executes and post-processes the mutual-information batch in one
+/// call over an engine.
+pub fn mutual_info_matrix(engine: &Engine, attrs: &[AttrId]) -> MutualInfoMatrix {
+    let mi = mutual_info_batch(attrs);
+    let result = engine.execute(&mi.batch);
+    compute_mutual_info(&mi, &result)
 }
 
 /// Computes all pairwise mutual-information values from an executed batch.

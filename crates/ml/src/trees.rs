@@ -14,10 +14,25 @@
 //! indicator functions, so the cost of every candidate split of a whole tree
 //! level is *one LMFAO batch* — the "RT" workload of Table 2. Nothing is ever
 //! materialized; each node issues a batch over the original join.
+//!
+//! ## Plan once, split many
+//!
+//! The candidate set (thresholds per continuous feature, categories per
+//! categorical feature) is fixed for the whole tree; only the root-to-node
+//! path conditions differ between nodes. [`train_decision_tree`] therefore
+//! prepares **one** batch up front — the path restriction enters every
+//! aggregate as a per-feature *dynamic* function
+//! ([`ScalarFunction::Dynamic`]) — and every node of every level re-executes
+//! that same [`lmfao_core::PreparedBatch`] after swapping the dynamic
+//! closures, exactly the role dynamic linking plays in the paper's generated
+//! code. [`train_decision_tree_replanned`] keeps the naïve strategy (embed
+//! the path as static indicators and re-run the whole optimizer per node) as
+//! the reference the prepared path is validated against: both produce
+//! bit-identical trees.
 
-use lmfao_core::Engine;
+use lmfao_core::{BatchResult, Engine};
 use lmfao_data::{AttrId, Value};
-use lmfao_expr::{Aggregate, CmpOp, ProductTerm, QueryBatch, ScalarFunction};
+use lmfao_expr::{Aggregate, CmpOp, DynamicRegistry, ProductTerm, QueryBatch, ScalarFunction};
 
 /// Whether the tree predicts a continuous value or a category.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,24 +227,40 @@ fn conditions_term(conditions: &[SplitCondition]) -> ProductTerm {
     )
 }
 
-/// Builds the regression-tree aggregates `[COUNT·α, SUM(y)·α, SUM(y²)·α]`
-/// restricted by `conditions`.
-fn regression_aggregates(label: AttrId, conditions: &[SplitCondition]) -> Vec<Aggregate> {
-    let alpha = conditions_term(conditions);
-    let count = Aggregate::product(alpha.clone());
-    let sum = Aggregate::product(alpha.clone().times(ScalarFunction::Identity(label)));
-    let sum_sq = Aggregate::product(alpha.times(ScalarFunction::Power {
-        attr: label,
-        exponent: 2,
-    }));
-    vec![count, sum, sum_sq]
+/// Builds the per-node measure aggregates restricted by the product `alpha`:
+/// `[COUNT·α, SUM(y)·α, SUM(y²)·α]` for regression (Eq. 8), the per-class
+/// count `Q(label; α)` for classification (Eq. 9).
+fn measure_aggregates(task: TreeTask, label: AttrId, alpha: ProductTerm) -> Vec<Aggregate> {
+    match task {
+        TreeTask::Regression => vec![
+            Aggregate::product(alpha.clone()),
+            Aggregate::product(alpha.clone().times(ScalarFunction::Identity(label))),
+            Aggregate::product(alpha.times(ScalarFunction::Power {
+                attr: label,
+                exponent: 2,
+            })),
+        ],
+        TreeTask::Classification => vec![Aggregate::product(alpha)],
+    }
 }
 
-/// Builds the classification aggregates: the per-class counts restricted by
-/// `conditions`, as the group-by query `Q(label; α)` (Eq. 9) plus the total
-/// `Q(α)` (Eq. 10).
-fn classification_aggregates(conditions: &[SplitCondition]) -> Vec<Aggregate> {
-    vec![Aggregate::product(conditions_term(conditions))]
+/// Pushes one node query (parent or candidate) onto the batch and returns its
+/// position. Classification queries group by the label to obtain per-class
+/// counts.
+fn push_node_query(
+    batch: &mut QueryBatch,
+    name: String,
+    task: TreeTask,
+    label: AttrId,
+    alpha: ProductTerm,
+) -> usize {
+    let group_by = match task {
+        TreeTask::Regression => vec![],
+        TreeTask::Classification => vec![label],
+    };
+    batch
+        .push(name, group_by, measure_aggregates(task, label, alpha))
+        .0
 }
 
 /// Gini impurity mass (impurity × count) from per-class counts.
@@ -249,13 +280,6 @@ fn gini_mass(class_counts: &[f64]) -> f64 {
     gini * n
 }
 
-/// One candidate split evaluated during learning.
-#[derive(Debug, Clone)]
-struct Candidate {
-    condition: SplitCondition,
-    left_query: usize,
-}
-
 /// A frontier node while growing the tree.
 struct FrontierNode {
     conditions: Vec<SplitCondition>,
@@ -265,6 +289,12 @@ struct FrontierNode {
 /// Learns a decision tree over the engine's database. `features` are the
 /// attributes that may be split on; `label` is the response (continuous for
 /// regression, categorical for classification).
+///
+/// The candidate-split batch is planned **once** ([`Engine::prepare`]); every
+/// node of the tree re-executes the same [`lmfao_core::PreparedBatch`] after
+/// swapping the per-feature dynamic path conditions, so the optimizer layers
+/// never run again during learning. The result is bit-identical to
+/// [`train_decision_tree_replanned`].
 pub fn train_decision_tree(
     engine: &Engine,
     features: &[AttrId],
@@ -272,24 +302,151 @@ pub fn train_decision_tree(
     config: &TreeConfig,
 ) -> DecisionTree {
     let schema = engine.database().schema().clone();
-    let mut queries_issued = 0usize;
-    let root = grow_node(
-        engine,
-        &schema,
-        features,
+    let splits = candidate_splits(engine, &schema, features, config);
+
+    // One dynamic function per feature carries that feature's share of the
+    // root-to-node path restriction; it starts as the neutral 1.0.
+    let mut dynamics = DynamicRegistry::new();
+    let dynamic_ids: Vec<usize> = features
+        .iter()
+        .map(|_| dynamics.register(|_| 1.0))
+        .collect();
+    let path_factors: Vec<ScalarFunction> = features
+        .iter()
+        .zip(&dynamic_ids)
+        .map(|(&attr, &id)| ScalarFunction::Dynamic {
+            id,
+            attrs: vec![attr],
+        })
+        .collect();
+
+    // The single batch shared by every node: the parent statistics plus one
+    // query per candidate split, all restricted by the dynamic path product.
+    let mut batch = QueryBatch::new();
+    let parent_query = push_node_query(
+        &mut batch,
+        "parent".to_string(),
+        config.task,
         label,
+        ProductTerm::of(path_factors.clone()),
+    );
+    let mut left_queries = Vec::with_capacity(splits.len());
+    for split in &splits {
+        let alpha = ProductTerm::of(path_factors.clone()).times(split.to_indicator());
+        let name = format!("split_{}", batch.len());
+        left_queries.push(push_node_query(&mut batch, name, config.task, label, alpha));
+    }
+
+    let prepared = engine.prepare(&batch);
+    let batch_len = batch.len();
+    let is_classification = config.task == TreeTask::Classification;
+    let mut queries_issued = 0usize;
+    let mut evaluate = |conditions: &[SplitCondition]| {
+        set_path_conditions(&mut dynamics, features, &dynamic_ids, conditions);
+        queries_issued += batch_len;
+        let result = prepared.execute(&dynamics);
+        evaluate_node(is_classification, parent_query, &left_queries, &result)
+    };
+    let root = grow(
+        &mut evaluate,
+        &splits,
         config,
         FrontierNode {
             conditions: vec![],
             depth: 0,
         },
-        &mut queries_issued,
     );
     DecisionTree {
         root,
         task: config.task,
         label,
         queries_issued,
+    }
+}
+
+/// Learns a decision tree by re-running the whole optimizer for every node:
+/// the path conditions are embedded as static indicator factors and a fresh
+/// batch is planned and executed per node. This is the pre-prepared-batch
+/// strategy, kept as the reference implementation the prepared path is
+/// validated against (the two produce bit-identical trees) and as the
+/// baseline of the `prepared_vs_replanned` benchmark.
+pub fn train_decision_tree_replanned(
+    engine: &Engine,
+    features: &[AttrId],
+    label: AttrId,
+    config: &TreeConfig,
+) -> DecisionTree {
+    let schema = engine.database().schema().clone();
+    let splits = candidate_splits(engine, &schema, features, config);
+    let is_classification = config.task == TreeTask::Classification;
+    let mut queries_issued = 0usize;
+    let mut evaluate = |conditions: &[SplitCondition]| {
+        let mut batch = QueryBatch::new();
+        let parent_query = push_node_query(
+            &mut batch,
+            "parent".to_string(),
+            config.task,
+            label,
+            conditions_term(conditions),
+        );
+        let mut left_queries = Vec::with_capacity(splits.len());
+        for split in &splits {
+            let mut conds = conditions.to_vec();
+            conds.push(split.clone());
+            let name = format!("split_{}", batch.len());
+            left_queries.push(push_node_query(
+                &mut batch,
+                name,
+                config.task,
+                label,
+                conditions_term(&conds),
+            ));
+        }
+        queries_issued += batch.len();
+        let result = engine.execute(&batch);
+        evaluate_node(is_classification, parent_query, &left_queries, &result)
+    };
+    let root = grow(
+        &mut evaluate,
+        &splits,
+        config,
+        FrontierNode {
+            conditions: vec![],
+            depth: 0,
+        },
+    );
+    DecisionTree {
+        root,
+        task: config.task,
+        label,
+        queries_issued,
+    }
+}
+
+/// Swaps the per-feature dynamic closures so the prepared batch computes the
+/// statistics of the node reached through `conditions`: each feature's
+/// closure evaluates the conjunction of the path conditions on that feature
+/// (1.0 when they all hold, 0.0 otherwise; features without conditions stay
+/// at the neutral 1.0).
+fn set_path_conditions(
+    dynamics: &mut DynamicRegistry,
+    features: &[AttrId],
+    dynamic_ids: &[usize],
+    conditions: &[SplitCondition],
+) {
+    for (&attr, &id) in features.iter().zip(dynamic_ids) {
+        let conds: Vec<SplitCondition> = conditions
+            .iter()
+            .filter(|c| c.attr == attr)
+            .cloned()
+            .collect();
+        dynamics.replace(id, move |args: &[Value]| {
+            if conds.iter().all(|c| c.op.apply(args[0], c.value)) {
+                1.0
+            } else {
+                0.0
+            }
+        });
     }
 }
 
@@ -324,104 +481,71 @@ fn categories(engine: &Engine, attr: AttrId) -> Vec<Value> {
     vec![]
 }
 
-#[allow(clippy::too_many_arguments)]
-fn grow_node(
+/// The fixed candidate set of the whole tree: equi-width thresholds per
+/// continuous feature, one equality condition per category of a categorical
+/// feature, in feature order. Candidates depend only on the base relations,
+/// never on the node, which is what makes the one-prepared-batch design
+/// possible.
+fn candidate_splits(
     engine: &Engine,
     schema: &lmfao_data::DatabaseSchema,
     features: &[AttrId],
-    label: AttrId,
     config: &TreeConfig,
-    node: FrontierNode,
-    queries_issued: &mut usize,
-) -> TreeNode {
-    // Build one batch evaluating the parent statistics and every candidate
-    // split of this node.
-    let mut batch = QueryBatch::new();
-    let is_classification = config.task == TreeTask::Classification;
-
-    let parent_query = match config.task {
-        TreeTask::Regression => {
-            batch
-                .push(
-                    "parent",
-                    vec![],
-                    regression_aggregates(label, &node.conditions),
-                )
-                .0
-        }
-        TreeTask::Classification => {
-            batch
-                .push(
-                    "parent",
-                    vec![label],
-                    classification_aggregates(&node.conditions),
-                )
-                .0
-        }
-    };
-
-    let mut candidates: Vec<Candidate> = Vec::new();
+) -> Vec<SplitCondition> {
+    let mut out = Vec::new();
     for &attr in features {
-        let split_values: Vec<(CmpOp, Value)> = if schema.attr_type(attr).is_categorical() {
-            categories(engine, attr)
-                .into_iter()
-                .map(|c| (CmpOp::Eq, c))
-                .collect()
+        if schema.attr_type(attr).is_categorical() {
+            for value in categories(engine, attr) {
+                out.push(SplitCondition {
+                    attr,
+                    op: CmpOp::Eq,
+                    value,
+                });
+            }
         } else {
-            thresholds(engine, attr, config.buckets)
-                .into_iter()
-                .map(|t| (CmpOp::Le, t))
-                .collect()
-        };
-        for (op, value) in split_values {
-            let condition = SplitCondition { attr, op, value };
-            let mut conds = node.conditions.clone();
-            conds.push(condition.clone());
-            let left_query = match config.task {
-                TreeTask::Regression => {
-                    batch
-                        .push(
-                            format!("split_{}", batch.len()),
-                            vec![],
-                            regression_aggregates(label, &conds),
-                        )
-                        .0
-                }
-                TreeTask::Classification => {
-                    batch
-                        .push(
-                            format!("split_{}", batch.len()),
-                            vec![label],
-                            classification_aggregates(&conds),
-                        )
-                        .0
-                }
-            };
-            candidates.push(Candidate {
-                condition,
-                left_query,
-            });
+            for value in thresholds(engine, attr, config.buckets) {
+                out.push(SplitCondition {
+                    attr,
+                    op: CmpOp::Le,
+                    value,
+                });
+            }
         }
     }
-    *queries_issued += batch.len();
+    out
+}
 
-    let result = engine.execute(&batch);
+/// Node statistics extracted from one executed batch: the parent's cost,
+/// support and prediction plus the best candidate (cost, index into the
+/// candidate list), shared by the prepared and the re-planned paths.
+struct NodeEval {
+    parent_cost: f64,
+    parent_count: f64,
+    parent_prediction: f64,
+    best: Option<(f64, usize)>,
+}
 
+fn evaluate_node(
+    is_classification: bool,
+    parent_query: usize,
+    left_queries: &[usize],
+    result: &BatchResult,
+) -> NodeEval {
     // Parent statistics.
+    let parent_by_class: Vec<(Vec<Value>, f64)> = if is_classification {
+        result.queries[parent_query]
+            .iter()
+            .map(|(k, v)| (k.clone(), v[0]))
+            .collect()
+    } else {
+        Vec::new()
+    };
     let (parent_cost, parent_count, parent_prediction) = if is_classification {
-        let counts: Vec<f64> = result.queries[parent_query]
-            .iter()
-            .map(|(_, v)| v[0])
-            .collect();
-        let keys: Vec<Vec<Value>> = result.queries[parent_query]
-            .iter()
-            .map(|(k, _)| k.clone())
-            .collect();
+        let counts: Vec<f64> = parent_by_class.iter().map(|(_, c)| *c).collect();
         let total: f64 = counts.iter().sum();
-        let majority = keys
+        let majority = parent_by_class
             .iter()
-            .zip(&counts)
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .map(|(k, _)| k[0].as_f64())
             .unwrap_or(0.0);
         (gini_mass(&counts), total, majority)
@@ -443,28 +567,15 @@ fn grow_node(
         )
     };
 
-    let make_leaf = || TreeNode::Leaf {
-        prediction: parent_prediction,
-        support: parent_count,
-    };
-
-    if node.depth >= config.max_depth || parent_count < config.min_samples as f64 {
-        return make_leaf();
-    }
-
     // Pick the candidate with the smallest total cost (left + right), where
     // the right side is obtained by subtracting the left from the parent.
-    let mut best: Option<(f64, &Candidate)> = None;
-    for cand in &candidates {
+    let mut best: Option<(f64, usize)> = None;
+    for (idx, &left_query) in left_queries.iter().enumerate() {
         let cost = if is_classification {
-            let parent_by_class: Vec<(Vec<Value>, f64)> = result.queries[parent_query]
-                .iter()
-                .map(|(k, v)| (k.clone(), v[0]))
-                .collect();
             let left_counts: Vec<f64> = parent_by_class
                 .iter()
                 .map(|(k, _)| {
-                    result.queries[cand.left_query]
+                    result.queries[left_query]
                         .get(k)
                         .map(|v| v[0])
                         .unwrap_or(0.0)
@@ -482,7 +593,7 @@ fn grow_node(
             }
             gini_mass(&left_counts) + gini_mass(&right_counts)
         } else {
-            let s = result.queries[cand.left_query].scalar();
+            let s = result.queries[left_query].scalar();
             let left = NodeStats {
                 count: s[0],
                 sum: s[1],
@@ -499,43 +610,68 @@ fn grow_node(
             }
             left.variance() + right.variance()
         };
-        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
-            best = Some((cost, cand));
+        if best.is_none_or(|(c, _)| cost < c) {
+            best = Some((cost, idx));
         }
     }
 
-    match best {
-        Some((cost, cand)) if cost < parent_cost - 1e-9 => {
+    NodeEval {
+        parent_cost,
+        parent_count,
+        parent_prediction,
+        best,
+    }
+}
+
+/// Grows one node (and recursively its subtrees) using `evaluate` to obtain
+/// the node statistics for a given set of path conditions. The prepared and
+/// the re-planned trainers differ only in what `evaluate` does.
+fn grow<F>(
+    evaluate: &mut F,
+    splits: &[SplitCondition],
+    config: &TreeConfig,
+    node: FrontierNode,
+) -> TreeNode
+where
+    F: FnMut(&[SplitCondition]) -> NodeEval,
+{
+    let eval = evaluate(&node.conditions);
+    let make_leaf = || TreeNode::Leaf {
+        prediction: eval.parent_prediction,
+        support: eval.parent_count,
+    };
+
+    if node.depth >= config.max_depth || eval.parent_count < config.min_samples as f64 {
+        return make_leaf();
+    }
+
+    match eval.best {
+        Some((cost, idx)) if cost < eval.parent_cost - 1e-9 => {
+            let condition = splits[idx].clone();
             let mut left_conditions = node.conditions.clone();
-            left_conditions.push(cand.condition.clone());
-            let mut right_conditions = node.conditions.clone();
-            right_conditions.push(cand.condition.negate());
-            let left = grow_node(
-                engine,
-                schema,
-                features,
-                label,
+            left_conditions.push(condition.clone());
+            let mut right_conditions = node.conditions;
+            right_conditions.push(condition.negate());
+            let left = grow(
+                evaluate,
+                splits,
                 config,
                 FrontierNode {
                     conditions: left_conditions,
                     depth: node.depth + 1,
                 },
-                queries_issued,
             );
-            let right = grow_node(
-                engine,
-                schema,
-                features,
-                label,
+            let right = grow(
+                evaluate,
+                splits,
                 config,
                 FrontierNode {
                     conditions: right_conditions,
                     depth: node.depth + 1,
                 },
-                queries_issued,
             );
             TreeNode::Split {
-                condition: cand.condition.clone(),
+                condition,
                 left: Box::new(left),
                 right: Box::new(right),
             }
@@ -611,18 +747,22 @@ mod tests {
 
     #[test]
     fn regression_aggregates_have_three_entries() {
-        let aggs = regression_aggregates(AttrId(9), &[]);
+        let aggs = measure_aggregates(TreeTask::Regression, AttrId(9), conditions_term(&[]));
         assert_eq!(aggs.len(), 3);
-        let with_cond = regression_aggregates(
+        let with_cond = measure_aggregates(
+            TreeTask::Regression,
             AttrId(9),
-            &[SplitCondition {
+            conditions_term(&[SplitCondition {
                 attr: AttrId(1),
                 op: CmpOp::Le,
                 value: Value::Double(3.0),
-            }],
+            }]),
         );
         // Each aggregate gains the indicator factor.
         assert_eq!(with_cond[0].terms[0].factors.len(), 1);
         assert_eq!(with_cond[1].terms[0].factors.len(), 2);
+        // Classification nodes only need the per-class count.
+        let class = measure_aggregates(TreeTask::Classification, AttrId(9), conditions_term(&[]));
+        assert_eq!(class.len(), 1);
     }
 }

@@ -44,7 +44,10 @@ fn main() {
         dataset.tree.clone(),
         EngineConfig::full(2),
     );
-    let result = engine.execute(&cube_batch.batch);
+    // Plan once, execute; an interactive dashboard would keep the prepared
+    // batch around and re-execute as data or dynamic measures change.
+    let prepared = engine.prepare(&cube_batch.batch);
+    let result = prepared.execute(&DynamicRegistry::new());
     let cube = assemble_cube(&cube_batch, &result);
     println!(
         "cube materialized: {} cells in {:.3}s ({} views, {} groups)",

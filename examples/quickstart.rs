@@ -1,5 +1,5 @@
 //! Quickstart: compute a batch of aggregates over a small retail database
-//! without materializing the join.
+//! without materializing the join, using the prepare/execute flow.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -43,39 +43,51 @@ fn main() {
         vec![Aggregate::sum(units), Aggregate::count()],
     );
 
+    // Plan once: all optimizer layers (roots → pushdown → merging → grouping
+    // → multi-output plans) run here, and the planning statistics are
+    // available before anything executes.
     let engine = Engine::new(
         dataset.db.clone(),
         dataset.tree.clone(),
         EngineConfig::full(2),
     );
-    let result = engine.execute(&batch);
+    let prepared = engine.prepare(&batch);
 
-    println!("\nengine statistics:");
+    println!("\nplanning statistics (before execution):");
     println!(
         "  application aggregates: {}",
-        result.stats.application_aggregates
+        prepared.stats().application_aggregates
     );
     println!(
         "  intermediate aggregates: {}",
-        result.stats.intermediate_aggregates
+        prepared.stats().intermediate_aggregates
     );
-    println!("  views: {}", result.stats.num_views);
-    println!("  view groups: {}", result.stats.num_groups);
-    println!("  roots used: {}", result.stats.num_roots);
+    println!("  views: {}", prepared.stats().num_views);
+    println!("  view groups: {}", prepared.stats().num_groups);
+    println!("  roots used: {}", prepared.stats().num_roots);
 
-    println!("\nscalar results:");
-    println!("  COUNT(*)            = {}", result.queries[0].scalar()[0]);
+    // Execute: only the scans run. The same prepared batch can be executed
+    // any number of times (with changing dynamic functions, see the
+    // decision-tree learner).
+    let result = prepared.execute(&DynamicRegistry::new());
+
+    println!("\nscalar results (looked up by query name):");
+    println!(
+        "  COUNT(*)            = {}",
+        result.query("count").scalar()[0]
+    );
     println!(
         "  SUM(units)          = {:.1}",
-        result.queries[1].scalar()[0]
+        result.query("total_units").scalar()[0]
     );
     println!(
         "  SUM(units * price)  = {:.1}",
-        result.queries[2].scalar()[0]
+        result.query("units_times_oil_price").scalar()[0]
     );
 
     println!("\nunits per item family (top 5):");
-    let mut per_family: Vec<(String, f64)> = result.queries[3]
+    let mut per_family: Vec<(String, f64)> = result
+        .query("units_per_family")
         .iter()
         .map(|(k, v)| (format!("{}", k[0]), v[0]))
         .collect();
@@ -86,12 +98,12 @@ fn main() {
 
     // Cross-check one scalar against the materialized-join baseline.
     let baseline = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
-    let check = baseline.execute_batch(&batch, &lmfao::expr::DynamicRegistry::new());
+    let check = baseline.execute_batch(&batch, &DynamicRegistry::new());
     println!(
         "\nbaseline cross-check: join has {} tuples, SUM(units) = {:.1}",
         baseline.join().len(),
         check[1].scalar(1)[0]
     );
-    assert!((check[1].scalar(1)[0] - result.queries[1].scalar()[0]).abs() < 1e-6);
+    assert!((check[1].scalar(1)[0] - result.query("total_units").scalar()[0]).abs() < 1e-6);
     println!("LMFAO and the materialized baseline agree.");
 }

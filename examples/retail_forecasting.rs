@@ -40,15 +40,18 @@ fn main() {
         dataset.tree.clone(),
         EngineConfig::full(2),
     );
-    let result = engine.execute(&cb.batch);
+    // Plan once, execute; the covar matrix does not depend on the model
+    // parameters, so one execution feeds every BGD iteration.
+    let prepared = engine.prepare(&cb.batch);
+    let result = prepared.execute(&DynamicRegistry::new());
     let covar = assemble_covar_matrix(&cb, &result);
     let model = train_linear_regression(&covar, &LinRegConfig::default());
     let lmfao_time = start.elapsed();
     println!(
         "\n[LMFAO] covar batch: {} queries -> {} views in {} groups",
-        cb.batch.len(),
-        result.stats.num_views,
-        result.stats.num_groups
+        prepared.len(),
+        prepared.stats().num_views,
+        prepared.stats().num_groups
     );
     println!(
         "[LMFAO] linear regression trained in {:.3}s ({} BGD iterations)",
@@ -96,8 +99,15 @@ fn main() {
     );
 
     // Evaluate both models on the materialized join (as the test set proxy).
+    // The linear model's RMSE is also computable purely from aggregates
+    // (θ'ᵀCθ' over a covar batch) — no join needed:
+    let aggregate_rmse = lmfao::ml::evaluate::linreg_rmse_via_aggregates(&engine, &model, label);
     let test = baseline_engine.join();
     let lr_rmse = model.rmse(test, label);
+    assert!(
+        (aggregate_rmse - lr_rmse).abs() < 1e-6 * (1.0 + lr_rmse),
+        "aggregate-only RMSE {aggregate_rmse} must match the materialized RMSE {lr_rmse}"
+    );
     let tree_rmse = lmfao::ml::evaluate::tree_rmse(&tree, test, label);
     let mean: f64 = (0..test.len())
         .map(|i| test.value(i, test.position(label).unwrap()).as_f64())

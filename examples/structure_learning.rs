@@ -44,7 +44,10 @@ fn main() {
         dataset.tree.clone(),
         EngineConfig::full(2),
     );
-    let result = engine.execute(&mi_batch.batch);
+    // Plan once, execute once; `lmfao::ml::learn_chow_liu` wraps this whole
+    // pipeline when the intermediate statistics are not needed.
+    let prepared = engine.prepare(&mi_batch.batch);
+    let result = prepared.execute(&DynamicRegistry::new());
     println!(
         "executed as {} views in {} groups ({} intermediate aggregates) in {:.3}s",
         result.stats.num_views,

@@ -20,7 +20,16 @@
 //! * [`datagen`] — synthetic Retailer / Favorita / Yelp / TPC-DS generators,
 //! * [`ml`] — the analytics applications.
 //!
-//! ## Quickstart
+//! ## Quickstart: plan once, execute many
+//!
+//! The engine's primary workflow is the prepared-batch flow:
+//! [`engine::Engine::prepare`] runs every optimizer layer (roots → pushdown →
+//! view merging → grouping → multi-output plans) exactly once, and the
+//! resulting [`engine::PreparedBatch`] is executed any number of times —
+//! with changing dynamic functions between executions, which is how the
+//! decision-tree learner evaluates every node of a tree from one plan.
+//! [`engine::Engine::execute`] remains as a one-shot `prepare + execute`
+//! convenience.
 //!
 //! ```
 //! use lmfao::prelude::*;
@@ -36,7 +45,6 @@
 //!     &[("item", AttrType::Int), ("price", AttrType::Double)],
 //! );
 //! let store = schema.attr_id("store").unwrap();
-//! let item = schema.attr_id("item").unwrap();
 //! let units = schema.attr_id("units").unwrap();
 //! let price = schema.attr_id("price").unwrap();
 //! let sales = Relation::from_rows(
@@ -61,13 +69,24 @@
 //! batch.push("revenue", vec![], vec![Aggregate::sum_product(units, price)]);
 //! batch.push("per_store", vec![store], vec![Aggregate::sum(units)]);
 //!
+//! // Plan once. Statistics (views, groups, roots) are known before any scan.
 //! let engine = Engine::new(db, tree, EngineConfig::default());
-//! let result = engine.execute(&batch);
-//! assert_eq!(result.queries[0].scalar()[0], 2.0);
-//! assert_eq!(result.queries[1].scalar()[0], 80.0);
-//! assert_eq!(result.queries[2].get(&[Value::Int(1)]).unwrap()[0], 3.0);
-//! let _ = item;
+//! let prepared = engine.prepare(&batch);
+//! assert!(prepared.stats().num_views >= 3);
+//!
+//! // Execute (as often as needed) and look results up by query name.
+//! let result = prepared.execute(&DynamicRegistry::new());
+//! assert_eq!(result.query("count").scalar()[0], 2.0);
+//! assert_eq!(result.query("revenue").scalar()[0], 80.0);
+//! assert_eq!(result.query("per_store").get(&[Value::Int(1)]).unwrap()[0], 3.0);
+//! assert_eq!(result.query("per_store").get(&[Value::Int(2)]).unwrap()[0], 5.0);
 //! ```
+//!
+//! To share one prepared (sorted) database across several engines — e.g. the
+//! ablation ladder of Figure 5 — prepare it once with
+//! [`engine::SharedDatabase::prepare`] and build engines via
+//! [`engine::Engine::with_shared`]; cloning the handle is a reference-count
+//! bump, not a copy of the relations.
 
 #![warn(missing_docs)]
 
@@ -82,16 +101,21 @@ pub use lmfao_ml as ml;
 /// Convenient re-exports of the most common types.
 pub mod prelude {
     pub use lmfao_baseline::MaterializedEngine;
-    pub use lmfao_core::{BatchResult, Engine, EngineConfig, EngineStats, QueryResult};
+    pub use lmfao_core::{
+        BatchResult, Engine, EngineConfig, EngineStats, PreparedBatch, QueryResult, SharedDatabase,
+    };
     pub use lmfao_data::{
         AttrId, AttrType, Database, DatabaseSchema, Relation, RelationSchema, Value,
     };
     pub use lmfao_datagen::{Dataset, Scale};
-    pub use lmfao_expr::{Aggregate, CmpOp, ProductTerm, Query, QueryBatch, ScalarFunction};
+    pub use lmfao_expr::{
+        Aggregate, CmpOp, DynamicRegistry, ProductTerm, Query, QueryBatch, ScalarFunction,
+    };
     pub use lmfao_jointree::{build_join_tree, Hypergraph, JoinTree};
     pub use lmfao_ml::{
-        assemble_covar_matrix, chow_liu_tree, compute_mutual_info, covar_batch, datacube_batch,
-        mutual_info_batch, train_decision_tree, train_linear_regression, CovarSpec, LinRegConfig,
-        TreeConfig, TreeTask,
+        assemble_covar_matrix, chow_liu_tree, compute_mutual_info, covar_batch, covar_matrix,
+        datacube_batch, learn_chow_liu, mutual_info_batch, mutual_info_matrix, train_decision_tree,
+        train_decision_tree_replanned, train_linear_regression, train_linear_regression_over,
+        CovarSpec, LinRegConfig, TreeConfig, TreeTask,
     };
 }

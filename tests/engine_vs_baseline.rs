@@ -51,7 +51,9 @@ fn assert_agrees(
 
 fn check_batch(dataset: &Dataset, batch: &QueryBatch, config: EngineConfig) {
     let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), config);
-    let result = engine.execute(batch);
+    // Exercise the primary API: plan once, then execute.
+    let prepared = engine.prepare(batch);
+    let result = prepared.execute(&DynamicRegistry::new());
     let baseline = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
     let expected = baseline.execute_batch(batch, &DynamicRegistry::new());
     for ((q, lm), bl) in batch.queries.iter().zip(&result.queries).zip(&expected) {
@@ -170,14 +172,19 @@ fn all_ablation_configurations_agree_on_favorita() {
     batch.push("per_family", vec![family], vec![Aggregate::sum(units)]);
     batch.push("up", vec![], vec![Aggregate::sum_product(units, price)]);
 
-    let reference = Engine::new(
-        dataset.db.clone(),
+    // One sorted database backs every configuration of the ladder: engines
+    // share it through the Arc-backed handle instead of cloning wholesale.
+    let shared = SharedDatabase::prepare(dataset.db.clone(), &dataset.tree);
+    let reference = Engine::with_shared(
+        shared.clone(),
         dataset.tree.clone(),
         EngineConfig::unoptimized(),
     )
     .execute(&batch);
+    assert!(reference.query("count").scalar()[0] > 0.0);
     for (name, config) in EngineConfig::ablation_ladder(4).into_iter().skip(1) {
-        let result = Engine::new(dataset.db.clone(), dataset.tree.clone(), config).execute(&batch);
+        let result =
+            Engine::with_shared(shared.clone(), dataset.tree.clone(), config).execute(&batch);
         for (r, e) in result.queries.iter().zip(&reference.queries) {
             assert_eq!(r.len(), e.len(), "{name}");
             for (key, vals) in e.iter() {

@@ -99,9 +99,17 @@ fn linear_regression_recovers_cross_relation_coefficients() {
         model.theta
     );
 
-    // RMSE over the materialized join is essentially zero.
+    // RMSE over the materialized join is essentially zero, and the
+    // aggregate-only RMSE (θ'ᵀCθ' over a covar batch, no materialization)
+    // agrees with it.
     let join = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
-    assert!(model.rmse(join.join(), label) < 0.2);
+    let materialized_rmse = model.rmse(join.join(), label);
+    assert!(materialized_rmse < 0.2);
+    let aggregate_rmse = ml::evaluate::linreg_rmse_via_aggregates(&engine, &model, label);
+    assert!(
+        (aggregate_rmse - materialized_rmse).abs() < 1e-6 + 1e-6 * materialized_rmse,
+        "aggregate RMSE {aggregate_rmse} vs materialized {materialized_rmse}"
+    );
 }
 
 #[test]
@@ -173,6 +181,92 @@ fn regression_tree_beats_the_mean_predictor() {
     );
 }
 
+/// Recursively asserts that two learned trees are bit-identical: same shape,
+/// same split conditions, and leaf predictions/supports equal down to the
+/// last bit of their f64 representation.
+fn assert_trees_bit_identical(a: &ml::TreeNode, b: &ml::TreeNode) {
+    match (a, b) {
+        (
+            ml::TreeNode::Leaf {
+                prediction: pa,
+                support: sa,
+            },
+            ml::TreeNode::Leaf {
+                prediction: pb,
+                support: sb,
+            },
+        ) => {
+            assert_eq!(pa.to_bits(), pb.to_bits(), "leaf prediction {pa} vs {pb}");
+            assert_eq!(sa.to_bits(), sb.to_bits(), "leaf support {sa} vs {sb}");
+        }
+        (
+            ml::TreeNode::Split {
+                condition: ca,
+                left: la,
+                right: ra,
+            },
+            ml::TreeNode::Split {
+                condition: cb,
+                left: lb,
+                right: rb,
+            },
+        ) => {
+            assert_eq!(ca, cb, "split conditions differ");
+            assert_trees_bit_identical(la, lb);
+            assert_trees_bit_identical(ra, rb);
+        }
+        _ => panic!("tree shapes differ: leaf vs split"),
+    }
+}
+
+#[test]
+fn prepared_regression_tree_is_bit_identical_to_replanning() {
+    let (dataset, label, features) = linear_database();
+    let engine = Engine::new(
+        dataset.db.clone(),
+        dataset.tree.clone(),
+        EngineConfig::default(),
+    );
+    let config = TreeConfig {
+        task: TreeTask::Regression,
+        max_depth: 3,
+        min_samples: 10,
+        buckets: 10,
+    };
+    let prepared = train_decision_tree(&engine, &features, label, &config);
+    let replanned = ml::train_decision_tree_replanned(&engine, &features, label, &config);
+    assert_eq!(prepared.queries_issued, replanned.queries_issued);
+    assert_trees_bit_identical(&prepared.root, &replanned.root);
+    assert!(prepared.size() > 1, "the data has structure to split on");
+}
+
+#[test]
+fn prepared_classification_tree_is_bit_identical_to_replanning() {
+    let dataset = lmfao::datagen::tpcds::generate(Scale::new(1_500, 9));
+    let label = dataset.attr("preferred");
+    let features = vec![
+        dataset.attr("birth_year"),
+        dataset.attr("purchase_estimate"),
+        dataset.attr("gender"),
+        dataset.attr("marital"),
+    ];
+    let engine = Engine::new(
+        dataset.db.clone(),
+        dataset.tree.clone(),
+        EngineConfig::default(),
+    );
+    let config = TreeConfig {
+        task: TreeTask::Classification,
+        max_depth: 2,
+        min_samples: 50,
+        buckets: 6,
+    };
+    let prepared = train_decision_tree(&engine, &features, label, &config);
+    let replanned = ml::train_decision_tree_replanned(&engine, &features, label, &config);
+    assert_eq!(prepared.queries_issued, replanned.queries_issued);
+    assert_trees_bit_identical(&prepared.root, &replanned.root);
+}
+
 #[test]
 fn classification_tree_on_tpcds_beats_majority_class() {
     let dataset = lmfao::datagen::tpcds::generate(Scale::new(3_000, 9));
@@ -218,16 +312,17 @@ fn chow_liu_tree_connects_functionally_dependent_attributes() {
     let dataset = lmfao::datagen::favorita::generate(Scale::new(2_000, 10));
     let names = ["store", "city", "state", "family", "htype"];
     let attrs: Vec<AttrId> = names.iter().map(|n| dataset.attr(n)).collect();
-    let mi_batch = mutual_info_batch(&attrs);
     let engine = Engine::new(
         dataset.db.clone(),
         dataset.tree.clone(),
         EngineConfig::default(),
     );
-    let result = engine.execute(&mi_batch.batch);
-    let mi = compute_mutual_info(&mi_batch, &result);
+    let mi = mutual_info_matrix(&engine, &attrs);
     let tree = chow_liu_tree(&mi);
     assert_eq!(tree.edges.len(), attrs.len() - 1);
+    // The one-call learner wraps the same pipeline.
+    let direct = learn_chow_liu(&engine, &attrs);
+    assert_eq!(direct.edges, tree.edges);
     // store→city and city→state are functional dependencies in the generator,
     // so their MI is maximal among pairs involving them; the spanning tree
     // must include the city—state edge or reach state through city/store.
@@ -276,17 +371,14 @@ fn data_cube_cells_are_consistent_across_cuboids() {
 #[test]
 fn lmfao_and_dense_baseline_learn_comparable_linear_models() {
     let (dataset, label, features) = linear_database();
-    // LMFAO path.
-    let mut spec_features = features.clone();
-    spec_features.push(label);
-    let cb = covar_batch(&CovarSpec::continuous_only(spec_features));
+    // LMFAO path, via the one-call engine-driven trainer.
     let engine = Engine::new(
         dataset.db.clone(),
         dataset.tree.clone(),
         EngineConfig::default(),
     );
-    let covar = ml::assemble_covar_matrix(&cb, &engine.execute(&cb.batch));
-    let lmfao_model = train_linear_regression(&covar, &LinRegConfig::default());
+    let lmfao_model =
+        train_linear_regression_over(&engine, &features, label, &LinRegConfig::default());
 
     // Dense baseline path (materialize + one-hot + GD).
     let join = MaterializedEngine::materialize(&dataset.db, &dataset.tree);

@@ -119,6 +119,49 @@ proptest! {
         }
     }
 
+    /// `prepare().execute()` over a shared database equals a fresh
+    /// `Engine::execute` for every configuration of the ablation ladder, on
+    /// random chain databases, and repeated executions of one prepared batch
+    /// are identical.
+    #[test]
+    fn prepared_execution_matches_fresh_engines_across_the_ladder(
+        (r_rows, s_rows, t_rows) in tuple_strategy()
+    ) {
+        let (db, tree) = chain_db(&r_rows, &s_rows, &t_rows);
+        let a = db.schema().attr_id("a").unwrap();
+        let x = db.schema().attr_id("x").unwrap();
+        let y = db.schema().attr_id("y").unwrap();
+        let c = db.schema().attr_id("c").unwrap();
+
+        let mut batch = QueryBatch::new();
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        batch.push("sum_xy", vec![], vec![Aggregate::sum_product(x, y)]);
+        batch.push("per_a", vec![a], vec![Aggregate::sum(y), Aggregate::count()]);
+        batch.push("per_c", vec![c], vec![Aggregate::sum_square(x)]);
+
+        let shared = SharedDatabase::prepare(db.clone(), &tree);
+        let dynamics = DynamicRegistry::new();
+        for (name, config) in EngineConfig::ablation_ladder(2) {
+            let prepared = Engine::with_shared(shared.clone(), tree.clone(), config)
+                .prepare(&batch);
+            let via_prepared = prepared.execute(&dynamics);
+            let fresh = Engine::new(db.clone(), tree.clone(), config).execute(&batch);
+            for (p, f) in via_prepared.queries.iter().zip(&fresh.queries) {
+                prop_assert_eq!(p.len(), f.len(), "{}: group counts differ", name);
+                for (key, vals) in f.iter() {
+                    let got = p.get(key);
+                    prop_assert!(got.is_some(), "{}: missing group {:?}", name, key);
+                    prop_assert_eq!(got.unwrap(), vals.as_slice(), "{}: {:?}", name, key);
+                }
+            }
+            // Re-executing the same prepared batch is deterministic.
+            let again = prepared.execute(&dynamics);
+            for (p, q) in via_prepared.queries.iter().zip(&again.queries) {
+                prop_assert_eq!(&p.data, &q.data);
+            }
+        }
+    }
+
     /// The count query equals the size of the materialized join, and the
     /// engine never reports more groups than distinct keys in the join.
     #[test]
