@@ -69,23 +69,29 @@ pub fn export_dense(
     }
 
     let label_col = join.position(label).expect("label must be a join column");
+    // Resolve each feature to its typed column handle once; the export loop
+    // reads native values with no per-row schema lookups.
+    let feature_cols: Vec<(&lmfao_data::Column, &Vec<Value>)> = columns
+        .iter()
+        .map(|(attr, domain)| (join.column(join.position(*attr).unwrap()), domain))
+        .collect();
+    let label_column = join.column(label_col);
     let mut features_out = Vec::with_capacity(join.len());
     let mut labels = Vec::with_capacity(join.len());
     for row in 0..join.len() {
         let mut x = Vec::with_capacity(feature_names.len());
-        for (attr, domain) in &columns {
-            let col = join.position(*attr).unwrap();
-            let v = join.value(row, col);
+        for (col, domain) in &feature_cols {
             if domain.is_empty() {
-                x.push(v.as_f64());
+                x.push(col.f64_at(row));
             } else {
-                for d in domain {
+                let v = col.value(row);
+                for d in *domain {
                     x.push(if v == *d { 1.0 } else { 0.0 });
                 }
             }
         }
         features_out.push(x);
-        labels.push(join.value(row, label_col).as_f64());
+        labels.push(label_column.f64_at(row));
     }
     DenseDataset {
         features: features_out,

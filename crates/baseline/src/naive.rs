@@ -7,7 +7,7 @@
 //! The contrast with LMFAO's shared, factorized evaluation is what Table 3
 //! measures.
 
-use lmfao_data::{AttrId, Database, FxHashMap, Relation, Value};
+use lmfao_data::{AttrId, Column, Database, FxHashMap, Relation, Value};
 use lmfao_expr::{DynamicRegistry, Query, QueryBatch};
 use lmfao_jointree::{natural_join, JoinTree};
 
@@ -159,24 +159,34 @@ impl MaterializedEngine {
         attr_positions: &FxHashMap<AttrId, Option<usize>>,
         dynamics: &DynamicRegistry,
     ) -> BaselineResult {
+        // Resolve every touched attribute to its typed column handle once, so
+        // the scan performs no per-row hash probes or schema lookups.
+        let key_cols: Vec<Option<&Column>> = key_positions
+            .iter()
+            .map(|p| p.map(|col| self.join.column(col)))
+            .collect();
+        let attr_cols: FxHashMap<AttrId, Option<&Column>> = attr_positions
+            .iter()
+            .map(|(&a, p)| (a, p.map(|col| self.join.column(col))))
+            .collect();
         let mut data: FxHashMap<Vec<Value>, Vec<f64>> = FxHashMap::default();
         for row in 0..self.join.len() {
             // Attributes outside the resolved set (none for well-formed
             // queries) fall back to a live schema lookup.
             let lookup = |a: AttrId| {
-                let col = match attr_positions.get(&a) {
+                let col = match attr_cols.get(&a) {
                     Some(resolved) => *resolved,
-                    None => self.join.position(a),
+                    None => self.join.position(a).map(|c| self.join.column(c)),
                 };
                 match col {
-                    Some(col) => self.join.value(row, col),
+                    Some(col) => col.value(row),
                     None => Value::Null,
                 }
             };
-            let key: Vec<Value> = key_positions
+            let key: Vec<Value> = key_cols
                 .iter()
-                .map(|p| match p {
-                    Some(col) => self.join.value(row, *col),
+                .map(|c| match c {
+                    Some(col) => col.value(row),
                     None => Value::Null,
                 })
                 .collect();

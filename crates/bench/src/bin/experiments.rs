@@ -5,11 +5,20 @@
 //! cargo run --release -p lmfao-bench --bin experiments -- all
 //! cargo run --release -p lmfao-bench --bin experiments -- table3
 //! LMFAO_SCALE=100000 cargo run --release -p lmfao-bench --bin experiments -- figure5
+//! cargo run --release -p lmfao-bench --bin experiments -- --quick --json BENCH_ci.json
 //! ```
 //!
 //! Available experiments: `table1`, `table2`, `table3`, `table4`, `table5`,
 //! `figure5`, `example33`, `all`. The fact-table size is controlled with the
 //! `LMFAO_SCALE` environment variable (default 20000).
+//!
+//! `--quick` runs the CI benchmark smoke suite instead: every Table-3
+//! workload (Count, CM, RT, MI, DC) on every dataset at a reduced scale
+//! (`LMFAO_SCALE`, default 5000), executing each prepared batch several times
+//! and reporting per-workload **median** wall-clock plus output row counts.
+//! With `--json [path]` the results are additionally written as a
+//! machine-readable JSON benchmark artifact (default path `BENCH_ci.json`).
+//! The process exits non-zero if any workload errors, so CI fails loudly.
 
 use lmfao_baseline::{self as baseline, DenseTask, MaterializedEngine};
 use lmfao_bench::{engine_for, WorkloadSpec};
@@ -321,9 +330,230 @@ fn example33() {
     }
 }
 
+/// One benchmarked workload of the quick suite.
+struct BenchRecord {
+    dataset: String,
+    workload: &'static str,
+    /// Median wall-clock seconds over `runs` executions of the prepared batch.
+    median_secs: f64,
+    /// Fastest execution.
+    min_secs: f64,
+    /// One-off planning (prepare) seconds.
+    prepare_secs: f64,
+    runs: usize,
+    /// Total output rows (groups) across all queries of the batch.
+    output_rows: usize,
+    /// Number of queries in the batch.
+    queries: usize,
+    error: Option<String>,
+}
+
+/// Minimal JSON string escaping (the emitted names are ASCII, but be correct).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a finite float for JSON (NaN/inf are not valid JSON numbers).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the quick-suite records as the `BENCH_ci.json` document.
+fn render_bench_json(records: &[BenchRecord], sc: Scale, threads: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str("  \"suite\": \"quick\",\n");
+    s.push_str(&format!("  \"scale\": {},\n", sc.fact_rows));
+    s.push_str(&format!("  \"seed\": {},\n", sc.seed));
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    let errors = records.iter().filter(|r| r.error.is_some()).count();
+    s.push_str(&format!("  \"errors\": {errors},\n"));
+    s.push_str("  \"workloads\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str("    {");
+        s.push_str(&format!(
+            "\"name\": \"{}/{}\", \"dataset\": \"{}\", \"workload\": \"{}\", ",
+            json_escape(&r.dataset),
+            json_escape(r.workload),
+            json_escape(&r.dataset),
+            json_escape(r.workload)
+        ));
+        match &r.error {
+            Some(e) => s.push_str(&format!("\"ok\": false, \"error\": \"{}\"", json_escape(e))),
+            None => s.push_str(&format!(
+                "\"ok\": true, \"median_secs\": {}, \"min_secs\": {}, \"prepare_secs\": {}, \
+                 \"runs\": {}, \"queries\": {}, \"output_rows\": {}",
+                json_f64(r.median_secs),
+                json_f64(r.min_secs),
+                json_f64(r.prepare_secs),
+                r.runs,
+                r.queries,
+                r.output_rows
+            )),
+        }
+        s.push('}');
+        if i + 1 < records.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// The CI benchmark smoke suite: every Table-3 workload on every dataset,
+/// median-of-N prepared executions, optional JSON artifact. Returns the
+/// process exit code (non-zero when any workload errored).
+fn quick(json_path: Option<&str>) -> i32 {
+    const RUNS: usize = 3;
+    let sc = Scale::new(
+        std::env::var("LMFAO_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(5_000),
+        42,
+    );
+    let threads = threads();
+    println!(
+        "LMFAO bench smoke — scale {} fact tuples, {threads} threads, {RUNS} runs/workload",
+        sc.fact_rows
+    );
+    let (datasets, gen_time) = time(|| all_datasets(sc));
+    println!("generated 4 datasets in {gen_time:.2}s");
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for ds in &datasets {
+        let spec = WorkloadSpec::for_dataset(&ds.name);
+        let engine = engine_for(ds, EngineConfig::full(threads));
+        let mut workloads = vec![("Count", spec.count_batch(ds))];
+        workloads.extend(spec.workloads(ds));
+        for (wl, batch) in workloads {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let dynamics = DynamicRegistry::new();
+                let (prepared, prepare_secs) = time(|| engine.prepare(&batch));
+                let mut times = Vec::with_capacity(RUNS);
+                let mut output_rows = 0usize;
+                for _ in 0..RUNS {
+                    let (result, secs) = time(|| prepared.execute(&dynamics));
+                    output_rows = result.queries.iter().map(|q| q.len()).sum();
+                    times.push(secs);
+                }
+                times.sort_by(f64::total_cmp);
+                (times[times.len() / 2], times[0], prepare_secs, output_rows)
+            }));
+            let record = match outcome {
+                Ok((median_secs, min_secs, prepare_secs, output_rows)) => BenchRecord {
+                    dataset: ds.name.clone(),
+                    workload: wl,
+                    median_secs,
+                    min_secs,
+                    prepare_secs,
+                    runs: RUNS,
+                    output_rows,
+                    queries: batch.len(),
+                    error: None,
+                },
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "unknown panic".to_string());
+                    BenchRecord {
+                        dataset: ds.name.clone(),
+                        workload: wl,
+                        median_secs: f64::NAN,
+                        min_secs: f64::NAN,
+                        prepare_secs: f64::NAN,
+                        runs: 0,
+                        output_rows: 0,
+                        queries: batch.len(),
+                        error: Some(msg),
+                    }
+                }
+            };
+            match &record.error {
+                Some(e) => println!("{:<10} {:<6} ERROR: {e}", record.dataset, record.workload),
+                None => println!(
+                    "{:<10} {:<6} median {:>9.4}s  min {:>9.4}s  plan {:>9.4}s  {:>8} rows / {} queries",
+                    record.dataset,
+                    record.workload,
+                    record.median_secs,
+                    record.min_secs,
+                    record.prepare_secs,
+                    record.output_rows,
+                    record.queries
+                ),
+            }
+            records.push(record);
+        }
+    }
+
+    if let Some(path) = json_path {
+        let doc = render_bench_json(&records, sc, threads);
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("failed to write {path}: {e}");
+            return 1;
+        }
+        println!("wrote {path} ({} workloads)", records.len());
+    }
+    let errors = records.iter().filter(|r| r.error.is_some()).count();
+    if errors > 0 {
+        eprintln!("{errors} workload(s) errored");
+        1
+    } else {
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
+
+    // Flag parsing: `--quick` selects the CI smoke suite; `--json [path]`
+    // writes the machine-readable artifact (default BENCH_ci.json).
+    let mut positional: Vec<&str> = Vec::new();
+    let mut is_quick = false;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => is_quick = true,
+            "--json" => {
+                let next = args.get(i + 1).filter(|a| !a.starts_with("--"));
+                json_path = Some(match next {
+                    Some(p) => {
+                        i += 1;
+                        p.clone()
+                    }
+                    None => "BENCH_ci.json".to_string(),
+                });
+            }
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+    if is_quick {
+        std::process::exit(quick(json_path.as_deref()));
+    }
+
+    let what = positional.first().copied().unwrap_or("all");
     let sc = scale();
     println!(
         "LMFAO experiments — synthetic scale: {} fact tuples, {} threads",

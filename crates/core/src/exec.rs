@@ -13,8 +13,9 @@
 
 use crate::plan::{DepthUpdate, GroupPlan, IncomingPlan, KeySource, OutputPlan, TermPlan};
 use crate::view::{ComputedView, ViewId};
-use lmfao_data::{AttrId, Database, FxHashMap, Relation, TrieScan, Value};
-use lmfao_expr::{DynamicRegistry, ScalarFunction};
+use lmfao_data::{AttrId, Column, Database, FxHashMap, Relation, TrieScan, Value};
+use lmfao_expr::{CmpOp, DynamicRegistry, ScalarFunction};
+use std::cmp::Ordering;
 use std::ops::Range;
 
 /// Entries of an indexed incoming view: extra key values plus payload.
@@ -51,6 +52,136 @@ where
     }
 }
 
+/// A local-expression factor lowered against the scanned relation's typed
+/// columns. The innermost loops of the scan evaluate these directly on native
+/// slices — no [`Value`] is materialized per tuple. Every fast variant is
+/// bit-for-bit equivalent to evaluating the original [`ScalarFunction`]
+/// through the generic `Value` lookup (float comparisons use
+/// [`f64::total_cmp`], exactly like `Value::Double`'s total order); factors
+/// that do not fit a typed shape (dynamic functions, cross-variant indicator
+/// thresholds, attributes stored in [`Column::Mixed`]) keep the generic path
+/// via [`FastFactor::Slow`].
+enum FastFactor<'a> {
+    /// `X` over a float column.
+    FloatIdent(&'a [f64]),
+    /// `X` over an int column.
+    IntIdent(&'a [i64]),
+    /// `X^a` over a float column.
+    FloatPow(&'a [f64], i32),
+    /// `X^a` over an int column.
+    IntPow(&'a [i64], i32),
+    /// `1[X op t]` over a float column with a double threshold.
+    FloatCmp(&'a [f64], CmpOp, f64),
+    /// `1[X op t]` over an int column with an int threshold.
+    IntCmp(&'a [i64], CmpOp, i64),
+    /// `1[X op t]` over a dictionary column with a categorical threshold.
+    DictCmp(&'a [u32], CmpOp, u32),
+    /// Fallback: generic evaluation through the `Value` lookup.
+    Slow(&'a ScalarFunction),
+}
+
+/// Whether `op` holds for an ordering produced by the column's native total
+/// order (the same order [`Value`] comparisons use).
+#[inline]
+fn cmp_holds(op: CmpOp, ord: Ordering) -> bool {
+    match op {
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+    }
+}
+
+/// Lowers one factor against the relation's columns, falling back to the
+/// generic path when the factor shape or the column type does not allow a
+/// typed loop.
+fn compile_factor<'a>(
+    factor: &'a ScalarFunction,
+    relation: &'a Relation,
+    col_of_attr: &[usize],
+) -> FastFactor<'a> {
+    let column = |a: AttrId| {
+        let col = col_of_attr[a.index()];
+        if col == usize::MAX {
+            None
+        } else {
+            Some(relation.column(col))
+        }
+    };
+    match factor {
+        ScalarFunction::Identity(a) => match column(*a) {
+            Some(Column::Float(v)) => FastFactor::FloatIdent(v),
+            Some(Column::Int(v)) => FastFactor::IntIdent(v),
+            _ => FastFactor::Slow(factor),
+        },
+        ScalarFunction::Power { attr, exponent } => match column(*attr) {
+            Some(Column::Float(v)) => FastFactor::FloatPow(v, *exponent as i32),
+            Some(Column::Int(v)) => FastFactor::IntPow(v, *exponent as i32),
+            _ => FastFactor::Slow(factor),
+        },
+        ScalarFunction::Indicator {
+            attr,
+            op,
+            threshold,
+        } => match (column(*attr), threshold) {
+            (Some(Column::Float(v)), Value::Double(t)) => FastFactor::FloatCmp(v, *op, *t),
+            (Some(Column::Int(v)), Value::Int(t)) => FastFactor::IntCmp(v, *op, *t),
+            (Some(Column::Dict { codes, .. }), Value::Cat(t)) => {
+                FastFactor::DictCmp(codes, *op, *t)
+            }
+            _ => FastFactor::Slow(factor),
+        },
+        other => FastFactor::Slow(other),
+    }
+}
+
+/// Evaluates a lowered factor at `row`.
+#[inline]
+fn eval_fast(f: &FastFactor<'_>, ctx: &Ctx<'_>, row: usize) -> f64 {
+    match f {
+        FastFactor::FloatIdent(v) => v[row],
+        FastFactor::IntIdent(v) => v[row] as f64,
+        FastFactor::FloatPow(v, e) => v[row].powi(*e),
+        FastFactor::IntPow(v, e) => (v[row] as f64).powi(*e),
+        FastFactor::FloatCmp(v, op, t) => {
+            if cmp_holds(*op, v[row].total_cmp(t)) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        FastFactor::IntCmp(v, op, t) => {
+            if cmp_holds(*op, v[row].cmp(t)) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        FastFactor::DictCmp(v, op, t) => {
+            if cmp_holds(*op, v[row].cmp(t)) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        FastFactor::Slow(sf) => {
+            let relation = ctx.relation;
+            let col_of_attr = &ctx.col_of_attr;
+            let lookup = |a: AttrId| {
+                let col = col_of_attr[a.index()];
+                if col == usize::MAX {
+                    Value::Null
+                } else {
+                    relation.value(row, col)
+                }
+            };
+            eval_factor(sf, &lookup, ctx.dynamics)
+        }
+    }
+}
+
 /// Immutable execution context shared across the recursion.
 struct Ctx<'a> {
     plan: &'a GroupPlan,
@@ -61,6 +192,9 @@ struct Ctx<'a> {
     /// Column position of each attribute in the scanned relation (`usize::MAX`
     /// when the attribute is not a column of it).
     col_of_attr: Vec<usize>,
+    /// The group's local expressions with every factor lowered against the
+    /// relation's typed columns, in [`GroupPlan::local_exprs`] order.
+    local_programs: Vec<Vec<FastFactor<'a>>>,
 }
 
 /// Mutable execution state.
@@ -107,6 +241,19 @@ pub fn execute_group(
         col_of_attr[attr.index()] = pos;
     }
 
+    // Lower every local-expression factor against the typed columns once per
+    // scan; the innermost loops then run on native slices.
+    let local_programs: Vec<Vec<FastFactor>> = plan
+        .local_exprs
+        .iter()
+        .map(|e| {
+            e.factors
+                .iter()
+                .map(|f| compile_factor(f, relation, &col_of_attr))
+                .collect()
+        })
+        .collect();
+
     let ctx = Ctx {
         plan,
         relation,
@@ -114,6 +261,7 @@ pub fn execute_group(
         dynamics,
         incoming: &incoming,
         col_of_attr,
+        local_programs,
     };
 
     let depth = plan.depth();
@@ -293,45 +441,38 @@ fn recurse<'a>(ctx: &Ctx<'a>, state: &mut State<'a>, depth: usize, range: Range<
     }
 }
 
-/// Computes the local-expression sums for the innermost range.
+/// Computes the local-expression sums for the innermost range: one typed pass
+/// per expression over its compiled factors (the `α9`/`α10` local variables
+/// of Figure 4). Single-identity expressions — the bulk of a covar batch —
+/// reduce to a straight sum over a native slice.
 fn compute_local_sums(ctx: &Ctx<'_>, state: &mut State<'_>, range: &Range<usize>) {
-    let exprs = &ctx.plan.local_exprs;
-    let mut any_nonempty = false;
-    for (i, e) in exprs.iter().enumerate() {
-        if e.factors.is_empty() {
-            state.local_sums[i] = range.len() as f64;
-        } else {
-            state.local_sums[i] = 0.0;
-            any_nonempty = true;
-        }
-    }
-    if !any_nonempty {
-        return;
-    }
-    for row in range.clone() {
-        let relation = ctx.relation;
-        let col_of_attr = &ctx.col_of_attr;
-        let lookup = |a: AttrId| {
-            let col = col_of_attr[a.index()];
-            if col == usize::MAX {
-                Value::Null
-            } else {
-                relation.value(row, col)
+    for (i, factors) in ctx.local_programs.iter().enumerate() {
+        state.local_sums[i] = match factors.as_slice() {
+            [] => range.len() as f64,
+            [FastFactor::FloatIdent(v)] => v[range.clone()].iter().sum(),
+            [FastFactor::IntIdent(v)] => v[range.clone()].iter().map(|&x| x as f64).sum(),
+            [single] => {
+                let mut acc = 0.0;
+                for row in range.clone() {
+                    acc += eval_fast(single, ctx, row);
+                }
+                acc
+            }
+            factors => {
+                let mut acc = 0.0;
+                for row in range.clone() {
+                    let mut prod = 1.0;
+                    for f in factors {
+                        prod *= eval_fast(f, ctx, row);
+                        if prod == 0.0 {
+                            break;
+                        }
+                    }
+                    acc += prod;
+                }
+                acc
             }
         };
-        for (i, e) in exprs.iter().enumerate() {
-            if e.factors.is_empty() {
-                continue;
-            }
-            let mut prod = 1.0;
-            for f in &e.factors {
-                prod *= eval_factor(f, &lookup, ctx.dynamics);
-                if prod == 0.0 {
-                    break;
-                }
-            }
-            state.local_sums[i] += prod;
-        }
     }
 }
 
@@ -488,22 +629,13 @@ fn emit_term(
 
     if output.needs_row_loop {
         // Per-row path: the key (and possibly the local factors) depend on
-        // non-join columns of the relation.
-        let factors = &ctx.plan.local_exprs[term.local_expr].factors;
+        // non-join columns of the relation. The factors run in their compiled
+        // typed form, like the local sums.
+        let factors = &ctx.local_programs[term.local_expr];
         for row in range.clone() {
-            let relation = ctx.relation;
-            let col_of_attr = &ctx.col_of_attr;
-            let lookup = |a: AttrId| {
-                let col = col_of_attr[a.index()];
-                if col == usize::MAX {
-                    Value::Null
-                } else {
-                    relation.value(row, col)
-                }
-            };
             let mut v = value;
             for f in factors {
-                v *= eval_factor(f, &lookup, ctx.dynamics);
+                v *= eval_fast(f, ctx, row);
                 if v == 0.0 {
                     break;
                 }

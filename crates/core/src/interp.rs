@@ -107,41 +107,84 @@ pub fn execute_view_interpreted(
     let mut out = ComputedView::new(def.group_by.clone(), def.num_aggregates());
     let key_cols: Vec<Option<usize>> = def.group_by.iter().map(|a| relation.position(*a)).collect();
 
-    for row in 0..relation.len() {
-        for (agg_idx, agg) in def.aggregates.iter().enumerate() {
-            for term in &agg.terms {
-                evaluate_term_for_row(
-                    &def.group_by,
-                    term,
-                    relation,
-                    row,
-                    &incoming,
-                    dynamics,
-                    &key_cols,
-                    agg_idx,
-                    &mut out,
-                );
+    // Resolve every attribute to its column position once (usize::MAX = not a
+    // column of the scanned relation) and partition each term's local factors
+    // into row factors (all attributes are relation columns, evaluated once
+    // per row) and combination factors — work the row loop must not repeat.
+    let mut col_of_attr = vec![usize::MAX; db.schema().num_attributes()];
+    for (pos, &attr) in relation.schema().attrs.iter().enumerate() {
+        col_of_attr[attr.index()] = pos;
+    }
+    let terms: Vec<PreparedTerm> = def
+        .aggregates
+        .iter()
+        .enumerate()
+        .flat_map(|(agg_idx, agg)| agg.terms.iter().map(move |term| (agg_idx, term)))
+        .map(|(agg_idx, term)| {
+            let (row_factors, combo_factors) = term.local.iter().partition(|f| {
+                f.attrs()
+                    .iter()
+                    .all(|a| col_of_attr[a.index()] != usize::MAX)
+            });
+            PreparedTerm {
+                agg_idx,
+                term,
+                row_factors,
+                combo_factors,
             }
+        })
+        .collect();
+
+    for row in 0..relation.len() {
+        for prepared in &terms {
+            evaluate_term_for_row(
+                &def.group_by,
+                prepared,
+                relation,
+                row,
+                &incoming,
+                dynamics,
+                &key_cols,
+                &col_of_attr,
+                &mut out,
+            );
         }
     }
     out
 }
 
+/// One aggregate term with its local factors pre-partitioned into per-row and
+/// per-combination factors.
+struct PreparedTerm<'a> {
+    agg_idx: usize,
+    term: &'a ViewTerm,
+    /// Factors whose attributes are all columns of the scanned relation.
+    row_factors: Vec<&'a ScalarFunction>,
+    /// Factors reading attributes carried by child views.
+    combo_factors: Vec<&'a ScalarFunction>,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn evaluate_term_for_row(
     group_by: &[AttrId],
-    term: &ViewTerm,
+    prepared: &PreparedTerm<'_>,
     relation: &Relation,
     row: usize,
     incoming: &FxHashMap<ViewId, IncomingRef<'_>>,
     dynamics: &DynamicRegistry,
     key_cols: &[Option<usize>],
-    agg_idx: usize,
+    col_of_attr: &[usize],
     out: &mut ComputedView,
 ) {
-    let row_lookup = |a: AttrId| match relation.position(a) {
-        Some(col) => relation.value(row, col),
-        None => Value::Null,
+    let term = prepared.term;
+    let agg_idx = prepared.agg_idx;
+    let row_lookup = |a: AttrId| {
+        let col = col_of_attr[a.index()];
+        if col == usize::MAX {
+            Value::Null
+        } else {
+            relation.value(row, col)
+        }
     };
 
     // Probe every referenced child view by the key attributes available in
@@ -183,18 +226,15 @@ fn evaluate_term_for_row(
         }
     }
 
-    // Local factors that only read relation columns can be evaluated once.
-    let mut combo_factors = Vec::new();
-    for f in &term.local {
-        if f.attrs().iter().all(|a| relation.position(*a).is_some()) {
-            scalar_product *= eval_factor(f, &row_lookup, dynamics);
-            if scalar_product == 0.0 {
-                return;
-            }
-        } else {
-            combo_factors.push(f);
+    // Local factors that only read relation columns are evaluated once per
+    // row (the partition was computed when the view was prepared).
+    for f in &prepared.row_factors {
+        scalar_product *= eval_factor(f, &row_lookup, dynamics);
+        if scalar_product == 0.0 {
+            return;
         }
     }
+    let combo_factors = &prepared.combo_factors;
 
     // Iterate the cartesian product of the extra entries (an empty product is
     // the single empty combination).
@@ -214,7 +254,7 @@ fn evaluate_term_for_row(
         for (pos, (_, entries)) in extra_lists.iter().enumerate() {
             value *= entries[idx[pos]].1;
         }
-        for f in &combo_factors {
+        for f in combo_factors {
             value *= eval_factor(f, &combo_lookup, dynamics);
         }
         if value != 0.0 {

@@ -26,6 +26,21 @@ pub fn merge_computed(acc: &mut ComputedView, other: &ComputedView) {
     }
 }
 
+/// Folds a batch of `(view, result)` pairs into the accumulator map: results
+/// for a view already present merge by element-wise addition (domain-parallel
+/// partials), new views are inserted (task-parallel group outputs). Keyed by
+/// the hash map, so the cost is O(results), not O(results · views).
+fn merge_results(acc: &mut FxHashMap<ViewId, ComputedView>, results: Vec<(ViewId, ComputedView)>) {
+    for (vid, cv) in results {
+        match acc.entry(vid) {
+            std::collections::hash_map::Entry::Occupied(mut e) => merge_computed(e.get_mut(), &cv),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(cv);
+            }
+        }
+    }
+}
+
 /// Splits `len` rows into at most `parts` contiguous ranges.
 fn partitions(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     let parts = parts.max(1).min(len.max(1));
@@ -72,16 +87,13 @@ fn execute_group_parallel(
     })
     .expect("domain-parallel scope must not panic");
 
-    let mut merged: Vec<(ViewId, ComputedView)> = Vec::new();
+    // Merge the per-partition partials keyed by view id (partials arrive and
+    // merge in partition order, keeping float addition deterministic).
+    let mut merged: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
     for partial in results {
-        for (vid, cv) in partial {
-            match merged.iter_mut().find(|(v, _)| *v == vid) {
-                Some((_, acc)) => merge_computed(acc, &cv),
-                None => merged.push((vid, cv)),
-            }
-        }
+        merge_results(&mut merged, partial);
     }
-    merged
+    merged.into_iter().collect()
 }
 
 /// Executes all groups of a grouping in dependency order, parallelizing
@@ -124,19 +136,15 @@ pub fn execute_all(
             })
             .expect("task-parallel scope must not panic");
             for group_result in results {
-                for (vid, cv) in group_result {
-                    computed.insert(vid, cv);
-                }
+                merge_results(&mut computed, group_result);
             }
         } else {
             // Sequential over the wave; each group may still use domain
             // parallelism internally.
             for &g in &wave {
-                for (vid, cv) in
-                    execute_group_parallel(db, &plans[g], &computed, dynamics, config.threads)
-                {
-                    computed.insert(vid, cv);
-                }
+                let result =
+                    execute_group_parallel(db, &plans[g], &computed, dynamics, config.threads);
+                merge_results(&mut computed, result);
             }
         }
 
@@ -166,6 +174,22 @@ mod tests {
             }
             assert_eq!(covered, len);
         }
+    }
+
+    #[test]
+    fn merge_results_sums_existing_views_and_inserts_new_ones() {
+        let mut acc: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+        let mut a = ComputedView::new(vec![AttrId(0)], 1);
+        a.add(vec![Value::Int(1)], &[1.0]);
+        merge_results(&mut acc, vec![(ViewId(0), a)]);
+        let mut b = ComputedView::new(vec![AttrId(0)], 1);
+        b.add(vec![Value::Int(1)], &[2.0]);
+        let mut c = ComputedView::new(vec![AttrId(1)], 1);
+        c.add(vec![Value::Int(9)], &[5.0]);
+        merge_results(&mut acc, vec![(ViewId(0), b), (ViewId(1), c)]);
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc[&ViewId(0)].get(&[Value::Int(1)]).unwrap(), &[3.0]);
+        assert_eq!(acc[&ViewId(1)].get(&[Value::Int(9)]).unwrap(), &[5.0]);
     }
 
     #[test]

@@ -68,7 +68,9 @@ impl Database {
     }
 
     /// Creates a database with dictionaries (for databases with categorical
-    /// attributes loaded from strings).
+    /// attributes loaded from strings). The dictionaries are linked into the
+    /// relations' dictionary-encoded columns so that each column can decode
+    /// its own codes (see [`crate::column::Column::decode`]).
     pub fn with_dictionaries(
         schema: DatabaseSchema,
         relations: Vec<Relation>,
@@ -76,7 +78,22 @@ impl Database {
     ) -> Result<Self> {
         let mut db = Database::new(schema, relations)?;
         db.dictionaries = dictionaries;
+        db.link_dictionaries();
         Ok(db)
+    }
+
+    /// Attaches a shared handle of each attribute's dictionary to the
+    /// dictionary-encoded columns storing that attribute. Call again after
+    /// mutating the dictionaries through [`Database::dictionaries_mut`].
+    pub fn link_dictionaries(&mut self) {
+        for rel in &mut self.relations {
+            let attrs = rel.schema().attrs.clone();
+            for (pos, attr) in attrs.into_iter().enumerate() {
+                if let Some(dict) = self.dictionaries.shared(attr) {
+                    rel.column_mut(pos).attach_dictionary(dict);
+                }
+            }
+        }
     }
 
     /// The database schema.
@@ -272,6 +289,30 @@ mod tests {
         assert!(r.is_sorted_by(&[1, 0]));
         let s = db.relation("S").unwrap();
         assert!(s.is_sorted_by(&[0]));
+    }
+
+    #[test]
+    fn with_dictionaries_links_dict_columns() {
+        let mut schema = DatabaseSchema::new();
+        schema.add_relation_with_attrs("S", &[("b", AttrType::Int), ("c", AttrType::Categorical)]);
+        let b = schema.attr_id("b").unwrap();
+        let c = schema.attr_id("c").unwrap();
+        let mut dicts = crate::dictionary::DictionarySet::new();
+        let lima = dicts.encode(c, "Lima");
+        let quito = dicts.encode(c, "Quito");
+        let s = Relation::from_rows(
+            RelationSchema::new("S", vec![b, c]),
+            vec![
+                vec![Value::Int(1), Value::Cat(quito)],
+                vec![Value::Int(2), Value::Cat(lima)],
+            ],
+        )
+        .unwrap();
+        let db = Database::with_dictionaries(schema, vec![s], dicts).unwrap();
+        let col = db.relation("S").unwrap().column(1);
+        assert_eq!(col.decode(0), Some("Quito"));
+        assert_eq!(col.decode(1), Some("Lima"));
+        assert!(db.relation("S").unwrap().column(0).dictionary().is_none());
     }
 
     #[test]

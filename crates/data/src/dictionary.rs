@@ -7,6 +7,7 @@
 
 use crate::hash::FxHashMap;
 use crate::schema::AttrId;
+use std::sync::Arc;
 
 /// A bidirectional mapping between category strings and dense codes.
 #[derive(Debug, Clone, Default)]
@@ -62,9 +63,15 @@ impl Dictionary {
 }
 
 /// One dictionary per categorical attribute of a database.
+///
+/// Dictionaries are kept behind [`Arc`]s so that the [`crate::column::Column`]s
+/// of a relation can share the dictionary that produced their codes without
+/// copying it (see [`DictionarySet::shared`]); encoding new categories uses
+/// copy-on-write ([`Arc::make_mut`]), so handles taken before an insert keep
+/// seeing a consistent snapshot.
 #[derive(Debug, Clone, Default)]
 pub struct DictionarySet {
-    dicts: FxHashMap<AttrId, Dictionary>,
+    dicts: FxHashMap<AttrId, Arc<Dictionary>>,
 }
 
 impl DictionarySet {
@@ -75,12 +82,17 @@ impl DictionarySet {
 
     /// Encodes a category for `attr`, creating the dictionary on first use.
     pub fn encode(&mut self, attr: AttrId, value: &str) -> u32 {
-        self.dicts.entry(attr).or_default().encode(value)
+        Arc::make_mut(self.dicts.entry(attr).or_default()).encode(value)
     }
 
     /// The dictionary of `attr`, if any value has been encoded for it.
     pub fn dictionary(&self, attr: AttrId) -> Option<&Dictionary> {
-        self.dicts.get(&attr)
+        self.dicts.get(&attr).map(Arc::as_ref)
+    }
+
+    /// A shared handle to the dictionary of `attr`, for attaching to columns.
+    pub fn shared(&self, attr: AttrId) -> Option<Arc<Dictionary>> {
+        self.dicts.get(&attr).cloned()
     }
 
     /// Decodes a code of `attr` back to the category string.
@@ -90,7 +102,7 @@ impl DictionarySet {
 
     /// Number of distinct categories registered for `attr` (0 if none).
     pub fn domain_size(&self, attr: AttrId) -> usize {
-        self.dicts.get(&attr).map_or(0, Dictionary::len)
+        self.dicts.get(&attr).map_or(0, |d| d.len())
     }
 }
 
@@ -126,6 +138,94 @@ mod tests {
         d.encode("c");
         let pairs: Vec<(u32, &str)> = d.iter().collect();
         assert_eq!(pairs, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+
+    #[test]
+    fn out_of_vocabulary_lookups_return_none() {
+        let mut d = Dictionary::new();
+        d.encode("known");
+        assert_eq!(d.code_of("unknown"), None);
+        assert_eq!(d.decode(1), None, "code 1 was never assigned");
+        assert_eq!(d.decode(u32::MAX), None);
+        let s = DictionarySet::new();
+        assert_eq!(s.decode(AttrId(0), 0), None, "no dictionary for the attr");
+        assert_eq!(s.domain_size(AttrId(0)), 0);
+        assert!(s.shared(AttrId(0)).is_none());
+    }
+
+    #[test]
+    fn codes_are_stable_under_relation_resorting() {
+        use crate::relation::Relation;
+        use crate::schema::RelationSchema;
+        use crate::value::Value;
+
+        // Encode cities, store their codes in a relation next to a sort key,
+        // then re-sort the relation: the codes must still decode to the same
+        // strings per row (sorting permutes rows, never rewrites codes), and
+        // the dictionary itself is untouched.
+        let mut set = DictionarySet::new();
+        let city = AttrId(1);
+        let names = ["Quito", "Lima", "Cusco", "Quito", "Lima"];
+        let keys = [3i64, 1, 2, 0, 4];
+        let rows: Vec<Vec<Value>> = names
+            .iter()
+            .zip(&keys)
+            .map(|(n, &k)| vec![Value::Int(k), Value::Cat(set.encode(city, n))])
+            .collect();
+        let mut rel =
+            Relation::from_rows(RelationSchema::new("Stores", vec![AttrId(0), city]), rows)
+                .unwrap();
+        let decoded_by_key = |rel: &Relation| -> Vec<(i64, String)> {
+            (0..rel.len())
+                .map(|i| {
+                    let code = rel.value(i, 1).as_cat().unwrap();
+                    (
+                        rel.value(i, 0).as_i64(),
+                        set.decode(city, code).unwrap().to_string(),
+                    )
+                })
+                .collect()
+        };
+        let mut before = decoded_by_key(&rel);
+        rel.sort_by_positions(&[0]);
+        let after = decoded_by_key(&rel);
+        before.sort();
+        assert_eq!(after, before, "per-row (key, city) pairs survive the sort");
+        assert_eq!(
+            set.domain_size(city),
+            3,
+            "re-sorting never grows the dictionary"
+        );
+        assert_eq!(
+            set.decode(city, 0),
+            Some("Quito"),
+            "codes keep their order of first appearance"
+        );
+    }
+
+    #[test]
+    fn strings_round_trip_through_attached_column_dictionaries() {
+        use crate::column::Column;
+        use crate::value::Value;
+
+        let mut set = DictionarySet::new();
+        let attr = AttrId(2);
+        let words = ["GROCERY", "DAIRY", "médano ñ", ""];
+        let codes: Vec<u32> = words.iter().map(|w| set.encode(attr, w)).collect();
+        let mut col = Column::new();
+        for &c in &codes {
+            col.push(Value::Cat(c));
+        }
+        col.attach_dictionary(set.shared(attr).unwrap());
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(col.decode(i), Some(*w), "column decodes its own codes");
+            assert_eq!(set.decode(attr, codes[i]), Some(*w));
+        }
+        // Copy-on-write: encoding new categories later must not disturb the
+        // snapshot already attached to the column.
+        set.encode(attr, "BAKERY");
+        assert_eq!(col.dictionary().unwrap().len(), words.len());
+        assert_eq!(set.domain_size(attr), words.len() + 1);
     }
 
     #[test]

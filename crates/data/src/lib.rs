@@ -1,9 +1,9 @@
 //! # lmfao-data
 //!
 //! Storage substrate of the LMFAO reproduction: typed values, schemas,
-//! dictionary-encoded categorical attributes, sorted in-memory relations with
-//! trie-style grouped scans, the database catalog with cardinality statistics,
-//! and CSV import/export.
+//! dictionary-encoded categorical attributes, sorted in-memory *columnar*
+//! relations (typed [`Column`]s per attribute) with trie-style grouped scans,
+//! the database catalog with cardinality statistics, and CSV import/export.
 //!
 //! The LMFAO engine (in `lmfao-core`) consumes a [`Database`] — relations
 //! sorted by their join attributes plus statistics — and computes batches of
@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod column;
 pub mod csv;
 pub mod dictionary;
 pub mod error;
@@ -23,10 +24,11 @@ pub mod trie;
 pub mod value;
 
 pub use catalog::{Database, Statistics};
+pub use column::Column;
 pub use dictionary::{Dictionary, DictionarySet};
 pub use error::{DataError, Result};
 pub use hash::{FxHashMap, FxHashSet};
-pub use relation::Relation;
+pub use relation::{Relation, RowView};
 pub use schema::{AttrId, Attribute, DatabaseSchema, RelationSchema};
 pub use trie::TrieScan;
 pub use value::{AttrType, Value};

@@ -1,22 +1,36 @@
-//! In-memory relations.
+//! In-memory relations over columnar storage.
 //!
-//! A [`Relation`] is a row-major, flat array of [`Value`]s together with its
-//! [`RelationSchema`]. LMFAO keeps relations sorted by their join attributes
+//! A [`Relation`] is a set of typed [`Column`]s plus its [`RelationSchema`]:
+//! every attribute is stored contiguously in its native representation
+//! (`i64`, `f64`, or `u32` dictionary codes for categoricals, see
+//! [`crate::column`]). LMFAO keeps relations sorted by their join attributes
 //! so that a single scan can view them as a trie: grouped by the first join
 //! attribute, then by the next within each group, and so on (see
 //! [`crate::trie`]). This mirrors the factorized-database style scans the
 //! paper relies on for the multi-output plans.
+//!
+//! The columnar layout exists for the hot loops: trie grouping compares one
+//! attribute across consecutive rows ([`Column::eq_rows`], a native compare
+//! with no enum tag), local-expression sums read typed slices directly, and
+//! sorting permutes each column once ([`Column::permute`]) instead of moving
+//! whole rows. Row-oriented consumers (tests, CSV import/export, datagen)
+//! keep working through the [`RowView`] adapter returned by
+//! [`Relation::row`] / [`Relation::rows`], which materializes [`Value`]s on
+//! demand; round-tripping `from_rows -> rows()` is exact, bit patterns of
+//! doubles included.
 
+use crate::column::Column;
 use crate::error::{DataError, Result};
 use crate::hash::fx_hash_set;
 use crate::schema::{AttrId, RelationSchema};
 use crate::value::Value;
 
-/// An in-memory relation: schema plus row-major tuple storage.
+/// An in-memory relation: schema plus one typed column per attribute.
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: RelationSchema,
-    data: Vec<Value>,
+    columns: Vec<Column>,
+    num_rows: usize,
     arity: usize,
     /// Attribute positions this relation is currently sorted by (lexicographic
     /// prefix order); empty if unsorted.
@@ -29,7 +43,8 @@ impl Relation {
         let arity = schema.arity();
         Relation {
             schema,
-            data: Vec::new(),
+            columns: (0..arity).map(|_| Column::new()).collect(),
+            num_rows: 0,
             arity,
             sorted_by: Vec::new(),
         }
@@ -38,10 +53,39 @@ impl Relation {
     /// Creates a relation from rows, validating arity.
     pub fn from_rows(schema: RelationSchema, rows: Vec<Vec<Value>>) -> Result<Self> {
         let mut rel = Relation::new(schema);
+        rel.reserve(rows.len());
         for row in rows {
             rel.push_row(&row)?;
         }
         Ok(rel)
+    }
+
+    /// Creates a relation directly from columns (all columns must have the
+    /// same length, one per schema attribute).
+    pub fn from_columns(schema: RelationSchema, columns: Vec<Column>) -> Result<Self> {
+        let arity = schema.arity();
+        if columns.len() != arity {
+            return Err(DataError::ArityMismatch {
+                relation: schema.name.clone(),
+                expected: arity,
+                got: columns.len(),
+            });
+        }
+        let num_rows = columns.first().map_or(0, Column::len);
+        if columns.iter().any(|c| c.len() != num_rows) {
+            return Err(DataError::ArityMismatch {
+                relation: schema.name.clone(),
+                expected: num_rows,
+                got: columns.iter().map(Column::len).max().unwrap_or(0),
+            });
+        }
+        Ok(Relation {
+            schema,
+            columns,
+            num_rows,
+            arity,
+            sorted_by: Vec::new(),
+        })
     }
 
     /// The schema of the relation.
@@ -55,18 +99,37 @@ impl Relation {
     }
 
     /// Number of tuples.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.data.len().checked_div(self.arity).unwrap_or(0)
+        self.num_rows
     }
 
     /// True if the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.num_rows == 0
     }
 
     /// Arity (number of attributes).
     pub fn arity(&self) -> usize {
         self.arity
+    }
+
+    /// The typed columns, in schema attribute order.
+    #[inline]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The typed column at position `col`.
+    #[inline]
+    pub fn column(&self, col: usize) -> &Column {
+        &self.columns[col]
+    }
+
+    /// Mutable access to the column at position `col` (used by the catalog to
+    /// attach dictionaries; values must not be added or removed through this).
+    pub(crate) fn column_mut(&mut self, col: usize) -> &mut Column {
+        &mut self.columns[col]
     }
 
     /// Appends a tuple, validating its arity.
@@ -78,8 +141,7 @@ impl Relation {
                 got: row.len(),
             });
         }
-        self.data.extend_from_slice(row);
-        self.sorted_by.clear();
+        self.push_row_unchecked(row);
         Ok(())
     }
 
@@ -87,30 +149,43 @@ impl Relation {
     /// mismatch). Used by bulk loaders on the hot path.
     pub fn push_row_unchecked(&mut self, row: &[Value]) {
         debug_assert_eq!(row.len(), self.arity);
-        self.data.extend_from_slice(row);
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.num_rows += 1;
         self.sorted_by.clear();
     }
 
     /// Reserves capacity for `additional` further tuples.
     pub fn reserve(&mut self, additional: usize) {
-        self.data.reserve(additional * self.arity);
+        for col in &mut self.columns {
+            col.reserve(additional);
+        }
     }
 
-    /// The `i`-th tuple.
+    /// A lazily materializing view of the `i`-th tuple.
     #[inline]
-    pub fn row(&self, i: usize) -> &[Value] {
-        &self.data[i * self.arity..(i + 1) * self.arity]
+    pub fn row(&self, i: usize) -> RowView<'_> {
+        debug_assert!(i < self.num_rows);
+        RowView { rel: self, row: i }
     }
 
-    /// A single value.
+    /// A single value, materialized from its typed column.
     #[inline]
     pub fn value(&self, row: usize, col: usize) -> Value {
-        self.data[row * self.arity + col]
+        self.columns[col].value(row)
     }
 
-    /// Iterates over all tuples.
-    pub fn rows(&self) -> impl Iterator<Item = &[Value]> + '_ {
-        self.data.chunks_exact(self.arity.max(1))
+    /// The numeric interpretation of a single value, read straight from the
+    /// typed column (no [`Value`] constructed; matches [`Value::as_f64`]).
+    #[inline]
+    pub fn f64(&self, row: usize, col: usize) -> f64 {
+        self.columns[col].f64_at(row)
+    }
+
+    /// Iterates over all tuples as [`RowView`]s.
+    pub fn rows(&self) -> impl Iterator<Item = RowView<'_>> + '_ {
+        (0..self.num_rows).map(move |i| RowView { rel: self, row: i })
     }
 
     /// Position of an attribute within this relation.
@@ -120,32 +195,29 @@ impl Relation {
 
     /// Sorts the relation lexicographically by the given column positions
     /// (remaining columns keep their relative order only within equal keys,
-    /// which is all the trie scan needs).
+    /// which is all the trie scan needs). The sort computes a row permutation
+    /// by comparing the typed key columns, then rebuilds every column with one
+    /// contiguous gather ([`Column::permute`]) — no row-at-a-time moves.
     pub fn sort_by_positions(&mut self, positions: &[usize]) {
         if self.is_empty() || positions.is_empty() {
             self.sorted_by = positions.to_vec();
             return;
         }
-        let arity = self.arity;
-        let n = self.len();
-        let mut indices: Vec<u32> = (0..n as u32).collect();
-        let data = &self.data;
-        indices.sort_unstable_by(|&a, &b| {
-            let ra = &data[a as usize * arity..(a as usize + 1) * arity];
-            let rb = &data[b as usize * arity..(b as usize + 1) * arity];
-            for &p in positions {
-                match ra[p].cmp(&rb[p]) {
+        let keys: Vec<&Column> = positions.iter().map(|&p| &self.columns[p]).collect();
+        let mut perm: Vec<u32> = (0..self.num_rows as u32).collect();
+        perm.sort_unstable_by(|&a, &b| {
+            for key in &keys {
+                match key.cmp_rows(a as usize, b as usize) {
                     std::cmp::Ordering::Equal => continue,
                     ord => return ord,
                 }
             }
             std::cmp::Ordering::Equal
         });
-        let mut new_data = Vec::with_capacity(self.data.len());
-        for &i in &indices {
-            new_data.extend_from_slice(&data[i as usize * arity..(i as usize + 1) * arity]);
+        let already_sorted = perm.windows(2).all(|w| w[0] < w[1]);
+        if !already_sorted {
+            self.columns = self.columns.iter().map(|c| c.permute(&perm)).collect();
         }
-        self.data = new_data;
         self.sorted_by = positions.to_vec();
     }
 
@@ -166,21 +238,48 @@ impl Relation {
         self.sorted_by.len() >= positions.len() && self.sorted_by[..positions.len()] == *positions
     }
 
-    /// Number of distinct values in a column.
+    /// Number of distinct values in a column, counted on the native
+    /// representation (no [`Value`] hashing for typed columns).
     pub fn distinct_count(&self, col: usize) -> usize {
-        let mut set = fx_hash_set();
-        for i in 0..self.len() {
-            set.insert(self.value(i, col));
+        match &self.columns[col] {
+            Column::Int(v) => {
+                let mut set = fx_hash_set();
+                v.iter().for_each(|&x| {
+                    set.insert(x);
+                });
+                set.len()
+            }
+            Column::Float(v) => {
+                let mut set = fx_hash_set();
+                v.iter().for_each(|&x| {
+                    set.insert(x.to_bits());
+                });
+                set.len()
+            }
+            Column::Dict { codes, .. } => {
+                let mut set = fx_hash_set();
+                codes.iter().for_each(|&x| {
+                    set.insert(x);
+                });
+                set.len()
+            }
+            Column::Mixed(v) => {
+                let mut set = fx_hash_set();
+                v.iter().for_each(|&x| {
+                    set.insert(x);
+                });
+                set.len()
+            }
         }
-        set.len()
     }
 
     /// Distinct values of a column, in first-appearance order.
     pub fn distinct_values(&self, col: usize) -> Vec<Value> {
         let mut seen = fx_hash_set();
         let mut out = Vec::new();
-        for i in 0..self.len() {
-            let v = self.value(i, col);
+        let column = &self.columns[col];
+        for i in 0..self.num_rows {
+            let v = column.value(i);
             if seen.insert(v) {
                 out.push(v);
             }
@@ -188,9 +287,10 @@ impl Relation {
         out
     }
 
-    /// Approximate size of the relation payload in bytes.
+    /// Approximate size of the relation payload in bytes (native column
+    /// representations, i.e. what the scan actually touches).
     pub fn size_bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<Value>()
+        self.columns.iter().map(Column::size_bytes).sum()
     }
 
     /// Minimum and maximum value of a column, if the relation is non-empty.
@@ -198,23 +298,111 @@ impl Relation {
         if self.is_empty() {
             return None;
         }
-        let mut mn = self.value(0, col);
-        let mut mx = mn;
-        for i in 1..self.len() {
-            let v = self.value(i, col);
-            if v < mn {
-                mn = v;
+        match &self.columns[col] {
+            Column::Int(v) => {
+                let (mn, mx) = min_max_by(v, |a, b| a.cmp(b));
+                Some((Value::Int(mn), Value::Int(mx)))
             }
-            if v > mx {
-                mx = v;
+            Column::Float(v) => {
+                let (mn, mx) = min_max_by(v, |a, b| a.total_cmp(b));
+                Some((Value::Double(mn), Value::Double(mx)))
+            }
+            Column::Dict { codes, .. } => {
+                let (mn, mx) = min_max_by(codes, |a, b| a.cmp(b));
+                Some((Value::Cat(mn), Value::Cat(mx)))
+            }
+            Column::Mixed(v) => {
+                let (mn, mx) = min_max_by(v, |a, b| a.cmp(b));
+                Some((mn, mx))
             }
         }
-        Some((mn, mx))
     }
 
-    /// Consumes the relation, returning its raw parts.
-    pub fn into_parts(self) -> (RelationSchema, Vec<Value>) {
-        (self.schema, self.data)
+    /// Consumes the relation, returning its schema and columns.
+    pub fn into_parts(self) -> (RelationSchema, Vec<Column>) {
+        (self.schema, self.columns)
+    }
+}
+
+fn min_max_by<T: Copy>(values: &[T], cmp: impl Fn(&T, &T) -> std::cmp::Ordering) -> (T, T) {
+    let mut mn = values[0];
+    let mut mx = values[0];
+    for v in &values[1..] {
+        if cmp(v, &mn) == std::cmp::Ordering::Less {
+            mn = *v;
+        }
+        if cmp(v, &mx) == std::cmp::Ordering::Greater {
+            mx = *v;
+        }
+    }
+    (mn, mx)
+}
+
+/// A view of one tuple of a columnar [`Relation`]: values are materialized
+/// from their typed columns on access.
+#[derive(Clone, Copy)]
+pub struct RowView<'a> {
+    rel: &'a Relation,
+    row: usize,
+}
+
+impl RowView<'_> {
+    /// The value at column position `col`.
+    #[inline]
+    pub fn value(&self, col: usize) -> Value {
+        self.rel.value(self.row, col)
+    }
+
+    /// Alias for [`RowView::value`], mirroring slice indexing.
+    #[inline]
+    pub fn get(&self, col: usize) -> Value {
+        self.value(col)
+    }
+
+    /// Number of values in the row (the relation arity).
+    pub fn len(&self) -> usize {
+        self.rel.arity()
+    }
+
+    /// True if the relation has arity zero.
+    pub fn is_empty(&self) -> bool {
+        self.rel.arity() == 0
+    }
+
+    /// Iterates over the row's values in column order.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |c| self.value(c))
+    }
+
+    /// Materializes the row as a vector of values.
+    pub fn to_vec(&self) -> Vec<Value> {
+        self.iter().collect()
+    }
+}
+
+impl PartialEq for RowView<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for RowView<'_> {}
+
+impl PartialEq<[Value]> for RowView<'_> {
+    fn eq(&self, other: &[Value]) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == *b)
+    }
+}
+
+impl PartialEq<Vec<Value>> for RowView<'_> {
+    fn eq(&self, other: &Vec<Value>) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for RowView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
     }
 }
 
@@ -244,8 +432,17 @@ mod tests {
         assert_eq!(r.arity(), 3);
         assert!(!r.is_empty());
         assert_eq!(r.value(1, 1), Value::Int(20));
-        assert_eq!(r.row(2)[2], Value::Double(3.0));
+        assert_eq!(r.row(2).value(2), Value::Double(3.0));
         assert_eq!(r.name(), "R");
+    }
+
+    #[test]
+    fn columns_are_typed() {
+        let r = sample();
+        assert_eq!(r.column(0).as_int().unwrap().len(), 4);
+        assert_eq!(r.column(2).as_float().unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(r.f64(2, 2), 3.0);
+        assert_eq!(r.f64(0, 0), 2.0);
     }
 
     #[test]
@@ -256,10 +453,29 @@ mod tests {
     }
 
     #[test]
+    fn from_columns_validates_lengths() {
+        let schema = RelationSchema::new("C", vec![AttrId(0), AttrId(1)]);
+        let ok = Relation::from_columns(
+            schema.clone(),
+            vec![Column::Int(vec![1, 2]), Column::Float(vec![0.5, 1.5])],
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok.value(1, 1), Value::Double(1.5));
+        let bad = Relation::from_columns(
+            schema.clone(),
+            vec![Column::Int(vec![1]), Column::Float(vec![0.5, 1.5])],
+        );
+        assert!(bad.is_err());
+        let wrong_arity = Relation::from_columns(schema, vec![Column::Int(vec![1])]);
+        assert!(wrong_arity.is_err());
+    }
+
+    #[test]
     fn sorting_by_positions() {
         let mut r = sample();
         r.sort_by_positions(&[0, 1]);
-        let col0: Vec<i64> = (0..r.len()).map(|i| r.value(i, 0).as_i64()).collect();
+        let col0: Vec<i64> = r.column(0).as_int().unwrap().to_vec();
         assert_eq!(col0, vec![1, 1, 2, 2]);
         // Within X0 = 2 the rows are ordered by X1 (5 then 10).
         assert_eq!(r.value(2, 1), Value::Int(5));
@@ -267,6 +483,20 @@ mod tests {
         assert!(r.is_sorted_by(&[0]));
         assert!(r.is_sorted_by(&[0, 1]));
         assert!(!r.is_sorted_by(&[1]));
+    }
+
+    #[test]
+    fn sorting_permutes_every_column_consistently() {
+        let mut r = sample();
+        let before: Vec<Vec<Value>> = r.rows().map(|row| row.to_vec()).collect();
+        r.sort_by_positions(&[2]);
+        let after: Vec<Vec<Value>> = r.rows().map(|row| row.to_vec()).collect();
+        let mut b = before.clone();
+        let mut a = after.clone();
+        b.sort();
+        a.sort();
+        assert_eq!(a, b, "sorting is a permutation of whole rows");
+        assert_eq!(after[0], before[0], "column 2 was already sorted");
     }
 
     #[test]
@@ -295,6 +525,7 @@ mod tests {
     fn min_max() {
         let r = sample();
         assert_eq!(r.min_max(1), Some((Value::Int(5), Value::Int(20))));
+        assert_eq!(r.min_max(2), Some((Value::Double(1.0), Value::Double(4.0))));
         let empty = Relation::new(schema3("E"));
         assert_eq!(empty.min_max(0), None);
     }
@@ -303,14 +534,32 @@ mod tests {
     fn rows_iteration_matches_len() {
         let r = sample();
         assert_eq!(r.rows().count(), r.len());
-        assert_eq!(r.rows().next().unwrap()[0], Value::Int(2));
+        assert_eq!(r.rows().next().unwrap().value(0), Value::Int(2));
     }
 
     #[test]
-    fn size_bytes_nonzero() {
+    fn row_views_compare_and_materialize() {
         let r = sample();
-        assert!(r.size_bytes() > 0);
-        assert_eq!(r.size_bytes(), 12 * std::mem::size_of::<Value>());
+        assert_eq!(r.row(1), r.row(1));
+        assert_ne!(r.row(1), r.row(3));
+        assert_eq!(
+            r.row(1).to_vec(),
+            vec![Value::Int(1), Value::Int(20), Value::Double(2.0)]
+        );
+        assert_eq!(
+            r.row(1),
+            vec![Value::Int(1), Value::Int(20), Value::Double(2.0)]
+        );
+        assert_eq!(r.row(0).len(), 3);
+        assert!(!r.row(0).is_empty());
+        assert!(format!("{:?}", r.row(2)).contains("Int(5)"));
+    }
+
+    #[test]
+    fn size_bytes_uses_native_column_widths() {
+        let r = sample();
+        // Two i64 columns + one f64 column, 4 rows each.
+        assert_eq!(r.size_bytes(), 4 * (8 + 8 + 8));
     }
 
     #[test]
@@ -321,5 +570,16 @@ mod tests {
         r.push_row(&[Value::Int(0), Value::Int(0), Value::Double(0.0)])
             .unwrap();
         assert!(!r.is_sorted_by(&[0]));
+    }
+
+    #[test]
+    fn null_and_mixed_rows_round_trip() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Null, Value::Cat(2)],
+            vec![Value::Double(0.5), Value::Int(3), Value::Cat(0)],
+        ];
+        let r = Relation::from_rows(schema3("M"), rows.clone()).unwrap();
+        let back: Vec<Vec<Value>> = r.rows().map(|row| row.to_vec()).collect();
+        assert_eq!(back, rows);
     }
 }

@@ -10,6 +10,7 @@
 //! discovered with a linear sweep (or galloping search) over the parent range,
 //! and the scan as a whole visits each tuple a constant number of times.
 
+use crate::column::Column;
 use crate::relation::Relation;
 use crate::value::Value;
 use std::ops::Range;
@@ -56,12 +57,13 @@ impl<'a> TrieScan<'a> {
     }
 
     /// Groups `range` by the attribute at `level`, returning for each distinct
-    /// value the sub-range of rows carrying that value.
+    /// value the sub-range of rows carrying that value. The iterator works
+    /// directly on the typed column, so run detection is a native compare per
+    /// probed row — no [`Value`] is materialized until a group is emitted.
     pub fn children(&self, level: usize, range: Range<usize>) -> GroupIter<'a> {
         let col = self.order[level];
         GroupIter {
-            relation: self.relation,
-            col,
+            column: self.relation.column(col),
             pos: range.start,
             end: range.end,
         }
@@ -95,8 +97,7 @@ impl<'a> TrieScan<'a> {
 /// Iterator over the `(value, row range)` groups of one trie level.
 #[derive(Debug)]
 pub struct GroupIter<'a> {
-    relation: &'a Relation,
-    col: usize,
+    column: &'a Column,
     pos: usize,
     end: usize,
 }
@@ -109,17 +110,18 @@ impl<'a> Iterator for GroupIter<'a> {
             return None;
         }
         let start = self.pos;
-        let v = self.relation.value(start, self.col);
+        let col = self.column;
         // Gallop: exponential probe followed by binary search keeps the cost
-        // logarithmic in the group size for long runs of equal values.
+        // logarithmic in the group size for long runs of equal values. All
+        // probes are typed in-column comparisons against the group's first row.
         let mut step = 1usize;
         let mut hi = start + 1;
-        while hi < self.end && self.relation.value(hi, self.col) == v {
+        while hi < self.end && col.eq_rows(hi, start) {
             let next = (hi + step).min(self.end);
             if next == hi {
                 break;
             }
-            if self.relation.value(next - 1, self.col) == v {
+            if col.eq_rows(next - 1, start) {
                 hi = next;
                 step *= 2;
             } else {
@@ -128,7 +130,7 @@ impl<'a> Iterator for GroupIter<'a> {
                 let mut up = next;
                 while lo < up {
                     let mid = (lo + up) / 2;
-                    if self.relation.value(mid, self.col) == v {
+                    if col.eq_rows(mid, start) {
                         lo = mid + 1;
                     } else {
                         up = mid;
@@ -139,7 +141,7 @@ impl<'a> Iterator for GroupIter<'a> {
             }
         }
         self.pos = hi;
-        Some((v, start..hi))
+        Some((col.value(start), start..hi))
     }
 }
 

@@ -6,11 +6,22 @@
 //! full join — exactly what the paper's competitors (PostgreSQL exports for
 //! TensorFlow/scikit, MADlib's view) must do, and what LMFAO avoids.
 
-use lmfao_data::{AttrId, FxHashMap, Relation, RelationSchema, Value};
+use lmfao_data::{AttrId, Column, FxHashMap, Relation, RelationSchema, Value};
 
 /// Hash-joins two relations on their shared attributes (natural join).
 /// The output schema is `left ∪ right` with the left attributes first.
+///
+/// The join is materialized column-wise: the probe phase only collects the
+/// matching `(left row, right row)` index pairs, and each output column is
+/// then built with a single typed gather ([`Column::gather`]) from its source
+/// column — no row-at-a-time copies of `Value` tuples.
 pub fn natural_join_pair(left: &Relation, right: &Relation, out_name: &str) -> Relation {
+    // Row indices are gathered as u32; make the limit loud instead of
+    // silently wrapping on relations beyond 2^32 rows.
+    assert!(
+        left.len() <= u32::MAX as usize && right.len() <= u32::MAX as usize,
+        "natural_join_pair: inputs exceed u32 row indexing"
+    );
     let left_attrs = &left.schema().attrs;
     let right_attrs = &right.schema().attrs;
     let shared: Vec<AttrId> = left_attrs
@@ -18,8 +29,14 @@ pub fn natural_join_pair(left: &Relation, right: &Relation, out_name: &str) -> R
         .copied()
         .filter(|a| right_attrs.contains(a))
         .collect();
-    let left_key_pos: Vec<usize> = shared.iter().map(|a| left.position(*a).unwrap()).collect();
-    let right_key_pos: Vec<usize> = shared.iter().map(|a| right.position(*a).unwrap()).collect();
+    let left_key_cols: Vec<&Column> = shared
+        .iter()
+        .map(|a| left.column(left.position(*a).unwrap()))
+        .collect();
+    let right_key_cols: Vec<&Column> = shared
+        .iter()
+        .map(|a| right.column(right.position(*a).unwrap()))
+        .collect();
     let right_extra_pos: Vec<usize> = right_attrs
         .iter()
         .enumerate()
@@ -29,31 +46,41 @@ pub fn natural_join_pair(left: &Relation, right: &Relation, out_name: &str) -> R
 
     let mut out_attrs = left_attrs.clone();
     out_attrs.extend(right_extra_pos.iter().map(|&i| right_attrs[i]));
-    let mut out = Relation::new(RelationSchema::new(out_name, out_attrs));
+    let out_schema = RelationSchema::new(out_name, out_attrs);
 
     // Build side: the smaller relation would be preferable, but keeping the
     // build on the right keeps output attribute order deterministic.
-    let mut index: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+    let mut index: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
     for i in 0..right.len() {
-        let key: Vec<Value> = right_key_pos.iter().map(|&p| right.value(i, p)).collect();
-        index.entry(key).or_default().push(i);
+        let key: Vec<Value> = right_key_cols.iter().map(|c| c.value(i)).collect();
+        index.entry(key).or_default().push(i as u32);
     }
 
-    let mut row: Vec<Value> = Vec::with_capacity(out.arity());
+    // Probe side: record matching row-index pairs.
+    let mut left_rows: Vec<u32> = Vec::new();
+    let mut right_rows: Vec<u32> = Vec::new();
     for i in 0..left.len() {
-        let key: Vec<Value> = left_key_pos.iter().map(|&p| left.value(i, p)).collect();
+        let key: Vec<Value> = left_key_cols.iter().map(|c| c.value(i)).collect();
         if let Some(matches) = index.get(&key) {
             for &j in matches {
-                row.clear();
-                row.extend_from_slice(left.row(i));
-                for &p in &right_extra_pos {
-                    row.push(right.value(j, p));
-                }
-                out.push_row_unchecked(&row);
+                left_rows.push(i as u32);
+                right_rows.push(j);
             }
         }
     }
-    out
+
+    // Materialize: one gather per output column.
+    let mut columns: Vec<Column> = left
+        .columns()
+        .iter()
+        .map(|c| c.gather(&left_rows))
+        .collect();
+    columns.extend(
+        right_extra_pos
+            .iter()
+            .map(|&p| right.column(p).gather(&right_rows)),
+    );
+    Relation::from_columns(out_schema, columns).expect("gathered columns share one length")
 }
 
 /// Natural join of several relations, performed pairwise in the given order.
@@ -72,13 +99,9 @@ pub fn natural_join(relations: &[&Relation], out_name: &str) -> Relation {
         acc = natural_join_pair(&acc, rel, &name);
     }
     if relations.len() == 1 {
-        let (schema, data) = acc.into_parts();
+        let (schema, columns) = acc.into_parts();
         let renamed = RelationSchema::new(out_name, schema.attrs);
-        let mut out = Relation::new(renamed);
-        for chunk in data.chunks(out.arity().max(1)) {
-            out.push_row_unchecked(chunk);
-        }
-        return out;
+        return Relation::from_columns(renamed, columns).expect("rename keeps columns intact");
     }
     acc
 }

@@ -20,9 +20,10 @@ where
         return 0.0;
     }
     let label_col = test.position(label).expect("label must be a test column");
+    let labels = test.column(label_col);
     let sse: f64 = (0..test.len())
         .map(|i| {
-            let e = predict(i) - test.value(i, label_col).as_f64();
+            let e = predict(i) - labels.f64_at(i);
             e * e
         })
         .sum();
@@ -38,8 +39,9 @@ where
         return 0.0;
     }
     let label_col = test.position(label).expect("label must be a test column");
+    let labels = test.column(label_col);
     let correct = (0..test.len())
-        .filter(|&i| (predict(i) - test.value(i, label_col).as_f64()).abs() < 0.5)
+        .filter(|&i| (predict(i) - labels.f64_at(i)).abs() < 0.5)
         .count();
     correct as f64 / test.len() as f64
 }

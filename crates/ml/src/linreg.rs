@@ -69,10 +69,12 @@ impl LinearRegressionModel {
             return 0.0;
         }
         let label_col = test.position(label).expect("label must be a test column");
-        let cols: Vec<usize> = self
+        // Grab the typed column handles once; the scan reads native values.
+        let label_column = test.column(label_col);
+        let cols: Vec<&lmfao_data::Column> = self
             .features
             .iter()
-            .map(|a| test.position(*a).expect("feature must be a test column"))
+            .map(|a| test.column(test.position(*a).expect("feature must be a test column")))
             .collect();
         let mut sse = 0.0;
         for i in 0..test.len() {
@@ -80,9 +82,9 @@ impl LinearRegressionModel {
                 + cols
                     .iter()
                     .zip(&self.theta[1..])
-                    .map(|(&c, &w)| w * test.value(i, c).as_f64())
+                    .map(|(c, &w)| w * c.f64_at(i))
                     .sum::<f64>();
-            let err = pred - test.value(i, label_col).as_f64();
+            let err = pred - label_column.f64_at(i);
             sse += err * err;
         }
         (sse / test.len() as f64).sqrt()
