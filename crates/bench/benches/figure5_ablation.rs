@@ -29,11 +29,11 @@ fn bench_figure5(c: &mut Criterion) {
         group.measurement_time(std::time::Duration::from_secs(3));
         for (name, config) in EngineConfig::ablation_ladder(4) {
             let engine = engine_for_shared(&shared, ds, config);
-            let prepared = engine.prepare(&batch);
+            let prepared = engine.prepare(&batch).unwrap();
             group.bench_with_input(
                 BenchmarkId::from_parameter(name),
                 &prepared,
-                |b, prepared| b.iter(|| prepared.execute(&dynamics)),
+                |b, prepared| b.iter(|| prepared.execute(&dynamics).unwrap()),
             );
         }
         group.finish();

@@ -37,11 +37,11 @@ fn bench_multiroot(c: &mut Criterion) {
         ("multi_root", EngineConfig::default()),
     ] {
         let engine = engine_for_shared(&shared, &ds, config);
-        let prepared = engine.prepare(&batch);
+        let prepared = engine.prepare(&batch).unwrap();
         group.bench_with_input(
             BenchmarkId::from_parameter(name),
             &prepared,
-            |b, prepared| b.iter(|| prepared.execute(&dynamics)),
+            |b, prepared| b.iter(|| prepared.execute(&dynamics).unwrap()),
         );
     }
     group.finish();

@@ -130,12 +130,16 @@ fn bench_prepared_vs_replanned(c: &mut Criterion) {
         |b, batch| {
             b.iter(|| {
                 // Plan once, execute ITERATIONS times with mutating weights.
-                let prepared = engine.prepare(batch);
+                let prepared = engine.prepare(batch).unwrap();
                 let mut dynamics = weight_registry();
                 let mut acc = 0.0;
                 for i in 0..ITERATIONS {
                     set_iteration_weight(&mut dynamics, i);
-                    acc += prepared.execute(&dynamics).query("w_count").scalar()[0];
+                    acc += prepared
+                        .execute(&dynamics)
+                        .unwrap()
+                        .query("w_count")
+                        .scalar()[0];
                 }
                 acc
             })
@@ -154,6 +158,7 @@ fn bench_prepared_vs_replanned(c: &mut Criterion) {
                     set_iteration_weight(&mut dynamics, i);
                     acc += engine
                         .execute_with_dynamics(batch, &dynamics)
+                        .unwrap()
                         .query("w_count")
                         .scalar()[0];
                 }
@@ -165,7 +170,7 @@ fn bench_prepared_vs_replanned(c: &mut Criterion) {
     group.bench_with_input(
         BenchmarkId::from_parameter("prepare_only"),
         &batch,
-        |b, batch| b.iter(|| engine.prepare(batch).stats().num_views),
+        |b, batch| b.iter(|| engine.prepare(batch).unwrap().stats().num_views),
     );
 
     group.finish();

@@ -29,10 +29,10 @@ fn bench_table3(c: &mut Criterion) {
         group.warm_up_time(std::time::Duration::from_secs(1));
         group.measurement_time(std::time::Duration::from_secs(3));
         for (wl, batch) in &workloads {
-            let prepared = engine.prepare(batch);
+            let prepared = engine.prepare(batch).unwrap();
             let baseline_prepared = baseline.prepare(batch);
             group.bench_with_input(BenchmarkId::new("lmfao", wl), &prepared, |b, prepared| {
-                b.iter(|| prepared.execute(&dynamics))
+                b.iter(|| prepared.execute(&dynamics).unwrap())
             });
             group.bench_with_input(
                 BenchmarkId::new("baseline", wl),

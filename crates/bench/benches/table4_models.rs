@@ -47,11 +47,11 @@ fn bench_table4(c: &mut Criterion) {
         let mut all = features.clone();
         all.push(label);
         let cb = ml::covar_batch(&ml::CovarSpec::continuous_only(all));
-        let prepared_covar = engine.prepare(&cb.batch);
+        let prepared_covar = engine.prepare(&cb.batch).unwrap();
         let dynamics = lmfao_expr::DynamicRegistry::new();
         group.bench_function(BenchmarkId::from_parameter("linreg_lmfao"), |b| {
             b.iter(|| {
-                let result = prepared_covar.execute(&dynamics);
+                let result = prepared_covar.execute(&dynamics).unwrap();
                 let covar = ml::assemble_covar_matrix(&cb, &result);
                 ml::train_linear_regression(&covar, &ml::LinRegConfig::default())
             })
@@ -64,7 +64,7 @@ fn bench_table4(c: &mut Criterion) {
             })
         });
         group.bench_function(BenchmarkId::from_parameter("regtree_lmfao"), |b| {
-            b.iter(|| ml::train_decision_tree(&engine, &features, label, &tree_config))
+            b.iter(|| ml::train_decision_tree(&engine, &features, label, &tree_config).unwrap())
         });
         group.bench_function(BenchmarkId::from_parameter("regtree_materialized"), |b| {
             b.iter(|| {

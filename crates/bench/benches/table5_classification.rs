@@ -38,11 +38,15 @@ fn bench_table5(c: &mut Criterion) {
     // The default trainer prepares the candidate batch once and re-executes
     // it per node; the `_replanned` variant re-runs the optimizer per node.
     group.bench_function(BenchmarkId::from_parameter("classtree_lmfao"), |b| {
-        b.iter(|| ml::train_decision_tree(&engine, &features, label, &tree_config))
+        b.iter(|| ml::train_decision_tree(&engine, &features, label, &tree_config).unwrap())
     });
     group.bench_function(
         BenchmarkId::from_parameter("classtree_lmfao_replanned"),
-        |b| b.iter(|| ml::train_decision_tree_replanned(&engine, &features, label, &tree_config)),
+        |b| {
+            b.iter(|| {
+                ml::train_decision_tree_replanned(&engine, &features, label, &tree_config).unwrap()
+            })
+        },
     );
     group.bench_function(BenchmarkId::from_parameter("classtree_materialized"), |b| {
         b.iter(|| {

@@ -36,11 +36,40 @@ fn scale() -> Scale {
     Scale::new(rows, 42)
 }
 
+/// Worker-thread count: the `--threads N` flag wins, otherwise the available
+/// parallelism capped at 8.
+static THREAD_OVERRIDE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+
 fn threads() -> usize {
+    if let Some(&n) = THREAD_OVERRIDE.get() {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(8)
+}
+
+/// The git revision the binary runs from: `LMFAO_GIT_REVISION` /
+/// `GITHUB_SHA` when set (CI), else `git rev-parse HEAD`, else "unknown".
+/// Recorded in the benchmark JSON so regression diffs can name the commits.
+fn git_revision() -> String {
+    for var in ["LMFAO_GIT_REVISION", "GITHUB_SHA"] {
+        if let Ok(rev) = std::env::var(var) {
+            if !rev.is_empty() {
+                return rev;
+            }
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -105,8 +134,8 @@ fn table2(datasets: &[Dataset]) {
         for (wl, batch) in spec.workloads(ds) {
             // Planning statistics come from the prepared batch; executing it
             // fills in the output sizes.
-            let prepared = engine.prepare(&batch);
-            let result = prepared.execute(&DynamicRegistry::new());
+            let prepared = engine.prepare(&batch).unwrap();
+            let result = prepared.execute(&DynamicRegistry::new()).unwrap();
             let s = &result.stats;
             println!(
                 "{:<4} {:<10} {:>8} {:>8} {:>6} {:>6} {:>12.1}",
@@ -138,7 +167,7 @@ fn table3(datasets: &[Dataset]) {
         let mut workloads = vec![("Count", spec.count_batch(ds))];
         workloads.extend(spec.workloads(ds));
         for (wl, batch) in workloads {
-            let (_, lmfao_time) = time(|| engine.execute(&batch));
+            let (_, lmfao_time) = time(|| engine.execute(&batch).unwrap());
             let (_, scan_time) = time(|| baseline_engine.execute_batch(&batch, &dynamics));
             let baseline_time = materialize_time + scan_time;
             println!(
@@ -170,7 +199,7 @@ fn figure5(datasets: &[Dataset]) {
             let spec = WorkloadSpec::for_dataset(&ds.name);
             let batch = spec.covar_batch(ds);
             let engine = engine_for(ds, config);
-            let (_, secs) = time(|| engine.execute(&batch));
+            let (_, secs) = time(|| engine.execute(&batch).unwrap());
             if let Some(prev) = previous.get(i) {
                 print!(" {:>6.2}s({:>3.1}x)", secs, prev / secs.max(1e-9));
             } else {
@@ -222,7 +251,7 @@ fn tables45(datasets: &[Dataset]) {
             let mut all = features.clone();
             all.push(label);
             let cb = ml::covar_batch(&ml::CovarSpec::continuous_only(all));
-            let result = engine.execute(&cb.batch);
+            let result = engine.execute(&cb.batch).unwrap();
             let covar = ml::assemble_covar_matrix(&cb, &result);
             ml::train_linear_regression(&covar, &ml::LinRegConfig::default())
         });
@@ -285,6 +314,7 @@ fn tables45(datasets: &[Dataset]) {
                 buckets: 10,
             },
         )
+        .unwrap()
     });
     println!("{:<30} {:>10.3}", "Join materialization", t_join);
     println!("{:<30} {:>10.3}", "Classification tree LMFAO", t_ct);
@@ -322,7 +352,7 @@ fn example33() {
         ("multi root", EngineConfig::default()),
     ] {
         let engine = lmfao_bench::engine_for_shared(&shared, &ds, config);
-        let (result, secs) = time(|| engine.execute(&batch));
+        let (result, secs) = time(|| engine.execute(&batch).unwrap());
         println!(
             "{name:<12}: {:.3}s  ({} views, {} groups, {} roots)",
             secs, result.stats.num_views, result.stats.num_groups, result.stats.num_roots
@@ -383,6 +413,10 @@ fn render_bench_json(records: &[BenchRecord], sc: Scale, threads: usize) -> Stri
     s.push_str(&format!("  \"scale\": {},\n", sc.fact_rows));
     s.push_str(&format!("  \"seed\": {},\n", sc.seed));
     s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!(
+        "  \"git_revision\": \"{}\",\n",
+        json_escape(&git_revision())
+    ));
     let errors = records.iter().filter(|r| r.error.is_some()).count();
     s.push_str(&format!("  \"errors\": {errors},\n"));
     s.push_str("  \"workloads\": [\n");
@@ -447,11 +481,11 @@ fn quick(json_path: Option<&str>) -> i32 {
         for (wl, batch) in workloads {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let dynamics = DynamicRegistry::new();
-                let (prepared, prepare_secs) = time(|| engine.prepare(&batch));
+                let (prepared, prepare_secs) = time(|| engine.prepare(&batch).unwrap());
                 let mut times = Vec::with_capacity(RUNS);
                 let mut output_rows = 0usize;
                 for _ in 0..RUNS {
-                    let (result, secs) = time(|| prepared.execute(&dynamics));
+                    let (result, secs) = time(|| prepared.execute(&dynamics).unwrap());
                     output_rows = result.queries.iter().map(|q| q.len()).sum();
                     times.push(secs);
                 }
@@ -523,18 +557,117 @@ fn quick(json_path: Option<&str>) -> i32 {
     }
 }
 
+/// The `--maintain` mode: refresh latency of maintained batches versus full
+/// re-execution of the same prepared batch, on the RT workload of every
+/// dataset. Single-tuple deltas against the fact table, median of several
+/// refreshes. Returns a process exit code.
+fn maintain_mode() -> i32 {
+    use lmfao_datagen::{fact_relation, update_stream, UpdateMix};
+    const REFRESHES: usize = 9;
+    let sc = Scale::new(
+        std::env::var("LMFAO_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(20_000),
+        42,
+    );
+    let threads = threads();
+    println!(
+        "LMFAO maintenance — scale {} fact tuples, {threads} threads, {REFRESHES} refreshes/dataset",
+        sc.fact_rows
+    );
+    let (datasets, gen_time) = time(|| all_datasets(sc));
+    println!("generated 4 datasets in {gen_time:.2}s");
+    println!(
+        "\n{:<10} {:>14} {:>14} {:>10} {:>10}",
+        "Dataset", "full exec", "refresh", "speedup", "views Δ"
+    );
+    let dynamics = DynamicRegistry::new();
+    let mut failures = 0;
+    for ds in &datasets {
+        let spec = WorkloadSpec::for_dataset(&ds.name);
+        let batch = spec.rt_node_batch(ds);
+        let engine = engine_for(ds, EngineConfig::full(threads));
+        let prepared = match engine.prepare(&batch) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{:<10} ERROR: {e}", ds.name);
+                failures += 1;
+                continue;
+            }
+        };
+        // Full-execute median.
+        let mut exec_times = Vec::new();
+        for _ in 0..3 {
+            let (_, secs) = time(|| prepared.execute(&dynamics).unwrap());
+            exec_times.push(secs);
+        }
+        exec_times.sort_by(f64::total_cmp);
+        let full = exec_times[exec_times.len() / 2];
+
+        // Single-tuple refresh median over a reproducible update stream.
+        let mut maintained = match prepared.into_maintained(&dynamics) {
+            Ok(m) => m,
+            Err(e) => {
+                println!("{:<10} ERROR: {e}", ds.name);
+                failures += 1;
+                continue;
+            }
+        };
+        let fact = fact_relation(&ds.name);
+        let stream = update_stream(ds, fact, &UpdateMix::balanced(REFRESHES));
+        let mut refresh_times = Vec::new();
+        let mut views_changed = 0;
+        for delta in &stream {
+            let (stats, secs) = time(|| maintained.apply(delta, &dynamics).unwrap());
+            views_changed = stats.views_changed;
+            refresh_times.push(secs);
+        }
+        refresh_times.sort_by(f64::total_cmp);
+        let refresh = refresh_times[refresh_times.len() / 2];
+        println!(
+            "{:<10} {:>12.4}s {:>12.6}s {:>9.1}x {:>10}",
+            ds.name,
+            full,
+            refresh,
+            full / refresh.max(1e-9),
+            views_changed
+        );
+    }
+    if failures > 0 {
+        1
+    } else {
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    // Flag parsing: `--quick` selects the CI smoke suite; `--json [path]`
-    // writes the machine-readable artifact (default BENCH_ci.json).
+    // Flag parsing: `--quick` selects the CI smoke suite; `--maintain` the
+    // refresh-latency suite; `--json [path]` writes the machine-readable
+    // artifact (default BENCH_ci.json); `--threads N` overrides the worker
+    // count (recorded in the JSON).
     let mut positional: Vec<&str> = Vec::new();
     let mut is_quick = false;
+    let mut is_maintain = false;
     let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => is_quick = true,
+            "--maintain" => is_maintain = true,
+            "--threads" => {
+                let n: usize = args
+                    .get(i + 1)
+                    .and_then(|a| a.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads requires a positive integer");
+                        std::process::exit(2);
+                    });
+                THREAD_OVERRIDE.set(n.max(1)).ok();
+                i += 1;
+            }
             "--json" => {
                 let next = args.get(i + 1).filter(|a| !a.starts_with("--"));
                 json_path = Some(match next {
@@ -551,6 +684,9 @@ fn main() {
     }
     if is_quick {
         std::process::exit(quick(json_path.as_deref()));
+    }
+    if is_maintain {
+        std::process::exit(maintain_mode());
     }
 
     let what = positional.first().copied().unwrap_or("all");

@@ -393,7 +393,7 @@ mod tests {
         let ds = lmfao_datagen::favorita::generate(Scale::small());
         let spec = WorkloadSpec::for_dataset(&ds.name);
         let engine = engine_for(&ds, EngineConfig::default());
-        let result = engine.execute(&spec.count_batch(&ds));
+        let result = engine.execute(&spec.count_batch(&ds)).unwrap();
         assert!(result.query("count").scalar()[0] > 0.0);
     }
 
@@ -406,10 +406,11 @@ mod tests {
         let mut counts = Vec::new();
         for (_, config) in EngineConfig::ablation_ladder(2) {
             let engine = engine_for_shared(&shared, &ds, config);
-            let prepared = engine.prepare(&batch);
+            let prepared = engine.prepare(&batch).unwrap();
             counts.push(
                 prepared
                     .execute(&lmfao_expr::DynamicRegistry::new())
+                    .unwrap()
                     .query("count")
                     .scalar()[0],
             );

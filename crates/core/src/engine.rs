@@ -12,13 +12,14 @@
 //! let engine = Engine::new(db, tree, EngineConfig::default());
 //! let mut batch = QueryBatch::new();
 //! batch.push("count", vec![], vec![Aggregate::count()]);
-//! let prepared = engine.prepare(&batch);
-//! let result = prepared.execute(&DynamicRegistry::new());
+//! let prepared = engine.prepare(&batch).unwrap();
+//! let result = prepared.execute(&DynamicRegistry::new()).unwrap();
 //! println!("count = {}", result.query("count").scalar()[0]);
 //! # }
 //! ```
 
 use crate::config::EngineConfig;
+use crate::error::EngineError;
 use crate::prepared::PreparedBatch;
 use crate::shared::SharedDatabase;
 use lmfao_data::{AttrId, Database, FxHashMap, Value};
@@ -186,14 +187,18 @@ impl Engine {
     /// multi-output plans) over the batch once and returns the cached
     /// [`PreparedBatch`]. Planning statistics are available immediately via
     /// [`PreparedBatch::stats`]; execution via [`PreparedBatch::execute`].
-    pub fn prepare(&self, batch: &QueryBatch) -> PreparedBatch {
+    ///
+    /// Planning failures (a join-tree node whose relation the database does
+    /// not have, a join attribute missing from its relation) surface as typed
+    /// [`EngineError`]s instead of panics.
+    pub fn prepare(&self, batch: &QueryBatch) -> Result<PreparedBatch, EngineError> {
         PreparedBatch::build(self.db.clone(), self.tree.clone(), self.config, batch)
     }
 
     /// Evaluates a batch once with an empty dynamic-function registry: a thin
     /// `prepare + execute` convenience. Prefer [`Engine::prepare`] when the
     /// same batch is evaluated more than once.
-    pub fn execute(&self, batch: &QueryBatch) -> BatchResult {
+    pub fn execute(&self, batch: &QueryBatch) -> Result<BatchResult, EngineError> {
         self.execute_with_dynamics(batch, &DynamicRegistry::new())
     }
 
@@ -203,8 +208,8 @@ impl Engine {
         &self,
         batch: &QueryBatch,
         dynamics: &DynamicRegistry,
-    ) -> BatchResult {
-        self.prepare(batch).execute(dynamics)
+    ) -> Result<BatchResult, EngineError> {
+        self.prepare(batch)?.execute(dynamics)
     }
 }
 
@@ -300,7 +305,7 @@ mod tests {
         let batch = covar_batch(&db);
         for (name, cfg) in EngineConfig::ablation_ladder(2) {
             let engine = Engine::new(db.clone(), tree.clone(), cfg);
-            let result = engine.execute(&batch);
+            let result = engine.execute(&batch).unwrap();
             assert_eq!(result.queries[1].scalar()[0], expected_uu, "{name}");
             assert_eq!(result.queries[2].scalar()[0], expected_uv, "{name}");
             assert!(result.queries[0].scalar()[0] > 0.0, "{name}");
@@ -311,10 +316,13 @@ mod tests {
     fn group_by_results_are_identical_across_configurations() {
         let (db, tree) = chain_db();
         let batch = covar_batch(&db);
-        let reference =
-            Engine::new(db.clone(), tree.clone(), EngineConfig::unoptimized()).execute(&batch);
+        let reference = Engine::new(db.clone(), tree.clone(), EngineConfig::unoptimized())
+            .execute(&batch)
+            .unwrap();
         for (name, cfg) in EngineConfig::ablation_ladder(2).into_iter().skip(1) {
-            let result = Engine::new(db.clone(), tree.clone(), cfg).execute(&batch);
+            let result = Engine::new(db.clone(), tree.clone(), cfg)
+                .execute(&batch)
+                .unwrap();
             let r = &result.queries[4];
             let e = &reference.queries[4];
             assert_eq!(r.len(), e.len(), "{name}");
@@ -334,7 +342,7 @@ mod tests {
         let (db, tree) = chain_db();
         let batch = covar_batch(&db);
         let engine = Engine::new(db, tree, EngineConfig::default());
-        let result = engine.execute(&batch);
+        let result = engine.execute(&batch).unwrap();
         let stats = &result.stats;
         assert_eq!(stats.application_aggregates, 6);
         // Far fewer views than aggregates × edges.
@@ -344,7 +352,7 @@ mod tests {
         assert!(stats.output_size_bytes > 0);
         // The prepared batch reports the same optimizer counters without
         // executing anything.
-        let planned = engine.prepare(&batch).stats().clone();
+        let planned = engine.prepare(&batch).unwrap().stats().clone();
         assert_eq!(planned.num_views, stats.num_views);
         assert_eq!(planned.num_groups, stats.num_groups);
         assert_eq!(planned.num_roots, stats.num_roots);
@@ -357,7 +365,7 @@ mod tests {
         let (db, tree) = chain_db();
         let batch = covar_batch(&db);
         let engine = Engine::new(db, tree, EngineConfig::default());
-        let result = engine.execute(&batch);
+        let result = engine.execute(&batch).unwrap();
         assert_eq!(
             result.query("uv").scalar()[0],
             result.queries[2].scalar()[0]
@@ -372,7 +380,7 @@ mod tests {
         let (db, tree) = chain_db();
         let batch = covar_batch(&db);
         let engine = Engine::new(db, tree, EngineConfig::default());
-        engine.execute(&batch).query("missing");
+        engine.execute(&batch).unwrap().query("missing");
     }
 
     #[test]
@@ -384,7 +392,7 @@ mod tests {
         db.recompute_statistics();
         let batch = covar_batch(&db);
         let engine = Engine::new(db, tree, EngineConfig::default());
-        let result = engine.execute(&batch);
+        let result = engine.execute(&batch).unwrap();
         assert_eq!(result.queries[0].scalar()[0], 0.0);
         assert!(result.queries[4].is_empty());
     }
@@ -408,16 +416,24 @@ mod tests {
         );
         let engine = Engine::new(db, tree, EngineConfig::default());
         // Plan once; only the dynamic closure changes between executions.
-        let prepared = engine.prepare(&batch);
-        let first = prepared.execute(&dynamics).query("dyn_count").scalar()[0];
+        let prepared = engine.prepare(&batch).unwrap();
+        let first = prepared
+            .execute(&dynamics)
+            .unwrap()
+            .query("dyn_count")
+            .scalar()[0];
         dynamics.replace(cond, |_| 1.0);
-        let second = prepared.execute(&dynamics).query("dyn_count").scalar()[0];
+        let second = prepared
+            .execute(&dynamics)
+            .unwrap()
+            .query("dyn_count")
+            .scalar()[0];
         assert!(
             first < second,
             "loosening the predicate must grow the count"
         );
         // The one-shot convenience path agrees with the prepared path.
-        let one_shot = engine.execute_with_dynamics(&batch, &dynamics);
+        let one_shot = engine.execute_with_dynamics(&batch, &dynamics).unwrap();
         assert_eq!(one_shot.query("dyn_count").scalar()[0], second);
     }
 
@@ -428,14 +444,15 @@ mod tests {
         let shared = crate::shared::SharedDatabase::prepare(db, &tree);
         let reference =
             Engine::with_shared(shared.clone(), tree.clone(), EngineConfig::unoptimized())
-                .execute(&batch);
+                .execute(&batch)
+                .unwrap();
         for (name, cfg) in EngineConfig::ablation_ladder(2).into_iter().skip(1) {
             let engine = Engine::with_shared(shared.clone(), tree.clone(), cfg);
             assert!(crate::shared::SharedDatabase::same_storage(
                 &shared,
                 engine.shared_database()
             ));
-            let result = engine.execute(&batch);
+            let result = engine.execute(&batch).unwrap();
             for (r, e) in result.queries.iter().zip(&reference.queries) {
                 assert_eq!(r.len(), e.len(), "{name}");
                 for (key, vals) in e.iter() {
@@ -452,8 +469,12 @@ mod tests {
     fn parallel_execution_matches_sequential() {
         let (db, tree) = chain_db();
         let batch = covar_batch(&db);
-        let seq = Engine::new(db.clone(), tree.clone(), EngineConfig::full(1)).execute(&batch);
-        let par = Engine::new(db, tree, EngineConfig::full(4)).execute(&batch);
+        let seq = Engine::new(db.clone(), tree.clone(), EngineConfig::full(1))
+            .execute(&batch)
+            .unwrap();
+        let par = Engine::new(db, tree, EngineConfig::full(4))
+            .execute(&batch)
+            .unwrap();
         for (s, p) in seq.queries.iter().zip(&par.queries) {
             assert_eq!(s.len(), p.len());
             for (key, vals) in s.iter() {

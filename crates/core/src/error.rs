@@ -1,0 +1,75 @@
+//! Typed engine errors.
+//!
+//! Planning and execution failures used to surface as panics
+//! (`expect("group relation must exist")`) or as silently-empty results (the
+//! old `IncomingData::Missing` path that treated an uncomputed dependency
+//! view as empty). Both are now typed [`EngineError`]s surfaced through
+//! [`crate::engine::Engine::prepare`] / [`crate::prepared::PreparedBatch::execute`]
+//! and through the maintenance API ([`crate::maintain::MaintainedBatch`]).
+
+use crate::view::ViewId;
+use lmfao_data::DataError;
+use std::fmt;
+
+/// Errors raised by the planning, execution and maintenance layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A join-tree node references a relation the database does not have.
+    UnknownRelation(String),
+    /// A plan could not be lowered against the database schema.
+    InvalidPlan(String),
+    /// Execution needed a view that has not been computed — a dependency
+    /// scheduling bug, no longer masked as an empty view.
+    ViewNotComputed(ViewId),
+    /// A delta could not be applied (unknown target, unmatched delete, …).
+    Data(DataError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownRelation(name) => {
+                write!(f, "unknown relation `{name}` referenced by the plan")
+            }
+            EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            EngineError::ViewNotComputed(id) => {
+                write!(f, "view {} required before it was computed", id.0)
+            }
+            EngineError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for EngineError {
+    fn from(e: DataError) -> Self {
+        EngineError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(EngineError::UnknownRelation("Sales".into())
+            .to_string()
+            .contains("Sales"));
+        assert!(EngineError::ViewNotComputed(ViewId(7))
+            .to_string()
+            .contains('7'));
+        let e: EngineError = DataError::UnknownRelation("R".into()).into();
+        assert!(matches!(e, EngineError::Data(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&EngineError::InvalidPlan("x".into())).is_none());
+    }
+}

@@ -11,8 +11,9 @@
 //! code the paper generates (Figure 4), expressed as a register program
 //! instead of generated source.
 
+use crate::error::EngineError;
 use crate::plan::{DepthUpdate, GroupPlan, IncomingPlan, KeySource, OutputPlan, TermPlan};
-use crate::view::{ComputedView, ViewId};
+use crate::view::{ComputedView, ViewId, ViewSource};
 use lmfao_data::{AttrId, Column, Database, FxHashMap, Relation, TrieScan, Value};
 use lmfao_expr::{CmpOp, DynamicRegistry, ScalarFunction};
 use std::cmp::Ordering;
@@ -32,8 +33,6 @@ enum IncomingData<'a> {
     /// the bound part of the key; each entry holds the extra key values and
     /// the aggregate payload.
     Indexed(BoundIndex),
-    /// The view has not been computed (defensive; yields empty results).
-    Missing,
 }
 
 /// Evaluates a scalar function under an attribute-value lookup, routing
@@ -219,24 +218,56 @@ struct State<'a> {
 /// computed view per output plan. Partitions may split arbitrary row ranges:
 /// results of different partitions merge by element-wise addition because all
 /// aggregates are sums over the scanned tuples.
-pub fn execute_group(
+pub fn execute_group<V: ViewSource>(
     db: &Database,
     plan: &GroupPlan,
-    computed: &FxHashMap<ViewId, ComputedView>,
+    computed: &V,
     dynamics: &DynamicRegistry,
     partition: Option<Range<usize>>,
-) -> Vec<(ViewId, ComputedView)> {
+) -> Result<Vec<(ViewId, ComputedView)>, EngineError> {
     let relation = db
         .relation(&plan.relation)
-        .expect("group relation must exist");
+        .map_err(|_| EngineError::UnknownRelation(plan.relation.clone()))?;
+    execute_group_scan(
+        relation,
+        db.schema().num_attributes(),
+        plan,
+        computed,
+        dynamics,
+        partition,
+        None,
+    )
+}
 
+/// The restartable core of [`execute_group`]: runs a group plan over an
+/// explicit relation — the plan's base relation, or a *delta partition* of it
+/// (the sorted insert/delete rows of a [`lmfao_data::TableDelta`]) — and an
+/// optional per-slot mask.
+///
+/// `slot_mask`, when given, zeroes the partial-product register of every term
+/// slot whose flag is `false` before the scan starts, so those terms emit
+/// nothing. The maintenance layer uses this to suppress terms that reference
+/// no changed incoming view: when incoming views are overlaid with their
+/// signed deltas, only masked-in terms contribute to the output delta, and
+/// the all-zero register pruning skips whole subtrees whose probes miss the
+/// (small) delta keys.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_group_scan<V: ViewSource>(
+    relation: &Relation,
+    num_attributes: usize,
+    plan: &GroupPlan,
+    computed: &V,
+    dynamics: &DynamicRegistry,
+    partition: Option<Range<usize>>,
+    slot_mask: Option<&[bool]>,
+) -> Result<Vec<(ViewId, ComputedView)>, EngineError> {
     let incoming: Vec<IncomingData> = plan
         .incoming
         .iter()
         .map(|inc| prepare_incoming(inc, computed))
-        .collect();
+        .collect::<Result<_, _>>()?;
 
-    let mut col_of_attr = vec![usize::MAX; db.schema().num_attributes()];
+    let mut col_of_attr = vec![usize::MAX; num_attributes];
     for (pos, &attr) in relation.schema().attrs.iter().enumerate() {
         col_of_attr[attr.index()] = pos;
     }
@@ -282,8 +313,17 @@ pub fn execute_group(
             .collect(),
     };
 
-    // Depth-0 program: constants and incoming views with no bound keys.
+    // Depth-0 program: constants and incoming views with no bound keys, then
+    // the optional term mask (maintenance zeroes unaffected terms here).
     apply_program(&ctx, &mut state, 0);
+    if let Some(mask) = slot_mask {
+        debug_assert_eq!(mask.len(), plan.num_slots);
+        for (slot, &active) in mask.iter().enumerate() {
+            if !active {
+                state.prefix[0][slot] = 0.0;
+            }
+        }
+    }
     let range = partition.unwrap_or(0..relation.len());
     if !all_zero(&state.prefix[0]) || plan.num_slots == 0 {
         recurse(&ctx, &mut state, 0, range);
@@ -297,22 +337,23 @@ pub fn execute_group(
         }
     }
 
-    plan.outputs
+    Ok(plan
+        .outputs
         .iter()
         .zip(state.outputs)
         .map(|(o, cv)| (o.view, cv))
-        .collect()
+        .collect())
 }
 
-fn prepare_incoming<'a>(
+fn prepare_incoming<'a, V: ViewSource>(
     inc: &IncomingPlan,
-    computed: &'a FxHashMap<ViewId, ComputedView>,
-) -> IncomingData<'a> {
-    let Some(cv) = computed.get(&inc.view) else {
-        return IncomingData::Missing;
+    computed: &'a V,
+) -> Result<IncomingData<'a>, EngineError> {
+    let Some(cv) = computed.view_result(inc.view) else {
+        return Err(EngineError::ViewNotComputed(inc.view));
     };
     if !inc.has_extras() {
-        return IncomingData::Direct(cv);
+        return Ok(IncomingData::Direct(cv));
     }
     let mut index: BoundIndex = FxHashMap::default();
     for (key, aggs) in cv.iter() {
@@ -323,7 +364,7 @@ fn prepare_incoming<'a>(
             .or_default()
             .push((extra_part, aggs.clone()));
     }
-    IncomingData::Indexed(index)
+    Ok(IncomingData::Indexed(index))
 }
 
 fn all_zero(v: &[f64]) -> bool {
@@ -731,8 +772,8 @@ mod tests {
         let dynamics = DynamicRegistry::new();
         let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
         for gid in grouping.topological_order() {
-            let plan = build_group_plan(db, tree, &pd.catalog, &grouping.groups[gid]);
-            for (vid, cv) in execute_group(db, &plan, &computed, &dynamics, None) {
+            let plan = build_group_plan(db, tree, &pd.catalog, &grouping.groups[gid]).unwrap();
+            for (vid, cv) in execute_group(db, &plan, &computed, &dynamics, None).unwrap() {
                 computed.insert(vid, cv);
             }
         }
@@ -907,13 +948,15 @@ mod tests {
         let dynamics = DynamicRegistry::new();
         let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
         for gid in grouping.topological_order() {
-            let plan = build_group_plan(&db, &tree, &pd.catalog, &grouping.groups[gid]);
+            let plan = build_group_plan(&db, &tree, &pd.catalog, &grouping.groups[gid]).unwrap();
             let rel_len = db.relation(&plan.relation).unwrap().len();
             // Split the relation into two arbitrary partitions and merge.
             let mid = rel_len / 2;
             let mut partials: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
             for part in [0..mid, mid..rel_len] {
-                for (vid, cv) in execute_group(&db, &plan, &computed, &dynamics, Some(part)) {
+                for (vid, cv) in
+                    execute_group(&db, &plan, &computed, &dynamics, Some(part)).unwrap()
+                {
                     match partials.get_mut(&vid) {
                         Some(acc) => {
                             for (k, v) in cv.iter() {

@@ -73,6 +73,44 @@ impl Grouping {
         debug_assert_eq!(order.len(), n, "group dependency graph has a cycle");
         order
     }
+
+    /// The groups reachable *downstream* of `seeds` through the dependency
+    /// graph — every group whose result (transitively) depends on a seed —
+    /// including the seeds themselves, in topological order. This is the
+    /// refresh frontier of incremental maintenance: when a base relation
+    /// changes, only the groups scanning it (the seeds) and their transitive
+    /// dependents need to run; every other group is provably unaffected.
+    pub fn transitive_dependents(&self, seeds: &[usize]) -> Vec<usize> {
+        let n = self.groups.len();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (g, deps) in self.dependencies.iter().enumerate() {
+            for &d in deps {
+                dependents[d].push(g);
+            }
+        }
+        let mut reached = vec![false; n];
+        let mut stack: Vec<usize> = seeds.to_vec();
+        while let Some(g) = stack.pop() {
+            if std::mem::replace(&mut reached[g], true) {
+                continue;
+            }
+            stack.extend(dependents[g].iter().copied());
+        }
+        self.topological_order()
+            .into_iter()
+            .filter(|&g| reached[g])
+            .collect()
+    }
+
+    /// The groups whose scan reads the relation of join-tree node `node` —
+    /// the seed groups of a delta arriving at that node.
+    pub fn groups_at_node(&self, node: usize) -> Vec<usize> {
+        self.groups
+            .iter()
+            .filter(|g| g.node == node)
+            .map(|g| g.id)
+            .collect()
+    }
 }
 
 /// Groups the views of a catalog. When `multi_output` is false, every view
@@ -259,6 +297,40 @@ mod tests {
         }
         // 6 views collapse into 5 groups (the two node-1 stage-1 views merge).
         assert_eq!(grouping.len(), 5);
+    }
+
+    #[test]
+    fn transitive_dependents_cover_the_refresh_frontier() {
+        let (cat, ids) = figure_like_catalog();
+        let grouping = group_views(&cat, true);
+        let [c_to_b, b_to_a, out_a, a_to_b, _b_to_c, out_c] = ids[..] else {
+            unreachable!()
+        };
+        // A change at node 2 (relation C) seeds the groups scanning node 2.
+        let seeds = grouping.groups_at_node(2);
+        assert!(seeds.contains(&grouping.group_of_view[&c_to_b]));
+        let frontier = grouping.transitive_dependents(&seeds);
+        // Everything downstream of C→B must be in the frontier...
+        for v in [c_to_b, b_to_a, out_a, out_c] {
+            assert!(
+                frontier.contains(&grouping.group_of_view[&v]),
+                "view {v:?} must be refreshed"
+            );
+        }
+        // ...but A→B does not depend on node 2 at all. (Its group also hosts
+        // out_c's input b_to_c only if they share (node, stage); b_to_c is at
+        // node 1 stage 1, a_to_b at node 0 stage 0 — distinct groups.)
+        assert!(!frontier.contains(&grouping.group_of_view[&a_to_b]));
+        // The frontier is in topological order.
+        let pos: FxHashMap<usize, usize> =
+            frontier.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        for &g in &frontier {
+            for &d in &grouping.dependencies[g] {
+                if let Some(&dp) = pos.get(&d) {
+                    assert!(dp < pos[&g]);
+                }
+            }
+        }
     }
 
     #[test]

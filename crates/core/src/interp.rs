@@ -9,6 +9,7 @@
 //! bar) and doubles as an independent re-implementation of the view
 //! semantics that the specialized executor is cross-checked against in tests.
 
+use crate::error::EngineError;
 use crate::view::{ComputedView, ViewCatalog, ViewId, ViewTerm};
 use lmfao_data::{AttrId, Database, FxHashMap, Relation, Value};
 use lmfao_expr::{DynamicRegistry, ScalarFunction};
@@ -65,11 +66,12 @@ pub fn execute_view_interpreted(
     view_id: ViewId,
     computed: &FxHashMap<ViewId, ComputedView>,
     dynamics: &DynamicRegistry,
-) -> ComputedView {
+) -> Result<ComputedView, EngineError> {
     let def = catalog.view(view_id);
+    let relation_name = &tree.node(def.source).relation;
     let relation = db
-        .relation(&tree.node(def.source).relation)
-        .expect("view source relation must exist");
+        .relation(relation_name)
+        .map_err(|_| EngineError::UnknownRelation(relation_name.clone()))?;
 
     let deps = def.dependencies();
     let mut incoming: FxHashMap<ViewId, IncomingRef> = FxHashMap::default();
@@ -77,7 +79,7 @@ pub fn execute_view_interpreted(
         let dep_def = catalog.view(*dep);
         let result = computed
             .get(dep)
-            .expect("dependencies must be computed before a view");
+            .ok_or(EngineError::ViewNotComputed(*dep))?;
         let mut bound = Vec::new();
         let mut extras = Vec::new();
         for (pos, &attr) in dep_def.group_by.iter().enumerate() {
@@ -150,7 +152,7 @@ pub fn execute_view_interpreted(
             );
         }
     }
-    out
+    Ok(out)
 }
 
 /// One aggregate term with its local factors pre-partitioned into per-row and
@@ -349,7 +351,8 @@ mod tests {
         let dynamics = DynamicRegistry::new();
         let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
         for vid in pd.catalog.topological_order() {
-            let cv = execute_view_interpreted(&db, &tree, &pd.catalog, vid, &computed, &dynamics);
+            let cv = execute_view_interpreted(&db, &tree, &pd.catalog, vid, &computed, &dynamics)
+                .unwrap();
             computed.insert(vid, cv);
         }
         // Join: (1,1,2,10) (2,1,3,10) (3,2,4,20) → Σ x·y = 20 + 30 + 80 = 130.
@@ -380,7 +383,8 @@ mod tests {
         let dynamics = DynamicRegistry::new();
         let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
         for vid in pd.catalog.topological_order() {
-            let cv = execute_view_interpreted(&db, &tree, &pd.catalog, vid, &computed, &dynamics);
+            let cv = execute_view_interpreted(&db, &tree, &pd.catalog, vid, &computed, &dynamics)
+                .unwrap();
             computed.insert(vid, cv);
         }
         let out = &computed[&pd.outputs[0].view];

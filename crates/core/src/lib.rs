@@ -18,15 +18,23 @@
 //! runs layers 2–5 once and caches the result as a [`PreparedBatch`] over a
 //! [`SharedDatabase`] handle; [`PreparedBatch::execute`] runs only the scans,
 //! so batches with changing dynamic functions (decision-tree predicates,
-//! iteration weights) never pay for planning twice.
+//! iteration weights) never pay for planning twice. When base relations
+//! receive updates, [`PreparedBatch::into_maintained`] promotes the batch to
+//! live materialized state ([`maintain`]): a [`MaintainedBatch`] retains
+//! every computed view and refreshes under signed
+//! [`lmfao_data::TableDelta`]s with work proportional to the delta, instead
+//! of recomputing. Planning and execution failures surface as typed
+//! [`EngineError`]s.
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod exec;
 pub mod group;
 pub mod interp;
+pub mod maintain;
 pub mod parallel;
 pub mod plan;
 pub mod prepared;
@@ -37,9 +45,11 @@ pub mod view;
 
 pub use config::EngineConfig;
 pub use engine::{BatchResult, Engine, EngineStats, QueryResult};
+pub use error::EngineError;
+pub use maintain::{MaintainedBatch, RefreshStats};
 pub use prepared::PreparedBatch;
 pub use shared::SharedDatabase;
-pub use view::{ComputedView, ViewCatalog, ViewDef, ViewId};
+pub use view::{ComputedView, ViewCatalog, ViewDef, ViewId, ViewSource};
 
 #[cfg(test)]
 mod smoke {
@@ -94,7 +104,7 @@ mod smoke {
         batch.push("per_store", vec![store], vec![Aggregate::sum(units)]);
 
         let engine = Engine::new(db, tree, EngineConfig::default());
-        let result = engine.execute(&batch);
+        let result = engine.execute(&batch).unwrap();
         assert_eq!(result.queries[0].scalar()[0], 2.0);
         assert_eq!(result.queries[1].scalar()[0], 80.0);
         assert_eq!(result.queries[2].get(&[Value::Int(1)]).unwrap()[0], 3.0);

@@ -1,0 +1,617 @@
+//! Incremental view maintenance: prepared batches that refresh under updates.
+//!
+//! A [`crate::prepared::PreparedBatch`] replays its plans against frozen
+//! data. [`MaintainedBatch`] goes one step further and turns the batch into
+//! *live materialized state*: every [`ComputedView`] of every group is
+//! retained, and when a base relation receives a signed
+//! [`TableDelta`] (inserts + deletes), [`MaintainedBatch::apply`] refreshes
+//! the state with work proportional to the delta — the dynamic-evaluation
+//! setting of Berkholz et al. ("Answering FO+MOD queries under updates")
+//! brought to LMFAO's view trees.
+//!
+//! The refresh exploits two structural properties of the engine:
+//!
+//! 1. **Additive merges.** Every view aggregate is a sum over the scanned
+//!    tuples, which is why [`crate::exec::execute_group`] can already run
+//!    over arbitrary row partitions and merge partials by addition. A delta
+//!    partition (the inserted or deleted rows, sorted into trie order) is
+//!    just another partition: scanning it yields exactly the view delta, with
+//!    deletions contributing through a signed merge
+//!    ([`ComputedView::merge_signed`]).
+//! 2. **Multilinearity in incoming views.** Each product term of a view
+//!    references each child view at most once, so replacing a changed
+//!    incoming view's payload by its *delta* payload — while unchanged views
+//!    keep their retained results — computes exactly that term's output
+//!    delta. Terms that reference no changed view contribute nothing and are
+//!    masked out (their partial-product register is zeroed before the scan,
+//!    so the existing all-zero pruning skips subtrees that do not probe into
+//!    the delta's keys).
+//!
+//! Propagation therefore walks the group-dependency DAG once, in topological
+//! order: groups scanning the changed relation re-scan only the delta
+//! partition; groups downstream re-scan with delta-overlaid probes and
+//! masked terms; every other group is untouched
+//! ([`crate::group::Grouping::transitive_dependents`]).
+//!
+//! A delta targets **one** base relation. To change several relations, apply
+//! one delta per relation in sequence — this keeps every term's inputs with
+//! at most one changed factor, which is what makes the single substitution
+//! pass exact.
+//!
+//! Floating-point caveat: refreshed sums are mathematically identical to a
+//! full recompute but may differ in the last ulp, because float addition is
+//! not associative (`(a + b) − b` need not bit-equal `a`). Integer-valued
+//! aggregates (counts, sums of integers within 2⁵³) are exact.
+
+use crate::engine::BatchResult;
+use crate::error::EngineError;
+use crate::exec::{execute_group, execute_group_scan};
+use crate::plan::{build_group_plan, DepthUpdate, GroupPlan};
+use crate::prepared::{project_results, PreparedBatch, PreparedPlans};
+use crate::view::{ComputedView, ViewId, ViewSource};
+use lmfao_data::{Database, FxHashMap, Relation, TableDelta};
+use lmfao_expr::DynamicRegistry;
+use std::sync::Arc;
+
+/// What one [`MaintainedBatch::apply`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Rows in the applied delta (inserts + deletes).
+    pub delta_rows: usize,
+    /// Groups re-scanned over the delta partition (they scan the changed
+    /// relation itself).
+    pub seed_groups: usize,
+    /// Downstream groups re-scanned with delta-overlaid incoming views.
+    pub propagated_groups: usize,
+    /// Groups left untouched because nothing they depend on changed.
+    pub skipped_groups: usize,
+    /// Views whose retained state actually changed.
+    pub views_changed: usize,
+}
+
+/// Resolves incoming views during a propagation scan: changed views resolve
+/// to their signed deltas, unchanged views to the retained full results.
+struct DeltaOverlay<'a> {
+    full: &'a FxHashMap<ViewId, ComputedView>,
+    deltas: &'a FxHashMap<ViewId, ComputedView>,
+}
+
+impl ViewSource for DeltaOverlay<'_> {
+    fn view_result(&self, id: ViewId) -> Option<&ComputedView> {
+        self.deltas.get(&id).or_else(|| self.full.get(&id))
+    }
+}
+
+/// A prepared batch promoted to live, incrementally maintained state.
+///
+/// Built with [`PreparedBatch::into_maintained`]; owns a private mutable copy
+/// of the database (base relations are updated in place by
+/// [`MaintainedBatch::apply`]) plus the retained result of every view.
+/// Current query results are available at any time through
+/// [`MaintainedBatch::results`] without re-running any scan.
+#[derive(Debug)]
+pub struct MaintainedBatch {
+    /// Private mutable database copy; deltas are applied to its relations.
+    db: Database,
+    /// The plans the batch was prepared with.
+    inner: Arc<PreparedPlans>,
+    /// Physical plans for every group. When the batch was prepared with
+    /// specialization off (the interpreted ablation rungs), the plans are
+    /// built here — maintenance always runs the specialized executor.
+    plans: Vec<GroupPlan>,
+    /// Retained result of every view of the catalog.
+    computed: FxHashMap<ViewId, ComputedView>,
+    /// Cached topological order of the groups.
+    topo: Vec<usize>,
+}
+
+impl PreparedBatch {
+    /// Executes the batch once, retaining every computed view, and returns
+    /// the state as a [`MaintainedBatch`] that refreshes under
+    /// [`TableDelta`]s instead of recomputing.
+    ///
+    /// This clones the shared database once — the maintained batch needs its
+    /// own mutable copy to apply deltas to.
+    pub fn into_maintained(
+        self,
+        dynamics: &DynamicRegistry,
+    ) -> Result<MaintainedBatch, EngineError> {
+        let db: Database = self.db.database().clone();
+        let inner = Arc::clone(&self.inner);
+        let plans: Vec<GroupPlan> = if inner.plans.is_empty() {
+            inner
+                .grouping
+                .groups
+                .iter()
+                .map(|g| build_group_plan(&db, &inner.tree, &inner.pushdown.catalog, g))
+                .collect::<Result<_, _>>()?
+        } else {
+            inner.plans.clone()
+        };
+        let topo = inner.grouping.topological_order();
+
+        // Initial full computation, one group at a time in dependency order
+        // (deterministic regardless of the batch's thread configuration).
+        let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+        for &gid in &topo {
+            for (vid, cv) in execute_group(&db, &plans[gid], &computed, dynamics, None)? {
+                computed.insert(vid, cv);
+            }
+        }
+
+        Ok(MaintainedBatch {
+            db,
+            inner,
+            plans,
+            computed,
+            topo,
+        })
+    }
+}
+
+impl MaintainedBatch {
+    /// The maintained database (base relations reflect every applied delta).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The retained result of a view, if it exists in the catalog.
+    pub fn view_state(&self, id: ViewId) -> Option<&ComputedView> {
+        self.computed.get(&id)
+    }
+
+    /// The groups a delta against `relation` would touch (seed groups plus
+    /// transitive dependents), in refresh order — the exposure of the
+    /// group-dependency reachability the refresh runs on.
+    pub fn affected_groups(&self, relation: &str) -> Vec<usize> {
+        let seeds: Vec<usize> = self
+            .plans
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.relation == relation)
+            .map(|(g, _)| g)
+            .collect();
+        self.inner.grouping.transitive_dependents(&seeds)
+    }
+
+    /// Current results of every query of the batch, projected from the
+    /// retained output views — no scan runs here.
+    pub fn results(&self) -> Result<BatchResult, EngineError> {
+        project_results(&self.inner, &self.computed)
+    }
+
+    /// Applies a signed delta to one base relation and refreshes every
+    /// affected view, leaving unaffected groups untouched. Results afterwards
+    /// match a full recompute over the updated database (exactly for
+    /// integer-valued aggregates; up to float-addition reassociation
+    /// otherwise — see the module docs).
+    ///
+    /// The base relation is updated in place (sorted-merge, so trie order is
+    /// preserved); an unmatched delete fails atomically before any state
+    /// changes.
+    pub fn apply(
+        &mut self,
+        delta: &TableDelta,
+        dynamics: &DynamicRegistry,
+    ) -> Result<RefreshStats, EngineError> {
+        let mut stats = RefreshStats {
+            delta_rows: delta.len(),
+            ..RefreshStats::default()
+        };
+        if delta.is_empty() {
+            stats.skipped_groups = self.plans.len();
+            return Ok(stats);
+        }
+
+        // Update the base relation first (atomic: fails before any view
+        // state or relation data changes on an unmatched delete). The seed
+        // scans below read only the delta partitions and the retained
+        // incoming views, so they are independent of this ordering.
+        self.db.relation_mut(delta.relation())?.apply(delta)?;
+
+        // Sort the delta partitions into the trie order of the node that
+        // scans this relation, so the seed scans see valid tries.
+        let (mut inserts, mut deletes) = delta.partition();
+        if let Some(plan) = self.plans.iter().find(|p| p.relation == delta.relation()) {
+            inserts.sort_by_positions(&plan.attr_order_cols);
+            deletes.sort_by_positions(&plan.attr_order_cols);
+        }
+        let num_attrs = self.db.schema().num_attributes();
+
+        // Walk the groups in dependency order, accumulating signed view
+        // deltas. `changed` holds the delta (not the new value) of every view
+        // refreshed so far.
+        let mut changed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+        for &gid in &self.topo {
+            let plan = &self.plans[gid];
+            let group_deltas: Vec<(ViewId, ComputedView)> = if plan.relation == delta.relation() {
+                // Seed group: re-run the scan over the delta partitions only.
+                // Incoming views of a seed group cannot have changed (the
+                // changed relation lives at this node, not in any child
+                // subtree), so the retained results are the right probes.
+                stats.seed_groups += 1;
+                let mut out = scan_partition(&inserts, num_attrs, plan, &self.computed, dynamics)?;
+                if !deletes.is_empty() {
+                    let neg = scan_partition(&deletes, num_attrs, plan, &self.computed, dynamics)?;
+                    for ((vid, acc), (nvid, d)) in out.iter_mut().zip(&neg) {
+                        debug_assert_eq!(vid, nvid);
+                        acc.merge_signed(d, -1.0);
+                    }
+                }
+                out
+            } else {
+                // Downstream group: refresh only if an incoming view changed.
+                let changed_incoming: Vec<bool> = plan
+                    .incoming
+                    .iter()
+                    .map(|inc| changed.contains_key(&inc.view))
+                    .collect();
+                if !changed_incoming.iter().any(|&c| c) {
+                    stats.skipped_groups += 1;
+                    continue;
+                }
+                stats.propagated_groups += 1;
+                let mask = active_slots(plan, &changed_incoming);
+                let overlay = DeltaOverlay {
+                    full: &self.computed,
+                    deltas: &changed,
+                };
+                let relation = self
+                    .db
+                    .relation(&plan.relation)
+                    .map_err(|_| EngineError::UnknownRelation(plan.relation.clone()))?;
+                execute_group_scan(
+                    relation,
+                    num_attrs,
+                    plan,
+                    &overlay,
+                    dynamics,
+                    None,
+                    Some(&mask),
+                )?
+            };
+            for (vid, cv) in group_deltas {
+                // An empty delta means the view did not change: leaving it
+                // out lets downstream groups skip entirely.
+                if !cv.is_empty() {
+                    changed.insert(vid, cv);
+                }
+            }
+        }
+
+        // Fold the signed deltas into the retained state, pruning keys whose
+        // aggregates cancelled to zero (absent keys mean all-zero aggregates
+        // to every reader, matching what a recompute would produce).
+        for (vid, d) in changed {
+            stats.views_changed += 1;
+            let entry = self
+                .computed
+                .entry(vid)
+                .or_insert_with(|| ComputedView::new(d.key_attrs.clone(), d.num_aggregates));
+            entry.merge_signed(&d, 1.0);
+            entry.prune_zero_entries();
+        }
+        Ok(stats)
+    }
+}
+
+/// Runs a seed group's plan over one delta partition (already sorted into
+/// the plan's trie order), skipping the scan entirely for empty partitions.
+fn scan_partition(
+    partition: &Relation,
+    num_attrs: usize,
+    plan: &GroupPlan,
+    computed: &FxHashMap<ViewId, ComputedView>,
+    dynamics: &DynamicRegistry,
+) -> Result<Vec<(ViewId, ComputedView)>, EngineError> {
+    if partition.is_empty() {
+        return Ok(plan
+            .outputs
+            .iter()
+            .map(|o| {
+                (
+                    o.view,
+                    ComputedView::new(o.key_attrs.clone(), o.aggregates.len()),
+                )
+            })
+            .collect());
+    }
+    execute_group_scan(partition, num_attrs, plan, computed, dynamics, None, None)
+}
+
+/// The term slots of `plan` that reference at least one changed incoming
+/// view — the only terms that can contribute to the group's output delta
+/// when changed views are overlaid with their deltas. Everything else is
+/// masked to zero.
+fn active_slots(plan: &GroupPlan, changed_incoming: &[bool]) -> Vec<bool> {
+    let mut active = vec![false; plan.num_slots];
+    for program in &plan.programs {
+        for update in program {
+            if let DepthUpdate::ScalarView { slot, incoming, .. } = update {
+                if changed_incoming[*incoming] {
+                    active[*slot] = true;
+                }
+            }
+        }
+    }
+    for output in &plan.outputs {
+        for agg in &output.aggregates {
+            for term in &agg.terms {
+                if term
+                    .extra_refs
+                    .iter()
+                    .any(|&(inc, _)| changed_incoming[inc])
+                {
+                    active[term.slot] = true;
+                }
+            }
+        }
+    }
+    active
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::engine::Engine;
+    use lmfao_data::{AttrId, AttrType, DatabaseSchema, RelationSchema, Value};
+    use lmfao_expr::{Aggregate, QueryBatch};
+    use lmfao_jointree::{build_join_tree, Hypergraph, JoinTree};
+
+    /// Sales(store, item, units) ⋈ Items(item, price), integer-valued
+    /// doubles so every sum is exact and comparisons can be bit-strict.
+    fn db_and_tree() -> (Database, JoinTree) {
+        let mut schema = DatabaseSchema::new();
+        schema.add_relation_with_attrs(
+            "Sales",
+            &[
+                ("store", AttrType::Int),
+                ("item", AttrType::Int),
+                ("units", AttrType::Double),
+            ],
+        );
+        schema.add_relation_with_attrs(
+            "Items",
+            &[("item", AttrType::Int), ("price", AttrType::Double)],
+        );
+        let ids: Vec<AttrId> = ["store", "item", "units", "price"]
+            .iter()
+            .map(|n| schema.attr_id(n).unwrap())
+            .collect();
+        let sales = Relation::from_rows(
+            RelationSchema::new("Sales", vec![ids[0], ids[1], ids[2]]),
+            (0..40)
+                .map(|i| {
+                    vec![
+                        Value::Int(i % 5),
+                        Value::Int(i % 7),
+                        Value::Double((i % 11) as f64),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        let items = Relation::from_rows(
+            RelationSchema::new("Items", vec![ids[1], ids[3]]),
+            (0..7)
+                .map(|i| vec![Value::Int(i), Value::Double((3 * (i + 1)) as f64)])
+                .collect(),
+        )
+        .unwrap();
+        let db = Database::new(schema.clone(), vec![sales, items]).unwrap();
+        let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+        (db, tree)
+    }
+
+    fn batch(db: &Database) -> QueryBatch {
+        let store = db.schema().attr_id("store").unwrap();
+        let units = db.schema().attr_id("units").unwrap();
+        let price = db.schema().attr_id("price").unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        batch.push("rev", vec![], vec![Aggregate::sum_product(units, price)]);
+        batch.push(
+            "per_store",
+            vec![store],
+            vec![Aggregate::sum(units), Aggregate::count()],
+        );
+        batch.push("per_price", vec![price], vec![Aggregate::sum(units)]);
+        batch
+    }
+
+    fn assert_same_results(a: &BatchResult, b: &BatchResult) {
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.name, y.name);
+            // Absent keys mean all-zero aggregates; compare value-wise.
+            let keys: std::collections::BTreeSet<_> =
+                x.data.keys().chain(y.data.keys()).cloned().collect();
+            for key in keys {
+                let zero = vec![0.0; x.num_aggregates];
+                let xv = x.get(&key).unwrap_or(&zero);
+                let yv = y.get(&key).unwrap_or(&zero);
+                assert_eq!(xv, yv, "query {} key {key:?}", x.name);
+            }
+        }
+    }
+
+    fn recompute(db: &Database, tree: &JoinTree, cfg: EngineConfig, b: &QueryBatch) -> BatchResult {
+        Engine::new(db.clone(), tree.clone(), cfg)
+            .execute(b)
+            .unwrap()
+    }
+
+    #[test]
+    fn fact_inserts_refresh_to_the_recomputed_result() {
+        let (db, tree) = db_and_tree();
+        let b = batch(&db);
+        for (name, cfg) in EngineConfig::ablation_ladder(2) {
+            let engine = Engine::new(db.clone(), tree.clone(), cfg);
+            let mut maintained = engine
+                .prepare(&b)
+                .unwrap()
+                .into_maintained(&DynamicRegistry::new())
+                .unwrap();
+            let mut delta = TableDelta::for_relation(db.relation("Sales").unwrap());
+            delta
+                .insert(&[Value::Int(1), Value::Int(3), Value::Double(100.0)])
+                .unwrap();
+            delta
+                .insert(&[Value::Int(9), Value::Int(2), Value::Double(50.0)])
+                .unwrap();
+            let stats = maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
+            assert!(stats.seed_groups > 0, "{name}");
+            let expected = recompute(maintained.database(), &tree, cfg, &b);
+            assert_same_results(&maintained.results().unwrap(), &expected);
+        }
+    }
+
+    #[test]
+    fn dimension_updates_propagate_through_the_dag() {
+        let (db, tree) = db_and_tree();
+        let b = batch(&db);
+        let engine = Engine::new(db.clone(), tree.clone(), EngineConfig::default());
+        let mut maintained = engine
+            .prepare(&b)
+            .unwrap()
+            .into_maintained(&DynamicRegistry::new())
+            .unwrap();
+        // Repricing item 3: delete the old tuple, insert the new one.
+        let mut delta = TableDelta::for_relation(db.relation("Items").unwrap());
+        delta.delete(&[Value::Int(3), Value::Double(12.0)]).unwrap();
+        delta.insert(&[Value::Int(3), Value::Double(40.0)]).unwrap();
+        let stats = maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
+        assert!(stats.seed_groups > 0);
+        let expected = recompute(maintained.database(), &tree, EngineConfig::default(), &b);
+        assert_same_results(&maintained.results().unwrap(), &expected);
+    }
+
+    #[test]
+    fn delete_then_reinsert_is_a_no_op() {
+        let (db, tree) = db_and_tree();
+        let b = batch(&db);
+        let engine = Engine::new(db.clone(), tree.clone(), EngineConfig::default());
+        let prepared = engine.prepare(&b).unwrap();
+        let before = prepared.execute(&DynamicRegistry::new()).unwrap();
+        let mut maintained = prepared.into_maintained(&DynamicRegistry::new()).unwrap();
+        let row = vec![Value::Int(0), Value::Int(0), Value::Double(0.0)];
+        let mut del = TableDelta::for_relation(db.relation("Sales").unwrap());
+        del.delete(&row).unwrap();
+        maintained.apply(&del, &DynamicRegistry::new()).unwrap();
+        let mut ins = TableDelta::for_relation(db.relation("Sales").unwrap());
+        ins.insert(&row).unwrap();
+        maintained.apply(&ins, &DynamicRegistry::new()).unwrap();
+        assert_same_results(&maintained.results().unwrap(), &before);
+    }
+
+    #[test]
+    fn unaffected_groups_are_skipped() {
+        let (db, tree) = db_and_tree();
+        // A batch whose queries root at Sales: the Items→Sales view changes
+        // only under Items deltas; a Sales delta must leave the Items group
+        // untouched.
+        let units = db.schema().attr_id("units").unwrap();
+        let price = db.schema().attr_id("price").unwrap();
+        let mut b = QueryBatch::new();
+        b.push("rev", vec![], vec![Aggregate::sum_product(units, price)]);
+        let engine = Engine::new(db.clone(), tree.clone(), EngineConfig::default());
+        let mut maintained = engine
+            .prepare(&b)
+            .unwrap()
+            .into_maintained(&DynamicRegistry::new())
+            .unwrap();
+        let affected = maintained.affected_groups("Sales");
+        assert!(!affected.is_empty());
+        let mut delta = TableDelta::for_relation(db.relation("Sales").unwrap());
+        delta
+            .insert(&[Value::Int(1), Value::Int(1), Value::Double(2.0)])
+            .unwrap();
+        let stats = maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
+        assert!(stats.skipped_groups > 0, "the Items group must be skipped");
+        assert_eq!(
+            stats.seed_groups + stats.propagated_groups,
+            affected.len(),
+            "refreshed groups must equal the exposed frontier"
+        );
+        let expected = recompute(maintained.database(), &tree, EngineConfig::default(), &b);
+        assert_same_results(&maintained.results().unwrap(), &expected);
+    }
+
+    #[test]
+    fn unmatched_delete_fails_atomically() {
+        let (db, tree) = db_and_tree();
+        let b = batch(&db);
+        let engine = Engine::new(db.clone(), tree.clone(), EngineConfig::default());
+        let mut maintained = engine
+            .prepare(&b)
+            .unwrap()
+            .into_maintained(&DynamicRegistry::new())
+            .unwrap();
+        let before = maintained.results().unwrap();
+        let mut delta = TableDelta::for_relation(db.relation("Sales").unwrap());
+        delta
+            .delete(&[Value::Int(77), Value::Int(77), Value::Double(77.0)])
+            .unwrap();
+        let err = maintained
+            .apply(&delta, &DynamicRegistry::new())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Data(_)));
+        assert_same_results(&maintained.results().unwrap(), &before);
+        assert_eq!(maintained.database().relation("Sales").unwrap().len(), 40);
+    }
+
+    #[test]
+    fn empty_delta_touches_nothing() {
+        let (db, tree) = db_and_tree();
+        let b = batch(&db);
+        let engine = Engine::new(db.clone(), tree.clone(), EngineConfig::default());
+        let mut maintained = engine
+            .prepare(&b)
+            .unwrap()
+            .into_maintained(&DynamicRegistry::new())
+            .unwrap();
+        let delta = TableDelta::for_relation(db.relation("Sales").unwrap());
+        let stats = maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
+        assert_eq!(stats.seed_groups + stats.propagated_groups, 0);
+        assert_eq!(stats.views_changed, 0);
+    }
+
+    #[test]
+    fn maintained_results_track_a_stream_of_mixed_updates() {
+        let (db, tree) = db_and_tree();
+        let b = batch(&db);
+        let engine = Engine::new(db.clone(), tree.clone(), EngineConfig::default());
+        let mut maintained = engine
+            .prepare(&b)
+            .unwrap()
+            .into_maintained(&DynamicRegistry::new())
+            .unwrap();
+        // Alternate fact and dimension updates, checking after every step.
+        for step in 0..6i64 {
+            let mut delta = if step % 2 == 0 {
+                let mut d = TableDelta::for_relation(db.relation("Sales").unwrap());
+                d.insert(&[
+                    Value::Int(step % 5),
+                    Value::Int(step % 7),
+                    Value::Double((step * 2) as f64),
+                ])
+                .unwrap();
+                d
+            } else {
+                let mut d = TableDelta::for_relation(db.relation("Items").unwrap());
+                d.insert(&[Value::Int(step % 7), Value::Double((step * 5) as f64)])
+                    .unwrap();
+                d
+            };
+            if step == 4 {
+                // Also retract the tuple inserted at step 0.
+                delta
+                    .delete(&[Value::Int(0), Value::Int(0), Value::Double(0.0)])
+                    .unwrap();
+            }
+            maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
+            let expected = recompute(maintained.database(), &tree, EngineConfig::default(), &b);
+            assert_same_results(&maintained.results().unwrap(), &expected);
+        }
+    }
+}

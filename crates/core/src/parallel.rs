@@ -12,6 +12,7 @@
 //!   sum over the scanned tuples).
 
 use crate::config::EngineConfig;
+use crate::error::EngineError;
 use crate::exec::execute_group;
 use crate::group::Grouping;
 use crate::plan::GroupPlan;
@@ -66,7 +67,7 @@ fn execute_group_parallel(
     computed: &FxHashMap<ViewId, ComputedView>,
     dynamics: &DynamicRegistry,
     threads: usize,
-) -> Vec<(ViewId, ComputedView)> {
+) -> Result<Vec<(ViewId, ComputedView)>, EngineError> {
     const MIN_ROWS_PER_THREAD: usize = 4_096;
     let len = db
         .relation(&plan.relation)
@@ -76,24 +77,25 @@ fn execute_group_parallel(
         return execute_group(db, plan, computed, dynamics, None);
     }
     let parts = partitions(len, threads);
-    let results: Vec<Vec<(ViewId, ComputedView)>> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .map(|range| {
-                scope.spawn(move |_| execute_group(db, plan, computed, dynamics, Some(range)))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("domain-parallel scope must not panic");
+    let results: Vec<Result<Vec<(ViewId, ComputedView)>, EngineError>> =
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|range| {
+                    scope.spawn(move |_| execute_group(db, plan, computed, dynamics, Some(range)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("domain-parallel scope must not panic");
 
     // Merge the per-partition partials keyed by view id (partials arrive and
     // merge in partition order, keeping float addition deterministic).
     let mut merged: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
     for partial in results {
-        merge_results(&mut merged, partial);
+        merge_results(&mut merged, partial?);
     }
-    merged.into_iter().collect()
+    Ok(merged.into_iter().collect())
 }
 
 /// Executes all groups of a grouping in dependency order, parallelizing
@@ -106,7 +108,7 @@ pub fn execute_all(
     grouping: &Grouping,
     dynamics: &DynamicRegistry,
     config: &EngineConfig,
-) -> FxHashMap<ViewId, ComputedView> {
+) -> Result<FxHashMap<ViewId, ComputedView>, EngineError> {
     let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
     let mut done = vec![false; grouping.len()];
     let mut remaining = grouping.len();
@@ -124,26 +126,29 @@ pub fn execute_all(
         if config.threads > 1 && wave.len() > 1 {
             // Task parallelism across the groups of the wave.
             let computed_ref = &computed;
-            let results: Vec<Vec<(ViewId, ComputedView)>> = crossbeam::scope(|scope| {
-                let handles: Vec<_> = wave
-                    .iter()
-                    .map(|&g| {
-                        let plan = &plans[g];
-                        scope.spawn(move |_| execute_group(db, plan, computed_ref, dynamics, None))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("task-parallel scope must not panic");
+            let results: Vec<Result<Vec<(ViewId, ComputedView)>, EngineError>> =
+                crossbeam::scope(|scope| {
+                    let handles: Vec<_> = wave
+                        .iter()
+                        .map(|&g| {
+                            let plan = &plans[g];
+                            scope.spawn(move |_| {
+                                execute_group(db, plan, computed_ref, dynamics, None)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+                .expect("task-parallel scope must not panic");
             for group_result in results {
-                merge_results(&mut computed, group_result);
+                merge_results(&mut computed, group_result?);
             }
         } else {
             // Sequential over the wave; each group may still use domain
             // parallelism internally.
             for &g in &wave {
                 let result =
-                    execute_group_parallel(db, &plans[g], &computed, dynamics, config.threads);
+                    execute_group_parallel(db, &plans[g], &computed, dynamics, config.threads)?;
                 merge_results(&mut computed, result);
             }
         }
@@ -153,7 +158,7 @@ pub fn execute_all(
             remaining -= 1;
         }
     }
-    computed
+    Ok(computed)
 }
 
 #[cfg(test)]

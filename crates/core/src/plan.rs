@@ -19,6 +19,7 @@
 //!
 //! This module only *builds* the plans; execution lives in [`crate::exec`].
 
+use crate::error::EngineError;
 use crate::group::ViewGroup;
 use crate::view::{ViewCatalog, ViewDef, ViewId};
 use lmfao_data::{AttrId, Database, Relation};
@@ -205,18 +206,24 @@ pub fn build_group_plan(
     tree: &JoinTree,
     catalog: &ViewCatalog,
     group: &ViewGroup,
-) -> GroupPlan {
+) -> Result<GroupPlan, EngineError> {
     let node = group.node;
     let relation_name = tree.node(node).relation.clone();
     let relation = db
         .relation(&relation_name)
-        .expect("group node relation must exist");
+        .map_err(|_| EngineError::UnknownRelation(relation_name.clone()))?;
 
     let attr_order = attribute_order(db, tree, node);
     let attr_order_cols: Vec<usize> = attr_order
         .iter()
-        .map(|a| relation.position(*a).expect("join attr must be a column"))
-        .collect();
+        .map(|a| {
+            relation.position(*a).ok_or_else(|| {
+                EngineError::InvalidPlan(format!(
+                    "join attribute {a:?} is not a column of relation `{relation_name}`"
+                ))
+            })
+        })
+        .collect::<Result<_, _>>()?;
 
     let mut plan = GroupPlan {
         node,
@@ -261,7 +268,7 @@ pub fn build_group_plan(
         plan.outputs.push(output);
     }
 
-    plan
+    Ok(plan)
 }
 
 fn build_incoming_plan(def: &ViewDef, relation: &Relation, attr_order: &[AttrId]) -> IncomingPlan {
@@ -511,7 +518,7 @@ mod tests {
         grouping
             .groups
             .iter()
-            .map(|g| build_group_plan(db, tree, &pd.catalog, g))
+            .map(|g| build_group_plan(db, tree, &pd.catalog, g).unwrap())
             .collect()
     }
 
@@ -605,7 +612,7 @@ mod tests {
         let plans: Vec<GroupPlan> = grouping
             .groups
             .iter()
-            .map(|g| build_group_plan(&db, &tree, &pd.catalog, g))
+            .map(|g| build_group_plan(&db, &tree, &pd.catalog, g).unwrap())
             .collect();
         // If the shared root is Sales, the by_price output at Sales must read
         // its key from the incoming Items view (Extra source).

@@ -18,6 +18,7 @@
 
 use crate::config::EngineConfig;
 use crate::engine::{BatchResult, EngineStats, QueryResult};
+use crate::error::EngineError;
 use crate::group::{group_views, Grouping};
 use crate::interp::execute_view_interpreted;
 use crate::parallel::execute_all;
@@ -34,20 +35,20 @@ use std::sync::Arc;
 /// Everything needed to project one query's result out of its output view,
 /// resolved at prepare time.
 #[derive(Debug, Clone)]
-struct PreparedQuery {
+pub(crate) struct PreparedQuery {
     /// Query name (copied from the batch).
-    name: String,
+    pub(crate) name: String,
     /// Group-by attributes in the query's requested order.
-    group_by: Vec<AttrId>,
+    pub(crate) group_by: Vec<AttrId>,
     /// Number of aggregates of the query.
-    num_aggregates: usize,
+    pub(crate) num_aggregates: usize,
     /// The output view carrying the query's aggregates.
-    view: ViewId,
+    pub(crate) view: ViewId,
     /// For each aggregate of the query, its index within the output view.
-    aggregate_indices: Vec<usize>,
+    pub(crate) aggregate_indices: Vec<usize>,
     /// Permutation from the view's canonical key order to the query's
     /// group-by order.
-    key_perm: Vec<usize>,
+    pub(crate) key_perm: Vec<usize>,
 }
 
 /// A fully optimized query batch, ready to be executed any number of times.
@@ -58,23 +59,23 @@ struct PreparedQuery {
 /// bumps, never a copy of the plans or the data.
 #[derive(Debug, Clone)]
 pub struct PreparedBatch {
-    db: SharedDatabase,
-    inner: Arc<PreparedPlans>,
+    pub(crate) db: SharedDatabase,
+    pub(crate) inner: Arc<PreparedPlans>,
 }
 
 /// The immutable product of the optimizer layers, shared by every clone of a
-/// [`PreparedBatch`].
+/// [`PreparedBatch`] (and retained by a [`crate::maintain::MaintainedBatch`]).
 #[derive(Debug)]
-struct PreparedPlans {
-    tree: JoinTree,
-    config: EngineConfig,
-    pushdown: PushdownResult,
-    grouping: Grouping,
+pub(crate) struct PreparedPlans {
+    pub(crate) tree: JoinTree,
+    pub(crate) config: EngineConfig,
+    pub(crate) pushdown: PushdownResult,
+    pub(crate) grouping: Grouping,
     /// Physical plans, one per group; empty when specialization is off (the
     /// interpreted proxy works straight off the view catalog).
-    plans: Vec<GroupPlan>,
-    queries: Vec<PreparedQuery>,
-    stats: EngineStats,
+    pub(crate) plans: Vec<GroupPlan>,
+    pub(crate) queries: Vec<PreparedQuery>,
+    pub(crate) stats: EngineStats,
 }
 
 impl PreparedBatch {
@@ -84,7 +85,7 @@ impl PreparedBatch {
         tree: JoinTree,
         config: EngineConfig,
         batch: &QueryBatch,
-    ) -> Self {
+    ) -> Result<Self, EngineError> {
         let roots = assign_roots(batch, &tree, &db, &config);
         let pushdown = push_down_batch(batch, &tree, &roots);
         let grouping = group_views(&pushdown.catalog, config.multi_output);
@@ -93,7 +94,7 @@ impl PreparedBatch {
                 .groups
                 .iter()
                 .map(|g| build_group_plan(&db, &tree, &pushdown.catalog, g))
-                .collect()
+                .collect::<Result<_, _>>()?
         } else {
             Vec::new()
         };
@@ -140,7 +141,7 @@ impl PreparedBatch {
             output_size_bytes: 0,
         };
 
-        PreparedBatch {
+        Ok(PreparedBatch {
             db,
             inner: Arc::new(PreparedPlans {
                 tree,
@@ -151,7 +152,7 @@ impl PreparedBatch {
                 queries,
                 stats,
             }),
-        }
+        })
     }
 
     /// The Table-2 style planning statistics: application and intermediate
@@ -190,11 +191,11 @@ impl PreparedBatch {
     /// Executes the cached plans, resolving dynamic UDAFs through `dynamics`,
     /// and projects the per-query results. No optimizer layer runs here; call
     /// this as many times as needed with changing registries.
-    pub fn execute(&self, dynamics: &DynamicRegistry) -> BatchResult {
+    pub fn execute(&self, dynamics: &DynamicRegistry) -> Result<BatchResult, EngineError> {
         let db = self.db.database();
         let inner = &*self.inner;
         let computed: FxHashMap<ViewId, ComputedView> = if inner.config.specialization {
-            execute_all(db, &inner.plans, &inner.grouping, dynamics, &inner.config)
+            execute_all(db, &inner.plans, &inner.grouping, dynamics, &inner.config)?
         } else {
             // Interpreted path: one scan per view, in dependency order.
             let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
@@ -206,44 +207,52 @@ impl PreparedBatch {
                     vid,
                     &computed,
                     dynamics,
-                );
+                )?;
                 computed.insert(vid, cv);
             }
             computed
         };
-
-        // Project query results out of the (merged) output views.
-        let mut queries = Vec::with_capacity(inner.queries.len());
-        let mut output_bytes = 0usize;
-        for pq in &inner.queries {
-            let cv = computed
-                .get(&pq.view)
-                .expect("output view must be computed");
-            let mut data: FxHashMap<Vec<Value>, Vec<f64>> = FxHashMap::default();
-            for (key, values) in cv.iter() {
-                let reordered: Vec<Value> = pq.key_perm.iter().map(|&p| key[p]).collect();
-                let selected: Vec<f64> = pq.aggregate_indices.iter().map(|&i| values[i]).collect();
-                let entry = data
-                    .entry(reordered)
-                    .or_insert_with(|| vec![0.0; pq.aggregate_indices.len()]);
-                for (e, v) in entry.iter_mut().zip(&selected) {
-                    *e += v;
-                }
-            }
-            let result = QueryResult {
-                name: pq.name.clone(),
-                group_by: pq.group_by.clone(),
-                num_aggregates: pq.num_aggregates,
-                data,
-            };
-            output_bytes += result.size_bytes();
-            queries.push(result);
-        }
-
-        let mut stats = inner.stats.clone();
-        stats.output_size_bytes = output_bytes;
-        BatchResult { queries, stats }
+        project_results(inner, &computed)
     }
+}
+
+/// Projects per-query results out of the computed (or maintained) output
+/// views — shared by [`PreparedBatch::execute`] and
+/// [`crate::maintain::MaintainedBatch::results`].
+pub(crate) fn project_results(
+    inner: &PreparedPlans,
+    computed: &FxHashMap<ViewId, ComputedView>,
+) -> Result<BatchResult, EngineError> {
+    let mut queries = Vec::with_capacity(inner.queries.len());
+    let mut output_bytes = 0usize;
+    for pq in &inner.queries {
+        let cv = computed
+            .get(&pq.view)
+            .ok_or(EngineError::ViewNotComputed(pq.view))?;
+        let mut data: FxHashMap<Vec<Value>, Vec<f64>> = FxHashMap::default();
+        for (key, values) in cv.iter() {
+            let reordered: Vec<Value> = pq.key_perm.iter().map(|&p| key[p]).collect();
+            let selected: Vec<f64> = pq.aggregate_indices.iter().map(|&i| values[i]).collect();
+            let entry = data
+                .entry(reordered)
+                .or_insert_with(|| vec![0.0; pq.aggregate_indices.len()]);
+            for (e, v) in entry.iter_mut().zip(&selected) {
+                *e += v;
+            }
+        }
+        let result = QueryResult {
+            name: pq.name.clone(),
+            group_by: pq.group_by.clone(),
+            num_aggregates: pq.num_aggregates,
+            data,
+        };
+        output_bytes += result.size_bytes();
+        queries.push(result);
+    }
+
+    let mut stats = inner.stats.clone();
+    stats.output_size_bytes = output_bytes;
+    Ok(BatchResult { queries, stats })
 }
 
 #[cfg(test)]
@@ -310,10 +319,10 @@ mod tests {
         let (db, tree) = db_and_tree();
         let batch = batch(&db);
         let engine = Engine::new(db, tree, EngineConfig::default());
-        let prepared = engine.prepare(&batch);
+        let prepared = engine.prepare(&batch).unwrap();
         let dynamics = DynamicRegistry::new();
-        let first = prepared.execute(&dynamics);
-        let second = prepared.execute(&dynamics);
+        let first = prepared.execute(&dynamics).unwrap();
+        let second = prepared.execute(&dynamics).unwrap();
         assert_eq!(first.queries.len(), second.queries.len());
         for (f, s) in first.queries.iter().zip(&second.queries) {
             assert_eq!(f.data, s.data);
@@ -326,8 +335,12 @@ mod tests {
         let batch = batch(&db);
         for (name, cfg) in EngineConfig::ablation_ladder(2) {
             let engine = Engine::new(db.clone(), tree.clone(), cfg);
-            let via_prepared = engine.prepare(&batch).execute(&DynamicRegistry::new());
-            let one_shot = engine.execute(&batch);
+            let via_prepared = engine
+                .prepare(&batch)
+                .unwrap()
+                .execute(&DynamicRegistry::new())
+                .unwrap();
+            let one_shot = engine.execute(&batch).unwrap();
             for (p, o) in via_prepared.queries.iter().zip(&one_shot.queries) {
                 assert_eq!(p.data, o.data, "{name}");
             }
@@ -339,7 +352,7 @@ mod tests {
         let (db, tree) = db_and_tree();
         let batch = batch(&db);
         let engine = Engine::new(db, tree, EngineConfig::default());
-        let prepared = engine.prepare(&batch);
+        let prepared = engine.prepare(&batch).unwrap();
         assert_eq!(prepared.len(), 3);
         assert!(!prepared.is_empty());
         assert_eq!(
@@ -348,7 +361,7 @@ mod tests {
         );
         let planned = prepared.stats().clone();
         assert_eq!(planned.output_size_bytes, 0);
-        let executed = prepared.execute(&DynamicRegistry::new()).stats;
+        let executed = prepared.execute(&DynamicRegistry::new()).unwrap().stats;
         assert_eq!(planned.num_views, executed.num_views);
         assert_eq!(planned.num_groups, executed.num_groups);
         assert_eq!(planned.num_roots, executed.num_roots);
@@ -365,11 +378,11 @@ mod tests {
         let batch = batch(&db);
         let prepared = {
             let engine = Engine::new(db, tree, EngineConfig::default());
-            engine.prepare(&batch)
+            engine.prepare(&batch).unwrap()
         };
         // The engine is gone; the prepared batch still executes because it
         // holds its own SharedDatabase handle.
-        let result = prepared.execute(&DynamicRegistry::new());
+        let result = prepared.execute(&DynamicRegistry::new()).unwrap();
         assert!(result.query("count").scalar()[0] > 0.0);
     }
 }

@@ -318,6 +318,52 @@ impl ComputedView {
     pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<f64>)> {
         self.data.iter()
     }
+
+    /// Merges `delta` scaled by `sign` into this view (element-wise
+    /// `self += sign · delta`). With `sign = 1.0` this is the additive merge
+    /// of domain-parallel partials; with `sign = -1.0` it retracts a delta —
+    /// the signed propagation the maintenance layer runs on.
+    pub fn merge_signed(&mut self, delta: &ComputedView, sign: f64) {
+        debug_assert_eq!(delta.num_aggregates, self.num_aggregates);
+        for (key, values) in delta.iter() {
+            let entry = self
+                .data
+                .entry(key.clone())
+                .or_insert_with(|| vec![0.0; self.num_aggregates]);
+            for (e, v) in entry.iter_mut().zip(values) {
+                *e += sign * v;
+            }
+        }
+    }
+
+    /// Retracts `delta` from this view: `self -= delta`.
+    pub fn retract(&mut self, delta: &ComputedView) {
+        self.merge_signed(delta, -1.0);
+    }
+
+    /// Drops entries whose aggregates are all exactly zero. After a signed
+    /// merge this restores the invariant that keys without joining tuples are
+    /// absent (absent keys already mean all-zero aggregates to every reader).
+    pub fn prune_zero_entries(&mut self) {
+        self.data.retain(|_, v| v.iter().any(|&x| x != 0.0));
+    }
+}
+
+/// Read access to computed view results during a group scan.
+///
+/// The executor resolves incoming views through this trait instead of a
+/// concrete map, so the maintenance layer can overlay *deltas* over the
+/// retained full views: a scan probing a changed view sees its signed delta,
+/// while unchanged views resolve to their retained results.
+pub trait ViewSource {
+    /// The computed result of `id`, if available.
+    fn view_result(&self, id: ViewId) -> Option<&ComputedView>;
+}
+
+impl ViewSource for FxHashMap<ViewId, ComputedView> {
+    fn view_result(&self, id: ViewId) -> Option<&ComputedView> {
+        self.get(&id)
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +445,32 @@ mod tests {
         assert_eq!(cv.get(&[Value::Int(9)]), None);
         assert!(cv.size_bytes() > 0);
         assert_eq!(cv.iter().count(), 2);
+    }
+
+    #[test]
+    fn signed_merge_and_retract() {
+        let mut cv = ComputedView::new(vec![AttrId(0)], 2);
+        cv.add(vec![Value::Int(1)], &[4.0, 6.0]);
+        let mut delta = ComputedView::new(vec![AttrId(0)], 2);
+        delta.add(vec![Value::Int(1)], &[1.0, 2.0]);
+        delta.add(vec![Value::Int(2)], &[5.0, 0.0]);
+        cv.merge_signed(&delta, 1.0);
+        assert_eq!(cv.get(&[Value::Int(1)]), Some(&[5.0, 8.0][..]));
+        assert_eq!(cv.get(&[Value::Int(2)]), Some(&[5.0, 0.0][..]));
+        cv.retract(&delta);
+        assert_eq!(cv.get(&[Value::Int(1)]), Some(&[4.0, 6.0][..]));
+        assert_eq!(cv.get(&[Value::Int(2)]), Some(&[0.0, 0.0][..]));
+        cv.prune_zero_entries();
+        assert_eq!(cv.get(&[Value::Int(2)]), None, "all-zero entry pruned");
+        assert_eq!(cv.len(), 1);
+    }
+
+    #[test]
+    fn hash_map_is_a_view_source() {
+        let mut map: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+        map.insert(ViewId(3), ComputedView::new(vec![], 1));
+        assert!(map.view_result(ViewId(3)).is_some());
+        assert!(map.view_result(ViewId(4)).is_none());
     }
 
     #[test]

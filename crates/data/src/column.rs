@@ -81,6 +81,12 @@ impl Column {
     /// Appends a value, retyping or demoting the column as needed: an empty
     /// untyped column adopts the variant of the first value; a mismatching
     /// variant (or a null) demotes typed storage to [`Column::Mixed`].
+    ///
+    /// Demoting a [`Column::Dict`] preserves every code (as [`Value::Cat`])
+    /// but drops the attached dictionary handle — `Mixed` storage has
+    /// nowhere to carry it, so [`Column::decode`] returns `None` afterwards.
+    /// Decode through [`crate::dictionary::DictionarySet`] directly when a
+    /// column may hold heterogeneous values.
     pub fn push(&mut self, v: Value) {
         match (&mut *self, v) {
             (Column::Int(col), Value::Int(i)) => col.push(i),
@@ -328,6 +334,32 @@ mod tests {
         assert_eq!(c.decode(0), Some("Lima"));
         assert_eq!(c.decode(1), Some("Quito"));
         assert!(c.dictionary().is_some());
+    }
+
+    #[test]
+    fn out_of_vocabulary_codes_round_trip_and_decode_to_none() {
+        // The satellite case: inserting a Cat code beyond the attached
+        // dictionary's vocabulary is legal — the code is stored and compared
+        // natively, decodes to None, and starts decoding once the dictionary
+        // learns enough categories.
+        let mut dict = Dictionary::new();
+        dict.encode("known");
+        let mut c = Column::new();
+        c.push(Value::Cat(0));
+        c.attach_dictionary(Arc::new(dict));
+        c.push(Value::Cat(41)); // OOV insert
+        assert!(matches!(c, Column::Dict { .. }), "stays dictionary-typed");
+        assert_eq!(c.value(1), Value::Cat(41));
+        assert_eq!(c.decode(0), Some("known"));
+        assert_eq!(c.decode(1), None, "OOV code has no decoding yet");
+        assert_eq!(c.cmp_rows(0, 1), Ordering::Less);
+        // Growing the dictionary to cover the code makes it decodable.
+        let mut grown = Dictionary::new();
+        for i in 0..42 {
+            grown.encode(&format!("cat{i}"));
+        }
+        c.attach_dictionary(Arc::new(grown));
+        assert_eq!(c.decode(1), Some("cat41"));
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Signed tuple deltas against base relations.
+//!
+//! A [`TableDelta`] is a batch of inserts and deletes targeting **one** base
+//! relation, stored exactly like the relation itself — one typed [`Column`]
+//! per attribute — plus one signed multiplicity per row: `+1` for an insert,
+//! `-1` for a delete (a tombstone). Deltas are the unit of change the
+//! incremental-maintenance machinery in `lmfao-core` consumes: applying a
+//! delta to a [`Relation`] (see [`Relation::apply`]) keeps the relation's
+//! sort order by *merging* the inserted rows into place rather than
+//! re-sorting, and the engine re-scans only the delta partition.
+//!
+//! Deltas are dictionary-aware in the same sense as relations: categorical
+//! values travel as [`Value::Cat`] codes. Codes outside the current
+//! dictionary vocabulary (out-of-vocabulary inserts) are legal — they are
+//! stored and compared as plain codes and simply decode to `None` until the
+//! dictionary learns them via [`crate::dictionary::DictionarySet::encode`].
+
+use crate::column::Column;
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::schema::RelationSchema;
+use crate::value::Value;
+
+/// A batch of signed tuple changes against one base relation.
+#[derive(Debug, Clone)]
+pub struct TableDelta {
+    /// The touched tuples, stored columnar under the target relation's schema.
+    rows: Relation,
+    /// Signed multiplicity per row: `+1` insert, `-1` delete.
+    signs: Vec<i8>,
+}
+
+impl TableDelta {
+    /// An empty delta against a relation with the given schema (the schema
+    /// name identifies the target relation).
+    pub fn new(schema: RelationSchema) -> Self {
+        TableDelta {
+            rows: Relation::new(schema),
+            signs: Vec::new(),
+        }
+    }
+
+    /// An empty delta targeting an existing relation.
+    pub fn for_relation(relation: &Relation) -> Self {
+        TableDelta::new(relation.schema().clone())
+    }
+
+    /// Name of the target relation.
+    pub fn relation(&self) -> &str {
+        self.rows.name()
+    }
+
+    /// Records a tuple insertion, validating its arity.
+    pub fn insert(&mut self, row: &[Value]) -> Result<()> {
+        self.rows.push_row(row)?;
+        self.signs.push(1);
+        Ok(())
+    }
+
+    /// Records a tuple deletion (one occurrence of the exact tuple),
+    /// validating its arity.
+    pub fn delete(&mut self, row: &[Value]) -> Result<()> {
+        self.rows.push_row(row)?;
+        self.signs.push(-1);
+        Ok(())
+    }
+
+    /// Number of recorded changes (inserts plus deletes).
+    pub fn len(&self) -> usize {
+        self.signs.len()
+    }
+
+    /// True if the delta records no change.
+    pub fn is_empty(&self) -> bool {
+        self.signs.is_empty()
+    }
+
+    /// Number of inserted tuples.
+    pub fn num_inserts(&self) -> usize {
+        self.signs.iter().filter(|&&s| s > 0).count()
+    }
+
+    /// Number of deleted tuples.
+    pub fn num_deletes(&self) -> usize {
+        self.signs.iter().filter(|&&s| s < 0).count()
+    }
+
+    /// The touched tuples as a columnar relation (parallel to [`signs`]).
+    ///
+    /// [`signs`]: TableDelta::signs
+    pub fn rows(&self) -> &Relation {
+        &self.rows
+    }
+
+    /// The signed multiplicities, parallel to [`rows`].
+    ///
+    /// [`rows`]: TableDelta::rows
+    pub fn signs(&self) -> &[i8] {
+        &self.signs
+    }
+
+    /// Splits the delta into its insert (`+1`) and delete (`-1`) parts, each
+    /// a standalone columnar relation under the target schema. The engine
+    /// scans these as delta partitions.
+    pub fn partition(&self) -> (Relation, Relation) {
+        let gather = |keep: &dyn Fn(i8) -> bool| -> Relation {
+            let idx: Vec<u32> = self
+                .signs
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| keep(s))
+                .map(|(i, _)| i as u32)
+                .collect();
+            let cols: Vec<Column> = self.rows.columns().iter().map(|c| c.gather(&idx)).collect();
+            Relation::from_columns(self.rows.schema().clone(), cols)
+                .expect("partition columns share one length")
+        };
+        (gather(&|s| s > 0), gather(&|s| s < 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+
+    fn schema() -> RelationSchema {
+        RelationSchema::new("R", vec![AttrId(0), AttrId(1)])
+    }
+
+    #[test]
+    fn records_signed_changes() {
+        let mut d = TableDelta::new(schema());
+        assert!(d.is_empty());
+        d.insert(&[Value::Int(1), Value::Double(0.5)]).unwrap();
+        d.insert(&[Value::Int(2), Value::Double(1.5)]).unwrap();
+        d.delete(&[Value::Int(1), Value::Double(0.5)]).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.num_inserts(), 2);
+        assert_eq!(d.num_deletes(), 1);
+        assert_eq!(d.relation(), "R");
+        assert_eq!(d.signs(), &[1, 1, -1]);
+    }
+
+    #[test]
+    fn arity_is_validated() {
+        let mut d = TableDelta::new(schema());
+        assert!(d.insert(&[Value::Int(1)]).is_err());
+        assert!(d.delete(&[Value::Int(1)]).is_err());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn partition_splits_by_sign() {
+        let mut d = TableDelta::new(schema());
+        d.insert(&[Value::Int(1), Value::Double(0.5)]).unwrap();
+        d.delete(&[Value::Int(2), Value::Double(1.5)]).unwrap();
+        d.insert(&[Value::Int(3), Value::Double(2.5)]).unwrap();
+        let (ins, del) = d.partition();
+        assert_eq!(ins.len(), 2);
+        assert_eq!(del.len(), 1);
+        assert_eq!(ins.value(1, 0), Value::Int(3));
+        assert_eq!(del.value(0, 0), Value::Int(2));
+        // Partitions stay typed: the int column survives the gather.
+        assert!(ins.column(0).as_int().is_some());
+    }
+
+    #[test]
+    fn delta_columns_are_typed_and_demote_like_relations() {
+        let mut d = TableDelta::new(schema());
+        d.insert(&[Value::Int(1), Value::Double(0.5)]).unwrap();
+        d.insert(&[Value::Double(9.0), Value::Double(1.5)]).unwrap();
+        // Heterogeneous appends demote to Mixed, losslessly.
+        assert!(matches!(d.rows().column(0), Column::Mixed(_)));
+        assert_eq!(d.rows().value(0, 0), Value::Int(1));
+        assert_eq!(d.rows().value(1, 0), Value::Double(9.0));
+    }
+}

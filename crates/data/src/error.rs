@@ -41,6 +41,13 @@ pub enum DataError {
     Io(String),
     /// A categorical dictionary lookup failed.
     UnknownCategory(String),
+    /// A delta could not be applied to a relation.
+    DeltaMismatch {
+        /// Relation the delta targets.
+        relation: String,
+        /// Description of the problem (wrong target, unmatched delete, …).
+        detail: String,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -67,6 +74,12 @@ impl fmt::Display for DataError {
             DataError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
             DataError::Io(msg) => write!(f, "io error: {msg}"),
             DataError::UnknownCategory(s) => write!(f, "unknown category `{s}`"),
+            DataError::DeltaMismatch { relation, detail } => {
+                write!(
+                    f,
+                    "delta cannot be applied to relation `{relation}`: {detail}"
+                )
+            }
         }
     }
 }

@@ -15,6 +15,7 @@
 pub mod catalog;
 pub mod column;
 pub mod csv;
+pub mod delta;
 pub mod dictionary;
 pub mod error;
 pub mod hash;
@@ -25,6 +26,7 @@ pub mod value;
 
 pub use catalog::{Database, Statistics};
 pub use column::Column;
+pub use delta::TableDelta;
 pub use dictionary::{Dictionary, DictionarySet};
 pub use error::{DataError, Result};
 pub use hash::{FxHashMap, FxHashSet};

@@ -20,8 +20,9 @@
 //! doubles included.
 
 use crate::column::Column;
+use crate::delta::TableDelta;
 use crate::error::{DataError, Result};
-use crate::hash::fx_hash_set;
+use crate::hash::{fx_hash_set, FxHashMap};
 use crate::schema::{AttrId, RelationSchema};
 use crate::value::Value;
 
@@ -322,6 +323,165 @@ impl Relation {
     pub fn into_parts(self) -> (RelationSchema, Vec<Column>) {
         (self.schema, self.columns)
     }
+
+    /// Applies a signed [`TableDelta`]: deletes remove one occurrence of each
+    /// tombstoned tuple (exact full-row match), inserts append their tuples.
+    /// The relation's sort order is preserved without a full re-sort: deletes
+    /// compact the columns in place (keeping row order), and inserts are
+    /// sorted among themselves and *merged* into the sorted body — the
+    /// sorted-merge that keeps trie scans valid after every update.
+    ///
+    /// The call is atomic: an unmatched delete (or a delta targeting another
+    /// relation) returns [`DataError::DeltaMismatch`] before any mutation.
+    pub fn apply(&mut self, delta: &TableDelta) -> Result<()> {
+        if delta.relation() != self.name() {
+            return Err(DataError::DeltaMismatch {
+                relation: self.name().to_string(),
+                detail: format!("delta targets relation `{}`", delta.relation()),
+            });
+        }
+        if delta.rows().arity() != self.arity {
+            return Err(DataError::DeltaMismatch {
+                relation: self.name().to_string(),
+                detail: format!(
+                    "delta arity {} does not match relation arity {}",
+                    delta.rows().arity(),
+                    self.arity
+                ),
+            });
+        }
+        let (inserts, deletes) = delta.partition();
+
+        // Cancel insert/delete pairs of the exact same tuple within the
+        // delta: a delete may target a tuple the same delta inserts (update
+        // streams produce these), and the net effect of such a pair is zero.
+        // `pending` holds the deletes still to resolve against the relation.
+        let mut pending: Vec<(Vec<Value>, usize)> = Vec::new();
+        for row in deletes.rows() {
+            let row = row.to_vec();
+            match pending.iter_mut().find(|(p, _)| *p == row) {
+                Some((_, c)) => *c += 1,
+                None => pending.push((row, 1)),
+            }
+        }
+        let insert_rows: Vec<Vec<Value>> = inserts
+            .rows()
+            .map(|r| r.to_vec())
+            .filter(|row| {
+                if let Some((_, c)) = pending.iter_mut().find(|(p, c)| *c > 0 && p == row) {
+                    *c -= 1;
+                    return false; // annihilated by a delete of the same tuple
+                }
+                true
+            })
+            .collect();
+        pending.retain(|(_, c)| *c > 0);
+
+        // Resolve the remaining deletes (multiset semantics: each tombstone
+        // consumes one matching row), without mutating until all matched.
+        // The pending set is tiny for maintenance deltas, so rows are
+        // compared in place (RowView equality short-circuits on the first
+        // differing column) — no per-row materialization or hashing.
+        let keep: Option<Vec<u32>> = if pending.is_empty() {
+            None
+        } else {
+            let mut remaining: usize = pending.iter().map(|(_, c)| c).sum();
+            // Wide delete batches fall back to a hash probe per row.
+            let mut hashed: Option<FxHashMap<Vec<Value>, usize>> = if pending.len() > 16 {
+                Some(pending.iter().cloned().collect())
+            } else {
+                None
+            };
+            let mut keep = Vec::with_capacity(self.num_rows.saturating_sub(remaining));
+            for i in 0..self.num_rows {
+                if remaining > 0 {
+                    let row = self.row(i);
+                    let hit =
+                        match &mut hashed {
+                            Some(map) => map.get_mut(&row.to_vec()).filter(|c| **c > 0).map(|c| {
+                                *c -= 1;
+                            }),
+                            None => pending.iter_mut().find(|(p, c)| *c > 0 && row == *p).map(
+                                |(_, c)| {
+                                    *c -= 1;
+                                },
+                            ),
+                        };
+                    if hit.is_some() {
+                        remaining -= 1;
+                        continue;
+                    }
+                }
+                keep.push(i as u32);
+            }
+            if remaining > 0 {
+                return Err(DataError::DeltaMismatch {
+                    relation: self.name().to_string(),
+                    detail: format!("{remaining} deleted tuple(s) not present in the relation"),
+                });
+            }
+            Some(keep)
+        };
+        if let Some(keep) = keep {
+            // `keep` is ascending, so compaction preserves the sort order.
+            self.columns = self.columns.iter().map(|c| c.permute(&keep)).collect();
+            self.num_rows = keep.len();
+        }
+
+        if !insert_rows.is_empty() {
+            let sorted = std::mem::take(&mut self.sorted_by);
+            let body_len = self.num_rows;
+            for row in &insert_rows {
+                self.push_row_unchecked(row);
+            }
+            if sorted.is_empty() {
+                // Unsorted relation: a plain append is enough.
+            } else {
+                self.merge_sorted_suffix(&sorted, body_len);
+                self.sorted_by = sorted;
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores the lexicographic sort by `positions` after rows
+    /// `[split, len)` were appended to a body sorted by `positions`: sorts the
+    /// suffix among itself, then merges the two sorted runs with one gather
+    /// per column (`O(n + k·log k)` for `k` appended rows, not a full
+    /// re-sort). Within equal keys, body rows precede appended rows and each
+    /// run keeps its internal order.
+    fn merge_sorted_suffix(&mut self, positions: &[usize], split: usize) {
+        let keys: Vec<&Column> = positions.iter().map(|&p| &self.columns[p]).collect();
+        let cmp = |a: usize, b: usize| {
+            for key in &keys {
+                match key.cmp_rows(a, b) {
+                    std::cmp::Ordering::Equal => continue,
+                    ord => return ord,
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+        let mut suffix: Vec<u32> = (split as u32..self.num_rows as u32).collect();
+        suffix.sort_by(|&a, &b| cmp(a as usize, b as usize));
+        let mut perm: Vec<u32> = Vec::with_capacity(self.num_rows);
+        let (mut i, mut j) = (0u32, 0usize);
+        while (i as usize) < split && j < suffix.len() {
+            // `<=` keeps body rows first within equal keys (stable merge).
+            if cmp(i as usize, suffix[j] as usize) != std::cmp::Ordering::Greater {
+                perm.push(i);
+                i += 1;
+            } else {
+                perm.push(suffix[j]);
+                j += 1;
+            }
+        }
+        perm.extend(i..split as u32);
+        perm.extend_from_slice(&suffix[j..]);
+        let identity = perm.windows(2).all(|w| w[0] < w[1]);
+        if !identity {
+            self.columns = self.columns.iter().map(|c| c.permute(&perm)).collect();
+        }
+    }
 }
 
 fn min_max_by<T: Copy>(values: &[T], cmp: impl Fn(&T, &T) -> std::cmp::Ordering) -> (T, T) {
@@ -570,6 +730,168 @@ mod tests {
         r.push_row(&[Value::Int(0), Value::Int(0), Value::Double(0.0)])
             .unwrap();
         assert!(!r.is_sorted_by(&[0]));
+    }
+
+    #[test]
+    fn apply_inserts_keep_the_sort_order_by_merging() {
+        let mut r = sample();
+        r.sort_by_positions(&[0, 1]);
+        let mut d = TableDelta::for_relation(&r);
+        d.insert(&[Value::Int(1), Value::Int(7), Value::Double(9.0)])
+            .unwrap();
+        d.insert(&[Value::Int(3), Value::Int(1), Value::Double(8.0)])
+            .unwrap();
+        d.insert(&[Value::Int(0), Value::Int(0), Value::Double(7.0)])
+            .unwrap();
+        r.apply(&d).unwrap();
+        assert_eq!(r.len(), 7);
+        assert!(r.is_sorted_by(&[0, 1]), "sorted-merge must keep trie order");
+        let col0: Vec<i64> = r.column(0).as_int().unwrap().to_vec();
+        assert_eq!(col0, vec![0, 1, 1, 1, 2, 2, 3]);
+        // Within X0 = 1, the new (1, 7) row lands between (1, ...) keys.
+        let col1: Vec<i64> = r.column(1).as_int().unwrap().to_vec();
+        assert_eq!(&col1[1..4], &[7, 20, 20]);
+    }
+
+    #[test]
+    fn apply_deletes_remove_one_occurrence_per_tombstone() {
+        let mut r = sample();
+        r.sort_by_positions(&[0, 1]);
+        // Two rows share the key (1, 20) with different payloads; delete one
+        // exact tuple and both duplicates of nothing else.
+        let mut d = TableDelta::for_relation(&r);
+        d.delete(&[Value::Int(1), Value::Int(20), Value::Double(2.0)])
+            .unwrap();
+        r.apply(&d).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(r.is_sorted_by(&[0, 1]));
+        assert!(r
+            .rows()
+            .all(|row| row.to_vec() != vec![Value::Int(1), Value::Int(20), Value::Double(2.0)]));
+        // The other (1, 20) row survives.
+        assert!(r
+            .rows()
+            .any(|row| row.to_vec() == vec![Value::Int(1), Value::Int(20), Value::Double(4.0)]));
+    }
+
+    #[test]
+    fn apply_rejects_unmatched_deletes_atomically() {
+        let mut r = sample();
+        r.sort_by_positions(&[0]);
+        let before: Vec<Vec<Value>> = r.rows().map(|row| row.to_vec()).collect();
+        let mut d = TableDelta::for_relation(&r);
+        d.insert(&[Value::Int(9), Value::Int(9), Value::Double(9.0)])
+            .unwrap();
+        d.delete(&[Value::Int(77), Value::Int(0), Value::Double(0.0)])
+            .unwrap();
+        let err = r.apply(&d).unwrap_err();
+        assert!(matches!(err, DataError::DeltaMismatch { .. }));
+        let after: Vec<Vec<Value>> = r.rows().map(|row| row.to_vec()).collect();
+        assert_eq!(before, after, "failed apply must not mutate");
+    }
+
+    #[test]
+    fn insert_delete_pairs_within_one_delta_cancel() {
+        // A batched delta may insert a brand-new tuple and delete that same
+        // tuple: the pair must annihilate instead of failing the delete
+        // (deletes otherwise resolve against the pre-insert relation).
+        let mut r = sample();
+        r.sort_by_positions(&[0]);
+        let before: Vec<Vec<Value>> = r.rows().map(|row| row.to_vec()).collect();
+        let new_row = vec![Value::Int(9), Value::Int(9), Value::Double(9.0)];
+        let mut d = TableDelta::for_relation(&r);
+        d.insert(&new_row).unwrap();
+        d.delete(&new_row).unwrap();
+        d.insert(&[Value::Int(8), Value::Int(8), Value::Double(8.0)])
+            .unwrap();
+        r.apply(&d).unwrap();
+        assert_eq!(r.len(), before.len() + 1, "only the unpaired insert lands");
+        assert!(r.rows().all(|row| row.to_vec() != new_row));
+        assert!(r.is_sorted_by(&[0]));
+    }
+
+    #[test]
+    fn wide_delete_batches_use_the_hashed_path() {
+        let schema = schema3("W");
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 7), Value::Double(i as f64)])
+            .collect();
+        let mut r = Relation::from_rows(schema, rows.clone()).unwrap();
+        r.sort_by_positions(&[1]);
+        let mut d = TableDelta::for_relation(&r);
+        // > 16 distinct deletes exercises the hash fallback.
+        for row in rows.iter().take(30) {
+            d.delete(row).unwrap();
+        }
+        r.apply(&d).unwrap();
+        assert_eq!(r.len(), 70);
+        assert!(r.is_sorted_by(&[1]));
+        assert!(r.rows().all(|row| row.value(0).as_i64() >= 30));
+    }
+
+    #[test]
+    fn apply_rejects_wrong_target_relation() {
+        let mut r = sample();
+        let mut d = TableDelta::new(schema3("Other"));
+        d.insert(&[Value::Int(1), Value::Int(1), Value::Double(1.0)])
+            .unwrap();
+        assert!(matches!(r.apply(&d), Err(DataError::DeltaMismatch { .. })));
+    }
+
+    #[test]
+    fn delete_then_reinsert_round_trips_bit_identically() {
+        // The satellite case: removing a tuple and re-inserting the exact
+        // same tuple must reproduce the relation bit-for-bit through rows(),
+        // NaN payloads of doubles included.
+        let nan = f64::from_bits(0x7ff8_0000_0000_1234);
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(5), Value::Double(nan)],
+            vec![Value::Int(1), Value::Int(5), Value::Double(2.0)],
+            vec![Value::Int(2), Value::Int(1), Value::Double(-0.0)],
+        ];
+        let mut r = Relation::from_rows(schema3("R"), rows).unwrap();
+        r.sort_by_positions(&[0, 1]);
+        let before: Vec<Vec<Value>> = r.rows().map(|row| row.to_vec()).collect();
+
+        let victim = vec![Value::Int(1), Value::Int(5), Value::Double(nan)];
+        let mut del = TableDelta::for_relation(&r);
+        del.delete(&victim).unwrap();
+        r.apply(&del).unwrap();
+        assert_eq!(r.len(), 2);
+
+        let mut ins = TableDelta::for_relation(&r);
+        ins.insert(&victim).unwrap();
+        r.apply(&ins).unwrap();
+
+        let mut after: Vec<Vec<Value>> = r.rows().map(|row| row.to_vec()).collect();
+        let mut expected = before.clone();
+        // Same multiset, same sort keys; compare as sorted sequences to be
+        // independent of tie order among equal keys.
+        after.sort();
+        expected.sort();
+        assert_eq!(after, expected);
+        assert!(r.is_sorted_by(&[0, 1]));
+        // The NaN payload survived bit-for-bit.
+        assert!(r
+            .rows()
+            .any(|row| matches!(row.value(2), Value::Double(d) if d.to_bits() == nan.to_bits())));
+    }
+
+    #[test]
+    fn heterogeneous_delta_appends_demote_columns_to_mixed() {
+        // The satellite case: an insert whose variant mismatches the typed
+        // column must demote to Mixed without losing any existing value.
+        let mut r = sample();
+        r.sort_by_positions(&[0]);
+        let before: Vec<Value> = (0..r.len()).map(|i| r.value(i, 2)).collect();
+        let mut d = TableDelta::for_relation(&r);
+        d.insert(&[Value::Int(0), Value::Int(0), Value::Null])
+            .unwrap();
+        r.apply(&d).unwrap();
+        assert!(matches!(r.column(2), Column::Mixed(_)));
+        assert_eq!(r.value(0, 2), Value::Null, "null row sorts first by key");
+        let after: Vec<Value> = (1..r.len()).map(|i| r.value(i, 2)).collect();
+        assert_eq!(before, after);
     }
 
     #[test]

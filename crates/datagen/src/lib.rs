@@ -14,9 +14,11 @@ pub mod common;
 pub mod favorita;
 pub mod retailer;
 pub mod tpcds;
+pub mod updates;
 pub mod yelp;
 
 pub use common::{Dataset, Scale};
+pub use updates::{fact_relation, update_stream, UpdateMix};
 
 /// All four paper datasets at the given scale, in the order of Table 1.
 pub fn all_datasets(scale: Scale) -> Vec<Dataset> {

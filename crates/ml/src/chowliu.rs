@@ -6,7 +6,7 @@
 //! is one LMFAO batch; the spanning tree itself is a tiny Kruskal pass.
 
 use crate::mutual_info::{mutual_info_matrix, MutualInfoMatrix};
-use lmfao_core::Engine;
+use lmfao_core::{Engine, EngineError};
 use lmfao_data::AttrId;
 
 /// A learned Chow–Liu tree: an undirected spanning tree over the attributes.
@@ -75,8 +75,8 @@ impl UnionFind {
 
 /// Learns a Chow–Liu tree directly over an engine: one mutual-information
 /// batch, then the spanning tree.
-pub fn learn_chow_liu(engine: &Engine, attrs: &[AttrId]) -> ChowLiuTree {
-    chow_liu_tree(&mutual_info_matrix(engine, attrs))
+pub fn learn_chow_liu(engine: &Engine, attrs: &[AttrId]) -> Result<ChowLiuTree, EngineError> {
+    Ok(chow_liu_tree(&mutual_info_matrix(engine, attrs)?))
 }
 
 /// Builds the Chow–Liu tree from a mutual-information matrix via Kruskal's

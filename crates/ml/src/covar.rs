@@ -14,7 +14,7 @@
 //! matrix — this is the key asymmetry with the materialize-then-learn
 //! baselines.
 
-use lmfao_core::{BatchResult, Engine};
+use lmfao_core::{BatchResult, Engine, EngineError};
 use lmfao_data::AttrId;
 use lmfao_expr::{Aggregate, QueryBatch};
 
@@ -173,10 +173,10 @@ impl CovarMatrix {
 /// [`covar_batch`] / [`assemble_covar_matrix`] pieces when the batch is
 /// prepared ahead of time and re-executed (e.g. with changing dynamic sample
 /// weights).
-pub fn covar_matrix(engine: &Engine, spec: &CovarSpec) -> CovarMatrix {
+pub fn covar_matrix(engine: &Engine, spec: &CovarSpec) -> Result<CovarMatrix, EngineError> {
     let cb = covar_batch(spec);
-    let result = engine.execute(&cb.batch);
-    assemble_covar_matrix(&cb, &result)
+    let result = engine.execute(&cb.batch)?;
+    Ok(assemble_covar_matrix(&cb, &result))
 }
 
 /// Assembles the continuous covar matrix from an executed batch.

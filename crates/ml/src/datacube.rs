@@ -6,7 +6,7 @@
 //! The paper's DC workload uses three dimensions and five measures; the
 //! builder here is general.
 
-use lmfao_core::{BatchResult, Engine};
+use lmfao_core::{BatchResult, Engine, EngineError};
 use lmfao_data::{AttrId, FxHashMap, Value};
 use lmfao_expr::{Aggregate, QueryBatch};
 
@@ -80,10 +80,14 @@ impl DataCube {
 }
 
 /// Builds, executes and assembles a data cube in one call over an engine.
-pub fn compute_datacube(engine: &Engine, dimensions: &[AttrId], measures: &[AttrId]) -> DataCube {
+pub fn compute_datacube(
+    engine: &Engine,
+    dimensions: &[AttrId],
+    measures: &[AttrId],
+) -> Result<DataCube, EngineError> {
     let cb = datacube_batch(dimensions, measures);
-    let result = engine.execute(&cb.batch);
-    assemble_cube(&cb, &result)
+    let result = engine.execute(&cb.batch)?;
+    Ok(assemble_cube(&cb, &result))
 }
 
 /// Assembles the 1NF cube representation from an executed batch.

@@ -8,7 +8,7 @@
 use crate::covar::{covar_matrix, CovarSpec};
 use crate::linreg::LinearRegressionModel;
 use crate::trees::DecisionTree;
-use lmfao_core::Engine;
+use lmfao_core::{Engine, EngineError};
 use lmfao_data::{AttrId, Relation};
 
 /// Root-mean-square error of a prediction function over a test relation.
@@ -55,12 +55,12 @@ pub fn linreg_rmse_via_aggregates(
     engine: &Engine,
     model: &LinearRegressionModel,
     label: AttrId,
-) -> f64 {
+) -> Result<f64, EngineError> {
     let mut attrs = model.features.clone();
     attrs.push(label);
-    let covar = covar_matrix(engine, &CovarSpec::continuous_only(attrs));
+    let covar = covar_matrix(engine, &CovarSpec::continuous_only(attrs))?;
     if covar.count <= 0.0 {
-        return 0.0;
+        return Ok(0.0);
     }
     let mut theta = model.theta.clone();
     theta.push(-1.0);
@@ -70,7 +70,7 @@ pub fn linreg_rmse_via_aggregates(
             rss += tj * c * tk;
         }
     }
-    (rss.max(0.0) / covar.count).sqrt()
+    Ok((rss.max(0.0) / covar.count).sqrt())
 }
 
 /// RMSE of a decision tree over a materialized test relation.

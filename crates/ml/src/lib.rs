@@ -23,6 +23,7 @@ pub mod datacube;
 pub mod evaluate;
 pub mod linreg;
 pub mod mutual_info;
+pub mod stream;
 pub mod trees;
 
 pub use chowliu::{chow_liu_tree, learn_chow_liu, ChowLiuTree};
@@ -36,6 +37,7 @@ pub use linreg::{
 pub use mutual_info::{
     compute_mutual_info, mutual_info_batch, mutual_info_matrix, MutualInfoBatch, MutualInfoMatrix,
 };
+pub use stream::StreamingCovar;
 pub use trees::{
     train_decision_tree, train_decision_tree_replanned, DecisionTree, SplitCondition, TreeConfig,
     TreeNode, TreeTask,

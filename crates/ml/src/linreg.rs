@@ -9,7 +9,7 @@
 //! costs `O(n²)` regardless of the dataset size.
 
 use crate::covar::{covar_matrix, CovarMatrix, CovarSpec};
-use lmfao_core::Engine;
+use lmfao_core::{Engine, EngineError};
 use lmfao_data::{AttrId, Relation};
 
 /// Configuration of the ridge linear regression trainer.
@@ -130,11 +130,11 @@ pub fn train_linear_regression_over(
     features: &[AttrId],
     label: AttrId,
     config: &LinRegConfig,
-) -> LinearRegressionModel {
+) -> Result<LinearRegressionModel, EngineError> {
     let mut all = features.to_vec();
     all.push(label);
-    let covar = covar_matrix(engine, &CovarSpec::continuous_only(all));
-    train_linear_regression(&covar, config)
+    let covar = covar_matrix(engine, &CovarSpec::continuous_only(all))?;
+    Ok(train_linear_regression(&covar, config))
 }
 
 /// Trains ridge linear regression by BGD with Barzilai–Borwein step sizes and

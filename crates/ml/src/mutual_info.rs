@@ -8,7 +8,7 @@
 //! The single total count and the per-attribute marginals are shared across
 //! all pairs, which is exactly the sharing LMFAO exploits.
 
-use lmfao_core::{BatchResult, Engine};
+use lmfao_core::{BatchResult, Engine, EngineError};
 use lmfao_data::{AttrId, FxHashMap, Value};
 use lmfao_expr::{Aggregate, QueryBatch};
 
@@ -81,10 +81,13 @@ impl MutualInfoMatrix {
 
 /// Builds, executes and post-processes the mutual-information batch in one
 /// call over an engine.
-pub fn mutual_info_matrix(engine: &Engine, attrs: &[AttrId]) -> MutualInfoMatrix {
+pub fn mutual_info_matrix(
+    engine: &Engine,
+    attrs: &[AttrId],
+) -> Result<MutualInfoMatrix, EngineError> {
     let mi = mutual_info_batch(attrs);
-    let result = engine.execute(&mi.batch);
-    compute_mutual_info(&mi, &result)
+    let result = engine.execute(&mi.batch)?;
+    Ok(compute_mutual_info(&mi, &result))
 }
 
 /// Computes all pairwise mutual-information values from an executed batch.

@@ -30,7 +30,7 @@
 //! the reference the prepared path is validated against: both produce
 //! bit-identical trees.
 
-use lmfao_core::{BatchResult, Engine};
+use lmfao_core::{BatchResult, Engine, EngineError};
 use lmfao_data::{AttrId, Value};
 use lmfao_expr::{Aggregate, CmpOp, DynamicRegistry, ProductTerm, QueryBatch, ScalarFunction};
 
@@ -300,7 +300,7 @@ pub fn train_decision_tree(
     features: &[AttrId],
     label: AttrId,
     config: &TreeConfig,
-) -> DecisionTree {
+) -> Result<DecisionTree, EngineError> {
     let schema = engine.database().schema().clone();
     let splits = candidate_splits(engine, &schema, features, config);
 
@@ -337,14 +337,18 @@ pub fn train_decision_tree(
         left_queries.push(push_node_query(&mut batch, name, config.task, label, alpha));
     }
 
-    let prepared = engine.prepare(&batch);
+    let prepared = engine.prepare(&batch)?;
     let batch_len = batch.len();
     let is_classification = config.task == TreeTask::Classification;
     let mut queries_issued = 0usize;
     let mut evaluate = |conditions: &[SplitCondition]| {
         set_path_conditions(&mut dynamics, features, &dynamic_ids, conditions);
         queries_issued += batch_len;
-        let result = prepared.execute(&dynamics);
+        // A successfully prepared batch executes over its own database and
+        // computes every view in dependency order; execution cannot fail.
+        let result = prepared
+            .execute(&dynamics)
+            .expect("prepared batch must execute");
         evaluate_node(is_classification, parent_query, &left_queries, &result)
     };
     let root = grow(
@@ -356,12 +360,12 @@ pub fn train_decision_tree(
             depth: 0,
         },
     );
-    DecisionTree {
+    Ok(DecisionTree {
         root,
         task: config.task,
         label,
         queries_issued,
-    }
+    })
 }
 
 /// Learns a decision tree by re-running the whole optimizer for every node:
@@ -375,7 +379,7 @@ pub fn train_decision_tree_replanned(
     features: &[AttrId],
     label: AttrId,
     config: &TreeConfig,
-) -> DecisionTree {
+) -> Result<DecisionTree, EngineError> {
     let schema = engine.database().schema().clone();
     let splits = candidate_splits(engine, &schema, features, config);
     let is_classification = config.task == TreeTask::Classification;
@@ -403,7 +407,9 @@ pub fn train_decision_tree_replanned(
             ));
         }
         queries_issued += batch.len();
-        let result = engine.execute(&batch);
+        let result = engine
+            .execute(&batch)
+            .expect("per-node batch must plan and execute");
         evaluate_node(is_classification, parent_query, &left_queries, &result)
     };
     let root = grow(
@@ -415,12 +421,12 @@ pub fn train_decision_tree_replanned(
             depth: 0,
         },
     );
-    DecisionTree {
+    Ok(DecisionTree {
         root,
         task: config.task,
         label,
         queries_issued,
-    }
+    })
 }
 
 /// Swaps the per-feature dynamic closures so the prepared batch computes the

@@ -46,8 +46,8 @@ fn main() {
     );
     // Plan once, execute; an interactive dashboard would keep the prepared
     // batch around and re-execute as data or dynamic measures change.
-    let prepared = engine.prepare(&cube_batch.batch);
-    let result = prepared.execute(&DynamicRegistry::new());
+    let prepared = engine.prepare(&cube_batch.batch).unwrap();
+    let result = prepared.execute(&DynamicRegistry::new()).unwrap();
     let cube = assemble_cube(&cube_batch, &result);
     println!(
         "cube materialized: {} cells in {:.3}s ({} views, {} groups)",

@@ -51,7 +51,7 @@ fn main() {
         dataset.tree.clone(),
         EngineConfig::full(2),
     );
-    let prepared = engine.prepare(&batch);
+    let prepared = engine.prepare(&batch).unwrap();
 
     println!("\nplanning statistics (before execution):");
     println!(
@@ -69,7 +69,7 @@ fn main() {
     // Execute: only the scans run. The same prepared batch can be executed
     // any number of times (with changing dynamic functions, see the
     // decision-tree learner).
-    let result = prepared.execute(&DynamicRegistry::new());
+    let result = prepared.execute(&DynamicRegistry::new()).unwrap();
 
     println!("\nscalar results (looked up by query name):");
     println!(

@@ -42,8 +42,8 @@ fn main() {
     );
     // Plan once, execute; the covar matrix does not depend on the model
     // parameters, so one execution feeds every BGD iteration.
-    let prepared = engine.prepare(&cb.batch);
-    let result = prepared.execute(&DynamicRegistry::new());
+    let prepared = engine.prepare(&cb.batch).unwrap();
+    let result = prepared.execute(&DynamicRegistry::new()).unwrap();
     let covar = assemble_covar_matrix(&cb, &result);
     let model = train_linear_regression(&covar, &LinRegConfig::default());
     let lmfao_time = start.elapsed();
@@ -90,7 +90,7 @@ fn main() {
         min_samples: 100,
         buckets: 8,
     };
-    let tree = train_decision_tree(&engine, &features, label, &tree_config);
+    let tree = train_decision_tree(&engine, &features, label, &tree_config).unwrap();
     println!(
         "\n[LMFAO] regression tree: {} nodes, {} aggregate queries issued, {:.3}s",
         tree.size(),
@@ -101,7 +101,8 @@ fn main() {
     // Evaluate both models on the materialized join (as the test set proxy).
     // The linear model's RMSE is also computable purely from aggregates
     // (θ'ᵀCθ' over a covar batch) — no join needed:
-    let aggregate_rmse = lmfao::ml::evaluate::linreg_rmse_via_aggregates(&engine, &model, label);
+    let aggregate_rmse =
+        lmfao::ml::evaluate::linreg_rmse_via_aggregates(&engine, &model, label).unwrap();
     let test = baseline_engine.join();
     let lr_rmse = model.rmse(test, label);
     assert!(

@@ -46,8 +46,8 @@ fn main() {
     );
     // Plan once, execute once; `lmfao::ml::learn_chow_liu` wraps this whole
     // pipeline when the intermediate statistics are not needed.
-    let prepared = engine.prepare(&mi_batch.batch);
-    let result = prepared.execute(&DynamicRegistry::new());
+    let prepared = engine.prepare(&mi_batch.batch).unwrap();
+    let result = prepared.execute(&DynamicRegistry::new()).unwrap();
     println!(
         "executed as {} views in {} groups ({} intermediate aggregates) in {:.3}s",
         result.stats.num_views,

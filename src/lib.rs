@@ -71,11 +71,11 @@
 //!
 //! // Plan once. Statistics (views, groups, roots) are known before any scan.
 //! let engine = Engine::new(db, tree, EngineConfig::default());
-//! let prepared = engine.prepare(&batch);
+//! let prepared = engine.prepare(&batch).unwrap();
 //! assert!(prepared.stats().num_views >= 3);
 //!
 //! // Execute (as often as needed) and look results up by query name.
-//! let result = prepared.execute(&DynamicRegistry::new());
+//! let result = prepared.execute(&DynamicRegistry::new()).unwrap();
 //! assert_eq!(result.query("count").scalar()[0], 2.0);
 //! assert_eq!(result.query("revenue").scalar()[0], 80.0);
 //! assert_eq!(result.query("per_store").get(&[Value::Int(1)]).unwrap()[0], 3.0);
@@ -87,6 +87,73 @@
 //! [`engine::SharedDatabase::prepare`] and build engines via
 //! [`engine::Engine::with_shared`]; cloning the handle is a reference-count
 //! bump, not a copy of the relations.
+//!
+//! ## Incremental maintenance: refresh instead of recompute
+//!
+//! When base relations receive updates, a prepared batch can be promoted to
+//! *live materialized state* with
+//! [`engine::PreparedBatch::into_maintained`]: the
+//! [`engine::MaintainedBatch`] retains every computed view and absorbs
+//! signed [`data::TableDelta`]s (inserts + deletes) with work proportional
+//! to the delta — only the groups that (transitively) depend on the changed
+//! relation are touched, and they re-scan the delta partition, not the data.
+//!
+//! ```
+//! use lmfao::prelude::*;
+//!
+//! # let mut schema = DatabaseSchema::new();
+//! # schema.add_relation_with_attrs(
+//! #     "Sales",
+//! #     &[("store", AttrType::Int), ("item", AttrType::Int), ("units", AttrType::Double)],
+//! # );
+//! # schema.add_relation_with_attrs(
+//! #     "Items",
+//! #     &[("item", AttrType::Int), ("price", AttrType::Double)],
+//! # );
+//! # let store = schema.attr_id("store").unwrap();
+//! # let units = schema.attr_id("units").unwrap();
+//! # let price = schema.attr_id("price").unwrap();
+//! # let sales = Relation::from_rows(
+//! #     schema.relation("Sales").unwrap().clone(),
+//! #     vec![
+//! #         vec![Value::Int(1), Value::Int(1), Value::Double(3.0)],
+//! #         vec![Value::Int(2), Value::Int(1), Value::Double(5.0)],
+//! #     ],
+//! # )
+//! # .unwrap();
+//! # let items = Relation::from_rows(
+//! #     schema.relation("Items").unwrap().clone(),
+//! #     vec![vec![Value::Int(1), Value::Double(10.0)]],
+//! # )
+//! # .unwrap();
+//! # let db = Database::new(schema.clone(), vec![sales, items]).unwrap();
+//! # let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+//! # let mut batch = QueryBatch::new();
+//! # batch.push("count", vec![], vec![Aggregate::count()]);
+//! # batch.push("revenue", vec![], vec![Aggregate::sum_product(units, price)]);
+//! // Same Sales ⋈ Items setup as above. Prepare once, go live:
+//! let engine = Engine::new(db, tree, EngineConfig::default());
+//! let dynamics = DynamicRegistry::new();
+//! let mut live = engine.prepare(&batch).unwrap().into_maintained(&dynamics).unwrap();
+//! assert_eq!(live.results().unwrap().query("revenue").scalar()[0], 80.0);
+//!
+//! // A signed delta: one sale appended, one retracted.
+//! let mut delta = TableDelta::for_relation(live.database().relation("Sales").unwrap());
+//! delta.insert(&[Value::Int(1), Value::Int(1), Value::Double(4.0)]).unwrap();
+//! delta.delete(&[Value::Int(2), Value::Int(1), Value::Double(5.0)]).unwrap();
+//! let stats = live.apply(&delta, &dynamics).unwrap();
+//! assert!(stats.views_changed > 0);
+//!
+//! // Results refreshed without re-scanning the base data.
+//! assert_eq!(live.results().unwrap().query("count").scalar()[0], 2.0);
+//! assert_eq!(live.results().unwrap().query("revenue").scalar()[0], 70.0);
+//! ```
+//!
+//! `lmfao_ml::StreamingCovar` keeps a model's sufficient statistics
+//! maintained the same way, `lmfao_baseline::RecomputeReference` is the
+//! recompute-from-scratch referee used by the tests, and
+//! `lmfao_datagen::update_stream` generates reproducible insert/delete mixes
+//! for every paper dataset.
 
 #![warn(missing_docs)]
 
@@ -100,12 +167,13 @@ pub use lmfao_ml as ml;
 
 /// Convenient re-exports of the most common types.
 pub mod prelude {
-    pub use lmfao_baseline::MaterializedEngine;
+    pub use lmfao_baseline::{MaterializedEngine, RecomputeReference};
     pub use lmfao_core::{
-        BatchResult, Engine, EngineConfig, EngineStats, PreparedBatch, QueryResult, SharedDatabase,
+        BatchResult, Engine, EngineConfig, EngineError, EngineStats, MaintainedBatch,
+        PreparedBatch, QueryResult, RefreshStats, SharedDatabase,
     };
     pub use lmfao_data::{
-        AttrId, AttrType, Database, DatabaseSchema, Relation, RelationSchema, Value,
+        AttrId, AttrType, Database, DatabaseSchema, Relation, RelationSchema, TableDelta, Value,
     };
     pub use lmfao_datagen::{Dataset, Scale};
     pub use lmfao_expr::{
@@ -116,6 +184,6 @@ pub mod prelude {
         assemble_covar_matrix, chow_liu_tree, compute_mutual_info, covar_batch, covar_matrix,
         datacube_batch, learn_chow_liu, mutual_info_batch, mutual_info_matrix, train_decision_tree,
         train_decision_tree_replanned, train_linear_regression, train_linear_regression_over,
-        CovarSpec, LinRegConfig, TreeConfig, TreeTask,
+        CovarSpec, LinRegConfig, StreamingCovar, TreeConfig, TreeTask,
     };
 }

@@ -52,8 +52,8 @@ fn assert_agrees(
 fn check_batch(dataset: &Dataset, batch: &QueryBatch, config: EngineConfig) {
     let engine = Engine::new(dataset.db.clone(), dataset.tree.clone(), config);
     // Exercise the primary API: plan once, then execute.
-    let prepared = engine.prepare(batch);
-    let result = prepared.execute(&DynamicRegistry::new());
+    let prepared = engine.prepare(batch).unwrap();
+    let result = prepared.execute(&DynamicRegistry::new()).unwrap();
     let baseline = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
     let expected = baseline.execute_batch(batch, &DynamicRegistry::new());
     for ((q, lm), bl) in batch.queries.iter().zip(&result.queries).zip(&expected) {
@@ -180,11 +180,13 @@ fn all_ablation_configurations_agree_on_favorita() {
         dataset.tree.clone(),
         EngineConfig::unoptimized(),
     )
-    .execute(&batch);
+    .execute(&batch)
+    .unwrap();
     assert!(reference.query("count").scalar()[0] > 0.0);
     for (name, config) in EngineConfig::ablation_ladder(4).into_iter().skip(1) {
-        let result =
-            Engine::with_shared(shared.clone(), dataset.tree.clone(), config).execute(&batch);
+        let result = Engine::with_shared(shared.clone(), dataset.tree.clone(), config)
+            .execute(&batch)
+            .unwrap();
         for (r, e) in result.queries.iter().zip(&reference.queries) {
             assert_eq!(r.len(), e.len(), "{name}");
             for (key, vals) in e.iter() {

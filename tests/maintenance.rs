@@ -1,0 +1,244 @@
+//! Incremental maintenance versus recompute-from-scratch.
+//!
+//! The referee is `lmfao_baseline::RecomputeReference`: both sides consume
+//! the same reproducible update streams (`lmfao_datagen::update_stream`) on
+//! all four paper datasets, the maintained side refreshing its retained
+//! views, the reference re-planning and re-scanning everything. Results must
+//! agree across the whole ablation ladder:
+//!
+//! * **bit-identically** for counts and for databases whose measures are
+//!   integer-valued (float addition over integers within 2⁵³ is exact, so
+//!   refresh and recompute produce the same bits);
+//! * within a tight relative tolerance for arbitrary doubles (float addition
+//!   is not associative, so `(Σ + x) − x` may differ from `Σ` in the last
+//!   ulp — the documented caveat of `lmfao_core::maintain`).
+
+use lmfao::baseline::RecomputeReference;
+use lmfao::datagen::{self, fact_relation, update_stream, Scale, UpdateMix};
+use lmfao::engine::{BatchResult, EngineConfig};
+use lmfao::prelude::*;
+
+/// Builds a small but representative batch for a dataset: COUNT, a sum, a
+/// sum of squares, an indicator-guarded sum (the RT shape) and a group-by.
+fn workload(ds: &Dataset) -> QueryBatch {
+    let spec = lmfao_bench_spec(ds);
+    let mut batch = QueryBatch::new();
+    batch.push("count", vec![], vec![Aggregate::count()]);
+    batch.push("sum", vec![], vec![Aggregate::sum(spec.0)]);
+    batch.push("sum_sq", vec![], vec![Aggregate::sum_square(spec.0)]);
+    let cond = ScalarFunction::Indicator {
+        attr: spec.0,
+        op: CmpOp::Ge,
+        threshold: lmfao::data::Value::Double(1.0),
+    };
+    batch.push(
+        "rt_like",
+        vec![],
+        vec![Aggregate::product(
+            ProductTerm::single(cond).times(ScalarFunction::Identity(spec.0)),
+        )],
+    );
+    batch.push("per_cat", vec![spec.1], vec![Aggregate::sum(spec.0)]);
+    batch
+}
+
+/// (continuous measure, group-by attribute) per dataset.
+fn lmfao_bench_spec(ds: &Dataset) -> (AttrId, AttrId) {
+    match ds.name.as_str() {
+        "Retailer" => (ds.attr("inventoryunits"), ds.attr("category")),
+        "Favorita" => (ds.attr("units"), ds.attr("family")),
+        "Yelp" => (ds.attr("stars"), ds.attr("bcity")),
+        "TPC-DS" => (ds.attr("quantity"), ds.attr("icategory")),
+        other => panic!("unknown dataset {other}"),
+    }
+}
+
+/// Compares two batch results value-wise (absent keys = all-zero aggregates).
+/// `exact` demands bit equality; otherwise a 1e-9 relative tolerance.
+/// Count queries are always compared exactly.
+fn assert_agree(got: &BatchResult, want: &BatchResult, exact: bool, context: &str) {
+    for (g, w) in got.queries.iter().zip(&want.queries) {
+        assert_eq!(g.name, w.name, "{context}");
+        let keys: std::collections::BTreeSet<_> = g.data.keys().chain(w.data.keys()).collect();
+        let zeros = vec![0.0; g.num_aggregates];
+        let force_exact = exact || g.name == "count";
+        for key in keys {
+            let gv = g.get(key).unwrap_or(&zeros);
+            let wv = w.get(key).unwrap_or(&zeros);
+            for (a, b) in gv.iter().zip(wv) {
+                if force_exact {
+                    assert_eq!(a, b, "{context}: query {} key {key:?}", g.name);
+                } else {
+                    assert!(
+                        (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                        "{context}: query {} key {key:?}: {a} vs {b}",
+                        g.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The acceptance property: for random insert/delete streams on all four
+/// datasets, maintained results equal full recompute across the ablation
+/// ladder, at every step of the stream.
+#[test]
+fn maintained_batches_match_recompute_on_all_datasets_across_the_ladder() {
+    let dynamics = DynamicRegistry::new();
+    for ds in datagen::all_datasets(Scale::small()) {
+        let batch = workload(&ds);
+        let fact = fact_relation(&ds.name);
+        // The generators round every continuous measure, so fact-table sums
+        // are integer-valued and the comparison can be bit-strict.
+        let stream = update_stream(&ds, fact, &UpdateMix::balanced(8).seed(11));
+        for (name, cfg) in EngineConfig::ablation_ladder(2) {
+            let engine = Engine::new(ds.db.clone(), ds.tree.clone(), cfg);
+            let mut maintained = engine
+                .prepare(&batch)
+                .unwrap()
+                .into_maintained(&dynamics)
+                .unwrap();
+            let mut reference =
+                RecomputeReference::new(ds.db.clone(), ds.tree.clone(), cfg, batch.clone());
+            for (step, delta) in stream.iter().enumerate() {
+                maintained.apply(delta, &dynamics).unwrap();
+                reference.apply(delta).unwrap();
+                let got = maintained.results().unwrap();
+                let want = reference.recompute().unwrap();
+                assert_agree(
+                    &got,
+                    &want,
+                    false,
+                    &format!("{}/{name} step {step}", ds.name),
+                );
+            }
+            // Stream totals must also be reflected in the relation itself.
+            assert_eq!(
+                maintained.database().relation(fact).unwrap().len(),
+                reference.database().relation(fact).unwrap().len(),
+                "{}/{name}",
+                ds.name
+            );
+        }
+    }
+}
+
+/// Dimension-table streams exercise the propagation path (the changed
+/// relation is *not* the one most groups scan).
+#[test]
+fn dimension_streams_propagate_correctly() {
+    let dynamics = DynamicRegistry::new();
+    let ds = datagen::retailer::generate(Scale::small());
+    let batch = workload(&ds);
+    let stream = update_stream(&ds, "Item", &UpdateMix::corrections(6).seed(5));
+    let cfg = EngineConfig::default();
+    let engine = Engine::new(ds.db.clone(), ds.tree.clone(), cfg);
+    let mut maintained = engine
+        .prepare(&batch)
+        .unwrap()
+        .into_maintained(&dynamics)
+        .unwrap();
+    let mut reference = RecomputeReference::new(ds.db.clone(), ds.tree.clone(), cfg, batch);
+    for (step, delta) in stream.iter().enumerate() {
+        maintained.apply(delta, &dynamics).unwrap();
+        reference.apply(delta).unwrap();
+        assert_agree(
+            &maintained.results().unwrap(),
+            &reference.recompute().unwrap(),
+            false,
+            &format!("Item step {step}"),
+        );
+    }
+}
+
+/// On an integer-valued database, maintained state is bit-identical to
+/// recompute: integer sums within 2⁵³ are exact under float addition, so no
+/// reassociation slack is needed.
+#[test]
+fn integer_valued_streams_are_bit_identical_to_recompute() {
+    use lmfao::data::{AttrType, DatabaseSchema, RelationSchema, TableDelta, Value};
+    use lmfao::jointree::{build_join_tree, Hypergraph};
+
+    let mut schema = DatabaseSchema::new();
+    schema.add_relation_with_attrs(
+        "F",
+        &[
+            ("k", AttrType::Int),
+            ("m", AttrType::Double),
+            ("c", AttrType::Int),
+        ],
+    );
+    schema.add_relation_with_attrs("D", &[("k", AttrType::Int), ("w", AttrType::Double)]);
+    let ids: Vec<AttrId> = ["k", "m", "c", "w"]
+        .iter()
+        .map(|n| schema.attr_id(n).unwrap())
+        .collect();
+    let f = Relation::from_rows(
+        RelationSchema::new("F", vec![ids[0], ids[1], ids[2]]),
+        (0..200)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 8),
+                    Value::Double((i % 23) as f64),
+                    Value::Int(i % 3),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    let d = Relation::from_rows(
+        RelationSchema::new("D", vec![ids[0], ids[3]]),
+        (0..8)
+            .map(|i| vec![Value::Int(i), Value::Double((7 * (i + 1)) as f64)])
+            .collect(),
+    )
+    .unwrap();
+    let db = Database::new(schema.clone(), vec![f, d]).unwrap();
+    let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+
+    let mut batch = QueryBatch::new();
+    batch.push("count", vec![], vec![Aggregate::count()]);
+    batch.push("mw", vec![], vec![Aggregate::sum_product(ids[1], ids[3])]);
+    batch.push("per_c", vec![ids[2]], vec![Aggregate::sum(ids[1])]);
+
+    let dynamics = DynamicRegistry::new();
+    for (name, cfg) in EngineConfig::ablation_ladder(2) {
+        let engine = Engine::new(db.clone(), tree.clone(), cfg);
+        let mut maintained = engine
+            .prepare(&batch)
+            .unwrap()
+            .into_maintained(&dynamics)
+            .unwrap();
+        let mut reference = RecomputeReference::new(db.clone(), tree.clone(), cfg, batch.clone());
+        // A deterministic mixed stream, deletes always hitting live rows.
+        for step in 0..10i64 {
+            let mut delta = TableDelta::for_relation(db.relation("F").unwrap());
+            if step % 3 == 2 {
+                delta
+                    .delete(&[
+                        Value::Int(step % 8),
+                        Value::Double((step % 23) as f64),
+                        Value::Int(step % 3),
+                    ])
+                    .unwrap();
+            } else {
+                delta
+                    .insert(&[
+                        Value::Int(step % 8),
+                        Value::Double((100 + step) as f64),
+                        Value::Int(step % 3),
+                    ])
+                    .unwrap();
+            }
+            maintained.apply(&delta, &dynamics).unwrap();
+            reference.apply(&delta).unwrap();
+            assert_agree(
+                &maintained.results().unwrap(),
+                &reference.recompute().unwrap(),
+                true,
+                &format!("{name} step {step}"),
+            );
+        }
+    }
+}

@@ -71,7 +71,7 @@ fn linear_regression_recovers_cross_relation_coefficients() {
         dataset.tree.clone(),
         EngineConfig::default(),
     );
-    let result = engine.execute(&cb.batch);
+    let result = engine.execute(&cb.batch).unwrap();
     let covar = ml::assemble_covar_matrix(&cb, &result);
     assert_eq!(covar.dim(), 4); // intercept + 2 features + label
 
@@ -105,7 +105,7 @@ fn linear_regression_recovers_cross_relation_coefficients() {
     let join = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
     let materialized_rmse = model.rmse(join.join(), label);
     assert!(materialized_rmse < 0.2);
-    let aggregate_rmse = ml::evaluate::linreg_rmse_via_aggregates(&engine, &model, label);
+    let aggregate_rmse = ml::evaluate::linreg_rmse_via_aggregates(&engine, &model, label).unwrap();
     assert!(
         (aggregate_rmse - materialized_rmse).abs() < 1e-6 + 1e-6 * materialized_rmse,
         "aggregate RMSE {aggregate_rmse} vs materialized {materialized_rmse}"
@@ -124,7 +124,7 @@ fn lmfao_covar_matrix_equals_baseline_statistics() {
         dataset.tree.clone(),
         EngineConfig::default(),
     );
-    let covar = ml::assemble_covar_matrix(&cb, &engine.execute(&cb.batch));
+    let covar = ml::assemble_covar_matrix(&cb, &engine.execute(&cb.batch).unwrap());
 
     // Recompute the same statistics from the materialized join.
     let join = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
@@ -163,7 +163,7 @@ fn regression_tree_beats_the_mean_predictor() {
         min_samples: 10,
         buckets: 10,
     };
-    let tree = train_decision_tree(&engine, &features, label, &config);
+    let tree = train_decision_tree(&engine, &features, label, &config).unwrap();
     assert!(tree.size() > 1, "the tree must find at least one split");
 
     let join = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
@@ -233,8 +233,8 @@ fn prepared_regression_tree_is_bit_identical_to_replanning() {
         min_samples: 10,
         buckets: 10,
     };
-    let prepared = train_decision_tree(&engine, &features, label, &config);
-    let replanned = ml::train_decision_tree_replanned(&engine, &features, label, &config);
+    let prepared = train_decision_tree(&engine, &features, label, &config).unwrap();
+    let replanned = ml::train_decision_tree_replanned(&engine, &features, label, &config).unwrap();
     assert_eq!(prepared.queries_issued, replanned.queries_issued);
     assert_trees_bit_identical(&prepared.root, &replanned.root);
     assert!(prepared.size() > 1, "the data has structure to split on");
@@ -261,8 +261,8 @@ fn prepared_classification_tree_is_bit_identical_to_replanning() {
         min_samples: 50,
         buckets: 6,
     };
-    let prepared = train_decision_tree(&engine, &features, label, &config);
-    let replanned = ml::train_decision_tree_replanned(&engine, &features, label, &config);
+    let prepared = train_decision_tree(&engine, &features, label, &config).unwrap();
+    let replanned = ml::train_decision_tree_replanned(&engine, &features, label, &config).unwrap();
     assert_eq!(prepared.queries_issued, replanned.queries_issued);
     assert_trees_bit_identical(&prepared.root, &replanned.root);
 }
@@ -289,7 +289,7 @@ fn classification_tree_on_tpcds_beats_majority_class() {
         min_samples: 50,
         buckets: 8,
     };
-    let tree = train_decision_tree(&engine, &features, label, &config);
+    let tree = train_decision_tree(&engine, &features, label, &config).unwrap();
     assert!(tree.queries_issued > 0);
 
     let join = MaterializedEngine::materialize(&dataset.db, &dataset.tree);
@@ -317,11 +317,11 @@ fn chow_liu_tree_connects_functionally_dependent_attributes() {
         dataset.tree.clone(),
         EngineConfig::default(),
     );
-    let mi = mutual_info_matrix(&engine, &attrs);
+    let mi = mutual_info_matrix(&engine, &attrs).unwrap();
     let tree = chow_liu_tree(&mi);
     assert_eq!(tree.edges.len(), attrs.len() - 1);
     // The one-call learner wraps the same pipeline.
-    let direct = learn_chow_liu(&engine, &attrs);
+    let direct = learn_chow_liu(&engine, &attrs).unwrap();
     assert_eq!(direct.edges, tree.edges);
     // store→city and city→state are functional dependencies in the generator,
     // so their MI is maximal among pairs involving them; the spanning tree
@@ -346,7 +346,7 @@ fn data_cube_cells_are_consistent_across_cuboids() {
         dataset.tree.clone(),
         EngineConfig::default(),
     );
-    let result = engine.execute(&cube_batch.batch);
+    let result = engine.execute(&cube_batch.batch).unwrap();
     let cube = assemble_cube(&cube_batch, &result);
 
     // Roll-up consistency: summing the (family, ALL) cells over family gives
@@ -378,7 +378,7 @@ fn lmfao_and_dense_baseline_learn_comparable_linear_models() {
         EngineConfig::default(),
     );
     let lmfao_model =
-        train_linear_regression_over(&engine, &features, label, &LinRegConfig::default());
+        train_linear_regression_over(&engine, &features, label, &LinRegConfig::default()).unwrap();
 
     // Dense baseline path (materialize + one-hot + GD).
     let join = MaterializedEngine::materialize(&dataset.db, &dataset.tree);

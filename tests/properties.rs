@@ -110,7 +110,7 @@ proptest! {
 
         for config in [EngineConfig::default(), EngineConfig::unoptimized(), EngineConfig::full(2)] {
             let engine = Engine::new(db.clone(), tree.clone(), config);
-            let result = engine.execute(&batch);
+            let result = engine.execute(&batch).unwrap();
             // Scalars.
             prop_assert!(close(result.queries[0].scalar()[0], expected[0].scalar(1)[0]));
             prop_assert!(close(result.queries[1].scalar()[0], expected[1].scalar(1)[0]));
@@ -154,9 +154,9 @@ proptest! {
         let dynamics = DynamicRegistry::new();
         for (name, config) in EngineConfig::ablation_ladder(2) {
             let prepared = Engine::with_shared(shared.clone(), tree.clone(), config)
-                .prepare(&batch);
-            let via_prepared = prepared.execute(&dynamics);
-            let fresh = Engine::new(db.clone(), tree.clone(), config).execute(&batch);
+                .prepare(&batch).unwrap();
+            let via_prepared = prepared.execute(&dynamics).unwrap();
+            let fresh = Engine::new(db.clone(), tree.clone(), config).execute(&batch).unwrap();
             for (p, f) in via_prepared.queries.iter().zip(&fresh.queries) {
                 prop_assert_eq!(p.len(), f.len(), "{}: group counts differ", name);
                 for (key, vals) in f.iter() {
@@ -166,7 +166,7 @@ proptest! {
                 }
             }
             // Re-executing the same prepared batch is deterministic.
-            let again = prepared.execute(&dynamics);
+            let again = prepared.execute(&dynamics).unwrap();
             for (p, q) in via_prepared.queries.iter().zip(&again.queries) {
                 prop_assert_eq!(&p.data, &q.data);
             }
@@ -185,7 +185,7 @@ proptest! {
         batch.push("count", vec![], vec![Aggregate::count()]);
         batch.push("per_a", vec![a], vec![Aggregate::count()]);
         let engine = Engine::new(db.clone(), tree.clone(), EngineConfig::default());
-        let result = engine.execute(&batch);
+        let result = engine.execute(&batch).unwrap();
         let join = MaterializedEngine::materialize(&db, &tree);
         prop_assert_eq!(result.queries[0].scalar()[0], join.join().len() as f64);
         let a_col = join.join().position(a);
@@ -277,8 +277,8 @@ proptest! {
         let db2 = lmfao_data::Database::new(db.schema().clone(), rebuilt).unwrap();
 
         for (name, config) in EngineConfig::ablation_ladder(2) {
-            let res1 = Engine::new(db.clone(), tree.clone(), config).execute(&batch);
-            let res2 = Engine::new(db2.clone(), tree.clone(), config).execute(&batch);
+            let res1 = Engine::new(db.clone(), tree.clone(), config).execute(&batch).unwrap();
+            let res2 = Engine::new(db2.clone(), tree.clone(), config).execute(&batch).unwrap();
             for (q1, q2) in res1.queries.iter().zip(&res2.queries) {
                 prop_assert_eq!(q1.len(), q2.len(), "{}: group counts differ", name);
                 for (key, vals) in q1.iter() {
