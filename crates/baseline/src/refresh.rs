@@ -10,7 +10,7 @@
 //! compare results (exactly for integer-valued aggregates, within float
 //! tolerance otherwise, since float addition is not associative).
 
-use lmfao_core::{BatchResult, Engine, EngineConfig, EngineError};
+use lmfao_core::{BatchResult, Engine, EngineConfig, EngineError, ViewSnapshot};
 use lmfao_data::{Database, TableDelta};
 use lmfao_expr::QueryBatch;
 use lmfao_jointree::JoinTree;
@@ -34,6 +34,21 @@ impl RecomputeReference {
             config,
             batch,
         }
+    }
+
+    /// Creates a reference pinned to a published serving generation: the
+    /// database state is materialized from the snapshot's
+    /// [`lmfao_data::DatabaseSnapshot`], and the join tree and configuration
+    /// are taken from the plans the snapshot was computed under. Recomputing
+    /// then audits exactly what readers of that generation were answered
+    /// from — however many generations the writer has published since.
+    pub fn for_snapshot(snapshot: &ViewSnapshot, batch: QueryBatch) -> Self {
+        RecomputeReference::new(
+            snapshot.database().materialize(),
+            snapshot.join_tree().clone(),
+            *snapshot.config(),
+            batch,
+        )
     }
 
     /// Applies a delta to the reference's database (same sorted-merge
@@ -105,6 +120,34 @@ mod tests {
         let after = reference.recompute().unwrap().query("count").scalar()[0];
         assert_eq!(after, before + 1.0);
         assert_eq!(reference.database().relation("R").unwrap().len(), 11);
+    }
+
+    #[test]
+    fn snapshot_pinned_reference_audits_its_own_generation() {
+        use lmfao_expr::DynamicRegistry;
+        let (db, tree, batch) = setup();
+        let mut writer = lmfao_core::Engine::new(db.clone(), tree, EngineConfig::default())
+            .prepare(&batch)
+            .unwrap()
+            .into_serving(&DynamicRegistry::new())
+            .unwrap();
+        let pinned = writer.snapshot();
+        // The writer moves on; the pinned generation must still audit clean.
+        let mut delta = TableDelta::for_relation(db.relation("R").unwrap());
+        delta.insert(&[Value::Int(1), Value::Double(50.0)]).unwrap();
+        writer.apply(&delta, &DynamicRegistry::new()).unwrap();
+
+        let reference = RecomputeReference::for_snapshot(&pinned, batch.clone());
+        let audited = reference.recompute().unwrap();
+        for (got, want) in pinned.results().queries.iter().zip(&audited.queries) {
+            assert_eq!(got.data, want.data, "query {}", got.name);
+        }
+        // And a reference for the *new* generation sees the delta.
+        let now = RecomputeReference::for_snapshot(&writer.snapshot(), batch);
+        assert_eq!(
+            now.recompute().unwrap().query("count").scalar()[0],
+            audited.query("count").scalar()[0] + 1.0
+        );
     }
 
     #[test]

@@ -19,8 +19,19 @@
 //! With `--json [path]` the results are additionally written as a
 //! machine-readable JSON benchmark artifact (default path `BENCH_ci.json`).
 //! The process exits non-zero if any workload errors, so CI fails loudly.
+//!
+//! `--serve` runs the concurrent-serving benchmark (combinable with
+//! `--quick` so one JSON artifact carries both): reader threads answer
+//! named-query lookups from epoch-published snapshots while one writer
+//! applies updates at a target rate; the report carries queries/sec,
+//! p50/p95/p99 read latency, achieved updates/sec, and the post-run audit of
+//! sampled reads against a from-scratch recompute at their pinned
+//! generations. Tunables: `--readers N` (default 4), `--serve-secs S`
+//! (default 5), `--updates-per-sec U` (default 200), `--dataset NAME`
+//! (default Retailer). Any sampled-read mismatch fails the process.
 
 use lmfao_baseline::{self as baseline, DenseTask, MaterializedEngine};
+use lmfao_bench::serve::{run_serve, ServeConfig, ServeReport};
 use lmfao_bench::{engine_for, WorkloadSpec};
 use lmfao_core::EngineConfig;
 use lmfao_datagen::{all_datasets, Dataset, Scale};
@@ -70,6 +81,17 @@ fn git_revision() -> String {
         .map(|s| s.trim().to_string())
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Parses the value following a flag, exiting with a usage error if absent
+/// or malformed.
+fn parse_flag_value<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    args.get(i + 1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
 }
 
 fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -404,12 +426,52 @@ fn json_f64(x: f64) -> String {
     }
 }
 
-/// Renders the quick-suite records as the `BENCH_ci.json` document.
-fn render_bench_json(records: &[BenchRecord], sc: Scale, threads: usize) -> String {
+/// Renders the serving-run report as the `"serving"` JSON object.
+fn render_serve_json(dataset: &str, r: &ServeReport) -> String {
+    format!(
+        "  \"serving\": {{\n    \"dataset\": \"{}\", \"ok\": {}, \"readers\": {}, \
+         \"duration_secs\": {},\n    \"total_reads\": {}, \"queries_per_sec\": {}, \
+         \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {},\n    \
+         \"updates_applied\": {}, \"updates_per_sec\": {}, \"target_updates_per_sec\": {}, \
+         \"generations\": {},\n    \"sampled_reads\": {}, \"verified_generations\": {}, \
+         \"mismatches\": {}\n  }}",
+        json_escape(dataset),
+        r.ok(),
+        r.readers,
+        json_f64(r.duration_secs),
+        r.total_reads,
+        json_f64(r.queries_per_sec),
+        json_f64(r.p50_us),
+        json_f64(r.p95_us),
+        json_f64(r.p99_us),
+        json_f64(r.max_us),
+        r.updates_applied,
+        json_f64(r.updates_per_sec),
+        json_f64(r.target_updates_per_sec),
+        r.generations,
+        r.sampled_reads,
+        r.verified_generations,
+        r.mismatches
+    )
+}
+
+/// Renders the quick-suite records (plus the optional serving report) as the
+/// `BENCH_ci.json` document.
+fn render_bench_json(
+    records: &[BenchRecord],
+    serving: Option<(&str, &ServeReport)>,
+    sc: Scale,
+    threads: usize,
+) -> String {
+    let suite = match (records.is_empty(), serving.is_some()) {
+        (false, true) => "quick+serve",
+        (true, true) => "serve",
+        _ => "quick",
+    };
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema_version\": 1,\n");
-    s.push_str("  \"suite\": \"quick\",\n");
+    s.push_str(&format!("  \"suite\": \"{suite}\",\n"));
     s.push_str(&format!("  \"scale\": {},\n", sc.fact_rows));
     s.push_str(&format!("  \"seed\": {},\n", sc.seed));
     s.push_str(&format!("  \"threads\": {threads},\n"));
@@ -448,32 +510,27 @@ fn render_bench_json(records: &[BenchRecord], sc: Scale, threads: usize) -> Stri
         }
         s.push('\n');
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ]");
+    if let Some((dataset, report)) = serving {
+        s.push_str(",\n");
+        s.push_str(&render_serve_json(dataset, report));
+    }
+    s.push_str("\n}\n");
     s
 }
 
 /// The CI benchmark smoke suite: every Table-3 workload on every dataset,
-/// median-of-N prepared executions, optional JSON artifact. Returns the
-/// process exit code (non-zero when any workload errored).
-fn quick(json_path: Option<&str>) -> i32 {
+/// median-of-N prepared executions. Returns the per-workload records; any
+/// record with an error set means the run must exit non-zero.
+fn quick(datasets: &[Dataset], sc: Scale, threads: usize) -> Vec<BenchRecord> {
     const RUNS: usize = 3;
-    let sc = Scale::new(
-        std::env::var("LMFAO_SCALE")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(5_000),
-        42,
-    );
-    let threads = threads();
     println!(
         "LMFAO bench smoke — scale {} fact tuples, {threads} threads, {RUNS} runs/workload",
         sc.fact_rows
     );
-    let (datasets, gen_time) = time(|| all_datasets(sc));
-    println!("generated 4 datasets in {gen_time:.2}s");
 
     let mut records: Vec<BenchRecord> = Vec::new();
-    for ds in &datasets {
+    for ds in datasets {
         let spec = WorkloadSpec::for_dataset(&ds.name);
         let engine = engine_for(ds, EngineConfig::full(threads));
         let mut workloads = vec![("Count", spec.count_batch(ds))];
@@ -539,22 +596,113 @@ fn quick(json_path: Option<&str>) -> i32 {
             records.push(record);
         }
     }
+    records
+}
+
+/// Runs the serving benchmark for the CI artifact: covar batch over one
+/// dataset, reader threads against epoch-published snapshots, one paced
+/// writer. Prints the report; the caller folds `report.ok()` into the exit
+/// code.
+fn serve_bench(
+    datasets: &[Dataset],
+    dataset: &str,
+    threads: usize,
+    config: &ServeConfig,
+) -> Option<ServeReport> {
+    let ds = datasets.iter().find(|d| d.name == dataset)?;
+    let spec = WorkloadSpec::for_dataset(&ds.name);
+    let batch = spec.covar_batch(ds);
+    println!(
+        "\nLMFAO serving — {} covar batch ({} queries), {} readers, target {:.0} updates/s, {:.0}s",
+        ds.name,
+        batch.len(),
+        config.readers,
+        config.updates_per_sec,
+        config.duration_secs
+    );
+    match run_serve(ds, &batch, EngineConfig::full(threads), config) {
+        Ok(report) => {
+            report.print();
+            Some(report)
+        }
+        Err(e) => {
+            eprintln!("serving run failed: {e}");
+            None
+        }
+    }
+}
+
+/// The CI entry point behind `--quick` / `--serve`: runs the selected
+/// suites over one shared set of generated datasets, writes the combined
+/// JSON artifact, and returns the process exit code.
+fn ci_mode(
+    is_quick: bool,
+    serve_config: Option<(&str, &ServeConfig)>,
+    json_path: Option<&str>,
+) -> i32 {
+    let sc = Scale::new(
+        std::env::var("LMFAO_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(5_000),
+        42,
+    );
+    let threads = threads();
+    let (datasets, gen_time) = time(|| all_datasets(sc));
+    println!("generated 4 datasets in {gen_time:.2}s");
+
+    let records = if is_quick {
+        quick(&datasets, sc, threads)
+    } else {
+        Vec::new()
+    };
+    let mut code = 0;
+    let errors = records.iter().filter(|r| r.error.is_some()).count();
+    if errors > 0 {
+        eprintln!("{errors} workload(s) errored");
+        code = 1;
+    }
+
+    let serving = serve_config.map(|(dataset, config)| {
+        let report = serve_bench(&datasets, dataset, threads, config);
+        match &report {
+            Some(r) if r.ok() => {}
+            Some(r) => {
+                eprintln!(
+                    "serving audit failed: {} mismatch(es){}",
+                    r.mismatches,
+                    r.writer_error
+                        .as_deref()
+                        .map(|e| format!(", writer error: {e}"))
+                        .unwrap_or_default()
+                );
+                code = 1;
+            }
+            None => code = 1,
+        }
+        (dataset, report)
+    });
 
     if let Some(path) = json_path {
-        let doc = render_bench_json(&records, sc, threads);
+        let serving_section = serving
+            .as_ref()
+            .and_then(|(ds, r)| r.as_ref().map(|r| (*ds, r)));
+        let doc = render_bench_json(&records, serving_section, sc, threads);
         if let Err(e) = std::fs::write(path, &doc) {
             eprintln!("failed to write {path}: {e}");
             return 1;
         }
-        println!("wrote {path} ({} workloads)", records.len());
+        println!(
+            "wrote {path} ({} workloads{})",
+            records.len(),
+            if serving_section.is_some() {
+                " + serving"
+            } else {
+                ""
+            }
+        );
     }
-    let errors = records.iter().filter(|r| r.error.is_some()).count();
-    if errors > 0 {
-        eprintln!("{errors} workload(s) errored");
-        1
-    } else {
-        0
-    }
+    code
 }
 
 /// The `--maintain` mode: refresh latency of maintained batches versus full
@@ -644,19 +792,40 @@ fn maintain_mode() -> i32 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    // Flag parsing: `--quick` selects the CI smoke suite; `--maintain` the
+    // Flag parsing: `--quick` selects the CI smoke suite; `--serve` the
+    // concurrent-serving benchmark (they combine); `--maintain` the
     // refresh-latency suite; `--json [path]` writes the machine-readable
     // artifact (default BENCH_ci.json); `--threads N` overrides the worker
     // count (recorded in the JSON).
     let mut positional: Vec<&str> = Vec::new();
     let mut is_quick = false;
     let mut is_maintain = false;
+    let mut is_serve = false;
+    let mut serve_config = ServeConfig::default();
+    let mut serve_dataset = "Retailer".to_string();
     let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => is_quick = true,
             "--maintain" => is_maintain = true,
+            "--serve" => is_serve = true,
+            "--readers" => {
+                serve_config.readers = parse_flag_value(&args, i, "--readers");
+                i += 1;
+            }
+            "--serve-secs" => {
+                serve_config.duration_secs = parse_flag_value(&args, i, "--serve-secs");
+                i += 1;
+            }
+            "--updates-per-sec" => {
+                serve_config.updates_per_sec = parse_flag_value(&args, i, "--updates-per-sec");
+                i += 1;
+            }
+            "--dataset" => {
+                serve_dataset = parse_flag_value(&args, i, "--dataset");
+                i += 1;
+            }
             "--threads" => {
                 let n: usize = args
                     .get(i + 1)
@@ -682,8 +851,9 @@ fn main() {
         }
         i += 1;
     }
-    if is_quick {
-        std::process::exit(quick(json_path.as_deref()));
+    if is_quick || is_serve {
+        let serving = is_serve.then_some((serve_dataset.as_str(), &serve_config));
+        std::process::exit(ci_mode(is_quick, serving, json_path.as_deref()));
     }
     if is_maintain {
         std::process::exit(maintain_mode());

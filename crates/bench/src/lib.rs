@@ -5,11 +5,17 @@
 //! * the `experiments` binary regenerates every table and figure
 //!   (`cargo run --release -p lmfao-bench --bin experiments -- all`),
 //! * the Criterion benches (`cargo bench -p lmfao-bench`) provide
-//!   statistically sound timings for the same workloads at a smaller scale.
+//!   statistically sound timings for the same workloads at a smaller scale,
+//! * the `serve` binary and the [`serve`] module run the concurrent-serving
+//!   benchmark: reader threads answering query lookups from epoch-published
+//!   snapshots while a writer applies updates
+//!   (`cargo run --release -p lmfao-bench --bin serve`).
 //!
-//! The workload builders in this crate are shared between the two.
+//! The workload builders in this crate are shared between all of them.
 
 #![warn(missing_docs)]
+
+pub mod serve;
 
 use lmfao_core::{Engine, EngineConfig, SharedDatabase};
 use lmfao_data::AttrId;

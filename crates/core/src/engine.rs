@@ -122,6 +122,15 @@ impl BatchResult {
         self.get_query(name)
             .unwrap_or_else(|| panic!("no query named `{name}` in the batch result"))
     }
+
+    /// The result of the query with the given name, or a typed
+    /// [`EngineError::UnknownQuery`] if the batch has no query of that name.
+    /// This is the lookup the serving paths use for user-supplied names,
+    /// where neither a panic nor a silent `None` is acceptable.
+    pub fn try_query(&self, name: &str) -> Result<&QueryResult, crate::error::EngineError> {
+        self.get_query(name)
+            .ok_or_else(|| crate::error::EngineError::UnknownQuery(name.to_string()))
+    }
 }
 
 /// The LMFAO engine: a shared handle to the (sorted) database plus the join

@@ -23,6 +23,10 @@ pub enum EngineError {
     ViewNotComputed(ViewId),
     /// A delta could not be applied (unknown target, unmatched delete, …).
     Data(DataError),
+    /// A result lookup named a query the batch does not contain. Callers that
+    /// serve user-supplied query names (the serving loop) get a typed error
+    /// instead of a panic or a silent `None`.
+    UnknownQuery(String),
 }
 
 impl fmt::Display for EngineError {
@@ -36,6 +40,9 @@ impl fmt::Display for EngineError {
                 write!(f, "view {} required before it was computed", id.0)
             }
             EngineError::Data(e) => write!(f, "data error: {e}"),
+            EngineError::UnknownQuery(name) => {
+                write!(f, "no query named `{name}` in the batch")
+            }
         }
     }
 }
@@ -67,6 +74,9 @@ mod tests {
         assert!(EngineError::ViewNotComputed(ViewId(7))
             .to_string()
             .contains('7'));
+        assert!(EngineError::UnknownQuery("rev".into())
+            .to_string()
+            .contains("rev"));
         let e: EngineError = DataError::UnknownRelation("R".into()).into();
         assert!(matches!(e, EngineError::Data(_)));
         assert!(std::error::Error::source(&e).is_some());

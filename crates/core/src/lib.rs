@@ -23,8 +23,11 @@
 //! live materialized state ([`maintain`]): a [`MaintainedBatch`] retains
 //! every computed view and refreshes under signed
 //! [`lmfao_data::TableDelta`]s with work proportional to the delta, instead
-//! of recomputing. Planning and execution failures surface as typed
-//! [`EngineError`]s.
+//! of recomputing. For concurrent serving, [`PreparedBatch::into_serving`]
+//! splits that state into an immutable, epoch-published [`ViewSnapshot`] and
+//! a [`Maintainer`] writer ([`snapshot`]): readers pin whatever generation
+//! they load through a [`SnapshotHandle`] and never block on a refresh.
+//! Planning and execution failures surface as typed [`EngineError`]s.
 
 #![warn(missing_docs)]
 
@@ -41,6 +44,7 @@ pub mod prepared;
 pub mod pushdown;
 pub mod roots;
 pub mod shared;
+pub mod snapshot;
 pub mod view;
 
 pub use config::EngineConfig;
@@ -49,6 +53,7 @@ pub use error::EngineError;
 pub use maintain::{MaintainedBatch, RefreshStats};
 pub use prepared::PreparedBatch;
 pub use shared::SharedDatabase;
+pub use snapshot::{Maintainer, SnapshotHandle, ViewSnapshot};
 pub use view::{ComputedView, ViewCatalog, ViewDef, ViewId, ViewSource};
 
 #[cfg(test)]

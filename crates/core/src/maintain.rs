@@ -38,18 +38,29 @@
 //! at most one changed factor, which is what makes the single substitution
 //! pass exact.
 //!
+//! Since the serving milestone the refresh machinery itself lives in
+//! [`crate::snapshot`]: a [`MaintainedBatch`] is a thin single-owner wrapper
+//! around a [`Maintainer`], which publishes every refreshed generation as an
+//! immutable [`crate::snapshot::ViewSnapshot`]. Use the wrapper when one
+//! owner both applies deltas and reads results; call
+//! [`MaintainedBatch::snapshot`] / [`MaintainedBatch::handle`] (or unwrap
+//! with [`MaintainedBatch::into_serving`]) when readers on other threads
+//! should keep answering while deltas are applied.
+//!
 //! Floating-point caveat: refreshed sums are mathematically identical to a
 //! full recompute but may differ in the last ulp, because float addition is
 //! not associative (`(a + b) − b` need not bit-equal `a`). Integer-valued
-//! aggregates (counts, sums of integers within 2⁵³) are exact.
+//! aggregates (counts, sums of integers within 2⁵³) are exact, and residues
+//! that are zero up to rounding are snapped to exact zero
+//! ([`ComputedView::merge_signed_snapped`]) so cancelling streams prune
+//! their dead keys.
 
-use crate::engine::BatchResult;
+use crate::engine::{BatchResult, QueryResult};
 use crate::error::EngineError;
-use crate::exec::{execute_group, execute_group_scan};
-use crate::plan::{build_group_plan, DepthUpdate, GroupPlan};
-use crate::prepared::{project_results, PreparedBatch, PreparedPlans};
-use crate::view::{ComputedView, ViewId, ViewSource};
-use lmfao_data::{Database, FxHashMap, Relation, TableDelta};
+use crate::prepared::PreparedBatch;
+use crate::snapshot::{Maintainer, SnapshotHandle, ViewSnapshot};
+use crate::view::{ComputedView, ViewId};
+use lmfao_data::{DatabaseSnapshot, TableDelta};
 use lmfao_expr::DynamicRegistry;
 use std::sync::Arc;
 
@@ -69,40 +80,16 @@ pub struct RefreshStats {
     pub views_changed: usize,
 }
 
-/// Resolves incoming views during a propagation scan: changed views resolve
-/// to their signed deltas, unchanged views to the retained full results.
-struct DeltaOverlay<'a> {
-    full: &'a FxHashMap<ViewId, ComputedView>,
-    deltas: &'a FxHashMap<ViewId, ComputedView>,
-}
-
-impl ViewSource for DeltaOverlay<'_> {
-    fn view_result(&self, id: ViewId) -> Option<&ComputedView> {
-        self.deltas.get(&id).or_else(|| self.full.get(&id))
-    }
-}
-
 /// A prepared batch promoted to live, incrementally maintained state.
 ///
-/// Built with [`PreparedBatch::into_maintained`]; owns a private mutable copy
-/// of the database (base relations are updated in place by
+/// Built with [`PreparedBatch::into_maintained`]; owns a private
+/// copy-on-write database state (base relations are updated by
 /// [`MaintainedBatch::apply`]) plus the retained result of every view.
 /// Current query results are available at any time through
 /// [`MaintainedBatch::results`] without re-running any scan.
 #[derive(Debug)]
 pub struct MaintainedBatch {
-    /// Private mutable database copy; deltas are applied to its relations.
-    db: Database,
-    /// The plans the batch was prepared with.
-    inner: Arc<PreparedPlans>,
-    /// Physical plans for every group. When the batch was prepared with
-    /// specialization off (the interpreted ablation rungs), the plans are
-    /// built here — maintenance always runs the specialized executor.
-    plans: Vec<GroupPlan>,
-    /// Retained result of every view of the catalog.
-    computed: FxHashMap<ViewId, ComputedView>,
-    /// Cached topological order of the groups.
-    topo: Vec<usize>,
+    writer: Maintainer,
 }
 
 impl PreparedBatch {
@@ -111,243 +98,95 @@ impl PreparedBatch {
     /// [`TableDelta`]s instead of recomputing.
     ///
     /// This clones the shared database once — the maintained batch needs its
-    /// own mutable copy to apply deltas to.
+    /// own (copy-on-write) database state to apply deltas to.
     pub fn into_maintained(
         self,
         dynamics: &DynamicRegistry,
     ) -> Result<MaintainedBatch, EngineError> {
-        let db: Database = self.db.database().clone();
-        let inner = Arc::clone(&self.inner);
-        let plans: Vec<GroupPlan> = if inner.plans.is_empty() {
-            inner
-                .grouping
-                .groups
-                .iter()
-                .map(|g| build_group_plan(&db, &inner.tree, &inner.pushdown.catalog, g))
-                .collect::<Result<_, _>>()?
-        } else {
-            inner.plans.clone()
-        };
-        let topo = inner.grouping.topological_order();
-
-        // Initial full computation, one group at a time in dependency order
-        // (deterministic regardless of the batch's thread configuration).
-        let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
-        for &gid in &topo {
-            for (vid, cv) in execute_group(&db, &plans[gid], &computed, dynamics, None)? {
-                computed.insert(vid, cv);
-            }
-        }
-
         Ok(MaintainedBatch {
-            db,
-            inner,
-            plans,
-            computed,
-            topo,
+            writer: self.into_serving(dynamics)?,
         })
     }
 }
 
 impl MaintainedBatch {
-    /// The maintained database (base relations reflect every applied delta).
-    pub fn database(&self) -> &Database {
-        &self.db
+    /// The maintained database state (base relations reflect every applied
+    /// delta).
+    pub fn database(&self) -> &DatabaseSnapshot {
+        self.writer.database()
     }
 
     /// The retained result of a view, if it exists in the catalog.
     pub fn view_state(&self, id: ViewId) -> Option<&ComputedView> {
-        self.computed.get(&id)
+        self.writer.view_state(id)
     }
 
     /// The groups a delta against `relation` would touch (seed groups plus
     /// transitive dependents), in refresh order — the exposure of the
     /// group-dependency reachability the refresh runs on.
     pub fn affected_groups(&self, relation: &str) -> Vec<usize> {
-        let seeds: Vec<usize> = self
-            .plans
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.relation == relation)
-            .map(|(g, _)| g)
-            .collect();
-        self.inner.grouping.transitive_dependents(&seeds)
+        self.writer.affected_groups(relation)
     }
 
     /// Current results of every query of the batch, projected from the
     /// retained output views — no scan runs here.
+    ///
+    /// **Freshness**: the returned results always reflect the state after
+    /// the *last successful* [`MaintainedBatch::apply`] (a failed apply
+    /// changes nothing). They are a point-in-time copy: results obtained
+    /// before an `apply` keep their old values — hold a
+    /// [`MaintainedBatch::snapshot`] instead if you want an explicitly
+    /// pinned generation.
     pub fn results(&self) -> Result<BatchResult, EngineError> {
-        project_results(&self.inner, &self.computed)
+        Ok(self.writer.snapshot().results().clone())
+    }
+
+    /// The current result of the named query, or
+    /// [`EngineError::UnknownQuery`] — the fallible by-name lookup for
+    /// callers serving externally supplied names. Reflects the last
+    /// successful [`MaintainedBatch::apply`], like
+    /// [`MaintainedBatch::results`].
+    pub fn query(&self, name: &str) -> Result<QueryResult, EngineError> {
+        let snapshot = self.writer.snapshot();
+        snapshot.query(name).cloned()
+    }
+
+    /// The latest published immutable generation. The returned snapshot is
+    /// pinned: it keeps answering with its own state however many deltas are
+    /// applied afterwards.
+    pub fn snapshot(&self) -> Arc<ViewSnapshot> {
+        self.writer.snapshot()
+    }
+
+    /// The publication cell readers can clone into other threads; see
+    /// [`crate::snapshot::SnapshotHandle`].
+    pub fn handle(&self) -> SnapshotHandle {
+        self.writer.handle()
+    }
+
+    /// Unwraps the serving-layer writer, for callers that want the explicit
+    /// writer/reader split of [`crate::snapshot`].
+    pub fn into_serving(self) -> Maintainer {
+        self.writer
     }
 
     /// Applies a signed delta to one base relation and refreshes every
     /// affected view, leaving unaffected groups untouched. Results afterwards
     /// match a full recompute over the updated database (exactly for
-    /// integer-valued aggregates; up to float-addition reassociation
-    /// otherwise — see the module docs).
+    /// integer-valued aggregates; up to float-addition reassociation plus
+    /// residue snapping otherwise — see the module docs).
     ///
-    /// The base relation is updated in place (sorted-merge, so trie order is
-    /// preserved); an unmatched delete fails atomically before any state
-    /// changes.
+    /// The base relation is updated copy-on-write (sorted-merge, so trie
+    /// order is preserved); an unmatched delete fails atomically before any
+    /// state changes. Each successful apply also publishes the refreshed
+    /// state as a new generation through [`MaintainedBatch::handle`].
     pub fn apply(
         &mut self,
         delta: &TableDelta,
         dynamics: &DynamicRegistry,
     ) -> Result<RefreshStats, EngineError> {
-        let mut stats = RefreshStats {
-            delta_rows: delta.len(),
-            ..RefreshStats::default()
-        };
-        if delta.is_empty() {
-            stats.skipped_groups = self.plans.len();
-            return Ok(stats);
-        }
-
-        // Update the base relation first (atomic: fails before any view
-        // state or relation data changes on an unmatched delete). The seed
-        // scans below read only the delta partitions and the retained
-        // incoming views, so they are independent of this ordering.
-        self.db.relation_mut(delta.relation())?.apply(delta)?;
-
-        // Sort the delta partitions into the trie order of the node that
-        // scans this relation, so the seed scans see valid tries.
-        let (mut inserts, mut deletes) = delta.partition();
-        if let Some(plan) = self.plans.iter().find(|p| p.relation == delta.relation()) {
-            inserts.sort_by_positions(&plan.attr_order_cols);
-            deletes.sort_by_positions(&plan.attr_order_cols);
-        }
-        let num_attrs = self.db.schema().num_attributes();
-
-        // Walk the groups in dependency order, accumulating signed view
-        // deltas. `changed` holds the delta (not the new value) of every view
-        // refreshed so far.
-        let mut changed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
-        for &gid in &self.topo {
-            let plan = &self.plans[gid];
-            let group_deltas: Vec<(ViewId, ComputedView)> = if plan.relation == delta.relation() {
-                // Seed group: re-run the scan over the delta partitions only.
-                // Incoming views of a seed group cannot have changed (the
-                // changed relation lives at this node, not in any child
-                // subtree), so the retained results are the right probes.
-                stats.seed_groups += 1;
-                let mut out = scan_partition(&inserts, num_attrs, plan, &self.computed, dynamics)?;
-                if !deletes.is_empty() {
-                    let neg = scan_partition(&deletes, num_attrs, plan, &self.computed, dynamics)?;
-                    for ((vid, acc), (nvid, d)) in out.iter_mut().zip(&neg) {
-                        debug_assert_eq!(vid, nvid);
-                        acc.merge_signed(d, -1.0);
-                    }
-                }
-                out
-            } else {
-                // Downstream group: refresh only if an incoming view changed.
-                let changed_incoming: Vec<bool> = plan
-                    .incoming
-                    .iter()
-                    .map(|inc| changed.contains_key(&inc.view))
-                    .collect();
-                if !changed_incoming.iter().any(|&c| c) {
-                    stats.skipped_groups += 1;
-                    continue;
-                }
-                stats.propagated_groups += 1;
-                let mask = active_slots(plan, &changed_incoming);
-                let overlay = DeltaOverlay {
-                    full: &self.computed,
-                    deltas: &changed,
-                };
-                let relation = self
-                    .db
-                    .relation(&plan.relation)
-                    .map_err(|_| EngineError::UnknownRelation(plan.relation.clone()))?;
-                execute_group_scan(
-                    relation,
-                    num_attrs,
-                    plan,
-                    &overlay,
-                    dynamics,
-                    None,
-                    Some(&mask),
-                )?
-            };
-            for (vid, cv) in group_deltas {
-                // An empty delta means the view did not change: leaving it
-                // out lets downstream groups skip entirely.
-                if !cv.is_empty() {
-                    changed.insert(vid, cv);
-                }
-            }
-        }
-
-        // Fold the signed deltas into the retained state, pruning keys whose
-        // aggregates cancelled to zero (absent keys mean all-zero aggregates
-        // to every reader, matching what a recompute would produce).
-        for (vid, d) in changed {
-            stats.views_changed += 1;
-            let entry = self
-                .computed
-                .entry(vid)
-                .or_insert_with(|| ComputedView::new(d.key_attrs.clone(), d.num_aggregates));
-            entry.merge_signed(&d, 1.0);
-            entry.prune_zero_entries();
-        }
-        Ok(stats)
+        self.writer.apply(delta, dynamics)
     }
-}
-
-/// Runs a seed group's plan over one delta partition (already sorted into
-/// the plan's trie order), skipping the scan entirely for empty partitions.
-fn scan_partition(
-    partition: &Relation,
-    num_attrs: usize,
-    plan: &GroupPlan,
-    computed: &FxHashMap<ViewId, ComputedView>,
-    dynamics: &DynamicRegistry,
-) -> Result<Vec<(ViewId, ComputedView)>, EngineError> {
-    if partition.is_empty() {
-        return Ok(plan
-            .outputs
-            .iter()
-            .map(|o| {
-                (
-                    o.view,
-                    ComputedView::new(o.key_attrs.clone(), o.aggregates.len()),
-                )
-            })
-            .collect());
-    }
-    execute_group_scan(partition, num_attrs, plan, computed, dynamics, None, None)
-}
-
-/// The term slots of `plan` that reference at least one changed incoming
-/// view — the only terms that can contribute to the group's output delta
-/// when changed views are overlaid with their deltas. Everything else is
-/// masked to zero.
-fn active_slots(plan: &GroupPlan, changed_incoming: &[bool]) -> Vec<bool> {
-    let mut active = vec![false; plan.num_slots];
-    for program in &plan.programs {
-        for update in program {
-            if let DepthUpdate::ScalarView { slot, incoming, .. } = update {
-                if changed_incoming[*incoming] {
-                    active[*slot] = true;
-                }
-            }
-        }
-    }
-    for output in &plan.outputs {
-        for agg in &output.aggregates {
-            for term in &agg.terms {
-                if term
-                    .extra_refs
-                    .iter()
-                    .any(|&(inc, _)| changed_incoming[inc])
-                {
-                    active[term.slot] = true;
-                }
-            }
-        }
-    }
-    active
 }
 
 #[cfg(test)]
@@ -355,7 +194,7 @@ mod tests {
     use super::*;
     use crate::config::EngineConfig;
     use crate::engine::Engine;
-    use lmfao_data::{AttrId, AttrType, DatabaseSchema, RelationSchema, Value};
+    use lmfao_data::{AttrId, AttrType, Database, DatabaseSchema, Relation, RelationSchema, Value};
     use lmfao_expr::{Aggregate, QueryBatch};
     use lmfao_jointree::{build_join_tree, Hypergraph, JoinTree};
 
@@ -435,8 +274,13 @@ mod tests {
         }
     }
 
-    fn recompute(db: &Database, tree: &JoinTree, cfg: EngineConfig, b: &QueryBatch) -> BatchResult {
-        Engine::new(db.clone(), tree.clone(), cfg)
+    fn recompute(
+        db: &DatabaseSnapshot,
+        tree: &JoinTree,
+        cfg: EngineConfig,
+        b: &QueryBatch,
+    ) -> BatchResult {
+        Engine::new(db.materialize(), tree.clone(), cfg)
             .execute(b)
             .unwrap()
     }
@@ -574,6 +418,74 @@ mod tests {
         let stats = maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
         assert_eq!(stats.seed_groups + stats.propagated_groups, 0);
         assert_eq!(stats.views_changed, 0);
+    }
+
+    #[test]
+    fn results_reflect_the_last_apply() {
+        // The stale-read footgun, pinned down: results() is a point-in-time
+        // copy — a copy taken before an apply keeps its old values, a copy
+        // taken after reflects the delta. No other sequence is possible.
+        let (db, tree) = db_and_tree();
+        let b = batch(&db);
+        let engine = Engine::new(db.clone(), tree.clone(), EngineConfig::default());
+        let mut maintained = engine
+            .prepare(&b)
+            .unwrap()
+            .into_maintained(&DynamicRegistry::new())
+            .unwrap();
+        let before = maintained.results().unwrap();
+        let mut delta = TableDelta::for_relation(db.relation("Sales").unwrap());
+        delta
+            .insert(&[Value::Int(1), Value::Int(1), Value::Double(5.0)])
+            .unwrap();
+        maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
+        let after = maintained.results().unwrap();
+        assert_eq!(before.query("count").scalar()[0], 40.0, "old copy is old");
+        assert_eq!(after.query("count").scalar()[0], 41.0, "new copy is new");
+        assert_eq!(
+            maintained.query("count").unwrap().scalar()[0],
+            41.0,
+            "by-name lookup reflects the last apply"
+        );
+    }
+
+    #[test]
+    fn query_by_unknown_name_is_a_typed_error() {
+        let (db, tree) = db_and_tree();
+        let b = batch(&db);
+        let engine = Engine::new(db.clone(), tree, EngineConfig::default());
+        let maintained = engine
+            .prepare(&b)
+            .unwrap()
+            .into_maintained(&DynamicRegistry::new())
+            .unwrap();
+        assert!(maintained.query("count").is_ok());
+        let err = maintained.query("no_such_query").unwrap_err();
+        assert!(matches!(err, EngineError::UnknownQuery(ref n) if n == "no_such_query"));
+        assert!(err.to_string().contains("no_such_query"));
+    }
+
+    #[test]
+    fn old_snapshot_still_answers_after_apply() {
+        let (db, tree) = db_and_tree();
+        let b = batch(&db);
+        let engine = Engine::new(db.clone(), tree, EngineConfig::default());
+        let mut maintained = engine
+            .prepare(&b)
+            .unwrap()
+            .into_maintained(&DynamicRegistry::new())
+            .unwrap();
+        let pinned = maintained.snapshot();
+        let handle = maintained.handle();
+        let mut delta = TableDelta::for_relation(db.relation("Sales").unwrap());
+        delta
+            .insert(&[Value::Int(2), Value::Int(2), Value::Double(7.0)])
+            .unwrap();
+        maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
+        assert_eq!(pinned.generation(), 0);
+        assert_eq!(pinned.query("count").unwrap().scalar()[0], 40.0);
+        assert_eq!(handle.generation(), 1);
+        assert_eq!(handle.load().query("count").unwrap().scalar()[0], 41.0);
     }
 
     #[test]

@@ -217,17 +217,19 @@ impl PreparedBatch {
 }
 
 /// Projects per-query results out of the computed (or maintained) output
-/// views — shared by [`PreparedBatch::execute`] and
-/// [`crate::maintain::MaintainedBatch::results`].
-pub(crate) fn project_results(
+/// views — shared by [`PreparedBatch::execute`],
+/// [`crate::maintain::MaintainedBatch::results`] and the snapshot publication
+/// in [`crate::snapshot`] (which keeps its views behind `Arc`s, hence the
+/// [`ViewSource`] bound instead of a concrete map).
+pub(crate) fn project_results<V: crate::view::ViewSource>(
     inner: &PreparedPlans,
-    computed: &FxHashMap<ViewId, ComputedView>,
+    computed: &V,
 ) -> Result<BatchResult, EngineError> {
     let mut queries = Vec::with_capacity(inner.queries.len());
     let mut output_bytes = 0usize;
     for pq in &inner.queries {
         let cv = computed
-            .get(&pq.view)
+            .view_result(pq.view)
             .ok_or(EngineError::ViewNotComputed(pq.view))?;
         let mut data: FxHashMap<Vec<Value>, Vec<f64>> = FxHashMap::default();
         for (key, values) in cv.iter() {

@@ -1,0 +1,755 @@
+//! Epoch-published snapshots: writers refresh, readers never block.
+//!
+//! [`crate::maintain::MaintainedBatch`] refreshes retained view state under
+//! [`TableDelta`]s, but its `apply` takes `&mut self` — every refresh stalls
+//! every query. This module splits that one mutable object into the
+//! reader/writer separation a serving system needs:
+//!
+//! * [`ViewSnapshot`] — one **immutable** generation of the world: the
+//!   database snapshot, every retained [`ComputedView`] and the projected
+//!   per-query results, all behind `Arc`s. Readers answer named-query
+//!   lookups straight from the projected results with zero scans and zero
+//!   locks held.
+//! * [`Maintainer`] — the single writer. It applies deltas against its
+//!   private next-generation state and *publishes* each refreshed generation
+//!   as a new `Arc<ViewSnapshot>` through the shared [`SnapshotHandle`].
+//! * [`SnapshotHandle`] — the publication cell readers clone into their
+//!   threads. [`SnapshotHandle::load`] returns the latest published
+//!   generation; whatever a reader loaded stays valid (and immutable)
+//!   forever, however many generations the writer publishes afterwards —
+//!   readers *pin* generations, they never see partial state.
+//!
+//! # Copy-on-write, at two granularities
+//!
+//! Publishing a full copy of every view per generation would make refresh
+//! cost proportional to the database, not the delta. Instead the maintainer
+//! keeps its state in `Arc`s and clones lazily:
+//!
+//! * **Views**: the retained state is a map of `Arc<ComputedView>`. Folding
+//!   a view delta goes through [`Arc::make_mut`] — only views on the refresh
+//!   frontier (those whose state actually changed) are copied, and only when
+//!   a published snapshot still pins the old version. Views untouched by the
+//!   delta are shared by every generation that ever existed.
+//! * **Relations**: the base data lives in a [`DatabaseSnapshot`], which
+//!   applies deltas copy-on-write at relation granularity — a delta against
+//!   the fact table copies the fact table once and shares every dimension
+//!   table with all previous generations.
+//!
+//! # The publication cell
+//!
+//! Publication is an atomic pointer swap in spirit: the handle stores an
+//! `Arc<ViewSnapshot>` behind an [`RwLock`] that both sides hold only long
+//! enough to clone or store the `Arc` itself — a few instructions, never
+//! during a scan, a refresh, or a result lookup. Readers therefore never
+//! block on a refresh: the writer does all delta work outside the lock and
+//! swaps the pointer at the very end. (A lock-free `AtomicPtr` swap of an
+//! `Arc` payload cannot be written soundly without an epoch/hazard scheme or
+//! an external crate; the pointer-sized critical section below has the same
+//! observable behavior.)
+//!
+//! Float caveat: refreshed sums may differ from a fresh build in the last
+//! ulp (float addition is not associative). The maintainer folds deltas with
+//! [`ComputedView::merge_signed_snapped`], which snaps residues that are
+//! zero-up-to-rounding back to exact zero so long cancelling streams prune
+//! their dead keys — see [`CANCELLATION_REL_EPS`].
+
+use crate::engine::{BatchResult, QueryResult};
+use crate::error::EngineError;
+use crate::exec::{execute_group, execute_group_scan};
+use crate::maintain::RefreshStats;
+use crate::plan::{build_group_plan, DepthUpdate, GroupPlan};
+use crate::prepared::{project_results, PreparedBatch, PreparedPlans};
+use crate::view::{ComputedView, ViewId, ViewSource};
+use lmfao_data::{Database, DatabaseSnapshot, FxHashMap, Relation, TableDelta};
+use lmfao_expr::DynamicRegistry;
+use lmfao_jointree::JoinTree;
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// Relative epsilon of the maintainer's residue snapping: after folding a
+/// view delta value `v` into an entry `e`, `e` is snapped to exact zero when
+/// `|e| ≤ CANCELLATION_REL_EPS · |v|`. A cancelling stream of `n` updates
+/// leaves a residue of order `n · ulp ≈ n · 2⁻⁵²` relative to the delta
+/// magnitude, so `1e-11` absorbs streams of hundreds of thousands of updates
+/// while sitting far below the `1e-9` relative tolerance the maintenance
+/// layer guarantees for float aggregates.
+pub const CANCELLATION_REL_EPS: f64 = 1e-11;
+
+/// One immutable, published generation of maintained state.
+///
+/// Everything a reader needs lives here: the projected per-query results
+/// (answered by [`ViewSnapshot::query`] with a hash lookup), the retained
+/// view state, and the [`DatabaseSnapshot`] the generation was computed
+/// over — which is what lets a recompute referee audit *this* generation
+/// long after the writer has moved on.
+#[derive(Debug)]
+pub struct ViewSnapshot {
+    generation: u64,
+    db: DatabaseSnapshot,
+    computed: FxHashMap<ViewId, Arc<ComputedView>>,
+    results: BatchResult,
+    inner: Arc<PreparedPlans>,
+}
+
+impl ViewSnapshot {
+    /// The generation number: 0 for the initial full computation, +1 per
+    /// published refresh.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The projected results of every query of the batch, as of this
+    /// generation.
+    pub fn results(&self) -> &BatchResult {
+        &self.results
+    }
+
+    /// The result of the named query, or [`EngineError::UnknownQuery`]. This
+    /// is the read path of the serving loop: no scan, no lock, no `&mut`.
+    pub fn query(&self, name: &str) -> Result<&QueryResult, EngineError> {
+        self.results.try_query(name)
+    }
+
+    /// The database state this generation was computed over.
+    pub fn database(&self) -> &DatabaseSnapshot {
+        &self.db
+    }
+
+    /// The retained result of a view, if it exists in the catalog.
+    pub fn view_state(&self, id: ViewId) -> Option<&ComputedView> {
+        self.computed.get(&id).map(|cv| &**cv)
+    }
+
+    /// The join tree the state was planned under (what a recompute referee
+    /// replans from).
+    pub fn join_tree(&self) -> &JoinTree {
+        &self.inner.tree
+    }
+
+    /// The engine configuration the state was planned under.
+    pub fn config(&self) -> &crate::config::EngineConfig {
+        &self.inner.config
+    }
+
+    /// True if `self` and `other` share the storage of view `id` — the
+    /// observable face of the copy-on-write discipline: a view off the
+    /// refresh frontier is never copied between generations.
+    pub fn shares_view_with(&self, other: &ViewSnapshot, id: ViewId) -> bool {
+        match (self.computed.get(&id), other.computed.get(&id)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// The publication cell: readers clone the handle into their threads and
+/// [`load`](SnapshotHandle::load) the latest generation per request.
+///
+/// Cloning the handle is two reference-count bumps; loading is a read-lock
+/// held for one `Arc` clone. The writer's store is a write-lock held for one
+/// pointer store — publication never waits on readers' *work*, only on
+/// concurrent pointer operations.
+#[derive(Debug, Clone)]
+pub struct SnapshotHandle {
+    cell: Arc<RwLock<Arc<ViewSnapshot>>>,
+}
+
+impl SnapshotHandle {
+    fn new(initial: Arc<ViewSnapshot>) -> Self {
+        SnapshotHandle {
+            cell: Arc::new(RwLock::new(initial)),
+        }
+    }
+
+    /// The latest published generation. The returned `Arc` pins that
+    /// generation: it stays valid and immutable regardless of how many
+    /// generations are published afterwards.
+    pub fn load(&self) -> Arc<ViewSnapshot> {
+        Arc::clone(&self.cell.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Generation number of the latest published snapshot.
+    pub fn generation(&self) -> u64 {
+        self.load().generation
+    }
+
+    fn publish(&self, snapshot: Arc<ViewSnapshot>) {
+        *self.cell.write().unwrap_or_else(PoisonError::into_inner) = snapshot;
+    }
+}
+
+/// The single writer of a served batch: applies [`TableDelta`]s against
+/// private next-generation state and publishes each refreshed generation
+/// through its [`SnapshotHandle`].
+///
+/// Built with [`PreparedBatch::into_serving`] (or unwrapped from a
+/// [`crate::maintain::MaintainedBatch`] via
+/// [`crate::maintain::MaintainedBatch::into_serving`]). The maintainer is
+/// deliberately not `Sync` to share — there is exactly one writer; readers
+/// hold clones of the handle, never the maintainer.
+#[derive(Debug)]
+pub struct Maintainer {
+    /// Next-generation database state (copy-on-write against published
+    /// generations).
+    db: DatabaseSnapshot,
+    /// The plans the batch was prepared with.
+    inner: Arc<PreparedPlans>,
+    /// Physical plans for every group (built here when the batch was
+    /// prepared with specialization off — maintenance always runs the
+    /// specialized executor).
+    plans: Vec<GroupPlan>,
+    /// Cached topological order of the groups.
+    topo: Vec<usize>,
+    /// Next-generation view state; `Arc::make_mut` clones exactly the views
+    /// a refresh touches.
+    computed: FxHashMap<ViewId, Arc<ComputedView>>,
+    /// Generation of the latest published snapshot.
+    generation: u64,
+    /// The publication cell shared with every reader.
+    handle: SnapshotHandle,
+}
+
+impl PreparedBatch {
+    /// Executes the batch once, retains every computed view, publishes the
+    /// result as generation 0 and returns the [`Maintainer`] whose
+    /// [`SnapshotHandle`] serves it.
+    ///
+    /// This clones the shared database once — the maintainer needs its own
+    /// (copy-on-write) database state to apply deltas to.
+    pub fn into_serving(self, dynamics: &DynamicRegistry) -> Result<Maintainer, EngineError> {
+        let db: Database = self.db.database().clone();
+        let inner = Arc::clone(&self.inner);
+        let plans: Vec<GroupPlan> = if inner.plans.is_empty() {
+            inner
+                .grouping
+                .groups
+                .iter()
+                .map(|g| build_group_plan(&db, &inner.tree, &inner.pushdown.catalog, g))
+                .collect::<Result<_, _>>()?
+        } else {
+            inner.plans.clone()
+        };
+        let topo = inner.grouping.topological_order();
+
+        // Initial full computation, one group at a time in dependency order
+        // (deterministic regardless of the batch's thread configuration).
+        let mut flat: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+        for &gid in &topo {
+            for (vid, cv) in execute_group(&db, &plans[gid], &flat, dynamics, None)? {
+                flat.insert(vid, cv);
+            }
+        }
+        let computed: FxHashMap<ViewId, Arc<ComputedView>> =
+            flat.into_iter().map(|(k, v)| (k, Arc::new(v))).collect();
+        let db: DatabaseSnapshot = db.into();
+        let results = project_results(&inner, &computed)?;
+        let snapshot = Arc::new(ViewSnapshot {
+            generation: 0,
+            db: db.clone(),
+            computed: computed.clone(),
+            results,
+            inner: Arc::clone(&inner),
+        });
+        Ok(Maintainer {
+            db,
+            inner,
+            plans,
+            topo,
+            computed,
+            generation: 0,
+            handle: SnapshotHandle::new(snapshot),
+        })
+    }
+}
+
+impl Maintainer {
+    /// The publication cell. Clone it into every reader thread.
+    pub fn handle(&self) -> SnapshotHandle {
+        self.handle.clone()
+    }
+
+    /// The latest published snapshot (same as `self.handle().load()`).
+    pub fn snapshot(&self) -> Arc<ViewSnapshot> {
+        self.handle.load()
+    }
+
+    /// Generation of the latest published snapshot.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The maintainer's database state (reflects every applied delta).
+    pub fn database(&self) -> &DatabaseSnapshot {
+        &self.db
+    }
+
+    /// The retained result of a view, if it exists in the catalog.
+    pub fn view_state(&self, id: ViewId) -> Option<&ComputedView> {
+        self.computed.get(&id).map(|cv| &**cv)
+    }
+
+    /// The groups a delta against `relation` would touch (seed groups plus
+    /// transitive dependents), in refresh order.
+    pub fn affected_groups(&self, relation: &str) -> Vec<usize> {
+        let seeds: Vec<usize> = self
+            .plans
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.relation == relation)
+            .map(|(g, _)| g)
+            .collect();
+        self.inner.grouping.transitive_dependents(&seeds)
+    }
+
+    /// Applies a signed delta to one base relation, refreshes every affected
+    /// view and publishes the result as the next generation. Published
+    /// results match a full recompute over the updated database (exactly for
+    /// integer-valued aggregates; within float-addition reassociation plus
+    /// residue snapping otherwise — see the module docs).
+    ///
+    /// Readers keep answering from previously published generations
+    /// throughout; an unmatched delete fails atomically before any state
+    /// changes and publishes nothing. An empty delta refreshes and publishes
+    /// nothing.
+    pub fn apply(
+        &mut self,
+        delta: &TableDelta,
+        dynamics: &DynamicRegistry,
+    ) -> Result<RefreshStats, EngineError> {
+        let mut stats = RefreshStats {
+            delta_rows: delta.len(),
+            ..RefreshStats::default()
+        };
+        if delta.is_empty() {
+            stats.skipped_groups = self.plans.len();
+            return Ok(stats);
+        }
+
+        // Update the base relation first (atomic: fails before any view
+        // state changes on an unmatched delete; copy-on-write keeps the
+        // published generations' relation untouched either way). The seed
+        // scans below read only the delta partitions and the retained
+        // incoming views, so they are independent of this ordering.
+        self.db.apply(delta)?;
+
+        // Sort the delta partitions into the trie order of the node that
+        // scans this relation, so the seed scans see valid tries.
+        let (mut inserts, mut deletes) = delta.partition();
+        if let Some(plan) = self.plans.iter().find(|p| p.relation == delta.relation()) {
+            inserts.sort_by_positions(&plan.attr_order_cols);
+            deletes.sort_by_positions(&plan.attr_order_cols);
+        }
+        let num_attrs = self.db.schema().num_attributes();
+
+        // Walk the groups in dependency order, accumulating signed view
+        // deltas. `changed` holds the delta (not the new value) of every
+        // view refreshed so far.
+        let mut changed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+        for &gid in &self.topo {
+            let plan = &self.plans[gid];
+            let group_deltas: Vec<(ViewId, ComputedView)> = if plan.relation == delta.relation() {
+                // Seed group: re-run the scan over the delta partitions only.
+                // Incoming views of a seed group cannot have changed (the
+                // changed relation lives at this node, not in any child
+                // subtree), so the retained results are the right probes.
+                stats.seed_groups += 1;
+                let mut out = scan_partition(&inserts, num_attrs, plan, &self.computed, dynamics)?;
+                if !deletes.is_empty() {
+                    let neg = scan_partition(&deletes, num_attrs, plan, &self.computed, dynamics)?;
+                    for ((vid, acc), (nvid, d)) in out.iter_mut().zip(&neg) {
+                        debug_assert_eq!(vid, nvid);
+                        acc.merge_signed(d, -1.0);
+                    }
+                }
+                out
+            } else {
+                // Downstream group: refresh only if an incoming view changed.
+                let changed_incoming: Vec<bool> = plan
+                    .incoming
+                    .iter()
+                    .map(|inc| changed.contains_key(&inc.view))
+                    .collect();
+                if !changed_incoming.iter().any(|&c| c) {
+                    stats.skipped_groups += 1;
+                    continue;
+                }
+                stats.propagated_groups += 1;
+                let mask = active_slots(plan, &changed_incoming);
+                let overlay = DeltaOverlay {
+                    full: &self.computed,
+                    deltas: &changed,
+                };
+                let relation = self
+                    .db
+                    .relation(&plan.relation)
+                    .map_err(|_| EngineError::UnknownRelation(plan.relation.clone()))?;
+                execute_group_scan(
+                    relation,
+                    num_attrs,
+                    plan,
+                    &overlay,
+                    dynamics,
+                    None,
+                    Some(&mask),
+                )?
+            };
+            for (vid, cv) in group_deltas {
+                // An empty delta means the view did not change: leaving it
+                // out lets downstream groups skip entirely.
+                if !cv.is_empty() {
+                    changed.insert(vid, cv);
+                }
+            }
+        }
+
+        // Fold the signed deltas into the retained state. `Arc::make_mut`
+        // is the copy-on-write step: only views on the refresh frontier are
+        // cloned, and only when a published generation still pins them.
+        // Residues that are zero up to rounding snap to exact zero so the
+        // pruning below drops keys whose aggregates cancelled.
+        for (vid, d) in changed {
+            stats.views_changed += 1;
+            let entry = self.computed.entry(vid).or_insert_with(|| {
+                Arc::new(ComputedView::new(d.key_attrs.clone(), d.num_aggregates))
+            });
+            let cv = Arc::make_mut(entry);
+            cv.merge_signed_snapped(&d, 1.0, CANCELLATION_REL_EPS);
+            cv.prune_zero_entries();
+        }
+
+        // Publish: project the new results and swap the handle's pointer.
+        // Everything above ran on private state; readers observe the new
+        // generation atomically or not at all.
+        self.generation += 1;
+        let results = project_results(&self.inner, &self.computed)?;
+        let snapshot = Arc::new(ViewSnapshot {
+            generation: self.generation,
+            db: self.db.clone(),
+            computed: self.computed.clone(),
+            results,
+            inner: Arc::clone(&self.inner),
+        });
+        self.handle.publish(snapshot);
+        Ok(stats)
+    }
+}
+
+/// Resolves incoming views during a propagation scan: changed views resolve
+/// to their signed deltas, unchanged views to the retained full results.
+struct DeltaOverlay<'a> {
+    full: &'a FxHashMap<ViewId, Arc<ComputedView>>,
+    deltas: &'a FxHashMap<ViewId, ComputedView>,
+}
+
+impl ViewSource for DeltaOverlay<'_> {
+    fn view_result(&self, id: ViewId) -> Option<&ComputedView> {
+        self.deltas.get(&id).or_else(|| self.full.view_result(id))
+    }
+}
+
+/// Runs a seed group's plan over one delta partition (already sorted into
+/// the plan's trie order), skipping the scan entirely for empty partitions.
+fn scan_partition<V: ViewSource>(
+    partition: &Relation,
+    num_attrs: usize,
+    plan: &GroupPlan,
+    computed: &V,
+    dynamics: &DynamicRegistry,
+) -> Result<Vec<(ViewId, ComputedView)>, EngineError> {
+    if partition.is_empty() {
+        return Ok(plan
+            .outputs
+            .iter()
+            .map(|o| {
+                (
+                    o.view,
+                    ComputedView::new(o.key_attrs.clone(), o.aggregates.len()),
+                )
+            })
+            .collect());
+    }
+    execute_group_scan(partition, num_attrs, plan, computed, dynamics, None, None)
+}
+
+/// The term slots of `plan` that reference at least one changed incoming
+/// view — the only terms that can contribute to the group's output delta
+/// when changed views are overlaid with their deltas. Everything else is
+/// masked to zero.
+fn active_slots(plan: &GroupPlan, changed_incoming: &[bool]) -> Vec<bool> {
+    let mut active = vec![false; plan.num_slots];
+    for program in &plan.programs {
+        for update in program {
+            if let DepthUpdate::ScalarView { slot, incoming, .. } = update {
+                if changed_incoming[*incoming] {
+                    active[*slot] = true;
+                }
+            }
+        }
+    }
+    for output in &plan.outputs {
+        for agg in &output.aggregates {
+            for term in &agg.terms {
+                if term
+                    .extra_refs
+                    .iter()
+                    .any(|&(inc, _)| changed_incoming[inc])
+                {
+                    active[term.slot] = true;
+                }
+            }
+        }
+    }
+    active
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::engine::Engine;
+    use lmfao_data::{AttrId, AttrType, DatabaseSchema, RelationSchema, Value};
+    use lmfao_expr::{Aggregate, QueryBatch};
+    use lmfao_jointree::{build_join_tree, Hypergraph};
+
+    fn db_and_tree() -> (Database, JoinTree) {
+        let mut schema = DatabaseSchema::new();
+        schema.add_relation_with_attrs(
+            "Sales",
+            &[
+                ("store", AttrType::Int),
+                ("item", AttrType::Int),
+                ("units", AttrType::Double),
+            ],
+        );
+        schema.add_relation_with_attrs(
+            "Items",
+            &[("item", AttrType::Int), ("price", AttrType::Double)],
+        );
+        let ids: Vec<AttrId> = ["store", "item", "units", "price"]
+            .iter()
+            .map(|n| schema.attr_id(n).unwrap())
+            .collect();
+        let sales = lmfao_data::Relation::from_rows(
+            RelationSchema::new("Sales", vec![ids[0], ids[1], ids[2]]),
+            (0..40)
+                .map(|i| {
+                    vec![
+                        Value::Int(i % 5),
+                        Value::Int(i % 7),
+                        Value::Double((i % 11) as f64),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        let items = lmfao_data::Relation::from_rows(
+            RelationSchema::new("Items", vec![ids[1], ids[3]]),
+            (0..7)
+                .map(|i| vec![Value::Int(i), Value::Double((3 * (i + 1)) as f64)])
+                .collect(),
+        )
+        .unwrap();
+        let db = Database::new(schema.clone(), vec![sales, items]).unwrap();
+        let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+        (db, tree)
+    }
+
+    fn batch(db: &Database) -> QueryBatch {
+        let store = db.schema().attr_id("store").unwrap();
+        let units = db.schema().attr_id("units").unwrap();
+        let price = db.schema().attr_id("price").unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push("count", vec![], vec![Aggregate::count()]);
+        batch.push("rev", vec![], vec![Aggregate::sum_product(units, price)]);
+        batch.push(
+            "per_store",
+            vec![store],
+            vec![Aggregate::sum(units), Aggregate::count()],
+        );
+        batch
+    }
+
+    fn serving(db: &Database, tree: &JoinTree) -> Maintainer {
+        Engine::new(db.clone(), tree.clone(), EngineConfig::default())
+            .prepare(&batch(db))
+            .unwrap()
+            .into_serving(&DynamicRegistry::new())
+            .unwrap()
+    }
+
+    fn sales_insert(db: &Database, store: i64, item: i64, units: f64) -> TableDelta {
+        let mut d = TableDelta::for_relation(db.relation("Sales").unwrap());
+        d.insert(&[Value::Int(store), Value::Int(item), Value::Double(units)])
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn generation_zero_is_published_on_build() {
+        let (db, tree) = db_and_tree();
+        let maintainer = serving(&db, &tree);
+        let snap = maintainer.snapshot();
+        assert_eq!(snap.generation(), 0);
+        assert_eq!(maintainer.generation(), 0);
+        assert_eq!(snap.query("count").unwrap().scalar()[0], 40.0);
+        assert!(matches!(
+            snap.query("nope"),
+            Err(EngineError::UnknownQuery(_))
+        ));
+    }
+
+    #[test]
+    fn pinned_generations_survive_later_publications() {
+        let (db, tree) = db_and_tree();
+        let mut maintainer = serving(&db, &tree);
+        let dynamics = DynamicRegistry::new();
+        let gen0 = maintainer.handle().load();
+        let count0 = gen0.query("count").unwrap().scalar()[0];
+        for i in 0..3 {
+            maintainer
+                .apply(&sales_insert(&db, i, i, 10.0), &dynamics)
+                .unwrap();
+        }
+        let gen3 = maintainer.handle().load();
+        assert_eq!(gen3.generation(), 3);
+        assert_eq!(gen3.query("count").unwrap().scalar()[0], count0 + 3.0);
+        // The pinned generation still answers with its own state.
+        assert_eq!(gen0.generation(), 0);
+        assert_eq!(gen0.query("count").unwrap().scalar()[0], count0);
+        assert_eq!(gen0.database().relation("Sales").unwrap().len(), 40);
+        assert_eq!(gen3.database().relation("Sales").unwrap().len(), 43);
+    }
+
+    #[test]
+    fn refresh_copies_only_the_frontier() {
+        let (db, tree) = db_and_tree();
+        let mut maintainer = serving(&db, &tree);
+        let before = maintainer.snapshot();
+        // A Sales delta leaves the Items→Sales view (computed at the Items
+        // node) off the frontier: its state must stay shared between the
+        // generations, while frontier views are copied.
+        let stats = maintainer
+            .apply(&sales_insert(&db, 1, 3, 9.0), &DynamicRegistry::new())
+            .unwrap();
+        let after = maintainer.snapshot();
+        assert!(stats.views_changed > 0);
+        let items_plan_views: Vec<ViewId> = maintainer
+            .plans
+            .iter()
+            .filter(|p| p.relation == "Items")
+            .flat_map(|p| p.outputs.iter().map(|o| o.view))
+            .collect();
+        assert!(!items_plan_views.is_empty());
+        for vid in items_plan_views {
+            assert!(
+                before.shares_view_with(&after, vid),
+                "off-frontier view {vid:?} must stay shared"
+            );
+        }
+        // Base data: Items is shared, Sales was copied.
+        assert!(before
+            .database()
+            .shares_relation_with(after.database(), "Items"));
+        assert!(!before
+            .database()
+            .shares_relation_with(after.database(), "Sales"));
+    }
+
+    #[test]
+    fn published_results_match_a_recompute_at_each_generation() {
+        let (db, tree) = db_and_tree();
+        let b = batch(&db);
+        let mut maintainer = serving(&db, &tree);
+        let dynamics = DynamicRegistry::new();
+        let mut pinned = vec![maintainer.snapshot()];
+        for i in 0..4 {
+            maintainer
+                .apply(&sales_insert(&db, i % 5, i % 7, (i * 3) as f64), &dynamics)
+                .unwrap();
+            pinned.push(maintainer.snapshot());
+        }
+        for (g, snap) in pinned.iter().enumerate() {
+            assert_eq!(snap.generation(), g as u64);
+            let fresh = Engine::new(
+                snap.database().materialize(),
+                snap.join_tree().clone(),
+                *snap.config(),
+            )
+            .execute(&b)
+            .unwrap();
+            for (got, want) in snap.results().queries.iter().zip(&fresh.queries) {
+                assert_eq!(got.data, want.data, "generation {g}, query {}", got.name);
+            }
+        }
+    }
+
+    #[test]
+    fn failed_apply_publishes_nothing() {
+        let (db, tree) = db_and_tree();
+        let mut maintainer = serving(&db, &tree);
+        let gen0 = maintainer.snapshot();
+        let mut bad = TableDelta::for_relation(db.relation("Sales").unwrap());
+        bad.delete(&[Value::Int(99), Value::Int(99), Value::Double(99.0)])
+            .unwrap();
+        assert!(maintainer.apply(&bad, &DynamicRegistry::new()).is_err());
+        let still = maintainer.snapshot();
+        assert_eq!(still.generation(), 0);
+        assert!(Arc::ptr_eq(&gen0, &still), "same snapshot object");
+        assert_eq!(maintainer.database().relation("Sales").unwrap().len(), 40);
+    }
+
+    #[test]
+    fn long_cancelling_stream_leaves_state_identical_to_a_fresh_build() {
+        // The float-drift regression: 10k updates that net to zero. Without
+        // residue snapping, float reassociation can leave ~n·ulp ghosts that
+        // exact-zero pruning never drops; with it, the retained state must
+        // match a fresh build key-for-key (counts exactly, floats within the
+        // documented 1e-9 relative tolerance).
+        let (db, tree) = db_and_tree();
+        let mut maintainer = serving(&db, &tree);
+        let dynamics = DynamicRegistry::new();
+        let fresh_maintainer = serving(&db, &tree);
+        let fresh = fresh_maintainer.snapshot();
+
+        // 10k alternating inserts/deletes of a tuple with a non-dyadic
+        // measure (0.3 is not exactly representable: maximal rounding
+        // mischief), one publication per update.
+        let row = [Value::Int(2), Value::Int(3), Value::Double(0.3)];
+        for i in 0..10_000 {
+            let mut d = TableDelta::for_relation(db.relation("Sales").unwrap());
+            if i % 2 == 0 {
+                d.insert(&row).unwrap();
+            } else {
+                d.delete(&row).unwrap();
+            }
+            maintainer.apply(&d, &dynamics).unwrap();
+        }
+        assert_eq!(maintainer.generation(), 10_000);
+
+        let snap = maintainer.snapshot();
+        assert_eq!(
+            snap.database().relation("Sales").unwrap().len(),
+            40,
+            "stream nets to zero tuples"
+        );
+        for (got, want) in snap.results().queries.iter().zip(&fresh.results().queries) {
+            assert_eq!(
+                got.data.len(),
+                want.data.len(),
+                "query {}: ghost keys survived the cancelling stream",
+                got.name
+            );
+            for (key, wv) in &want.data {
+                let gv = got.data.get(key).unwrap_or_else(|| {
+                    panic!("query {}: key {key:?} missing after stream", got.name)
+                });
+                for (g, w) in gv.iter().zip(wv) {
+                    assert!(
+                        (g - w).abs() <= 1e-9 * w.abs().max(1.0),
+                        "query {}: {g} vs {w}",
+                        got.name
+                    );
+                }
+            }
+        }
+    }
+}

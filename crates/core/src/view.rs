@@ -16,6 +16,7 @@
 
 use lmfao_data::{AttrId, FxHashMap, Value};
 use lmfao_expr::{QueryId, ScalarFunction};
+use std::sync::Arc;
 
 /// Identifier of a view within a [`ViewCatalog`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -341,6 +342,38 @@ impl ComputedView {
         self.merge_signed(delta, -1.0);
     }
 
+    /// Like [`ComputedView::merge_signed`], but snaps results that are zero
+    /// up to float rounding back to exact zero: after `e += sign · v`, if
+    /// `|e| ≤ rel_eps · |v|` (and `e ≠ 0`), `e` is set to `0.0`.
+    ///
+    /// This is the float-drift guard of long-lived maintained state. Exact
+    /// cancellation (`(a + b) − b`) need not return a bit-exact zero in
+    /// floats, so a long insert/delete stream that nets to zero can leave a
+    /// residue of order `n · ulp` behind — and [`prune_zero_entries`], which
+    /// is deliberately exact, would then never drop the dead key. A residue
+    /// is distinguishable from a real value because it is tiny *relative to
+    /// the delta that produced it*; a genuine surviving aggregate of that
+    /// magnitude is below any sane float tolerance anyway. Integer-valued
+    /// aggregates (counts, integer sums within 2⁵³) cancel exactly and are
+    /// never snapped (`e == 0.0` short-circuits).
+    ///
+    /// [`prune_zero_entries`]: ComputedView::prune_zero_entries
+    pub fn merge_signed_snapped(&mut self, delta: &ComputedView, sign: f64, rel_eps: f64) {
+        debug_assert_eq!(delta.num_aggregates, self.num_aggregates);
+        for (key, values) in delta.iter() {
+            let entry = self
+                .data
+                .entry(key.clone())
+                .or_insert_with(|| vec![0.0; self.num_aggregates]);
+            for (e, v) in entry.iter_mut().zip(values) {
+                *e += sign * v;
+                if *e != 0.0 && e.abs() <= rel_eps * v.abs() {
+                    *e = 0.0;
+                }
+            }
+        }
+    }
+
     /// Drops entries whose aggregates are all exactly zero. After a signed
     /// merge this restores the invariant that keys without joining tuples are
     /// absent (absent keys already mean all-zero aggregates to every reader).
@@ -363,6 +396,14 @@ pub trait ViewSource {
 impl ViewSource for FxHashMap<ViewId, ComputedView> {
     fn view_result(&self, id: ViewId) -> Option<&ComputedView> {
         self.get(&id)
+    }
+}
+
+/// The serving layer keeps views behind [`Arc`]s (copy-on-write between
+/// generations); scans read straight through the shared handles.
+impl ViewSource for FxHashMap<ViewId, Arc<ComputedView>> {
+    fn view_result(&self, id: ViewId) -> Option<&ComputedView> {
+        self.get(&id).map(|cv| &**cv)
     }
 }
 
@@ -463,6 +504,42 @@ mod tests {
         cv.prune_zero_entries();
         assert_eq!(cv.get(&[Value::Int(2)]), None, "all-zero entry pruned");
         assert_eq!(cv.len(), 1);
+    }
+
+    #[test]
+    fn snapped_merge_kills_float_residue_but_keeps_real_values() {
+        let mut cv = ComputedView::new(vec![AttrId(0)], 1);
+        // 0.1 + 0.2 - 0.3 != 0.0 in floats: the classic residue.
+        assert_ne!(0.1_f64 + 0.2 - 0.3, 0.0);
+        let add = |v: f64| {
+            let mut d = ComputedView::new(vec![AttrId(0)], 1);
+            d.add(vec![Value::Int(1)], &[v]);
+            d
+        };
+        let eps = 1e-11;
+        let (a, b, c) = (add(0.1), add(0.2), add(0.3));
+        cv.merge_signed_snapped(&a, 1.0, eps);
+        cv.merge_signed_snapped(&b, 1.0, eps);
+        cv.merge_signed_snapped(&c, -1.0, eps);
+        assert_eq!(
+            cv.get(&[Value::Int(1)]),
+            Some(&[0.0][..]),
+            "residue snapped"
+        );
+        cv.prune_zero_entries();
+        assert!(cv.is_empty(), "snapped zero must prune");
+        // A genuine small value far above rel_eps·|v| survives.
+        let small = add(1e-6);
+        cv.merge_signed_snapped(&small, 1.0, eps);
+        assert_eq!(cv.get(&[Value::Int(1)]), Some(&[1e-6][..]));
+    }
+
+    #[test]
+    fn arc_map_is_a_view_source() {
+        let mut map: FxHashMap<ViewId, Arc<ComputedView>> = FxHashMap::default();
+        map.insert(ViewId(3), Arc::new(ComputedView::new(vec![], 1)));
+        assert!(map.view_result(ViewId(3)).is_some());
+        assert!(map.view_result(ViewId(4)).is_none());
     }
 
     #[test]

@@ -164,6 +164,14 @@ impl Database {
             .collect()
     }
 
+    /// Decomposes the database into its parts (schema, relations in schema
+    /// order, dictionaries), consuming it without copying any column data.
+    /// Statistics are dropped — they are derived state, recomputed by
+    /// [`Database::new`] on reassembly.
+    pub fn into_parts(self) -> (DatabaseSchema, Vec<Relation>, DictionarySet) {
+        (self.schema, self.relations, self.dictionaries)
+    }
+
     /// Recomputes relation sizes and per-relation attribute domain sizes.
     pub fn recompute_statistics(&mut self) {
         let mut stats = Statistics::default();

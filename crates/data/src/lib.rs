@@ -21,6 +21,7 @@ pub mod error;
 pub mod hash;
 pub mod relation;
 pub mod schema;
+pub mod snapshot;
 pub mod trie;
 pub mod value;
 
@@ -32,6 +33,7 @@ pub use error::{DataError, Result};
 pub use hash::{FxHashMap, FxHashSet};
 pub use relation::{Relation, RowView};
 pub use schema::{AttrId, Attribute, DatabaseSchema, RelationSchema};
+pub use snapshot::DatabaseSnapshot;
 pub use trie::TrieScan;
 pub use value::{AttrType, Value};
 

@@ -331,6 +331,14 @@ impl Relation {
     /// sorted among themselves and *merged* into the sorted body — the
     /// sorted-merge that keeps trie scans valid after every update.
     ///
+    /// Deletes use **strict multiset semantics**: each tombstone consumes
+    /// exactly one occurrence of its tuple, and a tombstone left over after
+    /// consuming the delta's own inserts and the relation's rows — a delete
+    /// of a tuple that is not present — is an error, never a saturating
+    /// no-op. Silently dropping such a tombstone would desynchronize the
+    /// relation from any incrementally maintained view state built on it
+    /// (the view would subtract a contribution the base data never held).
+    ///
     /// The call is atomic: an unmatched delete (or a delta targeting another
     /// relation) returns [`DataError::DeltaMismatch`] before any mutation.
     pub fn apply(&mut self, delta: &TableDelta) -> Result<()> {
@@ -808,6 +816,61 @@ mod tests {
         assert_eq!(r.len(), before.len() + 1, "only the unpaired insert lands");
         assert!(r.rows().all(|row| row.to_vec() != new_row));
         assert!(r.is_sorted_by(&[0]));
+    }
+
+    #[test]
+    fn delete_of_missing_tuple_is_a_typed_error_not_a_no_op() {
+        // Defined behavior: strict multiset semantics. A delete-only delta
+        // whose tuple has no occurrence must fail with the typed error (and
+        // mutate nothing), not saturate to a no-op.
+        let mut r = sample();
+        r.sort_by_positions(&[0]);
+        let before: Vec<Vec<Value>> = r.rows().map(|row| row.to_vec()).collect();
+        let mut d = TableDelta::for_relation(&r);
+        d.delete(&[Value::Int(42), Value::Int(42), Value::Double(42.0)])
+            .unwrap();
+        let err = r.apply(&d).unwrap_err();
+        assert!(matches!(err, DataError::DeltaMismatch { .. }));
+        assert!(err.to_string().contains("not present"), "{err}");
+        let after: Vec<Vec<Value>> = r.rows().map(|row| row.to_vec()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn insert_then_delete_twice_resolves_the_second_against_the_relation() {
+        // One delta inserts a tuple and deletes it twice (net −1). The first
+        // tombstone annihilates the insert; the second must consume an
+        // occurrence already in the relation.
+        let mut r = sample();
+        r.sort_by_positions(&[0, 1]);
+        let row = r.row(0).to_vec();
+        let before_len = r.len();
+        let mut d = TableDelta::for_relation(&r);
+        d.insert(&row).unwrap();
+        d.delete(&row).unwrap();
+        d.delete(&row).unwrap();
+        r.apply(&d).unwrap();
+        assert_eq!(r.len(), before_len - 1);
+        assert!(r.is_sorted_by(&[0, 1]));
+    }
+
+    #[test]
+    fn insert_then_delete_twice_of_an_absent_tuple_fails_atomically() {
+        // Same net −1 shape, but the relation holds no occurrence of the
+        // tuple: the leftover tombstone is unmatched, so the whole delta —
+        // including its insert — must be rejected.
+        let mut r = sample();
+        r.sort_by_positions(&[0]);
+        let before: Vec<Vec<Value>> = r.rows().map(|row| row.to_vec()).collect();
+        let ghost = vec![Value::Int(64), Value::Int(64), Value::Double(64.0)];
+        let mut d = TableDelta::for_relation(&r);
+        d.insert(&ghost).unwrap();
+        d.delete(&ghost).unwrap();
+        d.delete(&ghost).unwrap();
+        let err = r.apply(&d).unwrap_err();
+        assert!(matches!(err, DataError::DeltaMismatch { .. }));
+        let after: Vec<Vec<Value>> = r.rows().map(|row| row.to_vec()).collect();
+        assert_eq!(before, after, "failed apply must not mutate");
     }
 
     #[test]

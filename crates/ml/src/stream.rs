@@ -126,7 +126,7 @@ mod tests {
 
         // One-shot recompute over the updated database.
         let fresh = Engine::new(
-            stream.maintained().database().clone(),
+            stream.maintained().database().materialize(),
             tree,
             EngineConfig::default(),
         );

@@ -154,6 +154,79 @@
 //! recompute-from-scratch referee used by the tests, and
 //! `lmfao_datagen::update_stream` generates reproducible insert/delete mixes
 //! for every paper dataset.
+//!
+//! ## Concurrent serving: writers never block readers
+//!
+//! A maintained batch can serve concurrent readers while it refreshes. Every
+//! refresh **publishes** an immutable [`engine::ViewSnapshot`] — generation
+//! number, the database state, every computed view, the projected results —
+//! and readers pin whatever generation they [`engine::SnapshotHandle::load`]:
+//! the pin stays answerable, unchanged, for as long as the reader holds it,
+//! no matter how many generations the writer publishes meanwhile. The read
+//! path takes no `&mut` anywhere; the writer prepares the next generation on
+//! private copy-on-write state (only the refresh frontier is cloned) and
+//! publication is one atomic pointer swap.
+//!
+//! ```
+//! use lmfao::prelude::*;
+//!
+//! # let mut schema = DatabaseSchema::new();
+//! # schema.add_relation_with_attrs(
+//! #     "Sales",
+//! #     &[("store", AttrType::Int), ("item", AttrType::Int), ("units", AttrType::Double)],
+//! # );
+//! # schema.add_relation_with_attrs(
+//! #     "Items",
+//! #     &[("item", AttrType::Int), ("price", AttrType::Double)],
+//! # );
+//! # let units = schema.attr_id("units").unwrap();
+//! # let price = schema.attr_id("price").unwrap();
+//! # let sales = Relation::from_rows(
+//! #     schema.relation("Sales").unwrap().clone(),
+//! #     vec![
+//! #         vec![Value::Int(1), Value::Int(1), Value::Double(3.0)],
+//! #         vec![Value::Int(2), Value::Int(1), Value::Double(5.0)],
+//! #     ],
+//! # )
+//! # .unwrap();
+//! # let items = Relation::from_rows(
+//! #     schema.relation("Items").unwrap().clone(),
+//! #     vec![vec![Value::Int(1), Value::Double(10.0)]],
+//! # )
+//! # .unwrap();
+//! # let db = Database::new(schema.clone(), vec![sales, items]).unwrap();
+//! # let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+//! # let mut batch = QueryBatch::new();
+//! # batch.push("revenue", vec![], vec![Aggregate::sum_product(units, price)]);
+//! // Same Sales ⋈ Items setup as above.
+//! let engine = Engine::new(db, tree, EngineConfig::default());
+//! let dynamics = DynamicRegistry::new();
+//! let mut live = engine.prepare(&batch).unwrap().into_maintained(&dynamics).unwrap();
+//!
+//! // A reader pins generation 0. (Readers on other threads would clone
+//! // `live.handle()` and `load()` their own pins — no lock is held while
+//! // reading.)
+//! let pinned = live.snapshot();
+//! assert_eq!(pinned.generation(), 0);
+//! assert_eq!(pinned.query("revenue").unwrap().scalar()[0], 80.0);
+//!
+//! // The writer publishes generation 1: one more sale.
+//! let mut delta = TableDelta::for_relation(live.database().relation("Sales").unwrap());
+//! delta.insert(&[Value::Int(1), Value::Int(1), Value::Double(4.0)]).unwrap();
+//! live.apply(&delta, &dynamics).unwrap();
+//!
+//! // The old pin still answers exactly what it answered before…
+//! assert_eq!(pinned.generation(), 0);
+//! assert_eq!(pinned.query("revenue").unwrap().scalar()[0], 80.0);
+//! // …while fresh loads see the new generation.
+//! let fresh = live.snapshot();
+//! assert_eq!(fresh.generation(), 1);
+//! assert_eq!(fresh.query("revenue").unwrap().scalar()[0], 120.0);
+//! ```
+//!
+//! For an always-on serving loop (reader threads + one paced writer +
+//! latency quantiles + a recompute audit of sampled reads), see the `serve`
+//! binary and `serve` module of `lmfao-bench`.
 
 #![warn(missing_docs)]
 
@@ -169,11 +242,12 @@ pub use lmfao_ml as ml;
 pub mod prelude {
     pub use lmfao_baseline::{MaterializedEngine, RecomputeReference};
     pub use lmfao_core::{
-        BatchResult, Engine, EngineConfig, EngineError, EngineStats, MaintainedBatch,
-        PreparedBatch, QueryResult, RefreshStats, SharedDatabase,
+        BatchResult, Engine, EngineConfig, EngineError, EngineStats, MaintainedBatch, Maintainer,
+        PreparedBatch, QueryResult, RefreshStats, SharedDatabase, SnapshotHandle, ViewSnapshot,
     };
     pub use lmfao_data::{
-        AttrId, AttrType, Database, DatabaseSchema, Relation, RelationSchema, TableDelta, Value,
+        AttrId, AttrType, Database, DatabaseSchema, DatabaseSnapshot, Relation, RelationSchema,
+        TableDelta, Value,
     };
     pub use lmfao_datagen::{Dataset, Scale};
     pub use lmfao_expr::{
