@@ -28,7 +28,18 @@
 //! sampled reads against a from-scratch recompute at their pinned
 //! generations. Tunables: `--readers N` (default 4), `--serve-secs S`
 //! (default 5), `--updates-per-sec U` (default 200), `--dataset NAME`
-//! (default Retailer). Any sampled-read mismatch fails the process.
+//! (default Retailer). Any sampled-read mismatch fails the process. The
+//! serving report also carries the certificate-chain audit (accepted /
+//! rejected chains and checker wall-time); a rejected chain fails the
+//! process too.
+//!
+//! `--certify` (with `--quick`) additionally runs every workload through
+//! [`lmfao_core::PreparedBatch::execute_certified`], serializes the emitted
+//! execution certificate to canonical JSON, and re-checks it with the
+//! independent `lmfao-certify` crate — parse plus
+//! [`lmfao_certify::check_certificate`], median of three timed passes. The
+//! per-workload checker overhead lands in the JSON artifact as
+//! `check_secs`; any rejected certificate fails the process.
 
 use lmfao_baseline::{self as baseline, DenseTask, MaterializedEngine};
 use lmfao_bench::serve::{run_serve, ServeConfig, ServeReport};
@@ -397,6 +408,9 @@ struct BenchRecord {
     output_rows: usize,
     /// Number of queries in the batch.
     queries: usize,
+    /// Median wall-clock seconds of the independent certificate checker
+    /// (canonical-JSON parse + check), when `--certify` ran.
+    check_secs: Option<f64>,
     error: Option<String>,
 }
 
@@ -434,7 +448,8 @@ fn render_serve_json(dataset: &str, r: &ServeReport) -> String {
          \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {},\n    \
          \"updates_applied\": {}, \"updates_per_sec\": {}, \"target_updates_per_sec\": {}, \
          \"generations\": {},\n    \"sampled_reads\": {}, \"verified_generations\": {}, \
-         \"mismatches\": {}\n  }}",
+         \"mismatches\": {},\n    \"certified_chains\": {}, \"certificate_failures\": {}, \
+         \"certify_secs\": {}\n  }}",
         json_escape(dataset),
         r.ok(),
         r.readers,
@@ -451,7 +466,10 @@ fn render_serve_json(dataset: &str, r: &ServeReport) -> String {
         r.generations,
         r.sampled_reads,
         r.verified_generations,
-        r.mismatches
+        r.mismatches,
+        r.certified_chains,
+        r.certificate_failures,
+        json_f64(r.certify_secs)
     )
 }
 
@@ -468,6 +486,7 @@ fn render_bench_json(
         (true, true) => "serve",
         _ => "quick",
     };
+    let certified = !records.is_empty() && records.iter().all(|r| r.check_secs.is_some());
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema_version\": 1,\n");
@@ -481,6 +500,7 @@ fn render_bench_json(
     ));
     let errors = records.iter().filter(|r| r.error.is_some()).count();
     s.push_str(&format!("  \"errors\": {errors},\n"));
+    s.push_str(&format!("  \"certify\": {certified},\n"));
     s.push_str("  \"workloads\": [\n");
     for (i, r) in records.iter().enumerate() {
         s.push_str("    {");
@@ -493,16 +513,24 @@ fn render_bench_json(
         ));
         match &r.error {
             Some(e) => s.push_str(&format!("\"ok\": false, \"error\": \"{}\"", json_escape(e))),
-            None => s.push_str(&format!(
-                "\"ok\": true, \"median_secs\": {}, \"min_secs\": {}, \"prepare_secs\": {}, \
-                 \"runs\": {}, \"queries\": {}, \"output_rows\": {}",
-                json_f64(r.median_secs),
-                json_f64(r.min_secs),
-                json_f64(r.prepare_secs),
-                r.runs,
-                r.queries,
-                r.output_rows
-            )),
+            None => {
+                s.push_str(&format!(
+                    "\"ok\": true, \"median_secs\": {}, \"min_secs\": {}, \"prepare_secs\": {}, \
+                     \"runs\": {}, \"queries\": {}, \"output_rows\": {}",
+                    json_f64(r.median_secs),
+                    json_f64(r.min_secs),
+                    json_f64(r.prepare_secs),
+                    r.runs,
+                    r.queries,
+                    r.output_rows
+                ));
+                if let Some(check) = r.check_secs {
+                    s.push_str(&format!(
+                        ", \"certified\": true, \"check_secs\": {}",
+                        json_f64(check)
+                    ));
+                }
+            }
         }
         s.push('}');
         if i + 1 < records.len() {
@@ -522,11 +550,12 @@ fn render_bench_json(
 /// The CI benchmark smoke suite: every Table-3 workload on every dataset,
 /// median-of-N prepared executions. Returns the per-workload records; any
 /// record with an error set means the run must exit non-zero.
-fn quick(datasets: &[Dataset], sc: Scale, threads: usize) -> Vec<BenchRecord> {
+fn quick(datasets: &[Dataset], sc: Scale, threads: usize, certify: bool) -> Vec<BenchRecord> {
     const RUNS: usize = 3;
     println!(
-        "LMFAO bench smoke — scale {} fact tuples, {threads} threads, {RUNS} runs/workload",
-        sc.fact_rows
+        "LMFAO bench smoke — scale {} fact tuples, {threads} threads, {RUNS} runs/workload{}",
+        sc.fact_rows,
+        if certify { ", certified" } else { "" }
     );
 
     let mut records: Vec<BenchRecord> = Vec::new();
@@ -547,10 +576,37 @@ fn quick(datasets: &[Dataset], sc: Scale, threads: usize) -> Vec<BenchRecord> {
                     times.push(secs);
                 }
                 times.sort_by(f64::total_cmp);
-                (times[times.len() / 2], times[0], prepare_secs, output_rows)
+                // The certified pass exercises the untrusted-engine /
+                // trusted-checker split end to end: emit the certificate,
+                // serialize it to canonical JSON, and time the independent
+                // checker (parse + check) over three passes.
+                let check_secs = certify.then(|| {
+                    let (_, cert) = prepared.execute_certified(&dynamics).unwrap();
+                    let json = lmfao_certify::to_json(&cert);
+                    let mut checks = Vec::with_capacity(RUNS);
+                    for _ in 0..RUNS {
+                        let (verdict, secs) = time(|| {
+                            lmfao_certify::parse_certificate(&json)
+                                .and_then(|c| lmfao_certify::check_certificate(&c))
+                        });
+                        if let Err(e) = verdict {
+                            panic!("certificate rejected: {e}");
+                        }
+                        checks.push(secs);
+                    }
+                    checks.sort_by(f64::total_cmp);
+                    checks[checks.len() / 2]
+                });
+                (
+                    times[times.len() / 2],
+                    times[0],
+                    prepare_secs,
+                    output_rows,
+                    check_secs,
+                )
             }));
             let record = match outcome {
-                Ok((median_secs, min_secs, prepare_secs, output_rows)) => BenchRecord {
+                Ok((median_secs, min_secs, prepare_secs, output_rows, check_secs)) => BenchRecord {
                     dataset: ds.name.clone(),
                     workload: wl,
                     median_secs,
@@ -559,6 +615,7 @@ fn quick(datasets: &[Dataset], sc: Scale, threads: usize) -> Vec<BenchRecord> {
                     runs: RUNS,
                     output_rows,
                     queries: batch.len(),
+                    check_secs,
                     error: None,
                 },
                 Err(panic) => {
@@ -576,6 +633,7 @@ fn quick(datasets: &[Dataset], sc: Scale, threads: usize) -> Vec<BenchRecord> {
                         runs: 0,
                         output_rows: 0,
                         queries: batch.len(),
+                        check_secs: None,
                         error: Some(msg),
                     }
                 }
@@ -583,14 +641,18 @@ fn quick(datasets: &[Dataset], sc: Scale, threads: usize) -> Vec<BenchRecord> {
             match &record.error {
                 Some(e) => println!("{:<10} {:<6} ERROR: {e}", record.dataset, record.workload),
                 None => println!(
-                    "{:<10} {:<6} median {:>9.4}s  min {:>9.4}s  plan {:>9.4}s  {:>8} rows / {} queries",
+                    "{:<10} {:<6} median {:>9.4}s  min {:>9.4}s  plan {:>9.4}s  {:>8} rows / {} queries{}",
                     record.dataset,
                     record.workload,
                     record.median_secs,
                     record.min_secs,
                     record.prepare_secs,
                     record.output_rows,
-                    record.queries
+                    record.queries,
+                    match record.check_secs {
+                        Some(c) => format!("  check {c:>8.5}s"),
+                        None => String::new(),
+                    }
                 ),
             }
             records.push(record);
@@ -637,6 +699,7 @@ fn serve_bench(
 /// JSON artifact, and returns the process exit code.
 fn ci_mode(
     is_quick: bool,
+    certify: bool,
     serve_config: Option<(&str, &ServeConfig)>,
     json_path: Option<&str>,
 ) -> i32 {
@@ -652,7 +715,7 @@ fn ci_mode(
     println!("generated 4 datasets in {gen_time:.2}s");
 
     let records = if is_quick {
-        quick(&datasets, sc, threads)
+        quick(&datasets, sc, threads, certify)
     } else {
         Vec::new()
     };
@@ -669,8 +732,9 @@ fn ci_mode(
             Some(r) if r.ok() => {}
             Some(r) => {
                 eprintln!(
-                    "serving audit failed: {} mismatch(es){}",
+                    "serving audit failed: {} mismatch(es), {} certificate rejection(s){}",
                     r.mismatches,
+                    r.certificate_failures,
                     r.writer_error
                         .as_deref()
                         .map(|e| format!(", writer error: {e}"))
@@ -793,12 +857,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
     // Flag parsing: `--quick` selects the CI smoke suite; `--serve` the
-    // concurrent-serving benchmark (they combine); `--maintain` the
-    // refresh-latency suite; `--json [path]` writes the machine-readable
-    // artifact (default BENCH_ci.json); `--threads N` overrides the worker
-    // count (recorded in the JSON).
+    // concurrent-serving benchmark (they combine); `--certify` adds the
+    // independent certificate check to every `--quick` workload;
+    // `--maintain` the refresh-latency suite; `--json [path]` writes the
+    // machine-readable artifact (default BENCH_ci.json); `--threads N`
+    // overrides the worker count (recorded in the JSON).
     let mut positional: Vec<&str> = Vec::new();
     let mut is_quick = false;
+    let mut is_certify = false;
     let mut is_maintain = false;
     let mut is_serve = false;
     let mut serve_config = ServeConfig::default();
@@ -808,6 +874,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => is_quick = true,
+            "--certify" => is_certify = true,
             "--maintain" => is_maintain = true,
             "--serve" => is_serve = true,
             "--readers" => {
@@ -853,7 +920,7 @@ fn main() {
     }
     if is_quick || is_serve {
         let serving = is_serve.then_some((serve_dataset.as_str(), &serve_config));
-        std::process::exit(ci_mode(is_quick, serving, json_path.as_deref()));
+        std::process::exit(ci_mode(is_quick, is_certify, serving, json_path.as_deref()));
     }
     if is_maintain {
         std::process::exit(maintain_mode());

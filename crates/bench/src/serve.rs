@@ -18,8 +18,18 @@
 //! [`ServeReport::mismatches`] means a reader observed a value that full
 //! recomputation at its pinned generation cannot reproduce, which is the one
 //! thing this benchmark exists to rule out.
+//!
+//! Independently of the recompute audit, the writer retains every published
+//! [`lmfao_certify::Certificate`] (the generation-0 execute certificate plus
+//! one maintenance certificate per applied delta) and, for the same
+//! time-spread sample of pinned generations, the untrusted-engine /
+//! trusted-checker split is exercised end to end:
+//! [`lmfao_certify::check_chain`] must accept the chain from generation 0 up
+//! to each sampled generation. Any rejection counts as a
+//! [`ServeReport::certificate_failures`] and fails the run.
 
 use lmfao_baseline::RecomputeReference;
+use lmfao_certify::{check_chain, Certificate};
 use lmfao_core::{EngineConfig, QueryResult, ViewSnapshot};
 use lmfao_datagen::{fact_relation, update_stream, Dataset, UpdateMix};
 use lmfao_expr::{DynamicRegistry, QueryBatch};
@@ -101,14 +111,23 @@ pub struct ServeReport {
     pub verified_generations: usize,
     /// Sampled reads the referee could not reproduce. Must be zero.
     pub mismatches: usize,
+    /// Certificate chains (generation 0 up to a sampled pinned generation)
+    /// accepted by the independent checker.
+    pub certified_chains: usize,
+    /// Certificate chains the checker rejected (or whose certificates were
+    /// missing). Must be zero.
+    pub certificate_failures: usize,
+    /// Wall-clock seconds the checker spent auditing certificate chains.
+    pub certify_secs: f64,
     /// A writer-side failure (an `apply` that errored), if any.
     pub writer_error: Option<String>,
 }
 
 impl ServeReport {
-    /// True when the run completed with no writer error and no mismatch.
+    /// True when the run completed with no writer error, no mismatch, and no
+    /// certificate rejection.
     pub fn ok(&self) -> bool {
-        self.mismatches == 0 && self.writer_error.is_none()
+        self.mismatches == 0 && self.certificate_failures == 0 && self.writer_error.is_none()
     }
 
     /// Prints the report as aligned human-readable lines.
@@ -134,6 +153,10 @@ impl ServeReport {
                 Some(e) => format!("  WRITER ERROR: {e}"),
                 None => String::new(),
             }
+        );
+        println!(
+            "certify    {} chains accepted, {} rejected  ({:.3}s checker time)",
+            self.certified_chains, self.certificate_failures, self.certify_secs
         );
     }
 }
@@ -322,8 +345,13 @@ pub fn run_serve(
     let duration = Duration::from_secs_f64(config.duration_secs.max(0.1));
     let interval = Duration::from_secs_f64(1.0 / config.updates_per_sec.max(1e-6));
 
+    // The certificate chain: index g holds generation g's certificate. The
+    // writer is the only thread that extends it (one entry per apply), so by
+    // join time every published generation has its certificate on file.
+    let genesis = Arc::clone(handle.load().certificate());
+
     let started = Instant::now();
-    let (reader_outcomes, writer_applied, writer_error) = std::thread::scope(|s| {
+    let (reader_outcomes, writer_applied, writer_error, certs) = std::thread::scope(|s| {
         let reader_handles: Vec<_> = (0..config.readers.max(1))
             .map(|reader_id| {
                 let stop = &stop;
@@ -386,6 +414,7 @@ pub fn run_serve(
                 let mut next = start;
                 let mut applied = 0u64;
                 let mut error = None;
+                let mut certs: Vec<Arc<Certificate>> = vec![genesis];
                 for delta in &stream {
                     if stop.load(Ordering::Relaxed) {
                         break;
@@ -394,6 +423,7 @@ pub fn run_serve(
                         error = Some(e.to_string());
                         break;
                     }
+                    certs.push(Arc::clone(maintainer.snapshot().certificate()));
                     applied += 1;
                     updates_ctr.fetch_add(1, Ordering::Relaxed);
                     next += interval;
@@ -404,7 +434,7 @@ pub fn run_serve(
                         next = now;
                     }
                 }
-                (applied, error)
+                (applied, error, certs)
             })
         };
 
@@ -436,8 +466,8 @@ pub fn run_serve(
             .into_iter()
             .map(|h| h.join().expect("reader thread panicked"))
             .collect();
-        let (applied, error) = writer_handle.join().expect("writer thread panicked");
-        (outcomes, applied, error)
+        let (applied, error, certs) = writer_handle.join().expect("writer thread panicked");
+        (outcomes, applied, error, certs)
     });
     let elapsed = started.elapsed().as_secs_f64();
 
@@ -484,6 +514,25 @@ pub fn run_serve(
         }
     }
 
+    // Certificate audit over the same time-spread sample: the independent
+    // checker must accept the chain from generation 0 up to each sampled
+    // pinned generation, and the chain must actually end there.
+    let certify_started = Instant::now();
+    let mut certified_chains = 0usize;
+    let mut certificate_failures = 0usize;
+    for &generation in &keep {
+        let end = generation as usize;
+        if end >= certs.len() {
+            certificate_failures += 1;
+            continue;
+        }
+        match check_chain(certs[..=end].iter().map(Arc::as_ref)) {
+            Ok(summary) if summary.final_generation == generation => certified_chains += 1,
+            Ok(_) | Err(_) => certificate_failures += 1,
+        }
+    }
+    let certify_secs = certify_started.elapsed().as_secs_f64();
+
     Ok(ServeReport {
         readers: config.readers.max(1),
         duration_secs: elapsed,
@@ -500,6 +549,9 @@ pub fn run_serve(
         sampled_reads,
         verified_generations: keep.len(),
         mismatches,
+        certified_chains,
+        certificate_failures,
+        certify_secs,
         writer_error,
     })
 }
@@ -582,6 +634,11 @@ mod tests {
         assert_eq!(report.generations, report.updates_applied);
         assert_eq!(report.mismatches, 0);
         assert!(report.sampled_reads > 0, "verification must sample reads");
+        assert!(
+            report.certified_chains > 0,
+            "the certificate audit must cover sampled generations"
+        );
+        assert_eq!(report.certificate_failures, 0);
         assert!(report.p50_us <= report.p99_us);
     }
 }

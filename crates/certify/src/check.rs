@@ -1,0 +1,513 @@
+//! The trusted checker: re-derives every accounting identity a certificate
+//! claims, in exact integer arithmetic, sharing no code with the engine.
+//!
+//! What the checker verifies:
+//!
+//! - **Structure** — supported version, no view produced twice, groups
+//!   consume only views produced by earlier groups, vector lengths agree.
+//! - **Execution totals** — each query's published totals equal the producing
+//!   view's totals at the query's aggregate indices, and its row count equals
+//!   the view's.
+//! - **Delta accounting** — relation cardinality moves by exactly
+//!   `inserted - deleted`; every view's `totals_after == totals_before + net`;
+//!   seed views additionally satisfy `net == inserted - deleted`.
+//! - **Chain linkage** — generations increase by one, each `parent_hash`
+//!   matches the FNV-1a fingerprint of the predecessor's canonical JSON, and
+//!   each step's `totals_before` equals the state the checker has tracked
+//!   from the execution root forward.
+//!
+//! What the checker does *not* verify (the trust split): that the engine's
+//! floating-point view state actually decodes to the certified ledger, and
+//! that the aggregates are the semantically correct answer to the workload —
+//! those remain the job of the recompute referee. The certificate makes the
+//! engine's *accounting* auditable, not its arithmetic semantics.
+
+use crate::json::fingerprint;
+use crate::schema::{
+    Certificate, ExecuteCertificate, MaintenanceCertificate, QueryTotals, CERTIFICATE_VERSION,
+};
+use lmfao_data::FxHashMap;
+use std::fmt;
+
+/// A typed verdict explaining exactly which identity a certificate violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertError {
+    /// The certificate's schema version is newer than this checker.
+    UnsupportedVersion {
+        /// Version recorded in the certificate.
+        found: u32,
+    },
+    /// The certificate could not be parsed or is structurally invalid.
+    Malformed(String),
+    /// Two groups claim to have produced the same view.
+    ViewProducedTwice {
+        /// The doubly-produced view.
+        view: u32,
+    },
+    /// A group consumes a view no earlier group produced.
+    MissingIncomingView {
+        /// The consuming group.
+        group: u32,
+        /// The absent view.
+        view: u32,
+    },
+    /// A query references a view the certificate never accounts for.
+    UnknownQueryView {
+        /// Query name.
+        query: String,
+        /// The unaccounted view.
+        view: u32,
+    },
+    /// A query's aggregate index exceeds its view's aggregate count.
+    AggregateIndexOutOfBounds {
+        /// Query name.
+        query: String,
+        /// The offending index.
+        index: u32,
+        /// Number of aggregates the view carries.
+        len: usize,
+    },
+    /// A query's published row count disagrees with its view.
+    QueryRowMismatch {
+        /// Query name.
+        query: String,
+        /// Rows the view holds.
+        expected: u64,
+        /// Rows the query published.
+        found: u64,
+    },
+    /// A query's published total disagrees with its view's total.
+    QueryTotalMismatch {
+        /// Query name.
+        query: String,
+        /// Aggregate index where the totals diverge.
+        index: u32,
+        /// Total derived from the view accounting.
+        expected: i128,
+        /// Total the query published.
+        found: i128,
+    },
+    /// Relation cardinality does not move by `inserted - deleted`.
+    RowAccountingMismatch {
+        /// Relation the delta targeted.
+        relation: String,
+        /// Cardinality before.
+        before: u64,
+        /// Insert-partition size.
+        inserted: u64,
+        /// Delete-partition size.
+        deleted: u64,
+        /// Claimed cardinality after.
+        after: u64,
+    },
+    /// A view's `totals_after` is not `totals_before + net`.
+    DeltaAccountingMismatch {
+        /// The view in violation.
+        view: u32,
+        /// Aggregate index where the identity breaks.
+        index: usize,
+        /// `totals_before` at that index.
+        before: i128,
+        /// `net` at that index.
+        net: i128,
+        /// Claimed `totals_after` at that index.
+        after: i128,
+    },
+    /// A seed view's `net` is not `inserted - deleted`.
+    SignedNetMismatch {
+        /// The view in violation.
+        view: u32,
+        /// Aggregate index where the identity breaks.
+        index: usize,
+        /// Insert-partition contribution.
+        inserted: i128,
+        /// Delete-partition contribution.
+        deleted: i128,
+        /// Claimed net.
+        net: i128,
+    },
+    /// Vectors within one view account disagree in length.
+    LengthMismatch {
+        /// The inconsistent view.
+        view: u32,
+    },
+    /// A maintenance generation is not its parent generation plus one.
+    GenerationMismatch {
+        /// Recorded parent generation.
+        parent: u64,
+        /// Recorded own generation.
+        generation: u64,
+    },
+    /// A certificate's `parent_hash` does not match the fingerprint of its
+    /// predecessor in the chain.
+    ParentHashMismatch {
+        /// Generation whose linkage failed.
+        generation: u64,
+        /// Fingerprint of the actual predecessor.
+        expected: u64,
+        /// Hash the certificate recorded.
+        found: u64,
+    },
+    /// A chain must begin with an `Execute` certificate.
+    ChainRootNotExecute,
+    /// Only the first certificate of a chain may be an `Execute`.
+    ExecuteMidChain {
+        /// Generation of the out-of-place execute certificate.
+        generation: u64,
+    },
+    /// A maintenance step's `totals_before` or `rows_before` disagrees with
+    /// the state tracked from the chain root.
+    ChainContinuityMismatch {
+        /// Generation of the inconsistent step.
+        generation: u64,
+        /// The view whose pre-state diverged.
+        view: u32,
+    },
+    /// An empty chain was submitted for checking.
+    EmptyChain,
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::UnsupportedVersion { found } => {
+                write!(f, "unsupported certificate version {found} (checker speaks {CERTIFICATE_VERSION})")
+            }
+            CertError::Malformed(msg) => write!(f, "malformed certificate: {msg}"),
+            CertError::ViewProducedTwice { view } => {
+                write!(f, "view {view} produced by more than one group")
+            }
+            CertError::MissingIncomingView { group, view } => {
+                write!(f, "group {group} consumes view {view} before any group produced it")
+            }
+            CertError::UnknownQueryView { query, view } => {
+                write!(f, "query '{query}' references unaccounted view {view}")
+            }
+            CertError::AggregateIndexOutOfBounds { query, index, len } => {
+                write!(f, "query '{query}' selects aggregate {index} of a view with {len}")
+            }
+            CertError::QueryRowMismatch {
+                query,
+                expected,
+                found,
+            } => write!(f, "query '{query}' publishes {found} rows, view holds {expected}"),
+            CertError::QueryTotalMismatch {
+                query,
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "query '{query}' total at aggregate {index} is {found}, accounting gives {expected}"
+            ),
+            CertError::RowAccountingMismatch {
+                relation,
+                before,
+                inserted,
+                deleted,
+                after,
+            } => write!(
+                f,
+                "relation '{relation}' rows {before} + {inserted} - {deleted} != {after}"
+            ),
+            CertError::DeltaAccountingMismatch {
+                view,
+                index,
+                before,
+                net,
+                after,
+            } => write!(
+                f,
+                "view {view} aggregate {index}: {before} + {net} != {after}"
+            ),
+            CertError::SignedNetMismatch {
+                view,
+                index,
+                inserted,
+                deleted,
+                net,
+            } => write!(
+                f,
+                "view {view} aggregate {index}: net {net} != inserted {inserted} - deleted {deleted}"
+            ),
+            CertError::LengthMismatch { view } => {
+                write!(f, "view {view}: accounting vectors disagree in length")
+            }
+            CertError::GenerationMismatch { parent, generation } => {
+                write!(f, "generation {generation} does not follow parent {parent}")
+            }
+            CertError::ParentHashMismatch {
+                generation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "generation {generation}: parent hash {found:#018x} != fingerprint {expected:#018x}"
+            ),
+            CertError::ChainRootNotExecute => {
+                write!(f, "certificate chain does not begin with an execute certificate")
+            }
+            CertError::ExecuteMidChain { generation } => {
+                write!(f, "execute certificate at generation {generation} mid-chain")
+            }
+            CertError::ChainContinuityMismatch { generation, view } => write!(
+                f,
+                "generation {generation}: view {view} pre-state disagrees with tracked chain state"
+            ),
+            CertError::EmptyChain => write!(f, "empty certificate chain"),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// Outcome of a successful [`check_chain`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainSummary {
+    /// Number of certificates checked (execute root included).
+    pub certificates: u64,
+    /// Generation of the final certificate.
+    pub final_generation: u64,
+    /// Distinct views whose totals the checker tracked.
+    pub views_tracked: usize,
+    /// Query-totals assertions verified across the chain.
+    pub queries_checked: u64,
+}
+
+/// Tracked per-view state while walking a chain: rows and ledger totals.
+type ViewState = FxHashMap<u32, (u64, Vec<i128>)>;
+
+/// Checks a single certificate's internal identities.
+///
+/// For an [`ExecuteCertificate`] this verifies the full provenance DAG and
+/// every query total against view totals. For a [`MaintenanceCertificate`]
+/// it verifies the signed delta accounting; cross-generation identities
+/// (parent hash, pre-state continuity) need the predecessor and are checked
+/// by [`check_chain`].
+pub fn check_certificate(cert: &Certificate) -> Result<(), CertError> {
+    if cert.version() != CERTIFICATE_VERSION {
+        return Err(CertError::UnsupportedVersion {
+            found: cert.version(),
+        });
+    }
+    match cert {
+        Certificate::Execute(c) => check_execute(c).map(|_| ()),
+        Certificate::Maintenance(c) => check_maintenance(c),
+    }
+}
+
+/// Checks an execute certificate and returns the view state it establishes.
+fn check_execute(cert: &ExecuteCertificate) -> Result<ViewState, CertError> {
+    let mut views: ViewState = FxHashMap::default();
+    for group in &cert.groups {
+        for incoming in &group.incoming {
+            if !views.contains_key(incoming) {
+                return Err(CertError::MissingIncomingView {
+                    group: group.group,
+                    view: *incoming,
+                });
+            }
+        }
+        for out in &group.outputs {
+            if views
+                .insert(out.view, (out.rows, out.totals.clone()))
+                .is_some()
+            {
+                return Err(CertError::ViewProducedTwice { view: out.view });
+            }
+        }
+    }
+    for query in &cert.queries {
+        check_query(query, &views)?;
+    }
+    Ok(views)
+}
+
+fn check_maintenance(cert: &MaintenanceCertificate) -> Result<(), CertError> {
+    if cert.generation != cert.parent_generation.wrapping_add(1) {
+        return Err(CertError::GenerationMismatch {
+            parent: cert.parent_generation,
+            generation: cert.generation,
+        });
+    }
+    let expected_rows = cert
+        .relation_rows_before
+        .checked_add(cert.rows_inserted)
+        .and_then(|n| n.checked_sub(cert.rows_deleted));
+    if expected_rows != Some(cert.relation_rows_after) {
+        return Err(CertError::RowAccountingMismatch {
+            relation: cert.relation.clone(),
+            before: cert.relation_rows_before,
+            inserted: cert.rows_inserted,
+            deleted: cert.rows_deleted,
+            after: cert.relation_rows_after,
+        });
+    }
+    for account in &cert.views {
+        let n = account.net.len();
+        if account.totals_before.len() != n || account.totals_after.len() != n {
+            return Err(CertError::LengthMismatch { view: account.view });
+        }
+        match (&account.inserted, &account.deleted) {
+            (Some(ins), Some(del)) => {
+                if ins.len() != n || del.len() != n {
+                    return Err(CertError::LengthMismatch { view: account.view });
+                }
+                for i in 0..n {
+                    if ins[i] - del[i] != account.net[i] {
+                        return Err(CertError::SignedNetMismatch {
+                            view: account.view,
+                            index: i,
+                            inserted: ins[i],
+                            deleted: del[i],
+                            net: account.net[i],
+                        });
+                    }
+                }
+            }
+            (None, None) => {}
+            _ => return Err(CertError::LengthMismatch { view: account.view }),
+        }
+        for i in 0..n {
+            if account.totals_before[i] + account.net[i] != account.totals_after[i] {
+                return Err(CertError::DeltaAccountingMismatch {
+                    view: account.view,
+                    index: i,
+                    before: account.totals_before[i],
+                    net: account.net[i],
+                    after: account.totals_after[i],
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verifies one query's published totals against tracked view state.
+fn check_query(query: &QueryTotals, views: &ViewState) -> Result<(), CertError> {
+    let (rows, totals) = views
+        .get(&query.view)
+        .ok_or_else(|| CertError::UnknownQueryView {
+            query: query.name.clone(),
+            view: query.view,
+        })?;
+    if query.rows != *rows {
+        return Err(CertError::QueryRowMismatch {
+            query: query.name.clone(),
+            expected: *rows,
+            found: query.rows,
+        });
+    }
+    if query.totals.len() != query.aggregate_indices.len() {
+        return Err(CertError::Malformed(format!(
+            "query '{}' has {} totals for {} aggregate indices",
+            query.name,
+            query.totals.len(),
+            query.aggregate_indices.len()
+        )));
+    }
+    for (slot, (&index, &found)) in query
+        .aggregate_indices
+        .iter()
+        .zip(query.totals.iter())
+        .enumerate()
+    {
+        let expected = *totals.get(index as usize).ok_or({
+            CertError::AggregateIndexOutOfBounds {
+                query: query.name.clone(),
+                index,
+                len: totals.len(),
+            }
+        })?;
+        if found != expected {
+            return Err(CertError::QueryTotalMismatch {
+                query: query.name.clone(),
+                index: query.aggregate_indices[slot],
+                expected,
+                found,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks a full certificate chain: one execute root followed by maintenance
+/// steps, each internally consistent, hash-linked to its predecessor, and
+/// continuous with the view state the checker tracks from the root forward.
+pub fn check_chain<'a, I>(chain: I) -> Result<ChainSummary, CertError>
+where
+    I: IntoIterator<Item = &'a Certificate>,
+{
+    let mut iter = chain.into_iter();
+    let root = iter.next().ok_or(CertError::EmptyChain)?;
+    if root.version() != CERTIFICATE_VERSION {
+        return Err(CertError::UnsupportedVersion {
+            found: root.version(),
+        });
+    }
+    let mut views = match root {
+        Certificate::Execute(c) => check_execute(c)?,
+        Certificate::Maintenance(_) => return Err(CertError::ChainRootNotExecute),
+    };
+    let mut certificates = 1u64;
+    let mut queries_checked = root.queries().len() as u64;
+    let mut generation = root.generation();
+    let mut parent_fingerprint = fingerprint(root);
+
+    for cert in iter {
+        let step = match cert {
+            Certificate::Maintenance(c) => c,
+            Certificate::Execute(c) => {
+                return Err(CertError::ExecuteMidChain {
+                    generation: c.generation,
+                })
+            }
+        };
+        check_certificate(cert)?;
+        if step.parent_generation != generation {
+            return Err(CertError::GenerationMismatch {
+                parent: step.parent_generation,
+                generation: step.generation,
+            });
+        }
+        if step.parent_hash != parent_fingerprint {
+            return Err(CertError::ParentHashMismatch {
+                generation: step.generation,
+                expected: parent_fingerprint,
+                found: step.parent_hash,
+            });
+        }
+        for account in &step.views {
+            // A view absent from the tracked state must start from zero
+            // (views appear at the root; this guards hypothetical growth).
+            let (rows_before, totals_before) = views
+                .get(&account.view)
+                .cloned()
+                .unwrap_or_else(|| (0, vec![0; account.net.len()]));
+            if account.rows_before != rows_before || account.totals_before != totals_before {
+                return Err(CertError::ChainContinuityMismatch {
+                    generation: step.generation,
+                    view: account.view,
+                });
+            }
+            views.insert(
+                account.view,
+                (account.rows_after, account.totals_after.clone()),
+            );
+        }
+        for query in &step.queries {
+            check_query(query, &views)?;
+        }
+        queries_checked += step.queries.len() as u64;
+        certificates += 1;
+        generation = step.generation;
+        parent_fingerprint = fingerprint(cert);
+    }
+
+    Ok(ChainSummary {
+        certificates,
+        final_generation: generation,
+        views_tracked: views.len(),
+        queries_checked,
+    })
+}

@@ -1,0 +1,176 @@
+//! The versioned certificate schema.
+//!
+//! Certificates are the *only* vocabulary shared between the untrusted engine
+//! (`lmfao-core`, which emits them) and this trusted checker. Every numeric
+//! field is an integer: tuple counts are `u64`, and aggregate values are
+//! `i128` fixed-point encodings (see [`lmfao_data::fixed`]) so that each
+//! accounting identity the checker re-derives is an exact integer equation.
+//!
+//! Two certificate kinds exist, mirroring the engine's two result paths:
+//!
+//! - [`ExecuteCertificate`] witnesses one full batch execution: per-view-group
+//!   provenance (which relation and incoming views fed each group, tuple
+//!   counts in and out, per-view aggregate totals) plus per-query aggregate
+//!   totals derived from the published results.
+//! - [`MaintenanceCertificate`] witnesses one incremental delta application:
+//!   signed accounting per changed view (inserted minus deleted contributions
+//!   must net exactly to the published aggregate change), chained to its
+//!   predecessor generation by a fingerprint of the parent certificate.
+//!
+//! The schema is versioned ([`CERTIFICATE_VERSION`]); the checker rejects
+//! versions it does not understand rather than guessing.
+
+/// Current certificate schema version. Bump on any incompatible change.
+pub const CERTIFICATE_VERSION: u32 = 1;
+
+/// Aggregate totals of one view produced by a group: row count plus the
+/// fixed-point-encoded column sums of every aggregate the view carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewProvenance {
+    /// Engine-assigned view identifier (stable within one prepared batch).
+    pub view: u32,
+    /// Number of grouped tuples the view holds.
+    pub rows: u64,
+    /// Per-aggregate totals: the sum over all rows of each aggregate column,
+    /// each row's value encoded to fixed point before summing.
+    pub totals: Vec<i128>,
+}
+
+/// Provenance of one view group: what fed it and what it produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupProvenance {
+    /// Engine-assigned group identifier, in execution order.
+    pub group: u32,
+    /// Name of the join-tree relation the group scans.
+    pub relation: String,
+    /// Tuples of that relation scanned by the group.
+    pub rows_scanned: u64,
+    /// Views consumed from earlier groups (must already be produced).
+    pub incoming: Vec<u32>,
+    /// Views this group produced, with their totals.
+    pub outputs: Vec<ViewProvenance>,
+}
+
+/// Published totals of one named query, tied back to the view it projects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTotals {
+    /// Query name as registered in the batch.
+    pub name: String,
+    /// View the query's results are projected from.
+    pub view: u32,
+    /// Number of result rows published for the query.
+    pub rows: u64,
+    /// Which aggregate columns of the view the query publishes.
+    pub aggregate_indices: Vec<u32>,
+    /// Fixed-point-encoded totals of the published result columns, in
+    /// `aggregate_indices` order.
+    pub totals: Vec<i128>,
+}
+
+/// Certificate of one full batch execution (generation 0 of a serving chain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecuteCertificate {
+    /// Schema version ([`CERTIFICATE_VERSION`]).
+    pub version: u32,
+    /// Snapshot generation this execution published (0 for a fresh batch).
+    pub generation: u64,
+    /// Per-group provenance in execution (topological) order.
+    pub groups: Vec<GroupProvenance>,
+    /// Published per-query totals, independently derived from the results.
+    pub queries: Vec<QueryTotals>,
+}
+
+/// Signed delta accounting for one view touched by a maintenance step.
+///
+/// The central identity is `totals_after == totals_before + net`, checked
+/// element-wise in exact integer arithmetic. For *seed* views (those scanning
+/// the delta's relation directly) the engine additionally splits the net into
+/// insert-partition and delete-partition contributions, and the checker
+/// verifies `net == inserted - deleted`. Propagated views receive one signed
+/// overlay scan, so only their net is observable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewDeltaAccount {
+    /// View identifier.
+    pub view: u32,
+    /// Grouped tuple count before the delta was applied.
+    pub rows_before: u64,
+    /// Grouped tuple count after the delta was applied.
+    pub rows_after: u64,
+    /// Encoded totals contributed by the delta's insert partition
+    /// (seed views only).
+    pub inserted: Option<Vec<i128>>,
+    /// Encoded totals contributed by the delta's delete partition
+    /// (seed views only).
+    pub deleted: Option<Vec<i128>>,
+    /// Encoded net change per aggregate.
+    pub net: Vec<i128>,
+    /// Ledger totals before the delta (must match the chain's tracked state).
+    pub totals_before: Vec<i128>,
+    /// Ledger totals after the delta.
+    pub totals_after: Vec<i128>,
+}
+
+/// Certificate of one incremental delta application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintenanceCertificate {
+    /// Schema version ([`CERTIFICATE_VERSION`]).
+    pub version: u32,
+    /// Generation this apply published.
+    pub generation: u64,
+    /// Generation of the predecessor snapshot (`generation - 1`).
+    pub parent_generation: u64,
+    /// FNV-1a 64-bit fingerprint of the parent certificate's canonical JSON.
+    pub parent_hash: u64,
+    /// Relation the delta targeted.
+    pub relation: String,
+    /// Tuples in the delta's insert partition.
+    pub rows_inserted: u64,
+    /// Tuples in the delta's delete partition.
+    pub rows_deleted: u64,
+    /// Relation cardinality before the delta.
+    pub relation_rows_before: u64,
+    /// Relation cardinality after the delta.
+    pub relation_rows_after: u64,
+    /// Accounting for every view whose state changed.
+    pub views: Vec<ViewDeltaAccount>,
+    /// Published per-query totals after the apply (from the engine's ledger;
+    /// the chain checker verifies them against its own tracked state).
+    pub queries: Vec<QueryTotals>,
+}
+
+/// A certificate emitted by the engine: either a full execution or one
+/// maintenance step. A serving chain is one `Execute` followed by zero or
+/// more `Maintenance` certificates linked by `parent_hash`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Certificate {
+    /// Full batch execution witness.
+    Execute(ExecuteCertificate),
+    /// Incremental delta application witness.
+    Maintenance(MaintenanceCertificate),
+}
+
+impl Certificate {
+    /// Schema version recorded in the certificate.
+    pub fn version(&self) -> u32 {
+        match self {
+            Certificate::Execute(c) => c.version,
+            Certificate::Maintenance(c) => c.version,
+        }
+    }
+
+    /// Snapshot generation the certificate describes.
+    pub fn generation(&self) -> u64 {
+        match self {
+            Certificate::Execute(c) => c.generation,
+            Certificate::Maintenance(c) => c.generation,
+        }
+    }
+
+    /// Published per-query totals.
+    pub fn queries(&self) -> &[QueryTotals] {
+        match self {
+            Certificate::Execute(c) => &c.queries,
+            Certificate::Maintenance(c) => &c.queries,
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Certificate emission — the *untrusted* half of the trust split.
+//!
+//! The engine produces [`lmfao_certify::Certificate`]s describing what an
+//! execution or a maintenance step did: per-view-group provenance with
+//! fixed-point aggregate totals, and signed delta accounting for every view a
+//! refresh touched. The independent checker (`lmfao-certify`) re-derives the
+//! accounting identities from nothing but the certificate; this module's only
+//! job is to report honestly out of the engine's actual data structures.
+//!
+//! Two invariants keep the emitted numbers exactly checkable:
+//!
+//! 1. **Sums of encodings, never encodings of sums.** Every total is
+//!    `Σ encode_fixed(value)` over concrete entries. Integer (`i128`)
+//!    addition is associative, so the checker's re-derivation cannot drift.
+//! 2. **Ledger totals.** The maintainer carries per-view `i128` running
+//!    totals (the *shadow ledger*) forward generation to generation; each
+//!    apply adds the exact encoded net of the delta. Re-encoding the merged
+//!    `f64` state instead would break `after == before + net` by float
+//!    rounding. The ledger tracks the float state to within the fixed-point
+//!    quantization per entry per apply; tying the float state to ground truth
+//!    remains the recompute referee's job (see the README's trust split).
+
+use crate::engine::BatchResult;
+use crate::error::EngineError;
+use crate::prepared::PreparedPlans;
+use crate::view::{ComputedView, ViewSource};
+use lmfao_certify::{
+    Certificate, ExecuteCertificate, GroupProvenance, QueryTotals, ViewProvenance,
+    CERTIFICATE_VERSION,
+};
+use lmfao_data::encode_fixed;
+
+/// Per-aggregate fixed-point totals of a computed view: the sum over all
+/// entries of each aggregate column, every value encoded before summing.
+pub(crate) fn encoded_totals(cv: &ComputedView) -> Vec<i128> {
+    let mut totals = vec![0i128; cv.num_aggregates];
+    for (_, values) in cv.iter() {
+        for (t, v) in totals.iter_mut().zip(values) {
+            *t += encode_fixed(*v);
+        }
+    }
+    totals
+}
+
+/// Per-query totals derived from the *published results* — deliberately the
+/// projected `BatchResult` rather than the views, so the execute checker's
+/// "query totals equal view totals at the query's aggregate indices" identity
+/// crosses two independent data paths inside the engine.
+pub(crate) fn result_query_totals(
+    inner: &PreparedPlans,
+    results: &BatchResult,
+) -> Vec<QueryTotals> {
+    inner
+        .queries
+        .iter()
+        .zip(&results.queries)
+        .map(|(pq, qr)| {
+            let mut totals = vec![0i128; pq.aggregate_indices.len()];
+            for values in qr.data.values() {
+                for (t, v) in totals.iter_mut().zip(values) {
+                    *t += encode_fixed(*v);
+                }
+            }
+            QueryTotals {
+                name: pq.name.clone(),
+                view: pq.view.0 as u32,
+                rows: qr.data.len() as u64,
+                aggregate_indices: pq.aggregate_indices.iter().map(|&i| i as u32).collect(),
+                totals,
+            }
+        })
+        .collect()
+}
+
+/// Emits the certificate of one full batch execution: every group's
+/// provenance (scanned relation, cardinality, incoming views, produced views
+/// with totals) in topological order, plus the published query totals.
+pub(crate) fn emit_execute<V: ViewSource>(
+    inner: &PreparedPlans,
+    relation_rows: impl Fn(&str) -> u64,
+    computed: &V,
+    generation: u64,
+    results: &BatchResult,
+) -> Result<Certificate, EngineError> {
+    let catalog = &inner.pushdown.catalog;
+    let order = inner.grouping.topological_order();
+    let mut groups = Vec::with_capacity(order.len());
+    for gid in order {
+        let g = &inner.grouping.groups[gid];
+        let relation = inner.tree.node(g.node).relation.clone();
+        let rows_scanned = relation_rows(&relation);
+        let mut incoming: Vec<u32> = Vec::new();
+        for &vid in &g.views {
+            for dep in catalog.view(vid).dependencies() {
+                let raw = dep.0 as u32;
+                if !g.views.contains(&dep) && !incoming.contains(&raw) {
+                    incoming.push(raw);
+                }
+            }
+        }
+        incoming.sort_unstable();
+        let mut outputs = Vec::with_capacity(g.views.len());
+        for &vid in &g.views {
+            let cv = computed
+                .view_result(vid)
+                .ok_or(EngineError::ViewNotComputed(vid))?;
+            outputs.push(ViewProvenance {
+                view: vid.0 as u32,
+                rows: cv.len() as u64,
+                totals: encoded_totals(cv),
+            });
+        }
+        outputs.sort_by_key(|o| o.view);
+        groups.push(GroupProvenance {
+            group: gid as u32,
+            relation,
+            rows_scanned,
+            incoming,
+            outputs,
+        });
+    }
+    Ok(Certificate::Execute(ExecuteCertificate {
+        version: CERTIFICATE_VERSION,
+        generation,
+        groups,
+        queries: result_query_totals(inner, results),
+    }))
+}

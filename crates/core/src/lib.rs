@@ -28,8 +28,16 @@
 //! a [`Maintainer`] writer ([`snapshot`]): readers pin whatever generation
 //! they load through a [`SnapshotHandle`] and never block on a refresh.
 //! Planning and execution failures surface as typed [`EngineError`]s.
+//!
+//! Trust: [`PreparedBatch::execute_certified`] and every published
+//! [`ViewSnapshot`] emit versioned, integer/fixed-point *execution
+//! certificates* ([`lmfao_certify::Certificate`]) — provenance and signed
+//! delta accounting that the independent `lmfao-certify` crate re-checks
+//! without sharing any execution code with this one.
 
 #![warn(missing_docs)]
+
+mod certificate;
 
 pub mod config;
 pub mod engine;
@@ -53,7 +61,7 @@ pub use error::EngineError;
 pub use maintain::{MaintainedBatch, RefreshStats};
 pub use prepared::PreparedBatch;
 pub use shared::SharedDatabase;
-pub use snapshot::{Maintainer, SnapshotHandle, ViewSnapshot};
+pub use snapshot::{Maintainer, SnapshotHandle, ViewSnapshot, CANCELLATION_REL_EPS};
 pub use view::{ComputedView, ViewCatalog, ViewDef, ViewId, ViewSource};
 
 #[cfg(test)]

@@ -158,6 +158,14 @@ impl MaintainedBatch {
         self.writer.snapshot()
     }
 
+    /// The execution certificate of the latest published generation: the
+    /// `Execute` root after construction, a chained `Maintenance` certificate
+    /// after every successful [`MaintainedBatch::apply`]. See
+    /// [`ViewSnapshot::certificate`].
+    pub fn certificate(&self) -> Arc<lmfao_certify::Certificate> {
+        Arc::clone(self.writer.snapshot().certificate())
+    }
+
     /// The publication cell readers can clone into other threads; see
     /// [`crate::snapshot::SnapshotHandle`].
     pub fn handle(&self) -> SnapshotHandle {

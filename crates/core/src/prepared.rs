@@ -27,6 +27,7 @@ use crate::pushdown::{push_down_batch, PushdownResult};
 use crate::roots::assign_roots;
 use crate::shared::SharedDatabase;
 use crate::view::{ComputedView, ViewId};
+use lmfao_certify::Certificate;
 use lmfao_data::{AttrId, FxHashMap, Value};
 use lmfao_expr::{DynamicRegistry, QueryBatch};
 use lmfao_jointree::JoinTree;
@@ -192,10 +193,44 @@ impl PreparedBatch {
     /// and projects the per-query results. No optimizer layer runs here; call
     /// this as many times as needed with changing registries.
     pub fn execute(&self, dynamics: &DynamicRegistry) -> Result<BatchResult, EngineError> {
+        let computed = self.compute_views(dynamics)?;
+        project_results(&self.inner, &computed)
+    }
+
+    /// Like [`PreparedBatch::execute`], but additionally emits the execution
+    /// certificate: per-view-group provenance (scanned relation and
+    /// cardinality, incoming views, produced views with fixed-point aggregate
+    /// totals) plus per-query totals derived from the published results. Feed
+    /// the certificate to `lmfao_certify::check_certificate` — the
+    /// independent checker — to audit the run.
+    pub fn execute_certified(
+        &self,
+        dynamics: &DynamicRegistry,
+    ) -> Result<(BatchResult, Certificate), EngineError> {
+        let computed = self.compute_views(dynamics)?;
+        let results = project_results(&self.inner, &computed)?;
+        let db = self.db.database();
+        let certificate = crate::certificate::emit_execute(
+            &self.inner,
+            |name| db.relation(name).map(|r| r.len() as u64).unwrap_or(0),
+            &computed,
+            0,
+            &results,
+        )?;
+        Ok((results, certificate))
+    }
+
+    /// Runs every group scan and returns the computed result of every view —
+    /// the shared first half of [`PreparedBatch::execute`] and
+    /// [`PreparedBatch::execute_certified`].
+    fn compute_views(
+        &self,
+        dynamics: &DynamicRegistry,
+    ) -> Result<FxHashMap<ViewId, ComputedView>, EngineError> {
         let db = self.db.database();
         let inner = &*self.inner;
-        let computed: FxHashMap<ViewId, ComputedView> = if inner.config.specialization {
-            execute_all(db, &inner.plans, &inner.grouping, dynamics, &inner.config)?
+        if inner.config.specialization {
+            execute_all(db, &inner.plans, &inner.grouping, dynamics, &inner.config)
         } else {
             // Interpreted path: one scan per view, in dependency order.
             let mut computed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
@@ -210,9 +245,8 @@ impl PreparedBatch {
                 )?;
                 computed.insert(vid, cv);
             }
-            computed
-        };
-        project_results(inner, &computed)
+            Ok(computed)
+        }
     }
 }
 
@@ -345,6 +379,23 @@ mod tests {
             let one_shot = engine.execute(&batch).unwrap();
             for (p, o) in via_prepared.queries.iter().zip(&one_shot.queries) {
                 assert_eq!(p.data, o.data, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn execute_certified_passes_the_independent_checker() {
+        let (db, tree) = db_and_tree();
+        let batch = batch(&db);
+        for (name, cfg) in EngineConfig::ablation_ladder(2) {
+            let engine = Engine::new(db.clone(), tree.clone(), cfg);
+            let prepared = engine.prepare(&batch).unwrap();
+            let (results, cert) = prepared.execute_certified(&DynamicRegistry::new()).unwrap();
+            lmfao_certify::check_certificate(&cert).unwrap_or_else(|e| panic!("{name}: {e}"));
+            // The certified path publishes the same results as the plain one.
+            let plain = prepared.execute(&DynamicRegistry::new()).unwrap();
+            for (a, b) in results.queries.iter().zip(&plain.queries) {
+                assert_eq!(a.data, b.data, "{name}");
             }
         }
     }

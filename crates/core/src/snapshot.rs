@@ -53,6 +53,7 @@
 //! zero-up-to-rounding back to exact zero so long cancelling streams prune
 //! their dead keys — see [`CANCELLATION_REL_EPS`].
 
+use crate::certificate::{emit_execute, encoded_totals};
 use crate::engine::{BatchResult, QueryResult};
 use crate::error::EngineError;
 use crate::exec::{execute_group, execute_group_scan};
@@ -60,6 +61,10 @@ use crate::maintain::RefreshStats;
 use crate::plan::{build_group_plan, DepthUpdate, GroupPlan};
 use crate::prepared::{project_results, PreparedBatch, PreparedPlans};
 use crate::view::{ComputedView, ViewId, ViewSource};
+use lmfao_certify::{
+    fingerprint, Certificate, MaintenanceCertificate, QueryTotals, ViewDeltaAccount,
+    CERTIFICATE_VERSION,
+};
 use lmfao_data::{Database, DatabaseSnapshot, FxHashMap, Relation, TableDelta};
 use lmfao_expr::DynamicRegistry;
 use lmfao_jointree::JoinTree;
@@ -88,6 +93,7 @@ pub struct ViewSnapshot {
     computed: FxHashMap<ViewId, Arc<ComputedView>>,
     results: BatchResult,
     inner: Arc<PreparedPlans>,
+    certificate: Arc<Certificate>,
 }
 
 impl ViewSnapshot {
@@ -128,6 +134,15 @@ impl ViewSnapshot {
     /// The engine configuration the state was planned under.
     pub fn config(&self) -> &crate::config::EngineConfig {
         &self.inner.config
+    }
+
+    /// The execution certificate of this generation: an `Execute`
+    /// certificate for generation 0, a `Maintenance` certificate (chained to
+    /// the parent generation by fingerprint) for every refresh. Collect the
+    /// certificates of consecutive generations and feed them to
+    /// `lmfao_certify::check_chain` to audit the full history.
+    pub fn certificate(&self) -> &Arc<Certificate> {
+        &self.certificate
     }
 
     /// True if `self` and `other` share the storage of view `id` — the
@@ -202,6 +217,15 @@ pub struct Maintainer {
     /// Next-generation view state; `Arc::make_mut` clones exactly the views
     /// a refresh touches.
     computed: FxHashMap<ViewId, Arc<ComputedView>>,
+    /// The shadow ledger: per-view fixed-point aggregate totals carried
+    /// exactly from generation to generation (`after = before + net`, in
+    /// `i128`). Emitting certificate totals from this ledger — instead of
+    /// re-encoding the merged `f64` state — is what makes the checker's
+    /// accounting identities exact.
+    shadow: FxHashMap<ViewId, Vec<i128>>,
+    /// Fingerprint of the last emitted certificate; the next maintenance
+    /// certificate records it as `parent_hash`.
+    last_fingerprint: u64,
     /// Generation of the latest published snapshot.
     generation: u64,
     /// The publication cell shared with every reader.
@@ -242,12 +266,29 @@ impl PreparedBatch {
             flat.into_iter().map(|(k, v)| (k, Arc::new(v))).collect();
         let db: DatabaseSnapshot = db.into();
         let results = project_results(&inner, &computed)?;
+
+        // Seed the shadow ledger and emit the chain root: an `Execute`
+        // certificate whose view totals the ledger starts from.
+        let shadow: FxHashMap<ViewId, Vec<i128>> = computed
+            .iter()
+            .map(|(vid, cv)| (*vid, encoded_totals(cv)))
+            .collect();
+        let certificate = emit_execute(
+            &inner,
+            |name| db.relation(name).map(|r| r.len() as u64).unwrap_or(0),
+            &computed,
+            0,
+            &results,
+        )?;
+        let last_fingerprint = fingerprint(&certificate);
+
         let snapshot = Arc::new(ViewSnapshot {
             generation: 0,
             db: db.clone(),
             computed: computed.clone(),
             results,
             inner: Arc::clone(&inner),
+            certificate: Arc::new(certificate),
         });
         Ok(Maintainer {
             db,
@@ -255,6 +296,8 @@ impl PreparedBatch {
             plans,
             topo,
             computed,
+            shadow,
+            last_fingerprint,
             generation: 0,
             handle: SnapshotHandle::new(snapshot),
         })
@@ -329,7 +372,17 @@ impl Maintainer {
         // published generations' relation untouched either way). The seed
         // scans below read only the delta partitions and the retained
         // incoming views, so they are independent of this ordering.
+        let relation_rows_before = self
+            .db
+            .relation(delta.relation())
+            .map_err(|_| EngineError::UnknownRelation(delta.relation().to_string()))?
+            .len() as u64;
         self.db.apply(delta)?;
+        let relation_rows_after = self
+            .db
+            .relation(delta.relation())
+            .map_err(|_| EngineError::UnknownRelation(delta.relation().to_string()))?
+            .len() as u64;
 
         // Sort the delta partitions into the trie order of the node that
         // scans this relation, so the seed scans see valid tries.
@@ -342,8 +395,12 @@ impl Maintainer {
 
         // Walk the groups in dependency order, accumulating signed view
         // deltas. `changed` holds the delta (not the new value) of every
-        // view refreshed so far.
+        // view refreshed so far; `seed_split` the per-view insert/delete
+        // contribution split of seed views (in fixed point, captured before
+        // the signed merge collapses the partitions — this is the
+        // `net == inserted - deleted` half of the certificate).
         let mut changed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+        let mut seed_split: FxHashMap<ViewId, (Vec<i128>, Vec<i128>)> = FxHashMap::default();
         for &gid in &self.topo {
             let plan = &self.plans[gid];
             let group_deltas: Vec<(ViewId, ComputedView)> = if plan.relation == delta.relation() {
@@ -353,12 +410,11 @@ impl Maintainer {
                 // subtree), so the retained results are the right probes.
                 stats.seed_groups += 1;
                 let mut out = scan_partition(&inserts, num_attrs, plan, &self.computed, dynamics)?;
-                if !deletes.is_empty() {
-                    let neg = scan_partition(&deletes, num_attrs, plan, &self.computed, dynamics)?;
-                    for ((vid, acc), (nvid, d)) in out.iter_mut().zip(&neg) {
-                        debug_assert_eq!(vid, nvid);
-                        acc.merge_signed(d, -1.0);
-                    }
+                let neg = scan_partition(&deletes, num_attrs, plan, &self.computed, dynamics)?;
+                for ((vid, acc), (nvid, d)) in out.iter_mut().zip(&neg) {
+                    debug_assert_eq!(vid, nvid);
+                    seed_split.insert(*vid, (encoded_totals(acc), encoded_totals(d)));
+                    acc.merge_signed(d, -1.0);
                 }
                 out
             } else {
@@ -405,31 +461,105 @@ impl Maintainer {
         // is the copy-on-write step: only views on the refresh frontier are
         // cloned, and only when a published generation still pins them.
         // Residues that are zero up to rounding snap to exact zero so the
-        // pruning below drops keys whose aggregates cancelled.
+        // pruning below drops keys whose aggregates cancelled. Each fold
+        // also settles the view's certificate account: the exact encoded
+        // net moves the shadow ledger, never the re-encoded float state.
+        let mut accounts = Vec::with_capacity(changed.len());
         for (vid, d) in changed {
             stats.views_changed += 1;
+            let rows_before = self.computed.get(&vid).map_or(0, |cv| cv.len() as u64);
             let entry = self.computed.entry(vid).or_insert_with(|| {
                 Arc::new(ComputedView::new(d.key_attrs.clone(), d.num_aggregates))
             });
             let cv = Arc::make_mut(entry);
             cv.merge_signed_snapped(&d, 1.0, CANCELLATION_REL_EPS);
             cv.prune_zero_entries();
-        }
 
-        // Publish: project the new results and swap the handle's pointer.
-        // Everything above ran on private state; readers observe the new
-        // generation atomically or not at all.
+            let split = seed_split.remove(&vid);
+            let net: Vec<i128> = match &split {
+                // Seed views: the net is defined as inserted - deleted, so
+                // the checker's signed identity holds exactly.
+                Some((ins, del)) => ins.iter().zip(del).map(|(a, b)| a - b).collect(),
+                // Propagated views: one signed overlay scan, net observed
+                // directly from the delta entries.
+                None => encoded_totals(&d),
+            };
+            let totals_before = self
+                .shadow
+                .get(&vid)
+                .cloned()
+                .unwrap_or_else(|| vec![0; net.len()]);
+            let totals_after: Vec<i128> =
+                totals_before.iter().zip(&net).map(|(a, b)| a + b).collect();
+            self.shadow.insert(vid, totals_after.clone());
+            let (inserted, deleted) = match split {
+                Some((ins, del)) => (Some(ins), Some(del)),
+                None => (None, None),
+            };
+            accounts.push(ViewDeltaAccount {
+                view: vid.0 as u32,
+                rows_before,
+                rows_after: cv.len() as u64,
+                inserted,
+                deleted,
+                net,
+                totals_before,
+                totals_after,
+            });
+        }
+        accounts.sort_by_key(|a| a.view);
+
+        // Publish: project the new results, emit the chained maintenance
+        // certificate and swap the handle's pointer. Everything above ran on
+        // private state; readers observe the new generation atomically or
+        // not at all.
         self.generation += 1;
         let results = project_results(&self.inner, &self.computed)?;
+        let certificate = Certificate::Maintenance(MaintenanceCertificate {
+            version: CERTIFICATE_VERSION,
+            generation: self.generation,
+            parent_generation: self.generation - 1,
+            parent_hash: self.last_fingerprint,
+            relation: delta.relation().to_string(),
+            rows_inserted: delta.num_inserts() as u64,
+            rows_deleted: delta.num_deletes() as u64,
+            relation_rows_before,
+            relation_rows_after,
+            views: accounts,
+            queries: self.ledger_query_totals(),
+        });
+        self.last_fingerprint = fingerprint(&certificate);
         let snapshot = Arc::new(ViewSnapshot {
             generation: self.generation,
             db: self.db.clone(),
             computed: self.computed.clone(),
             results,
             inner: Arc::clone(&self.inner),
+            certificate: Arc::new(certificate),
         });
         self.handle.publish(snapshot);
         Ok(stats)
+    }
+
+    /// Per-query totals as of the maintainer's current state, read from the
+    /// shadow ledger (the chain checker verifies them against the state it
+    /// tracks independently from the execute root forward).
+    fn ledger_query_totals(&self) -> Vec<QueryTotals> {
+        self.inner
+            .queries
+            .iter()
+            .map(|pq| QueryTotals {
+                name: pq.name.clone(),
+                view: pq.view.0 as u32,
+                rows: self.computed.get(&pq.view).map_or(0, |cv| cv.len() as u64),
+                aggregate_indices: pq.aggregate_indices.iter().map(|&i| i as u32).collect(),
+                totals: pq
+                    .aggregate_indices
+                    .iter()
+                    .map(|&i| self.shadow.get(&pq.view).map_or(0, |t| t[i]))
+                    .collect(),
+            })
+            .collect()
     }
 }
 
@@ -595,6 +725,70 @@ mod tests {
             snap.query("nope"),
             Err(EngineError::UnknownQuery(_))
         ));
+    }
+
+    #[test]
+    fn generation_accessors_label_handle_and_pinned_snapshots() {
+        let (db, tree) = db_and_tree();
+        let mut maintainer = serving(&db, &tree);
+        let dynamics = DynamicRegistry::new();
+        let handle = maintainer.handle();
+        assert_eq!(handle.generation(), 0);
+        assert_eq!(handle.load().generation(), 0);
+        maintainer
+            .apply(&sales_insert(&db, 1, 1, 2.0), &dynamics)
+            .unwrap();
+        let pinned = handle.load();
+        assert_eq!(handle.generation(), 1);
+        assert_eq!(pinned.generation(), 1);
+        maintainer
+            .apply(&sales_insert(&db, 2, 2, 4.0), &dynamics)
+            .unwrap();
+        // The handle tracks the latest publication; a pinned snapshot keeps
+        // its own label.
+        assert_eq!(handle.generation(), 2);
+        assert_eq!(pinned.generation(), 1);
+        assert_eq!(maintainer.generation(), 2);
+    }
+
+    #[test]
+    fn certificates_chain_across_generations_and_survive_json() {
+        let (db, tree) = db_and_tree();
+        let mut maintainer = serving(&db, &tree);
+        let dynamics = DynamicRegistry::new();
+        let mut chain = vec![Arc::clone(maintainer.snapshot().certificate())];
+        // Inserts, a dimension update and a deletion: seed accounting with
+        // both partitions plus DAG propagation all land in the chain.
+        for i in 0..3 {
+            maintainer
+                .apply(&sales_insert(&db, i, i, (i * 2) as f64), &dynamics)
+                .unwrap();
+            chain.push(Arc::clone(maintainer.snapshot().certificate()));
+        }
+        let mut reprice = TableDelta::for_relation(db.relation("Items").unwrap());
+        reprice
+            .delete(&[Value::Int(2), Value::Double(9.0)])
+            .unwrap();
+        reprice
+            .insert(&[Value::Int(2), Value::Double(21.0)])
+            .unwrap();
+        maintainer.apply(&reprice, &dynamics).unwrap();
+        chain.push(Arc::clone(maintainer.snapshot().certificate()));
+
+        let summary = lmfao_certify::check_chain(chain.iter().map(|c| &**c)).unwrap();
+        assert_eq!(summary.certificates, 5);
+        assert_eq!(summary.final_generation, 4);
+        assert!(summary.views_tracked > 0);
+
+        // The chain must also survive serialization: parse back every
+        // certificate and re-check (fingerprints hash the canonical JSON, so
+        // a round-trip that altered anything would break the linkage).
+        let parsed: Vec<lmfao_certify::Certificate> = chain
+            .iter()
+            .map(|c| lmfao_certify::parse_certificate(&lmfao_certify::to_json(c)).unwrap())
+            .collect();
+        let re_summary = lmfao_certify::check_chain(parsed.iter()).unwrap();
+        assert_eq!(re_summary, summary);
     }
 
     #[test]

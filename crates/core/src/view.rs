@@ -354,8 +354,12 @@ impl ComputedView {
     /// is distinguishable from a real value because it is tiny *relative to
     /// the delta that produced it*; a genuine surviving aggregate of that
     /// magnitude is below any sane float tolerance anyway. Integer-valued
-    /// aggregates (counts, integer sums within 2⁵³) cancel exactly and are
-    /// never snapped (`e == 0.0` short-circuits).
+    /// sums are **never** snapped: exact integer cancellation already yields
+    /// a bit-exact zero (`e == 0.0` short-circuits), and a surviving
+    /// integer-valued result (`e.fract() == 0.0`) is a genuine count or
+    /// integer sum regardless of how large the delta that produced it was —
+    /// snapping it would corrupt exact state to dodge a float artifact it
+    /// cannot have.
     ///
     /// [`prune_zero_entries`]: ComputedView::prune_zero_entries
     pub fn merge_signed_snapped(&mut self, delta: &ComputedView, sign: f64, rel_eps: f64) {
@@ -367,7 +371,7 @@ impl ComputedView {
                 .or_insert_with(|| vec![0.0; self.num_aggregates]);
             for (e, v) in entry.iter_mut().zip(values) {
                 *e += sign * v;
-                if *e != 0.0 && e.abs() <= rel_eps * v.abs() {
+                if *e != 0.0 && e.fract() != 0.0 && e.abs() <= rel_eps * v.abs() {
                     *e = 0.0;
                 }
             }
@@ -532,6 +536,31 @@ mod tests {
         let small = add(1e-6);
         cv.merge_signed_snapped(&small, 1.0, eps);
         assert_eq!(cv.get(&[Value::Int(1)]), Some(&[1e-6][..]));
+    }
+
+    #[test]
+    fn exact_integer_sums_are_never_snapped() {
+        use crate::snapshot::CANCELLATION_REL_EPS;
+        // A count-like value of exactly 1.0 surviving a huge cancelling
+        // delta: |1.0| ≤ CANCELLATION_REL_EPS · 1e12 = 10, so a guard based
+        // on relative magnitude alone would snap it to zero. Integer-valued
+        // sums carry no float residue, so they must always survive.
+        let mut cv = ComputedView::new(vec![AttrId(0)], 1);
+        cv.add(vec![Value::Int(1)], &[1e12 + 1.0]);
+        let mut d = ComputedView::new(vec![AttrId(0)], 1);
+        d.add(vec![Value::Int(1)], &[1e12]);
+        cv.merge_signed_snapped(&d, -1.0, CANCELLATION_REL_EPS);
+        assert_eq!(
+            cv.get(&[Value::Int(1)]),
+            Some(&[1.0][..]),
+            "integer-valued result must never be snapped"
+        );
+        // And exact integer cancellation still reaches bit-exact zero.
+        let mut one = ComputedView::new(vec![AttrId(0)], 1);
+        one.add(vec![Value::Int(1)], &[1.0]);
+        cv.merge_signed_snapped(&one, -1.0, CANCELLATION_REL_EPS);
+        cv.prune_zero_entries();
+        assert!(cv.is_empty(), "exact cancellation prunes");
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Fixed-point encoding of aggregate values for exact certificate checking.
+//!
+//! Execution certificates (see the `lmfao-certify` crate) witness accounting
+//! identities — "inserted minus deleted contributions net exactly to the
+//! published aggregate change" — that must be checkable with *exact*
+//! arithmetic: a checker that compares floats with a tolerance shares the
+//! engine's rounding assumptions and can be argued with. Aggregate values are
+//! therefore encoded as `i128` fixed-point numbers (a binary scale of
+//! 2^[`FIXED_POINT_BITS`]) before they enter a certificate, and every
+//! certificate identity is an integer equation.
+//!
+//! The encoding is a *witness projection*, not a storage format: the engine
+//! keeps computing in `f64`, and each certificate value is the rounded
+//! fixed-point image of the float it describes. Identities hold exactly
+//! because both sides of every equation are computed **in the encoded
+//! domain** (sums of encodings, never encodings of sums).
+//!
+//! Range: with 32 fractional bits, an `i128` spans magnitudes up to
+//! ~1.7e38 / 2^32 ≈ 4e28 — far beyond any aggregate this engine produces —
+//! with an absolute quantization step of 2^-33 ≈ 1.2e-10. Values whose
+//! magnitude exceeds [`MAX_ENCODABLE`] saturate (and NaN encodes to 0), so
+//! encoding never panics; both cases are outside the domain the engine
+//! produces and exist only to keep the emitter total.
+
+/// Number of fractional bits of the fixed-point encoding.
+pub const FIXED_POINT_BITS: u32 = 32;
+
+/// The fixed-point scale: encoded values are `round(x · FIXED_POINT_SCALE)`.
+pub const FIXED_POINT_SCALE: i128 = 1 << FIXED_POINT_BITS;
+
+/// Largest finite magnitude that encodes without saturating.
+pub const MAX_ENCODABLE: f64 = (i128::MAX >> FIXED_POINT_BITS) as f64;
+
+/// Encodes a float as a scaled `i128` fixed-point value.
+///
+/// Exact for every integer-valued `f64` within ±2^53 (counts, sums of
+/// integers): `encode_fixed(n as f64) == n · FIXED_POINT_SCALE`. For general
+/// floats the encoding rounds to the nearest multiple of
+/// `1/FIXED_POINT_SCALE` (ties away from zero, following [`f64::round`]).
+/// Non-finite inputs saturate: `NaN → 0`, `±∞` (and finite values beyond
+/// [`MAX_ENCODABLE`]) to the clamped extremes.
+#[inline]
+pub fn encode_fixed(x: f64) -> i128 {
+    if x.is_nan() {
+        return 0;
+    }
+    let scaled = x * FIXED_POINT_SCALE as f64;
+    if scaled >= i128::MAX as f64 {
+        i128::MAX
+    } else if scaled <= i128::MIN as f64 {
+        i128::MIN
+    } else {
+        scaled.round() as i128
+    }
+}
+
+/// Decodes a fixed-point value back to the nearest float.
+///
+/// `decode_fixed(encode_fixed(x))` differs from a finite `x` by at most half
+/// a quantization step (2^-33) plus one float rounding, and is bit-exact for
+/// integer-valued `x` within ±2^53.
+#[inline]
+pub fn decode_fixed(v: i128) -> f64 {
+    v as f64 / FIXED_POINT_SCALE as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_encode_exactly() {
+        for n in [-1_000_000i64, -3, 0, 1, 7, 40, 1 << 40, (1i64 << 53) - 1] {
+            let e = encode_fixed(n as f64);
+            assert_eq!(e, n as i128 * FIXED_POINT_SCALE, "n = {n}");
+            assert_eq!(decode_fixed(e), n as f64, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn round_trip_is_within_half_a_step() {
+        let step = 1.0 / FIXED_POINT_SCALE as f64;
+        for x in [0.1, 0.3, -2.75, 1e-9, 123.456e6, -9.999e12] {
+            let back = decode_fixed(encode_fixed(x));
+            assert!(
+                (back - x).abs() <= step,
+                "x = {x}, back = {back}, err = {}",
+                (back - x).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_sums_are_exact_where_float_sums_are_not() {
+        // The motivating identity: 0.1 + 0.2 - 0.3 != 0 in f64, but the
+        // encoded contributions always net to an exact integer result.
+        assert_ne!(0.1_f64 + 0.2 - 0.3, 0.0);
+        let net = encode_fixed(0.1) + encode_fixed(0.2) - encode_fixed(0.1 + 0.2);
+        assert_eq!(net, 0, "sums of encodings cancel exactly");
+    }
+
+    #[test]
+    fn non_finite_inputs_saturate_instead_of_panicking() {
+        assert_eq!(encode_fixed(f64::NAN), 0);
+        assert_eq!(encode_fixed(f64::INFINITY), i128::MAX);
+        assert_eq!(encode_fixed(f64::NEG_INFINITY), i128::MIN);
+        assert_eq!(encode_fixed(MAX_ENCODABLE * 4.0), i128::MAX);
+    }
+
+    #[test]
+    fn quantization_rounds_to_nearest() {
+        let step = 1.0 / FIXED_POINT_SCALE as f64;
+        assert_eq!(encode_fixed(step), 1);
+        assert_eq!(encode_fixed(step * 0.4), 0);
+        assert_eq!(encode_fixed(-step), -1);
+        assert_eq!(encode_fixed(2.5 * step), 3, "ties round away from zero");
+    }
+}

@@ -18,6 +18,7 @@ pub mod csv;
 pub mod delta;
 pub mod dictionary;
 pub mod error;
+pub mod fixed;
 pub mod hash;
 pub mod relation;
 pub mod schema;
@@ -30,6 +31,7 @@ pub use column::Column;
 pub use delta::TableDelta;
 pub use dictionary::{Dictionary, DictionarySet};
 pub use error::{DataError, Result};
+pub use fixed::{decode_fixed, encode_fixed, FIXED_POINT_BITS, FIXED_POINT_SCALE};
 pub use hash::{FxHashMap, FxHashSet};
 pub use relation::{Relation, RowView};
 pub use schema::{AttrId, Attribute, DatabaseSchema, RelationSchema};

@@ -16,6 +16,8 @@
 //! * [`jointree`] — join-tree construction and hypertree decompositions,
 //! * [`engine`] — the layered engine (roots, pushdown, merging, grouping,
 //!   multi-output plans, parallelism),
+//! * [`certify`] — the independent execution-certificate checker (shares no
+//!   execution code with the engine),
 //! * [`baseline`] — materialized-join baselines (the paper's competitors),
 //! * [`datagen`] — synthetic Retailer / Favorita / Yelp / TPC-DS generators,
 //! * [`ml`] — the analytics applications.
@@ -227,10 +229,81 @@
 //! For an always-on serving loop (reader threads + one paced writer +
 //! latency quantiles + a recompute audit of sampled reads), see the `serve`
 //! binary and `serve` module of `lmfao-bench`.
+//!
+//! ## Execution certificates: untrusted engine, trusted checker
+//!
+//! The engine is a large, optimized codebase — treat its output as a *claim*,
+//! not a fact. Every execution can emit a versioned
+//! [`certify::Certificate`]: integer-only provenance and accounting (floats
+//! enter as fixed-point encodings, so every identity is an exact integer
+//! equation) that the small, independent [`certify`] crate re-checks without
+//! sharing any execution code with the engine. Maintenance certificates are
+//! chained — each names its parent generation and a fingerprint of the parent
+//! certificate — so a whole update history can be audited with
+//! [`certify::check_chain`].
+//!
+//! ```
+//! use lmfao::prelude::*;
+//!
+//! # let mut schema = DatabaseSchema::new();
+//! # schema.add_relation_with_attrs(
+//! #     "Sales",
+//! #     &[("store", AttrType::Int), ("item", AttrType::Int), ("units", AttrType::Double)],
+//! # );
+//! # schema.add_relation_with_attrs(
+//! #     "Items",
+//! #     &[("item", AttrType::Int), ("price", AttrType::Double)],
+//! # );
+//! # let units = schema.attr_id("units").unwrap();
+//! # let price = schema.attr_id("price").unwrap();
+//! # let sales = Relation::from_rows(
+//! #     schema.relation("Sales").unwrap().clone(),
+//! #     vec![
+//! #         vec![Value::Int(1), Value::Int(1), Value::Double(3.0)],
+//! #         vec![Value::Int(2), Value::Int(1), Value::Double(5.0)],
+//! #     ],
+//! # )
+//! # .unwrap();
+//! # let items = Relation::from_rows(
+//! #     schema.relation("Items").unwrap().clone(),
+//! #     vec![vec![Value::Int(1), Value::Double(10.0)]],
+//! # )
+//! # .unwrap();
+//! # let db = Database::new(schema.clone(), vec![sales, items]).unwrap();
+//! # let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+//! # let mut batch = QueryBatch::new();
+//! # batch.push("count", vec![], vec![Aggregate::count()]);
+//! # batch.push("revenue", vec![], vec![Aggregate::sum_product(units, price)]);
+//! // Same Sales ⋈ Items setup as above. Execute with a certificate:
+//! let engine = Engine::new(db, tree, EngineConfig::default());
+//! let prepared = engine.prepare(&batch).unwrap();
+//! let (result, certificate) = prepared.execute_certified(&DynamicRegistry::new()).unwrap();
+//! assert_eq!(result.query("revenue").scalar()[0], 80.0);
+//!
+//! // Serialize to canonical JSON, hand it across the trust boundary,
+//! // re-parse and re-check with the independent checker.
+//! let json = lmfao::certify::to_json(&certificate);
+//! let parsed = lmfao::certify::parse_certificate(&json).unwrap();
+//! assert_eq!(parsed, certificate);
+//! check_certificate(&parsed).unwrap();
+//!
+//! // Tampering with a published query total is caught: the revenue 80.0
+//! // lives in the certificate as the exact integer 80 · 2³², and the
+//! // checker re-derives it from the view provenance.
+//! let mut forged = parsed.clone();
+//! if let Certificate::Execute(c) = &mut forged {
+//!     c.queries[1].totals[0] += 1;
+//! }
+//! assert!(matches!(
+//!     check_certificate(&forged),
+//!     Err(CertError::QueryTotalMismatch { .. })
+//! ));
+//! ```
 
 #![warn(missing_docs)]
 
 pub use lmfao_baseline as baseline;
+pub use lmfao_certify as certify;
 pub use lmfao_core as engine;
 pub use lmfao_data as data;
 pub use lmfao_datagen as datagen;
@@ -241,6 +314,7 @@ pub use lmfao_ml as ml;
 /// Convenient re-exports of the most common types.
 pub mod prelude {
     pub use lmfao_baseline::{MaterializedEngine, RecomputeReference};
+    pub use lmfao_certify::{check_certificate, check_chain, CertError, Certificate, ChainSummary};
     pub use lmfao_core::{
         BatchResult, Engine, EngineConfig, EngineError, EngineStats, MaintainedBatch, Maintainer,
         PreparedBatch, QueryResult, RefreshStats, SharedDatabase, SnapshotHandle, ViewSnapshot,
