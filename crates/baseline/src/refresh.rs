@@ -135,7 +135,7 @@ mod tests {
         // The writer moves on; the pinned generation must still audit clean.
         let mut delta = TableDelta::for_relation(db.relation("R").unwrap());
         delta.insert(&[Value::Int(1), Value::Double(50.0)]).unwrap();
-        writer.apply(&delta, &DynamicRegistry::new()).unwrap();
+        writer.commit(&delta, &DynamicRegistry::new()).unwrap();
 
         let reference = RecomputeReference::for_snapshot(&pinned, batch.clone());
         let audited = reference.recompute().unwrap();

@@ -56,7 +56,7 @@ fn bench_refresh_latency(c: &mut Criterion) {
         b.iter(|| {
             let mut delta = TableDelta::for_relation(maintained.database().relation(fact).unwrap());
             delta.insert(&template).unwrap();
-            maintained.apply(&delta, &dynamics).unwrap().views_changed
+            maintained.commit(&delta, &dynamics).unwrap().views_changed
         })
     });
 
@@ -65,7 +65,7 @@ fn bench_refresh_latency(c: &mut Criterion) {
             let mut delta = TableDelta::for_relation(maintained.database().relation(fact).unwrap());
             delta.delete(&template).unwrap();
             delta.insert(&template).unwrap();
-            maintained.apply(&delta, &dynamics).unwrap().views_changed
+            maintained.commit(&delta, &dynamics).unwrap().views_changed
         })
     });
 

@@ -40,8 +40,24 @@
 //! [`lmfao_certify::check_certificate`], median of three timed passes. The
 //! per-workload checker overhead lands in the JSON artifact as
 //! `check_secs`; any rejected certificate fails the process.
+//!
+//! `--maintain` runs the maintenance suite (combinable with `--quick` /
+//! `--serve` into one JSON artifact): per dataset, the RT-workload batch is
+//! measured as (a) full re-execution, (b) single-delta refresh, and (c) the
+//! transactional write path — multi-relation transactions over
+//! [`lmfao_datagen::txn_relations`] committed in one DAG walk versus the
+//! same deltas applied one relation at a time. Medians land in the
+//! `"maintenance"` JSON section together with the one-walk speedup.
+//!
+//! `--iso` runs the isolation stress harness: reader threads record every
+//! generation movement under their own snapshot handles while one writer
+//! commits multi-relation transactions, and the black-box
+//! snapshot-isolation checker validates the merged history. Any violation
+//! fails the process. Tunables: `--readers N`, `--iso-secs S` (default 3),
+//! `--dataset NAME`.
 
 use lmfao_baseline::{self as baseline, DenseTask, MaterializedEngine};
+use lmfao_bench::iso::{run_iso, IsoConfig, IsoReport};
 use lmfao_bench::serve::{run_serve, ServeConfig, ServeReport};
 use lmfao_bench::{engine_for, WorkloadSpec};
 use lmfao_core::EngineConfig;
@@ -473,18 +489,85 @@ fn render_serve_json(dataset: &str, r: &ServeReport) -> String {
     )
 }
 
-/// Renders the quick-suite records (plus the optional serving report) as the
-/// `BENCH_ci.json` document.
+/// Renders the maintenance records as the `"maintenance"` JSON array.
+fn render_maintain_json(records: &[MaintainRecord]) -> String {
+    let mut s = String::from("  \"maintenance\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str("    {");
+        s.push_str(&format!("\"dataset\": \"{}\", ", json_escape(&r.dataset)));
+        match &r.error {
+            Some(e) => s.push_str(&format!("\"ok\": false, \"error\": \"{}\"", json_escape(e))),
+            None => s.push_str(&format!(
+                "\"ok\": true, \"full_exec_secs\": {}, \"refresh_secs\": {}, \
+                 \"txn_commit_secs\": {}, \"sequential_secs\": {}, \
+                 \"txn_speedup\": {}, \"txn_relations\": {}",
+                json_f64(r.full_exec_secs),
+                json_f64(r.refresh_secs),
+                json_f64(r.txn_commit_secs),
+                json_f64(r.sequential_secs),
+                json_f64(r.txn_speedup),
+                r.txn_relations
+            )),
+        }
+        s.push('}');
+        if i + 1 < records.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]");
+    s
+}
+
+/// Renders the isolation-run report as the `"isolation"` JSON object.
+fn render_iso_json(dataset: &str, r: &IsoReport) -> String {
+    format!(
+        "  \"isolation\": {{\n    \"dataset\": \"{}\", \"ok\": {}, \"readers\": {}, \
+         \"duration_secs\": {},\n    \"total_reads\": {}, \"recorded_reads\": {}, \
+         \"commits\": {}, \"multi_relation_commits\": {},\n    \"violations\": {}{}\n  }}",
+        json_escape(dataset),
+        r.ok(),
+        r.readers,
+        json_f64(r.duration_secs),
+        r.total_reads,
+        r.recorded_reads,
+        r.commits,
+        r.multi_relation_commits,
+        r.violations.len(),
+        match &r.writer_error {
+            Some(e) => format!(", \"writer_error\": \"{}\"", json_escape(e)),
+            None => String::new(),
+        }
+    )
+}
+
+/// Renders the quick-suite records (plus the optional serving, maintenance,
+/// and isolation reports) as the `BENCH_ci.json` document.
 fn render_bench_json(
     records: &[BenchRecord],
     serving: Option<(&str, &ServeReport)>,
+    maintenance: Option<&[MaintainRecord]>,
+    isolation: Option<(&str, &IsoReport)>,
     sc: Scale,
     threads: usize,
 ) -> String {
-    let suite = match (records.is_empty(), serving.is_some()) {
-        (false, true) => "quick+serve",
-        (true, true) => "serve",
-        _ => "quick",
+    let mut parts = Vec::new();
+    if !records.is_empty() {
+        parts.push("quick");
+    }
+    if serving.is_some() {
+        parts.push("serve");
+    }
+    if maintenance.is_some() {
+        parts.push("maintain");
+    }
+    if isolation.is_some() {
+        parts.push("iso");
+    }
+    let suite = if parts.is_empty() {
+        "quick".to_string()
+    } else {
+        parts.join("+")
     };
     let certified = !records.is_empty() && records.iter().all(|r| r.check_secs.is_some());
     let mut s = String::new();
@@ -542,6 +625,14 @@ fn render_bench_json(
     if let Some((dataset, report)) = serving {
         s.push_str(",\n");
         s.push_str(&render_serve_json(dataset, report));
+    }
+    if let Some(maintain_records) = maintenance {
+        s.push_str(",\n");
+        s.push_str(&render_maintain_json(maintain_records));
+    }
+    if let Some((dataset, report)) = isolation {
+        s.push_str(",\n");
+        s.push_str(&render_iso_json(dataset, report));
     }
     s.push_str("\n}\n");
     s
@@ -694,13 +785,47 @@ fn serve_bench(
     }
 }
 
-/// The CI entry point behind `--quick` / `--serve`: runs the selected
-/// suites over one shared set of generated datasets, writes the combined
-/// JSON artifact, and returns the process exit code.
+/// Runs the isolation stress harness for the CI artifact: multi-relation
+/// transaction stream against the covar batch of one dataset, concurrent
+/// readers recording a black-box history, checker verdict over the merge.
+fn iso_bench(
+    datasets: &[Dataset],
+    dataset: &str,
+    threads: usize,
+    config: &IsoConfig,
+) -> Option<IsoReport> {
+    let ds = datasets.iter().find(|d| d.name == dataset)?;
+    let spec = WorkloadSpec::for_dataset(&ds.name);
+    let batch = spec.covar_batch(ds);
+    println!(
+        "\nLMFAO isolation — {} covar batch ({} queries), {} readers, target {:.0} commits/s, {:.0}s",
+        ds.name,
+        batch.len(),
+        config.readers,
+        config.commits_per_sec,
+        config.duration_secs
+    );
+    match run_iso(ds, &batch, EngineConfig::full(threads), config) {
+        Ok(report) => {
+            report.print();
+            Some(report)
+        }
+        Err(e) => {
+            eprintln!("isolation run failed: {e}");
+            None
+        }
+    }
+}
+
+/// The CI entry point behind `--quick` / `--serve` / `--maintain` / `--iso`:
+/// runs the selected suites over one shared set of generated datasets,
+/// writes the combined JSON artifact, and returns the process exit code.
 fn ci_mode(
     is_quick: bool,
     certify: bool,
+    is_maintain: bool,
     serve_config: Option<(&str, &ServeConfig)>,
+    iso_config: Option<(&str, &IsoConfig)>,
     json_path: Option<&str>,
 ) -> i32 {
     let sc = Scale::new(
@@ -747,64 +872,132 @@ fn ci_mode(
         (dataset, report)
     });
 
+    let maintenance = is_maintain.then(|| {
+        let maintain_records = maintain_bench(&datasets, threads);
+        let maintain_errors = maintain_records
+            .iter()
+            .filter(|r| r.error.is_some())
+            .count();
+        if maintain_errors > 0 {
+            eprintln!("{maintain_errors} maintenance dataset(s) errored");
+            code = 1;
+        }
+        maintain_records
+    });
+
+    let isolation = iso_config.map(|(dataset, config)| {
+        let report = iso_bench(&datasets, dataset, threads, config);
+        match &report {
+            Some(r) if r.ok() => {}
+            Some(r) => {
+                eprintln!(
+                    "isolation check failed: {} violation(s){}",
+                    r.violations.len(),
+                    r.writer_error
+                        .as_deref()
+                        .map(|e| format!(", writer error: {e}"))
+                        .unwrap_or_default()
+                );
+                code = 1;
+            }
+            None => code = 1,
+        }
+        (dataset, report)
+    });
+
     if let Some(path) = json_path {
         let serving_section = serving
             .as_ref()
             .and_then(|(ds, r)| r.as_ref().map(|r| (*ds, r)));
-        let doc = render_bench_json(&records, serving_section, sc, threads);
+        let iso_section = isolation
+            .as_ref()
+            .and_then(|(ds, r)| r.as_ref().map(|r| (*ds, r)));
+        let doc = render_bench_json(
+            &records,
+            serving_section,
+            maintenance.as_deref(),
+            iso_section,
+            sc,
+            threads,
+        );
         if let Err(e) = std::fs::write(path, &doc) {
             eprintln!("failed to write {path}: {e}");
             return 1;
         }
-        println!(
-            "wrote {path} ({} workloads{})",
-            records.len(),
-            if serving_section.is_some() {
-                " + serving"
-            } else {
-                ""
-            }
-        );
+        let mut extras = String::new();
+        if serving_section.is_some() {
+            extras.push_str(" + serving");
+        }
+        if maintenance.is_some() {
+            extras.push_str(" + maintenance");
+        }
+        if iso_section.is_some() {
+            extras.push_str(" + isolation");
+        }
+        println!("wrote {path} ({} workloads{extras})", records.len());
     }
     code
 }
 
-/// The `--maintain` mode: refresh latency of maintained batches versus full
-/// re-execution of the same prepared batch, on the RT workload of every
-/// dataset. Single-tuple deltas against the fact table, median of several
-/// refreshes. Returns a process exit code.
-fn maintain_mode() -> i32 {
-    use lmfao_datagen::{fact_relation, update_stream, UpdateMix};
+/// One dataset's maintenance measurements: full re-execution versus
+/// single-delta refresh, and the transactional write path versus applying
+/// the same deltas one relation at a time.
+struct MaintainRecord {
+    dataset: String,
+    /// Median full-execution wall-clock of the prepared RT batch.
+    full_exec_secs: f64,
+    /// Median single-delta refresh (fact-table stream, one-op deltas).
+    refresh_secs: f64,
+    /// Median one-walk commit of a multi-relation transaction.
+    txn_commit_secs: f64,
+    /// Median of committing the same transaction's deltas sequentially,
+    /// one relation at a time (sum of the per-delta commits).
+    sequential_secs: f64,
+    /// `sequential_secs / txn_commit_secs` — the one-DAG-walk payoff.
+    txn_speedup: f64,
+    /// Relations each measured transaction spans.
+    txn_relations: usize,
+    error: Option<String>,
+}
+
+/// The `--maintain` suite: refresh latency of maintained batches versus
+/// full re-execution, plus the transactional write path versus sequential
+/// per-relation application, on the RT workload of every dataset. Medians
+/// over several reproducible updates.
+fn maintain_bench(datasets: &[Dataset], threads: usize) -> Vec<MaintainRecord> {
+    use lmfao_datagen::{
+        fact_relation, transaction_stream, txn_relations, update_stream, UpdateMix,
+    };
     const REFRESHES: usize = 9;
-    let sc = Scale::new(
-        std::env::var("LMFAO_SCALE")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(20_000),
-        42,
-    );
-    let threads = threads();
+    const TXNS: usize = 9;
     println!(
-        "LMFAO maintenance — scale {} fact tuples, {threads} threads, {REFRESHES} refreshes/dataset",
-        sc.fact_rows
+        "\nLMFAO maintenance — RT batch, {REFRESHES} refreshes + {TXNS} transactions per dataset"
     );
-    let (datasets, gen_time) = time(|| all_datasets(sc));
-    println!("generated 4 datasets in {gen_time:.2}s");
     println!(
-        "\n{:<10} {:>14} {:>14} {:>10} {:>10}",
-        "Dataset", "full exec", "refresh", "speedup", "views Δ"
+        "{:<10} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9}",
+        "Dataset", "full exec", "refresh", "speedup", "txn commit", "sequential", "txn spdup"
     );
     let dynamics = DynamicRegistry::new();
-    let mut failures = 0;
-    for ds in &datasets {
+    let mut records = Vec::new();
+    for ds in datasets {
         let spec = WorkloadSpec::for_dataset(&ds.name);
         let batch = spec.rt_node_batch(ds);
         let engine = engine_for(ds, EngineConfig::full(threads));
+        let fail = |msg: String| MaintainRecord {
+            dataset: ds.name.clone(),
+            full_exec_secs: f64::NAN,
+            refresh_secs: f64::NAN,
+            txn_commit_secs: f64::NAN,
+            sequential_secs: f64::NAN,
+            txn_speedup: f64::NAN,
+            txn_relations: 0,
+            error: Some(msg),
+        };
         let prepared = match engine.prepare(&batch) {
             Ok(p) => p,
             Err(e) => {
                 println!("{:<10} ERROR: {e}", ds.name);
-                failures += 1;
+                records.push(fail(e.to_string()));
                 continue;
             }
         };
@@ -817,57 +1010,114 @@ fn maintain_mode() -> i32 {
         exec_times.sort_by(f64::total_cmp);
         let full = exec_times[exec_times.len() / 2];
 
-        // Single-tuple refresh median over a reproducible update stream.
-        let mut maintained = match prepared.into_maintained(&dynamics) {
+        // Two identical maintained states: one commits whole transactions,
+        // the other applies the same deltas one relation at a time, so the
+        // comparison is one DAG walk versus several over identical data.
+        let mut txn_side = match prepared.into_maintained(&dynamics) {
             Ok(m) => m,
             Err(e) => {
                 println!("{:<10} ERROR: {e}", ds.name);
-                failures += 1;
+                records.push(fail(e.to_string()));
                 continue;
             }
         };
+        let mut seq_side = match engine
+            .prepare(&batch)
+            .and_then(|p| p.into_maintained(&dynamics))
+        {
+            Ok(m) => m,
+            Err(e) => {
+                println!("{:<10} ERROR: {e}", ds.name);
+                records.push(fail(e.to_string()));
+                continue;
+            }
+        };
+
+        // Single-delta refresh median over a reproducible fact-table stream.
         let fact = fact_relation(&ds.name);
         let stream = update_stream(ds, fact, &UpdateMix::balanced(REFRESHES));
         let mut refresh_times = Vec::new();
-        let mut views_changed = 0;
         for delta in &stream {
-            let (stats, secs) = time(|| maintained.apply(delta, &dynamics).unwrap());
-            views_changed = stats.views_changed;
+            let (_, secs) = time(|| txn_side.commit(delta, &dynamics).unwrap());
+            seq_side.commit(delta, &dynamics).unwrap();
             refresh_times.push(secs);
         }
         refresh_times.sort_by(f64::total_cmp);
         let refresh = refresh_times[refresh_times.len() / 2];
+
+        // Transactional write path: multi-relation transactions committed in
+        // one walk versus their deltas applied relation by relation.
+        let relations = txn_relations(&ds.name);
+        let txns: Vec<_> = transaction_stream(ds, &relations, &UpdateMix::balanced(TXNS).seed(7))
+            .into_iter()
+            .filter(|t| t.num_relations() == relations.len())
+            .take(TXNS)
+            .collect();
+        let mut txn_times = Vec::new();
+        let mut seq_times = Vec::new();
+        for txn in &txns {
+            let (_, txn_secs) = time(|| txn_side.commit(txn.clone(), &dynamics).unwrap());
+            let (_, seq_secs) = time(|| {
+                for delta in txn.deltas() {
+                    seq_side.commit(delta, &dynamics).unwrap();
+                }
+            });
+            txn_times.push(txn_secs);
+            seq_times.push(seq_secs);
+        }
+        txn_times.sort_by(f64::total_cmp);
+        seq_times.sort_by(f64::total_cmp);
+        let (txn_commit, sequential) = match txns.is_empty() {
+            true => (f64::NAN, f64::NAN),
+            false => (
+                txn_times[txn_times.len() / 2],
+                seq_times[seq_times.len() / 2],
+            ),
+        };
+        let txn_speedup = sequential / txn_commit.max(1e-9);
         println!(
-            "{:<10} {:>12.4}s {:>12.6}s {:>9.1}x {:>10}",
+            "{:<10} {:>10.4}s {:>10.6}s {:>8.1}x {:>10.6}s {:>10.6}s {:>8.2}x",
             ds.name,
             full,
             refresh,
             full / refresh.max(1e-9),
-            views_changed
+            txn_commit,
+            sequential,
+            txn_speedup
         );
+        records.push(MaintainRecord {
+            dataset: ds.name.clone(),
+            full_exec_secs: full,
+            refresh_secs: refresh,
+            txn_commit_secs: txn_commit,
+            sequential_secs: sequential,
+            txn_speedup,
+            txn_relations: relations.len(),
+            error: None,
+        });
     }
-    if failures > 0 {
-        1
-    } else {
-        0
-    }
+    records
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
     // Flag parsing: `--quick` selects the CI smoke suite; `--serve` the
-    // concurrent-serving benchmark (they combine); `--certify` adds the
-    // independent certificate check to every `--quick` workload;
-    // `--maintain` the refresh-latency suite; `--json [path]` writes the
-    // machine-readable artifact (default BENCH_ci.json); `--threads N`
-    // overrides the worker count (recorded in the JSON).
+    // concurrent-serving benchmark; `--maintain` the maintenance suite
+    // (refresh latency plus the transactional write path); `--iso` the
+    // isolation stress harness — all four combine into one artifact.
+    // `--certify` adds the independent certificate check to every `--quick`
+    // workload; `--json [path]` writes the machine-readable artifact
+    // (default BENCH_ci.json); `--threads N` overrides the worker count
+    // (recorded in the JSON).
     let mut positional: Vec<&str> = Vec::new();
     let mut is_quick = false;
     let mut is_certify = false;
     let mut is_maintain = false;
     let mut is_serve = false;
+    let mut is_iso = false;
     let mut serve_config = ServeConfig::default();
+    let mut iso_config = IsoConfig::default();
     let mut serve_dataset = "Retailer".to_string();
     let mut json_path: Option<String> = None;
     let mut i = 0;
@@ -877,12 +1127,18 @@ fn main() {
             "--certify" => is_certify = true,
             "--maintain" => is_maintain = true,
             "--serve" => is_serve = true,
+            "--iso" => is_iso = true,
             "--readers" => {
                 serve_config.readers = parse_flag_value(&args, i, "--readers");
+                iso_config.readers = serve_config.readers;
                 i += 1;
             }
             "--serve-secs" => {
                 serve_config.duration_secs = parse_flag_value(&args, i, "--serve-secs");
+                i += 1;
+            }
+            "--iso-secs" => {
+                iso_config.duration_secs = parse_flag_value(&args, i, "--iso-secs");
                 i += 1;
             }
             "--updates-per-sec" => {
@@ -918,12 +1174,17 @@ fn main() {
         }
         i += 1;
     }
-    if is_quick || is_serve {
+    if is_quick || is_serve || is_maintain || is_iso {
         let serving = is_serve.then_some((serve_dataset.as_str(), &serve_config));
-        std::process::exit(ci_mode(is_quick, is_certify, serving, json_path.as_deref()));
-    }
-    if is_maintain {
-        std::process::exit(maintain_mode());
+        let iso = is_iso.then_some((serve_dataset.as_str(), &iso_config));
+        std::process::exit(ci_mode(
+            is_quick,
+            is_certify,
+            is_maintain,
+            serving,
+            iso,
+            json_path.as_deref(),
+        ));
     }
 
     let what = positional.first().copied().unwrap_or("all");

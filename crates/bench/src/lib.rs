@@ -9,12 +9,17 @@
 //! * the `serve` binary and the [`serve`] module run the concurrent-serving
 //!   benchmark: reader threads answering query lookups from epoch-published
 //!   snapshots while a writer applies updates
-//!   (`cargo run --release -p lmfao-bench --bin serve`).
+//!   (`cargo run --release -p lmfao-bench --bin serve`),
+//! * the [`iso`] module runs the isolation stress harness: the same
+//!   reader/writer shape, but recording a black-box read/commit history that
+//!   the snapshot-isolation checker validates
+//!   (`cargo run --release -p lmfao-bench --bin experiments -- iso`).
 //!
 //! The workload builders in this crate are shared between all of them.
 
 #![warn(missing_docs)]
 
+pub mod iso;
 pub mod serve;
 
 use lmfao_core::{Engine, EngineConfig, SharedDatabase};

@@ -3,9 +3,9 @@
 //!
 //! [`run_serve`] builds a [`lmfao_core::Maintainer`] over a workload batch,
 //! then runs `readers` threads against its [`lmfao_core::SnapshotHandle`] for
-//! a fixed wall-clock window while a single writer thread applies
-//! [`lmfao_data::TableDelta`]s from [`lmfao_datagen::update_stream`] paced at
-//! a target updates/second. Readers never block on a refresh: each read is
+//! a fixed wall-clock window while a single writer thread commits
+//! [`lmfao_data::TableDelta`]s from [`lmfao_datagen::update_stream`] (each a
+//! single-delta transaction) paced at a target updates/second. Readers never block on a refresh: each read is
 //! `handle.load()` (pin the current generation) followed by a query lookup on
 //! the pinned, immutable snapshot.
 //!
@@ -119,7 +119,7 @@ pub struct ServeReport {
     pub certificate_failures: usize,
     /// Wall-clock seconds the checker spent auditing certificate chains.
     pub certify_secs: f64,
-    /// A writer-side failure (an `apply` that errored), if any.
+    /// A writer-side failure (a `commit` that errored), if any.
     pub writer_error: Option<String>,
 }
 
@@ -346,8 +346,8 @@ pub fn run_serve(
     let interval = Duration::from_secs_f64(1.0 / config.updates_per_sec.max(1e-6));
 
     // The certificate chain: index g holds generation g's certificate. The
-    // writer is the only thread that extends it (one entry per apply), so by
-    // join time every published generation has its certificate on file.
+    // writer is the only thread that extends it (one entry per commit), so
+    // by join time every published generation has its certificate on file.
     let genesis = Arc::clone(handle.load().certificate());
 
     let started = Instant::now();
@@ -419,7 +419,7 @@ pub fn run_serve(
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    if let Err(e) = maintainer.apply(delta, dynamics) {
+                    if let Err(e) = maintainer.commit(delta, dynamics) {
                         error = Some(e.to_string());
                         break;
                     }

@@ -8,9 +8,10 @@
 //! - **Execution totals** — each query's published totals equal the producing
 //!   view's totals at the query's aggregate indices, and its row count equals
 //!   the view's.
-//! - **Delta accounting** — relation cardinality moves by exactly
-//!   `inserted - deleted`; every view's `totals_after == totals_before + net`;
-//!   seed views additionally satisfy `net == inserted - deleted`.
+//! - **Delta accounting** — every relation the transaction touched moves in
+//!   cardinality by exactly `inserted - deleted`; every view's
+//!   `totals_after == totals_before + net`; seed views additionally satisfy
+//!   `net == inserted - deleted + propagated`.
 //! - **Chain linkage** — generations increase by one, each `parent_hash`
 //!   matches the FNV-1a fingerprint of the predecessor's canonical JSON, and
 //!   each step's `totals_before` equals the state the checker has tracked
@@ -113,7 +114,7 @@ pub enum CertError {
         /// Claimed `totals_after` at that index.
         after: i128,
     },
-    /// A seed view's `net` is not `inserted - deleted`.
+    /// A seed view's `net` is not `inserted - deleted + propagated`.
     SignedNetMismatch {
         /// The view in violation.
         view: u32,
@@ -123,6 +124,8 @@ pub enum CertError {
         inserted: i128,
         /// Delete-partition contribution.
         deleted: i128,
+        /// Propagated contribution (0 when the account carries none).
+        propagated: i128,
         /// Claimed net.
         net: i128,
     },
@@ -178,19 +181,28 @@ impl fmt::Display for CertError {
                 write!(f, "view {view} produced by more than one group")
             }
             CertError::MissingIncomingView { group, view } => {
-                write!(f, "group {group} consumes view {view} before any group produced it")
+                write!(
+                    f,
+                    "group {group} consumes view {view} before any group produced it"
+                )
             }
             CertError::UnknownQueryView { query, view } => {
                 write!(f, "query '{query}' references unaccounted view {view}")
             }
             CertError::AggregateIndexOutOfBounds { query, index, len } => {
-                write!(f, "query '{query}' selects aggregate {index} of a view with {len}")
+                write!(
+                    f,
+                    "query '{query}' selects aggregate {index} of a view with {len}"
+                )
             }
             CertError::QueryRowMismatch {
                 query,
                 expected,
                 found,
-            } => write!(f, "query '{query}' publishes {found} rows, view holds {expected}"),
+            } => write!(
+                f,
+                "query '{query}' publishes {found} rows, view holds {expected}"
+            ),
             CertError::QueryTotalMismatch {
                 query,
                 index,
@@ -225,10 +237,12 @@ impl fmt::Display for CertError {
                 index,
                 inserted,
                 deleted,
+                propagated,
                 net,
             } => write!(
                 f,
-                "view {view} aggregate {index}: net {net} != inserted {inserted} - deleted {deleted}"
+                "view {view} aggregate {index}: net {net} != inserted {inserted} - \
+                 deleted {deleted} + propagated {propagated}"
             ),
             CertError::LengthMismatch { view } => {
                 write!(f, "view {view}: accounting vectors disagree in length")
@@ -245,10 +259,16 @@ impl fmt::Display for CertError {
                 "generation {generation}: parent hash {found:#018x} != fingerprint {expected:#018x}"
             ),
             CertError::ChainRootNotExecute => {
-                write!(f, "certificate chain does not begin with an execute certificate")
+                write!(
+                    f,
+                    "certificate chain does not begin with an execute certificate"
+                )
             }
             CertError::ExecuteMidChain { generation } => {
-                write!(f, "execute certificate at generation {generation} mid-chain")
+                write!(
+                    f,
+                    "execute certificate at generation {generation} mid-chain"
+                )
             }
             CertError::ChainContinuityMismatch { generation, view } => write!(
                 f,
@@ -330,18 +350,20 @@ fn check_maintenance(cert: &MaintenanceCertificate) -> Result<(), CertError> {
             generation: cert.generation,
         });
     }
-    let expected_rows = cert
-        .relation_rows_before
-        .checked_add(cert.rows_inserted)
-        .and_then(|n| n.checked_sub(cert.rows_deleted));
-    if expected_rows != Some(cert.relation_rows_after) {
-        return Err(CertError::RowAccountingMismatch {
-            relation: cert.relation.clone(),
-            before: cert.relation_rows_before,
-            inserted: cert.rows_inserted,
-            deleted: cert.rows_deleted,
-            after: cert.relation_rows_after,
-        });
+    for rel in &cert.relations {
+        let expected_rows = rel
+            .rows_before
+            .checked_add(rel.rows_inserted)
+            .and_then(|n| n.checked_sub(rel.rows_deleted));
+        if expected_rows != Some(rel.rows_after) {
+            return Err(CertError::RowAccountingMismatch {
+                relation: rel.relation.clone(),
+                before: rel.rows_before,
+                inserted: rel.rows_inserted,
+                deleted: rel.rows_deleted,
+                after: rel.rows_after,
+            });
+        }
     }
     for account in &cert.views {
         let n = account.net.len();
@@ -353,19 +375,26 @@ fn check_maintenance(cert: &MaintenanceCertificate) -> Result<(), CertError> {
                 if ins.len() != n || del.len() != n {
                     return Err(CertError::LengthMismatch { view: account.view });
                 }
+                if account.propagated.as_ref().is_some_and(|p| p.len() != n) {
+                    return Err(CertError::LengthMismatch { view: account.view });
+                }
                 for i in 0..n {
-                    if ins[i] - del[i] != account.net[i] {
+                    let prop = account.propagated.as_ref().map_or(0, |p| p[i]);
+                    if ins[i] - del[i] + prop != account.net[i] {
                         return Err(CertError::SignedNetMismatch {
                             view: account.view,
                             index: i,
                             inserted: ins[i],
                             deleted: del[i],
+                            propagated: prop,
                             net: account.net[i],
                         });
                     }
                 }
             }
-            (None, None) => {}
+            // A propagated split without the seed split is not a shape the
+            // engine emits; reject rather than ignore.
+            (None, None) if account.propagated.is_none() => {}
             _ => return Err(CertError::LengthMismatch { view: account.view }),
         }
         for i in 0..n {

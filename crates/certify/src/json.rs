@@ -15,7 +15,7 @@
 use crate::check::CertError;
 use crate::schema::{
     Certificate, ExecuteCertificate, GroupProvenance, MaintenanceCertificate, QueryTotals,
-    ViewDeltaAccount, ViewProvenance,
+    RelationDeltaAccount, ViewDeltaAccount, ViewProvenance,
 };
 
 // ---------------------------------------------------------------------------
@@ -73,21 +73,20 @@ fn write_maintenance(out: &mut String, c: &MaintenanceCertificate) {
     out.push_str(&c.version.to_string());
     out.push_str(",\"generation\":");
     out.push_str(&c.generation.to_string());
+    out.push_str(",\"txn\":");
+    out.push_str(&c.txn.to_string());
     out.push_str(",\"parent_generation\":");
     out.push_str(&c.parent_generation.to_string());
     out.push_str(",\"parent_hash\":\"");
     out.push_str(&c.parent_hash.to_string());
-    out.push_str("\",\"relation\":");
-    write_str(out, &c.relation);
-    out.push_str(",\"rows_inserted\":");
-    out.push_str(&c.rows_inserted.to_string());
-    out.push_str(",\"rows_deleted\":");
-    out.push_str(&c.rows_deleted.to_string());
-    out.push_str(",\"relation_rows_before\":");
-    out.push_str(&c.relation_rows_before.to_string());
-    out.push_str(",\"relation_rows_after\":");
-    out.push_str(&c.relation_rows_after.to_string());
-    out.push_str(",\"views\":[");
+    out.push_str("\",\"relations\":[");
+    for (i, r) in c.relations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_relation_account(out, r);
+    }
+    out.push_str("],\"views\":[");
     for (i, v) in c.views.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -129,6 +128,20 @@ fn write_group(out: &mut String, g: &GroupProvenance) {
     out.push_str("]}");
 }
 
+fn write_relation_account(out: &mut String, r: &RelationDeltaAccount) {
+    out.push_str("{\"relation\":");
+    write_str(out, &r.relation);
+    out.push_str(",\"rows_inserted\":");
+    out.push_str(&r.rows_inserted.to_string());
+    out.push_str(",\"rows_deleted\":");
+    out.push_str(&r.rows_deleted.to_string());
+    out.push_str(",\"rows_before\":");
+    out.push_str(&r.rows_before.to_string());
+    out.push_str(",\"rows_after\":");
+    out.push_str(&r.rows_after.to_string());
+    out.push('}');
+}
+
 fn write_account(out: &mut String, v: &ViewDeltaAccount) {
     out.push_str("{\"view\":");
     out.push_str(&v.view.to_string());
@@ -140,6 +153,8 @@ fn write_account(out: &mut String, v: &ViewDeltaAccount) {
     write_opt_i128s(out, &v.inserted);
     out.push_str(",\"deleted\":");
     write_opt_i128s(out, &v.deleted);
+    out.push_str(",\"propagated\":");
+    write_opt_i128s(out, &v.propagated);
     out.push_str(",\"net\":");
     write_i128s(out, &v.net);
     out.push_str(",\"totals_before\":");
@@ -573,16 +588,13 @@ fn certificate_from_json(value: &Json) -> Result<Certificate, CertError> {
             let cert = MaintenanceCertificate {
                 version: as_u32(f.take("version")?, "version")?,
                 generation: as_u64(f.take("generation")?, "generation")?,
+                txn: as_u64(f.take("txn")?, "txn")?,
                 parent_generation: as_u64(f.take("parent_generation")?, "parent_generation")?,
                 parent_hash: as_quoted_u64(f.take("parent_hash")?, "parent_hash")?,
-                relation: as_str(f.take("relation")?, "relation")?,
-                rows_inserted: as_u64(f.take("rows_inserted")?, "rows_inserted")?,
-                rows_deleted: as_u64(f.take("rows_deleted")?, "rows_deleted")?,
-                relation_rows_before: as_u64(
-                    f.take("relation_rows_before")?,
-                    "relation_rows_before",
-                )?,
-                relation_rows_after: as_u64(f.take("relation_rows_after")?, "relation_rows_after")?,
+                relations: as_arr(f.take("relations")?, "relations")?
+                    .iter()
+                    .map(relation_account_from_json)
+                    .collect::<Result<_, _>>()?,
                 views: as_arr(f.take("views")?, "views")?
                     .iter()
                     .map(account_from_json)
@@ -626,6 +638,19 @@ fn output_from_json(value: &Json) -> Result<ViewProvenance, CertError> {
     Ok(out)
 }
 
+fn relation_account_from_json(value: &Json) -> Result<RelationDeltaAccount, CertError> {
+    let mut f = Fields::new(value)?;
+    let account = RelationDeltaAccount {
+        relation: as_str(f.take("relation")?, "relation")?,
+        rows_inserted: as_u64(f.take("rows_inserted")?, "rows_inserted")?,
+        rows_deleted: as_u64(f.take("rows_deleted")?, "rows_deleted")?,
+        rows_before: as_u64(f.take("rows_before")?, "rows_before")?,
+        rows_after: as_u64(f.take("rows_after")?, "rows_after")?,
+    };
+    f.finish()?;
+    Ok(account)
+}
+
 fn account_from_json(value: &Json) -> Result<ViewDeltaAccount, CertError> {
     let mut f = Fields::new(value)?;
     let account = ViewDeltaAccount {
@@ -634,6 +659,7 @@ fn account_from_json(value: &Json) -> Result<ViewDeltaAccount, CertError> {
         rows_after: as_u64(f.take("rows_after")?, "rows_after")?,
         inserted: opt_i128_vec(f.take("inserted")?, "inserted")?,
         deleted: opt_i128_vec(f.take("deleted")?, "deleted")?,
+        propagated: opt_i128_vec(f.take("propagated")?, "propagated")?,
         net: i128_vec(f.take("net")?, "net")?,
         totals_before: i128_vec(f.take("totals_before")?, "totals_before")?,
         totals_after: i128_vec(f.take("totals_after")?, "totals_after")?,

@@ -53,7 +53,7 @@ pub use check::{check_certificate, check_chain, CertError, ChainSummary};
 pub use json::{fingerprint, fnv1a64, parse_certificate, to_json};
 pub use schema::{
     Certificate, ExecuteCertificate, GroupProvenance, MaintenanceCertificate, QueryTotals,
-    ViewDeltaAccount, ViewProvenance, CERTIFICATE_VERSION,
+    RelationDeltaAccount, ViewDeltaAccount, ViewProvenance, CERTIFICATE_VERSION,
 };
 
 #[cfg(test)]
@@ -102,29 +102,42 @@ mod tests {
         Certificate::Maintenance(MaintenanceCertificate {
             version: CERTIFICATE_VERSION,
             generation: 1,
+            txn: 1,
             parent_generation: 0,
             parent_hash: fingerprint(parent),
-            relation: "Sales".into(),
-            rows_inserted: 3,
-            rows_deleted: 1,
-            relation_rows_before: 1000,
-            relation_rows_after: 1002,
+            relations: vec![
+                RelationDeltaAccount {
+                    relation: "Sales".into(),
+                    rows_inserted: 3,
+                    rows_deleted: 1,
+                    rows_before: 1000,
+                    rows_after: 1002,
+                },
+                RelationDeltaAccount {
+                    relation: "Items".into(),
+                    rows_inserted: 0,
+                    rows_deleted: 0,
+                    rows_before: 100,
+                    rows_after: 100,
+                },
+            ],
             views: vec![ViewDeltaAccount {
                 view: 0,
                 rows_before: 4,
                 rows_after: 5,
                 inserted: Some(vec![5 << 32]),
                 deleted: Some(vec![2 << 32]),
-                net: vec![3 << 32],
+                propagated: Some(vec![1 << 32]),
+                net: vec![4 << 32],
                 totals_before: vec![42 << 32],
-                totals_after: vec![45 << 32],
+                totals_after: vec![46 << 32],
             }],
             queries: vec![QueryTotals {
                 name: "count".into(),
                 view: 0,
                 rows: 5,
                 aggregate_indices: vec![0],
-                totals: vec![45 << 32],
+                totals: vec![46 << 32],
             }],
         })
     }

@@ -21,7 +21,14 @@
 //! versions it does not understand rather than guessing.
 
 /// Current certificate schema version. Bump on any incompatible change.
-pub const CERTIFICATE_VERSION: u32 = 1;
+///
+/// Version history:
+/// - 1: per-relation maintenance certificates (one delta, one relation).
+/// - 2: per-*transaction* maintenance certificates — a `txn` identifier,
+///   a list of [`RelationDeltaAccount`]s (one per relation the transaction
+///   touched), and an optional `propagated` split on view accounts whose net
+///   mixes seed and propagation contributions.
+pub const CERTIFICATE_VERSION: u32 = 2;
 
 /// Aggregate totals of one view produced by a group: row count plus the
 /// fixed-point-encoded column sums of every aggregate the view carries.
@@ -84,10 +91,12 @@ pub struct ExecuteCertificate {
 ///
 /// The central identity is `totals_after == totals_before + net`, checked
 /// element-wise in exact integer arithmetic. For *seed* views (those scanning
-/// the delta's relation directly) the engine additionally splits the net into
-/// insert-partition and delete-partition contributions, and the checker
-/// verifies `net == inserted - deleted`. Propagated views receive one signed
-/// overlay scan, so only their net is observable.
+/// a changed relation's delta partitions directly) the engine additionally
+/// splits the net into insert-partition and delete-partition contributions —
+/// plus, when the view also received propagated changes from upstream views
+/// in the same transaction, a `propagated` component — and the checker
+/// verifies `net == inserted - deleted + propagated`. Purely propagated views
+/// receive signed overlay scans only, so just their net is observable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ViewDeltaAccount {
     /// View identifier.
@@ -102,6 +111,10 @@ pub struct ViewDeltaAccount {
     /// Encoded totals contributed by the delta's delete partition
     /// (seed views only).
     pub deleted: Option<Vec<i128>>,
+    /// Encoded totals contributed by propagation from upstream views, for
+    /// views that are both seeded and propagated in one transaction. `None`
+    /// means zero; only meaningful alongside `inserted`/`deleted`.
+    pub propagated: Option<Vec<i128>>,
     /// Encoded net change per aggregate.
     pub net: Vec<i128>,
     /// Ledger totals before the delta (must match the chain's tracked state).
@@ -110,30 +123,46 @@ pub struct ViewDeltaAccount {
     pub totals_after: Vec<i128>,
 }
 
-/// Certificate of one incremental delta application.
+/// Cardinality accounting for one relation changed by a transaction.
+///
+/// The checker verifies `rows_before + rows_inserted - rows_deleted ==
+/// rows_after` in checked integer arithmetic, per relation.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MaintenanceCertificate {
-    /// Schema version ([`CERTIFICATE_VERSION`]).
-    pub version: u32,
-    /// Generation this apply published.
-    pub generation: u64,
-    /// Generation of the predecessor snapshot (`generation - 1`).
-    pub parent_generation: u64,
-    /// FNV-1a 64-bit fingerprint of the parent certificate's canonical JSON.
-    pub parent_hash: u64,
-    /// Relation the delta targeted.
+pub struct RelationDeltaAccount {
+    /// Relation the transaction's delta targeted.
     pub relation: String,
     /// Tuples in the delta's insert partition.
     pub rows_inserted: u64,
     /// Tuples in the delta's delete partition.
     pub rows_deleted: u64,
-    /// Relation cardinality before the delta.
-    pub relation_rows_before: u64,
-    /// Relation cardinality after the delta.
-    pub relation_rows_after: u64,
+    /// Relation cardinality before the transaction.
+    pub rows_before: u64,
+    /// Relation cardinality after the transaction.
+    pub rows_after: u64,
+}
+
+/// Certificate of one committed transaction (incremental maintenance step).
+///
+/// One certificate witnesses one atomic multi-relation transaction: all the
+/// relation deltas it applied, all the views it changed, and the single
+/// generation it published.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintenanceCertificate {
+    /// Schema version ([`CERTIFICATE_VERSION`]).
+    pub version: u32,
+    /// Generation this commit published.
+    pub generation: u64,
+    /// Engine-assigned transaction identifier (1-based, one per commit).
+    pub txn: u64,
+    /// Generation of the predecessor snapshot (`generation - 1`).
+    pub parent_generation: u64,
+    /// FNV-1a 64-bit fingerprint of the parent certificate's canonical JSON.
+    pub parent_hash: u64,
+    /// Cardinality accounting per relation the transaction changed.
+    pub relations: Vec<RelationDeltaAccount>,
     /// Accounting for every view whose state changed.
     pub views: Vec<ViewDeltaAccount>,
-    /// Published per-query totals after the apply (from the engine's ledger;
+    /// Published per-query totals after the commit (from the engine's ledger;
     /// the chain checker verifies them against its own tracked state).
     pub queries: Vec<QueryTotals>,
 }

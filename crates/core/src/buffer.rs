@@ -1,0 +1,217 @@
+//! A coalescing write buffer in front of the transactional commit path.
+//!
+//! High-rate update streams are full of churn: a row inserted and deleted
+//! within the same batching window contributes nothing to any view, yet a
+//! naive writer pays a full commit — scans, certificate, generation — for
+//! both halves. A [`DeltaBuffer`] absorbs that churn *before* the engine
+//! sees it: deltas accumulate into one pending [`Transaction`], cancelling
+//! insert/delete pairs annihilate at flush time
+//! ([`Transaction::coalesce`]), and the survivors commit as a single
+//! multi-relation transaction — one DAG walk, one published generation.
+//! A stream that fully cancels publishes **no** generation at all.
+//!
+//! Flushing is driven by two thresholds so the buffer bounds both work and
+//! staleness: a *size* threshold (pending delta rows) caps how much a
+//! single commit has to chew through, and a *latency* threshold (age of the
+//! oldest buffered row) caps how long readers can lag the stream. The
+//! buffer never flushes by itself — it has no thread and takes no locks;
+//! the owner polls [`DeltaBuffer::should_flush`] (or calls
+//! [`DeltaBuffer::flush`] directly, e.g. on shutdown) and commits the
+//! returned transaction:
+//!
+//! ```
+//! use lmfao_core::buffer::DeltaBuffer;
+//! use std::time::Duration;
+//!
+//! let mut buffer = DeltaBuffer::new(1024, Duration::from_millis(50));
+//! # let deltas: Vec<lmfao_data::TableDelta> = vec![];
+//! for delta in deltas {
+//!     buffer.push(delta);
+//!     if buffer.should_flush() {
+//!         if let Some(_txn) = buffer.flush() {
+//!             // maintainer.commit(_txn, &dynamics)?;
+//!         }
+//!     }
+//! }
+//! ```
+
+use lmfao_data::{TableDelta, Transaction};
+use std::time::{Duration, Instant};
+
+/// A size- and latency-bounded buffer that coalesces [`TableDelta`]s into
+/// multi-relation [`Transaction`]s. See the [module docs](self).
+#[derive(Debug)]
+pub struct DeltaBuffer {
+    pending: Transaction,
+    max_ops: usize,
+    max_age: Duration,
+    /// When the oldest still-buffered row arrived; `None` while empty.
+    opened: Option<Instant>,
+}
+
+impl DeltaBuffer {
+    /// A buffer that asks to flush once `max_ops` delta rows are pending or
+    /// the oldest pending row is `max_age` old, whichever comes first.
+    ///
+    /// `max_ops == 0` or `max_age == Duration::ZERO` make every non-empty
+    /// buffer immediately flushable — useful to keep the commit cadence of
+    /// an unbuffered writer while still absorbing same-delta churn.
+    pub fn new(max_ops: usize, max_age: Duration) -> Self {
+        DeltaBuffer {
+            pending: Transaction::new(),
+            max_ops,
+            max_age,
+            opened: None,
+        }
+    }
+
+    /// Adds a delta to the pending transaction, merging it with any delta
+    /// already buffered for the same relation. Ordered churn is resolved at
+    /// flush time, so a push never fails: an insert cancelling a buffered
+    /// delete (or vice versa) is legal here even though committing the pair
+    /// directly would be [`crate::EngineError::ConflictingDelta`].
+    pub fn push(&mut self, delta: TableDelta) {
+        if delta.is_empty() {
+            return;
+        }
+        self.opened.get_or_insert_with(Instant::now);
+        self.pending
+            .push(delta)
+            .expect("buffered deltas agree on their relation's schema");
+    }
+
+    /// Whether a threshold has been crossed: `true` once `max_ops` rows are
+    /// pending or the oldest pending row is `max_age` old. An empty buffer
+    /// never asks to flush.
+    pub fn should_flush(&self) -> bool {
+        match self.opened {
+            None => false,
+            Some(opened) => self.pending.len() >= self.max_ops || opened.elapsed() >= self.max_age,
+        }
+    }
+
+    /// Drains the buffer, coalescing cancelling insert/delete pairs, and
+    /// returns the surviving transaction — or `None` when nothing survives
+    /// (empty buffer, or a stream that fully cancelled), in which case there
+    /// is nothing to commit and no generation should be published.
+    pub fn flush(&mut self) -> Option<Transaction> {
+        self.opened = None;
+        let txn = std::mem::take(&mut self.pending).coalesce();
+        (!txn.is_empty()).then_some(txn)
+    }
+
+    /// Pending delta rows (inserts + deletes), before coalescing.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Distinct relations with pending deltas.
+    pub fn num_relations(&self) -> usize {
+        self.pending.num_relations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmfao_data::{AttrId, RelationSchema, Value};
+
+    fn delta(rows: &[(i64, f64, bool)]) -> TableDelta {
+        let schema = RelationSchema::new("Sales", vec![AttrId(0), AttrId(1)]);
+        let mut d = TableDelta::new(schema);
+        for &(a, b, insert) in rows {
+            let row = vec![Value::Int(a), Value::Double(b)];
+            if insert {
+                d.insert(&row).unwrap();
+            } else {
+                d.delete(&row).unwrap();
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn empty_buffer_never_flushes() {
+        let mut buffer = DeltaBuffer::new(0, Duration::ZERO);
+        assert!(buffer.is_empty());
+        assert!(
+            !buffer.should_flush(),
+            "both thresholds are moot when empty"
+        );
+        assert!(buffer.flush().is_none());
+    }
+
+    #[test]
+    fn size_threshold_triggers_flush() {
+        let mut buffer = DeltaBuffer::new(3, Duration::from_secs(3600));
+        buffer.push(delta(&[(1, 1.0, true)]));
+        assert!(!buffer.should_flush());
+        buffer.push(delta(&[(2, 2.0, true), (3, 3.0, true)]));
+        assert!(buffer.should_flush(), "3 rows pending >= max_ops 3");
+        let txn = buffer.flush().expect("rows survive");
+        assert_eq!(txn.len(), 3);
+        assert!(buffer.is_empty(), "flush drains");
+        assert!(!buffer.should_flush(), "the age clock reset");
+    }
+
+    #[test]
+    fn age_threshold_triggers_flush() {
+        let mut buffer = DeltaBuffer::new(usize::MAX, Duration::ZERO);
+        assert!(!buffer.should_flush());
+        buffer.push(delta(&[(1, 1.0, true)]));
+        assert!(
+            buffer.should_flush(),
+            "zero max_age: any pending row is old"
+        );
+    }
+
+    #[test]
+    fn fully_cancelling_stream_flushes_to_nothing() {
+        let mut buffer = DeltaBuffer::new(0, Duration::ZERO);
+        buffer.push(delta(&[(1, 1.0, true), (2, 2.0, true)]));
+        buffer.push(delta(&[(2, 2.0, false)]));
+        buffer.push(delta(&[(1, 1.0, false)]));
+        assert_eq!(buffer.len(), 4);
+        assert!(
+            buffer.flush().is_none(),
+            "every insert met its delete: nothing to commit"
+        );
+        assert!(buffer.is_empty());
+    }
+
+    #[test]
+    fn churn_coalesces_to_the_net_change() {
+        let mut buffer = DeltaBuffer::new(0, Duration::ZERO);
+        buffer.push(delta(&[(1, 1.0, true), (2, 2.0, true)]));
+        buffer.push(delta(&[(1, 1.0, false), (3, 3.0, true)]));
+        let txn = buffer.flush().expect("net change survives");
+        assert_eq!(txn.len(), 2, "insert+delete of row 1 annihilated");
+        let d = txn.delta_for("Sales").unwrap();
+        assert_eq!(d.num_inserts(), 2);
+        assert_eq!(d.num_deletes(), 0);
+    }
+
+    #[test]
+    fn pushes_merge_per_relation() {
+        let other = {
+            let schema = RelationSchema::new("Items", vec![AttrId(2), AttrId(3)]);
+            let mut d = TableDelta::new(schema);
+            d.insert(&[Value::Int(7), Value::Double(7.0)]).unwrap();
+            d
+        };
+        let mut buffer = DeltaBuffer::new(0, Duration::ZERO);
+        buffer.push(delta(&[(1, 1.0, true)]));
+        buffer.push(other);
+        buffer.push(delta(&[(2, 2.0, true)]));
+        assert_eq!(buffer.num_relations(), 2);
+        let txn = buffer.flush().unwrap();
+        assert_eq!(txn.num_relations(), 2);
+        assert_eq!(txn.delta_for("Sales").unwrap().len(), 2);
+        assert_eq!(txn.delta_for("Items").unwrap().len(), 1);
+    }
+}

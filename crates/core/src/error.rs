@@ -27,6 +27,20 @@ pub enum EngineError {
     /// serve user-supplied query names (the serving loop) get a typed error
     /// instead of a panic or a silent `None`.
     UnknownQuery(String),
+    /// `commit` was handed a transaction recording no change at all. A commit
+    /// always publishes a generation; an empty one would publish a phantom.
+    /// Coalesce buffered streams first (a fully cancelling stream flushes to
+    /// `None`, not to an empty transaction).
+    EmptyTransaction,
+    /// One transaction records both an insert and a delete of the same row.
+    /// A transaction is an unordered changeset, so the pair is ambiguous —
+    /// resolve it by stream order (`Transaction::coalesce`) before committing.
+    ConflictingDelta {
+        /// Relation whose delta contains the conflicting pair.
+        relation: String,
+        /// The conflicting row, debug-printed.
+        row: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -42,6 +56,16 @@ impl fmt::Display for EngineError {
             EngineError::Data(e) => write!(f, "data error: {e}"),
             EngineError::UnknownQuery(name) => {
                 write!(f, "no query named `{name}` in the batch")
+            }
+            EngineError::EmptyTransaction => {
+                write!(f, "cannot commit an empty transaction")
+            }
+            EngineError::ConflictingDelta { relation, row } => {
+                write!(
+                    f,
+                    "transaction both inserts and deletes row {row} of `{relation}`; \
+                     coalesce the stream before committing"
+                )
             }
         }
     }
@@ -77,6 +101,13 @@ mod tests {
         assert!(EngineError::UnknownQuery("rev".into())
             .to_string()
             .contains("rev"));
+        assert!(EngineError::EmptyTransaction.to_string().contains("empty"));
+        let conflict = EngineError::ConflictingDelta {
+            relation: "Sales".into(),
+            row: "[Int(3)]".into(),
+        };
+        assert!(conflict.to_string().contains("Sales"));
+        assert!(conflict.to_string().contains("[Int(3)]"));
         let e: EngineError = DataError::UnknownRelation("R".into()).into();
         assert!(matches!(e, EngineError::Data(_)));
         assert!(std::error::Error::source(&e).is_some());

@@ -21,13 +21,18 @@
 //! iteration weights) never pay for planning twice. When base relations
 //! receive updates, [`PreparedBatch::into_maintained`] promotes the batch to
 //! live materialized state ([`maintain`]): a [`MaintainedBatch`] retains
-//! every computed view and refreshes under signed
-//! [`lmfao_data::TableDelta`]s with work proportional to the delta, instead
-//! of recomputing. For concurrent serving, [`PreparedBatch::into_serving`]
-//! splits that state into an immutable, epoch-published [`ViewSnapshot`] and
-//! a [`Maintainer`] writer ([`snapshot`]): readers pin whatever generation
-//! they load through a [`SnapshotHandle`] and never block on a refresh.
-//! Planning and execution failures surface as typed [`EngineError`]s.
+//! every computed view and commits [`lmfao_data::Transaction`]s — atomic
+//! sets of signed [`lmfao_data::TableDelta`]s over one or more relations —
+//! in a single DAG walk each, with work proportional to the deltas instead
+//! of recomputing. A [`DeltaBuffer`] ([`buffer`]) coalesces churny update
+//! streams into such transactions. For concurrent serving,
+//! [`PreparedBatch::into_serving`] splits that state into an immutable,
+//! epoch-published [`ViewSnapshot`] and a [`Maintainer`] writer
+//! ([`snapshot`]): readers pin whatever generation they load through a
+//! [`SnapshotHandle`] and never block on a refresh — a contract the
+//! black-box snapshot-isolation checker ([`isocheck`]) validates from
+//! recorded read/commit histories. Planning and execution failures surface
+//! as typed [`EngineError`]s.
 //!
 //! Trust: [`PreparedBatch::execute_certified`] and every published
 //! [`ViewSnapshot`] emit versioned, integer/fixed-point *execution
@@ -39,12 +44,14 @@
 
 mod certificate;
 
+pub mod buffer;
 pub mod config;
 pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod group;
 pub mod interp;
+pub mod isocheck;
 pub mod maintain;
 pub mod parallel;
 pub mod plan;
@@ -55,9 +62,11 @@ pub mod shared;
 pub mod snapshot;
 pub mod view;
 
+pub use buffer::DeltaBuffer;
 pub use config::EngineConfig;
 pub use engine::{BatchResult, Engine, EngineStats, QueryResult};
 pub use error::EngineError;
+pub use isocheck::{check_history, snapshot_digest, CommitEvent, History, IsoViolation, ReadEvent};
 pub use maintain::{MaintainedBatch, RefreshStats};
 pub use prepared::PreparedBatch;
 pub use shared::SharedDatabase;

@@ -3,11 +3,12 @@
 //! A [`crate::prepared::PreparedBatch`] replays its plans against frozen
 //! data. [`MaintainedBatch`] goes one step further and turns the batch into
 //! *live materialized state*: every [`ComputedView`] of every group is
-//! retained, and when a base relation receives a signed
-//! [`TableDelta`] (inserts + deletes), [`MaintainedBatch::apply`] refreshes
-//! the state with work proportional to the delta — the dynamic-evaluation
-//! setting of Berkholz et al. ("Answering FO+MOD queries under updates")
-//! brought to LMFAO's view trees.
+//! retained, and when the base relations receive a [`Transaction`] — an
+//! atomic set of signed [`TableDelta`]s (inserts + deletes), one per touched
+//! relation — [`MaintainedBatch::commit`] refreshes the state with work
+//! proportional to the deltas — the dynamic-evaluation setting of Berkholz
+//! et al. ("Answering FO+MOD queries under updates") brought to LMFAO's view
+//! trees.
 //!
 //! The refresh exploits two structural properties of the engine:
 //!
@@ -27,22 +28,25 @@
 //!    so the existing all-zero pruning skips subtrees that do not probe into
 //!    the delta's keys).
 //!
-//! Propagation therefore walks the group-dependency DAG once, in topological
-//! order: groups scanning the changed relation re-scan only the delta
-//! partition; groups downstream re-scan with delta-overlaid probes and
-//! masked terms; every other group is untouched
-//! ([`crate::group::Grouping::transitive_dependents`]).
-//!
-//! A delta targets **one** base relation. To change several relations, apply
-//! one delta per relation in sequence — this keeps every term's inputs with
-//! at most one changed factor, which is what makes the single substitution
-//! pass exact.
+//! Propagation therefore walks the group-dependency DAG once per committed
+//! transaction, in topological order: groups scanning a changed relation
+//! re-scan only that relation's delta partitions; groups downstream re-scan
+//! with delta-overlaid probes and masked terms; every other group is
+//! untouched ([`crate::group::Grouping::transitive_dependents`]). A
+//! transaction touching several relations unions the refresh frontiers and
+//! still visits each group **once**: a group's change splits exactly into a
+//! seed contribution (its relation's delta against the old incoming views)
+//! plus a propagation contribution (the incoming-view deltas against the
+//! updated relation), and the rare term that multiplies two changed views
+//! together is handled by an exact telescoped substitution — see
+//! [`crate::snapshot`] for the algebra.
 //!
 //! Since the serving milestone the refresh machinery itself lives in
 //! [`crate::snapshot`]: a [`MaintainedBatch`] is a thin single-owner wrapper
-//! around a [`Maintainer`], which publishes every refreshed generation as an
-//! immutable [`crate::snapshot::ViewSnapshot`]. Use the wrapper when one
-//! owner both applies deltas and reads results; call
+//! around a [`Maintainer`], which publishes one refreshed generation per
+//! committed transaction as an immutable
+//! [`crate::snapshot::ViewSnapshot`]. Use the wrapper when one
+//! owner both commits transactions and reads results; call
 //! [`MaintainedBatch::snapshot`] / [`MaintainedBatch::handle`] (or unwrap
 //! with [`MaintainedBatch::into_serving`]) when readers on other threads
 //! should keep answering while deltas are applied.
@@ -60,31 +64,38 @@ use crate::error::EngineError;
 use crate::prepared::PreparedBatch;
 use crate::snapshot::{Maintainer, SnapshotHandle, ViewSnapshot};
 use crate::view::{ComputedView, ViewId};
-use lmfao_data::{DatabaseSnapshot, TableDelta};
+use lmfao_data::{DatabaseSnapshot, TableDelta, Transaction};
 use lmfao_expr::DynamicRegistry;
 use std::sync::Arc;
 
-/// What one [`MaintainedBatch::apply`] call did.
+/// What one [`MaintainedBatch::commit`] call did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RefreshStats {
-    /// Rows in the applied delta (inserts + deletes).
+    /// Rows across the transaction's deltas (inserts + deletes).
     pub delta_rows: usize,
-    /// Groups re-scanned over the delta partition (they scan the changed
-    /// relation itself).
+    /// Distinct base relations the transaction changed.
+    pub relations_changed: usize,
+    /// Groups re-scanned over delta partitions (they scan a changed relation
+    /// itself; a group both seeded and propagated counts here only).
     pub seed_groups: usize,
-    /// Downstream groups re-scanned with delta-overlaid incoming views.
+    /// Downstream groups re-scanned with delta-overlaid incoming views only.
     pub propagated_groups: usize,
     /// Groups left untouched because nothing they depend on changed.
     pub skipped_groups: usize,
     /// Views whose retained state actually changed.
     pub views_changed: usize,
+    /// Physical group scans executed (delta-partition scans plus overlay
+    /// scans). The probe that makes "one DAG walk per transaction"
+    /// measurable: committing a multi-relation transaction runs strictly
+    /// fewer scans than applying its deltas one at a time.
+    pub group_scans: usize,
 }
 
 /// A prepared batch promoted to live, incrementally maintained state.
 ///
 /// Built with [`PreparedBatch::into_maintained`]; owns a private
 /// copy-on-write database state (base relations are updated by
-/// [`MaintainedBatch::apply`]) plus the retained result of every view.
+/// [`MaintainedBatch::commit`]) plus the retained result of every view.
 /// Current query results are available at any time through
 /// [`MaintainedBatch::results`] without re-running any scan.
 #[derive(Debug)]
@@ -132,9 +143,9 @@ impl MaintainedBatch {
     /// retained output views — no scan runs here.
     ///
     /// **Freshness**: the returned results always reflect the state after
-    /// the *last successful* [`MaintainedBatch::apply`] (a failed apply
+    /// the *last successful* [`MaintainedBatch::commit`] (a failed commit
     /// changes nothing). They are a point-in-time copy: results obtained
-    /// before an `apply` keep their old values — hold a
+    /// before a `commit` keep their old values — hold a
     /// [`MaintainedBatch::snapshot`] instead if you want an explicitly
     /// pinned generation.
     pub fn results(&self) -> Result<BatchResult, EngineError> {
@@ -144,7 +155,7 @@ impl MaintainedBatch {
     /// The current result of the named query, or
     /// [`EngineError::UnknownQuery`] — the fallible by-name lookup for
     /// callers serving externally supplied names. Reflects the last
-    /// successful [`MaintainedBatch::apply`], like
+    /// successful [`MaintainedBatch::commit`], like
     /// [`MaintainedBatch::results`].
     pub fn query(&self, name: &str) -> Result<QueryResult, EngineError> {
         let snapshot = self.writer.snapshot();
@@ -160,7 +171,7 @@ impl MaintainedBatch {
 
     /// The execution certificate of the latest published generation: the
     /// `Execute` root after construction, a chained `Maintenance` certificate
-    /// after every successful [`MaintainedBatch::apply`]. See
+    /// after every successful [`MaintainedBatch::commit`]. See
     /// [`ViewSnapshot::certificate`].
     pub fn certificate(&self) -> Arc<lmfao_certify::Certificate> {
         Arc::clone(self.writer.snapshot().certificate())
@@ -178,21 +189,37 @@ impl MaintainedBatch {
         self.writer
     }
 
-    /// Applies a signed delta to one base relation and refreshes every
-    /// affected view, leaving unaffected groups untouched. Results afterwards
+    /// Commits a [`Transaction`] — signed deltas over one or more base
+    /// relations — atomically, refreshing every affected view in a single
+    /// DAG walk and leaving unaffected groups untouched. Results afterwards
     /// match a full recompute over the updated database (exactly for
     /// integer-valued aggregates; up to float-addition reassociation plus
     /// residue snapping otherwise — see the module docs).
     ///
-    /// The base relation is updated copy-on-write (sorted-merge, so trie
-    /// order is preserved); an unmatched delete fails atomically before any
-    /// state changes. Each successful apply also publishes the refreshed
-    /// state as a new generation through [`MaintainedBatch::handle`].
+    /// Accepts anything convertible into a [`Transaction`], so a bare
+    /// [`TableDelta`] still commits directly. The base relations are updated
+    /// copy-on-write (sorted-merge, so trie order is preserved); an unmatched
+    /// delete, an empty transaction ([`EngineError::EmptyTransaction`]), or a
+    /// row both inserted and deleted ([`EngineError::ConflictingDelta`])
+    /// fails atomically before any state changes. Each successful commit
+    /// publishes the refreshed state as exactly one new generation through
+    /// [`MaintainedBatch::handle`].
+    pub fn commit(
+        &mut self,
+        txn: impl Into<Transaction>,
+        dynamics: &DynamicRegistry,
+    ) -> Result<RefreshStats, EngineError> {
+        self.writer.commit(txn, dynamics)
+    }
+
+    /// Applies a signed delta to one base relation.
+    #[deprecated(note = "use `commit`; a bare `TableDelta` converts via `Into<Transaction>`")]
     pub fn apply(
         &mut self,
         delta: &TableDelta,
         dynamics: &DynamicRegistry,
     ) -> Result<RefreshStats, EngineError> {
+        #[allow(deprecated)]
         self.writer.apply(delta, dynamics)
     }
 }
@@ -311,7 +338,7 @@ mod tests {
             delta
                 .insert(&[Value::Int(9), Value::Int(2), Value::Double(50.0)])
                 .unwrap();
-            let stats = maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
+            let stats = maintained.commit(&delta, &DynamicRegistry::new()).unwrap();
             assert!(stats.seed_groups > 0, "{name}");
             let expected = recompute(maintained.database(), &tree, cfg, &b);
             assert_same_results(&maintained.results().unwrap(), &expected);
@@ -332,7 +359,7 @@ mod tests {
         let mut delta = TableDelta::for_relation(db.relation("Items").unwrap());
         delta.delete(&[Value::Int(3), Value::Double(12.0)]).unwrap();
         delta.insert(&[Value::Int(3), Value::Double(40.0)]).unwrap();
-        let stats = maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
+        let stats = maintained.commit(&delta, &DynamicRegistry::new()).unwrap();
         assert!(stats.seed_groups > 0);
         let expected = recompute(maintained.database(), &tree, EngineConfig::default(), &b);
         assert_same_results(&maintained.results().unwrap(), &expected);
@@ -349,10 +376,10 @@ mod tests {
         let row = vec![Value::Int(0), Value::Int(0), Value::Double(0.0)];
         let mut del = TableDelta::for_relation(db.relation("Sales").unwrap());
         del.delete(&row).unwrap();
-        maintained.apply(&del, &DynamicRegistry::new()).unwrap();
+        maintained.commit(&del, &DynamicRegistry::new()).unwrap();
         let mut ins = TableDelta::for_relation(db.relation("Sales").unwrap());
         ins.insert(&row).unwrap();
-        maintained.apply(&ins, &DynamicRegistry::new()).unwrap();
+        maintained.commit(&ins, &DynamicRegistry::new()).unwrap();
         assert_same_results(&maintained.results().unwrap(), &before);
     }
 
@@ -378,7 +405,7 @@ mod tests {
         delta
             .insert(&[Value::Int(1), Value::Int(1), Value::Double(2.0)])
             .unwrap();
-        let stats = maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
+        let stats = maintained.commit(&delta, &DynamicRegistry::new()).unwrap();
         assert!(stats.skipped_groups > 0, "the Items group must be skipped");
         assert_eq!(
             stats.seed_groups + stats.propagated_groups,
@@ -405,7 +432,7 @@ mod tests {
             .delete(&[Value::Int(77), Value::Int(77), Value::Double(77.0)])
             .unwrap();
         let err = maintained
-            .apply(&delta, &DynamicRegistry::new())
+            .commit(&delta, &DynamicRegistry::new())
             .unwrap_err();
         assert!(matches!(err, EngineError::Data(_)));
         assert_same_results(&maintained.results().unwrap(), &before);
@@ -423,9 +450,130 @@ mod tests {
             .into_maintained(&DynamicRegistry::new())
             .unwrap();
         let delta = TableDelta::for_relation(db.relation("Sales").unwrap());
+        // The legacy shim keeps its forgiving no-op semantics for empty (or
+        // fully cancelling) deltas; the strict path is tested below.
+        #[allow(deprecated)]
         let stats = maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
         assert_eq!(stats.seed_groups + stats.propagated_groups, 0);
         assert_eq!(stats.views_changed, 0);
+        assert_eq!(stats.group_scans, 0);
+    }
+
+    #[test]
+    fn empty_transaction_is_a_typed_error() {
+        let (db, tree) = db_and_tree();
+        let b = batch(&db);
+        let engine = Engine::new(db.clone(), tree, EngineConfig::default());
+        let mut maintained = engine
+            .prepare(&b)
+            .unwrap()
+            .into_maintained(&DynamicRegistry::new())
+            .unwrap();
+        let before = maintained.results().unwrap();
+        let err = maintained
+            .commit(Transaction::new(), &DynamicRegistry::new())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::EmptyTransaction));
+        assert_same_results(&maintained.results().unwrap(), &before);
+        assert_eq!(maintained.snapshot().generation(), 0, "nothing published");
+    }
+
+    #[test]
+    fn conflicting_delta_is_a_typed_error() {
+        let (db, tree) = db_and_tree();
+        let b = batch(&db);
+        let engine = Engine::new(db.clone(), tree, EngineConfig::default());
+        let mut maintained = engine
+            .prepare(&b)
+            .unwrap()
+            .into_maintained(&DynamicRegistry::new())
+            .unwrap();
+        let before = maintained.results().unwrap();
+        let row = vec![Value::Int(0), Value::Int(0), Value::Double(0.0)];
+        let mut delta = TableDelta::for_relation(db.relation("Sales").unwrap());
+        delta.insert(&row).unwrap();
+        delta.delete(&row).unwrap();
+        let err = maintained
+            .commit(&delta, &DynamicRegistry::new())
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::ConflictingDelta { ref relation, .. } if relation == "Sales")
+        );
+        assert_same_results(&maintained.results().unwrap(), &before);
+        assert_eq!(maintained.snapshot().generation(), 0, "nothing published");
+    }
+
+    #[test]
+    fn multi_relation_transaction_commits_in_one_walk() {
+        let (db, tree) = db_and_tree();
+        let b = batch(&db);
+        let engine = Engine::new(db.clone(), tree.clone(), EngineConfig::default());
+        let mut maintained = engine
+            .prepare(&b)
+            .unwrap()
+            .into_maintained(&DynamicRegistry::new())
+            .unwrap();
+        let mut sequential = engine
+            .prepare(&b)
+            .unwrap()
+            .into_maintained(&DynamicRegistry::new())
+            .unwrap();
+
+        let mut sales = TableDelta::for_relation(db.relation("Sales").unwrap());
+        sales
+            .insert(&[Value::Int(1), Value::Int(3), Value::Double(100.0)])
+            .unwrap();
+        sales
+            .delete(&[Value::Int(0), Value::Int(0), Value::Double(0.0)])
+            .unwrap();
+        let mut items = TableDelta::for_relation(db.relation("Items").unwrap());
+        items.delete(&[Value::Int(3), Value::Double(12.0)]).unwrap();
+        items.insert(&[Value::Int(3), Value::Double(40.0)]).unwrap();
+
+        let txn: Transaction = [sales.clone(), items.clone()].into_iter().collect();
+        let stats = maintained.commit(txn, &DynamicRegistry::new()).unwrap();
+        assert_eq!(stats.relations_changed, 2);
+        assert_eq!(
+            maintained.snapshot().generation(),
+            1,
+            "one generation for the whole transaction"
+        );
+
+        // Sequential application of the same deltas publishes two
+        // generations and walks the DAG twice; results must match
+        // bit-for-bit (integer-valued doubles throughout the fixture).
+        let s1 = sequential.commit(&sales, &DynamicRegistry::new()).unwrap();
+        let s2 = sequential.commit(&items, &DynamicRegistry::new()).unwrap();
+        assert_eq!(sequential.snapshot().generation(), 2);
+        // The scan-count probe for "one DAG walk": the transaction visits
+        // every group at most once (seed and propagation fused), so it
+        // refreshes strictly fewer groups than the two walks combined, and
+        // never runs more physical scans.
+        let txn_visits = stats.seed_groups + stats.propagated_groups;
+        let seq_visits =
+            s1.seed_groups + s1.propagated_groups + s2.seed_groups + s2.propagated_groups;
+        assert!(
+            txn_visits < seq_visits,
+            "one DAG walk ({txn_visits} group visits) must beat two ({seq_visits})"
+        );
+        assert!(
+            txn_visits + stats.skipped_groups
+                == s1.seed_groups + s1.propagated_groups + s1.skipped_groups,
+            "each group is visited or skipped exactly once"
+        );
+        assert!(
+            stats.group_scans <= s1.group_scans + s2.group_scans,
+            "one DAG walk ({}) must not out-scan two ({} + {})",
+            stats.group_scans,
+            s1.group_scans,
+            s2.group_scans
+        );
+        assert_same_results(
+            &maintained.results().unwrap(),
+            &sequential.results().unwrap(),
+        );
+        let expected = recompute(maintained.database(), &tree, EngineConfig::default(), &b);
+        assert_same_results(&maintained.results().unwrap(), &expected);
     }
 
     #[test]
@@ -446,7 +594,7 @@ mod tests {
         delta
             .insert(&[Value::Int(1), Value::Int(1), Value::Double(5.0)])
             .unwrap();
-        maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
+        maintained.commit(&delta, &DynamicRegistry::new()).unwrap();
         let after = maintained.results().unwrap();
         assert_eq!(before.query("count").scalar()[0], 40.0, "old copy is old");
         assert_eq!(after.query("count").scalar()[0], 41.0, "new copy is new");
@@ -489,7 +637,7 @@ mod tests {
         delta
             .insert(&[Value::Int(2), Value::Int(2), Value::Double(7.0)])
             .unwrap();
-        maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
+        maintained.commit(&delta, &DynamicRegistry::new()).unwrap();
         assert_eq!(pinned.generation(), 0);
         assert_eq!(pinned.query("count").unwrap().scalar()[0], 40.0);
         assert_eq!(handle.generation(), 1);
@@ -529,7 +677,7 @@ mod tests {
                     .delete(&[Value::Int(0), Value::Int(0), Value::Double(0.0)])
                     .unwrap();
             }
-            maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
+            maintained.commit(&delta, &DynamicRegistry::new()).unwrap();
             let expected = recompute(maintained.database(), &tree, EngineConfig::default(), &b);
             assert_same_results(&maintained.results().unwrap(), &expected);
         }

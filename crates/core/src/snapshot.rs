@@ -1,8 +1,8 @@
 //! Epoch-published snapshots: writers refresh, readers never block.
 //!
 //! [`crate::maintain::MaintainedBatch`] refreshes retained view state under
-//! [`TableDelta`]s, but its `apply` takes `&mut self` — every refresh stalls
-//! every query. This module splits that one mutable object into the
+//! [`Transaction`]s, but its `commit` takes `&mut self` — every refresh
+//! stalls every query. This module splits that one mutable object into the
 //! reader/writer separation a serving system needs:
 //!
 //! * [`ViewSnapshot`] — one **immutable** generation of the world: the
@@ -10,9 +10,11 @@
 //!   per-query results, all behind `Arc`s. Readers answer named-query
 //!   lookups straight from the projected results with zero scans and zero
 //!   locks held.
-//! * [`Maintainer`] — the single writer. It applies deltas against its
-//!   private next-generation state and *publishes* each refreshed generation
-//!   as a new `Arc<ViewSnapshot>` through the shared [`SnapshotHandle`].
+//! * [`Maintainer`] — the single writer. It commits [`Transaction`]s —
+//!   atomic sets of [`TableDelta`]s over one or more base relations —
+//!   against its private next-generation state, one DAG walk and one
+//!   published generation per transaction, each new generation an
+//!   `Arc<ViewSnapshot>` swapped through the shared [`SnapshotHandle`].
 //! * [`SnapshotHandle`] — the publication cell readers clone into their
 //!   threads. [`SnapshotHandle::load`] returns the latest published
 //!   generation; whatever a reader loaded stays valid (and immutable)
@@ -62,10 +64,12 @@ use crate::plan::{build_group_plan, DepthUpdate, GroupPlan};
 use crate::prepared::{project_results, PreparedBatch, PreparedPlans};
 use crate::view::{ComputedView, ViewId, ViewSource};
 use lmfao_certify::{
-    fingerprint, Certificate, MaintenanceCertificate, QueryTotals, ViewDeltaAccount,
-    CERTIFICATE_VERSION,
+    fingerprint, Certificate, MaintenanceCertificate, QueryTotals, RelationDeltaAccount,
+    ViewDeltaAccount, CERTIFICATE_VERSION,
 };
-use lmfao_data::{Database, DatabaseSnapshot, FxHashMap, Relation, TableDelta};
+use lmfao_data::{
+    Database, DatabaseSnapshot, FxHashMap, FxHashSet, Relation, TableDelta, Transaction,
+};
 use lmfao_expr::DynamicRegistry;
 use lmfao_jointree::JoinTree;
 use std::sync::{Arc, PoisonError, RwLock};
@@ -89,6 +93,7 @@ pub const CANCELLATION_REL_EPS: f64 = 1e-11;
 #[derive(Debug)]
 pub struct ViewSnapshot {
     generation: u64,
+    txn: u64,
     db: DatabaseSnapshot,
     computed: FxHashMap<ViewId, Arc<ComputedView>>,
     results: BatchResult,
@@ -101,6 +106,16 @@ impl ViewSnapshot {
     /// published refresh.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Identifier of the transaction that published this generation: 0 for
+    /// the initial full computation, then the 1-based commit counter. The
+    /// engine publishes exactly one generation per committed transaction, so
+    /// `txn_id == generation` — an invariant the black-box isolation checker
+    /// (`crate::isocheck`) verifies from recorded histories rather than
+    /// trusting this comment.
+    pub fn txn_id(&self) -> u64 {
+        self.txn
     }
 
     /// The projected results of every query of the batch, as of this
@@ -228,6 +243,8 @@ pub struct Maintainer {
     last_fingerprint: u64,
     /// Generation of the latest published snapshot.
     generation: u64,
+    /// Number of transactions committed so far (the next commit is `txns+1`).
+    txns: u64,
     /// The publication cell shared with every reader.
     handle: SnapshotHandle,
 }
@@ -284,6 +301,7 @@ impl PreparedBatch {
 
         let snapshot = Arc::new(ViewSnapshot {
             generation: 0,
+            txn: 0,
             db: db.clone(),
             computed: computed.clone(),
             results,
@@ -299,6 +317,7 @@ impl PreparedBatch {
             shadow,
             last_fingerprint,
             generation: 0,
+            txns: 0,
             handle: SnapshotHandle::new(snapshot),
         })
     }
@@ -343,112 +362,271 @@ impl Maintainer {
         self.inner.grouping.transitive_dependents(&seeds)
     }
 
-    /// Applies a signed delta to one base relation, refreshes every affected
-    /// view and publishes the result as the next generation. Published
-    /// results match a full recompute over the updated database (exactly for
-    /// integer-valued aggregates; within float-addition reassociation plus
-    /// residue snapping otherwise — see the module docs).
-    ///
-    /// Readers keep answering from previously published generations
-    /// throughout; an unmatched delete fails atomically before any state
-    /// changes and publishes nothing. An empty delta refreshes and publishes
-    /// nothing.
+    /// Applies a signed delta to one base relation. Deprecated shim over
+    /// [`Maintainer::commit`]: the delta is coalesced as an ordered stream
+    /// first (insert/delete pairs of one row cancel, as they always did at
+    /// the relation layer), and an empty or fully-cancelling delta keeps the
+    /// legacy no-op contract — `Ok` with every group skipped and nothing
+    /// published — where strict `commit` returns
+    /// [`EngineError::EmptyTransaction`].
+    #[deprecated(note = "use `commit`; a bare `TableDelta` converts via `Into<Transaction>`")]
     pub fn apply(
         &mut self,
         delta: &TableDelta,
         dynamics: &DynamicRegistry,
     ) -> Result<RefreshStats, EngineError> {
+        let txn = Transaction::from(delta).coalesce();
+        if txn.is_empty() {
+            return Ok(RefreshStats {
+                delta_rows: delta.len(),
+                skipped_groups: self.plans.len(),
+                ..RefreshStats::default()
+            });
+        }
+        self.commit_txn(txn, dynamics)
+    }
+
+    /// Commits a transaction: applies every per-relation delta atomically,
+    /// refreshes the **union** of the affected refresh frontiers in one
+    /// dependency-ordered DAG walk, and publishes exactly one generation.
+    /// A bare [`TableDelta`] commits as a single-relation transaction via
+    /// `Into<Transaction>`.
+    ///
+    /// Published results match a full recompute over the updated database
+    /// (exactly for integer-valued aggregates; within float-addition
+    /// reassociation plus residue snapping otherwise — see the module docs).
+    /// Readers keep answering from previously published generations
+    /// throughout; they observe all of the transaction's effects or none.
+    ///
+    /// Typed failures, all before any state changes: an empty transaction is
+    /// [`EngineError::EmptyTransaction`] (a commit always publishes — an
+    /// empty one would publish a phantom generation), a transaction that
+    /// both inserts and deletes one row is
+    /// [`EngineError::ConflictingDelta`] (resolve ordered streams with
+    /// [`Transaction::coalesce`] or a [`crate::buffer::DeltaBuffer`] first),
+    /// and an unmatched delete in *any* delta fails the whole transaction.
+    pub fn commit(
+        &mut self,
+        txn: impl Into<Transaction>,
+        dynamics: &DynamicRegistry,
+    ) -> Result<RefreshStats, EngineError> {
+        self.commit_txn(txn.into(), dynamics)
+    }
+
+    fn commit_txn(
+        &mut self,
+        txn: Transaction,
+        dynamics: &DynamicRegistry,
+    ) -> Result<RefreshStats, EngineError> {
+        if txn.is_empty() {
+            return Err(EngineError::EmptyTransaction);
+        }
+        if let Some((relation, row)) = txn.conflict() {
+            return Err(EngineError::ConflictingDelta { relation, row });
+        }
         let mut stats = RefreshStats {
-            delta_rows: delta.len(),
+            delta_rows: txn.len(),
+            relations_changed: txn.num_relations(),
             ..RefreshStats::default()
         };
-        if delta.is_empty() {
-            stats.skipped_groups = self.plans.len();
-            return Ok(stats);
+
+        // Stage the database: every delta lands on a private copy-on-write
+        // clone, so an unmatched delete in any of them fails before the
+        // maintainer's own state changes — the transaction is atomic against
+        // the writer, not just against readers.
+        let mut staged_db = self.db.clone();
+        let mut relation_accounts = Vec::with_capacity(txn.num_relations());
+        for delta in txn.deltas() {
+            let rows_before = staged_db
+                .relation(delta.relation())
+                .map_err(|_| EngineError::UnknownRelation(delta.relation().to_string()))?
+                .len() as u64;
+            staged_db.apply(delta)?;
+            let rows_after = staged_db
+                .relation(delta.relation())
+                .map_err(|_| EngineError::UnknownRelation(delta.relation().to_string()))?
+                .len() as u64;
+            relation_accounts.push(RelationDeltaAccount {
+                relation: delta.relation().to_string(),
+                rows_inserted: delta.num_inserts() as u64,
+                rows_deleted: delta.num_deletes() as u64,
+                rows_before,
+                rows_after,
+            });
         }
 
-        // Update the base relation first (atomic: fails before any view
-        // state changes on an unmatched delete; copy-on-write keeps the
-        // published generations' relation untouched either way). The seed
-        // scans below read only the delta partitions and the retained
-        // incoming views, so they are independent of this ordering.
-        let relation_rows_before = self
-            .db
-            .relation(delta.relation())
-            .map_err(|_| EngineError::UnknownRelation(delta.relation().to_string()))?
-            .len() as u64;
-        self.db.apply(delta)?;
-        let relation_rows_after = self
-            .db
-            .relation(delta.relation())
-            .map_err(|_| EngineError::UnknownRelation(delta.relation().to_string()))?
-            .len() as u64;
-
-        // Sort the delta partitions into the trie order of the node that
-        // scans this relation, so the seed scans see valid tries.
-        let (mut inserts, mut deletes) = delta.partition();
-        if let Some(plan) = self.plans.iter().find(|p| p.relation == delta.relation()) {
-            inserts.sort_by_positions(&plan.attr_order_cols);
-            deletes.sort_by_positions(&plan.attr_order_cols);
+        // Sort each relation's delta partitions into the trie order of the
+        // node that scans it, so the seed scans see valid tries (every group
+        // of one relation scans at the same node, hence one order suffices).
+        let mut partitions: FxHashMap<&str, (Relation, Relation)> = FxHashMap::default();
+        for delta in txn.deltas() {
+            let (mut inserts, mut deletes) = delta.partition();
+            if let Some(plan) = self.plans.iter().find(|p| p.relation == delta.relation()) {
+                inserts.sort_by_positions(&plan.attr_order_cols);
+                deletes.sort_by_positions(&plan.attr_order_cols);
+            }
+            partitions.insert(delta.relation(), (inserts, deletes));
         }
-        let num_attrs = self.db.schema().num_attributes();
+        let num_attrs = staged_db.schema().num_attributes();
 
-        // Walk the groups in dependency order, accumulating signed view
-        // deltas. `changed` holds the delta (not the new value) of every
-        // view refreshed so far; `seed_split` the per-view insert/delete
-        // contribution split of seed views (in fixed point, captured before
-        // the signed merge collapses the partitions — this is the
-        // `net == inserted - deleted` half of the certificate).
+        // One walk over the groups in dependency order, accumulating signed
+        // view deltas. Each group's output change decomposes exactly (by
+        // linearity of the aggregates in each relation/view) as
+        //
+        //   ΔF = F(ΔR, V_old)                 — the *seed* contribution
+        //      + F(R_new, V_new) - F(R_new, V_old)   — the *propagation*
+        //
+        // so a group whose relation changed *and* whose incoming views
+        // changed (possible only for multi-relation transactions) is still
+        // visited exactly once. `changed` holds the delta (not the new
+        // value) of every view refreshed so far; `seed_split` the per-view
+        // insert/delete contribution split and `prop_split` the summed
+        // per-scan propagation totals, both in fixed point and captured
+        // before any merge — this is the `net == inserted - deleted +
+        // propagated` half of the certificate ("sums of encodings, never
+        // encodings of sums").
         let mut changed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
         let mut seed_split: FxHashMap<ViewId, (Vec<i128>, Vec<i128>)> = FxHashMap::default();
+        let mut prop_split: FxHashMap<ViewId, Vec<i128>> = FxHashMap::default();
+        // Staged NEW (old + delta) states of already-refreshed views, built
+        // lazily: only the telescoped propagation path reads them.
+        let mut staged_views: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
         for &gid in &self.topo {
             let plan = &self.plans[gid];
-            let group_deltas: Vec<(ViewId, ComputedView)> = if plan.relation == delta.relation() {
-                // Seed group: re-run the scan over the delta partitions only.
-                // Incoming views of a seed group cannot have changed (the
-                // changed relation lives at this node, not in any child
-                // subtree), so the retained results are the right probes.
+            let seed = partitions.get(plan.relation.as_str());
+            let changed_incoming: Vec<bool> = plan
+                .incoming
+                .iter()
+                .map(|inc| changed.contains_key(&inc.view))
+                .collect();
+            let propagate = changed_incoming.iter().any(|&c| c);
+            if seed.is_none() && !propagate {
+                stats.skipped_groups += 1;
+                continue;
+            }
+            if seed.is_some() {
                 stats.seed_groups += 1;
-                let mut out = scan_partition(&inserts, num_attrs, plan, &self.computed, dynamics)?;
-                let neg = scan_partition(&deletes, num_attrs, plan, &self.computed, dynamics)?;
+            } else {
+                stats.propagated_groups += 1;
+            }
+
+            // Seed contribution: the delta partitions scanned against the
+            // retained (old) incoming views.
+            let mut group_deltas: Option<Vec<(ViewId, ComputedView)>> = None;
+            if let Some((inserts, deletes)) = seed {
+                stats.group_scans += [inserts, deletes]
+                    .into_iter()
+                    .filter(|p| !p.is_empty())
+                    .count();
+                let mut out = scan_partition(inserts, num_attrs, plan, &self.computed, dynamics)?;
+                let neg = scan_partition(deletes, num_attrs, plan, &self.computed, dynamics)?;
                 for ((vid, acc), (nvid, d)) in out.iter_mut().zip(&neg) {
                     debug_assert_eq!(vid, nvid);
                     seed_split.insert(*vid, (encoded_totals(acc), encoded_totals(d)));
                     acc.merge_signed(d, -1.0);
                 }
-                out
-            } else {
-                // Downstream group: refresh only if an incoming view changed.
-                let changed_incoming: Vec<bool> = plan
-                    .incoming
-                    .iter()
-                    .map(|inc| changed.contains_key(&inc.view))
-                    .collect();
-                if !changed_incoming.iter().any(|&c| c) {
-                    stats.skipped_groups += 1;
-                    continue;
-                }
-                stats.propagated_groups += 1;
-                let mask = active_slots(plan, &changed_incoming);
-                let overlay = DeltaOverlay {
-                    full: &self.computed,
-                    deltas: &changed,
-                };
-                let relation = self
-                    .db
+                group_deltas = Some(out);
+            }
+
+            // Propagation contribution: charge the incoming-view deltas
+            // against the *updated* relation.
+            if propagate {
+                let relation = staged_db
                     .relation(&plan.relation)
                     .map_err(|_| EngineError::UnknownRelation(plan.relation.clone()))?;
-                execute_group_scan(
-                    relation,
-                    num_attrs,
-                    plan,
-                    &overlay,
-                    dynamics,
-                    None,
-                    Some(&mask),
-                )?
-            };
-            for (vid, cv) in group_deltas {
+                let scans: Vec<Vec<(ViewId, ComputedView)>> =
+                    if multi_changed_terms(plan, &changed_incoming) {
+                        // Some term multiplies two changed views together, so the
+                        // output delta is not linear in any single view. Telescope:
+                        // step t charges the t-th changed view's delta, with
+                        // earlier changed views at their NEW state and later ones
+                        // still OLD — the steps sum exactly to the total change.
+                        let steps: Vec<(usize, ViewId)> = plan
+                            .incoming
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, inc)| changed.contains_key(&inc.view))
+                            .map(|(i, inc)| (i, inc.view))
+                            .collect();
+                        for &(_, vid) in &steps {
+                            staged_views.entry(vid).or_insert_with(|| {
+                                let d = &changed[&vid];
+                                let mut nv = self.computed.get(&vid).map_or_else(
+                                    || ComputedView::new(d.key_attrs.clone(), d.num_aggregates),
+                                    |cv| (**cv).clone(),
+                                );
+                                nv.merge_signed(d, 1.0);
+                                nv.prune_zero_entries();
+                                nv
+                            });
+                        }
+                        let mut earlier: FxHashSet<ViewId> = FxHashSet::default();
+                        let mut scans = Vec::with_capacity(steps.len());
+                        for &(idx, vid) in &steps {
+                            let mut one_hot = vec![false; plan.incoming.len()];
+                            one_hot[idx] = true;
+                            let mask = active_slots(plan, &one_hot);
+                            let overlay = TelescopeOverlay {
+                                full: &self.computed,
+                                staged: &staged_views,
+                                deltas: &changed,
+                                current: vid,
+                                earlier: &earlier,
+                            };
+                            scans.push(execute_group_scan(
+                                relation,
+                                num_attrs,
+                                plan,
+                                &overlay,
+                                dynamics,
+                                None,
+                                Some(&mask),
+                            )?);
+                            earlier.insert(vid);
+                        }
+                        scans
+                    } else {
+                        // No term references two changed views, so the output
+                        // delta is jointly linear in them: one combined scan with
+                        // every changed view overlaid by its delta and every
+                        // affected slot unmasked.
+                        let mask = active_slots(plan, &changed_incoming);
+                        let overlay = DeltaOverlay {
+                            full: &self.computed,
+                            deltas: &changed,
+                        };
+                        vec![execute_group_scan(
+                            relation,
+                            num_attrs,
+                            plan,
+                            &overlay,
+                            dynamics,
+                            None,
+                            Some(&mask),
+                        )?]
+                    };
+                stats.group_scans += scans.len();
+                for scan in scans {
+                    for (vid, d) in &scan {
+                        let enc = encoded_totals(d);
+                        let totals = prop_split.entry(*vid).or_insert_with(|| vec![0; enc.len()]);
+                        for (t, e) in totals.iter_mut().zip(&enc) {
+                            *t += e;
+                        }
+                    }
+                    match &mut group_deltas {
+                        Some(acc) => {
+                            for ((vid, a), (svid, d)) in acc.iter_mut().zip(&scan) {
+                                debug_assert_eq!(vid, svid);
+                                a.merge_signed(d, 1.0);
+                            }
+                        }
+                        None => group_deltas = Some(scan),
+                    }
+                }
+            }
+
+            for (vid, cv) in group_deltas.unwrap_or_default() {
                 // An empty delta means the view did not change: leaving it
                 // out lets downstream groups skip entirely.
                 if !cv.is_empty() {
@@ -476,13 +654,27 @@ impl Maintainer {
             cv.prune_zero_entries();
 
             let split = seed_split.remove(&vid);
-            let net: Vec<i128> = match &split {
-                // Seed views: the net is defined as inserted - deleted, so
-                // the checker's signed identity holds exactly.
-                Some((ins, del)) => ins.iter().zip(del).map(|(a, b)| a - b).collect(),
-                // Propagated views: one signed overlay scan, net observed
-                // directly from the delta entries.
-                None => encoded_totals(&d),
+            let prop = prop_split.remove(&vid);
+            let (inserted, deleted, propagated, net) = match (split, prop) {
+                // Seeded views: net is defined as inserted - deleted (+ the
+                // propagated component when the same transaction also changed
+                // an incoming view), so the checker's signed identity holds
+                // exactly.
+                (Some((ins, del)), prop) => {
+                    let net: Vec<i128> = ins
+                        .iter()
+                        .zip(&del)
+                        .enumerate()
+                        .map(|(i, (a, b))| a - b + prop.as_ref().map_or(0, |p| p[i]))
+                        .collect();
+                    (Some(ins), Some(del), prop, net)
+                }
+                // Purely propagated views: the net is the sum of the encoded
+                // per-scan totals; the certificate carries no split.
+                (None, Some(p)) => (None, None, None, p),
+                // Unreachable (every changed view came from a scan above),
+                // but harmless: observe the net from the merged delta.
+                (None, None) => (None, None, None, encoded_totals(&d)),
             };
             let totals_before = self
                 .shadow
@@ -492,16 +684,13 @@ impl Maintainer {
             let totals_after: Vec<i128> =
                 totals_before.iter().zip(&net).map(|(a, b)| a + b).collect();
             self.shadow.insert(vid, totals_after.clone());
-            let (inserted, deleted) = match split {
-                Some((ins, del)) => (Some(ins), Some(del)),
-                None => (None, None),
-            };
             accounts.push(ViewDeltaAccount {
                 view: vid.0 as u32,
                 rows_before,
                 rows_after: cv.len() as u64,
                 inserted,
                 deleted,
+                propagated,
                 net,
                 totals_before,
                 totals_after,
@@ -509,28 +698,29 @@ impl Maintainer {
         }
         accounts.sort_by_key(|a| a.view);
 
-        // Publish: project the new results, emit the chained maintenance
-        // certificate and swap the handle's pointer. Everything above ran on
-        // private state; readers observe the new generation atomically or
-        // not at all.
+        // Publish: swap in the staged database, project the new results,
+        // emit the chained maintenance certificate and swap the handle's
+        // pointer. Everything above ran on private state; readers observe
+        // the new generation — one per transaction — atomically or not at
+        // all.
+        self.db = staged_db;
         self.generation += 1;
+        self.txns += 1;
         let results = project_results(&self.inner, &self.computed)?;
         let certificate = Certificate::Maintenance(MaintenanceCertificate {
             version: CERTIFICATE_VERSION,
             generation: self.generation,
+            txn: self.txns,
             parent_generation: self.generation - 1,
             parent_hash: self.last_fingerprint,
-            relation: delta.relation().to_string(),
-            rows_inserted: delta.num_inserts() as u64,
-            rows_deleted: delta.num_deletes() as u64,
-            relation_rows_before,
-            relation_rows_after,
+            relations: relation_accounts,
             views: accounts,
             queries: self.ledger_query_totals(),
         });
         self.last_fingerprint = fingerprint(&certificate);
         let snapshot = Arc::new(ViewSnapshot {
             generation: self.generation,
+            txn: self.txns,
             db: self.db.clone(),
             computed: self.computed.clone(),
             results,
@@ -574,6 +764,67 @@ impl ViewSource for DeltaOverlay<'_> {
     fn view_result(&self, id: ViewId) -> Option<&ComputedView> {
         self.deltas.get(&id).or_else(|| self.full.view_result(id))
     }
+}
+
+/// Resolves incoming views during one telescoped propagation step: the
+/// current view resolves to its signed delta, views charged in *earlier*
+/// steps to their staged NEW state, and everything else to the retained OLD
+/// state. Summing the steps telescopes exactly to the group's total change.
+struct TelescopeOverlay<'a> {
+    full: &'a FxHashMap<ViewId, Arc<ComputedView>>,
+    staged: &'a FxHashMap<ViewId, ComputedView>,
+    deltas: &'a FxHashMap<ViewId, ComputedView>,
+    current: ViewId,
+    earlier: &'a FxHashSet<ViewId>,
+}
+
+impl ViewSource for TelescopeOverlay<'_> {
+    fn view_result(&self, id: ViewId) -> Option<&ComputedView> {
+        if id == self.current {
+            self.deltas.get(&id)
+        } else if self.earlier.contains(&id) {
+            self.staged.get(&id)
+        } else {
+            self.full.view_result(id)
+        }
+    }
+}
+
+/// True if some term slot of `plan` multiplies together two *different*
+/// changed incoming views — the one shape whose output delta is not jointly
+/// linear in the changed views, forcing the telescoped propagation.
+fn multi_changed_terms(plan: &GroupPlan, changed_incoming: &[bool]) -> bool {
+    fn note(slot_ref: &mut [Option<usize>], slot: usize, inc: usize) -> bool {
+        match slot_ref[slot] {
+            Some(prev) => prev != inc,
+            None => {
+                slot_ref[slot] = Some(inc);
+                false
+            }
+        }
+    }
+    let mut slot_ref: Vec<Option<usize>> = vec![None; plan.num_slots];
+    for program in &plan.programs {
+        for update in program {
+            if let DepthUpdate::ScalarView { slot, incoming, .. } = update {
+                if changed_incoming[*incoming] && note(&mut slot_ref, *slot, *incoming) {
+                    return true;
+                }
+            }
+        }
+    }
+    for output in &plan.outputs {
+        for agg in &output.aggregates {
+            for term in &agg.terms {
+                for &(inc, _) in &term.extra_refs {
+                    if changed_incoming[inc] && note(&mut slot_ref, term.slot, inc) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
 }
 
 /// Runs a seed group's plan over one delta partition (already sorted into
@@ -736,13 +987,13 @@ mod tests {
         assert_eq!(handle.generation(), 0);
         assert_eq!(handle.load().generation(), 0);
         maintainer
-            .apply(&sales_insert(&db, 1, 1, 2.0), &dynamics)
+            .commit(sales_insert(&db, 1, 1, 2.0), &dynamics)
             .unwrap();
         let pinned = handle.load();
         assert_eq!(handle.generation(), 1);
         assert_eq!(pinned.generation(), 1);
         maintainer
-            .apply(&sales_insert(&db, 2, 2, 4.0), &dynamics)
+            .commit(sales_insert(&db, 2, 2, 4.0), &dynamics)
             .unwrap();
         // The handle tracks the latest publication; a pinned snapshot keeps
         // its own label.
@@ -761,7 +1012,7 @@ mod tests {
         // both partitions plus DAG propagation all land in the chain.
         for i in 0..3 {
             maintainer
-                .apply(&sales_insert(&db, i, i, (i * 2) as f64), &dynamics)
+                .commit(sales_insert(&db, i, i, (i * 2) as f64), &dynamics)
                 .unwrap();
             chain.push(Arc::clone(maintainer.snapshot().certificate()));
         }
@@ -772,7 +1023,7 @@ mod tests {
         reprice
             .insert(&[Value::Int(2), Value::Double(21.0)])
             .unwrap();
-        maintainer.apply(&reprice, &dynamics).unwrap();
+        maintainer.commit(&reprice, &dynamics).unwrap();
         chain.push(Arc::clone(maintainer.snapshot().certificate()));
 
         let summary = lmfao_certify::check_chain(chain.iter().map(|c| &**c)).unwrap();
@@ -800,7 +1051,7 @@ mod tests {
         let count0 = gen0.query("count").unwrap().scalar()[0];
         for i in 0..3 {
             maintainer
-                .apply(&sales_insert(&db, i, i, 10.0), &dynamics)
+                .commit(sales_insert(&db, i, i, 10.0), &dynamics)
                 .unwrap();
         }
         let gen3 = maintainer.handle().load();
@@ -822,7 +1073,7 @@ mod tests {
         // node) off the frontier: its state must stay shared between the
         // generations, while frontier views are copied.
         let stats = maintainer
-            .apply(&sales_insert(&db, 1, 3, 9.0), &DynamicRegistry::new())
+            .commit(sales_insert(&db, 1, 3, 9.0), &DynamicRegistry::new())
             .unwrap();
         let after = maintainer.snapshot();
         assert!(stats.views_changed > 0);
@@ -857,7 +1108,7 @@ mod tests {
         let mut pinned = vec![maintainer.snapshot()];
         for i in 0..4 {
             maintainer
-                .apply(&sales_insert(&db, i % 5, i % 7, (i * 3) as f64), &dynamics)
+                .commit(sales_insert(&db, i % 5, i % 7, (i * 3) as f64), &dynamics)
                 .unwrap();
             pinned.push(maintainer.snapshot());
         }
@@ -884,7 +1135,7 @@ mod tests {
         let mut bad = TableDelta::for_relation(db.relation("Sales").unwrap());
         bad.delete(&[Value::Int(99), Value::Int(99), Value::Double(99.0)])
             .unwrap();
-        assert!(maintainer.apply(&bad, &DynamicRegistry::new()).is_err());
+        assert!(maintainer.commit(&bad, &DynamicRegistry::new()).is_err());
         let still = maintainer.snapshot();
         assert_eq!(still.generation(), 0);
         assert!(Arc::ptr_eq(&gen0, &still), "same snapshot object");
@@ -915,7 +1166,7 @@ mod tests {
             } else {
                 d.delete(&row).unwrap();
             }
-            maintainer.apply(&d, &dynamics).unwrap();
+            maintainer.commit(&d, &dynamics).unwrap();
         }
         assert_eq!(maintainer.generation(), 10_000);
 

@@ -23,6 +23,7 @@ pub mod hash;
 pub mod relation;
 pub mod schema;
 pub mod snapshot;
+pub mod transaction;
 pub mod trie;
 pub mod value;
 
@@ -36,6 +37,7 @@ pub use hash::{FxHashMap, FxHashSet};
 pub use relation::{Relation, RowView};
 pub use schema::{AttrId, Attribute, DatabaseSchema, RelationSchema};
 pub use snapshot::DatabaseSnapshot;
+pub use transaction::Transaction;
 pub use trie::TrieScan;
 pub use value::{AttrType, Value};
 

@@ -1,0 +1,306 @@
+//! Multi-relation transactions: atomic sets of [`TableDelta`]s.
+//!
+//! A [`Transaction`] bundles signed deltas against *several* base relations
+//! into one unit of change. The maintenance layer in `lmfao-core` applies a
+//! transaction with a single DAG walk and publishes exactly one generation —
+//! readers either see all of the transaction's effects or none of them.
+//!
+//! A transaction is an **unordered changeset against the pre-state**: every
+//! delete targets a tuple of the database as it stood before the transaction,
+//! and every insert adds a tuple on top. The same row appearing with both an
+//! insert and a delete is therefore ambiguous (net no-op? replace?) and is
+//! reported as a conflict by [`Transaction::conflict`] rather than resolved
+//! silently. *Ordered* streams of changes resolve such pairs by position —
+//! that is [`Transaction::coalesce`], which cancels matching insert/delete
+//! pairs the way applying the ops one after another would, and what the
+//! `DeltaBuffer` in `lmfao-core` does for buffered write streams.
+
+use crate::delta::TableDelta;
+use crate::error::Result;
+use crate::hash::FxHashMap;
+use crate::value::Value;
+
+/// An atomic set of signed deltas over one or more base relations.
+///
+/// Build one with [`Transaction::new`] + [`Transaction::push`], or convert a
+/// single [`TableDelta`] via `From`. Deltas pushed for the same relation are
+/// merged into one per-relation delta, preserving push order.
+#[derive(Debug, Clone, Default)]
+pub struct Transaction {
+    /// One merged delta per touched relation, in first-touch order.
+    deltas: Vec<TableDelta>,
+}
+
+impl Transaction {
+    /// An empty transaction (committing it is a typed error, not a no-op).
+    pub fn new() -> Self {
+        Transaction::default()
+    }
+
+    /// Adds a delta to the transaction, merging it into the existing delta
+    /// for the same relation if there is one. Fails only if two deltas claim
+    /// the same relation name with different arities.
+    pub fn push(&mut self, delta: TableDelta) -> Result<()> {
+        match self
+            .deltas
+            .iter_mut()
+            .find(|d| d.relation() == delta.relation())
+        {
+            Some(existing) => append_delta(existing, &delta),
+            None => {
+                self.deltas.push(delta);
+                Ok(())
+            }
+        }
+    }
+
+    /// The per-relation merged deltas, in first-touch order.
+    pub fn deltas(&self) -> &[TableDelta] {
+        &self.deltas
+    }
+
+    /// The merged delta against one relation, if the transaction touches it.
+    pub fn delta_for(&self, relation: &str) -> Option<&TableDelta> {
+        self.deltas.iter().find(|d| d.relation() == relation)
+    }
+
+    /// Names of the relations the transaction touches, in first-touch order.
+    pub fn relations(&self) -> impl Iterator<Item = &str> {
+        self.deltas.iter().map(|d| d.relation())
+    }
+
+    /// Number of distinct relations touched.
+    pub fn num_relations(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Total number of recorded changes (inserts plus deletes, all relations).
+    pub fn len(&self) -> usize {
+        self.deltas.iter().map(|d| d.len()).sum()
+    }
+
+    /// True if the transaction records no change at all.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.iter().all(|d| d.is_empty())
+    }
+
+    /// The first row recorded with **both** an insert and a delete within one
+    /// relation, if any: `(relation name, debug-printed row)`. An unordered
+    /// changeset cannot say which op wins, so the maintenance layer refuses
+    /// to commit a conflicted transaction; resolve by stream order first with
+    /// [`Transaction::coalesce`].
+    pub fn conflict(&self) -> Option<(String, String)> {
+        for delta in &self.deltas {
+            let arity = delta.rows().schema().arity();
+            let mut seen: FxHashMap<Vec<Value>, i8> = FxHashMap::default();
+            for (i, &sign) in delta.signs().iter().enumerate() {
+                let row: Vec<Value> = (0..arity).map(|c| delta.rows().value(i, c)).collect();
+                match seen.get(&row) {
+                    Some(&prev) if prev != sign => {
+                        return Some((delta.relation().to_string(), format!("{row:?}")));
+                    }
+                    Some(_) => {}
+                    None => {
+                        seen.insert(row, sign);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Resolves the transaction as an ordered stream: matching insert/delete
+    /// pairs of the same row within one relation cancel (multiset-wise: `m`
+    /// inserts and `n` deletes of a row net to `|m - n|` ops of the majority
+    /// sign), and relations whose deltas fully cancel are dropped. The result
+    /// is conflict-free by construction.
+    pub fn coalesce(mut self) -> Self {
+        self.deltas = self
+            .deltas
+            .iter()
+            .filter_map(|delta| {
+                let arity = delta.rows().schema().arity();
+                // Net signed multiplicity per distinct row.
+                let mut net: FxHashMap<Vec<Value>, i64> = FxHashMap::default();
+                for (i, &sign) in delta.signs().iter().enumerate() {
+                    let row: Vec<Value> = (0..arity).map(|c| delta.rows().value(i, c)).collect();
+                    *net.entry(row).or_insert(0) += i64::from(sign);
+                }
+                // Re-emit ops in original order until each row's net is spent,
+                // so coalescing is deterministic and order-preserving.
+                let mut out = TableDelta::new(delta.rows().schema().clone());
+                for (i, &sign) in delta.signs().iter().enumerate() {
+                    let row: Vec<Value> = (0..arity).map(|c| delta.rows().value(i, c)).collect();
+                    let remaining = net.get_mut(&row).expect("row was counted above");
+                    if *remaining > 0 && sign > 0 {
+                        *remaining -= 1;
+                        out.insert(&row).expect("row round-trips its own schema");
+                    } else if *remaining < 0 && sign < 0 {
+                        *remaining += 1;
+                        out.delete(&row).expect("row round-trips its own schema");
+                    }
+                }
+                (!out.is_empty()).then_some(out)
+            })
+            .collect();
+        self
+    }
+}
+
+/// Appends every op of `src` onto `dst` (same relation, row by row).
+fn append_delta(dst: &mut TableDelta, src: &TableDelta) -> Result<()> {
+    let arity = src.rows().schema().arity();
+    for (i, &sign) in src.signs().iter().enumerate() {
+        let row: Vec<Value> = (0..arity).map(|c| src.rows().value(i, c)).collect();
+        if sign > 0 {
+            dst.insert(&row)?;
+        } else {
+            dst.delete(&row)?;
+        }
+    }
+    Ok(())
+}
+
+impl From<TableDelta> for Transaction {
+    fn from(delta: TableDelta) -> Self {
+        Transaction {
+            deltas: vec![delta],
+        }
+    }
+}
+
+impl From<&TableDelta> for Transaction {
+    fn from(delta: &TableDelta) -> Self {
+        Transaction {
+            deltas: vec![delta.clone()],
+        }
+    }
+}
+
+impl FromIterator<TableDelta> for Transaction {
+    /// Collects deltas into one transaction; panics only on arity mismatch
+    /// between two deltas claiming the same relation (use
+    /// [`Transaction::push`] for fallible assembly).
+    fn from_iter<I: IntoIterator<Item = TableDelta>>(iter: I) -> Self {
+        let mut txn = Transaction::new();
+        for delta in iter {
+            txn.push(delta)
+                .expect("deltas for one relation must share its schema");
+        }
+        txn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrId, RelationSchema};
+
+    fn schema(name: &str) -> RelationSchema {
+        RelationSchema::new(name, vec![AttrId(0), AttrId(1)])
+    }
+
+    fn row(a: i64, b: f64) -> Vec<Value> {
+        vec![Value::Int(a), Value::Double(b)]
+    }
+
+    #[test]
+    fn push_merges_same_relation_deltas() {
+        let mut txn = Transaction::new();
+        let mut d1 = TableDelta::new(schema("R"));
+        d1.insert(&row(1, 0.5)).unwrap();
+        let mut d2 = TableDelta::new(schema("R"));
+        d2.delete(&row(2, 1.5)).unwrap();
+        let mut d3 = TableDelta::new(schema("S"));
+        d3.insert(&row(3, 2.5)).unwrap();
+        txn.push(d1).unwrap();
+        txn.push(d2).unwrap();
+        txn.push(d3).unwrap();
+        assert_eq!(txn.num_relations(), 2);
+        assert_eq!(txn.len(), 3);
+        assert_eq!(txn.relations().collect::<Vec<_>>(), vec!["R", "S"]);
+        let r = txn.delta_for("R").unwrap();
+        assert_eq!(r.num_inserts(), 1);
+        assert_eq!(r.num_deletes(), 1);
+        assert!(txn.delta_for("T").is_none());
+    }
+
+    #[test]
+    fn conflict_flags_same_row_with_both_signs() {
+        let mut txn = Transaction::new();
+        let mut d = TableDelta::new(schema("R"));
+        d.insert(&row(1, 0.5)).unwrap();
+        d.delete(&row(1, 0.5)).unwrap();
+        txn.push(d).unwrap();
+        let (relation, printed) = txn.conflict().unwrap();
+        assert_eq!(relation, "R");
+        assert!(printed.contains("Int(1)"));
+        // Two inserts of one row, or disjoint rows, are not conflicts.
+        let mut clean = Transaction::new();
+        let mut d = TableDelta::new(schema("R"));
+        d.insert(&row(1, 0.5)).unwrap();
+        d.insert(&row(1, 0.5)).unwrap();
+        d.delete(&row(2, 1.5)).unwrap();
+        clean.push(d).unwrap();
+        assert!(clean.conflict().is_none());
+    }
+
+    #[test]
+    fn coalesce_cancels_multiset_pairs_in_order() {
+        let mut txn = Transaction::new();
+        let mut d = TableDelta::new(schema("R"));
+        d.insert(&row(1, 0.5)).unwrap(); // cancels with the delete below
+        d.insert(&row(1, 0.5)).unwrap(); // survives (net +1)
+        d.insert(&row(7, 7.0)).unwrap(); // untouched
+        d.delete(&row(1, 0.5)).unwrap();
+        txn.push(d).unwrap();
+        let coalesced = txn.coalesce();
+        assert!(coalesced.conflict().is_none());
+        let r = coalesced.delta_for("R").unwrap();
+        assert_eq!(r.num_inserts(), 2);
+        assert_eq!(r.num_deletes(), 0);
+        assert_eq!(coalesced.len(), 2);
+    }
+
+    #[test]
+    fn fully_cancelling_transaction_coalesces_to_empty() {
+        let mut txn = Transaction::new();
+        let mut d = TableDelta::new(schema("R"));
+        for _ in 0..5 {
+            d.insert(&row(3, 3.0)).unwrap();
+            d.delete(&row(3, 3.0)).unwrap();
+        }
+        txn.push(d).unwrap();
+        assert!(!txn.is_empty());
+        let coalesced = txn.coalesce();
+        assert!(coalesced.is_empty());
+        assert_eq!(coalesced.num_relations(), 0);
+    }
+
+    #[test]
+    fn from_delta_and_from_iter_build_transactions() {
+        let mut d = TableDelta::new(schema("R"));
+        d.insert(&row(1, 1.0)).unwrap();
+        let txn: Transaction = (&d).into();
+        assert_eq!(txn.len(), 1);
+        let txn: Transaction = d.clone().into();
+        assert_eq!(txn.num_relations(), 1);
+
+        let mut s = TableDelta::new(schema("S"));
+        s.delete(&row(2, 2.0)).unwrap();
+        let txn: Transaction = [d, s].into_iter().collect();
+        assert_eq!(txn.num_relations(), 2);
+        assert_eq!(txn.len(), 2);
+    }
+
+    #[test]
+    fn empty_transaction_reports_empty() {
+        let txn = Transaction::new();
+        assert!(txn.is_empty());
+        assert_eq!(txn.len(), 0);
+        assert!(txn.conflict().is_none());
+        // A transaction holding only an empty delta is still empty.
+        let txn: Transaction = TableDelta::new(schema("R")).into();
+        assert!(txn.is_empty());
+    }
+}

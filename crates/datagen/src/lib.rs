@@ -18,7 +18,7 @@ pub mod updates;
 pub mod yelp;
 
 pub use common::{Dataset, Scale};
-pub use updates::{fact_relation, update_stream, UpdateMix};
+pub use updates::{fact_relation, transaction_stream, txn_relations, update_stream, UpdateMix};
 
 /// All four paper datasets at the given scale, in the order of Table 1.
 pub fn all_datasets(scale: Scale) -> Vec<Dataset> {

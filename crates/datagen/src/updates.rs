@@ -8,9 +8,12 @@
 //! tuple that currently exists, tracking the relation state across the whole
 //! stream so every delta applies cleanly. [`UpdateMix`] captures the paper
 //! datasets' natural mixes — fact tables are append-heavy, dimension tables
-//! see occasional corrections.
+//! see occasional corrections. [`transaction_stream`] lifts per-relation
+//! streams into multi-relation [`Transaction`]s ([`txn_relations`] names
+//! each dataset's natural fact + dimension bundle) for the transactional
+//! commit path.
 
-use lmfao_data::{Column, TableDelta, Value};
+use lmfao_data::{Column, TableDelta, Transaction, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -89,6 +92,68 @@ pub fn fact_relation(dataset: &str) -> &'static str {
         "TPC-DS" => "StoreSales",
         other => panic!("no fact relation known for dataset `{other}`"),
     }
+}
+
+/// The relations a multi-relation transaction workload updates together:
+/// the fact relation plus its joining dimension tables — the natural shape
+/// of a business event that lands new facts *and* corrects the entities
+/// they reference in one atomic change. The wider a transaction, the more
+/// per-generation work (projection, certificate, snapshot publication) the
+/// one-DAG-walk commit amortizes over a single publish.
+pub fn txn_relations(dataset: &str) -> Vec<&'static str> {
+    match dataset {
+        "Retailer" => vec!["Inventory", "Location", "Census", "Item", "Weather"],
+        "Favorita" => vec![
+            "Sales",
+            "Holidays",
+            "StoRes",
+            "Items",
+            "Transactions",
+            "Oil",
+        ],
+        "Yelp" => vec!["Review", "Business", "User", "Category", "Attribute"],
+        "TPC-DS" => vec!["StoreSales", "ItemDim", "StoreDim", "DateDim", "Customer"],
+        other => panic!("no transaction relations known for dataset `{other}`"),
+    }
+}
+
+/// Generates a reproducible stream of multi-relation [`Transaction`]s
+/// against `relations` of `ds`.
+///
+/// Each relation gets its own [`update_stream`] of `mix.operations`
+/// operations (independently seeded from `mix.seed`, so relation streams
+/// are uncorrelated but the whole ensemble is reproducible); transaction
+/// `t` bundles the `t`-th delta of every stream that still has one. The
+/// per-transaction changesets are [coalesced](Transaction::coalesce), so a
+/// batched delta's same-row churn nets out instead of tripping the commit
+/// path's conflict check, and transactions that fully cancel are dropped.
+/// Applied in order, every transaction's deltas hit live tuples, exactly as
+/// the single-relation streams guarantee.
+pub fn transaction_stream(ds: &Dataset, relations: &[&str], mix: &UpdateMix) -> Vec<Transaction> {
+    let streams: Vec<Vec<TableDelta>> = relations
+        .iter()
+        .enumerate()
+        .map(|(i, relation)| {
+            let per_relation = mix.seed(mix.seed.wrapping_add(0x9e37_79b9 * i as u64));
+            update_stream(ds, relation, &per_relation)
+        })
+        .collect();
+    let rounds = streams.iter().map(Vec::len).max().unwrap_or(0);
+    let mut transactions = Vec::new();
+    for round in 0..rounds {
+        let mut txn = Transaction::new();
+        for stream in &streams {
+            if let Some(delta) = stream.get(round) {
+                txn.push(delta.clone())
+                    .expect("stream deltas agree on their relation's schema");
+            }
+        }
+        let txn = txn.coalesce();
+        if !txn.is_empty() {
+            transactions.push(txn);
+        }
+    }
+    transactions
 }
 
 /// Generates a reproducible stream of deltas against `relation` of `ds`.
@@ -283,5 +348,60 @@ mod tests {
     #[should_panic(expected = "no fact relation")]
     fn unknown_dataset_has_no_fact_relation() {
         fact_relation("Unknown");
+    }
+
+    #[test]
+    #[should_panic(expected = "no transaction relations")]
+    fn unknown_dataset_has_no_txn_relations() {
+        txn_relations("Unknown");
+    }
+
+    #[test]
+    fn transaction_streams_apply_cleanly_to_every_dataset() {
+        for mut ds in crate::all_datasets(Scale::small()) {
+            let relations = txn_relations(&ds.name);
+            for relation in &relations {
+                assert!(ds.db.relation(relation).is_ok(), "{}: {relation}", ds.name);
+            }
+            let stream = transaction_stream(&ds, &relations, &UpdateMix::balanced(12).seed(5));
+            assert!(!stream.is_empty(), "{}", ds.name);
+            assert!(
+                stream.iter().any(|t| t.num_relations() == relations.len()),
+                "{}: some transaction must span all {} relations",
+                ds.name,
+                relations.len()
+            );
+            for txn in &stream {
+                assert!(
+                    txn.conflict().is_none(),
+                    "{}: coalesced streams commit",
+                    ds.name
+                );
+                for delta in txn.deltas() {
+                    ds.db
+                        .relation_mut(delta.relation())
+                        .unwrap()
+                        .apply(delta)
+                        .expect("transaction deltas must apply in order");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transaction_streams_are_deterministic_per_seed() {
+        let ds = crate::retailer::generate(Scale::small());
+        let relations = txn_relations("Retailer");
+        let mix = UpdateMix::corrections(8).seed(11);
+        let a = transaction_stream(&ds, &relations, &mix);
+        let b = transaction_stream(&ds, &relations, &mix);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.len(), y.len());
+            assert_eq!(
+                x.relations().collect::<Vec<_>>(),
+                y.relations().collect::<Vec<_>>()
+            );
+        }
     }
 }

@@ -37,7 +37,7 @@ impl StreamingCovar {
     /// Absorbs a delta against one base relation, refreshing only the
     /// affected views.
     pub fn apply(&mut self, delta: &TableDelta) -> Result<RefreshStats, EngineError> {
-        self.maintained.apply(delta, &DynamicRegistry::new())
+        self.maintained.commit(delta, &DynamicRegistry::new())
     }
 
     /// The current covariance matrix (continuous features + intercept),

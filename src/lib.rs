@@ -143,7 +143,7 @@
 //! let mut delta = TableDelta::for_relation(live.database().relation("Sales").unwrap());
 //! delta.insert(&[Value::Int(1), Value::Int(1), Value::Double(4.0)]).unwrap();
 //! delta.delete(&[Value::Int(2), Value::Int(1), Value::Double(5.0)]).unwrap();
-//! let stats = live.apply(&delta, &dynamics).unwrap();
+//! let stats = live.commit(&delta, &dynamics).unwrap();
 //! assert!(stats.views_changed > 0);
 //!
 //! // Results refreshed without re-scanning the base data.
@@ -215,7 +215,7 @@
 //! // The writer publishes generation 1: one more sale.
 //! let mut delta = TableDelta::for_relation(live.database().relation("Sales").unwrap());
 //! delta.insert(&[Value::Int(1), Value::Int(1), Value::Double(4.0)]).unwrap();
-//! live.apply(&delta, &dynamics).unwrap();
+//! live.commit(&delta, &dynamics).unwrap();
 //!
 //! // The old pin still answers exactly what it answered before…
 //! assert_eq!(pinned.generation(), 0);
@@ -229,6 +229,115 @@
 //! For an always-on serving loop (reader threads + one paced writer +
 //! latency quantiles + a recompute audit of sampled reads), see the `serve`
 //! binary and `serve` module of `lmfao-bench`.
+//!
+//! ## Transactions & isolation
+//!
+//! Updates that belong together commit together. A [`data::Transaction`] is
+//! a set of [`data::TableDelta`]s over *multiple* relations, and
+//! [`engine::MaintainedBatch::commit`] (same name on
+//! [`engine::Maintainer`]) applies the whole set in **one** DAG walk: the
+//! refresh frontiers of every changed relation are unioned, each affected
+//! group is scanned once with the changed slots masked, and exactly one
+//! generation is published — readers never observe a state where one
+//! relation's delta landed and another's has not. A bare `TableDelta` still
+//! commits directly (it converts via `Into<Transaction>`). The
+//! [`engine::DeltaBuffer`] in front coalesces cancelling insert/delete
+//! pairs and flushes on size or latency thresholds — a fully-cancelling
+//! stream publishes *zero* generations. And because isolation claims
+//! deserve the same scepticism as query results (see the certificates
+//! below), [`engine::check_history`] is a black-box checker: record what
+//! the writer committed ([`engine::CommitEvent`]) and what each reader
+//! actually saw ([`engine::ReadEvent`]), and it verifies the
+//! snapshot-isolation axioms — no torn transactions, reads see a committed
+//! prefix, generations never move backwards on one handle.
+//!
+//! ```
+//! use lmfao::prelude::*;
+//! use std::time::Duration;
+//!
+//! # let mut schema = DatabaseSchema::new();
+//! # schema.add_relation_with_attrs(
+//! #     "Sales",
+//! #     &[("store", AttrType::Int), ("item", AttrType::Int), ("units", AttrType::Double)],
+//! # );
+//! # schema.add_relation_with_attrs(
+//! #     "Items",
+//! #     &[("item", AttrType::Int), ("price", AttrType::Double)],
+//! # );
+//! # let units = schema.attr_id("units").unwrap();
+//! # let price = schema.attr_id("price").unwrap();
+//! # let sales = Relation::from_rows(
+//! #     schema.relation("Sales").unwrap().clone(),
+//! #     vec![
+//! #         vec![Value::Int(1), Value::Int(1), Value::Double(3.0)],
+//! #         vec![Value::Int(2), Value::Int(1), Value::Double(5.0)],
+//! #     ],
+//! # )
+//! # .unwrap();
+//! # let items = Relation::from_rows(
+//! #     schema.relation("Items").unwrap().clone(),
+//! #     vec![vec![Value::Int(1), Value::Double(10.0)]],
+//! # )
+//! # .unwrap();
+//! # let db = Database::new(schema.clone(), vec![sales, items]).unwrap();
+//! # let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+//! # let mut batch = QueryBatch::new();
+//! # batch.push("revenue", vec![], vec![Aggregate::sum_product(units, price)]);
+//! // Same Sales ⋈ Items setup as above. Prepare once, go live:
+//! let engine = Engine::new(db, tree, EngineConfig::default());
+//! let dynamics = DynamicRegistry::new();
+//! let mut live = engine.prepare(&batch).unwrap().into_maintained(&dynamics).unwrap();
+//! let pinned = live.snapshot();
+//!
+//! // Buffer one business event: a sale lands AND its item reprices.
+//! let mut buffer = DeltaBuffer::new(3, Duration::from_millis(50));
+//! let mut sale = TableDelta::for_relation(live.database().relation("Sales").unwrap());
+//! sale.insert(&[Value::Int(1), Value::Int(1), Value::Double(4.0)]).unwrap();
+//! buffer.push(sale);
+//! let mut reprice = TableDelta::for_relation(live.database().relation("Items").unwrap());
+//! reprice.delete(&[Value::Int(1), Value::Double(10.0)]).unwrap();
+//! reprice.insert(&[Value::Int(1), Value::Double(20.0)]).unwrap();
+//! buffer.push(reprice);
+//! assert!(buffer.should_flush()); // size threshold reached
+//!
+//! // One transaction over two relations — one walk, one generation.
+//! let txn = buffer.flush().unwrap();
+//! assert_eq!(txn.num_relations(), 2);
+//! let stats = live.commit(txn, &dynamics).unwrap();
+//! assert_eq!(stats.relations_changed, 2);
+//!
+//! // The pinned generation-0 snapshot is unaffected…
+//! assert_eq!(pinned.generation(), 0);
+//! assert_eq!(pinned.query("revenue").unwrap().scalar()[0], 80.0);
+//! // …and fresh loads see the *whole* transaction at once: (3+5+4) · 20.
+//! let fresh = live.snapshot();
+//! assert_eq!(fresh.generation(), 1);
+//! assert_eq!(fresh.query("revenue").unwrap().scalar()[0], 240.0);
+//!
+//! // Record the history both sides experienced; the checker signs off.
+//! let mut history = History::new();
+//! for snap in [&pinned, &fresh] {
+//!     history.add_commit(CommitEvent {
+//!         txn_id: snap.txn_id(),
+//!         generation: snap.generation(),
+//!         digest: snapshot_digest(snap),
+//!     });
+//! }
+//! for (seq, snap) in [&pinned, &fresh].into_iter().enumerate() {
+//!     history.add_read(ReadEvent {
+//!         reader: 0,
+//!         seq: seq as u64,
+//!         generation: snap.generation(),
+//!         txn_id: snap.txn_id(),
+//!         digest: snapshot_digest(snap),
+//!     });
+//! }
+//! assert!(check_history(&history).is_empty());
+//! ```
+//!
+//! The `iso` module of `lmfao-bench` stress-runs exactly this contract:
+//! concurrent reader threads and one transactional writer record a history
+//! while racing, and any violation fails the run.
 //!
 //! ## Execution certificates: untrusted engine, trusted checker
 //!
@@ -316,12 +425,14 @@ pub mod prelude {
     pub use lmfao_baseline::{MaterializedEngine, RecomputeReference};
     pub use lmfao_certify::{check_certificate, check_chain, CertError, Certificate, ChainSummary};
     pub use lmfao_core::{
-        BatchResult, Engine, EngineConfig, EngineError, EngineStats, MaintainedBatch, Maintainer,
-        PreparedBatch, QueryResult, RefreshStats, SharedDatabase, SnapshotHandle, ViewSnapshot,
+        check_history, snapshot_digest, BatchResult, CommitEvent, DeltaBuffer, Engine,
+        EngineConfig, EngineError, EngineStats, History, IsoViolation, MaintainedBatch, Maintainer,
+        PreparedBatch, QueryResult, ReadEvent, RefreshStats, SharedDatabase, SnapshotHandle,
+        ViewSnapshot,
     };
     pub use lmfao_data::{
         AttrId, AttrType, Database, DatabaseSchema, DatabaseSnapshot, Relation, RelationSchema,
-        TableDelta, Value,
+        TableDelta, Transaction, Value,
     };
     pub use lmfao_datagen::{Dataset, Scale};
     pub use lmfao_expr::{

@@ -94,7 +94,7 @@ fn chain_for(ds: &Dataset, applies: usize) -> Vec<Certificate> {
         &UpdateMix::balanced(applies).seed(9),
     );
     for delta in &stream {
-        live.apply(delta, &dynamics).unwrap();
+        live.commit(delta, &dynamics).unwrap();
         chain.push((*live.certificate()).clone());
     }
     chain
@@ -207,10 +207,59 @@ fn wire_format_is_closed() {
         Err(CertError::Malformed(_))
     ));
 
-    let future = json.replacen("\"version\":1", "\"version\":2", 1);
+    let future = json.replacen("\"version\":2", "\"version\":3", 1);
+    assert_ne!(future, json, "the emitted version must be the spoken one");
     let parsed = parse_certificate(&future).unwrap();
     assert!(matches!(
         check_certificate(&parsed),
-        Err(CertError::UnsupportedVersion { found: 2 })
+        Err(CertError::UnsupportedVersion { found: 3 })
     ));
+}
+
+/// One transaction, one certificate: a commit spanning several relations
+/// emits a single maintenance certificate accounting for *every* changed
+/// relation, and the chain including it verifies before and after the
+/// canonical-JSON round trip.
+#[test]
+fn one_certificate_per_transaction_accounts_every_relation() {
+    use lmfao::datagen::{transaction_stream, txn_relations};
+
+    let dynamics = DynamicRegistry::new();
+    let ds = datagen::all_datasets(Scale::small()).swap_remove(1); // Favorita
+    let mut live = engine_for(&ds, EngineConfig::default())
+        .prepare(&workload(&ds))
+        .unwrap()
+        .into_maintained(&dynamics)
+        .unwrap();
+    let mut chain: Vec<Certificate> = vec![(*live.certificate()).clone()];
+
+    let relations = txn_relations(&ds.name);
+    let txns = transaction_stream(&ds, &relations, &UpdateMix::balanced(4).seed(13));
+    let mut multi = 0;
+    for txn in &txns {
+        let spanned = txn.num_relations();
+        live.commit(txn.clone(), &dynamics).unwrap();
+        let cert = (*live.certificate()).clone();
+        let Certificate::Maintenance(m) = &cert else {
+            panic!("commits emit maintenance certificates");
+        };
+        // Exactly one certificate for the whole transaction, with one
+        // cardinality account per relation it touched.
+        assert_eq!(m.relations.len(), spanned);
+        assert_eq!(m.txn, live.snapshot().txn_id());
+        if spanned >= 2 {
+            multi += 1;
+        }
+        chain.push(cert);
+    }
+    assert!(multi > 0, "the stream must span multiple relations");
+    assert_eq!(chain.len(), txns.len() + 1);
+
+    let summary = check_chain(&chain).unwrap();
+    assert_eq!(summary.final_generation, txns.len() as u64);
+    let rehydrated: Vec<Certificate> = chain
+        .iter()
+        .map(|c| parse_certificate(&to_json(c)).unwrap())
+        .collect();
+    assert_eq!(check_chain(&rehydrated).unwrap(), summary);
 }

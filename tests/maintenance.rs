@@ -102,7 +102,7 @@ fn maintained_batches_match_recompute_on_all_datasets_across_the_ladder() {
             let mut reference =
                 RecomputeReference::new(ds.db.clone(), ds.tree.clone(), cfg, batch.clone());
             for (step, delta) in stream.iter().enumerate() {
-                maintained.apply(delta, &dynamics).unwrap();
+                maintained.commit(delta, &dynamics).unwrap();
                 reference.apply(delta).unwrap();
                 let got = maintained.results().unwrap();
                 let want = reference.recompute().unwrap();
@@ -141,7 +141,7 @@ fn dimension_streams_propagate_correctly() {
         .unwrap();
     let mut reference = RecomputeReference::new(ds.db.clone(), ds.tree.clone(), cfg, batch);
     for (step, delta) in stream.iter().enumerate() {
-        maintained.apply(delta, &dynamics).unwrap();
+        maintained.commit(delta, &dynamics).unwrap();
         reference.apply(delta).unwrap();
         assert_agree(
             &maintained.results().unwrap(),
@@ -231,7 +231,7 @@ fn integer_valued_streams_are_bit_identical_to_recompute() {
                     ])
                     .unwrap();
             }
-            maintained.apply(&delta, &dynamics).unwrap();
+            maintained.commit(&delta, &dynamics).unwrap();
             reference.apply(&delta).unwrap();
             assert_agree(
                 &maintained.results().unwrap(),
@@ -241,4 +241,126 @@ fn integer_valued_streams_are_bit_identical_to_recompute() {
             );
         }
     }
+}
+
+/// The transactional acceptance property: a multi-relation transaction
+/// committed in one DAG walk produces **bit-identical** results to the same
+/// deltas committed one relation at a time, and both agree with a full
+/// recompute — on all four datasets, across the ablation ladder. The
+/// one-walk side publishes exactly one generation per transaction; the
+/// sequential side publishes one per delta.
+#[test]
+fn multi_relation_transactions_match_sequential_and_recompute() {
+    use lmfao::datagen::{transaction_stream, txn_relations};
+
+    let dynamics = DynamicRegistry::new();
+    for ds in datagen::all_datasets(Scale::small()) {
+        let batch = workload(&ds);
+        let relations = txn_relations(&ds.name);
+        let txns = transaction_stream(&ds, &relations, &UpdateMix::balanced(6).seed(3));
+        assert!(
+            txns.iter().any(|t| t.num_relations() >= 2),
+            "{}: the stream must produce multi-relation transactions",
+            ds.name
+        );
+        for (name, cfg) in EngineConfig::ablation_ladder(2) {
+            let engine = Engine::new(ds.db.clone(), ds.tree.clone(), cfg);
+            let mut txn_side = engine
+                .prepare(&batch)
+                .unwrap()
+                .into_maintained(&dynamics)
+                .unwrap();
+            let mut seq_side = engine
+                .prepare(&batch)
+                .unwrap()
+                .into_maintained(&dynamics)
+                .unwrap();
+            let mut reference =
+                RecomputeReference::new(ds.db.clone(), ds.tree.clone(), cfg, batch.clone());
+            let mut committed = 0u64;
+            let mut deltas_applied = 0u64;
+            for (step, txn) in txns.iter().enumerate() {
+                txn_side.commit(txn.clone(), &dynamics).unwrap();
+                committed += 1;
+                for delta in txn.deltas() {
+                    seq_side.commit(delta, &dynamics).unwrap();
+                    reference.apply(delta).unwrap();
+                    deltas_applied += 1;
+                }
+                let context = format!("{}/{name} txn {step}", ds.name);
+                // One walk vs several: counts agree to the bit, continuous
+                // sums within the documented reassociation slack (the
+                // bit-strict variant lives in `lmfao_core::maintain`'s unit
+                // tests over integer-valued data).
+                assert_agree(
+                    &txn_side.results().unwrap(),
+                    &seq_side.results().unwrap(),
+                    false,
+                    &context,
+                );
+                assert_agree(
+                    &txn_side.results().unwrap(),
+                    &reference.recompute().unwrap(),
+                    false,
+                    &context,
+                );
+            }
+            // One generation per transaction vs one per delta.
+            assert_eq!(
+                txn_side.snapshot().generation(),
+                committed,
+                "{}/{name}",
+                ds.name
+            );
+            assert_eq!(
+                seq_side.snapshot().generation(),
+                deltas_applied,
+                "{}/{name}",
+                ds.name
+            );
+            assert!(deltas_applied > committed, "{}/{name}", ds.name);
+        }
+    }
+}
+
+/// A fully-cancelling buffered stream flushes to nothing: no transaction is
+/// produced, no commit happens, and no generation is ever published.
+#[test]
+fn fully_cancelling_buffer_publishes_zero_generations() {
+    use std::time::Duration;
+
+    let dynamics = DynamicRegistry::new();
+    let ds = datagen::favorita::generate(Scale::small());
+    let batch = workload(&ds);
+    let engine = Engine::new(ds.db.clone(), ds.tree.clone(), EngineConfig::default());
+    let mut live = engine
+        .prepare(&batch)
+        .unwrap()
+        .into_maintained(&dynamics)
+        .unwrap();
+    let before = live.results().unwrap();
+
+    // Every insert is followed by a delete of the same row, across two
+    // relations; coalescing cancels the whole changeset.
+    let mut buffer = DeltaBuffer::new(1024, Duration::from_secs(3600));
+    for relation in ["Sales", "Transactions"] {
+        let rel = live.database().relation(relation).unwrap();
+        let rows: Vec<Vec<Value>> = rel.rows().take(4).map(|r| r.to_vec()).collect();
+        let mut ins = TableDelta::for_relation(rel);
+        let mut del = TableDelta::for_relation(rel);
+        for row in &rows {
+            ins.insert(row).unwrap();
+            del.delete(row).unwrap();
+        }
+        buffer.push(ins);
+        buffer.push(del);
+    }
+    assert!(!buffer.is_empty());
+    let flushed = buffer.flush();
+    assert!(flushed.is_none(), "cancelling stream must flush to nothing");
+    if let Some(txn) = flushed {
+        live.commit(txn, &dynamics).unwrap();
+    }
+    assert_eq!(live.snapshot().generation(), 0, "no generation published");
+    assert_agree(&live.results().unwrap(), &before, true, "unchanged state");
 }

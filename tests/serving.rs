@@ -132,7 +132,7 @@ fn pinned_readers_are_unaffected_by_a_concurrent_publication() {
         delta
             .insert(&[Value::Int(1), Value::Int(1), Value::Double(9.0)])
             .unwrap();
-        writer.apply(&delta, &dynamics).unwrap();
+        writer.commit(&delta, &dynamics).unwrap();
         assert_eq!(writer.generation(), 1);
         published_barrier.wait();
     });
@@ -195,7 +195,7 @@ fn stress_readers_always_match_a_recompute_at_their_pinned_generation() {
             .collect();
 
         for delta in &stream {
-            writer.apply(delta, &dynamics).unwrap();
+            writer.commit(delta, &dynamics).unwrap();
         }
         assert_eq!(writer.generation(), UPDATES as u64);
         stop.store(true, Ordering::Relaxed);
