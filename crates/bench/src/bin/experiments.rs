@@ -55,6 +55,16 @@
 //! snapshot-isolation checker validates the merged history. Any violation
 //! fails the process. Tunables: `--readers N`, `--iso-secs S` (default 3),
 //! `--dataset NAME`.
+//!
+//! `--scaling` runs the threads × scale sweep (combinable into the same JSON
+//! artifact): the CM and RT workloads of every dataset are executed at every
+//! point of a thread grid (default `1,2,4,8`, override with
+//! `--thread-grid 1,2,4`) crossed with a scale-factor grid multiplying the
+//! base `LMFAO_SCALE` (default `1,10`, override with `--scale-factors 1,10`).
+//! Each (dataset, workload, factor) sweep shares one prepared database so
+//! cells differ only in the worker count; the `"scaling"` JSON section
+//! records per-cell medians plus the speedup over the single-threaded cell,
+//! turning `BENCH_ci.json` into scaling curves instead of single points.
 
 use lmfao_baseline::{self as baseline, DenseTask, MaterializedEngine};
 use lmfao_bench::iso::{run_iso, IsoConfig, IsoReport};
@@ -519,6 +529,65 @@ fn render_maintain_json(records: &[MaintainRecord]) -> String {
     s
 }
 
+/// Renders the scaling sweep as the `"scaling"` JSON object. Every cell with
+/// a single-threaded sibling (same dataset, workload and factor) also carries
+/// `speedup_vs_1`, so the artifact encodes the scaling curves directly.
+fn render_scaling_json(cells: &[ScalingCell], thread_grid: &[usize], factors: &[usize]) -> String {
+    let list = |xs: &[usize]| {
+        xs.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut s = format!(
+        "  \"scaling\": {{\n    \"thread_grid\": [{}],\n    \"scale_factors\": [{}],\n    \"cells\": [\n",
+        list(thread_grid),
+        list(factors)
+    );
+    for (i, c) in cells.iter().enumerate() {
+        let baseline = cells.iter().find(|b| {
+            b.threads == 1
+                && b.error.is_none()
+                && b.dataset == c.dataset
+                && b.workload == c.workload
+                && b.scale_factor == c.scale_factor
+        });
+        s.push_str("      {");
+        s.push_str(&format!(
+            "\"dataset\": \"{}\", \"workload\": \"{}\", \"scale_factor\": {}, \
+             \"fact_rows\": {}, \"threads\": {}, ",
+            json_escape(&c.dataset),
+            json_escape(c.workload),
+            c.scale_factor,
+            c.fact_rows,
+            c.threads
+        ));
+        match &c.error {
+            Some(e) => s.push_str(&format!("\"ok\": false, \"error\": \"{}\"", json_escape(e))),
+            None => {
+                s.push_str(&format!(
+                    "\"ok\": true, \"median_secs\": {}, \"min_secs\": {}",
+                    json_f64(c.median_secs),
+                    json_f64(c.min_secs)
+                ));
+                if let Some(b) = baseline {
+                    s.push_str(&format!(
+                        ", \"speedup_vs_1\": {}",
+                        json_f64(b.median_secs / c.median_secs.max(1e-9))
+                    ));
+                }
+            }
+        }
+        s.push('}');
+        if i + 1 < cells.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("    ]\n  }");
+    s
+}
+
 /// Renders the isolation-run report as the `"isolation"` JSON object.
 fn render_iso_json(dataset: &str, r: &IsoReport) -> String {
     format!(
@@ -548,6 +617,7 @@ fn render_bench_json(
     serving: Option<(&str, &ServeReport)>,
     maintenance: Option<&[MaintainRecord]>,
     isolation: Option<(&str, &IsoReport)>,
+    scaling: Option<(&[ScalingCell], &[usize], &[usize])>,
     sc: Scale,
     threads: usize,
 ) -> String {
@@ -563,6 +633,9 @@ fn render_bench_json(
     }
     if isolation.is_some() {
         parts.push("iso");
+    }
+    if scaling.is_some() {
+        parts.push("scaling");
     }
     let suite = if parts.is_empty() {
         "quick".to_string()
@@ -634,8 +707,125 @@ fn render_bench_json(
         s.push_str(",\n");
         s.push_str(&render_iso_json(dataset, report));
     }
+    if let Some((cells, thread_grid, factors)) = scaling {
+        s.push_str(",\n");
+        s.push_str(&render_scaling_json(cells, thread_grid, factors));
+    }
     s.push_str("\n}\n");
     s
+}
+
+/// One cell of the `--scaling` sweep: a (dataset, workload, scale factor,
+/// thread count) point, median of several prepared executions.
+struct ScalingCell {
+    dataset: String,
+    workload: &'static str,
+    /// Multiplier applied to the base `LMFAO_SCALE`.
+    scale_factor: usize,
+    /// Fact-table rows actually generated for this cell.
+    fact_rows: usize,
+    threads: usize,
+    median_secs: f64,
+    min_secs: f64,
+    error: Option<String>,
+}
+
+/// The `--scaling` sweep: the CM and RT workloads of every dataset, executed
+/// at every point of `thread_grid` × `scale_factors`. For each scale factor
+/// the four databases are regenerated once (streaming, so the 10–100× grids
+/// stay memory-flat) and shared across all thread counts, so a sweep's cells
+/// differ only in the worker count handed to the morsel scheduler.
+fn scaling_bench(base: Scale, thread_grid: &[usize], scale_factors: &[usize]) -> Vec<ScalingCell> {
+    const RUNS: usize = 3;
+    println!(
+        "\nLMFAO scaling — threads {thread_grid:?} × scale {scale_factors:?} \
+         (base {} fact tuples), {RUNS} runs/cell",
+        base.fact_rows
+    );
+    println!(
+        "{:<10} {:<4} {:>7} {:>10} {:>8} {:>12} {:>9}",
+        "Dataset", "WL", "factor", "rows", "threads", "median", "speedup"
+    );
+    let dynamics = DynamicRegistry::new();
+    let mut cells = Vec::new();
+    for &factor in scale_factors {
+        let sc = base.scaled(factor);
+        let (datasets, gen_secs) = time(|| all_datasets(sc));
+        println!(
+            "  ({factor}x: 4 datasets at {} fact tuples in {gen_secs:.2}s)",
+            sc.fact_rows
+        );
+        for ds in &datasets {
+            let spec = WorkloadSpec::for_dataset(&ds.name);
+            let shared = lmfao_bench::shared_for(ds);
+            for (wl, batch) in [("CM", spec.covar_batch(ds)), ("RT", spec.rt_node_batch(ds))] {
+                let mut single_threaded = f64::NAN;
+                for &t in thread_grid {
+                    let engine = lmfao_bench::engine_for_shared(&shared, ds, EngineConfig::full(t));
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let prepared = engine.prepare(&batch).unwrap();
+                        let mut times = Vec::with_capacity(RUNS);
+                        for _ in 0..RUNS {
+                            let (_, secs) = time(|| prepared.execute(&dynamics).unwrap());
+                            times.push(secs);
+                        }
+                        times.sort_by(f64::total_cmp);
+                        (times[times.len() / 2], times[0])
+                    }));
+                    let cell = match outcome {
+                        Ok((median_secs, min_secs)) => {
+                            if t == 1 {
+                                single_threaded = median_secs;
+                            }
+                            println!(
+                                "{:<10} {:<4} {:>7} {:>10} {:>8} {:>11.4}s {:>8.2}x",
+                                ds.name,
+                                wl,
+                                factor,
+                                sc.fact_rows,
+                                t,
+                                median_secs,
+                                single_threaded / median_secs.max(1e-9)
+                            );
+                            ScalingCell {
+                                dataset: ds.name.clone(),
+                                workload: wl,
+                                scale_factor: factor,
+                                fact_rows: sc.fact_rows,
+                                threads: t,
+                                median_secs,
+                                min_secs,
+                                error: None,
+                            }
+                        }
+                        Err(panic) => {
+                            let msg = panic
+                                .downcast_ref::<String>()
+                                .cloned()
+                                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                                .unwrap_or_else(|| "unknown panic".to_string());
+                            println!(
+                                "{:<10} {:<4} {:>7} threads {t} ERROR: {msg}",
+                                ds.name, wl, factor
+                            );
+                            ScalingCell {
+                                dataset: ds.name.clone(),
+                                workload: wl,
+                                scale_factor: factor,
+                                fact_rows: sc.fact_rows,
+                                threads: t,
+                                median_secs: f64::NAN,
+                                min_secs: f64::NAN,
+                                error: Some(msg),
+                            }
+                        }
+                    };
+                    cells.push(cell);
+                }
+            }
+        }
+    }
+    cells
 }
 
 /// The CI benchmark smoke suite: every Table-3 workload on every dataset,
@@ -826,6 +1016,7 @@ fn ci_mode(
     is_maintain: bool,
     serve_config: Option<(&str, &ServeConfig)>,
     iso_config: Option<(&str, &IsoConfig)>,
+    scaling_config: Option<(&[usize], &[usize])>,
     json_path: Option<&str>,
 ) -> i32 {
     let sc = Scale::new(
@@ -885,6 +1076,16 @@ fn ci_mode(
         maintain_records
     });
 
+    let scaling_cells = scaling_config.map(|(thread_grid, factors)| {
+        let cells = scaling_bench(sc, thread_grid, factors);
+        let cell_errors = cells.iter().filter(|c| c.error.is_some()).count();
+        if cell_errors > 0 {
+            eprintln!("{cell_errors} scaling cell(s) errored");
+            code = 1;
+        }
+        cells
+    });
+
     let isolation = iso_config.map(|(dataset, config)| {
         let report = iso_bench(&datasets, dataset, threads, config);
         match &report {
@@ -912,11 +1113,16 @@ fn ci_mode(
         let iso_section = isolation
             .as_ref()
             .and_then(|(ds, r)| r.as_ref().map(|r| (*ds, r)));
+        let scaling_section = scaling_cells
+            .as_ref()
+            .zip(scaling_config)
+            .map(|(cells, (grid, factors))| (cells.as_slice(), grid, factors));
         let doc = render_bench_json(
             &records,
             serving_section,
             maintenance.as_deref(),
             iso_section,
+            scaling_section,
             sc,
             threads,
         );
@@ -933,6 +1139,9 @@ fn ci_mode(
         }
         if iso_section.is_some() {
             extras.push_str(" + isolation");
+        }
+        if scaling_section.is_some() {
+            extras.push_str(" + scaling");
         }
         println!("wrote {path} ({} workloads{extras})", records.len());
     }
@@ -1116,10 +1325,25 @@ fn main() {
     let mut is_maintain = false;
     let mut is_serve = false;
     let mut is_iso = false;
+    let mut is_scaling = false;
+    let mut thread_grid: Vec<usize> = vec![1, 2, 4, 8];
+    let mut scale_factors: Vec<usize> = vec![1, 10];
     let mut serve_config = ServeConfig::default();
     let mut iso_config = IsoConfig::default();
     let mut serve_dataset = "Retailer".to_string();
     let mut json_path: Option<String> = None;
+    let parse_list = |args: &[String], i: usize, flag: &str| -> Vec<usize> {
+        let raw: String = parse_flag_value(args, i, flag);
+        raw.split(',')
+            .map(|p| {
+                p.trim().parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("{flag}: `{p}` is not a positive integer");
+                    std::process::exit(2);
+                })
+            })
+            .map(|n| n.max(1))
+            .collect()
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -1128,6 +1352,15 @@ fn main() {
             "--maintain" => is_maintain = true,
             "--serve" => is_serve = true,
             "--iso" => is_iso = true,
+            "--scaling" => is_scaling = true,
+            "--thread-grid" => {
+                thread_grid = parse_list(&args, i, "--thread-grid");
+                i += 1;
+            }
+            "--scale-factors" => {
+                scale_factors = parse_list(&args, i, "--scale-factors");
+                i += 1;
+            }
             "--readers" => {
                 serve_config.readers = parse_flag_value(&args, i, "--readers");
                 iso_config.readers = serve_config.readers;
@@ -1174,15 +1407,17 @@ fn main() {
         }
         i += 1;
     }
-    if is_quick || is_serve || is_maintain || is_iso {
+    if is_quick || is_serve || is_maintain || is_iso || is_scaling {
         let serving = is_serve.then_some((serve_dataset.as_str(), &serve_config));
         let iso = is_iso.then_some((serve_dataset.as_str(), &iso_config));
+        let scaling = is_scaling.then_some((thread_grid.as_slice(), scale_factors.as_slice()));
         std::process::exit(ci_mode(
             is_quick,
             is_certify,
             is_maintain,
             serving,
             iso,
+            scaling,
             json_path.as_deref(),
         ));
     }

@@ -86,6 +86,19 @@ impl EngineConfig {
         self
     }
 
+    /// Thread count from the `LMFAO_THREADS` environment variable, falling
+    /// back to `fallback` when unset or unparsable. CI's thread-matrix job
+    /// runs the whole test suite under `LMFAO_THREADS={1,4}`; tests that
+    /// exercise the parallel executor resolve their thread count through
+    /// this so the matrix actually varies the scheduler.
+    pub fn env_threads(fallback: usize) -> usize {
+        std::env::var("LMFAO_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .map(|t| t.max(1))
+            .unwrap_or_else(|| fallback.max(1))
+    }
+
     /// The ablation ladder of Figure 5, in order.
     pub fn ablation_ladder(threads: usize) -> Vec<(&'static str, EngineConfig)> {
         vec![
@@ -124,5 +137,15 @@ mod tests {
     fn thread_count_never_zero() {
         assert_eq!(EngineConfig::full(0).threads, 1);
         assert_eq!(EngineConfig::default().threads(0).threads, 1);
+        // The test suite runs under a CI matrix that sets LMFAO_THREADS, so
+        // only the clamp is asserted here, not the exact resolved count.
+        assert!(EngineConfig::env_threads(0) >= 1);
+        match std::env::var("LMFAO_THREADS") {
+            Err(_) => assert_eq!(EngineConfig::env_threads(0), 1),
+            Ok(v) => {
+                let expect = v.trim().parse::<usize>().map(|t| t.max(1)).unwrap_or(7);
+                assert_eq!(EngineConfig::env_threads(7), expect);
+            }
+        }
     }
 }

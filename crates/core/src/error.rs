@@ -41,6 +41,10 @@ pub enum EngineError {
         /// The conflicting row, debug-printed.
         row: String,
     },
+    /// A worker thread of the morsel scheduler panicked. The panic payload
+    /// (when it was a string) is carried here instead of aborting the whole
+    /// process out of `join().unwrap()`.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for EngineError {
@@ -66,6 +70,9 @@ impl fmt::Display for EngineError {
                     "transaction both inserts and deletes row {row} of `{relation}`; \
                      coalesce the stream before committing"
                 )
+            }
+            EngineError::WorkerPanicked(payload) => {
+                write!(f, "executor worker thread panicked: {payload}")
             }
         }
     }
@@ -108,6 +115,9 @@ mod tests {
         };
         assert!(conflict.to_string().contains("Sales"));
         assert!(conflict.to_string().contains("[Int(3)]"));
+        let panicked = EngineError::WorkerPanicked("index out of bounds".into());
+        assert!(panicked.to_string().contains("panicked"));
+        assert!(panicked.to_string().contains("index out of bounds"));
         let e: EngineError = DataError::UnknownRelation("R".into()).into();
         assert!(matches!(e, EngineError::Data(_)));
         assert!(std::error::Error::source(&e).is_some());

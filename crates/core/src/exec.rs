@@ -79,6 +79,292 @@ enum FastFactor<'a> {
     Slow(&'a ScalarFunction),
 }
 
+impl FastFactor<'_> {
+    /// Whether the factor has a typed chunked kernel ([`run_kernel`]); only
+    /// [`FastFactor::Slow`] is excluded and keeps the per-row generic path.
+    fn is_kernel(&self) -> bool {
+        !matches!(self, FastFactor::Slow(_))
+    }
+
+    /// Whether the factor is a 0/1 selection mask. A mask's product
+    /// contribution is exactly `0.0` or `1.0`, so multiplying it in at any
+    /// position of the factor product is bit-exact — compilation hoists
+    /// masks to the front of each program, letting the fused kernels skip
+    /// value-factor work on rows the masks reject.
+    fn is_mask(&self) -> bool {
+        matches!(
+            self,
+            FastFactor::FloatCmp(..) | FastFactor::IntCmp(..) | FastFactor::DictCmp(..)
+        )
+    }
+}
+
+/// Rows per kernel chunk: the stack buffer the fused kernels write through.
+/// 1024 doubles (8 KiB) stay comfortably in L1 while amortizing the
+/// per-chunk dispatch to nothing.
+const KERNEL_CHUNK: usize = 1024;
+
+/// Fills the chunk with a 0/1 selection mask: `out[i] = pred(v[i])`.
+#[inline]
+fn mask_fill<T: Copy>(v: &[T], out: &mut [f64], pred: impl Fn(T) -> bool) {
+    for (o, &x) in out.iter_mut().zip(v) {
+        *o = pred(x) as u32 as f64;
+    }
+}
+
+/// Multiplies a 0/1 selection mask into the chunk: `out[i] *= pred(v[i])`.
+/// Branchless, exactly like the row-at-a-time `prod *= indicator`.
+#[inline]
+fn mask_product<T: Copy>(v: &[T], out: &mut [f64], pred: impl Fn(T) -> bool) {
+    for (o, &x) in out.iter_mut().zip(v) {
+        *o *= pred(x) as u32 as f64;
+    }
+}
+
+/// Lowers one comparison factor to a selection-mask kernel. The `op` match
+/// sits outside the loops (manual loop unswitching), so each arm is a tight
+/// branch-free loop over the typed slice; the comparison itself is the
+/// column's native total order — the same order the generic path uses.
+#[inline]
+fn cmp_kernel<T: Copy>(
+    v: &[T],
+    op: CmpOp,
+    out: &mut [f64],
+    first: bool,
+    cmp: impl Fn(T) -> Ordering + Copy,
+) {
+    #[inline]
+    fn go<T: Copy>(v: &[T], out: &mut [f64], first: bool, pred: impl Fn(T) -> bool) {
+        if first {
+            mask_fill(v, out, pred);
+        } else {
+            mask_product(v, out, pred);
+        }
+    }
+    match op {
+        CmpOp::Lt => go(v, out, first, |x| cmp(x) == Ordering::Less),
+        CmpOp::Le => go(v, out, first, |x| cmp(x) != Ordering::Greater),
+        CmpOp::Gt => go(v, out, first, |x| cmp(x) == Ordering::Greater),
+        CmpOp::Ge => go(v, out, first, |x| cmp(x) != Ordering::Less),
+        CmpOp::Eq => go(v, out, first, |x| cmp(x) == Ordering::Equal),
+        CmpOp::Ne => go(v, out, first, |x| cmp(x) != Ordering::Equal),
+    }
+}
+
+/// Runs one factor's chunk kernel for rows `start..start + out.len()`:
+/// the first factor of a product *fills* the buffer, later factors
+/// *multiply* into it. Every loop is over typed slices with no per-row
+/// dispatch — the shapes LLVM autovectorizes.
+fn run_kernel(f: &FastFactor<'_>, start: usize, out: &mut [f64], first: bool) {
+    let n = out.len();
+    match f {
+        FastFactor::FloatIdent(v) => {
+            let v = &v[start..start + n];
+            if first {
+                out.copy_from_slice(v);
+            } else {
+                for (o, &x) in out.iter_mut().zip(v) {
+                    *o *= x;
+                }
+            }
+        }
+        FastFactor::IntIdent(v) => {
+            let v = &v[start..start + n];
+            if first {
+                for (o, &x) in out.iter_mut().zip(v) {
+                    *o = x as f64;
+                }
+            } else {
+                for (o, &x) in out.iter_mut().zip(v) {
+                    *o *= x as f64;
+                }
+            }
+        }
+        FastFactor::FloatPow(v, e) => {
+            let v = &v[start..start + n];
+            if first {
+                for (o, &x) in out.iter_mut().zip(v) {
+                    *o = x.powi(*e);
+                }
+            } else {
+                for (o, &x) in out.iter_mut().zip(v) {
+                    *o *= x.powi(*e);
+                }
+            }
+        }
+        FastFactor::IntPow(v, e) => {
+            let v = &v[start..start + n];
+            if first {
+                for (o, &x) in out.iter_mut().zip(v) {
+                    *o = (x as f64).powi(*e);
+                }
+            } else {
+                for (o, &x) in out.iter_mut().zip(v) {
+                    *o *= (x as f64).powi(*e);
+                }
+            }
+        }
+        FastFactor::FloatCmp(v, op, t) => {
+            let t = *t;
+            cmp_kernel(&v[start..start + n], *op, out, first, move |x: f64| {
+                x.total_cmp(&t)
+            });
+        }
+        FastFactor::IntCmp(v, op, t) => {
+            let t = *t;
+            cmp_kernel(&v[start..start + n], *op, out, first, move |x: i64| {
+                x.cmp(&t)
+            });
+        }
+        FastFactor::DictCmp(v, op, t) => {
+            let t = *t;
+            cmp_kernel(&v[start..start + n], *op, out, first, move |x: u32| {
+                x.cmp(&t)
+            });
+        }
+        FastFactor::Slow(_) => unreachable!("slow factors take the per-row path"),
+    }
+}
+
+/// Evaluates one kernel factor at a single row — the scalar twin of
+/// [`run_kernel`], used on sparse chunks where the selection masks rejected
+/// most rows. Produces bit-identical values to the dense kernels.
+#[inline]
+fn kernel_value_at(f: &FastFactor<'_>, row: usize) -> f64 {
+    match f {
+        FastFactor::FloatIdent(v) => v[row],
+        FastFactor::IntIdent(v) => v[row] as f64,
+        FastFactor::FloatPow(v, e) => v[row].powi(*e),
+        FastFactor::IntPow(v, e) => (v[row] as f64).powi(*e),
+        FastFactor::FloatCmp(v, op, t) => cmp_holds(*op, v[row].total_cmp(t)) as u32 as f64,
+        FastFactor::IntCmp(v, op, t) => cmp_holds(*op, v[row].cmp(t)) as u32 as f64,
+        FastFactor::DictCmp(v, op, t) => cmp_holds(*op, v[row].cmp(t)) as u32 as f64,
+        FastFactor::Slow(_) => unreachable!("slow factors take the per-row path"),
+    }
+}
+
+/// Below `1/SPARSE_DENOM` of a chunk surviving the selection masks, the
+/// value factors switch from dense kernels to a per-survivor scalar loop —
+/// the vectorized kernels only win while they touch at least a quarter of
+/// the rows they load.
+const SPARSE_DENOM: usize = 4;
+
+/// Ranges shorter than this keep the per-row loop: the fixed per-call cost
+/// of the chunk machinery (kernel dispatch per factor, lane reduction) beats
+/// its vector win on the tiny innermost trie ranges high-cardinality join
+/// keys produce, where the scan visits millions of ranges of a few rows.
+const SMALL_RANGE: usize = 32;
+
+/// Applies the value factors of a program to the surviving rows of a chunk
+/// whose selection-mask product is already materialized in `chunk` (exactly
+/// `0.0`/`1.0` per row). Dense chunks multiply full kernels through; sparse
+/// chunks walk only the survivors. Either way every surviving row ends up
+/// holding the same bit-exact factor product (`1.0 * v_1 * … * v_k`), and
+/// rejected rows stay zero.
+#[inline]
+fn apply_value_factors(
+    values: &[FastFactor<'_>],
+    start: usize,
+    chunk: &mut [f64],
+    survivors: usize,
+) {
+    if survivors * SPARSE_DENOM < chunk.len() {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            if *slot != 0.0 {
+                for f in values {
+                    *slot *= kernel_value_at(f, start + i);
+                }
+            }
+        }
+    } else {
+        for f in values {
+            run_kernel(f, start, chunk, false);
+        }
+    }
+}
+
+/// Sums a chunk through four independent accumulator lanes so the reduction
+/// has no loop-carried dependency chain of length n. The lane combination
+/// order is fixed, so the result is deterministic (and exact whenever the
+/// addends are integer-valued within 2⁵³).
+fn sum_lanes(v: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let mut quads = v.chunks_exact(4);
+    for q in &mut quads {
+        lanes[0] += q[0];
+        lanes[1] += q[1];
+        lanes[2] += q[2];
+        lanes[3] += q[3];
+    }
+    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for &x in quads.remainder() {
+        acc += x;
+    }
+    acc
+}
+
+/// [`sum_lanes`] over an int column slice, converting per element — the
+/// no-copy path for `SUM(X)` local expressions over int columns.
+fn sum_lanes_i64(v: &[i64]) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let mut quads = v.chunks_exact(4);
+    for q in &mut quads {
+        lanes[0] += q[0] as f64;
+        lanes[1] += q[1] as f64;
+        lanes[2] += q[2] as f64;
+        lanes[3] += q[3] as f64;
+    }
+    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for &x in quads.remainder() {
+        acc += x as f64;
+    }
+    acc
+}
+
+/// Chunked reduction of a fused factor product over `range`: each
+/// [`KERNEL_CHUNK`]-row block is materialized into a stack buffer (first
+/// factor fills, later factors multiply — comparisons as 0/1 selection
+/// masks) and reduced lane-wise. Requires every factor to pass
+/// [`FastFactor::is_kernel`].
+fn fused_product_sum(factors: &[FastFactor<'_>], range: Range<usize>) -> f64 {
+    debug_assert!(!factors.is_empty());
+    let n_masks = factors.iter().take_while(|f| f.is_mask()).count();
+    let values = &factors[n_masks..];
+    let mut acc = 0.0;
+    let mut buf = [0.0f64; KERNEL_CHUNK];
+    let mut start = range.start;
+    while start < range.end {
+        let n = KERNEL_CHUNK.min(range.end - start);
+        let chunk = &mut buf[..n];
+        run_kernel(&factors[0], start, chunk, true);
+        if n_masks == 0 {
+            // No selection: the whole program is dense value kernels.
+            for f in &factors[1..] {
+                run_kernel(f, start, chunk, false);
+            }
+            acc += sum_lanes(chunk);
+            start += n;
+            continue;
+        }
+        for f in &factors[1..n_masks] {
+            run_kernel(f, start, chunk, false);
+        }
+        // The mask product is exactly 0/1 per row, so its lane sum is the
+        // exact survivor count — rows the old per-row loop would have
+        // abandoned at the first zero indicator.
+        let survivors = sum_lanes(chunk) as usize;
+        if survivors == 0 || values.is_empty() {
+            acc += survivors as f64;
+            start += n;
+            continue;
+        }
+        apply_value_factors(values, start, chunk, survivors);
+        acc += sum_lanes(chunk);
+        start += n;
+    }
+    acc
+}
+
 /// Whether `op` holds for an ordering produced by the column's native total
 /// order (the same order [`Value`] comparisons use).
 #[inline]
@@ -273,15 +559,22 @@ pub fn execute_group_scan<V: ViewSource>(
     }
 
     // Lower every local-expression factor against the typed columns once per
-    // scan; the innermost loops then run on native slices.
+    // scan; the innermost loops then run on native slices. Selection masks
+    // are hoisted to the front of each program (stable, so each class keeps
+    // its source order): their product is exactly 0/1, so the move is
+    // bit-exact, and the fused kernels use the materialized mask to skip
+    // value-factor work on rejected rows.
     let local_programs: Vec<Vec<FastFactor>> = plan
         .local_exprs
         .iter()
         .map(|e| {
-            e.factors
+            let mut prog: Vec<FastFactor> = e
+                .factors
                 .iter()
                 .map(|f| compile_factor(f, relation, &col_of_attr))
-                .collect()
+                .collect();
+            prog.sort_by_key(|f| !f.is_mask());
+            prog
         })
         .collect();
 
@@ -482,16 +775,24 @@ fn recurse<'a>(ctx: &Ctx<'a>, state: &mut State<'a>, depth: usize, range: Range<
     }
 }
 
-/// Computes the local-expression sums for the innermost range: one typed pass
-/// per expression over its compiled factors (the `α9`/`α10` local variables
-/// of Figure 4). Single-identity expressions — the bulk of a covar batch —
-/// reduce to a straight sum over a native slice.
+/// Computes the local-expression sums for the innermost range: one fused
+/// chunked kernel per expression over its compiled factors (the `α9`/`α10`
+/// local variables of Figure 4). Expressions whose factors all have typed
+/// kernels — the bulk of every covar/regression-tree batch — run through
+/// [`fused_product_sum`]; any [`FastFactor::Slow`] factor (dynamic
+/// functions, mixed columns) keeps the per-row generic fallback, as do
+/// ranges shorter than [`SMALL_RANGE`] where per-call chunk overhead would
+/// dominate.
 fn compute_local_sums(ctx: &Ctx<'_>, state: &mut State<'_>, range: &Range<usize>) {
     for (i, factors) in ctx.local_programs.iter().enumerate() {
         state.local_sums[i] = match factors.as_slice() {
             [] => range.len() as f64,
-            [FastFactor::FloatIdent(v)] => v[range.clone()].iter().sum(),
-            [FastFactor::IntIdent(v)] => v[range.clone()].iter().map(|&x| x as f64).sum(),
+            // Plain sums read the column slice directly — no chunk copy.
+            [FastFactor::FloatIdent(v)] => sum_lanes(&v[range.clone()]),
+            [FastFactor::IntIdent(v)] => sum_lanes_i64(&v[range.clone()]),
+            fs if fs.iter().all(FastFactor::is_kernel) && range.len() >= SMALL_RANGE => {
+                fused_product_sum(fs, range.clone())
+            }
             [single] => {
                 let mut acc = 0.0;
                 for row in range.clone() {
@@ -670,22 +971,65 @@ fn emit_term(
 
     if output.needs_row_loop {
         // Per-row path: the key (and possibly the local factors) depend on
-        // non-join columns of the relation. The factors run in their compiled
-        // typed form, like the local sums.
+        // non-join columns of the relation. When every factor has a typed
+        // kernel, the factor product is materialized chunk-wise (selection
+        // masks included) and only rows surviving the mask pay for key
+        // construction; otherwise the generic per-row loop runs.
         let factors = &ctx.local_programs[term.local_expr];
-        for row in range.clone() {
-            let mut v = value;
-            for f in factors {
-                v *= eval_fast(f, ctx, row);
-                if v == 0.0 {
-                    break;
+        if !factors.is_empty()
+            && range.len() >= SMALL_RANGE
+            && factors.iter().all(FastFactor::is_kernel)
+        {
+            let n_masks = factors.iter().take_while(|f| f.is_mask()).count();
+            let values = &factors[n_masks..];
+            let mut buf = [0.0f64; KERNEL_CHUNK];
+            let mut start = range.start;
+            while start < range.end {
+                let n = KERNEL_CHUNK.min(range.end - start);
+                let chunk = &mut buf[..n];
+                run_kernel(&factors[0], start, chunk, true);
+                if n_masks == 0 {
+                    for f in &factors[1..] {
+                        run_kernel(f, start, chunk, false);
+                    }
+                } else {
+                    for f in &factors[1..n_masks] {
+                        run_kernel(f, start, chunk, false);
+                    }
+                    let survivors = sum_lanes(chunk) as usize;
+                    if survivors == 0 {
+                        start += n;
+                        continue;
+                    }
+                    if !values.is_empty() {
+                        apply_value_factors(values, start, chunk, survivors);
+                    }
                 }
+                for (i, &fv) in chunk.iter().enumerate() {
+                    let v = value * fv;
+                    if v == 0.0 {
+                        continue;
+                    }
+                    let key = build_key(ctx, state, output, Some(term), combo, Some(start + i));
+                    state.outputs[output_idx].add_single(key, agg_index, v);
+                }
+                start += n;
             }
-            if v == 0.0 {
-                continue;
+        } else {
+            for row in range.clone() {
+                let mut v = value;
+                for f in factors {
+                    v *= eval_fast(f, ctx, row);
+                    if v == 0.0 {
+                        break;
+                    }
+                }
+                if v == 0.0 {
+                    continue;
+                }
+                let key = build_key(ctx, state, output, Some(term), combo, Some(row));
+                state.outputs[output_idx].add_single(key, agg_index, v);
             }
-            let key = build_key(ctx, state, output, Some(term), combo, Some(row));
-            state.outputs[output_idx].add_single(key, agg_index, v);
         }
     } else {
         let contribution = value * state.local_sums[term.local_expr];

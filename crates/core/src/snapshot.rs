@@ -58,8 +58,9 @@
 use crate::certificate::{emit_execute, encoded_totals};
 use crate::engine::{BatchResult, QueryResult};
 use crate::error::EngineError;
-use crate::exec::{execute_group, execute_group_scan};
+use crate::exec::execute_group_scan;
 use crate::maintain::RefreshStats;
+use crate::parallel::{execute_all, scan_morsels};
 use crate::plan::{build_group_plan, DepthUpdate, GroupPlan};
 use crate::prepared::{project_results, PreparedBatch, PreparedPlans};
 use crate::view::{ComputedView, ViewId, ViewSource};
@@ -271,14 +272,10 @@ impl PreparedBatch {
         };
         let topo = inner.grouping.topological_order();
 
-        // Initial full computation, one group at a time in dependency order
-        // (deterministic regardless of the batch's thread configuration).
-        let mut flat: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
-        for &gid in &topo {
-            for (vid, cv) in execute_group(&db, &plans[gid], &flat, dynamics, None)? {
-                flat.insert(vid, cv);
-            }
-        }
+        // Initial full computation on the morsel scheduler. Its morsel-order
+        // merge is deterministic for any thread count, so the published
+        // generation 0 does not depend on thread timing.
+        let flat = execute_all(&db, &plans, &inner.grouping, dynamics, &inner.config)?;
         let computed: FxHashMap<ViewId, Arc<ComputedView>> =
             flat.into_iter().map(|(k, v)| (k, Arc::new(v))).collect();
         let db: DatabaseSnapshot = db.into();
@@ -573,14 +570,14 @@ impl Maintainer {
                                 current: vid,
                                 earlier: &earlier,
                             };
-                            scans.push(execute_group_scan(
+                            scans.push(scan_morsels(
                                 relation,
                                 num_attrs,
                                 plan,
                                 &overlay,
                                 dynamics,
-                                None,
                                 Some(&mask),
+                                self.inner.config.threads,
                             )?);
                             earlier.insert(vid);
                         }
@@ -595,14 +592,14 @@ impl Maintainer {
                             full: &self.computed,
                             deltas: &changed,
                         };
-                        vec![execute_group_scan(
+                        vec![scan_morsels(
                             relation,
                             num_attrs,
                             plan,
                             &overlay,
                             dynamics,
-                            None,
                             Some(&mask),
+                            self.inner.config.threads,
                         )?]
                     };
                 stats.group_scans += scans.len();

@@ -320,6 +320,36 @@ impl ComputedView {
         self.data.iter()
     }
 
+    /// Drains all `(key, aggregate values)` entries, leaving the view empty.
+    /// The consuming counterpart of [`ComputedView::iter`]: folding
+    /// domain-parallel partials through this moves the key tuples instead of
+    /// cloning them.
+    pub fn drain(&mut self) -> impl Iterator<Item = (Vec<Value>, Vec<f64>)> + '_ {
+        self.data.drain()
+    }
+
+    /// Merges `other` into this view by element-wise addition, consuming it.
+    /// Keys absent from `self` are moved, not cloned.
+    pub fn merge_from(&mut self, mut other: ComputedView) {
+        debug_assert_eq!(other.num_aggregates, self.num_aggregates);
+        if self.data.is_empty() {
+            self.data = std::mem::take(&mut other.data);
+            return;
+        }
+        for (key, values) in other.drain() {
+            match self.data.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (a, b) in e.get_mut().iter_mut().zip(&values) {
+                        *a += b;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(values);
+                }
+            }
+        }
+    }
+
     /// Merges `delta` scaled by `sign` into this view (element-wise
     /// `self += sign · delta`). With `sign = 1.0` this is the additive merge
     /// of domain-parallel partials; with `sign = -1.0` it retracts a delta —
@@ -490,6 +520,28 @@ mod tests {
         assert_eq!(cv.get(&[Value::Int(9)]), None);
         assert!(cv.size_bytes() > 0);
         assert_eq!(cv.iter().count(), 2);
+    }
+
+    #[test]
+    fn consuming_merge_moves_entries() {
+        let mut a = ComputedView::new(vec![AttrId(0)], 2);
+        a.add(vec![Value::Int(1)], &[1.0, 2.0]);
+        let mut b = ComputedView::new(vec![AttrId(0)], 2);
+        b.add(vec![Value::Int(1)], &[10.0, 20.0]);
+        b.add(vec![Value::Int(2)], &[5.0, 5.0]);
+        a.merge_from(b);
+        assert_eq!(a.get(&[Value::Int(1)]), Some(&[11.0, 22.0][..]));
+        assert_eq!(a.get(&[Value::Int(2)]), Some(&[5.0, 5.0][..]));
+        // Merging into an empty accumulator adopts the map wholesale.
+        let mut empty = ComputedView::new(vec![AttrId(0)], 2);
+        let mut c = ComputedView::new(vec![AttrId(0)], 2);
+        c.add(vec![Value::Int(7)], &[1.0, 1.0]);
+        empty.merge_from(c);
+        assert_eq!(empty.len(), 1);
+        // Drain empties the view.
+        let drained: Vec<_> = empty.drain().collect();
+        assert_eq!(drained.len(), 1);
+        assert!(empty.is_empty());
     }
 
     #[test]

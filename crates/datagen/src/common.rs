@@ -80,6 +80,16 @@ impl Scale {
         Scale { fact_rows, seed }
     }
 
+    /// This scale with `factor`× the fact rows (same seed). The scaling sweep
+    /// uses it to grow the benchmark databases 10–100×; generation streams,
+    /// so memory stays proportional to the output relations themselves.
+    pub fn scaled(self, factor: usize) -> Self {
+        Scale {
+            fact_rows: self.fact_rows.saturating_mul(factor.max(1)),
+            ..self
+        }
+    }
+
     /// The RNG for this scale.
     pub fn rng(&self) -> StdRng {
         StdRng::seed_from_u64(self.seed)
@@ -143,6 +153,9 @@ mod tests {
         assert!(Scale::small().fact_rows < Scale::medium().fact_rows);
         assert!(Scale::medium().fact_rows < Scale::benchmark().fact_rows);
         assert_eq!(Scale::new(123, 7).fact_rows, 123);
+        assert_eq!(Scale::new(123, 7).scaled(10).fact_rows, 1_230);
+        assert_eq!(Scale::new(123, 7).scaled(0).fact_rows, 123);
+        assert_eq!(Scale::new(123, 7).scaled(10).seed, 7);
     }
 
     #[test]

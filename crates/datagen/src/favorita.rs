@@ -117,16 +117,17 @@ pub fn generate(scale: Scale) -> Dataset {
             Value::Int(i64::from(rng.gen_bool(0.25))),
         ]
     });
-    // One Transactions tuple per (date, store) pair that could appear in Sales.
-    let mut txn_rows = Vec::new();
-    for date in 0..n_dates {
-        for store in 0..n_stores {
-            txn_rows.push((date as i64, store as i64, rng.gen_range(100.0..5000.0f64)));
-        }
-    }
-    let transactions = build_relation(&schema, "Transactions", txn_rows.len(), |i| {
-        let (d, s, t) = txn_rows[i];
-        vec![Value::Int(d), Value::Int(s), Value::Double(t.round())]
+    // One Transactions tuple per (date, store) pair that could appear in
+    // Sales. The key grid is enumerated arithmetically rather than staged in
+    // an intermediate vector, so generation streams at any scale factor.
+    let transactions = build_relation(&schema, "Transactions", n_dates * n_stores, |i| {
+        let date = (i / n_stores) as i64;
+        let store = (i % n_stores) as i64;
+        vec![
+            Value::Int(date),
+            Value::Int(store),
+            Value::Double(rng.gen_range(100.0..5000.0f64).round()),
+        ]
     });
     let oil = build_relation(&schema, "Oil", n_dates, |i| {
         vec![

@@ -125,15 +125,13 @@ pub fn generate(scale: Scale) -> Dataset {
         }
         row
     });
-    // Weather: one row per (locn, date) pair, like the real dataset.
-    let mut weather_keys = Vec::new();
-    for locn in 0..n_locations {
-        for date in 0..n_dates {
-            weather_keys.push((locn as i64, date as i64));
-        }
-    }
-    let weather = build_relation(&schema, "Weather", weather_keys.len(), |i| {
-        let (locn, date) = weather_keys[i];
+    // Weather: one row per (locn, date) pair, like the real dataset. The
+    // key grid is enumerated arithmetically instead of materializing a
+    // locations × dates key vector, so generation stays streaming at any
+    // scale factor.
+    let weather = build_relation(&schema, "Weather", n_locations * n_dates, |i| {
+        let locn = (i / n_dates) as i64;
+        let date = (i % n_dates) as i64;
         let max = rng.gen_range(30.0..100.0f64).round();
         vec![
             Value::Int(locn),

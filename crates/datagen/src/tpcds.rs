@@ -141,11 +141,8 @@ pub fn generate(scale: Scale) -> Dataset {
 
     // Customers: the "preferred" label correlates with demographics so the
     // classification tree of Table 5 has signal to find.
-    let cdemo_of_customer: Vec<usize> = (0..n_customers)
-        .map(|_| rng.gen_range(0..n_cdemos))
-        .collect();
     let customer = build_relation(&schema, "Customer", n_customers, |i| {
-        let cdemo = cdemo_of_customer[i];
+        let cdemo = rng.gen_range(0..n_cdemos);
         let birth = rng.gen_range(1930..2000);
         let preferred = u32::from(cdemo.is_multiple_of(3) || (birth > 1980 && rng.gen_bool(0.6)));
         vec![

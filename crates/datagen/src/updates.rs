@@ -171,8 +171,23 @@ pub fn update_stream(ds: &Dataset, relation: &str, mix: &UpdateMix) -> Vec<Table
         .relation(relation)
         .unwrap_or_else(|_| panic!("dataset {} has no relation `{relation}`", ds.name));
     let mut rng = StdRng::seed_from_u64(mix.seed ^ 0x5eed_cafe);
-    // Live tuple multiset, tracked so deletes always hit.
-    let mut live: Vec<Vec<Value>> = rel.rows().map(|r| r.to_vec()).collect();
+    // Live tuple multiset, tracked so deletes always hit. Base tuples are
+    // referenced by index into the relation (not cloned), so the tracker
+    // costs 8 bytes per base row at any scale; only rows the stream itself
+    // inserts are materialized.
+    #[derive(Clone, Copy)]
+    enum LiveRef {
+        Base(u32),
+        Inserted(u32),
+    }
+    let mut inserted_rows: Vec<Vec<Value>> = Vec::new();
+    let mut live: Vec<LiveRef> = (0..rel.len()).map(|i| LiveRef::Base(i as u32)).collect();
+    let fetch = |r: LiveRef, inserted: &[Vec<Value>]| -> Vec<Value> {
+        match r {
+            LiveRef::Base(i) => rel.row(i as usize).to_vec(),
+            LiveRef::Inserted(i) => inserted[i as usize].clone(),
+        }
+    };
     let float_cols: Vec<(usize, f64, f64)> = rel
         .columns()
         .iter()
@@ -198,7 +213,7 @@ pub fn update_stream(ds: &Dataset, relation: &str, mix: &UpdateMix) -> Vec<Table
                     Some(t) => t.clone(),
                     None => break,
                 },
-                false => live[rng.gen_range(0..live.len())].clone(),
+                false => fetch(live[rng.gen_range(0..live.len())], &inserted_rows),
             };
             let mut row = template;
             if !float_cols.is_empty() && rng.gen::<f64>() < mix.perturb_ratio {
@@ -209,10 +224,11 @@ pub fn update_stream(ds: &Dataset, relation: &str, mix: &UpdateMix) -> Vec<Table
             current
                 .insert(&row)
                 .expect("template row matches the schema");
-            live.push(row);
+            live.push(LiveRef::Inserted(inserted_rows.len() as u32));
+            inserted_rows.push(row);
         } else {
             let victim = rng.gen_range(0..live.len());
-            let row = live.swap_remove(victim);
+            let row = fetch(live.swap_remove(victim), &inserted_rows);
             current.delete(&row).expect("live row matches the schema");
         }
         if current.len() >= mix.batch_size {

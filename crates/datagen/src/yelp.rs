@@ -14,7 +14,8 @@
 
 use crate::common::{build_relation, skewed_index, tree_from_edges, Dataset, Scale};
 use lmfao_data::{AttrType, Database, DatabaseSchema, Value};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Generates the synthetic Yelp dataset at the given scale.
 pub fn generate(scale: Scale) -> Dataset {
@@ -103,21 +104,40 @@ pub fn generate(scale: Scale) -> Dataset {
         ]
     });
     // Many-to-many: each business gets 2–5 categories and 1–4 attributes.
-    let mut cat_rows = Vec::new();
-    let mut attr_rows = Vec::new();
-    for b in 0..n_businesses {
-        for _ in 0..rng.gen_range(2..=5usize) {
-            cat_rows.push((b as i64, rng.gen_range(0..n_categories) as u32));
+    // Per-business fanouts come from a dedicated seeded RNG that is replayed
+    // during generation (once to size the relation, once to stream its rows),
+    // so neither edge table is materialized in an intermediate vector.
+    let fanout_total = |salt: u64, lo: usize, hi: usize| -> usize {
+        let mut counts = StdRng::seed_from_u64(scale.seed ^ salt);
+        (0..n_businesses).map(|_| counts.gen_range(lo..=hi)).sum()
+    };
+    let n_cat_rows = fanout_total(0xca7e, 2, 5);
+    let mut cat_counts = StdRng::seed_from_u64(scale.seed ^ 0xca7e);
+    let (mut cat_business, mut cat_left) = (0usize, 0usize);
+    let category = build_relation(&schema, "Category", n_cat_rows, |_| {
+        while cat_left == 0 {
+            cat_left = cat_counts.gen_range(2..=5);
+            cat_business += 1;
         }
-        for _ in 0..rng.gen_range(1..=4usize) {
-            attr_rows.push((b as i64, rng.gen_range(0..n_attributes) as u32));
-        }
-    }
-    let category = build_relation(&schema, "Category", cat_rows.len(), |i| {
-        vec![Value::Int(cat_rows[i].0), Value::Cat(cat_rows[i].1)]
+        cat_left -= 1;
+        vec![
+            Value::Int((cat_business - 1) as i64),
+            Value::Cat(rng.gen_range(0..n_categories) as u32),
+        ]
     });
-    let attribute = build_relation(&schema, "Attribute", attr_rows.len(), |i| {
-        vec![Value::Int(attr_rows[i].0), Value::Cat(attr_rows[i].1)]
+    let n_attr_rows = fanout_total(0xa77e, 1, 4);
+    let mut attr_counts = StdRng::seed_from_u64(scale.seed ^ 0xa77e);
+    let (mut attr_business, mut attr_left) = (0usize, 0usize);
+    let attribute = build_relation(&schema, "Attribute", n_attr_rows, |_| {
+        while attr_left == 0 {
+            attr_left = attr_counts.gen_range(1..=4);
+            attr_business += 1;
+        }
+        attr_left -= 1;
+        vec![
+            Value::Int((attr_business - 1) as i64),
+            Value::Cat(rng.gen_range(0..n_attributes) as u32),
+        ]
     });
 
     let db = Database::new(

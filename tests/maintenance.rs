@@ -12,6 +12,10 @@
 //! * within a tight relative tolerance for arbitrary doubles (float addition
 //!   is not associative, so `(Σ + x) − x` may differ from `Σ` in the last
 //!   ulp — the documented caveat of `lmfao_core::maintain`).
+//!
+//! Ladder thread counts resolve through `EngineConfig::env_threads`, so CI's
+//! thread-matrix job (`LMFAO_THREADS={1,4}`) runs these properties against
+//! both the sequential path and the morsel scheduler.
 
 use lmfao::baseline::RecomputeReference;
 use lmfao::datagen::{self, fact_relation, update_stream, Scale, UpdateMix};
@@ -92,7 +96,7 @@ fn maintained_batches_match_recompute_on_all_datasets_across_the_ladder() {
         // The generators round every continuous measure, so fact-table sums
         // are integer-valued and the comparison can be bit-strict.
         let stream = update_stream(&ds, fact, &UpdateMix::balanced(8).seed(11));
-        for (name, cfg) in EngineConfig::ablation_ladder(2) {
+        for (name, cfg) in EngineConfig::ablation_ladder(EngineConfig::env_threads(2)) {
             let engine = Engine::new(ds.db.clone(), ds.tree.clone(), cfg);
             let mut maintained = engine
                 .prepare(&batch)
@@ -203,7 +207,7 @@ fn integer_valued_streams_are_bit_identical_to_recompute() {
     batch.push("per_c", vec![ids[2]], vec![Aggregate::sum(ids[1])]);
 
     let dynamics = DynamicRegistry::new();
-    for (name, cfg) in EngineConfig::ablation_ladder(2) {
+    for (name, cfg) in EngineConfig::ablation_ladder(EngineConfig::env_threads(2)) {
         let engine = Engine::new(db.clone(), tree.clone(), cfg);
         let mut maintained = engine
             .prepare(&batch)
@@ -263,7 +267,7 @@ fn multi_relation_transactions_match_sequential_and_recompute() {
             "{}: the stream must produce multi-relation transactions",
             ds.name
         );
-        for (name, cfg) in EngineConfig::ablation_ladder(2) {
+        for (name, cfg) in EngineConfig::ablation_ladder(EngineConfig::env_threads(2)) {
             let engine = Engine::new(ds.db.clone(), ds.tree.clone(), cfg);
             let mut txn_side = engine
                 .prepare(&batch)
@@ -320,6 +324,122 @@ fn multi_relation_transactions_match_sequential_and_recompute() {
             );
             assert!(deltas_applied > committed, "{}/{name}", ds.name);
         }
+    }
+}
+
+/// The morsel-scheduler determinism property: across all four datasets and
+/// the whole ablation ladder, executing with 2, 4 or 8 worker threads is
+/// **bit-identical** to executing with one. The scheduler merges per-morsel
+/// partials in morsel-index order and each small-scale scan fits one morsel,
+/// so no thread count may perturb a single bit — group-completion order is
+/// the only thing that varies.
+#[test]
+fn morsel_parallel_execution_is_bit_identical_to_sequential() {
+    for ds in datagen::all_datasets(Scale::small()) {
+        let batch = workload(&ds);
+        for (name, cfg) in EngineConfig::ablation_ladder(1) {
+            let sequential = Engine::new(ds.db.clone(), ds.tree.clone(), cfg.threads(1))
+                .execute(&batch)
+                .unwrap();
+            for threads in [2, 4, 8] {
+                let parallel = Engine::new(ds.db.clone(), ds.tree.clone(), cfg.threads(threads))
+                    .execute(&batch)
+                    .unwrap();
+                assert_agree(
+                    &parallel,
+                    &sequential,
+                    true,
+                    &format!("{}/{name} threads {threads}", ds.name),
+                );
+            }
+        }
+    }
+}
+
+/// The same property where scans genuinely split: a fact table larger than
+/// one morsel (65,536 rows) forces the scheduler to claim several morsels
+/// per scan and fold their partials in index order. Measures are
+/// integer-valued, so every sum is exact and parallel results must equal
+/// `threads = 1` bitwise — for fresh execution and after a dimension-side
+/// commit whose propagation rescans the big relation morsel by morsel.
+#[test]
+fn multi_morsel_scans_are_bit_identical_including_under_commit() {
+    use lmfao::data::{AttrType, DatabaseSchema, RelationSchema, TableDelta, Value};
+    use lmfao::jointree::{build_join_tree, Hypergraph};
+
+    const ROWS: i64 = 150_000; // ≈ 2.3 morsels per scan of F
+
+    let mut schema = DatabaseSchema::new();
+    schema.add_relation_with_attrs(
+        "F",
+        &[
+            ("k", AttrType::Int),
+            ("m", AttrType::Double),
+            ("c", AttrType::Int),
+        ],
+    );
+    schema.add_relation_with_attrs("D", &[("k", AttrType::Int), ("w", AttrType::Double)]);
+    let ids: Vec<AttrId> = ["k", "m", "c", "w"]
+        .iter()
+        .map(|n| schema.attr_id(n).unwrap())
+        .collect();
+    let f = Relation::from_rows(
+        RelationSchema::new("F", vec![ids[0], ids[1], ids[2]]),
+        (0..ROWS)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 8),
+                    Value::Double((i % 23) as f64),
+                    Value::Int(i % 3),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    let d = Relation::from_rows(
+        RelationSchema::new("D", vec![ids[0], ids[3]]),
+        (0..8)
+            .map(|i| vec![Value::Int(i), Value::Double((7 * (i + 1)) as f64)])
+            .collect(),
+    )
+    .unwrap();
+    let db = Database::new(schema.clone(), vec![f, d]).unwrap();
+    let tree = build_join_tree(&Hypergraph::from_schema(&schema)).unwrap();
+
+    let mut batch = QueryBatch::new();
+    batch.push("count", vec![], vec![Aggregate::count()]);
+    batch.push("mw", vec![], vec![Aggregate::sum_product(ids[1], ids[3])]);
+    batch.push("per_c", vec![ids[2]], vec![Aggregate::sum(ids[1])]);
+
+    // A dimension correction: its propagation rescans all of F (with the
+    // delta overlay and slot masks) through the morsel scheduler.
+    let mut delta = TableDelta::for_relation(db.relation("D").unwrap());
+    delta.delete(&[Value::Int(3), Value::Double(28.0)]).unwrap();
+    delta.insert(&[Value::Int(3), Value::Double(35.0)]).unwrap();
+
+    let dynamics = DynamicRegistry::new();
+    let run = |threads: usize| {
+        let engine = Engine::new(db.clone(), tree.clone(), EngineConfig::full(threads));
+        let fresh = engine.execute(&batch).unwrap();
+        let mut maintained = engine
+            .prepare(&batch)
+            .unwrap()
+            .into_maintained(&dynamics)
+            .unwrap();
+        maintained.commit(&delta, &dynamics).unwrap();
+        (fresh, maintained.results().unwrap())
+    };
+
+    let (fresh_1, after_1) = run(1);
+    for threads in [2, 4, 8] {
+        let (fresh, after) = run(threads);
+        assert_agree(&fresh, &fresh_1, true, &format!("fresh, threads {threads}"));
+        assert_agree(
+            &after,
+            &after_1,
+            true,
+            &format!("after commit, threads {threads}"),
+        );
     }
 }
 
