@@ -26,12 +26,16 @@
 //! applies updates at a target rate; the report carries queries/sec,
 //! p50/p95/p99 read latency, achieved updates/sec, and the post-run audit of
 //! sampled reads against a from-scratch recompute at their pinned
-//! generations. Tunables: `--readers N` (default 4), `--serve-secs S`
-//! (default 5), `--updates-per-sec U` (default 200), `--dataset NAME`
-//! (default Retailer). Any sampled-read mismatch fails the process. The
-//! serving report also carries the certificate-chain audit (accepted /
-//! rejected chains and checker wall-time); a rejected chain fails the
-//! process too.
+//! generations. `--readers` takes a comma grid (e.g. `--readers 1,2,4,8`,
+//! default 4): the whole serving run repeats per reader count and the
+//! `"serving"` JSON section records one cell per count — reads/s, p50/p99
+//! latency, achieved versus offered update rate, and the generation-GC
+//! telemetry (`retained_generations`, `retained_bytes`, bounded by the
+//! history window). Other tunables: `--serve-secs S` (default 5),
+//! `--updates-per-sec U` (default 200), `--dataset NAME` (default
+//! Retailer). Any sampled-read mismatch fails the process. Every cell also
+//! carries the certificate-chain audit (accepted / rejected chains and
+//! checker wall-time); a rejected chain fails the process too.
 //!
 //! `--certify` (with `--quick`) additionally runs every workload through
 //! [`lmfao_core::PreparedBatch::execute_certified`], serializes the emitted
@@ -46,15 +50,17 @@
 //! measured as (a) full re-execution, (b) single-delta refresh, and (c) the
 //! transactional write path — multi-relation transactions over
 //! [`lmfao_datagen::txn_relations`] committed in one DAG walk versus the
-//! same deltas applied one relation at a time. Medians land in the
+//! same deltas applied one relation at a time, plus the same transactions
+//! walked sequentially on a single-threaded engine so the parallel-frontier
+//! payoff (`frontier_speedup`) is measured directly. Medians land in the
 //! `"maintenance"` JSON section together with the one-walk speedup.
 //!
 //! `--iso` runs the isolation stress harness: reader threads record every
 //! generation movement under their own snapshot handles while one writer
 //! commits multi-relation transactions, and the black-box
 //! snapshot-isolation checker validates the merged history. Any violation
-//! fails the process. Tunables: `--readers N`, `--iso-secs S` (default 3),
-//! `--dataset NAME`.
+//! fails the process. Tunables: `--readers` (the maximum of the serving
+//! grid), `--iso-secs S` (default 3), `--dataset NAME`.
 //!
 //! `--scaling` runs the threads × scale sweep (combinable into the same JSON
 //! artifact): the CM and RT workloads of every dataset are executed at every
@@ -466,37 +472,70 @@ fn json_f64(x: f64) -> String {
     }
 }
 
-/// Renders the serving-run report as the `"serving"` JSON object.
-fn render_serve_json(dataset: &str, r: &ServeReport) -> String {
-    format!(
-        "  \"serving\": {{\n    \"dataset\": \"{}\", \"ok\": {}, \"readers\": {}, \
-         \"duration_secs\": {},\n    \"total_reads\": {}, \"queries_per_sec\": {}, \
-         \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {},\n    \
-         \"updates_applied\": {}, \"updates_per_sec\": {}, \"target_updates_per_sec\": {}, \
-         \"generations\": {},\n    \"sampled_reads\": {}, \"verified_generations\": {}, \
-         \"mismatches\": {},\n    \"certified_chains\": {}, \"certificate_failures\": {}, \
-         \"certify_secs\": {}\n  }}",
+/// Renders the serving reader-count grid as the `"serving"` JSON object:
+/// shared run parameters at the top level, one `cells` entry per reader
+/// count with that run's throughput, latency percentiles, writer pipeline
+/// accounting, generation-GC telemetry, and audits.
+fn render_serve_json(dataset: &str, cells: &[(usize, ServeReport)]) -> String {
+    let ok = !cells.is_empty() && cells.iter().all(|(_, r)| r.ok());
+    let first = cells.first().map(|(_, r)| r);
+    let grid = cells
+        .iter()
+        .map(|(n, _)| n.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut s = format!(
+        "  \"serving\": {{\n    \"dataset\": \"{}\", \"ok\": {}, \
+         \"target_updates_per_sec\": {}, \"history_window\": {},\n    \
+         \"reader_grid\": [{}],\n    \"cells\": [\n",
         json_escape(dataset),
-        r.ok(),
-        r.readers,
-        json_f64(r.duration_secs),
-        r.total_reads,
-        json_f64(r.queries_per_sec),
-        json_f64(r.p50_us),
-        json_f64(r.p95_us),
-        json_f64(r.p99_us),
-        json_f64(r.max_us),
-        r.updates_applied,
-        json_f64(r.updates_per_sec),
-        json_f64(r.target_updates_per_sec),
-        r.generations,
-        r.sampled_reads,
-        r.verified_generations,
-        r.mismatches,
-        r.certified_chains,
-        r.certificate_failures,
-        json_f64(r.certify_secs)
-    )
+        ok,
+        json_f64(first.map_or(f64::NAN, |r| r.target_updates_per_sec)),
+        first.map_or(0, |r| r.history_window),
+        grid
+    );
+    for (i, (readers, r)) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"readers\": {}, \"ok\": {}, \"duration_secs\": {},\n       \
+             \"total_reads\": {}, \"queries_per_sec\": {}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {},\n       \
+             \"updates_offered\": {}, \"updates_applied\": {}, \
+             \"updates_per_sec\": {}, \"offered_updates_per_sec\": {}, \
+             \"rate_shortfall\": {},\n       \
+             \"generations\": {}, \"retained_generations\": {}, \"retained_bytes\": {},\n       \
+             \"sampled_reads\": {}, \"verified_generations\": {}, \"mismatches\": {},\n       \
+             \"certified_chains\": {}, \"certificate_failures\": {}, \"certify_secs\": {}}}",
+            readers,
+            r.ok(),
+            json_f64(r.duration_secs),
+            r.total_reads,
+            json_f64(r.queries_per_sec),
+            json_f64(r.p50_us),
+            json_f64(r.p95_us),
+            json_f64(r.p99_us),
+            json_f64(r.max_us),
+            r.updates_offered,
+            r.updates_applied,
+            json_f64(r.updates_per_sec),
+            json_f64(r.offered_updates_per_sec),
+            r.rate_shortfall,
+            r.generations,
+            r.retained_generations,
+            r.retained_bytes,
+            r.sampled_reads,
+            r.verified_generations,
+            r.mismatches,
+            r.certified_chains,
+            r.certificate_failures,
+            json_f64(r.certify_secs)
+        ));
+        if i + 1 < cells.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("    ]\n  }");
+    s
 }
 
 /// Renders the maintenance records as the `"maintenance"` JSON array.
@@ -510,12 +549,15 @@ fn render_maintain_json(records: &[MaintainRecord]) -> String {
             None => s.push_str(&format!(
                 "\"ok\": true, \"full_exec_secs\": {}, \"refresh_secs\": {}, \
                  \"txn_commit_secs\": {}, \"sequential_secs\": {}, \
-                 \"txn_speedup\": {}, \"txn_relations\": {}",
+                 \"txn_speedup\": {}, \"seq_walk_secs\": {}, \
+                 \"frontier_speedup\": {}, \"txn_relations\": {}",
                 json_f64(r.full_exec_secs),
                 json_f64(r.refresh_secs),
                 json_f64(r.txn_commit_secs),
                 json_f64(r.sequential_secs),
                 json_f64(r.txn_speedup),
+                json_f64(r.seq_walk_secs),
+                json_f64(r.frontier_speedup),
                 r.txn_relations
             )),
         }
@@ -614,7 +656,7 @@ fn render_iso_json(dataset: &str, r: &IsoReport) -> String {
 /// and isolation reports) as the `BENCH_ci.json` document.
 fn render_bench_json(
     records: &[BenchRecord],
-    serving: Option<(&str, &ServeReport)>,
+    serving: Option<(&str, &[(usize, ServeReport)])>,
     maintenance: Option<&[MaintainRecord]>,
     isolation: Option<(&str, &IsoReport)>,
     scaling: Option<(&[ScalingCell], &[usize], &[usize])>,
@@ -695,9 +737,9 @@ fn render_bench_json(
         s.push('\n');
     }
     s.push_str("  ]");
-    if let Some((dataset, report)) = serving {
+    if let Some((dataset, cells)) = serving {
         s.push_str(",\n");
-        s.push_str(&render_serve_json(dataset, report));
+        s.push_str(&render_serve_json(dataset, cells));
     }
     if let Some(maintain_records) = maintenance {
         s.push_str(",\n");
@@ -1014,7 +1056,7 @@ fn ci_mode(
     is_quick: bool,
     certify: bool,
     is_maintain: bool,
-    serve_config: Option<(&str, &ServeConfig)>,
+    serve_config: Option<(&str, &ServeConfig, &[usize])>,
     iso_config: Option<(&str, &IsoConfig)>,
     scaling_config: Option<(&[usize], &[usize])>,
     json_path: Option<&str>,
@@ -1042,25 +1084,32 @@ fn ci_mode(
         code = 1;
     }
 
-    let serving = serve_config.map(|(dataset, config)| {
-        let report = serve_bench(&datasets, dataset, threads, config);
-        match &report {
-            Some(r) if r.ok() => {}
-            Some(r) => {
-                eprintln!(
-                    "serving audit failed: {} mismatch(es), {} certificate rejection(s){}",
-                    r.mismatches,
-                    r.certificate_failures,
-                    r.writer_error
-                        .as_deref()
-                        .map(|e| format!(", writer error: {e}"))
-                        .unwrap_or_default()
-                );
-                code = 1;
+    let serving = serve_config.map(|(dataset, config, reader_grid)| {
+        let mut cells: Vec<(usize, ServeReport)> = Vec::new();
+        for &readers in reader_grid {
+            let mut cell_config = config.clone();
+            cell_config.readers = readers;
+            match serve_bench(&datasets, dataset, threads, &cell_config) {
+                Some(r) => {
+                    if !r.ok() {
+                        eprintln!(
+                            "serving audit failed at {readers} reader(s): {} mismatch(es), \
+                             {} certificate rejection(s){}",
+                            r.mismatches,
+                            r.certificate_failures,
+                            r.writer_error
+                                .as_deref()
+                                .map(|e| format!(", writer error: {e}"))
+                                .unwrap_or_default()
+                        );
+                        code = 1;
+                    }
+                    cells.push((readers, r));
+                }
+                None => code = 1,
             }
-            None => code = 1,
         }
-        (dataset, report)
+        (dataset, cells)
     });
 
     let maintenance = is_maintain.then(|| {
@@ -1109,7 +1158,8 @@ fn ci_mode(
     if let Some(path) = json_path {
         let serving_section = serving
             .as_ref()
-            .and_then(|(ds, r)| r.as_ref().map(|r| (*ds, r)));
+            .filter(|(_, cells)| !cells.is_empty())
+            .map(|(ds, cells)| (*ds, cells.as_slice()));
         let iso_section = isolation
             .as_ref()
             .and_then(|(ds, r)| r.as_ref().map(|r| (*ds, r)));
@@ -1164,6 +1214,13 @@ struct MaintainRecord {
     sequential_secs: f64,
     /// `sequential_secs / txn_commit_secs` — the one-DAG-walk payoff.
     txn_speedup: f64,
+    /// Median one-walk commit of the same transactions on a single-threaded
+    /// engine — the sequential DAG walk the parallel frontier replaces.
+    seq_walk_secs: f64,
+    /// `seq_walk_secs / txn_commit_secs` — the parallel-frontier payoff.
+    /// Near 1.0 on single-core containers, where the frontier pool degrades
+    /// to one worker.
+    frontier_speedup: f64,
     /// Relations each measured transaction spans.
     txn_relations: usize,
     error: Option<String>,
@@ -1183,8 +1240,16 @@ fn maintain_bench(datasets: &[Dataset], threads: usize) -> Vec<MaintainRecord> {
         "\nLMFAO maintenance — RT batch, {REFRESHES} refreshes + {TXNS} transactions per dataset"
     );
     println!(
-        "{:<10} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9}",
-        "Dataset", "full exec", "refresh", "speedup", "txn commit", "sequential", "txn spdup"
+        "{:<10} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9} {:>12} {:>9}",
+        "Dataset",
+        "full exec",
+        "refresh",
+        "speedup",
+        "txn commit",
+        "sequential",
+        "txn spdup",
+        "seq walk",
+        "frontier"
     );
     let dynamics = DynamicRegistry::new();
     let mut records = Vec::new();
@@ -1199,6 +1264,8 @@ fn maintain_bench(datasets: &[Dataset], threads: usize) -> Vec<MaintainRecord> {
             txn_commit_secs: f64::NAN,
             sequential_secs: f64::NAN,
             txn_speedup: f64::NAN,
+            seq_walk_secs: f64::NAN,
+            frontier_speedup: f64::NAN,
             txn_relations: 0,
             error: Some(msg),
         };
@@ -1219,9 +1286,12 @@ fn maintain_bench(datasets: &[Dataset], threads: usize) -> Vec<MaintainRecord> {
         exec_times.sort_by(f64::total_cmp);
         let full = exec_times[exec_times.len() / 2];
 
-        // Two identical maintained states: one commits whole transactions,
-        // the other applies the same deltas one relation at a time, so the
-        // comparison is one DAG walk versus several over identical data.
+        // Three identical maintained states: one commits whole transactions
+        // (parallel frontier when `threads > 1`), one applies the same
+        // deltas one relation at a time (several DAG walks), and one commits
+        // whole transactions on a single-threaded engine (one *sequential*
+        // DAG walk) — so both the one-walk payoff and the parallel-frontier
+        // payoff are measured over identical data.
         let mut txn_side = match prepared.into_maintained(&dynamics) {
             Ok(m) => m,
             Err(e) => {
@@ -1241,6 +1311,17 @@ fn maintain_bench(datasets: &[Dataset], threads: usize) -> Vec<MaintainRecord> {
                 continue;
             }
         };
+        let mut walk_side = match engine_for(ds, EngineConfig::full(1))
+            .prepare(&batch)
+            .and_then(|p| p.into_maintained(&dynamics))
+        {
+            Ok(m) => m,
+            Err(e) => {
+                println!("{:<10} ERROR: {e}", ds.name);
+                records.push(fail(e.to_string()));
+                continue;
+            }
+        };
 
         // Single-delta refresh median over a reproducible fact-table stream.
         let fact = fact_relation(&ds.name);
@@ -1249,6 +1330,7 @@ fn maintain_bench(datasets: &[Dataset], threads: usize) -> Vec<MaintainRecord> {
         for delta in &stream {
             let (_, secs) = time(|| txn_side.commit(delta, &dynamics).unwrap());
             seq_side.commit(delta, &dynamics).unwrap();
+            walk_side.commit(delta, &dynamics).unwrap();
             refresh_times.push(secs);
         }
         refresh_times.sort_by(f64::total_cmp);
@@ -1264,6 +1346,7 @@ fn maintain_bench(datasets: &[Dataset], threads: usize) -> Vec<MaintainRecord> {
             .collect();
         let mut txn_times = Vec::new();
         let mut seq_times = Vec::new();
+        let mut walk_times = Vec::new();
         for txn in &txns {
             let (_, txn_secs) = time(|| txn_side.commit(txn.clone(), &dynamics).unwrap());
             let (_, seq_secs) = time(|| {
@@ -1271,28 +1354,35 @@ fn maintain_bench(datasets: &[Dataset], threads: usize) -> Vec<MaintainRecord> {
                     seq_side.commit(delta, &dynamics).unwrap();
                 }
             });
+            let (_, walk_secs) = time(|| walk_side.commit(txn.clone(), &dynamics).unwrap());
             txn_times.push(txn_secs);
             seq_times.push(seq_secs);
+            walk_times.push(walk_secs);
         }
         txn_times.sort_by(f64::total_cmp);
         seq_times.sort_by(f64::total_cmp);
-        let (txn_commit, sequential) = match txns.is_empty() {
-            true => (f64::NAN, f64::NAN),
+        walk_times.sort_by(f64::total_cmp);
+        let (txn_commit, sequential, seq_walk) = match txns.is_empty() {
+            true => (f64::NAN, f64::NAN, f64::NAN),
             false => (
                 txn_times[txn_times.len() / 2],
                 seq_times[seq_times.len() / 2],
+                walk_times[walk_times.len() / 2],
             ),
         };
         let txn_speedup = sequential / txn_commit.max(1e-9);
+        let frontier_speedup = seq_walk / txn_commit.max(1e-9);
         println!(
-            "{:<10} {:>10.4}s {:>10.6}s {:>8.1}x {:>10.6}s {:>10.6}s {:>8.2}x",
+            "{:<10} {:>10.4}s {:>10.6}s {:>8.1}x {:>10.6}s {:>10.6}s {:>8.2}x {:>10.6}s {:>8.2}x",
             ds.name,
             full,
             refresh,
             full / refresh.max(1e-9),
             txn_commit,
             sequential,
-            txn_speedup
+            txn_speedup,
+            seq_walk,
+            frontier_speedup
         );
         records.push(MaintainRecord {
             dataset: ds.name.clone(),
@@ -1301,6 +1391,8 @@ fn maintain_bench(datasets: &[Dataset], threads: usize) -> Vec<MaintainRecord> {
             txn_commit_secs: txn_commit,
             sequential_secs: sequential,
             txn_speedup,
+            seq_walk_secs: seq_walk,
+            frontier_speedup,
             txn_relations: relations.len(),
             error: None,
         });
@@ -1330,6 +1422,7 @@ fn main() {
     let mut scale_factors: Vec<usize> = vec![1, 10];
     let mut serve_config = ServeConfig::default();
     let mut iso_config = IsoConfig::default();
+    let mut reader_grid: Vec<usize> = vec![serve_config.readers];
     let mut serve_dataset = "Retailer".to_string();
     let mut json_path: Option<String> = None;
     let parse_list = |args: &[String], i: usize, flag: &str| -> Vec<usize> {
@@ -1362,8 +1455,10 @@ fn main() {
                 i += 1;
             }
             "--readers" => {
-                serve_config.readers = parse_flag_value(&args, i, "--readers");
-                iso_config.readers = serve_config.readers;
+                reader_grid = parse_list(&args, i, "--readers");
+                // The isolation harness is one stress run, not a sweep: it
+                // takes the most contended point of the grid.
+                iso_config.readers = reader_grid.iter().copied().max().unwrap_or(1);
                 i += 1;
             }
             "--serve-secs" => {
@@ -1408,7 +1503,11 @@ fn main() {
         i += 1;
     }
     if is_quick || is_serve || is_maintain || is_iso || is_scaling {
-        let serving = is_serve.then_some((serve_dataset.as_str(), &serve_config));
+        let serving = is_serve.then_some((
+            serve_dataset.as_str(),
+            &serve_config,
+            reader_grid.as_slice(),
+        ));
         let iso = is_iso.then_some((serve_dataset.as_str(), &iso_config));
         let scaling = is_scaling.then_some((thread_grid.as_slice(), scale_factors.as_slice()));
         std::process::exit(ci_mode(

@@ -9,7 +9,8 @@
 //!
 //! Flags: `--dataset NAME` (Retailer | Favorita | Yelp | TPC-DS, default
 //! Retailer), `--readers N` (default 4), `--secs S` (default 30),
-//! `--updates-per-sec U` (default 200), `--threads N` (engine worker
+//! `--updates-per-sec U` (default 200), `--history-window W` (snapshot
+//! generations retained for GC, default 8), `--threads N` (engine worker
 //! threads), `--seed S`. Scale comes from `LMFAO_SCALE` (default 5000).
 //! Progress is printed once per second; the process exits non-zero if any
 //! sampled read disagrees with a from-scratch recompute at its pinned
@@ -60,6 +61,10 @@ fn main() {
                 config.updates_per_sec = arg_value(&args, i, "--updates-per-sec");
                 i += 1;
             }
+            "--history-window" => {
+                config.history_window = arg_value::<usize>(&args, i, "--history-window").max(1);
+                i += 1;
+            }
             "--threads" => {
                 threads = arg_value::<usize>(&args, i, "--threads").max(1);
                 i += 1;
@@ -71,7 +76,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown flag `{other}`; use --dataset, --readers, --secs, \
-                     --updates-per-sec, --threads, --seed"
+                     --updates-per-sec, --history-window, --threads, --seed"
                 );
                 std::process::exit(2);
             }

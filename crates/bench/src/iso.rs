@@ -199,12 +199,14 @@ pub fn run_iso(
                         generation: snap.generation(),
                         digest: snapshot_digest(&snap),
                     });
+                    // Fixed cadence: never reset `next` to "now", so a slow
+                    // commit borrows from the next slot instead of silently
+                    // stretching the whole schedule (same fix as the serve
+                    // bench's pacer).
                     next += interval;
                     let now = Instant::now();
                     if next > now {
                         std::thread::sleep(next - now);
-                    } else {
-                        next = now;
                     }
                 }
                 (history, error)

@@ -3,11 +3,18 @@
 //!
 //! [`run_serve`] builds a [`lmfao_core::Maintainer`] over a workload batch,
 //! then runs `readers` threads against its [`lmfao_core::SnapshotHandle`] for
-//! a fixed wall-clock window while a single writer thread commits
-//! [`lmfao_data::TableDelta`]s from [`lmfao_datagen::update_stream`] (each a
-//! single-delta transaction) paced at a target updates/second. Readers never block on a refresh: each read is
-//! `handle.load()` (pin the current generation) followed by a query lookup on
-//! the pinned, immutable snapshot.
+//! a fixed wall-clock window while a pipelined two-thread writer drains an
+//! update stream: a **pacer** offers [`lmfao_data::TableDelta`]s from
+//! [`lmfao_datagen::update_stream`] into a [`lmfao_core::DeltaBuffer`] at a
+//! fixed target cadence (a slow commit never resets the schedule — the
+//! shortfall is recorded, not silently absorbed), and a **committer** flushes
+//! the buffer into coalesced transactions and commits them, so the scan of
+//! generation G+1 overlaps the enqueueing of its successors. Readers never
+//! block on a refresh: each read is `handle.load()` (pin the current
+//! generation, a lock-free hazard-pointer acquire) followed by a query lookup
+//! on the pinned, immutable snapshot. The maintainer's generation GC runs
+//! with a configurable [`ServeConfig::history_window`]; the report records
+//! the retained-generation count and approximate retained bytes.
 //!
 //! Every reader records per-read latency into a log-bucketed
 //! [`LatencyHistogram`] and retains a capped set of *pinned samples*
@@ -21,7 +28,7 @@
 //!
 //! Independently of the recompute audit, the writer retains every published
 //! [`lmfao_certify::Certificate`] (the generation-0 execute certificate plus
-//! one maintenance certificate per applied delta) and, for the same
+//! one maintenance certificate per published generation) and, for the same
 //! time-spread sample of pinned generations, the untrusted-engine /
 //! trusted-checker split is exercised end to end:
 //! [`lmfao_certify::check_chain`] must accept the chain from generation 0 up
@@ -30,12 +37,12 @@
 
 use lmfao_baseline::RecomputeReference;
 use lmfao_certify::{check_chain, Certificate};
-use lmfao_core::{EngineConfig, QueryResult, ViewSnapshot};
+use lmfao_core::{DeltaBuffer, EngineConfig, QueryResult, ViewSnapshot, DEFAULT_HISTORY_WINDOW};
 use lmfao_datagen::{fact_relation, update_stream, Dataset, UpdateMix};
 use lmfao_expr::{DynamicRegistry, QueryBatch};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Relative tolerance when comparing a sampled read against the recompute
@@ -60,6 +67,10 @@ pub struct ServeConfig {
     /// Cap on distinct sampled generations recomputed during verification
     /// (each one pays a full from-scratch batch execution).
     pub verify_generations: usize,
+    /// Generation-GC window of the maintainer: how many recently published
+    /// generations the writer retains (see
+    /// [`lmfao_core::Maintainer::set_history_window`]).
+    pub history_window: usize,
     /// Print a progress line roughly once per second while running.
     pub progress: bool,
 }
@@ -72,6 +83,7 @@ impl Default for ServeConfig {
             updates_per_sec: 200.0,
             seed: 42,
             verify_generations: 6,
+            history_window: DEFAULT_HISTORY_WINDOW,
             progress: false,
         }
     }
@@ -97,14 +109,34 @@ pub struct ServeReport {
     pub p99_us: f64,
     /// Worst observed read latency in microseconds.
     pub max_us: f64,
-    /// Deltas the writer applied within the window.
+    /// Deltas the writer applied (committed) within the window.
     pub updates_applied: u64,
     /// Achieved writer rate (deltas per second).
     pub updates_per_sec: f64,
+    /// Deltas the pacer offered within the window. The pacer holds the
+    /// target cadence regardless of commit speed, so `updates_offered -
+    /// updates_applied` is the backlog a too-slow committer left behind.
+    pub updates_offered: u64,
+    /// Offered rate (deltas per second) — the requested rate as actually
+    /// delivered by the pacer clock.
+    pub offered_updates_per_sec: f64,
+    /// True when the committer applied less than 90% of what the pacer
+    /// offered: the writer could not sustain the requested rate.
+    pub rate_shortfall: bool,
     /// The configured target writer rate.
     pub target_updates_per_sec: f64,
-    /// Generations published by the writer (equals `updates_applied`).
+    /// Generations published by the writer. At most `updates_applied`: the
+    /// committer coalesces queued deltas into one commit when it falls
+    /// behind the pacer.
     pub generations: u64,
+    /// The configured generation-GC window.
+    pub history_window: usize,
+    /// Generations retained writer-side at the end of the run (bounded by
+    /// `history_window`).
+    pub retained_generations: usize,
+    /// Approximate bytes of relation + view storage reachable from the
+    /// retained history, deduplicated across generations.
+    pub retained_bytes: usize,
     /// Pinned samples retained by readers.
     pub sampled_reads: usize,
     /// Distinct generations audited against the recompute referee.
@@ -138,11 +170,23 @@ impl ServeReport {
             self.p50_us, self.p95_us, self.p99_us, self.max_us
         );
         println!(
-            "writer     updates {:>7}  {:>8.1}/s (target {:.0}/s)  generations {}",
+            "writer     applied {:>7} of {:>7} offered  {:>8.1}/s (target {:.0}/s)  generations {}{}",
             self.updates_applied,
+            self.updates_offered,
             self.updates_per_sec,
             self.target_updates_per_sec,
-            self.generations
+            self.generations,
+            if self.rate_shortfall {
+                "  RATE SHORTFALL >10%"
+            } else {
+                ""
+            }
+        );
+        println!(
+            "gc         window {:>2}  retained {:>2} generations  ~{:.1} MiB",
+            self.history_window,
+            self.retained_generations,
+            self.retained_bytes as f64 / (1024.0 * 1024.0)
         );
         println!(
             "verify     {} sampled reads over {} generations, {} mismatches{}",
@@ -311,12 +355,13 @@ fn results_match(got: &QueryResult, want: &QueryResult, rel_eps: f64) -> bool {
 /// Runs the serving benchmark for `batch` over `ds`.
 ///
 /// Builds the maintainer on the calling thread, then spawns
-/// `config.readers` reader threads plus one writer thread and lets them run
-/// for `config.duration_secs`. The writer drains a deterministic balanced
-/// update stream against the dataset's fact relation; readers hammer
-/// [`lmfao_core::SnapshotHandle::load`] + query lookups. Afterwards, sampled
-/// pinned reads are audited against a from-scratch recompute at their own
-/// generation.
+/// `config.readers` reader threads plus the pacer/committer writer pair and
+/// lets them run for `config.duration_secs`. The pacer offers a
+/// deterministic balanced update stream against the dataset's fact relation
+/// at the target cadence; the committer flushes it into coalesced
+/// transactions; readers hammer [`lmfao_core::SnapshotHandle::load`] + query
+/// lookups. Afterwards, sampled pinned reads are audited against a
+/// from-scratch recompute at their own generation.
 pub fn run_serve(
     ds: &Dataset,
     batch: &QueryBatch,
@@ -326,6 +371,7 @@ pub fn run_serve(
     let dynamics = DynamicRegistry::new();
     let engine = crate::engine_for(ds, engine_config);
     let mut maintainer = engine.prepare(batch)?.into_serving(&dynamics)?;
+    maintainer.set_history_window(config.history_window);
     let handle = maintainer.handle();
 
     let names: Vec<String> = batch.queries.iter().map(|q| q.name.clone()).collect();
@@ -345,13 +391,22 @@ pub fn run_serve(
     let duration = Duration::from_secs_f64(config.duration_secs.max(0.1));
     let interval = Duration::from_secs_f64(1.0 / config.updates_per_sec.max(1e-6));
 
+    // The pacer/committer hand-off: deltas queue in a DeltaBuffer (which
+    // merges per relation) guarded by one mutex, with a condvar waking the
+    // committer. Any pending delta is flushable immediately (`max_ops = 1`);
+    // the age threshold is the no-new-push backstop the committer polls
+    // while the queue idles.
+    let queue = Mutex::new(DeltaBuffer::new(1, interval));
+    let wake = Condvar::new();
+
     // The certificate chain: index g holds generation g's certificate. The
-    // writer is the only thread that extends it (one entry per commit), so
-    // by join time every published generation has its certificate on file.
+    // committer is the only thread that extends it (one entry per published
+    // generation), so by join time every generation has its certificate on
+    // file and `certs[..=g]` is exactly the chain up to generation g.
     let genesis = Arc::clone(handle.load().certificate());
 
     let started = Instant::now();
-    let (reader_outcomes, writer_applied, writer_error, certs) = std::thread::scope(|s| {
+    let (reader_outcomes, writer, offered) = std::thread::scope(|s| {
         let reader_handles: Vec<_> = (0..config.readers.max(1))
             .map(|reader_id| {
                 let stop = &stop;
@@ -405,36 +460,85 @@ pub fn run_serve(
             })
             .collect();
 
-        let writer_handle = {
+        // Pacer: offers deltas at the target cadence. `next` advances by a
+        // fixed interval and is never reset to "now" — a slow committer
+        // cannot stretch the pacer's clock, so under-delivery shows up as an
+        // applied-vs-offered gap instead of being silently absorbed.
+        let pacer_handle = {
             let stop = &stop;
-            let updates_ctr = &updates_ctr;
-            let dynamics = &dynamics;
+            let queue = &queue;
+            let wake = &wake;
             s.spawn(move || {
-                let start = Instant::now();
-                let mut next = start;
-                let mut applied = 0u64;
-                let mut error = None;
-                let mut certs: Vec<Arc<Certificate>> = vec![genesis];
+                let mut next = Instant::now();
+                let mut offered = 0u64;
                 for delta in &stream {
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    if let Err(e) = maintainer.commit(delta, dynamics) {
-                        error = Some(e.to_string());
-                        break;
-                    }
-                    certs.push(Arc::clone(maintainer.snapshot().certificate()));
-                    applied += 1;
-                    updates_ctr.fetch_add(1, Ordering::Relaxed);
+                    lock_queue(queue).push(delta.clone());
+                    wake.notify_one();
+                    offered += 1;
                     next += interval;
                     let now = Instant::now();
                     if next > now {
                         std::thread::sleep(next - now);
-                    } else {
-                        next = now;
                     }
                 }
-                (applied, error, certs)
+                offered
+            })
+        };
+
+        // Committer: owns the maintainer. Flushes the queue into one
+        // coalesced transaction per commit and publishes it, overlapping the
+        // refresh of one generation with the enqueueing of the next. Exits
+        // at stop; whatever is still queued is the recorded backlog.
+        let committer_handle = {
+            let stop = &stop;
+            let queue = &queue;
+            let wake = &wake;
+            let updates_ctr = &updates_ctr;
+            let dynamics = &dynamics;
+            s.spawn(move || {
+                let mut applied = 0u64;
+                let mut error = None;
+                let mut certs: Vec<Arc<Certificate>> = vec![genesis];
+                while error.is_none() {
+                    let flushed = {
+                        let mut q = lock_queue(queue);
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
+                                break None;
+                            }
+                            if q.should_flush() {
+                                break Some((q.pushes_since_flush(), q.flush()));
+                            }
+                            // Timed wait: the age-threshold flush must fire
+                            // even if no new push ever notifies.
+                            let (guard, _) = wake
+                                .wait_timeout(q, Duration::from_millis(1))
+                                .unwrap_or_else(PoisonError::into_inner);
+                            q = guard;
+                        }
+                    };
+                    match flushed {
+                        None => break,
+                        // The whole batch cancelled to nothing: the deltas
+                        // are applied by definition, no generation needed.
+                        Some((deltas, None)) => {
+                            applied += deltas;
+                            updates_ctr.fetch_add(deltas, Ordering::Relaxed);
+                        }
+                        Some((deltas, Some(txn))) => match maintainer.commit(txn, dynamics) {
+                            Ok(_) => {
+                                certs.push(Arc::clone(maintainer.snapshot().certificate()));
+                                applied += deltas;
+                                updates_ctr.fetch_add(deltas, Ordering::Relaxed);
+                            }
+                            Err(e) => error = Some(e.to_string()),
+                        },
+                    }
+                }
+                (applied, error, certs, maintainer)
             })
         };
 
@@ -461,14 +565,17 @@ pub fn run_serve(
             }
         }
         stop.store(true, Ordering::Relaxed);
+        wake.notify_one();
 
         let outcomes: Vec<ReaderOutcome> = reader_handles
             .into_iter()
             .map(|h| h.join().expect("reader thread panicked"))
             .collect();
-        let (applied, error, certs) = writer_handle.join().expect("writer thread panicked");
-        (outcomes, applied, error, certs)
+        let offered = pacer_handle.join().expect("pacer thread panicked");
+        let writer = committer_handle.join().expect("committer thread panicked");
+        (outcomes, writer, offered)
     });
+    let (writer_applied, writer_error, certs, maintainer) = writer;
     let elapsed = started.elapsed().as_secs_f64();
 
     // Fold reader-side measurements.
@@ -544,8 +651,14 @@ pub fn run_serve(
         max_us: hist.max_ns() as f64 / 1e3,
         updates_applied: writer_applied,
         updates_per_sec: writer_applied as f64 / elapsed.max(1e-9),
+        updates_offered: offered,
+        offered_updates_per_sec: offered as f64 / elapsed.max(1e-9),
+        rate_shortfall: offered > 0 && (writer_applied as f64) < 0.9 * offered as f64,
         target_updates_per_sec: config.updates_per_sec,
         generations: handle.generation(),
+        history_window: config.history_window,
+        retained_generations: maintainer.retained_generations(),
+        retained_bytes: maintainer.retained_bytes(),
         sampled_reads,
         verified_generations: keep.len(),
         mismatches,
@@ -554,6 +667,10 @@ pub fn run_serve(
         certify_secs,
         writer_error,
     })
+}
+
+fn lock_queue(m: &Mutex<DeltaBuffer>) -> std::sync::MutexGuard<'_, DeltaBuffer> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Keeps at most `cap` elements of a sorted list, spread evenly across it
@@ -625,13 +742,26 @@ mod tests {
             updates_per_sec: 100.0,
             seed: 7,
             verify_generations: 3,
+            history_window: 4,
             progress: false,
         };
         let report = run_serve(&ds, &batch, EngineConfig::default(), &config).unwrap();
         assert!(report.ok(), "writer error: {:?}", report.writer_error);
         assert!(report.total_reads > 0, "readers must make progress");
         assert!(report.updates_applied > 0, "writer must make progress");
-        assert_eq!(report.generations, report.updates_applied);
+        assert!(report.updates_offered >= report.updates_applied);
+        // Coalescing: the committer may fold several offered deltas into one
+        // published generation, never the other way around.
+        assert!(report.generations > 0);
+        assert!(report.generations <= report.updates_applied);
+        assert!(report.retained_generations >= 1);
+        assert!(
+            report.retained_generations <= config.history_window,
+            "GC must bound the retained history: {} > {}",
+            report.retained_generations,
+            config.history_window
+        );
+        assert!(report.retained_bytes > 0);
         assert_eq!(report.mismatches, 0);
         assert!(report.sampled_reads > 0, "verification must sample reads");
         assert!(

@@ -47,6 +47,8 @@ pub struct DeltaBuffer {
     max_age: Duration,
     /// When the oldest still-buffered row arrived; `None` while empty.
     opened: Option<Instant>,
+    /// Non-empty deltas absorbed since the last flush.
+    pushes: u64,
 }
 
 impl DeltaBuffer {
@@ -62,6 +64,7 @@ impl DeltaBuffer {
             max_ops,
             max_age,
             opened: None,
+            pushes: 0,
         }
     }
 
@@ -75,6 +78,7 @@ impl DeltaBuffer {
             return;
         }
         self.opened.get_or_insert_with(Instant::now);
+        self.pushes += 1;
         self.pending
             .push(delta)
             .expect("buffered deltas agree on their relation's schema");
@@ -96,6 +100,7 @@ impl DeltaBuffer {
     /// is nothing to commit and no generation should be published.
     pub fn flush(&mut self) -> Option<Transaction> {
         self.opened = None;
+        self.pushes = 0;
         let txn = std::mem::take(&mut self.pending).coalesce();
         (!txn.is_empty()).then_some(txn)
     }
@@ -103,6 +108,13 @@ impl DeltaBuffer {
     /// Pending delta rows (inserts + deletes), before coalescing.
     pub fn len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Non-empty deltas pushed since the last flush — the count a pipelined
+    /// writer reads *before* flushing to account for coalesced commits in
+    /// delta units rather than rows.
+    pub fn pushes_since_flush(&self) -> u64 {
+        self.pushes
     }
 
     /// Whether nothing is buffered.

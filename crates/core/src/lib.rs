@@ -70,7 +70,9 @@ pub use isocheck::{check_history, snapshot_digest, CommitEvent, History, IsoViol
 pub use maintain::{MaintainedBatch, RefreshStats};
 pub use prepared::PreparedBatch;
 pub use shared::SharedDatabase;
-pub use snapshot::{Maintainer, SnapshotHandle, ViewSnapshot, CANCELLATION_REL_EPS};
+pub use snapshot::{
+    Maintainer, SnapshotHandle, ViewSnapshot, CANCELLATION_REL_EPS, DEFAULT_HISTORY_WINDOW,
+};
 pub use view::{ComputedView, ViewCatalog, ViewDef, ViewId, ViewSource};
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! data. [`MaintainedBatch`] goes one step further and turns the batch into
 //! *live materialized state*: every [`ComputedView`] of every group is
 //! retained, and when the base relations receive a [`Transaction`] — an
-//! atomic set of signed [`TableDelta`]s (inserts + deletes), one per touched
+//! atomic set of signed [`TableDelta`](lmfao_data::TableDelta)s (inserts + deletes), one per touched
 //! relation — [`MaintainedBatch::commit`] refreshes the state with work
 //! proportional to the deltas — the dynamic-evaluation setting of Berkholz
 //! et al. ("Answering FO+MOD queries under updates") brought to LMFAO's view
@@ -64,7 +64,7 @@ use crate::error::EngineError;
 use crate::prepared::PreparedBatch;
 use crate::snapshot::{Maintainer, SnapshotHandle, ViewSnapshot};
 use crate::view::{ComputedView, ViewId};
-use lmfao_data::{DatabaseSnapshot, TableDelta, Transaction};
+use lmfao_data::{DatabaseSnapshot, Transaction};
 use lmfao_expr::DynamicRegistry;
 use std::sync::Arc;
 
@@ -106,7 +106,7 @@ pub struct MaintainedBatch {
 impl PreparedBatch {
     /// Executes the batch once, retaining every computed view, and returns
     /// the state as a [`MaintainedBatch`] that refreshes under
-    /// [`TableDelta`]s instead of recomputing.
+    /// [`TableDelta`](lmfao_data::TableDelta)s instead of recomputing.
     ///
     /// This clones the shared database once — the maintained batch needs its
     /// own (copy-on-write) database state to apply deltas to.
@@ -197,7 +197,7 @@ impl MaintainedBatch {
     /// residue snapping otherwise — see the module docs).
     ///
     /// Accepts anything convertible into a [`Transaction`], so a bare
-    /// [`TableDelta`] still commits directly. The base relations are updated
+    /// [`TableDelta`](lmfao_data::TableDelta) still commits directly. The base relations are updated
     /// copy-on-write (sorted-merge, so trie order is preserved); an unmatched
     /// delete, an empty transaction ([`EngineError::EmptyTransaction`]), or a
     /// row both inserted and deleted ([`EngineError::ConflictingDelta`])
@@ -211,17 +211,6 @@ impl MaintainedBatch {
     ) -> Result<RefreshStats, EngineError> {
         self.writer.commit(txn, dynamics)
     }
-
-    /// Applies a signed delta to one base relation.
-    #[deprecated(note = "use `commit`; a bare `TableDelta` converts via `Into<Transaction>`")]
-    pub fn apply(
-        &mut self,
-        delta: &TableDelta,
-        dynamics: &DynamicRegistry,
-    ) -> Result<RefreshStats, EngineError> {
-        #[allow(deprecated)]
-        self.writer.apply(delta, dynamics)
-    }
 }
 
 #[cfg(test)]
@@ -229,7 +218,9 @@ mod tests {
     use super::*;
     use crate::config::EngineConfig;
     use crate::engine::Engine;
-    use lmfao_data::{AttrId, AttrType, Database, DatabaseSchema, Relation, RelationSchema, Value};
+    use lmfao_data::{
+        AttrId, AttrType, Database, DatabaseSchema, Relation, RelationSchema, TableDelta, Value,
+    };
     use lmfao_expr::{Aggregate, QueryBatch};
     use lmfao_jointree::{build_join_tree, Hypergraph, JoinTree};
 
@@ -440,7 +431,10 @@ mod tests {
     }
 
     #[test]
-    fn empty_delta_touches_nothing() {
+    fn empty_delta_is_a_typed_error() {
+        // With the legacy `apply` shim gone, `commit` is the only write
+        // entry point and an empty delta is strict: typed error, no phantom
+        // generation, state untouched.
         let (db, tree) = db_and_tree();
         let b = batch(&db);
         let engine = Engine::new(db.clone(), tree.clone(), EngineConfig::default());
@@ -449,14 +443,13 @@ mod tests {
             .unwrap()
             .into_maintained(&DynamicRegistry::new())
             .unwrap();
+        let generation_before = maintained.handle().generation();
         let delta = TableDelta::for_relation(db.relation("Sales").unwrap());
-        // The legacy shim keeps its forgiving no-op semantics for empty (or
-        // fully cancelling) deltas; the strict path is tested below.
-        #[allow(deprecated)]
-        let stats = maintained.apply(&delta, &DynamicRegistry::new()).unwrap();
-        assert_eq!(stats.seed_groups + stats.propagated_groups, 0);
-        assert_eq!(stats.views_changed, 0);
-        assert_eq!(stats.group_scans, 0);
+        let err = maintained
+            .commit(&delta, &DynamicRegistry::new())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::EmptyTransaction));
+        assert_eq!(maintained.handle().generation(), generation_before);
     }
 
     #[test]

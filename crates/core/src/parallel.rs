@@ -27,6 +27,14 @@
 //! Worker panics surface as [`EngineError::WorkerPanicked`] instead of
 //! aborting the process; the first error (panic or typed) cancels the
 //! remaining queue.
+//!
+//! The *incremental* counterpart of this scheduler lives in
+//! [`crate::snapshot`]: a commit's union frontier — the transitive
+//! dependents of the touched relations — is walked with the same
+//! dependency-counted ready-queue discipline (task parallelism across
+//! independent view groups), while each group's delta scan reuses the
+//! crate-internal `scan_morsels` for domain parallelism. See "The parallel
+//! frontier walk" in the [`crate::snapshot`] module docs.
 
 use crate::config::EngineConfig;
 use crate::error::EngineError;

@@ -11,7 +11,7 @@
 //!   lookups straight from the projected results with zero scans and zero
 //!   locks held.
 //! * [`Maintainer`] — the single writer. It commits [`Transaction`]s —
-//!   atomic sets of [`TableDelta`]s over one or more base relations —
+//!   atomic sets of [`TableDelta`](lmfao_data::TableDelta)s over one or more base relations —
 //!   against its private next-generation state, one DAG walk and one
 //!   published generation per transaction, each new generation an
 //!   `Arc<ViewSnapshot>` swapped through the shared [`SnapshotHandle`].
@@ -39,15 +39,41 @@
 //!
 //! # The publication cell
 //!
-//! Publication is an atomic pointer swap in spirit: the handle stores an
-//! `Arc<ViewSnapshot>` behind an [`RwLock`] that both sides hold only long
-//! enough to clone or store the `Arc` itself — a few instructions, never
-//! during a scan, a refresh, or a result lookup. Readers therefore never
-//! block on a refresh: the writer does all delta work outside the lock and
-//! swaps the pointer at the very end. (A lock-free `AtomicPtr` swap of an
-//! `Arc` payload cannot be written soundly without an epoch/hazard scheme or
-//! an external crate; the pointer-sized critical section below has the same
-//! observable behavior.)
+//! Publication is an atomic pointer swap, for real: the handle wraps a
+//! hazard-pointer cell ([`crossbeam::hazard::HazardCell`]) whose `load` is a
+//! lock-free pointer acquire — announce the pointer in the handle's private
+//! hazard slot, validate the cell still holds it, bump the `Arc` count. No
+//! `RwLock`, no `Mutex`, no reader ever takes a lock, at any reader count;
+//! the only retry is a publication racing the two-instruction handshake.
+//! The writer's `publish` swaps the pointer and reclaims superseded
+//! snapshots once no hazard slot still protects them. The price of the slot
+//! discipline is that [`SnapshotHandle`] is `Send` but **not** `Sync`: each
+//! reader thread clones its own handle (as every caller already did), and
+//! sharing one handle between two threads is now a compile error instead of
+//! a data race.
+//!
+//! # Generation GC
+//!
+//! The maintainer keeps a bounded history of recently published generations
+//! (see [`Maintainer::set_history_window`], default
+//! [`DEFAULT_HISTORY_WINDOW`]). Generations beyond the window are retired
+//! from the writer side; since snapshots are plain `Arc`s, an unpinned
+//! generation frees immediately while a long-pinned reader keeps exactly its
+//! own generation alive — never the whole chain, because copy-on-write
+//! shares unchanged relations and views *forward* across generations.
+//! [`Maintainer::retained_generations`] and [`Maintainer::retained_bytes`]
+//! report the writer-side footprint (pointer-deduplicated, so shared storage
+//! counts once).
+//!
+//! # The parallel frontier walk
+//!
+//! With `threads > 1` in the engine config, a commit refreshes independent
+//! groups of the affected frontier concurrently: a dependency-counted ready
+//! queue (the same discipline as the morsel executor in
+//! [`crate::parallel`]) runs each group's seed/propagation scans as soon as
+//! every upstream group's view delta is in, then folds the per-group
+//! outputs in topological order — so the published state, the certificate
+//! and the refresh stats are identical to the sequential walk's.
 //!
 //! Float caveat: refreshed sums may differ from a fresh build in the last
 //! ulp (float addition is not associative). The maintainer folds deltas with
@@ -64,16 +90,16 @@ use crate::parallel::{execute_all, scan_morsels};
 use crate::plan::{build_group_plan, DepthUpdate, GroupPlan};
 use crate::prepared::{project_results, PreparedBatch, PreparedPlans};
 use crate::view::{ComputedView, ViewId, ViewSource};
+use crossbeam::hazard::HazardCell;
 use lmfao_certify::{
     fingerprint, Certificate, MaintenanceCertificate, QueryTotals, RelationDeltaAccount,
     ViewDeltaAccount, CERTIFICATE_VERSION,
 };
-use lmfao_data::{
-    Database, DatabaseSnapshot, FxHashMap, FxHashSet, Relation, TableDelta, Transaction,
-};
+use lmfao_data::{Database, DatabaseSnapshot, FxHashMap, FxHashSet, Relation, Transaction};
 use lmfao_expr::DynamicRegistry;
 use lmfao_jointree::JoinTree;
-use std::sync::{Arc, PoisonError, RwLock};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Relative epsilon of the maintainer's residue snapping: after folding a
 /// view delta value `v` into an entry `e`, `e` is snapped to exact zero when
@@ -83,6 +109,12 @@ use std::sync::{Arc, PoisonError, RwLock};
 /// while sitting far below the `1e-9` relative tolerance the maintenance
 /// layer guarantees for float aggregates.
 pub const CANCELLATION_REL_EPS: f64 = 1e-11;
+
+/// Default bound on the maintainer's generation history: how many recently
+/// published [`ViewSnapshot`]s stay retained writer-side for audits before
+/// being retired (readers' own pins are unaffected). See
+/// [`Maintainer::set_history_window`].
+pub const DEFAULT_HISTORY_WINDOW: usize = 8;
 
 /// One immutable, published generation of maintained state.
 ///
@@ -175,27 +207,33 @@ impl ViewSnapshot {
 /// The publication cell: readers clone the handle into their threads and
 /// [`load`](SnapshotHandle::load) the latest generation per request.
 ///
-/// Cloning the handle is two reference-count bumps; loading is a read-lock
-/// held for one `Arc` clone. The writer's store is a write-lock held for one
-/// pointer store — publication never waits on readers' *work*, only on
-/// concurrent pointer operations.
+/// `load` is a lock-free pointer acquire through a hazard-pointer cell — no
+/// `RwLock`, no `Mutex`, no lock of any kind on the read path, at any reader
+/// count. The writer's publish is one atomic swap plus reclamation of
+/// generations no reader still has in flight.
+///
+/// The handle is `Send` but deliberately **not** `Sync`: each handle owns a
+/// private hazard slot, so each reader thread clones its own handle (clone
+/// takes a registry lock once; reads never do). Sharing `&SnapshotHandle`
+/// across threads is a compile error rather than a data race.
 #[derive(Debug, Clone)]
 pub struct SnapshotHandle {
-    cell: Arc<RwLock<Arc<ViewSnapshot>>>,
+    cell: HazardCell<ViewSnapshot>,
 }
 
 impl SnapshotHandle {
     fn new(initial: Arc<ViewSnapshot>) -> Self {
         SnapshotHandle {
-            cell: Arc::new(RwLock::new(initial)),
+            cell: HazardCell::new(initial),
         }
     }
 
     /// The latest published generation. The returned `Arc` pins that
     /// generation: it stays valid and immutable regardless of how many
-    /// generations are published afterwards.
+    /// generations are published afterwards. Lock-free: the only retry is a
+    /// concurrent publication racing the hazard handshake.
     pub fn load(&self) -> Arc<ViewSnapshot> {
-        Arc::clone(&self.cell.read().unwrap_or_else(PoisonError::into_inner))
+        self.cell.load()
     }
 
     /// Generation number of the latest published snapshot.
@@ -204,11 +242,11 @@ impl SnapshotHandle {
     }
 
     fn publish(&self, snapshot: Arc<ViewSnapshot>) {
-        *self.cell.write().unwrap_or_else(PoisonError::into_inner) = snapshot;
+        self.cell.publish(snapshot);
     }
 }
 
-/// The single writer of a served batch: applies [`TableDelta`]s against
+/// The single writer of a served batch: applies [`TableDelta`](lmfao_data::TableDelta)s against
 /// private next-generation state and publishes each refreshed generation
 /// through its [`SnapshotHandle`].
 ///
@@ -248,6 +286,12 @@ pub struct Maintainer {
     txns: u64,
     /// The publication cell shared with every reader.
     handle: SnapshotHandle,
+    /// Bounded history of recently published generations, oldest first (the
+    /// back is always the current generation). Generations that fall out are
+    /// retired writer-side; readers' own pins keep theirs alive.
+    history: VecDeque<Arc<ViewSnapshot>>,
+    /// Maximum length of `history` (at least 1 — the current generation).
+    history_window: usize,
 }
 
 impl PreparedBatch {
@@ -315,7 +359,9 @@ impl PreparedBatch {
             last_fingerprint,
             generation: 0,
             txns: 0,
-            handle: SnapshotHandle::new(snapshot),
+            handle: SnapshotHandle::new(Arc::clone(&snapshot)),
+            history: VecDeque::from([snapshot]),
+            history_window: DEFAULT_HISTORY_WINDOW,
         })
     }
 }
@@ -359,34 +405,65 @@ impl Maintainer {
         self.inner.grouping.transitive_dependents(&seeds)
     }
 
-    /// Applies a signed delta to one base relation. Deprecated shim over
-    /// [`Maintainer::commit`]: the delta is coalesced as an ordered stream
-    /// first (insert/delete pairs of one row cancel, as they always did at
-    /// the relation layer), and an empty or fully-cancelling delta keeps the
-    /// legacy no-op contract — `Ok` with every group skipped and nothing
-    /// published — where strict `commit` returns
-    /// [`EngineError::EmptyTransaction`].
-    #[deprecated(note = "use `commit`; a bare `TableDelta` converts via `Into<Transaction>`")]
-    pub fn apply(
-        &mut self,
-        delta: &TableDelta,
-        dynamics: &DynamicRegistry,
-    ) -> Result<RefreshStats, EngineError> {
-        let txn = Transaction::from(delta).coalesce();
-        if txn.is_empty() {
-            return Ok(RefreshStats {
-                delta_rows: delta.len(),
-                skipped_groups: self.plans.len(),
-                ..RefreshStats::default()
-            });
+    /// Bound on the writer-side generation history. See
+    /// [`Maintainer::set_history_window`].
+    pub fn history_window(&self) -> usize {
+        self.history_window
+    }
+
+    /// Sets the generation-GC window: how many recently published
+    /// generations the maintainer retains (for audits and late readers)
+    /// before retiring them. Clamped to at least 1 — the current generation
+    /// is always retained. Shrinking the window retires immediately.
+    ///
+    /// Retiring drops the *writer's* reference only: an unpinned generation
+    /// frees at once, while a reader that pinned one through
+    /// [`SnapshotHandle::load`] keeps exactly its own generation alive for
+    /// as long as it holds the `Arc`.
+    pub fn set_history_window(&mut self, window: usize) {
+        self.history_window = window.max(1);
+        while self.history.len() > self.history_window {
+            self.history.pop_front();
         }
-        self.commit_txn(txn, dynamics)
+    }
+
+    /// Number of generations currently retained writer-side (bounded by the
+    /// history window).
+    pub fn retained_generations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The retained generations, oldest first (the last is the current one).
+    pub fn retained_snapshots(&self) -> impl Iterator<Item = &Arc<ViewSnapshot>> {
+        self.history.iter()
+    }
+
+    /// Approximate bytes of relation and view storage reachable from the
+    /// retained history, deduplicated by storage pointer — copy-on-write
+    /// shares unchanged relations and views across generations, and shared
+    /// storage counts once.
+    pub fn retained_bytes(&self) -> usize {
+        let mut seen: FxHashSet<usize> = FxHashSet::default();
+        let mut bytes = 0usize;
+        for snap in &self.history {
+            for rel in snap.db.relations() {
+                if seen.insert(rel as *const Relation as usize) {
+                    bytes += rel.size_bytes();
+                }
+            }
+            for cv in snap.computed.values() {
+                if seen.insert(Arc::as_ptr(cv) as usize) {
+                    bytes += cv.size_bytes();
+                }
+            }
+        }
+        bytes
     }
 
     /// Commits a transaction: applies every per-relation delta atomically,
     /// refreshes the **union** of the affected refresh frontiers in one
     /// dependency-ordered DAG walk, and publishes exactly one generation.
-    /// A bare [`TableDelta`] commits as a single-relation transaction via
+    /// A bare [`TableDelta`](lmfao_data::TableDelta) commits as a single-relation transaction via
     /// `Into<Transaction>`.
     ///
     /// Published results match a full recompute over the updated database
@@ -482,153 +559,86 @@ impl Maintainer {
         // before any merge — this is the `net == inserted - deleted +
         // propagated` half of the certificate ("sums of encodings, never
         // encodings of sums").
-        let mut changed: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+        //
+        // The per-group work lives in `refresh_group`, which reads only the
+        // staged database, the retained (old) views and the upstream deltas
+        // — so with `threads > 1` independent groups of the frontier refresh
+        // concurrently under a dependency-counted ready queue, and the
+        // outputs fold here in topological order either way. Both modes
+        // produce identical state: every group sees exactly its producers'
+        // deltas, and the morsel scans themselves are thread-count
+        // deterministic.
+        let mut changed: FxHashMap<ViewId, Arc<ComputedView>> = FxHashMap::default();
         let mut seed_split: FxHashMap<ViewId, (Vec<i128>, Vec<i128>)> = FxHashMap::default();
         let mut prop_split: FxHashMap<ViewId, Vec<i128>> = FxHashMap::default();
-        // Staged NEW (old + delta) states of already-refreshed views, built
-        // lazily: only the telescoped propagation path reads them.
-        let mut staged_views: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
-        for &gid in &self.topo {
-            let plan = &self.plans[gid];
-            let seed = partitions.get(plan.relation.as_str());
-            let changed_incoming: Vec<bool> = plan
-                .incoming
-                .iter()
-                .map(|inc| changed.contains_key(&inc.view))
-                .collect();
-            let propagate = changed_incoming.iter().any(|&c| c);
-            if seed.is_none() && !propagate {
-                stats.skipped_groups += 1;
-                continue;
-            }
-            if seed.is_some() {
-                stats.seed_groups += 1;
-            } else {
-                stats.propagated_groups += 1;
-            }
 
-            // Seed contribution: the delta partitions scanned against the
-            // retained (old) incoming views.
-            let mut group_deltas: Option<Vec<(ViewId, ComputedView)>> = None;
-            if let Some((inserts, deletes)) = seed {
-                stats.group_scans += [inserts, deletes]
-                    .into_iter()
-                    .filter(|p| !p.is_empty())
-                    .count();
-                let mut out = scan_partition(inserts, num_attrs, plan, &self.computed, dynamics)?;
-                let neg = scan_partition(deletes, num_attrs, plan, &self.computed, dynamics)?;
-                for ((vid, acc), (nvid, d)) in out.iter_mut().zip(&neg) {
-                    debug_assert_eq!(vid, nvid);
-                    seed_split.insert(*vid, (encoded_totals(acc), encoded_totals(d)));
-                    acc.merge_signed(d, -1.0);
-                }
-                group_deltas = Some(out);
-            }
+        // The affected set: seed groups plus transitive dependents, in
+        // refresh order. An over-approximation of the groups that actually
+        // run — a dependent still skips when every upstream delta cancelled
+        // to empty.
+        let seeds: Vec<usize> = self
+            .plans
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| partitions.contains_key(p.relation.as_str()))
+            .map(|(g, _)| g)
+            .collect();
+        let affected = self.inner.grouping.transitive_dependents(&seeds);
+        let threads = self.inner.config.threads.max(1);
 
-            // Propagation contribution: charge the incoming-view deltas
-            // against the *updated* relation.
-            if propagate {
-                let relation = staged_db
-                    .relation(&plan.relation)
-                    .map_err(|_| EngineError::UnknownRelation(plan.relation.clone()))?;
-                let scans: Vec<Vec<(ViewId, ComputedView)>> =
-                    if multi_changed_terms(plan, &changed_incoming) {
-                        // Some term multiplies two changed views together, so the
-                        // output delta is not linear in any single view. Telescope:
-                        // step t charges the t-th changed view's delta, with
-                        // earlier changed views at their NEW state and later ones
-                        // still OLD — the steps sum exactly to the total change.
-                        let steps: Vec<(usize, ViewId)> = plan
-                            .incoming
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, inc)| changed.contains_key(&inc.view))
-                            .map(|(i, inc)| (i, inc.view))
-                            .collect();
-                        for &(_, vid) in &steps {
-                            staged_views.entry(vid).or_insert_with(|| {
-                                let d = &changed[&vid];
-                                let mut nv = self.computed.get(&vid).map_or_else(
-                                    || ComputedView::new(d.key_attrs.clone(), d.num_aggregates),
-                                    |cv| (**cv).clone(),
-                                );
-                                nv.merge_signed(d, 1.0);
-                                nv.prune_zero_entries();
-                                nv
-                            });
-                        }
-                        let mut earlier: FxHashSet<ViewId> = FxHashSet::default();
-                        let mut scans = Vec::with_capacity(steps.len());
-                        for &(idx, vid) in &steps {
-                            let mut one_hot = vec![false; plan.incoming.len()];
-                            one_hot[idx] = true;
-                            let mask = active_slots(plan, &one_hot);
-                            let overlay = TelescopeOverlay {
-                                full: &self.computed,
-                                staged: &staged_views,
-                                deltas: &changed,
-                                current: vid,
-                                earlier: &earlier,
-                            };
-                            scans.push(scan_morsels(
-                                relation,
-                                num_attrs,
-                                plan,
-                                &overlay,
-                                dynamics,
-                                Some(&mask),
-                                self.inner.config.threads,
-                            )?);
-                            earlier.insert(vid);
-                        }
-                        scans
-                    } else {
-                        // No term references two changed views, so the output
-                        // delta is jointly linear in them: one combined scan with
-                        // every changed view overlaid by its delta and every
-                        // affected slot unmasked.
-                        let mask = active_slots(plan, &changed_incoming);
-                        let overlay = DeltaOverlay {
-                            full: &self.computed,
-                            deltas: &changed,
-                        };
-                        vec![scan_morsels(
-                            relation,
-                            num_attrs,
-                            plan,
-                            &overlay,
-                            dynamics,
-                            Some(&mask),
-                            self.inner.config.threads,
-                        )?]
-                    };
-                stats.group_scans += scans.len();
-                for scan in scans {
-                    for (vid, d) in &scan {
-                        let enc = encoded_totals(d);
-                        let totals = prop_split.entry(*vid).or_insert_with(|| vec![0; enc.len()]);
-                        for (t, e) in totals.iter_mut().zip(&enc) {
-                            *t += e;
-                        }
-                    }
-                    match &mut group_deltas {
-                        Some(acc) => {
-                            for ((vid, a), (svid, d)) in acc.iter_mut().zip(&scan) {
-                                debug_assert_eq!(vid, svid);
-                                a.merge_signed(d, 1.0);
-                            }
-                        }
-                        None => group_deltas = Some(scan),
-                    }
+        if threads > 1 && affected.len() > 1 {
+            stats.skipped_groups += self.plans.len() - affected.len();
+            let outcomes = refresh_frontier_parallel(
+                &affected,
+                &self.plans,
+                &partitions,
+                num_attrs,
+                &staged_db,
+                &self.computed,
+                dynamics,
+                threads,
+            )?;
+            for (_, outcome) in outcomes {
+                match outcome {
+                    None => stats.skipped_groups += 1,
+                    Some(out) => fold_group_refresh(
+                        out,
+                        &mut stats,
+                        &mut changed,
+                        &mut seed_split,
+                        &mut prop_split,
+                    ),
                 }
             }
-
-            for (vid, cv) in group_deltas.unwrap_or_default() {
-                // An empty delta means the view did not change: leaving it
-                // out lets downstream groups skip entirely.
-                if !cv.is_empty() {
-                    changed.insert(vid, cv);
+        } else {
+            for &gid in &self.topo {
+                let plan = &self.plans[gid];
+                let seed = partitions.get(plan.relation.as_str());
+                let propagate = plan
+                    .incoming
+                    .iter()
+                    .any(|inc| changed.contains_key(&inc.view));
+                if seed.is_none() && !propagate {
+                    stats.skipped_groups += 1;
+                    continue;
                 }
+                let out = refresh_group(
+                    plan,
+                    seed,
+                    num_attrs,
+                    &staged_db,
+                    &self.computed,
+                    &changed,
+                    dynamics,
+                    threads,
+                )?;
+                fold_group_refresh(
+                    out,
+                    &mut stats,
+                    &mut changed,
+                    &mut seed_split,
+                    &mut prop_split,
+                );
             }
         }
 
@@ -724,7 +734,14 @@ impl Maintainer {
             inner: Arc::clone(&self.inner),
             certificate: Arc::new(certificate),
         });
-        self.handle.publish(snapshot);
+        self.handle.publish(Arc::clone(&snapshot));
+        // Generation GC: retain the new generation writer-side and retire
+        // the oldest past the window. Retiring only drops the writer's
+        // reference — pinned readers keep their own generation alive.
+        self.history.push_back(snapshot);
+        while self.history.len() > self.history_window {
+            self.history.pop_front();
+        }
         Ok(stats)
     }
 
@@ -750,16 +767,396 @@ impl Maintainer {
     }
 }
 
+/// Encoded (inserted, deleted) totals of one view's seed refresh — the two
+/// signed halves the maintenance certificate accounts separately.
+type SeedTotals = (Vec<i128>, Vec<i128>);
+
+/// The private output of one group's frontier refresh: everything the commit
+/// folds into shared state afterwards, so a group can run on any worker
+/// without touching the maintainer.
+struct GroupRefresh {
+    /// True when the group's own relation changed (a seed refresh), false
+    /// for a purely propagated one.
+    seeded: bool,
+    /// Delta scans the group executed.
+    scans: usize,
+    /// Merged signed output delta per view, in plan output order (empty
+    /// deltas included; the fold filters them).
+    deltas: Vec<(ViewId, Arc<ComputedView>)>,
+    /// Encoded (inserted, deleted) seed totals per view.
+    seed_split: Vec<(ViewId, SeedTotals)>,
+    /// Summed encoded propagation totals per view.
+    prop_split: Vec<(ViewId, Vec<i128>)>,
+}
+
+/// Refreshes one group of the frontier: the seed contribution of its
+/// relation's delta partitions plus the propagation of upstream view deltas,
+/// exactly as the sequential walk computes them. Pure with respect to the
+/// maintainer — reads the staged database, the retained (old) views, and the
+/// deltas of upstream views; returns everything it produced.
+#[allow(clippy::too_many_arguments)]
+fn refresh_group(
+    plan: &GroupPlan,
+    seed: Option<&(Relation, Relation)>,
+    num_attrs: usize,
+    staged_db: &DatabaseSnapshot,
+    computed: &FxHashMap<ViewId, Arc<ComputedView>>,
+    upstream: &FxHashMap<ViewId, Arc<ComputedView>>,
+    dynamics: &DynamicRegistry,
+    scan_threads: usize,
+) -> Result<GroupRefresh, EngineError> {
+    let changed_incoming: Vec<bool> = plan
+        .incoming
+        .iter()
+        .map(|inc| upstream.contains_key(&inc.view))
+        .collect();
+    let propagate = changed_incoming.iter().any(|&c| c);
+    let mut out = GroupRefresh {
+        seeded: seed.is_some(),
+        scans: 0,
+        deltas: Vec::new(),
+        seed_split: Vec::new(),
+        prop_split: Vec::new(),
+    };
+
+    // Seed contribution: the delta partitions scanned against the retained
+    // (old) incoming views.
+    let mut group_deltas: Option<Vec<(ViewId, ComputedView)>> = None;
+    if let Some((inserts, deletes)) = seed {
+        out.scans += [inserts, deletes]
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .count();
+        let mut acc = scan_partition(inserts, num_attrs, plan, computed, dynamics)?;
+        let neg = scan_partition(deletes, num_attrs, plan, computed, dynamics)?;
+        for ((vid, a), (nvid, d)) in acc.iter_mut().zip(&neg) {
+            debug_assert_eq!(vid, nvid);
+            out.seed_split
+                .push((*vid, (encoded_totals(a), encoded_totals(d))));
+            a.merge_signed(d, -1.0);
+        }
+        group_deltas = Some(acc);
+    }
+
+    // Propagation contribution: charge the incoming-view deltas against the
+    // *updated* relation.
+    if propagate {
+        let relation = staged_db
+            .relation(&plan.relation)
+            .map_err(|_| EngineError::UnknownRelation(plan.relation.clone()))?;
+        let scans: Vec<Vec<(ViewId, ComputedView)>> =
+            if multi_changed_terms(plan, &changed_incoming) {
+                // Some term multiplies two changed views together, so the output
+                // delta is not linear in any single view. Telescope: step t
+                // charges the t-th changed view's delta, with earlier changed
+                // views at their NEW state and later ones still OLD — the steps
+                // sum exactly to the total change. The NEW states are built
+                // locally from old + delta (recomputed per group; only the rare
+                // multi-changed-term shape pays this).
+                let steps: Vec<(usize, ViewId)> = plan
+                    .incoming
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, inc)| upstream.contains_key(&inc.view))
+                    .map(|(i, inc)| (i, inc.view))
+                    .collect();
+                let mut staged_views: FxHashMap<ViewId, ComputedView> = FxHashMap::default();
+                for &(_, vid) in &steps {
+                    staged_views.entry(vid).or_insert_with(|| {
+                        let d = &upstream[&vid];
+                        let mut nv = computed.get(&vid).map_or_else(
+                            || ComputedView::new(d.key_attrs.clone(), d.num_aggregates),
+                            |cv| (**cv).clone(),
+                        );
+                        nv.merge_signed(d, 1.0);
+                        nv.prune_zero_entries();
+                        nv
+                    });
+                }
+                let mut earlier: FxHashSet<ViewId> = FxHashSet::default();
+                let mut scans = Vec::with_capacity(steps.len());
+                for &(idx, vid) in &steps {
+                    let mut one_hot = vec![false; plan.incoming.len()];
+                    one_hot[idx] = true;
+                    let mask = active_slots(plan, &one_hot);
+                    let overlay = TelescopeOverlay {
+                        full: computed,
+                        staged: &staged_views,
+                        deltas: upstream,
+                        current: vid,
+                        earlier: &earlier,
+                    };
+                    scans.push(scan_morsels(
+                        relation,
+                        num_attrs,
+                        plan,
+                        &overlay,
+                        dynamics,
+                        Some(&mask),
+                        scan_threads,
+                    )?);
+                    earlier.insert(vid);
+                }
+                scans
+            } else {
+                // No term references two changed views, so the output delta is
+                // jointly linear in them: one combined scan with every changed
+                // view overlaid by its delta and every affected slot unmasked.
+                let mask = active_slots(plan, &changed_incoming);
+                let overlay = DeltaOverlay {
+                    full: computed,
+                    deltas: upstream,
+                };
+                vec![scan_morsels(
+                    relation,
+                    num_attrs,
+                    plan,
+                    &overlay,
+                    dynamics,
+                    Some(&mask),
+                    scan_threads,
+                )?]
+            };
+        out.scans += scans.len();
+        for scan in scans {
+            for (vid, d) in &scan {
+                let enc = encoded_totals(d);
+                match out.prop_split.iter_mut().find(|(v, _)| v == vid) {
+                    Some((_, totals)) => {
+                        for (t, e) in totals.iter_mut().zip(&enc) {
+                            *t += e;
+                        }
+                    }
+                    None => out.prop_split.push((*vid, enc)),
+                }
+            }
+            match &mut group_deltas {
+                Some(acc) => {
+                    for ((vid, a), (svid, d)) in acc.iter_mut().zip(&scan) {
+                        debug_assert_eq!(vid, svid);
+                        a.merge_signed(d, 1.0);
+                    }
+                }
+                None => group_deltas = Some(scan),
+            }
+        }
+    }
+
+    out.deltas = group_deltas
+        .unwrap_or_default()
+        .into_iter()
+        .map(|(vid, cv)| (vid, Arc::new(cv)))
+        .collect();
+    Ok(out)
+}
+
+/// Folds one group's private refresh output into the commit's shared
+/// accumulators, in the same order the sequential walk would.
+fn fold_group_refresh(
+    out: GroupRefresh,
+    stats: &mut RefreshStats,
+    changed: &mut FxHashMap<ViewId, Arc<ComputedView>>,
+    seed_split: &mut FxHashMap<ViewId, (Vec<i128>, Vec<i128>)>,
+    prop_split: &mut FxHashMap<ViewId, Vec<i128>>,
+) {
+    if out.seeded {
+        stats.seed_groups += 1;
+    } else {
+        stats.propagated_groups += 1;
+    }
+    stats.group_scans += out.scans;
+    for (vid, split) in out.seed_split {
+        seed_split.insert(vid, split);
+    }
+    for (vid, enc) in out.prop_split {
+        let totals = prop_split.entry(vid).or_insert_with(|| vec![0; enc.len()]);
+        for (t, e) in totals.iter_mut().zip(&enc) {
+            *t += e;
+        }
+    }
+    for (vid, cv) in out.deltas {
+        // An empty delta means the view did not change: leaving it out lets
+        // downstream groups skip entirely.
+        if !cv.is_empty() {
+            changed.insert(vid, cv);
+        }
+    }
+}
+
+/// Shared state of the parallel frontier walk — the commit-side analog of
+/// the executor's dependency-counted ready queue.
+struct FrontierSched {
+    ready: Vec<usize>,
+    indegree: FxHashMap<usize, usize>,
+    /// Published view deltas of completed groups (non-empty ones only, the
+    /// same contract as the sequential walk's `changed` map).
+    deltas: FxHashMap<ViewId, Arc<ComputedView>>,
+    outcomes: FxHashMap<usize, Option<GroupRefresh>>,
+    remaining: usize,
+    error: Option<EngineError>,
+}
+
+fn lock_sched(m: &Mutex<FrontierSched>) -> MutexGuard<'_, FrontierSched> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Refreshes the affected groups concurrently: a group becomes ready once
+/// every producer among `affected` has finished, runs its scans against a
+/// snapshot of the published deltas, and releases its dependents. Outer
+/// workers carry the parallelism, so each group's scans run single-threaded
+/// (no pool oversubscription). Returns one outcome per affected group in
+/// `affected` (topological) order — `None` for groups whose upstream deltas
+/// all cancelled away (skipped without a scan).
+///
+/// Deterministic by construction: a group's inputs are fixed at readiness
+/// (exactly its producers' deltas, regardless of worker schedule), the
+/// morsel scans are thread-count invariant, and the caller folds outcomes
+/// in topological order.
+#[allow(clippy::too_many_arguments)]
+fn refresh_frontier_parallel(
+    affected: &[usize],
+    plans: &[GroupPlan],
+    partitions: &FxHashMap<&str, (Relation, Relation)>,
+    num_attrs: usize,
+    staged_db: &DatabaseSnapshot,
+    computed: &FxHashMap<ViewId, Arc<ComputedView>>,
+    dynamics: &DynamicRegistry,
+    threads: usize,
+) -> Result<Vec<(usize, Option<GroupRefresh>)>, EngineError> {
+    // Producer edges among the affected groups: view -> the affected group
+    // producing it, then per-group dependency counts and dependent lists.
+    let in_set: FxHashSet<usize> = affected.iter().copied().collect();
+    let mut producer: FxHashMap<ViewId, usize> = FxHashMap::default();
+    for &gid in affected {
+        for output in &plans[gid].outputs {
+            producer.insert(output.view, gid);
+        }
+    }
+    let mut dependents: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    let mut indegree: FxHashMap<usize, usize> = FxHashMap::default();
+    for &gid in affected {
+        let mut deps: Vec<usize> = plans[gid]
+            .incoming
+            .iter()
+            .filter_map(|inc| producer.get(&inc.view).copied())
+            .filter(|&p| p != gid && in_set.contains(&p))
+            .collect();
+        deps.sort_unstable();
+        deps.dedup();
+        indegree.insert(gid, deps.len());
+        for p in deps {
+            dependents.entry(p).or_default().push(gid);
+        }
+    }
+    let ready: Vec<usize> = affected
+        .iter()
+        .copied()
+        .filter(|g| indegree[g] == 0)
+        .collect();
+    let state = Mutex::new(FrontierSched {
+        ready,
+        indegree,
+        deltas: FxHashMap::default(),
+        outcomes: FxHashMap::default(),
+        remaining: affected.len(),
+        error: None,
+    });
+    let wake = Condvar::new();
+    let workers = threads.min(affected.len()).max(1);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let (gid, upstream) = {
+                    let mut st = lock_sched(&state);
+                    loop {
+                        if st.error.is_some() || st.remaining == 0 {
+                            return;
+                        }
+                        if let Some(gid) = st.ready.pop() {
+                            // The delta snapshot is complete for this group:
+                            // readiness means every producer already
+                            // published. Cloning the map clones Arcs only.
+                            break (gid, st.deltas.clone());
+                        }
+                        st = wake.wait(st).unwrap_or_else(PoisonError::into_inner);
+                    }
+                };
+                let plan = &plans[gid];
+                let seed = partitions.get(plan.relation.as_str());
+                let propagate = plan
+                    .incoming
+                    .iter()
+                    .any(|inc| upstream.contains_key(&inc.view));
+                let outcome = if seed.is_none() && !propagate {
+                    Ok(None)
+                } else {
+                    refresh_group(
+                        plan, seed, num_attrs, staged_db, computed, &upstream, dynamics, 1,
+                    )
+                    .map(Some)
+                };
+                let mut st = lock_sched(&state);
+                match outcome {
+                    Err(e) => {
+                        st.error.get_or_insert(e);
+                        wake.notify_all();
+                        return;
+                    }
+                    Ok(res) => {
+                        if let Some(out) = &res {
+                            for (vid, cv) in &out.deltas {
+                                if !cv.is_empty() {
+                                    st.deltas.insert(*vid, Arc::clone(cv));
+                                }
+                            }
+                        }
+                        st.outcomes.insert(gid, res);
+                        st.remaining -= 1;
+                        if let Some(deps) = dependents.get(&gid) {
+                            for &dep in deps {
+                                let d = st.indegree.get_mut(&dep).expect("dependent is affected");
+                                *d -= 1;
+                                if *d == 0 {
+                                    st.ready.push(dep);
+                                }
+                            }
+                        }
+                        wake.notify_all();
+                    }
+                }
+            });
+        }
+    })
+    .expect("frontier worker panicked");
+    let mut st = state.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if let Some(e) = st.error.take() {
+        return Err(e);
+    }
+    Ok(affected
+        .iter()
+        .map(|&gid| {
+            let outcome = st
+                .outcomes
+                .remove(&gid)
+                .expect("every affected group completed");
+            (gid, outcome)
+        })
+        .collect())
+}
+
 /// Resolves incoming views during a propagation scan: changed views resolve
 /// to their signed deltas, unchanged views to the retained full results.
 struct DeltaOverlay<'a> {
     full: &'a FxHashMap<ViewId, Arc<ComputedView>>,
-    deltas: &'a FxHashMap<ViewId, ComputedView>,
+    deltas: &'a FxHashMap<ViewId, Arc<ComputedView>>,
 }
 
 impl ViewSource for DeltaOverlay<'_> {
     fn view_result(&self, id: ViewId) -> Option<&ComputedView> {
-        self.deltas.get(&id).or_else(|| self.full.view_result(id))
+        self.deltas
+            .get(&id)
+            .map(|cv| &**cv)
+            .or_else(|| self.full.view_result(id))
     }
 }
 
@@ -770,7 +1167,7 @@ impl ViewSource for DeltaOverlay<'_> {
 struct TelescopeOverlay<'a> {
     full: &'a FxHashMap<ViewId, Arc<ComputedView>>,
     staged: &'a FxHashMap<ViewId, ComputedView>,
-    deltas: &'a FxHashMap<ViewId, ComputedView>,
+    deltas: &'a FxHashMap<ViewId, Arc<ComputedView>>,
     current: ViewId,
     earlier: &'a FxHashSet<ViewId>,
 }
@@ -778,7 +1175,7 @@ struct TelescopeOverlay<'a> {
 impl ViewSource for TelescopeOverlay<'_> {
     fn view_result(&self, id: ViewId) -> Option<&ComputedView> {
         if id == self.current {
-            self.deltas.get(&id)
+            self.deltas.get(&id).map(|cv| &**cv)
         } else if self.earlier.contains(&id) {
             self.staged.get(&id)
         } else {
@@ -884,7 +1281,7 @@ mod tests {
     use super::*;
     use crate::config::EngineConfig;
     use crate::engine::Engine;
-    use lmfao_data::{AttrId, AttrType, DatabaseSchema, RelationSchema, Value};
+    use lmfao_data::{AttrId, AttrType, DatabaseSchema, RelationSchema, TableDelta, Value};
     use lmfao_expr::{Aggregate, QueryBatch};
     use lmfao_jointree::{build_join_tree, Hypergraph};
 

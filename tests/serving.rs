@@ -138,6 +138,199 @@ fn pinned_readers_are_unaffected_by_a_concurrent_publication() {
     });
 }
 
+/// Generation GC: with a history window of 3, generations the writer
+/// retired are actually freed (their `Weak` handles die) — except a
+/// generation a reader deliberately keeps pinned, which stays alive, still
+/// answers its original results, and keeps exactly one strong reference
+/// (the reader's own).
+#[test]
+fn gc_drops_unpinned_generations_but_never_a_pinned_reader() {
+    const WINDOW: usize = 3;
+    const COMMITS: usize = 10;
+    const PIN_AT: u64 = 2;
+    let (db, tree, batch) = toy();
+    let dynamics = DynamicRegistry::new();
+    let mut writer = Engine::new(db.clone(), tree, EngineConfig::default())
+        .prepare(&batch)
+        .unwrap()
+        .into_serving(&dynamics)
+        .unwrap();
+    writer.set_history_window(WINDOW);
+    assert_eq!(writer.history_window(), WINDOW);
+    let handle = writer.handle();
+
+    let mut weaks: Vec<(u64, std::sync::Weak<ViewSnapshot>)> = Vec::new();
+    let mut pinned: Option<(Arc<ViewSnapshot>, BatchResult)> = None;
+    for i in 0..COMMITS {
+        let mut delta = TableDelta::for_relation(db.relation("Sales").unwrap());
+        delta
+            .insert(&[
+                Value::Int(i as i64 % 4),
+                Value::Int(i as i64 % 3),
+                Value::Double((i + 1) as f64),
+            ])
+            .unwrap();
+        writer.commit(&delta, &dynamics).unwrap();
+        let snap = handle.load();
+        assert_eq!(snap.generation(), (i + 1) as u64);
+        if snap.generation() == PIN_AT {
+            pinned = Some((Arc::clone(&snap), snap.results().clone()));
+        }
+        weaks.push((snap.generation(), Arc::downgrade(&snap)));
+    }
+
+    // The writer-side history is bounded by the window...
+    assert_eq!(writer.retained_generations(), WINDOW);
+    let retained: Vec<u64> = writer
+        .retained_snapshots()
+        .map(|s| s.generation())
+        .collect();
+    assert_eq!(
+        retained,
+        ((COMMITS - WINDOW + 1) as u64..=COMMITS as u64).collect::<Vec<_>>(),
+        "history keeps the newest generations, oldest first"
+    );
+    assert!(writer.retained_bytes() > 0);
+
+    // ... and every generation outside it is genuinely freed — unless a
+    // reader still pins it.
+    let (pinned_snap, pinned_results) = pinned.expect("generation PIN_AT was published");
+    for (generation, weak) in &weaks {
+        let live = weak.upgrade().is_some();
+        let retired = *generation <= (COMMITS - WINDOW) as u64;
+        if *generation == PIN_AT {
+            assert!(live, "the pinned generation must survive GC");
+        } else if retired {
+            assert!(
+                !live,
+                "generation {generation} is past the window and unpinned: it must be dropped"
+            );
+        } else {
+            assert!(live, "generation {generation} is inside the window");
+        }
+    }
+    // The pin holds the only strong reference left to its generation, and
+    // the snapshot still answers exactly what it answered at publish time.
+    assert_eq!(Arc::strong_count(&pinned_snap), 1);
+    assert_identical(
+        pinned_snap.results(),
+        &pinned_results,
+        "pinned generation drifted after GC",
+    );
+
+    // Shrinking the window retires immediately.
+    writer.set_history_window(1);
+    assert_eq!(writer.retained_generations(), 1);
+    assert_eq!(
+        writer.retained_snapshots().next().unwrap().generation(),
+        COMMITS as u64
+    );
+}
+
+/// 8 reader threads hammer `load()` during rapid publication; every observed
+/// (generation, digest) pair goes into an isolation history which the
+/// black-box snapshot-isolation checker must accept with zero violations —
+/// the lock-free publication cell cannot tear, reorder, or resurrect
+/// generations.
+#[test]
+fn stress_eight_readers_produce_a_clean_isolation_history() {
+    const READERS: usize = 8;
+    const UPDATES: usize = 300;
+    let (db, tree, batch) = toy();
+    let dynamics = DynamicRegistry::new();
+    let mut writer = Engine::new(db.clone(), tree, EngineConfig::default())
+        .prepare(&batch)
+        .unwrap()
+        .into_serving(&dynamics)
+        .unwrap();
+    writer.set_history_window(4);
+    let handle = writer.handle();
+
+    let genesis = writer.snapshot();
+    let mut writer_history = History::new();
+    writer_history.add_commit(CommitEvent {
+        txn_id: genesis.txn_id(),
+        generation: genesis.generation(),
+        digest: snapshot_digest(&genesis),
+    });
+    drop(genesis);
+
+    let stop = AtomicBool::new(false);
+    let histories = std::thread::scope(|s| {
+        let reader_handles: Vec<_> = (0..READERS)
+            .map(|reader_id| {
+                let handle = handle.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut history = History::new();
+                    let mut seq = 0u64;
+                    let mut last_generation = 0u64;
+                    loop {
+                        let done = stop.load(Ordering::Relaxed);
+                        let snap = handle.load();
+                        assert!(
+                            snap.generation() >= last_generation,
+                            "reader {reader_id} went back in time"
+                        );
+                        if snap.generation() != last_generation || seq == 0 {
+                            last_generation = snap.generation();
+                            history.add_read(ReadEvent {
+                                reader: reader_id,
+                                seq,
+                                generation: snap.generation(),
+                                txn_id: snap.txn_id(),
+                                digest: snapshot_digest(&snap),
+                            });
+                            seq += 1;
+                        }
+                        if done {
+                            break;
+                        }
+                    }
+                    history
+                })
+            })
+            .collect();
+
+        for i in 0..UPDATES {
+            let mut delta = TableDelta::for_relation(db.relation("Sales").unwrap());
+            delta
+                .insert(&[
+                    Value::Int(i as i64 % 4),
+                    Value::Int(i as i64 % 3),
+                    Value::Double((i % 7 + 1) as f64),
+                ])
+                .unwrap();
+            writer.commit(&delta, &dynamics).unwrap();
+            let snap = writer.snapshot();
+            writer_history.add_commit(CommitEvent {
+                txn_id: snap.txn_id(),
+                generation: snap.generation(),
+                digest: snapshot_digest(&snap),
+            });
+        }
+        assert_eq!(writer.generation(), UPDATES as u64);
+        assert!(writer.retained_generations() <= 4);
+        stop.store(true, Ordering::Relaxed);
+
+        let mut histories = vec![writer_history];
+        for h in reader_handles {
+            histories.push(h.join().expect("reader panicked"));
+        }
+        histories
+    });
+
+    let mut merged = History::new();
+    for h in histories {
+        merged.merge(h);
+    }
+    let violations = check_history(&merged);
+    assert!(
+        violations.is_empty(),
+        "snapshot-isolation violations under 8-reader load: {violations:?}"
+    );
+}
+
 /// 4 readers × 1 writer × 500 updates: readers pin every generation they
 /// observe; afterwards each sampled generation is recomputed from scratch at
 /// its own database state and must agree (counts exactly, floats to 1e-9).

@@ -1,11 +1,207 @@
-//! Offline, API-compatible subset of the `crossbeam` crate: scoped threads.
+//! Offline, API-compatible subset of the `crossbeam` crate: scoped threads
+//! plus a hazard-pointer publication cell in the spirit of
+//! `crossbeam-epoch`'s deferred reclamation.
 //!
 //! `crossbeam::scope` predates `std::thread::scope`; this stand-in delegates
 //! to the standard library version and keeps crossbeam's call shape — the
 //! spawn closure receives a (here unused) scope handle argument, and `scope`
 //! returns a `Result` even though the std implementation cannot fail.
+//!
+//! [`hazard::HazardCell`] is the piece the real crossbeam provides through
+//! `epoch::Atomic`: a shared cell holding an `Arc<T>` that readers can
+//! acquire with a lock-free pointer protocol while a writer swaps in new
+//! values and reclaims old ones once no reader still has them in flight.
 
 pub use thread::{scope, Scope, ScopedJoinHandle};
+
+/// Hazard-pointer protected publication cells (the offline stand-in for the
+/// `crossbeam-epoch` reclamation machinery).
+pub mod hazard {
+    use std::cell::Cell;
+    use std::fmt;
+    use std::marker::PhantomData;
+    use std::ptr;
+    use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+    use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// One reader's hazard slot: the (type-erased) pointer its owner is in
+    /// the middle of acquiring, or null when idle. Slots are pooled in the
+    /// cell's registry and reused as handles come and go, so the registry
+    /// size is bounded by the peak number of live handles.
+    #[derive(Debug)]
+    struct Slot {
+        protected: AtomicPtr<()>,
+        claimed: AtomicBool,
+    }
+
+    /// State shared by every handle of one cell: the published pointer (an
+    /// `Arc::into_raw`, never null), the slot registry, and the retired list
+    /// of superseded pointers not yet proven unprotected.
+    struct Shared<T> {
+        current: AtomicPtr<T>,
+        slots: Mutex<Vec<Arc<Slot>>>,
+        retired: Mutex<Vec<*mut T>>,
+    }
+
+    // Raw pointers into `Arc` allocations of `T`: moving or sharing them
+    // across threads is exactly as safe as moving/sharing `Arc<T>` itself.
+    unsafe impl<T: Send + Sync> Send for Shared<T> {}
+    unsafe impl<T: Send + Sync> Sync for Shared<T> {}
+
+    impl<T> Drop for Shared<T> {
+        fn drop(&mut self) {
+            // The last handle is gone: no `load` can race this, so the
+            // published value and everything still parked on the retired
+            // list release their cell-owned strong counts.
+            let current = *self.current.get_mut();
+            unsafe { drop(Arc::from_raw(current)) };
+            for &p in lock(&self.retired).iter() {
+                unsafe { drop(Arc::from_raw(p)) };
+            }
+        }
+    }
+
+    /// A shared cell publishing an `Arc<T>` with lock-free reads.
+    ///
+    /// Each handle (the initial one and every clone) owns a private hazard
+    /// slot, which is what makes [`HazardCell::load`] sound without any lock
+    /// on the read path — and why the type is `Send` but deliberately **not**
+    /// `Sync`: two threads racing `load` through one handle would share one
+    /// slot. Clone a handle per thread instead (a registry lock is taken at
+    /// clone time, never per read).
+    ///
+    /// [`HazardCell::publish`] swaps the pointer, retires the old value and
+    /// reclaims every retired value no slot currently protects. A reader that
+    /// already upgraded its pointer to an `Arc` does not block reclamation of
+    /// *the cell's* reference — its own `Arc` keeps the value alive — so the
+    /// retired list length is bounded by the number of handles.
+    pub struct HazardCell<T: Send + Sync> {
+        shared: Arc<Shared<T>>,
+        slot: Arc<Slot>,
+        /// `!Sync` marker: one hazard slot serves one thread at a time.
+        _not_sync: PhantomData<Cell<()>>,
+    }
+
+    impl<T: Send + Sync> HazardCell<T> {
+        /// A new cell publishing `initial`.
+        pub fn new(initial: Arc<T>) -> Self {
+            let shared = Arc::new(Shared {
+                current: AtomicPtr::new(Arc::into_raw(initial) as *mut T),
+                slots: Mutex::new(Vec::new()),
+                retired: Mutex::new(Vec::new()),
+            });
+            let slot = claim_slot(&shared);
+            HazardCell {
+                shared,
+                slot,
+                _not_sync: PhantomData,
+            }
+        }
+
+        /// Acquires the currently published value. Lock-free: the only
+        /// retry is a concurrent `publish` swapping the pointer between the
+        /// hazard announcement and its validation, so a retry implies
+        /// system-wide progress.
+        ///
+        /// Protocol (the classic hazard-pointer handshake): read the
+        /// pointer, announce it in this handle's slot, then re-read the
+        /// cell. If the cell still holds the pointer, the announcement
+        /// became visible before any later `publish` could have scanned the
+        /// slots — so the value cannot have been reclaimed and its strong
+        /// count can be bumped. (A swap back to the same address between
+        /// the two reads only ever exposes a *newer* published value that
+        /// reuses the allocation, which is just as valid.)
+        pub fn load(&self) -> Arc<T> {
+            loop {
+                let p = self.shared.current.load(Ordering::Acquire);
+                self.slot.protected.store(p as *mut (), Ordering::SeqCst);
+                if self.shared.current.load(Ordering::SeqCst) == p {
+                    // Validated: `p` is protected until the slot clears.
+                    let arc = unsafe {
+                        Arc::increment_strong_count(p);
+                        Arc::from_raw(p)
+                    };
+                    self.slot
+                        .protected
+                        .store(ptr::null_mut(), Ordering::Release);
+                    return arc;
+                }
+            }
+        }
+
+        /// Publishes `next`, retires the superseded value, and reclaims
+        /// every retired value that no hazard slot currently protects.
+        /// Reclamation scans the slot registry under the writer-side
+        /// mutexes; readers never take them.
+        pub fn publish(&self, next: Arc<T>) {
+            let fresh = Arc::into_raw(next) as *mut T;
+            let old = self.shared.current.swap(fresh, Ordering::SeqCst);
+            let mut retired = lock(&self.shared.retired);
+            retired.push(old);
+            let slots = lock(&self.shared.slots);
+            retired.retain(|&p| {
+                let protected = slots
+                    .iter()
+                    .any(|s| s.protected.load(Ordering::SeqCst) == p as *mut ());
+                if !protected {
+                    // Release the strong count this retired entry owns. A
+                    // reader that validated `p` either already bumped the
+                    // count (its own `Arc` keeps the value alive) or its
+                    // slot still announces `p` and the entry stays parked.
+                    unsafe { drop(Arc::from_raw(p)) };
+                }
+                protected
+            });
+        }
+    }
+
+    impl<T: Send + Sync> Clone for HazardCell<T> {
+        /// A new handle over the same cell with its own hazard slot
+        /// (reusing a released one when available).
+        fn clone(&self) -> Self {
+            HazardCell {
+                shared: Arc::clone(&self.shared),
+                slot: claim_slot(&self.shared),
+                _not_sync: PhantomData,
+            }
+        }
+    }
+
+    impl<T: Send + Sync> Drop for HazardCell<T> {
+        fn drop(&mut self) {
+            self.slot.protected.store(ptr::null_mut(), Ordering::SeqCst);
+            self.slot.claimed.store(false, Ordering::SeqCst);
+        }
+    }
+
+    impl<T: Send + Sync> fmt::Debug for HazardCell<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("HazardCell")
+                .field("current", &self.shared.current.load(Ordering::Relaxed))
+                .finish_non_exhaustive()
+        }
+    }
+
+    fn claim_slot<T>(shared: &Shared<T>) -> Arc<Slot> {
+        let mut slots = lock(&shared.slots);
+        if let Some(slot) = slots
+            .iter()
+            .find(|s| !s.claimed.swap(true, Ordering::SeqCst))
+        {
+            return Arc::clone(slot);
+        }
+        let slot = Arc::new(Slot {
+            protected: AtomicPtr::new(ptr::null_mut()),
+            claimed: AtomicBool::new(true),
+        });
+        slots.push(Arc::clone(&slot));
+        slot
+    }
+}
 
 /// Scoped threads (the `crossbeam::thread` module surface).
 pub mod thread {
@@ -56,6 +252,90 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    use super::hazard::HazardCell;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Counts live instances so the tests can assert reclamation.
+    struct Tracked {
+        value: u64,
+        live: Arc<AtomicUsize>,
+    }
+
+    impl Tracked {
+        fn new(value: u64, live: &Arc<AtomicUsize>) -> Arc<Self> {
+            live.fetch_add(1, Ordering::SeqCst);
+            Arc::new(Tracked {
+                value,
+                live: Arc::clone(live),
+            })
+        }
+    }
+
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.live.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn hazard_cell_load_returns_the_published_value() {
+        let live = Arc::new(AtomicUsize::new(0));
+        let cell = HazardCell::new(Tracked::new(1, &live));
+        assert_eq!(cell.load().value, 1);
+        cell.publish(Tracked::new(2, &live));
+        assert_eq!(cell.load().value, 2);
+        assert_eq!(cell.load().value, cell.clone().load().value);
+        drop(cell);
+        assert_eq!(live.load(Ordering::SeqCst), 0, "all values reclaimed");
+    }
+
+    #[test]
+    fn hazard_cell_pins_survive_later_publications() {
+        let live = Arc::new(AtomicUsize::new(0));
+        let cell = HazardCell::new(Tracked::new(0, &live));
+        let pinned = cell.load();
+        for v in 1..=100 {
+            cell.publish(Tracked::new(v, &live));
+        }
+        assert_eq!(pinned.value, 0, "the pin outlives every publication");
+        assert_eq!(cell.load().value, 100);
+        // Only the pin and the current value can still be alive: the cell
+        // reclaimed the 99 unpinned intermediates as it went.
+        assert_eq!(live.load(Ordering::SeqCst), 2);
+        drop(pinned);
+        drop(cell);
+        assert_eq!(live.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn hazard_cell_concurrent_loads_see_monotonic_values_and_reclaim() {
+        let live = Arc::new(AtomicUsize::new(0));
+        let cell = HazardCell::new(Tracked::new(0, &live));
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let reader = cell.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = reader.load().value;
+                        assert!(v >= last, "published values only move forward");
+                        last = v;
+                    }
+                });
+            }
+            for v in 1..=10_000u64 {
+                cell.publish(Tracked::new(v, &live));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(cell.load().value, 10_000);
+        drop(cell);
+        assert_eq!(live.load(Ordering::SeqCst), 0, "nothing leaked");
+    }
+
     #[test]
     fn scoped_threads_borrow_and_join() {
         let data = [1u64, 2, 3, 4];
